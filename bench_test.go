@@ -1,0 +1,361 @@
+// Package crossarch's root benchmark harness regenerates every table
+// and figure of the paper's evaluation (see DESIGN.md §3 for the
+// experiment index). Each benchmark prints the reproduced artifact
+// through b.Log on the first iteration and reports the headline
+// numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. The shared dataset is built once at
+// a reduced 3-trials scale to keep the suite tractable on a laptop;
+// set CROSSARCH_BENCH_TRIALS=11 for the paper-scale 11,352-row run
+// (the cmd/ tools default to paper scale).
+package crossarch
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/sched"
+	"crossarch/internal/stats"
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *dataset.Dataset
+	benchCfg  experiments.Config
+	benchErr  error
+)
+
+// benchDataset builds the shared benchmark dataset once.
+func benchDataset(b *testing.B) (*dataset.Dataset, experiments.Config) {
+	b.Helper()
+	benchOnce.Do(func() {
+		trials := 3
+		if v := os.Getenv("CROSSARCH_BENCH_TRIALS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				trials = n
+			}
+		}
+		benchCfg = experiments.Defaults()
+		benchCfg.Trials = trials
+		benchDS, benchErr = experiments.BuildDataset(benchCfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS, benchCfg
+}
+
+// BenchmarkDatasetGeneration regenerates the MP-HPC dataset (the
+// paper's Section V data-collection pipeline; Tables I-III define its
+// inputs and schema).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := dataset.Build(dataset.Params{Trials: 1, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("dataset: %d rows x %d cols (1 trial; default config yields 11,352 rows)",
+				ds.NumRows(), ds.Frame.NumCols())
+		}
+	}
+}
+
+// BenchmarkTables regenerates the Table I/II/III reproductions.
+func BenchmarkTables(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.TableI() + experiments.TableII() + experiments.TableIII()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig2ModelComparison regenerates Figure 2: MAE and SOS of
+// the four models on the held-out test set.
+func BenchmarkFig2ModelComparison(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig2(rows))
+			for _, r := range rows {
+				if r.Model == "xgboost" {
+					b.ReportMetric(r.MAE, "xgb-MAE")
+					b.ReportMetric(r.SOS, "xgb-SOS")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3ArchAblation regenerates Figure 3: per-architecture
+// counter-source heatmaps.
+func BenchmarkFig3ArchAblation(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig3(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig3(cells))
+		}
+	}
+}
+
+// BenchmarkFig4ScaleAblation regenerates Figure 4: leave-one-scale-out.
+func BenchmarkFig4ScaleAblation(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig4(rows))
+		}
+	}
+}
+
+// BenchmarkFig5LOAO regenerates Figure 5: leave-one-application-out.
+func BenchmarkFig5LOAO(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig5(rows))
+		}
+	}
+}
+
+// BenchmarkFig6FeatureImportance regenerates Figure 6.
+func BenchmarkFig6FeatureImportance(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig6(rows))
+		}
+	}
+}
+
+// benchScheduling shares the trained predictor and workload run for
+// the Figure 7 and Figure 8 benchmarks.
+func benchScheduling(b *testing.B, jobs int) []sched.Result {
+	b.Helper()
+	ds, cfg := benchDataset(b)
+	pred, _, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var results []sched.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err = experiments.RunScheduling(ds, pred, experiments.SchedConfig{
+			NumJobs:      jobs,
+			WorkloadSeed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return results
+}
+
+// BenchmarkFig7Makespan regenerates Figure 7: makespan per strategy.
+func BenchmarkFig7Makespan(b *testing.B) {
+	results := benchScheduling(b, 25000)
+	b.Log("\n" + experiments.FormatSched(results))
+	for _, r := range results {
+		if r.Strategy == "Model-based" {
+			b.ReportMetric(r.MakespanSec/3600, "model-makespan-h")
+		}
+	}
+}
+
+// BenchmarkFig8Slowdown regenerates Figure 8: average bounded slowdown
+// per strategy.
+func BenchmarkFig8Slowdown(b *testing.B) {
+	results := benchScheduling(b, 25000)
+	b.Log("\n" + experiments.FormatSched(results))
+	for _, r := range results {
+		if r.Strategy == "Model-based" {
+			b.ReportMetric(r.AvgBoundedSlowdown, "model-slowdown")
+		}
+	}
+}
+
+// --- Design-choice ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationTreeMethod compares the exact greedy and histogram
+// split finders at equal accuracy budgets.
+func BenchmarkAblationTreeMethod(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	X, Y := ds.Features(), ds.Targets()
+	trX, trY, teX, teY, err := ml.TrainTestSplit(X, Y, 0.2, stats.NewRNG(cfg.SplitSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []string{"hist", "exact"} {
+		b.Run(method, func(b *testing.B) {
+			var mae float64
+			for i := 0; i < b.N; i++ {
+				m := xgboost.New(xgboost.Params{
+					Rounds: 40, MaxDepth: 6, LearningRate: 0.3,
+					TreeMethod: method, MultiStrategy: "one_output_per_tree",
+					Seed: cfg.ModelSeed,
+				})
+				if err := m.Fit(trX, trY); err != nil {
+					b.Fatal(err)
+				}
+				mae = ml.MAE(ml.PredictBatch(m, teX), teY)
+			}
+			b.ReportMetric(mae, "MAE")
+		})
+	}
+}
+
+// BenchmarkAblationMultiStrategy compares vector-leaf trees against
+// one tree per output component.
+func BenchmarkAblationMultiStrategy(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	X, Y := ds.Features(), ds.Targets()
+	trX, trY, teX, teY, err := ml.TrainTestSplit(X, Y, 0.2, stats.NewRNG(cfg.SplitSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []string{"multi_output_tree", "one_output_per_tree"} {
+		b.Run(strat, func(b *testing.B) {
+			var ev ml.Evaluation
+			for i := 0; i < b.N; i++ {
+				m := xgboost.New(xgboost.Params{
+					Rounds: 100, MaxDepth: 8, LearningRate: 0.1,
+					MultiStrategy: strat, Seed: cfg.ModelSeed,
+				})
+				if err := m.Fit(trX, trY); err != nil {
+					b.Fatal(err)
+				}
+				ev = ml.Evaluate(m, teX, teY)
+			}
+			b.ReportMetric(ev.MAE, "MAE")
+			b.ReportMetric(ev.SOS, "SOS")
+		})
+	}
+}
+
+// BenchmarkAblationBackfill quantifies what EASY backfilling buys over
+// plain FCFS (a backfill window of 0... the smallest window of 1 keeps
+// only the immediate next job eligible).
+func BenchmarkAblationBackfill(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	pred, _, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := experiments.SampleWorkload(ds, pred, experiments.SchedConfig{NumJobs: 10000, WorkloadSeed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{1, 64, 512} {
+		b.Run("depth-"+strconv.Itoa(depth), func(b *testing.B) {
+			var res sched.Result
+			for i := 0; i < b.N; i++ {
+				jcopy := make([]*sched.Job, len(jobs))
+				for j, job := range jobs {
+					cp := *job
+					jcopy[j] = &cp
+				}
+				cluster := sched.NewCluster(benchMachines())
+				res, err = sched.Run(jcopy, cluster, sched.NewModelBased(), sched.Params{BackfillDepth: depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MakespanSec/3600, "makespan-h")
+			b.ReportMetric(res.AvgBoundedSlowdown, "slowdown")
+		})
+	}
+}
+
+// benchMachines returns the Table I pool for scheduling benches.
+func benchMachines() []*arch.Machine { return arch.All() }
+
+// BenchmarkFeatureSelection regenerates the Section VI-B
+// model-and-feature selection loop: train on all 21 features, keep the
+// top 10 by combined ensemble importance, retrain everything.
+func BenchmarkFeatureSelection(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FeatureSelection(ds, cfg, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFeatureSelection(res))
+		}
+	}
+}
+
+// BenchmarkAblationArrivalRate examines how the model-based strategy's
+// makespan advantage depends on load: an all-at-once workload (rate 0)
+// saturates the pool and maximizes the gap; Poisson arrivals compress
+// it toward the paper's ~20%.
+func BenchmarkAblationArrivalRate(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	pred, _, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rate := range []float64{0, 50, 10} {
+		name := "all-at-once"
+		if rate > 0 {
+			name = fmt.Sprintf("poisson-%.0f-per-s", rate)
+		}
+		b.Run(name, func(b *testing.B) {
+			var results []sched.Result
+			for i := 0; i < b.N; i++ {
+				results, err = experiments.RunScheduling(ds, pred, experiments.SchedConfig{
+					NumJobs: 10000, WorkloadSeed: 4, ArrivalRate: rate,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var model, worst float64
+			for _, r := range results {
+				if r.Strategy == "Model-based" {
+					model = r.MakespanSec
+				} else if r.MakespanSec > worst {
+					worst = r.MakespanSec
+				}
+			}
+			b.ReportMetric(100*(1-model/worst), "makespan-reduction-%")
+		})
+	}
+}

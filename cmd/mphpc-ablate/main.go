@@ -1,0 +1,72 @@
+// Command mphpc-ablate reproduces the paper's ablation studies:
+// Figure 3 (per-architecture counter sources), Figure 4
+// (leave-one-scale-out), and Figure 5 (leave-one-application-out).
+//
+// Usage:
+//
+//	mphpc-ablate [-fig 3|4|5|all] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"crossarch/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-ablate: ")
+	fig := flag.String("fig", "all", "which figure to reproduce: 3, 4, 5, or all")
+	trials := flag.Int("trials", 0, "trials per configuration (0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
+	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
+	}
+	ds, err := experiments.BuildDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d rows\n\n", ds.NumRows())
+
+	run3 := *fig == "3" || *fig == "all"
+	run4 := *fig == "4" || *fig == "all"
+	run5 := *fig == "5" || *fig == "all"
+	if !run3 && !run4 && !run5 {
+		log.Fatalf("unknown -fig %q (want 3, 4, 5, or all)", *fig)
+	}
+
+	if run3 {
+		start := time.Now()
+		cells, err := experiments.Fig3(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig3(cells))
+		fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if run4 {
+		start := time.Now()
+		rows, err := experiments.Fig4(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig4(rows))
+		fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if run5 {
+		start := time.Now()
+		rows, err := experiments.Fig5(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig5(rows))
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,58 @@
+// Command mphpc-gen generates the MP-HPC dataset (Section V of the
+// paper): it simulates profiling every application-input pair of
+// Table II at the three run scales on the four Table I systems and
+// writes the resulting feature/target table as CSV.
+//
+// Usage:
+//
+//	mphpc-gen [-trials N] [-seed S] [-o dataset.csv] [-tables]
+//
+// With -tables it prints the Table I/II/III reproductions instead of
+// generating data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-gen: ")
+	trials := flag.Int("trials", 0, "trials per (app, input, scale); 0 = paper scale (11, ~11k rows)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	out := flag.String("o", "mphpc.csv", "output CSV path")
+	tables := flag.Bool("tables", false, "print Tables I-III and exit")
+	flag.Parse()
+
+	if *tables {
+		fmt.Println(experiments.TableI())
+		fmt.Println(experiments.TableII())
+		fmt.Println(experiments.TableIII())
+		return
+	}
+
+	start := time.Now()
+	ds, err := dataset.Build(dataset.Params{Trials: *trials, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Frame.WriteCSVFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d rows x %d columns (%.1f MB) in %v\n",
+		*out, ds.NumRows(), ds.Frame.NumCols(), float64(info.Size())/1e6,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("feature columns (%d): %v\n", len(dataset.FeatureColumns()), dataset.FeatureColumns())
+	fmt.Printf("target columns: %v\n", dataset.TargetColumns())
+}

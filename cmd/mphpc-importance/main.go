@@ -1,0 +1,39 @@
+// Command mphpc-importance reproduces the paper's Figure 6: it trains
+// the headline XGBoost model and prints the gain-based feature
+// importances of the 21 dataset features, sorted descending.
+//
+// Usage:
+//
+//	mphpc-importance [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"crossarch/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-importance: ")
+	trials := flag.Int("trials", 0, "trials per configuration (0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
+	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
+	}
+	ds, err := experiments.BuildDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := experiments.Fig6(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig6(rows))
+}

@@ -1,0 +1,174 @@
+// Command mphpc-predict is the deployment-side tool of the pipeline: it
+// profiles one application run on one system (simulated, standing in
+// for an HPCToolkit run) and predicts the relative performance vector
+// across all four systems using a trained predictor — the Section
+// VIII-B use case of estimating GPU-system performance from a cheap
+// CPU-system run. With -explain it also prints the per-feature
+// contributions behind the prediction.
+//
+// Usage:
+//
+//	mphpc-predict -app XSBench -system Quartz [-scale 1-node] [-input 1]
+//	              [-predictor p.json] [-explain]
+//
+// Without -predictor a fresh model is trained first (slow); train once
+// with `mphpc-train -save p.json` and reuse it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-predict: ")
+	appName := flag.String("app", "XSBench", "application to profile (Table II name)")
+	system := flag.String("system", "Quartz", "system the counters are recorded on")
+	scaleName := flag.String("scale", "1-node", "run scale: 1-core, 1-node, or 2-node")
+	inputIdx := flag.Int("input", 1, "input deck index (0-based)")
+	predictorPath := flag.String("predictor", "", "load a saved predictor (else train one)")
+	explain := flag.Bool("explain", false, "print per-feature contributions (XGBoost predictors)")
+	seed := flag.Uint64("seed", 42, "profiling noise seed")
+	trials := flag.Int("trials", 3, "dataset trials when training in-process")
+	profileIn := flag.String("profile", "", "load a recorded profile instead of simulating one (-app/-system/-scale ignored)")
+	profileOut := flag.String("save-profile", "", "save the simulated profile to this path (.profile.json.gz)")
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := arch.ByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale, err := perfmodel.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *inputIdx < 0 || *inputIdx >= len(app.Inputs) {
+		log.Fatalf("input index %d outside [0,%d)", *inputIdx, len(app.Inputs))
+	}
+	input := app.Inputs[*inputIdx]
+
+	var pred *core.Predictor
+	if *predictorPath != "" {
+		pred, err = core.LoadPredictorFile(*predictorPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("no -predictor given; training one (use mphpc-train -save to cache)...")
+		ds, err := dataset.Build(dataset.Params{Trials: *trials, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ev fmt.Stringer
+		pred, ev, err = core.TrainPredictor(ds, core.DefaultXGBoost(3), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained: %s\n\n", ev)
+	}
+
+	var prof *profiler.Profile
+	if *profileIn != "" {
+		prof, err = profiler.ReadProfileFile(*profileIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded profile %s\n", *profileIn)
+	} else {
+		var p profiler.Profiler
+		prof, err = p.Run(app, input, machine, scale, stats.NewRNG(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *profileOut != "" {
+			if err := prof.WriteFile(*profileOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved profile to %s\n", *profileOut)
+		}
+	}
+	fmt.Printf("profiled %s %q on %s/%s: %d ranks, %.1fs, schema %s\n",
+		prof.App, prof.Input, prof.System, prof.Scale, prof.NumRanks, prof.RuntimeSec, prof.Schema.Name)
+
+	rpvHat, err := pred.PredictProfile(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted runtime relative to %s:\n", prof.System)
+	for i, name := range arch.Names() {
+		marker := ""
+		if i == rpvHat.Fastest() {
+			marker = "  <- fastest"
+		}
+		fmt.Printf("  %-8s %6.3f  (predicted %.1fs)%s\n", name, rpvHat[i], rpvHat[i]*prof.RuntimeSec, marker)
+	}
+
+	if *explain {
+		model, ok := pred.Model.(*xgboost.Model)
+		if !ok {
+			log.Fatalf("-explain requires an XGBoost predictor, have %s", pred.Model.Name())
+		}
+		features, err := dataset.FeaturesFromProfile(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x := make([]float64, len(pred.Features))
+		for i, name := range pred.Features {
+			v := features[name]
+			if s, norm := pred.Norms[name]; norm {
+				std := s.Std
+				if std == 0 {
+					std = 1
+				}
+				v = (v - s.Mean) / std
+			}
+			x[i] = v
+		}
+		ex, err := model.Explain(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type row struct {
+			name  string
+			total float64
+			per   []float64
+		}
+		var rows []row
+		for f, name := range pred.Features {
+			sum := 0.0
+			for _, c := range ex.Contributions[f] {
+				if c < 0 {
+					sum -= c
+				} else {
+					sum += c
+				}
+			}
+			rows = append(rows, row{name, sum, ex.Contributions[f]})
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].total > rows[b].total })
+		fmt.Println("\ntop feature contributions to the prediction (per architecture):")
+		for _, r := range rows[:8] {
+			fmt.Printf("  %-18s", r.name)
+			for _, c := range r.per {
+				fmt.Printf(" %+7.3f", c)
+			}
+			fmt.Println()
+		}
+	}
+}

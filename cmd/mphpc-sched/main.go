@@ -1,0 +1,110 @@
+// Command mphpc-sched reproduces the paper's Figures 7 and 8: the
+// multi-resource FCFS+EASY scheduling simulation. It trains (or loads)
+// the XGBoost predictor, resamples the dataset into a job workload,
+// and schedules it under the four machine-assignment strategies of
+// Section VII (plus an optional perfect-information oracle), reporting
+// makespan and average bounded slowdown.
+//
+// Usage:
+//
+//	mphpc-sched [-jobs N] [-trials N] [-seed S] [-predictor p.json] [-oracle] [-rate R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-sched: ")
+	jobs := flag.Int("jobs", 0, "workload size (0 = the paper's 50,000)")
+	trials := flag.Int("trials", 0, "dataset trials per configuration (0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
+	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
+	workloadSeed := flag.Uint64("workload-seed", 4, "workload resampling seed")
+	predictorPath := flag.String("predictor", "", "load a saved predictor instead of training")
+	oracle := flag.Bool("oracle", false, "include the perfect-information oracle strategy")
+	rate := flag.Float64("rate", 0, "Poisson arrival rate in jobs/second (0 = all jobs at t=0)")
+	replicates := flag.Int("replicates", 0, "repeat across N workload seeds and report 95% CIs")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
+	}
+	ds, err := experiments.BuildDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pred *core.Predictor
+	if *predictorPath != "" {
+		pred, err = core.LoadPredictorFile(*predictorPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded predictor from %s\n", *predictorPath)
+	} else {
+		start := time.Now()
+		var ev fmt.Stringer
+		pred, ev, err = trainDefault(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained predictor in %v: %s\n", time.Since(start).Round(time.Millisecond), ev)
+	}
+
+	scfg := experiments.SchedConfig{
+		NumJobs:       *jobs,
+		WorkloadSeed:  *workloadSeed,
+		ArrivalRate:   *rate,
+		IncludeOracle: *oracle,
+	}
+	if *replicates > 1 {
+		rows, err := experiments.SchedulingReplicates(ds, pred, scfg, *replicates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatReplicates(rows))
+		return
+	}
+
+	start := time.Now()
+	results, err := experiments.RunScheduling(ds, pred, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.FormatSched(results))
+	fmt.Printf("\nsimulated %d strategies in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	// Headline number: makespan reduction of the model-based strategy
+	// versus the worst non-oracle strategy (the paper reports "up to
+	// 20%").
+	var model, worst float64
+	for _, r := range results {
+		if r.Strategy == "Model-based" {
+			model = r.MakespanSec
+		} else if r.Strategy != "Oracle" && r.MakespanSec > worst {
+			worst = r.MakespanSec
+		}
+	}
+	if model > 0 && worst > 0 {
+		fmt.Printf("model-based makespan reduction vs worst strategy: %.1f%%\n",
+			100*(1-model/worst))
+	}
+}
+
+// trainDefault trains the default XGBoost predictor for the run.
+func trainDefault(ds *dataset.Dataset, cfg experiments.Config) (*core.Predictor, fmt.Stringer, error) {
+	pred, ev, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+	return pred, ev, err
+}

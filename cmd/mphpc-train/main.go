@@ -1,0 +1,96 @@
+// Command mphpc-train reproduces the paper's Figure 2: it trains the
+// four regression models (mean, linear, decision forest, XGBoost) on
+// the MP-HPC dataset with a 90/10 split and 5-fold cross-validation,
+// and prints each model's MAE and Same Order Score. Optionally it
+// exports the trained XGBoost predictor for use by mphpc-sched or the
+// examples.
+//
+// Usage:
+//
+//	mphpc-train [-trials N] [-seed S] [-split-seed S] [-save predictor.json] [-data dataset.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataframe"
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-train: ")
+	trials := flag.Int("trials", 0, "trials per configuration when generating (0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
+	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
+	save := flag.String("save", "", "save the trained XGBoost predictor to this path")
+	data := flag.String("data", "", "load an existing dataset CSV instead of generating")
+	selectK := flag.Int("select-k", 0, "also run Section VI-B feature selection keeping the top K features")
+	card := flag.Bool("card", false, "print a model card for the trained XGBoost predictor")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
+	}
+	ds, err := loadOrBuild(*data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d rows x %d feature columns\n\n", ds.NumRows(), len(dataset.FeatureColumns()))
+
+	start := time.Now()
+	rows, err := experiments.Fig2(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig2(rows))
+	fmt.Printf("\ntotal training time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *selectK > 0 {
+		res, err := experiments.FeatureSelection(ds, cfg, *selectK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatFeatureSelection(res))
+	}
+
+	if *save != "" || *card {
+		pred, ev, err := core.TrainPredictor(ds, core.DefaultXGBoost(*modelSeed), *splitSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *save != "" {
+			if err := pred.SaveFile(*save); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nsaved predictor to %s (%s)\n", *save, ev)
+		}
+		if *card {
+			mc, err := core.BuildModelCard(ds, pred, *splitSeed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+			fmt.Print(mc.String())
+		}
+	}
+}
+
+// loadOrBuild reads a dataset CSV or generates a fresh dataset.
+func loadOrBuild(path string, cfg experiments.Config) (*dataset.Dataset, error) {
+	if path == "" {
+		return experiments.BuildDataset(cfg)
+	}
+	frame, err := dataframe.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromFrame(frame)
+}

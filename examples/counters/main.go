@@ -1,0 +1,88 @@
+// counters: inspect what the simulated profiling toolchain records —
+// the HPCToolkit/Hatchet layer of the pipeline.
+//
+// It profiles one application on all four systems, prints the
+// architecture-specific counter vocabularies (Table III), the
+// calling-context-tree region table of one profile, and the canonical
+// quantities Hatchet derives — including the CUPTI requests x hit-rate
+// idiom on Lassen and the missing counters on Corona's AMD GPUs.
+//
+// Run with:
+//
+//	go run ./examples/counters
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/hatchet"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app, err := apps.ByName("XSBench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := app.Inputs[1]
+	var p profiler.Profiler
+	rng := stats.NewRNG(11)
+
+	for _, m := range arch.All() {
+		prof, err := p.Run(app, in, m, perfmodel.OneNode, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := hatchet.FromProfile(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (%s, %d ranks, %.1fs) ===\n",
+			m.Name, prof.Schema.Name, prof.NumRanks, prof.RuntimeSec)
+
+		totals := g.CounterTotals()
+		names := make([]string, 0, len(totals))
+		for n := range totals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("  raw counters (rank-mean totals):")
+		for _, n := range names {
+			fmt.Printf("    %-28s %14.4g\n", n, totals[n])
+		}
+
+		values, missing := g.Canonical()
+		fmt.Println("  derived canonical quantities:")
+		for _, q := range profiler.Quantities() {
+			fmt.Printf("    %-16s %14.4g\n", q, values[q])
+		}
+		if len(missing) > 0 {
+			fmt.Printf("  unmeasurable on this architecture (Table III '—'): %v\n", missing)
+		}
+		fmt.Println()
+	}
+
+	// The CCT region view of the Quartz profile (the hatchet dataframe).
+	quartz, err := arch.ByName("Quartz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := p.Run(app, in, quartz, perfmodel.OneNode, stats.NewRNG(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := hatchet.FromProfile(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("calling-context-tree region table (rank 0, Quartz):")
+	fmt.Print(g.RegionTable().Head(5))
+}

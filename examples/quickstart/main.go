@@ -1,0 +1,89 @@
+// Quickstart: the end-to-end crossarch pipeline in one page.
+//
+// It builds a small MP-HPC dataset (simulated profiling of the Table II
+// proxy applications on the four Table I systems), trains the XGBoost
+// relative-performance model, evaluates it with the paper's metrics,
+// and predicts the relative performance vector of a fresh profile.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a reduced MP-HPC dataset: every Table II application at
+	//    3 trials per configuration (~3k rows; use Trials: 11 for the
+	//    paper-scale ~11k rows).
+	fmt.Println("building dataset...")
+	ds, err := dataset.Build(dataset.Params{Trials: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d rows, %d features, %d targets\n\n",
+		ds.NumRows(), len(dataset.FeatureColumns()), len(dataset.TargetColumns()))
+
+	// 2. Train the relative-performance predictor (90/10 split).
+	fmt.Println("training XGBoost predictor...")
+	pred, eval, err := core.TrainPredictor(ds, core.DefaultXGBoost(3), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out evaluation: %s\n\n", eval)
+
+	// 3. Profile a run the model has not seen: SW4lite on Quartz, one
+	//    node, using counters only from Quartz (the paper's setting:
+	//    predict the other three systems without touching them).
+	app, err := apps.ByName("SW4lite")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := arch.ByName("Quartz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p profiler.Profiler
+	prof, err := p.Run(app, app.Inputs[2], machine, perfmodel.OneNode, stats.NewRNG(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s %q on %s (%d ranks, %.1fs)\n",
+		prof.App, prof.Input, prof.System, prof.NumRanks, prof.RuntimeSec)
+
+	// 4. Predict the relative performance vector across all systems.
+	rpvHat, err := pred.PredictProfile(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted relative performance (runtime relative to %s):\n", prof.System)
+	for i, name := range arch.Names() {
+		marker := ""
+		if i == rpvHat.Fastest() {
+			marker = "  <- predicted fastest"
+		}
+		fmt.Printf("  %-8s %6.2f%s\n", name, rpvHat[i], marker)
+	}
+
+	// 5. Compare with the analytic ground truth.
+	var mod perfmodel.Model
+	fmt.Println("\nanalytic ground truth:")
+	base := mod.Runtime(app, app.Inputs[2], machine, perfmodel.OneNode).TotalSec
+	for _, m := range arch.All() {
+		t := mod.Runtime(app, app.Inputs[2], m, perfmodel.OneNode).TotalSec
+		fmt.Printf("  %-8s %6.2f  (%.1fs)\n", m.Name, t/base, t)
+	}
+}

@@ -1,0 +1,36 @@
+// roofline: place every Table II application on each system's roofline
+// under the analytic performance model — the classic HPC view of why
+// the cross-architecture runtime ratios come out the way they do.
+// Memory-bound codes (left of the ridge) track each machine's
+// bandwidth; compute-bound codes track peak FLOP/s; the GPU systems
+// swap in device ceilings for offload-capable applications.
+//
+// Run with:
+//
+//	go run ./examples/roofline
+package main
+
+import (
+	"fmt"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/perfmodel"
+)
+
+func main() {
+	var mod perfmodel.Model
+	for _, m := range arch.All() {
+		fmt.Printf("=== %s ===\n", m)
+		points := mod.RooflineSweep(m, perfmodel.OneNode)
+		memBound, computeBound := 0, 0
+		for _, p := range points {
+			fmt.Println("  " + p.String())
+			if p.MemoryBound {
+				memBound++
+			} else {
+				computeBound++
+			}
+		}
+		fmt.Printf("  -> %d memory-bound, %d compute-bound\n\n", memBound, computeBound)
+	}
+}

@@ -1,0 +1,98 @@
+// rpvpredict: the paper's generalization scenario — predict the
+// cross-architecture performance of applications the model has NEVER
+// seen, from counters recorded on a single (cheap, CPU-only) system.
+//
+// The model is trained with four applications held out entirely, then
+// asked to rank the four systems for each held-out application using
+// only a Quartz profile — the Section VIII-B use case: "users can run
+// their code on [CPU machines] and get predictions from the model for
+// less available or more expensive resources, such as GPUs".
+//
+// Run with:
+//
+//	go run ./examples/rpvpredict
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/rpv"
+	"crossarch/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	heldOut := map[string]bool{
+		"XSBench": true, "CANDLE": true, "CoMD": true, "Laghos": true,
+	}
+	var trainApps []*apps.App
+	for _, a := range apps.All() {
+		if !heldOut[a.Name] {
+			trainApps = append(trainApps, a)
+		}
+	}
+
+	fmt.Printf("training on %d applications, holding out %d unseen ones...\n",
+		len(trainApps), len(heldOut))
+	ds, err := dataset.Build(dataset.Params{Apps: trainApps, Trials: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, eval, err := core.TrainPredictor(ds, core.DefaultXGBoost(3), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-distribution evaluation: %s\n\n", eval)
+
+	quartz, err := arch.ByName("Quartz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p profiler.Profiler
+	var mod perfmodel.Model
+	rng := stats.NewRNG(7)
+
+	fmt.Println("predictions for UNSEEN applications from Quartz counters only:")
+	correctFastest := 0
+	for name := range heldOut {
+		a, err := apps.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := a.Inputs[1]
+		prof, err := p.Run(a, in, quartz, perfmodel.OneNode, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted, err := pred.PredictProfile(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		times := make([]float64, arch.NumSystems)
+		for i, m := range arch.All() {
+			times[i] = mod.Runtime(a, in, m, perfmodel.OneNode).TotalSec
+		}
+		truth, err := rpv.FromTimes(times, arch.Index("Quartz"))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		names := arch.Names()
+		fmt.Printf("\n  %-10s predicted %v -> fastest: %s\n", a.Name, predicted, names[predicted.Fastest()])
+		fmt.Printf("  %-10s truth     %v -> fastest: %s\n", "", truth, names[truth.Fastest()])
+		if predicted.Fastest() == truth.Fastest() {
+			correctFastest++
+		}
+	}
+	fmt.Printf("\nfastest-system identified for %d/%d unseen applications\n",
+		correctFastest, len(heldOut))
+}

@@ -1,0 +1,113 @@
+// workflow: the paper's motivating scenario end to end — a scientific
+// campaign expressed as a task DAG (simulation -> analysis +
+// visualization -> ML training), where each stage favours a different
+// architecture. Every task is profiled once on Quartz, the predictor
+// estimates its relative performance everywhere, and the workflow
+// scheduler places each task on the machine the model recommends —
+// compared against round-robin and user-style placement.
+//
+// Run with:
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/sched"
+	"crossarch/internal/stats"
+)
+
+// stage describes one campaign task before scheduling.
+type stage struct {
+	name  string
+	app   string
+	input int
+	scale perfmodel.Scale
+	nodes int
+	after []string
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training the relative-performance predictor...")
+	ds, err := dataset.Build(dataset.Params{Trials: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, eval, err := core.TrainPredictor(ds, core.DefaultXGBoost(3), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor: %s\n\n", eval)
+
+	stages := []stage{
+		{name: "mesh-setup", app: "miniFE", input: 1, scale: perfmodel.OneNode, nodes: 1},
+		{name: "simulate", app: "SW4lite", input: 2, scale: perfmodel.TwoNodes, nodes: 2, after: []string{"mesh-setup"}},
+		{name: "graph-analysis", app: "miniVite", input: 1, scale: perfmodel.OneNode, nodes: 1, after: []string{"simulate"}},
+		{name: "uq-sampling", app: "XSBench", input: 2, scale: perfmodel.OneNode, nodes: 1, after: []string{"simulate"}},
+		{name: "train-surrogate", app: "CANDLE", input: 1, scale: perfmodel.OneNode, nodes: 1, after: []string{"graph-analysis", "uq-sampling"}},
+	}
+
+	// Build the DAG: true runtimes from the analytic model, predictions
+	// from a single Quartz profile per task (the paper's deployment
+	// story — no GPU-system access needed to plan placement).
+	var mod perfmodel.Model
+	var p profiler.Profiler
+	quartz, _ := arch.ByName("Quartz")
+	machines := arch.All()
+	rng := stats.NewRNG(7)
+
+	wf := &sched.Workflow{Name: "campaign"}
+	for _, s := range stages {
+		a, err := apps.ByName(s.app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := a.Inputs[s.input]
+		runtimes := make([]float64, len(machines))
+		for mi, m := range machines {
+			runtimes[mi] = mod.NoisyRuntime(a, in, m, s.scale, rng).TotalSec
+		}
+		prof, err := p.Run(a, in, quartz, s.scale, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted, err := pred.PredictProfile(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wf.Tasks = append(wf.Tasks, &sched.Task{
+			Name: s.name, Nodes: s.nodes, After: s.after,
+			Runtimes: runtimes, Predicted: predicted,
+		})
+		fmt.Printf("  %-16s (%-10s) predicted rpv %v -> prefers %s\n",
+			s.name, s.app, predicted, arch.Names()[predicted.Fastest()])
+	}
+
+	fmt.Println("\nscheduling the campaign under each placement strategy:")
+	for _, strat := range []sched.Strategy{
+		sched.NewRoundRobin(), sched.NewUserRR(), sched.NewModelBased(), sched.NewOracle(),
+	} {
+		// Fresh task copies: scheduling mutates Start/End/Machine.
+		copyWF := &sched.Workflow{Name: wf.Name}
+		for _, t := range wf.Tasks {
+			cp := *t
+			copyWF.Tasks = append(copyWF.Tasks, &cp)
+		}
+		res, err := sched.ScheduleWorkflow(copyWF, sched.NewCluster(machines), strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s campaign makespan %7.1fs (critical path %.1fs)\n",
+			res.Strategy, res.MakespanSec, res.CriticalPathSec)
+	}
+}

@@ -1,0 +1,3 @@
+module crossarch
+
+go 1.22

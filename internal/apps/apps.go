@@ -1,0 +1,146 @@
+// Package apps models the twenty scientific applications of the paper's
+// Table II (ECP Proxy Applications Suite and E4S Test Suite members).
+// Each application carries a latent behaviour signature — instruction
+// mix, cache locality, memory and I/O volumes, strong-scaling behaviour,
+// and GPU suitability — from which the runtime model derives execution
+// times and the profiler derives hardware counters. Signatures are
+// hand-tuned to reflect each code's published character (e.g. XSBench is
+// a branchy, cache-hostile table-lookup kernel; CoMD is a compute-dense
+// FP64 force loop; the ML codes are FP32-heavy with noisy Python
+// software stacks).
+package apps
+
+import "fmt"
+
+// Signature is the latent behaviour description of one application. All
+// instruction-mix fields are fractions of total instructions and must
+// sum to at most 1 (the remainder is address arithmetic and other
+// uncounted work).
+type Signature struct {
+	// Instruction mix.
+	BranchFrac float64 // control-flow instructions
+	LoadFrac   float64 // memory loads
+	StoreFrac  float64 // memory stores
+	FP32Frac   float64 // single-precision floating point
+	FP64Frac   float64 // double-precision floating point
+	IntFrac    float64 // integer arithmetic
+
+	// Cache behaviour: miss probabilities per load/store at each level.
+	L1MissRate float64
+	L2MissRate float64 // conditioned on an L1 miss
+
+	// BranchMissRate is the fraction of branches mispredicted, a proxy
+	// for control-flow irregularity.
+	BranchMissRate float64
+
+	// Work: total dynamic instructions for the unit-scale input.
+	BaseInstructions float64
+
+	// Strong scaling: serial fraction (Amdahl) and communication
+	// intensity (fraction of compute time spent communicating per
+	// doubling of ranks).
+	SerialFrac float64
+	CommFrac   float64
+
+	// GPU offload: fraction of the work that is data-parallel enough to
+	// run on an accelerator, and how efficiently it uses one.
+	GPUParallelFrac float64
+	GPUEfficiency   float64
+
+	// I/O bytes for the unit-scale input.
+	IOReadBytes  float64
+	IOWriteBytes float64
+
+	// MemFootprintMB for the unit-scale input (drives the extended page
+	// table size counter).
+	MemFootprintMB float64
+
+	// StackNoiseSigma is extra run-to-run runtime variability from the
+	// software stack; the ML/Python applications carry large values,
+	// which is the mechanism behind the paper's Fig. 5 observation that
+	// those applications are hardest to predict.
+	StackNoiseSigma float64
+}
+
+// Validate checks that the signature is internally consistent.
+func (s *Signature) Validate() error {
+	mix := s.BranchFrac + s.LoadFrac + s.StoreFrac + s.FP32Frac + s.FP64Frac + s.IntFrac
+	if mix > 1.0001 {
+		return fmt.Errorf("apps: instruction mix sums to %v > 1", mix)
+	}
+	for name, v := range map[string]float64{
+		"BranchFrac": s.BranchFrac, "LoadFrac": s.LoadFrac, "StoreFrac": s.StoreFrac,
+		"FP32Frac": s.FP32Frac, "FP64Frac": s.FP64Frac, "IntFrac": s.IntFrac,
+		"L1MissRate": s.L1MissRate, "L2MissRate": s.L2MissRate,
+		"BranchMissRate": s.BranchMissRate, "SerialFrac": s.SerialFrac,
+		"CommFrac": s.CommFrac, "GPUParallelFrac": s.GPUParallelFrac,
+		"GPUEfficiency": s.GPUEfficiency,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("apps: %s = %v outside [0,1]", name, v)
+		}
+	}
+	if s.BaseInstructions <= 0 {
+		return fmt.Errorf("apps: BaseInstructions = %v must be positive", s.BaseInstructions)
+	}
+	if s.IOReadBytes < 0 || s.IOWriteBytes < 0 || s.MemFootprintMB < 0 || s.StackNoiseSigma < 0 {
+		return fmt.Errorf("apps: negative volume field")
+	}
+	return nil
+}
+
+// Input is one problem configuration an application is run with.
+type Input struct {
+	// Args is the notional command line, used as the input identifier
+	// in the dataset ("-s 5" style).
+	Args string
+	// Scale multiplies the signature's base work, I/O, and footprint.
+	Scale float64
+}
+
+// App is one Table II application.
+type App struct {
+	// Name and Description match Table II.
+	Name        string
+	Description string
+	// GPUSupport marks the eleven applications that can offload.
+	GPUSupport bool
+	// MLStack marks the deep-learning / Python-stack applications
+	// (CANDLE, CosmoFlow, miniGAN, DeepCam).
+	MLStack bool
+	// Sig is the latent behaviour signature.
+	Sig Signature
+	// Inputs are the problem configurations used for dataset runs.
+	Inputs []Input
+}
+
+// Validate checks the application definition.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("apps: empty name")
+	}
+	if err := a.Sig.Validate(); err != nil {
+		return fmt.Errorf("apps: %s: %w", a.Name, err)
+	}
+	if len(a.Inputs) == 0 {
+		return fmt.Errorf("apps: %s has no inputs", a.Name)
+	}
+	for _, in := range a.Inputs {
+		if in.Scale <= 0 {
+			return fmt.Errorf("apps: %s input %q has scale %v", a.Name, in.Args, in.Scale)
+		}
+	}
+	if a.GPUSupport && a.Sig.GPUParallelFrac == 0 {
+		return fmt.Errorf("apps: %s claims GPU support with zero offload fraction", a.Name)
+	}
+	return nil
+}
+
+// scaledInputs builds a standard input sweep around the given scales.
+func scaledInputs(flag string, scales ...float64) []Input {
+	ins := make([]Input, len(scales))
+	for i, s := range scales {
+		ins[i] = Input{Args: fmt.Sprintf("%s %g", flag, s), Scale: s}
+	}
+	return ins
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogSize(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("catalog has %d applications, Table II lists 20", len(all))
+	}
+	gpu := 0
+	ml := 0
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate application %s", a.Name)
+		}
+		seen[a.Name] = true
+		if a.GPUSupport {
+			gpu++
+		}
+		if a.MLStack {
+			ml++
+		}
+	}
+	if gpu != 11 {
+		t.Errorf("%d GPU-capable applications, paper says eleven", gpu)
+	}
+	if ml != 4 {
+		t.Errorf("%d ML-stack applications, want 4 (CANDLE, CosmoFlow, miniGAN, DeepCam)", ml)
+	}
+}
+
+func TestAllValidate(t *testing.T) {
+	for _, a := range All() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestMLAppsHaveStackNoise(t *testing.T) {
+	for _, a := range All() {
+		if a.MLStack && a.Sig.StackNoiseSigma < 0.1 {
+			t.Errorf("%s is ML-stack but StackNoiseSigma=%v; Fig. 5 needs noisy ML apps", a.Name, a.Sig.StackNoiseSigma)
+		}
+		if !a.MLStack && a.Sig.StackNoiseSigma > 0.05 {
+			t.Errorf("%s is not ML-stack but has large stack noise %v", a.Name, a.Sig.StackNoiseSigma)
+		}
+	}
+}
+
+func TestMLAppsAreFP32Heavy(t *testing.T) {
+	for _, a := range All() {
+		if a.MLStack && a.Sig.FP32Frac < a.Sig.FP64Frac {
+			t.Errorf("%s: ML app should be FP32-dominant", a.Name)
+		}
+	}
+}
+
+func TestSignatureCharacters(t *testing.T) {
+	// Spot-check that signatures encode the documented application
+	// characters the feature-importance analysis depends on.
+	xs, _ := ByName("XSBench")
+	comd, _ := ByName("CoMD")
+	if xs.Sig.BranchFrac <= comd.Sig.BranchFrac {
+		t.Error("XSBench should be branchier than CoMD")
+	}
+	if xs.Sig.L1MissRate <= comd.Sig.L1MissRate {
+		t.Error("XSBench should be cache-hostile relative to CoMD")
+	}
+	ember, _ := ByName("Ember")
+	if ember.Sig.CommFrac <= comd.Sig.CommFrac {
+		t.Error("Ember is a communication benchmark; CommFrac should dominate")
+	}
+	deepcam, _ := ByName("DeepCam")
+	if deepcam.Sig.IOReadBytes <= comd.Sig.IOReadBytes {
+		t.Error("DeepCam's input pipeline should dwarf CoMD's I/O")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("miniFE")
+	if err != nil || a.Name != "miniFE" {
+		t.Fatalf("ByName(miniFE) = %v, %v", a, err)
+	}
+	if _, err := ByName("LINPACK"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 20 || names[0] != "AMG" || names[19] != "XSBench" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestInputsHaveDistinctScales(t *testing.T) {
+	for _, a := range All() {
+		seen := map[float64]bool{}
+		for _, in := range a.Inputs {
+			if seen[in.Scale] {
+				t.Errorf("%s: duplicate input scale %v", a.Name, in.Scale)
+			}
+			seen[in.Scale] = true
+			if !strings.Contains(in.Args, " ") {
+				t.Errorf("%s: input %q does not look like a flag", a.Name, in.Args)
+			}
+		}
+	}
+}
+
+func TestSignatureValidateRejects(t *testing.T) {
+	bad := Signature{BranchFrac: 0.9, LoadFrac: 0.9, BaseInstructions: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("over-unity mix should fail")
+	}
+	bad2 := Signature{BranchFrac: -0.1, BaseInstructions: 1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	bad3 := Signature{BaseInstructions: 0}
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero work should fail")
+	}
+	bad4 := Signature{BaseInstructions: 1, IOReadBytes: -5}
+	if err := bad4.Validate(); err == nil {
+		t.Error("negative IO should fail")
+	}
+}
+
+func TestAppValidateRejects(t *testing.T) {
+	a := &App{Name: "", Sig: Signature{BaseInstructions: 1}}
+	if err := a.Validate(); err == nil {
+		t.Error("empty name should fail")
+	}
+	b := &App{Name: "x", Sig: Signature{BaseInstructions: 1}}
+	if err := b.Validate(); err == nil {
+		t.Error("no inputs should fail")
+	}
+	c := &App{Name: "x", Sig: Signature{BaseInstructions: 1}, Inputs: []Input{{Args: "-s 0", Scale: 0}}}
+	if err := c.Validate(); err == nil {
+		t.Error("zero-scale input should fail")
+	}
+	d := &App{Name: "x", GPUSupport: true, Sig: Signature{BaseInstructions: 1},
+		Inputs: []Input{{Args: "-s 1", Scale: 1}}}
+	if err := d.Validate(); err == nil {
+		t.Error("GPU support without offload fraction should fail")
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	a := AMG()
+	a.Sig.BranchFrac = 0.99
+	if AMG().Sig.BranchFrac == 0.99 {
+		t.Error("AMG() shares state between calls")
+	}
+}
+
+func TestTableIIDescriptions(t *testing.T) {
+	descs := map[string]string{
+		"AMG":      "Algebraic multigrid solver",
+		"XSBench":  "Monte Carlo neutronics simulations",
+		"SWFFT":    "Distributed-memory parallel 3D FFT",
+		"miniVite": "Graph community detection",
+	}
+	for name, want := range descs {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Description != want {
+			t.Errorf("%s description = %q, want %q", name, a.Description, want)
+		}
+	}
+}

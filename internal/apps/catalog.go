@@ -1,0 +1,379 @@
+package apps
+
+import "fmt"
+
+// The catalog below is the paper's Table II. Signature values are
+// hand-tuned to match each code's published computational character;
+// DESIGN.md documents this substitution. The paper states eleven of the
+// twenty applications have GPU support without an unambiguous list; the
+// eleven chosen here follow each project's documented GPU backends.
+
+// AMG is the algebraic multigrid solver proxy (hypre): memory-bound
+// sparse kernels with irregular access and moderate control flow.
+func AMG() *App {
+	return &App{
+		Name: "AMG", Description: "Algebraic multigrid solver", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.11, LoadFrac: 0.34, StoreFrac: 0.10,
+			FP32Frac: 0.00, FP64Frac: 0.22, IntFrac: 0.14,
+			L1MissRate: 0.14, L2MissRate: 0.45, BranchMissRate: 0.06,
+			BaseInstructions: 2.4e11, SerialFrac: 0.04, CommFrac: 0.06,
+			GPUParallelFrac: 0.80, GPUEfficiency: 0.45,
+			IOReadBytes: 2e8, IOWriteBytes: 5e8, MemFootprintMB: 4200,
+		},
+		Inputs: scaledInputs("-problem", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// CANDLE is the cancer deep-learning benchmark suite: FP32 dense
+// kernels under a heavyweight Python stack.
+func CANDLE() *App {
+	return &App{
+		Name: "CANDLE", Description: "Deep learning models for cancer studies",
+		GPUSupport: true, MLStack: true,
+		Sig: Signature{
+			BranchFrac: 0.05, LoadFrac: 0.28, StoreFrac: 0.12,
+			FP32Frac: 0.38, FP64Frac: 0.00, IntFrac: 0.10,
+			L1MissRate: 0.05, L2MissRate: 0.25, BranchMissRate: 0.02,
+			BaseInstructions: 6.5e11, SerialFrac: 0.08, CommFrac: 0.05,
+			GPUParallelFrac: 0.93, GPUEfficiency: 0.70,
+			IOReadBytes: 6e9, IOWriteBytes: 1e9, MemFootprintMB: 9000,
+			StackNoiseSigma: 0.11,
+		},
+		Inputs: scaledInputs("--epochs", 0.5, 1, 2, 4),
+	}
+}
+
+// CoMD is the classical molecular-dynamics proxy: compute-dense FP64
+// force loops with excellent locality. CPU-only in this study.
+func CoMD() *App {
+	return &App{
+		Name: "CoMD", Description: "Molecular dynamics and materials science algorithms",
+		Sig: Signature{
+			BranchFrac: 0.07, LoadFrac: 0.26, StoreFrac: 0.07,
+			FP32Frac: 0.00, FP64Frac: 0.38, IntFrac: 0.12,
+			L1MissRate: 0.03, L2MissRate: 0.20, BranchMissRate: 0.03,
+			BaseInstructions: 3.2e11, SerialFrac: 0.02, CommFrac: 0.04,
+			IOReadBytes: 1e7, IOWriteBytes: 2e8, MemFootprintMB: 1800,
+		},
+		Inputs: scaledInputs("-N", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// CosmoFlow is the 3D CNN for cosmology: FP32 convolutions, large I/O
+// input pipeline, Python/TensorFlow stack.
+func CosmoFlow() *App {
+	return &App{
+		Name: "CosmoFlow", Description: "3D convolutional neural network for astrophysical studies",
+		GPUSupport: true, MLStack: true,
+		Sig: Signature{
+			BranchFrac: 0.04, LoadFrac: 0.30, StoreFrac: 0.13,
+			FP32Frac: 0.36, FP64Frac: 0.00, IntFrac: 0.09,
+			L1MissRate: 0.06, L2MissRate: 0.30, BranchMissRate: 0.02,
+			BaseInstructions: 8.0e11, SerialFrac: 0.10, CommFrac: 0.07,
+			GPUParallelFrac: 0.92, GPUEfficiency: 0.65,
+			IOReadBytes: 2.5e10, IOWriteBytes: 8e8, MemFootprintMB: 12000,
+			StackNoiseSigma: 0.12,
+		},
+		Inputs: scaledInputs("--samples", 0.5, 1, 2, 4),
+	}
+}
+
+// CRADL is the multiphysics ALE hydrodynamics proxy: mixed FP64 stencil
+// and remap phases with significant branching.
+func CRADL() *App {
+	return &App{
+		Name: "CRADL", Description: "Multiphysics and ALE hydrodynamics", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.13, LoadFrac: 0.30, StoreFrac: 0.11,
+			FP32Frac: 0.02, FP64Frac: 0.24, IntFrac: 0.11,
+			L1MissRate: 0.09, L2MissRate: 0.38, BranchMissRate: 0.07,
+			BaseInstructions: 4.5e11, SerialFrac: 0.05, CommFrac: 0.08,
+			GPUParallelFrac: 0.72, GPUEfficiency: 0.40,
+			IOReadBytes: 1e9, IOWriteBytes: 4e9, MemFootprintMB: 6000,
+		},
+		Inputs: scaledInputs("--zones", 0.5, 1, 2, 4),
+	}
+}
+
+// Ember captures communication patterns (halo/sweep motifs): almost all
+// time in MPI, minimal math. CPU-only.
+func Ember() *App {
+	return &App{
+		Name: "Ember", Description: "Communication patterns",
+		Sig: Signature{
+			BranchFrac: 0.15, LoadFrac: 0.25, StoreFrac: 0.10,
+			FP32Frac: 0.00, FP64Frac: 0.04, IntFrac: 0.26,
+			L1MissRate: 0.07, L2MissRate: 0.30, BranchMissRate: 0.05,
+			BaseInstructions: 6.0e10, SerialFrac: 0.03, CommFrac: 0.30,
+			IOReadBytes: 1e6, IOWriteBytes: 1e7, MemFootprintMB: 600,
+		},
+		Inputs: scaledInputs("-iters", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// ExaMiniMD is the Kokkos molecular-dynamics miniapp: CoMD-like kernels
+// with a portable GPU backend.
+func ExaMiniMD() *App {
+	return &App{
+		Name: "ExaMiniMD", Description: "Molecular dynamics simulations", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.08, LoadFrac: 0.27, StoreFrac: 0.08,
+			FP32Frac: 0.00, FP64Frac: 0.35, IntFrac: 0.12,
+			L1MissRate: 0.04, L2MissRate: 0.22, BranchMissRate: 0.03,
+			BaseInstructions: 3.6e11, SerialFrac: 0.02, CommFrac: 0.05,
+			GPUParallelFrac: 0.88, GPUEfficiency: 0.62,
+			IOReadBytes: 1e7, IOWriteBytes: 2e8, MemFootprintMB: 2200,
+		},
+		Inputs: scaledInputs("-n", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// Laghos is the high-order FEM compressible-gas-dynamics proxy: dense
+// small-matrix FP64 kernels, RAJA/CUDA backends.
+func Laghos() *App {
+	return &App{
+		Name: "Laghos", Description: "FEM for compressible gas dynamics", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.09, LoadFrac: 0.29, StoreFrac: 0.09,
+			FP32Frac: 0.00, FP64Frac: 0.30, IntFrac: 0.11,
+			L1MissRate: 0.06, L2MissRate: 0.28, BranchMissRate: 0.04,
+			BaseInstructions: 5.2e11, SerialFrac: 0.03, CommFrac: 0.06,
+			GPUParallelFrac: 0.84, GPUEfficiency: 0.55,
+			IOReadBytes: 3e8, IOWriteBytes: 1e9, MemFootprintMB: 3800,
+		},
+		Inputs: scaledInputs("-rs", 0.5, 1, 2, 4),
+	}
+}
+
+// MiniFE is the unstructured implicit FEM proxy: sparse CG solve,
+// memory-bandwidth bound.
+func MiniFE() *App {
+	return &App{
+		Name: "miniFE", Description: "Unstructured implicit FEM codes", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.08, LoadFrac: 0.36, StoreFrac: 0.10,
+			FP32Frac: 0.00, FP64Frac: 0.24, IntFrac: 0.12,
+			L1MissRate: 0.16, L2MissRate: 0.50, BranchMissRate: 0.04,
+			BaseInstructions: 2.8e11, SerialFrac: 0.03, CommFrac: 0.07,
+			GPUParallelFrac: 0.86, GPUEfficiency: 0.50,
+			IOReadBytes: 1e7, IOWriteBytes: 3e8, MemFootprintMB: 5200,
+		},
+		Inputs: scaledInputs("-nx", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// MiniGAN is the generative-adversarial-network training proxy: FP32
+// dense kernels, PyTorch stack.
+func MiniGAN() *App {
+	return &App{
+		Name: "miniGAN", Description: "Generative Adversarial Neural Network training",
+		GPUSupport: true, MLStack: true,
+		Sig: Signature{
+			BranchFrac: 0.05, LoadFrac: 0.29, StoreFrac: 0.13,
+			FP32Frac: 0.35, FP64Frac: 0.00, IntFrac: 0.10,
+			L1MissRate: 0.05, L2MissRate: 0.26, BranchMissRate: 0.02,
+			BaseInstructions: 5.5e11, SerialFrac: 0.09, CommFrac: 0.06,
+			GPUParallelFrac: 0.91, GPUEfficiency: 0.68,
+			IOReadBytes: 4e9, IOWriteBytes: 1.5e9, MemFootprintMB: 8000,
+			StackNoiseSigma: 0.10,
+		},
+		Inputs: scaledInputs("--epochs", 0.5, 1, 2, 4),
+	}
+}
+
+// MiniQMC is the real-space quantum Monte Carlo proxy: B-spline
+// evaluation with random access, mixed precision. CPU-only here.
+func MiniQMC() *App {
+	return &App{
+		Name: "miniQMC", Description: "Real space quantum Monte Carlo",
+		Sig: Signature{
+			BranchFrac: 0.10, LoadFrac: 0.31, StoreFrac: 0.08,
+			FP32Frac: 0.12, FP64Frac: 0.18, IntFrac: 0.12,
+			L1MissRate: 0.11, L2MissRate: 0.42, BranchMissRate: 0.08,
+			BaseInstructions: 3.0e11, SerialFrac: 0.04, CommFrac: 0.03,
+			IOReadBytes: 5e8, IOWriteBytes: 2e8, MemFootprintMB: 3500,
+		},
+		Inputs: scaledInputs("-w", 0.5, 1, 2, 4),
+	}
+}
+
+// MiniTri is the triangle-counting / Monte Carlo graph proxy: integer
+// and branch heavy, cache hostile. CPU-only.
+func MiniTri() *App {
+	return &App{
+		Name: "miniTri", Description: "Monte Carlo algorithms",
+		Sig: Signature{
+			BranchFrac: 0.19, LoadFrac: 0.33, StoreFrac: 0.06,
+			FP32Frac: 0.00, FP64Frac: 0.02, IntFrac: 0.26,
+			L1MissRate: 0.22, L2MissRate: 0.60, BranchMissRate: 0.13,
+			BaseInstructions: 1.8e11, SerialFrac: 0.06, CommFrac: 0.05,
+			IOReadBytes: 2e9, IOWriteBytes: 1e8, MemFootprintMB: 4800,
+		},
+		Inputs: scaledInputs("--graph", 0.5, 1, 2, 4),
+	}
+}
+
+// MiniVite is the Louvain community-detection proxy: irregular graph
+// traversal, branch heavy. CPU-only.
+func MiniVite() *App {
+	return &App{
+		Name: "miniVite", Description: "Graph community detection",
+		Sig: Signature{
+			BranchFrac: 0.18, LoadFrac: 0.34, StoreFrac: 0.07,
+			FP32Frac: 0.00, FP64Frac: 0.06, IntFrac: 0.22,
+			L1MissRate: 0.20, L2MissRate: 0.58, BranchMissRate: 0.12,
+			BaseInstructions: 2.2e11, SerialFrac: 0.07, CommFrac: 0.09,
+			IOReadBytes: 3e9, IOWriteBytes: 2e8, MemFootprintMB: 5600,
+		},
+		Inputs: scaledInputs("-n", 0.5, 1, 2, 4),
+	}
+}
+
+// DeepCam is the climate-segmentation deep-learning benchmark: FP32
+// convolutions with a huge input pipeline and Python stack.
+func DeepCam() *App {
+	return &App{
+		Name: "DeepCam", Description: "Climate segmentation benchmark",
+		GPUSupport: true, MLStack: true,
+		Sig: Signature{
+			BranchFrac: 0.04, LoadFrac: 0.31, StoreFrac: 0.13,
+			FP32Frac: 0.37, FP64Frac: 0.00, IntFrac: 0.08,
+			L1MissRate: 0.06, L2MissRate: 0.28, BranchMissRate: 0.02,
+			BaseInstructions: 9.0e11, SerialFrac: 0.11, CommFrac: 0.08,
+			GPUParallelFrac: 0.94, GPUEfficiency: 0.72,
+			IOReadBytes: 4e10, IOWriteBytes: 1e9, MemFootprintMB: 14000,
+			StackNoiseSigma: 0.13,
+		},
+		Inputs: scaledInputs("--batches", 0.5, 1, 2),
+	}
+}
+
+// Nekbone is the spectral-element Navier-Stokes proxy: dense
+// small-tensor FP64 contractions, CG solve. CPU-only here.
+func Nekbone() *App {
+	return &App{
+		Name: "Nekbone", Description: "Navier-Stokes solver",
+		Sig: Signature{
+			BranchFrac: 0.06, LoadFrac: 0.30, StoreFrac: 0.08,
+			FP32Frac: 0.00, FP64Frac: 0.34, IntFrac: 0.10,
+			L1MissRate: 0.05, L2MissRate: 0.24, BranchMissRate: 0.03,
+			BaseInstructions: 4.0e11, SerialFrac: 0.02, CommFrac: 0.07,
+			IOReadBytes: 1e7, IOWriteBytes: 1e8, MemFootprintMB: 2600,
+		},
+		Inputs: scaledInputs("-elems", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// PICSARLite is the particle-in-cell proxy: particle push (compute) plus
+// scatter/gather (memory, branchy). CPU-only here.
+func PICSARLite() *App {
+	return &App{
+		Name: "PICSARLite", Description: "Particle-in-Cell simulation",
+		Sig: Signature{
+			BranchFrac: 0.12, LoadFrac: 0.31, StoreFrac: 0.12,
+			FP32Frac: 0.00, FP64Frac: 0.22, IntFrac: 0.12,
+			L1MissRate: 0.12, L2MissRate: 0.40, BranchMissRate: 0.07,
+			BaseInstructions: 3.8e11, SerialFrac: 0.04, CommFrac: 0.08,
+			IOReadBytes: 2e8, IOWriteBytes: 2e9, MemFootprintMB: 5000,
+		},
+		Inputs: scaledInputs("--particles", 0.5, 1, 2, 4),
+	}
+}
+
+// SW4lite is the seismic-wave stencil proxy: regular FP64 stencils,
+// bandwidth bound, RAJA/CUDA backends.
+func SW4lite() *App {
+	return &App{
+		Name: "SW4lite", Description: "Seismic wave simulation", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.06, LoadFrac: 0.33, StoreFrac: 0.11,
+			FP32Frac: 0.00, FP64Frac: 0.28, IntFrac: 0.10,
+			L1MissRate: 0.10, L2MissRate: 0.35, BranchMissRate: 0.02,
+			BaseInstructions: 5.0e11, SerialFrac: 0.02, CommFrac: 0.06,
+			GPUParallelFrac: 0.90, GPUEfficiency: 0.60,
+			IOReadBytes: 5e8, IOWriteBytes: 3e9, MemFootprintMB: 7000,
+		},
+		Inputs: scaledInputs("-grid", 0.5, 1, 2, 4),
+	}
+}
+
+// SWFFT is the distributed 3D FFT proxy: all-to-all dominated with
+// compute-light butterflies. CPU-only here.
+func SWFFT() *App {
+	return &App{
+		Name: "SWFFT", Description: "Distributed-memory parallel 3D FFT",
+		Sig: Signature{
+			BranchFrac: 0.07, LoadFrac: 0.32, StoreFrac: 0.13,
+			FP32Frac: 0.00, FP64Frac: 0.20, IntFrac: 0.14,
+			L1MissRate: 0.13, L2MissRate: 0.44, BranchMissRate: 0.04,
+			BaseInstructions: 2.6e11, SerialFrac: 0.03, CommFrac: 0.22,
+			IOReadBytes: 1e7, IOWriteBytes: 1e8, MemFootprintMB: 6500,
+		},
+		Inputs: scaledInputs("-ngx", 0.5, 1, 2, 4),
+	}
+}
+
+// ThornadoMini is the radiative-transfer moment solver: dense FP64
+// linear algebra per zone. CPU-only here.
+func ThornadoMini() *App {
+	return &App{
+		Name: "Thornado-mini", Description: "Radiative transfer solver in multi-group, two-moment estimations",
+		Sig: Signature{
+			BranchFrac: 0.07, LoadFrac: 0.28, StoreFrac: 0.09,
+			FP32Frac: 0.00, FP64Frac: 0.33, IntFrac: 0.11,
+			L1MissRate: 0.06, L2MissRate: 0.26, BranchMissRate: 0.03,
+			BaseInstructions: 4.4e11, SerialFrac: 0.05, CommFrac: 0.05,
+			IOReadBytes: 4e8, IOWriteBytes: 2e9, MemFootprintMB: 4400,
+		},
+		Inputs: scaledInputs("--zones", 0.5, 1, 2, 4),
+	}
+}
+
+// XSBench is the Monte Carlo neutronics macroscopic-cross-section
+// lookup kernel: random table lookups, branch and cache hostile, but
+// embarrassingly parallel (it has an OpenMP-offload GPU port).
+func XSBench() *App {
+	return &App{
+		Name: "XSBench", Description: "Monte Carlo neutronics simulations", GPUSupport: true,
+		Sig: Signature{
+			BranchFrac: 0.17, LoadFrac: 0.36, StoreFrac: 0.04,
+			FP32Frac: 0.00, FP64Frac: 0.10, IntFrac: 0.22,
+			L1MissRate: 0.30, L2MissRate: 0.70, BranchMissRate: 0.11,
+			BaseInstructions: 2.0e11, SerialFrac: 0.01, CommFrac: 0.02,
+			GPUParallelFrac: 0.95, GPUEfficiency: 0.30,
+			IOReadBytes: 8e8, IOWriteBytes: 5e7, MemFootprintMB: 5800,
+		},
+		Inputs: scaledInputs("-l", 0.5, 1, 2, 4, 8),
+	}
+}
+
+// All returns the twenty Table II applications in table order.
+func All() []*App {
+	return []*App{
+		AMG(), CANDLE(), CoMD(), CosmoFlow(), CRADL(),
+		Ember(), ExaMiniMD(), Laghos(), MiniFE(), MiniGAN(),
+		MiniQMC(), MiniTri(), MiniVite(), DeepCam(), Nekbone(),
+		PICSARLite(), SW4lite(), SWFFT(), ThornadoMini(), XSBench(),
+	}
+}
+
+// ByName returns the named application or an error.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Names returns all application names in table order.
+func Names() []string {
+	as := All()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,60 @@
+package apps
+
+import "crossarch/internal/stats"
+
+// Jittered returns a copy of the application whose behaviour signature
+// is perturbed by multiplicative log-normal noise with the given
+// log-space sigma. Each dataset trial runs a jittered instance: real
+// campaigns never execute the exact same dynamic instruction mix twice
+// (different random seeds, mesh partitions, and iteration counts shift
+// the branch, memory, and floating-point profile run to run). The
+// jitter flows through both the runtime model and the counter
+// simulation, so the perturbed behaviour stays self-consistent — and
+// the intensity features carry unique causal signal about each run
+// rather than merely identifying the application.
+func (a *App) Jittered(rng *stats.RNG, sigma float64) *App {
+	out := *a
+	sig := a.Sig
+
+	perturb := func(v float64) float64 {
+		if v == 0 {
+			return 0
+		}
+		p := v * rng.NoiseFactor(sigma)
+		if p > 1 {
+			p = 1
+		}
+		return p
+	}
+
+	// Only counter-observable behaviour is jittered: the instruction
+	// mix and the cache miss rates leave direct traces in the profiled
+	// counters, so the model can account for their run-to-run movement.
+	// Unobservable knobs (offload fraction, communication intensity,
+	// branch predictability) stay fixed — perturbing them would inject
+	// irreducible target noise with no corresponding feature signal.
+	sig.BranchFrac = perturb(sig.BranchFrac)
+	sig.LoadFrac = perturb(sig.LoadFrac)
+	sig.StoreFrac = perturb(sig.StoreFrac)
+	sig.FP32Frac = perturb(sig.FP32Frac)
+	sig.FP64Frac = perturb(sig.FP64Frac)
+	sig.IntFrac = perturb(sig.IntFrac)
+	sig.L1MissRate = perturb(sig.L1MissRate)
+	sig.L2MissRate = perturb(sig.L2MissRate)
+
+	// Keep the instruction mix a valid distribution: renormalize if the
+	// perturbation pushed the total past 1.
+	mix := sig.BranchFrac + sig.LoadFrac + sig.StoreFrac + sig.FP32Frac + sig.FP64Frac + sig.IntFrac
+	if mix > 1 {
+		inv := 1 / mix
+		sig.BranchFrac *= inv
+		sig.LoadFrac *= inv
+		sig.StoreFrac *= inv
+		sig.FP32Frac *= inv
+		sig.FP64Frac *= inv
+		sig.IntFrac *= inv
+	}
+
+	out.Sig = sig
+	return &out
+}

@@ -1,0 +1,250 @@
+// Package arch models the four HPC systems of the paper's Table I:
+// Quartz and Ruby (Intel Xeon, CPU-only) and Lassen (IBM Power9 +
+// NVIDIA V100) and Corona (AMD Rome + AMD MI50). The published table
+// provides cores/node, clock rate, and GPU configuration; the remaining
+// microarchitectural parameters (IPC, cache sizes, memory bandwidth,
+// interconnect) are filled in from public spec sheets and drive the
+// analytic runtime model in internal/perfmodel.
+//
+// These machine models substitute for the physical systems the paper
+// profiled (see DESIGN.md §1): the ML task only needs runtimes whose
+// cross-architecture structure reflects application/hardware
+// interaction, which these parameterized models produce.
+package arch
+
+import "fmt"
+
+// GPU describes one accelerator model.
+type GPU struct {
+	// Model is the marketing name, e.g. "NVIDIA V100".
+	Model string
+	// PerNode is the accelerator count per node.
+	PerNode int
+	// PeakFP64TFLOPS is double-precision throughput per GPU.
+	PeakFP64TFLOPS float64
+	// PeakFP32TFLOPS is single-precision throughput per GPU.
+	PeakFP32TFLOPS float64
+	// MemBWGBs is HBM bandwidth per GPU in GB/s.
+	MemBWGBs float64
+	// DivergencePenalty scales how strongly branchy control flow
+	// degrades throughput on this GPU (SIMT divergence).
+	DivergencePenalty float64
+	// KernelLaunchUs is the per-kernel launch overhead in microseconds.
+	KernelLaunchUs float64
+	// CounterNoiseSigma is the log-normal sigma of this GPU stack's
+	// profiled counters. The paper observes that GPU counters —
+	// particularly AMD's, newly supported in HPCToolkit — are less
+	// reliable than mature CPU counters; that maturity gap lives here.
+	CounterNoiseSigma float64
+}
+
+// Machine describes one system of Table I plus the derived parameters
+// the runtime model needs.
+type Machine struct {
+	// Name is the system name used throughout the dataset ("Quartz",
+	// "Ruby", "Lassen", "Corona").
+	Name string
+	// CPUType matches the Table I CPU column.
+	CPUType string
+	// CoresPerNode and ClockGHz are the published Table I values.
+	CoresPerNode int
+	ClockGHz     float64
+	// BaseIPC is sustained instructions/cycle per core on
+	// cache-friendly code.
+	BaseIPC float64
+	// MemBWGBs is per-node main-memory bandwidth (shared by all cores).
+	MemBWGBs float64
+	// L1KB and L2KB are per-core cache sizes; L3MBPerNode is shared.
+	L1KB, L2KB  int
+	L3MBPerNode float64
+	// MemLatencyNs is the main-memory load-to-use latency.
+	MemLatencyNs float64
+	// BranchMissPenaltyCycles is the pipeline refill cost of a
+	// mispredicted branch.
+	BranchMissPenaltyCycles float64
+	// NetLatencyUs / NetBWGBs parameterize the interconnect (alpha-beta).
+	NetLatencyUs float64
+	NetBWGBs     float64
+	// IOBWGBs is the per-node parallel-filesystem bandwidth.
+	IOBWGBs float64
+	// Nodes is the cluster size, used by the scheduling simulation.
+	Nodes int
+	// GPU is nil on CPU-only systems.
+	GPU *GPU
+	// CounterNoiseSigma is the log-normal sigma of CPU-side profiled
+	// counters on this system (mature PAPI stacks are low-noise).
+	CounterNoiseSigma float64
+}
+
+// HasGPU reports whether the machine has accelerators.
+func (m *Machine) HasGPU() bool { return m.GPU != nil }
+
+// PeakNodeGFLOPS estimates per-node double-precision CPU throughput in
+// GFLOP/s (cores x clock x IPC x 2 for FMA).
+func (m *Machine) PeakNodeGFLOPS() float64 {
+	return float64(m.CoresPerNode) * m.ClockGHz * m.BaseIPC * 2
+}
+
+// String summarizes the machine on one line.
+func (m *Machine) String() string {
+	if m.HasGPU() {
+		return fmt.Sprintf("%s: %s, %d cores @ %.1f GHz, %dx %s",
+			m.Name, m.CPUType, m.CoresPerNode, m.ClockGHz, m.GPU.PerNode, m.GPU.Model)
+	}
+	return fmt.Sprintf("%s: %s, %d cores @ %.1f GHz", m.Name, m.CPUType, m.CoresPerNode, m.ClockGHz)
+}
+
+// Quartz returns the Quartz model: Intel Xeon E5-2695 v4 (Broadwell),
+// 36 cores/node at 2.1 GHz, CPU-only (Table I row 1).
+func Quartz() *Machine {
+	return &Machine{
+		Name:                    "Quartz",
+		CPUType:                 "Intel Xeon E5-2695 v4",
+		CoresPerNode:            36,
+		ClockGHz:                2.1,
+		BaseIPC:                 2.0,
+		MemBWGBs:                130,
+		L1KB:                    32,
+		L2KB:                    256,
+		L3MBPerNode:             90,
+		MemLatencyNs:            85,
+		BranchMissPenaltyCycles: 16,
+		NetLatencyUs:            1.5,
+		NetBWGBs:                12, // Omni-Path 100 Gb/s
+		IOBWGBs:                 2.0,
+		Nodes:                   2688,
+		CounterNoiseSigma:       0.02,
+	}
+}
+
+// Ruby returns the Ruby model: Intel Xeon CLX-8276 (Cascade Lake),
+// 56 cores/node at 2.2 GHz, CPU-only (Table I row 2).
+func Ruby() *Machine {
+	return &Machine{
+		Name:                    "Ruby",
+		CPUType:                 "Intel Xeon CLX-8276",
+		CoresPerNode:            56,
+		ClockGHz:                2.2,
+		BaseIPC:                 2.4,
+		MemBWGBs:                280,
+		L1KB:                    32,
+		L2KB:                    1024,
+		L3MBPerNode:             77,
+		MemLatencyNs:            80,
+		BranchMissPenaltyCycles: 17,
+		NetLatencyUs:            1.4,
+		NetBWGBs:                12,
+		IOBWGBs:                 2.5,
+		Nodes:                   1512,
+		CounterNoiseSigma:       0.02,
+	}
+}
+
+// Lassen returns the Lassen model: IBM Power9, 44 cores/node at 3.5 GHz
+// with 4 NVIDIA V100 GPUs per node (Table I row 3).
+func Lassen() *Machine {
+	return &Machine{
+		Name:                    "Lassen",
+		CPUType:                 "IBM Power9",
+		CoresPerNode:            44,
+		ClockGHz:                3.5,
+		BaseIPC:                 1.8,
+		MemBWGBs:                340,
+		L1KB:                    32,
+		L2KB:                    512,
+		L3MBPerNode:             120,
+		MemLatencyNs:            90,
+		BranchMissPenaltyCycles: 13,
+		NetLatencyUs:            1.0,
+		NetBWGBs:                25, // dual-rail EDR InfiniBand
+		IOBWGBs:                 3.0,
+		Nodes:                   795,
+		CounterNoiseSigma:       0.03,
+		GPU: &GPU{
+			Model:             "NVIDIA V100",
+			PerNode:           4,
+			PeakFP64TFLOPS:    7.8,
+			PeakFP32TFLOPS:    15.7,
+			MemBWGBs:          900,
+			DivergencePenalty: 12.0,
+			KernelLaunchUs:    8,
+			CounterNoiseSigma: 0.10, // CUPTI: newer than PAPI, noisier
+		},
+	}
+}
+
+// Corona returns the Corona model: AMD Rome, 48 cores/node at 2.8 GHz
+// with 8 AMD MI50 GPUs per node (Table I row 4).
+func Corona() *Machine {
+	return &Machine{
+		Name:                    "Corona",
+		CPUType:                 "AMD Rome",
+		CoresPerNode:            48,
+		ClockGHz:                2.8,
+		BaseIPC:                 2.2,
+		MemBWGBs:                380,
+		L1KB:                    32,
+		L2KB:                    512,
+		L3MBPerNode:             256,
+		MemLatencyNs:            95,
+		BranchMissPenaltyCycles: 18,
+		NetLatencyUs:            1.2,
+		NetBWGBs:                12,
+		IOBWGBs:                 2.0,
+		Nodes:                   121,
+		CounterNoiseSigma:       0.03,
+		GPU: &GPU{
+			Model:             "AMD MI50",
+			PerNode:           8,
+			PeakFP64TFLOPS:    6.6,
+			PeakFP32TFLOPS:    13.3,
+			MemBWGBs:          1024,
+			DivergencePenalty: 15.0,
+			KernelLaunchUs:    12,
+			// rocprofiler support was brand new in HPCToolkit when the
+			// paper was written; the noisiest counter source of the four.
+			CounterNoiseSigma: 0.16,
+		},
+	}
+}
+
+// All returns the four Table I systems in the paper's canonical order:
+// Quartz, Ruby, Lassen, Corona. This order defines the RPV component
+// indexing and the one-hot architecture encoding everywhere else.
+func All() []*Machine {
+	return []*Machine{Quartz(), Ruby(), Lassen(), Corona()}
+}
+
+// Names returns the system names in canonical order.
+func Names() []string {
+	ms := All()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ByName returns the machine with the given name, or an error listing
+// the valid names.
+func ByName(name string) (*Machine, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown system %q (valid: %v)", name, Names())
+}
+
+// Index returns the canonical RPV index of the named system, or -1.
+func Index(name string) int {
+	for i, n := range Names() {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumSystems is the number of architectures in the study.
+const NumSystems = 4

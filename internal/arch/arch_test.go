@@ -1,0 +1,129 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIValues(t *testing.T) {
+	// The published Table I numbers must be encoded exactly.
+	cases := []struct {
+		name    string
+		cpu     string
+		cores   int
+		clock   float64
+		gpus    int
+		gpuName string
+	}{
+		{"Quartz", "Intel Xeon E5-2695 v4", 36, 2.1, 0, ""},
+		{"Ruby", "Intel Xeon CLX-8276", 56, 2.2, 0, ""},
+		{"Lassen", "IBM Power9", 44, 3.5, 4, "NVIDIA V100"},
+		{"Corona", "AMD Rome", 48, 2.8, 8, "AMD MI50"},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CPUType != c.cpu {
+			t.Errorf("%s CPU = %q, want %q", c.name, m.CPUType, c.cpu)
+		}
+		if m.CoresPerNode != c.cores {
+			t.Errorf("%s cores = %d, want %d", c.name, m.CoresPerNode, c.cores)
+		}
+		if m.ClockGHz != c.clock {
+			t.Errorf("%s clock = %v, want %v", c.name, m.ClockGHz, c.clock)
+		}
+		if c.gpus == 0 {
+			if m.HasGPU() {
+				t.Errorf("%s should be CPU-only", c.name)
+			}
+		} else {
+			if !m.HasGPU() || m.GPU.PerNode != c.gpus || m.GPU.Model != c.gpuName {
+				t.Errorf("%s GPU config wrong: %+v", c.name, m.GPU)
+			}
+		}
+	}
+}
+
+func TestAllOrderAndCount(t *testing.T) {
+	ms := All()
+	if len(ms) != NumSystems {
+		t.Fatalf("len(All()) = %d, want %d", len(ms), NumSystems)
+	}
+	want := []string{"Quartz", "Ruby", "Lassen", "Corona"}
+	for i, m := range ms {
+		if m.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, m.Name, want[i])
+		}
+		if Index(m.Name) != i {
+			t.Errorf("Index(%s) = %d, want %d", m.Name, Index(m.Name), i)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Sierra"); err == nil {
+		t.Error("unknown system should error")
+	}
+	if Index("Sierra") != -1 {
+		t.Error("Index of unknown should be -1")
+	}
+}
+
+func TestMachinesArePhysicallyPlausible(t *testing.T) {
+	for _, m := range All() {
+		if m.BaseIPC <= 0 || m.MemBWGBs <= 0 || m.MemLatencyNs <= 0 ||
+			m.NetBWGBs <= 0 || m.IOBWGBs <= 0 || m.Nodes <= 0 {
+			t.Errorf("%s has non-positive parameter: %+v", m.Name, m)
+		}
+		if m.CounterNoiseSigma <= 0 || m.CounterNoiseSigma > 0.5 {
+			t.Errorf("%s CPU counter noise %v implausible", m.Name, m.CounterNoiseSigma)
+		}
+		if m.HasGPU() {
+			g := m.GPU
+			if g.PeakFP32TFLOPS < g.PeakFP64TFLOPS {
+				t.Errorf("%s GPU FP32 peak below FP64", m.Name)
+			}
+			if g.CounterNoiseSigma <= m.CounterNoiseSigma {
+				t.Errorf("%s GPU counters should be noisier than CPU counters (paper Fig. 3 hypothesis)", m.Name)
+			}
+		}
+	}
+}
+
+func TestGPUCounterNoiseOrdering(t *testing.T) {
+	// rocprofiler (Corona) was newer than CUPTI (Lassen) at paper time.
+	lassen, corona := Lassen(), Corona()
+	if corona.GPU.CounterNoiseSigma <= lassen.GPU.CounterNoiseSigma {
+		t.Error("Corona GPU counters should be noisier than Lassen's")
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	// Each call must return an independent machine; mutating one must
+	// not leak into later calls.
+	a := Quartz()
+	a.CoresPerNode = 1
+	if Quartz().CoresPerNode != 36 {
+		t.Error("Quartz() shares state between calls")
+	}
+}
+
+func TestStringAndPeak(t *testing.T) {
+	q := Quartz()
+	if !strings.Contains(q.String(), "Quartz") {
+		t.Error("String missing name")
+	}
+	l := Lassen()
+	if !strings.Contains(l.String(), "V100") {
+		t.Error("GPU machine String missing GPU")
+	}
+	if q.PeakNodeGFLOPS() <= 0 {
+		t.Error("non-positive peak")
+	}
+	// Ruby has more, faster, wider cores than Quartz.
+	if Ruby().PeakNodeGFLOPS() <= q.PeakNodeGFLOPS() {
+		t.Error("Ruby should out-flop Quartz")
+	}
+}

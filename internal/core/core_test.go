@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/dataset"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/rpv"
+	"crossarch/internal/stats"
+)
+
+// testDataset builds a reduced but learnable dataset once per test run.
+var cachedDS *dataset.Dataset
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if cachedDS != nil {
+		return cachedDS
+	}
+	ds, err := dataset.Build(dataset.Params{
+		Apps: []*apps.App{
+			apps.CoMD(), apps.SW4lite(), apps.XSBench(), apps.CANDLE(), apps.MiniFE(),
+		},
+		Trials: 4,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedDS = ds
+	return ds
+}
+
+func TestStandardModels(t *testing.T) {
+	models := StandardModels(1)
+	if len(models) != 4 {
+		t.Fatalf("StandardModels = %d models", len(models))
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		names[m.Name()] = true
+	}
+	for _, want := range ModelOrder {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+	if len(StandardFactories(1)) != 4 {
+		t.Error("StandardFactories should have 4 entries")
+	}
+}
+
+func TestTrainEvalShape(t *testing.T) {
+	ds := testDataset(t)
+	ev, err := TrainEval(ds, DefaultMean(), 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.N != ds.NumRows()/5 {
+		t.Errorf("test rows = %d, want %d", ev.N, ds.NumRows()/5)
+	}
+	if ev.MAE <= 0 {
+		t.Error("mean model should have positive MAE")
+	}
+}
+
+func TestCompareModelsOrdering(t *testing.T) {
+	ds := testDataset(t)
+	evals, err := CompareModels(ds, StandardFactories(5), DefaultTestFraction, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 2 shape: xgboost and forest far better than
+	// mean; linear in between; xgboost at least 3x better than mean.
+	xgb, mean, lin, forest := evals["xgboost"], evals["mean"], evals["linear"], evals["decision forest"]
+	if xgb.MAE >= mean.MAE/3 {
+		t.Errorf("xgboost MAE %v not >> mean %v", xgb.MAE, mean.MAE)
+	}
+	if lin.MAE >= mean.MAE {
+		t.Errorf("linear MAE %v >= mean %v", lin.MAE, mean.MAE)
+	}
+	if xgb.MAE >= lin.MAE {
+		t.Errorf("xgboost MAE %v >= linear %v", xgb.MAE, lin.MAE)
+	}
+	if forest.MAE >= lin.MAE {
+		t.Errorf("forest MAE %v >= linear %v", forest.MAE, lin.MAE)
+	}
+	if xgb.SOS <= mean.SOS {
+		t.Errorf("xgboost SOS %v <= mean %v", xgb.SOS, mean.SOS)
+	}
+}
+
+func TestTrainPredictorAndPredictProfile(t *testing.T) {
+	ds := testDataset(t)
+	pred, ev, err := TrainPredictor(ds, DefaultXGBoost(9), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MAE > 0.5 {
+		t.Errorf("predictor eval MAE = %v, model not learning", ev.MAE)
+	}
+
+	// Predict for a profile of a known app and compare against the
+	// analytic ground truth.
+	a := apps.SW4lite()
+	m, _ := arch.ByName("Quartz")
+	var p profiler.Profiler
+	prof, err := p.Run(a, a.Inputs[1], m, perfmodel.OneNode, stats.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pred.PredictProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != arch.NumSystems {
+		t.Fatalf("prediction length = %d", len(got))
+	}
+
+	var mod perfmodel.Model
+	times := make([]float64, arch.NumSystems)
+	for i, machine := range arch.All() {
+		times[i] = mod.Runtime(a, a.Inputs[1], machine, perfmodel.OneNode).TotalSec
+	}
+	truth, err := rpv.FromTimes(times, arch.Index("Quartz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range truth {
+		if math.Abs(got[k]-truth[k]) > 0.5*truth[k]+0.2 {
+			t.Errorf("component %d: predicted %v, truth %v", k, got[k], truth[k])
+		}
+	}
+	// The GPU systems must be predicted faster than Quartz for this
+	// GPU-friendly stencil code.
+	if got[arch.Index("Lassen")] >= 1 || got[arch.Index("Corona")] >= 1 {
+		t.Errorf("GPU systems should beat Quartz for SW4lite: %v", got)
+	}
+}
+
+func TestPredictFeaturesMissingFeature(t *testing.T) {
+	ds := testDataset(t)
+	pred, _, err := TrainPredictor(ds, DefaultMean(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.PredictFeatures(map[string]float64{"branch_intensity": 0.1}); err == nil {
+		t.Error("incomplete feature map should error")
+	}
+}
+
+func TestPredictorPersistence(t *testing.T) {
+	ds := testDataset(t)
+	pred, _, err := TrainPredictor(ds, DefaultXGBoost(21), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model.Name() != "xgboost" {
+		t.Fatalf("loaded model = %s", back.Model.Name())
+	}
+
+	a := apps.CoMD()
+	m, _ := arch.ByName("Ruby")
+	var p profiler.Profiler
+	prof, err := p.Run(a, a.Inputs[0], m, perfmodel.OneCore, stats.NewRNG(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := pred.PredictProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := back.PredictProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range v1 {
+		if v1[k] != v2[k] {
+			t.Fatalf("persisted predictor diverges: %v vs %v", v1, v2)
+		}
+	}
+}
+
+func TestLoadPredictorErrors(t *testing.T) {
+	if _, err := LoadPredictor(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should error")
+	}
+	if _, err := LoadPredictor(bytes.NewReader([]byte(`{"features":[],"model":{}}`))); err == nil {
+		t.Error("empty schema should error")
+	}
+}
+
+func TestNormalizationReplay(t *testing.T) {
+	// The predictor must apply the dataset's z-score parameters to raw
+	// profile features: a raw feature equal to the fitted mean must map
+	// to 0 in the model input.
+	ds := testDataset(t)
+	pred, _, err := TrainPredictor(ds, DefaultMean(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := map[string]float64{}
+	for _, name := range pred.Features {
+		feats[name] = 0
+	}
+	col := dataset.ColL1LoadMisses
+	feats[col] = pred.Norms[col].Mean
+	x, err := pred.vectorFromFeatures(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range pred.Features {
+		if name == col && math.Abs(x[i]) > 1e-12 {
+			t.Errorf("normalized mean value = %v, want 0", x[i])
+		}
+	}
+}
+
+func BenchmarkPredictProfile(b *testing.B) {
+	ds, err := dataset.Build(dataset.Params{
+		Apps:   []*apps.App{apps.CoMD(), apps.SW4lite()},
+		Trials: 2, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, _, err := TrainPredictor(ds, DefaultXGBoost(1), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := apps.CoMD()
+	m, _ := arch.ByName("Quartz")
+	var p profiler.Profiler
+	prof, err := p.Run(a, a.Inputs[0], m, perfmodel.OneCore, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictProfile(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// ModelCard is a release-style report of a trained predictor: what it
+// was trained on, how it scores, and what drives it — the artifact a
+// team would publish next to the serialized model.
+type ModelCard struct {
+	ModelName    string
+	DatasetRows  int
+	Features     []string
+	Targets      []string
+	Applications []string
+	Systems      []string
+	Evaluation   ml.Evaluation
+	// TopImportances pairs feature names with normalized importances,
+	// descending; nil for models without importances.
+	TopImportances []struct {
+		Feature    string
+		Importance float64
+	}
+	// PerSystemMAE evaluates the model separately on test rows from
+	// each counter-source architecture (the Figure 3 view of this
+	// specific trained model).
+	PerSystemMAE map[string]float64
+}
+
+// BuildModelCard trains nothing: it evaluates an already-trained
+// predictor against a dataset split and assembles the card.
+func BuildModelCard(ds *dataset.Dataset, pred *Predictor, splitSeed uint64) (*ModelCard, error) {
+	X, Y := ds.Features(), ds.Targets()
+	_, _, teX, teY, err := ml.TrainTestSplit(X, Y, DefaultTestFraction, stats.NewRNG(splitSeed))
+	if err != nil {
+		return nil, err
+	}
+	card := &ModelCard{
+		ModelName:    pred.Model.Name(),
+		DatasetRows:  ds.NumRows(),
+		Features:     append([]string(nil), pred.Features...),
+		Targets:      dataset.TargetColumns(),
+		Applications: ds.Frame.Unique(dataset.ColApp),
+		Systems:      ds.Frame.Unique(dataset.ColSystem),
+		Evaluation:   ml.Evaluate(pred.Model, teX, teY),
+		PerSystemMAE: map[string]float64{},
+	}
+
+	if fi, ok := pred.Model.(ml.FeatureImporter); ok {
+		imp := fi.FeatureImportances()
+		for i, f := range pred.Features {
+			if i < len(imp) {
+				card.TopImportances = append(card.TopImportances, struct {
+					Feature    string
+					Importance float64
+				}{f, imp[i]})
+			}
+		}
+		sort.SliceStable(card.TopImportances, func(a, b int) bool {
+			return card.TopImportances[a].Importance > card.TopImportances[b].Importance
+		})
+	}
+
+	// Per-source-system evaluation over the whole dataset's rows of
+	// that system (the model never trains here, so this is in-sample
+	// for some rows; it is a descriptive slice, labelled as such).
+	for _, sys := range arch.Names() {
+		slice := ds.Frame.FilterEq(dataset.ColSystem, sys)
+		if slice.NumRows() == 0 {
+			continue
+		}
+		sub := &dataset.Dataset{Frame: slice, Norms: ds.Norms}
+		preds := ml.PredictBatch(pred.Model, sub.Features())
+		card.PerSystemMAE[sys] = ml.MAE(preds, sub.Targets())
+	}
+	return card, nil
+}
+
+// String renders the card as a markdown-ish text document.
+func (c *ModelCard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Model card: %s relative-performance predictor\n\n", c.ModelName)
+	fmt.Fprintf(&b, "Trained on the MP-HPC dataset: %d rows, %d applications, %d systems.\n",
+		c.DatasetRows, len(c.Applications), len(c.Systems))
+	fmt.Fprintf(&b, "Inputs: %d features (%s, ...)\n", len(c.Features), strings.Join(c.Features[:min(4, len(c.Features))], ", "))
+	fmt.Fprintf(&b, "Outputs: %s\n\n", strings.Join(c.Targets, ", "))
+	fmt.Fprintf(&b, "Held-out evaluation: MAE=%.4f SOS=%.4f RMSE=%.4f R2=%.4f (n=%d)\n\n",
+		c.Evaluation.MAE, c.Evaluation.SOS, c.Evaluation.RMSE, c.Evaluation.R2, c.Evaluation.N)
+	if len(c.TopImportances) > 0 {
+		fmt.Fprintf(&b, "Top features by gain importance:\n")
+		for i, fi := range c.TopImportances {
+			if i == 6 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-20s %.4f\n", fi.Feature, fi.Importance)
+		}
+		b.WriteByte('\n')
+	}
+	if len(c.PerSystemMAE) > 0 {
+		fmt.Fprintf(&b, "Descriptive MAE by counter-source system (full dataset slice):\n")
+		for _, sys := range arch.Names() {
+			if v, ok := c.PerSystemMAE[sys]; ok {
+				fmt.Fprintf(&b, "  %-8s %.4f\n", sys, v)
+			}
+		}
+	}
+	return b.String()
+}

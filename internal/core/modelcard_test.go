@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelCard(t *testing.T) {
+	ds := testDataset(t)
+	pred, _, err := TrainPredictor(ds, DefaultXGBoost(7), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := BuildModelCard(ds, pred, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.ModelName != "xgboost" {
+		t.Errorf("model name = %s", card.ModelName)
+	}
+	if card.DatasetRows != ds.NumRows() {
+		t.Errorf("rows = %d", card.DatasetRows)
+	}
+	if len(card.Features) != 21 || len(card.Targets) != 4 {
+		t.Errorf("schema: %d features, %d targets", len(card.Features), len(card.Targets))
+	}
+	if len(card.TopImportances) != 21 {
+		t.Fatalf("importances = %d", len(card.TopImportances))
+	}
+	for i := 1; i < len(card.TopImportances); i++ {
+		if card.TopImportances[i-1].Importance < card.TopImportances[i].Importance {
+			t.Fatal("importances not sorted")
+		}
+	}
+	if len(card.PerSystemMAE) != 4 {
+		t.Errorf("per-system MAE entries = %d", len(card.PerSystemMAE))
+	}
+	out := card.String()
+	for _, want := range []string{"Model card", "MAE=", "Top features", "Quartz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("card missing %q", want)
+		}
+	}
+}
+
+func TestModelCardMeanModelHasNoImportances(t *testing.T) {
+	ds := testDataset(t)
+	pred, _, err := TrainPredictor(ds, DefaultMean(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := BuildModelCard(ds, pred, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(card.TopImportances) != 0 {
+		t.Error("mean model should have no importances")
+	}
+	if !strings.Contains(card.String(), "mean") {
+		t.Error("card missing model name")
+	}
+}

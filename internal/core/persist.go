@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"crossarch/internal/dataframe"
+	"crossarch/internal/ml"
+)
+
+// predictorEnvelope is the on-disk predictor format: the model envelope
+// from internal/ml plus the feature schema and normalization.
+type predictorEnvelope struct {
+	Features []string                   `json:"features"`
+	Norms    map[string]dataframe.Stats `json:"norms"`
+	Model    json.RawMessage            `json:"model"`
+}
+
+// Save serializes the predictor (model, schema, normalization) to w.
+func (p *Predictor) Save(w io.Writer) error {
+	var modelBuf bytes.Buffer
+	if err := ml.SaveModel(&modelBuf, p.Model); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(predictorEnvelope{
+		Features: p.Features,
+		Norms:    p.Norms,
+		Model:    modelBuf.Bytes(),
+	})
+}
+
+// SaveFile writes the predictor to the named file.
+func (p *Predictor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPredictor reads a predictor from r. The model's learner package
+// must be imported (importing core imports all four standard learners).
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var env predictorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if len(env.Features) == 0 {
+		return nil, fmt.Errorf("core: predictor has no feature schema")
+	}
+	model, err := ml.LoadModel(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, err
+	}
+	norms := env.Norms
+	if norms == nil {
+		norms = map[string]dataframe.Stats{}
+	}
+	return &Predictor{Model: model, Features: env.Features, Norms: norms}, nil
+}
+
+// LoadPredictorFile reads a predictor from the named file.
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPredictor(f)
+}

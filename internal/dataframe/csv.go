@@ -1,0 +1,100 @@
+package dataframe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV serializes the frame with a header row. Float values are
+// written with full round-trip precision so a write/read cycle is
+// lossless.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Columns()); err != nil {
+		return fmt.Errorf("dataframe: writing header: %w", err)
+	}
+	rows := f.NumRows()
+	record := make([]string, len(f.cols))
+	for r := 0; r < rows; r++ {
+		for i, c := range f.cols {
+			switch c.kind {
+			case Float:
+				record[i] = strconv.FormatFloat(c.floats[r], 'g', -1, 64)
+			case String:
+				record[i] = c.strings[r]
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataframe: writing row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to the named file, creating or
+// truncating it.
+func (f *Frame) WriteCSVFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// ReadCSV parses a headed CSV stream into a frame. A column becomes a
+// float column iff every one of its values parses as a float64 (empty
+// strings do not); otherwise it is kept as strings. This mirrors pandas'
+// type inference closely enough for the dataset files in this project.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataframe: csv has no header row")
+	}
+	header := records[0]
+	body := records[1:]
+	out := New()
+	for j, name := range header {
+		numeric := true
+		vals := make([]float64, len(body))
+		for i, rec := range body {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			vals[i] = v
+		}
+		if numeric {
+			out.AddFloat(name, vals)
+			continue
+		}
+		strs := make([]string, len(body))
+		for i, rec := range body {
+			strs[i] = rec[j]
+		}
+		out.AddString(name, strs)
+	}
+	return out, nil
+}
+
+// ReadCSVFile reads a frame from the named CSV file.
+func ReadCSVFile(path string) (*Frame, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadCSV(file)
+}

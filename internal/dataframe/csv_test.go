@@ -1,0 +1,116 @@
+package dataframe
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Columns(), g.Columns()) {
+		t.Fatalf("columns changed: %v vs %v", f.Columns(), g.Columns())
+	}
+	if !reflect.DeepEqual(f.Floats("x"), g.Floats("x")) {
+		t.Errorf("x changed: %v", g.Floats("x"))
+	}
+	if !reflect.DeepEqual(f.Strings("app"), g.Strings("app")) {
+		t.Errorf("app changed: %v", g.Strings("app"))
+	}
+}
+
+func TestCSVRoundTripPrecisionProperty(t *testing.T) {
+	// Property: float columns survive a CSV round trip bit-exactly.
+	err := quick.Check(func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		vals := make([]float64, 20)
+		for i := range vals {
+			vals[i] = r.Normal(0, 1) * math.Pow(10, float64(r.Intn(20)-10))
+		}
+		f := New().AddFloat("v", vals)
+		var buf bytes.Buffer
+		if err := f.WriteCSV(&buf); err != nil {
+			return false
+		}
+		g, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(f.Floats("v"), g.Floats("v"))
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVTypeInference(t *testing.T) {
+	in := "a,b,c\n1,x,1.5\n2,y,2.5\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.KindOf("a") != Float || f.KindOf("b") != String || f.KindOf("c") != Float {
+		t.Errorf("kinds = %v %v %v", f.KindOf("a"), f.KindOf("b"), f.KindOf("c"))
+	}
+}
+
+func TestReadCSVMixedColumnFallsBackToString(t *testing.T) {
+	in := "a\n1\nnot-a-number\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.KindOf("a") != String {
+		t.Error("mixed column should be string")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	// Header only: zero rows, columns inferred as float (vacuously).
+	f, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 || f.NumCols() != 2 {
+		t.Errorf("header-only frame = %dx%d", f.NumRows(), f.NumCols())
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	f := sampleFrame()
+	if err := f.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != f.NumRows() {
+		t.Errorf("rows = %d", g.NumRows())
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}

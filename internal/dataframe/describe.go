@@ -1,0 +1,31 @@
+package dataframe
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/stats"
+)
+
+// Describe summarizes every float column of the frame (count, mean,
+// std, min, quartiles, max) as an aligned text table, the pandas
+// `describe()` convenience used by the examples and exploratory tools.
+func (f *Frame) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %12s %12s %12s %12s\n",
+		"column", "count", "mean", "std", "min", "median", "max")
+	for _, c := range f.cols {
+		if c.kind != Float {
+			continue
+		}
+		s := stats.Describe(c.floats)
+		fmt.Fprintf(&b, "%-24s %8d %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+			c.name, s.Count, s.Mean, s.Std, s.Min, s.Median, s.Max)
+	}
+	return b.String()
+}
+
+// DescribeColumn returns the summary statistics of one float column.
+func (f *Frame) DescribeColumn(name string) stats.Summary {
+	return stats.Describe(f.Floats(name))
+}

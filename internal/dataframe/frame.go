@@ -1,0 +1,443 @@
+// Package dataframe implements a small column-oriented data table used as
+// the in-memory representation of the MP-HPC dataset. It plays the role
+// that pandas plays in the paper's pipeline: holding profiled counter
+// rows, deriving features, normalizing, one-hot encoding, and producing
+// train/test splits and cross-validation folds for the ML layer.
+//
+// A Frame owns float64 and string columns of equal length. Columns are
+// stored contiguously, so feature-matrix extraction for model training is
+// a cheap copy per column rather than per cell.
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates column storage types.
+type Kind int
+
+const (
+	// Float columns store float64 values and are the only kind usable
+	// as model features or targets.
+	Float Kind = iota
+	// String columns store labels such as application or system names.
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+type column struct {
+	name    string
+	kind    Kind
+	floats  []float64
+	strings []string
+}
+
+func (c *column) length() int {
+	if c.kind == Float {
+		return len(c.floats)
+	}
+	return len(c.strings)
+}
+
+// Frame is a table of named, equally-sized columns. The zero value is an
+// empty frame ready for AddFloat/AddString.
+type Frame struct {
+	cols  []*column
+	index map[string]int
+}
+
+// New returns an empty Frame.
+func New() *Frame {
+	return &Frame{index: make(map[string]int)}
+}
+
+// NumRows returns the number of rows (0 for an empty frame).
+func (f *Frame) NumRows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].length()
+}
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Columns returns the column names in insertion order.
+func (f *Frame) Columns() []string {
+	names := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Has reports whether a column with the given name exists.
+func (f *Frame) Has(name string) bool {
+	_, ok := f.index[name]
+	return ok
+}
+
+// KindOf returns the storage kind of the named column. It panics if the
+// column does not exist.
+func (f *Frame) KindOf(name string) Kind {
+	return f.col(name).kind
+}
+
+func (f *Frame) col(name string) *column {
+	i, ok := f.index[name]
+	if !ok {
+		panic(fmt.Sprintf("dataframe: no column %q", name))
+	}
+	return f.cols[i]
+}
+
+func (f *Frame) checkLen(name string, n int) {
+	if rows := f.NumRows(); len(f.cols) > 0 && n != rows {
+		panic(fmt.Sprintf("dataframe: column %q has %d rows, frame has %d", name, n, rows))
+	}
+	if _, dup := f.index[name]; dup {
+		panic(fmt.Sprintf("dataframe: duplicate column %q", name))
+	}
+}
+
+// AddFloat appends a float column. The frame takes ownership of data. It
+// panics on a length mismatch or duplicate name.
+func (f *Frame) AddFloat(name string, data []float64) *Frame {
+	f.checkLen(name, len(data))
+	if f.index == nil {
+		f.index = make(map[string]int)
+	}
+	f.index[name] = len(f.cols)
+	f.cols = append(f.cols, &column{name: name, kind: Float, floats: data})
+	return f
+}
+
+// AddString appends a string column with the same rules as AddFloat.
+func (f *Frame) AddString(name string, data []string) *Frame {
+	f.checkLen(name, len(data))
+	if f.index == nil {
+		f.index = make(map[string]int)
+	}
+	f.index[name] = len(f.cols)
+	f.cols = append(f.cols, &column{name: name, kind: String, strings: data})
+	return f
+}
+
+// Floats returns the backing slice of a float column. Mutating the
+// returned slice mutates the frame. It panics if the column is missing or
+// not a float column.
+func (f *Frame) Floats(name string) []float64 {
+	c := f.col(name)
+	if c.kind != Float {
+		panic(fmt.Sprintf("dataframe: column %q is %v, not float", name, c.kind))
+	}
+	return c.floats
+}
+
+// Strings returns the backing slice of a string column, with the same
+// aliasing caveat as Floats.
+func (f *Frame) Strings(name string) []string {
+	c := f.col(name)
+	if c.kind != String {
+		panic(fmt.Sprintf("dataframe: column %q is %v, not string", name, c.kind))
+	}
+	return c.strings
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	out := New()
+	for _, c := range f.cols {
+		switch c.kind {
+		case Float:
+			out.AddFloat(c.name, append([]float64(nil), c.floats...))
+		case String:
+			out.AddString(c.name, append([]string(nil), c.strings...))
+		}
+	}
+	return out
+}
+
+// Select returns a deep copy containing only the named columns, in the
+// given order. It panics if any column is missing.
+func (f *Frame) Select(names ...string) *Frame {
+	out := New()
+	for _, name := range names {
+		c := f.col(name)
+		switch c.kind {
+		case Float:
+			out.AddFloat(c.name, append([]float64(nil), c.floats...))
+		case String:
+			out.AddString(c.name, append([]string(nil), c.strings...))
+		}
+	}
+	return out
+}
+
+// Drop returns a deep copy without the named columns. Unknown names are
+// ignored so callers can drop optional metadata unconditionally.
+func (f *Frame) Drop(names ...string) *Frame {
+	dropped := make(map[string]bool, len(names))
+	for _, n := range names {
+		dropped[n] = true
+	}
+	keep := make([]string, 0, len(f.cols))
+	for _, c := range f.cols {
+		if !dropped[c.name] {
+			keep = append(keep, c.name)
+		}
+	}
+	return f.Select(keep...)
+}
+
+// Rename returns the frame with the column renamed in place. It panics if
+// from is missing or to already exists.
+func (f *Frame) Rename(from, to string) *Frame {
+	if from == to {
+		return f
+	}
+	i, ok := f.index[from]
+	if !ok {
+		panic(fmt.Sprintf("dataframe: no column %q", from))
+	}
+	if _, dup := f.index[to]; dup {
+		panic(fmt.Sprintf("dataframe: duplicate column %q", to))
+	}
+	delete(f.index, from)
+	f.index[to] = i
+	f.cols[i].name = to
+	return f
+}
+
+// TakeRows returns a new frame containing the rows at the given indices,
+// in order. Indices may repeat (bootstrap sampling). It panics on an
+// out-of-range index.
+func (f *Frame) TakeRows(idx []int) *Frame {
+	rows := f.NumRows()
+	out := New()
+	for _, c := range f.cols {
+		switch c.kind {
+		case Float:
+			data := make([]float64, len(idx))
+			for j, i := range idx {
+				if i < 0 || i >= rows {
+					panic(fmt.Sprintf("dataframe: row index %d out of range [0,%d)", i, rows))
+				}
+				data[j] = c.floats[i]
+			}
+			out.AddFloat(c.name, data)
+		case String:
+			data := make([]string, len(idx))
+			for j, i := range idx {
+				if i < 0 || i >= rows {
+					panic(fmt.Sprintf("dataframe: row index %d out of range [0,%d)", i, rows))
+				}
+				data[j] = c.strings[i]
+			}
+			out.AddString(c.name, data)
+		}
+	}
+	return out
+}
+
+// Filter returns the rows for which pred returns true. pred receives the
+// row index into the original frame.
+func (f *Frame) Filter(pred func(row int) bool) *Frame {
+	var idx []int
+	for i := 0; i < f.NumRows(); i++ {
+		if pred(i) {
+			idx = append(idx, i)
+		}
+	}
+	return f.TakeRows(idx)
+}
+
+// FilterEq returns the rows whose string column equals value.
+func (f *Frame) FilterEq(col, value string) *Frame {
+	s := f.Strings(col)
+	return f.Filter(func(i int) bool { return s[i] == value })
+}
+
+// FilterNeq returns the rows whose string column differs from value.
+func (f *Frame) FilterNeq(col, value string) *Frame {
+	s := f.Strings(col)
+	return f.Filter(func(i int) bool { return s[i] != value })
+}
+
+// Append concatenates other below f. Both frames must have identical
+// column names, kinds, and order.
+func (f *Frame) Append(other *Frame) *Frame {
+	if len(f.cols) == 0 {
+		// Appending to an empty frame adopts the other frame's schema.
+		clone := other.Clone()
+		f.cols = clone.cols
+		f.index = clone.index
+		return f
+	}
+	if len(f.cols) != len(other.cols) {
+		panic("dataframe: Append with mismatched column count")
+	}
+	for i, c := range f.cols {
+		oc := other.cols[i]
+		if c.name != oc.name || c.kind != oc.kind {
+			panic(fmt.Sprintf("dataframe: Append column mismatch at %d: %s/%v vs %s/%v",
+				i, c.name, c.kind, oc.name, oc.kind))
+		}
+		switch c.kind {
+		case Float:
+			c.floats = append(c.floats, oc.floats...)
+		case String:
+			c.strings = append(c.strings, oc.strings...)
+		}
+	}
+	return f
+}
+
+// Unique returns the sorted distinct values of a string column.
+func (f *Frame) Unique(col string) []string {
+	seen := make(map[string]bool)
+	for _, v := range f.Strings(col) {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Matrix extracts the named float columns as a dense row-major matrix
+// suitable for model training: result[i][j] is row i of column names[j].
+func (f *Frame) Matrix(names []string) [][]float64 {
+	cols := make([][]float64, len(names))
+	for j, n := range names {
+		cols[j] = f.Floats(n)
+	}
+	rows := f.NumRows()
+	out := make([][]float64, rows)
+	flat := make([]float64, rows*len(names))
+	for i := 0; i < rows; i++ {
+		row := flat[i*len(names) : (i+1)*len(names)]
+		for j := range names {
+			row[j] = cols[j][i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Head renders the first n rows as an aligned text table for debugging
+// and example output.
+func (f *Frame) Head(n int) string {
+	if n > f.NumRows() {
+		n = f.NumRows()
+	}
+	var b strings.Builder
+	for i, c := range f.cols {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString(c.name)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < n; r++ {
+		for i, c := range f.cols {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			switch c.kind {
+			case Float:
+				fmt.Fprintf(&b, "%.6g", c.floats[r])
+			case String:
+				b.WriteString(c.strings[r])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats holds the fitted normalization parameters of one column so the
+// identical transform can be replayed on held-out data.
+type Stats struct {
+	Mean float64
+	Std  float64
+}
+
+// FitZScore computes the mean and standard deviation of a float column
+// without modifying it.
+func (f *Frame) FitZScore(col string) Stats {
+	xs := f.Floats(col)
+	n := float64(len(xs))
+	if n == 0 {
+		return Stats{}
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	variance := 0.0
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= n
+	return Stats{Mean: mean, Std: math.Sqrt(variance)}
+}
+
+// ApplyZScore standardizes a float column in place using previously
+// fitted statistics. A zero standard deviation leaves values centered
+// but unscaled, matching scikit-learn's StandardScaler behaviour.
+func (f *Frame) ApplyZScore(col string, s Stats) {
+	xs := f.Floats(col)
+	std := s.Std
+	if std == 0 {
+		std = 1
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - s.Mean) / std
+	}
+}
+
+// ZScore fits and applies standardization to a column, returning the
+// fitted statistics.
+func (f *Frame) ZScore(col string) Stats {
+	s := f.FitZScore(col)
+	f.ApplyZScore(col, s)
+	return s
+}
+
+// OneHot replaces a string column with one float column per category
+// listed in categories (1.0 where equal, else 0.0). New columns are named
+// "<col>=<category>". Values outside categories encode as all zeros,
+// which is how a fitted encoder treats unseen labels. The original column
+// is removed. It returns the resulting frame (a new frame).
+func (f *Frame) OneHot(col string, categories []string) *Frame {
+	values := f.Strings(col)
+	out := f.Drop(col)
+	for _, cat := range categories {
+		data := make([]float64, len(values))
+		for i, v := range values {
+			if v == cat {
+				data[i] = 1
+			}
+		}
+		out.AddFloat(col+"="+cat, data)
+	}
+	return out
+}

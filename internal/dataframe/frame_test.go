@@ -1,0 +1,291 @@
+package dataframe
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func sampleFrame() *Frame {
+	f := New()
+	f.AddFloat("x", []float64{1, 2, 3, 4})
+	f.AddFloat("y", []float64{10, 20, 30, 40})
+	f.AddString("app", []string{"AMG", "CoMD", "AMG", "SW4lite"})
+	return f
+}
+
+func TestShape(t *testing.T) {
+	f := sampleFrame()
+	if f.NumRows() != 4 || f.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d, want 4x3", f.NumRows(), f.NumCols())
+	}
+	want := []string{"x", "y", "app"}
+	if got := f.Columns(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Columns = %v", got)
+	}
+	if !f.Has("x") || f.Has("missing") {
+		t.Error("Has is wrong")
+	}
+	if f.KindOf("x") != Float || f.KindOf("app") != String {
+		t.Error("KindOf is wrong")
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	f := New()
+	if f.NumRows() != 0 || f.NumCols() != 0 {
+		t.Error("empty frame should be 0x0")
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	f := sampleFrame()
+	mustPanic(t, "length mismatch", func() { f.AddFloat("z", []float64{1}) })
+	mustPanic(t, "duplicate name", func() { f.AddFloat("x", []float64{1, 2, 3, 4}) })
+	mustPanic(t, "missing column", func() { f.Floats("nope") })
+	mustPanic(t, "wrong kind", func() { f.Floats("app") })
+	mustPanic(t, "wrong kind strings", func() { f.Strings("x") })
+}
+
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", label)
+		}
+	}()
+	fn()
+}
+
+func TestFloatsAliases(t *testing.T) {
+	f := sampleFrame()
+	f.Floats("x")[0] = 99
+	if f.Floats("x")[0] != 99 {
+		t.Error("Floats should alias backing storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := sampleFrame()
+	g := f.Clone()
+	g.Floats("x")[0] = 99
+	g.Strings("app")[0] = "other"
+	if f.Floats("x")[0] == 99 || f.Strings("app")[0] == "other" {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestSelectAndDrop(t *testing.T) {
+	f := sampleFrame()
+	s := f.Select("y", "app")
+	if got := s.Columns(); !reflect.DeepEqual(got, []string{"y", "app"}) {
+		t.Errorf("Select columns = %v", got)
+	}
+	s.Floats("y")[0] = -1
+	if f.Floats("y")[0] == -1 {
+		t.Error("Select must copy")
+	}
+	d := f.Drop("y", "never-existed")
+	if got := d.Columns(); !reflect.DeepEqual(got, []string{"x", "app"}) {
+		t.Errorf("Drop columns = %v", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := sampleFrame()
+	f.Rename("x", "branch")
+	if !f.Has("branch") || f.Has("x") {
+		t.Error("Rename failed")
+	}
+	if f.Floats("branch")[1] != 2 {
+		t.Error("Rename lost data")
+	}
+	mustPanic(t, "rename missing", func() { f.Rename("zzz", "w") })
+	mustPanic(t, "rename collision", func() { f.Rename("branch", "y") })
+}
+
+func TestTakeRows(t *testing.T) {
+	f := sampleFrame()
+	g := f.TakeRows([]int{3, 0, 0})
+	if g.NumRows() != 3 {
+		t.Fatalf("rows = %d", g.NumRows())
+	}
+	if got := g.Floats("x"); !reflect.DeepEqual(got, []float64{4, 1, 1}) {
+		t.Errorf("TakeRows x = %v", got)
+	}
+	if got := g.Strings("app"); !reflect.DeepEqual(got, []string{"SW4lite", "AMG", "AMG"}) {
+		t.Errorf("TakeRows app = %v", got)
+	}
+	mustPanic(t, "oob index", func() { f.TakeRows([]int{4}) })
+	mustPanic(t, "negative index", func() { f.TakeRows([]int{-1}) })
+}
+
+func TestFilter(t *testing.T) {
+	f := sampleFrame()
+	g := f.FilterEq("app", "AMG")
+	if g.NumRows() != 2 {
+		t.Errorf("FilterEq rows = %d", g.NumRows())
+	}
+	h := f.FilterNeq("app", "AMG")
+	if h.NumRows() != 2 {
+		t.Errorf("FilterNeq rows = %d", h.NumRows())
+	}
+	x := f.Floats("x")
+	big := f.Filter(func(i int) bool { return x[i] > 2 })
+	if big.NumRows() != 2 {
+		t.Errorf("Filter rows = %d", big.NumRows())
+	}
+}
+
+func TestAppend(t *testing.T) {
+	f := sampleFrame()
+	g := sampleFrame()
+	f.Append(g)
+	if f.NumRows() != 8 {
+		t.Fatalf("Append rows = %d", f.NumRows())
+	}
+	if f.Floats("x")[4] != 1 {
+		t.Error("Append data wrong")
+	}
+	empty := New()
+	empty.Append(sampleFrame())
+	if empty.NumRows() != 4 || empty.NumCols() != 3 {
+		t.Error("Append into empty frame failed")
+	}
+	mismatched := New().AddFloat("x", []float64{1})
+	mustPanic(t, "append mismatch", func() { sampleFrame().Append(mismatched) })
+}
+
+func TestUnique(t *testing.T) {
+	f := sampleFrame()
+	got := f.Unique("app")
+	want := []string{"AMG", "CoMD", "SW4lite"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Unique = %v", got)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	f := sampleFrame()
+	m := f.Matrix([]string{"y", "x"})
+	if len(m) != 4 || len(m[0]) != 2 {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+	if m[2][0] != 30 || m[2][1] != 3 {
+		t.Errorf("matrix row 2 = %v", m[2])
+	}
+	// The matrix must be a copy: mutating it must not touch the frame.
+	m[0][0] = -5
+	if f.Floats("y")[0] == -5 {
+		t.Error("Matrix must copy data")
+	}
+}
+
+func TestHead(t *testing.T) {
+	f := sampleFrame()
+	h := f.Head(2)
+	if !strings.Contains(h, "app") || !strings.Contains(h, "CoMD") {
+		t.Errorf("Head output missing content:\n%s", h)
+	}
+	if strings.Contains(h, "SW4lite") {
+		t.Error("Head(2) should not include row 3")
+	}
+	// n larger than the frame is fine.
+	_ = f.Head(100)
+}
+
+func TestZScore(t *testing.T) {
+	f := New().AddFloat("v", []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	s := f.ZScore("v")
+	if math.Abs(s.Mean-5) > 1e-12 || math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("fitted stats = %+v", s)
+	}
+	vs := f.Floats("v")
+	if math.Abs(stats.Mean(vs)) > 1e-12 {
+		t.Errorf("z-scored mean = %v", stats.Mean(vs))
+	}
+	if math.Abs(stats.StdDev(vs)-1) > 1e-12 {
+		t.Errorf("z-scored std = %v", stats.StdDev(vs))
+	}
+}
+
+func TestZScoreConstantColumn(t *testing.T) {
+	f := New().AddFloat("v", []float64{3, 3, 3})
+	f.ZScore("v")
+	for _, v := range f.Floats("v") {
+		if v != 0 {
+			t.Errorf("constant column z-score = %v, want 0", v)
+		}
+	}
+}
+
+func TestApplyZScoreReplaysFit(t *testing.T) {
+	train := New().AddFloat("v", []float64{1, 2, 3, 4, 5})
+	test := New().AddFloat("v", []float64{3})
+	s := train.ZScore("v")
+	test.ApplyZScore("v", s)
+	// Train mean is 3, so the test value must map to 0.
+	if got := test.Floats("v")[0]; math.Abs(got) > 1e-12 {
+		t.Errorf("replayed z-score = %v, want 0", got)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	f := sampleFrame()
+	g := f.OneHot("app", []string{"AMG", "CoMD", "SW4lite", "XSBench"})
+	if g.Has("app") {
+		t.Error("OneHot should drop the source column")
+	}
+	for _, c := range []string{"app=AMG", "app=CoMD", "app=SW4lite", "app=XSBench"} {
+		if !g.Has(c) {
+			t.Fatalf("missing one-hot column %s", c)
+		}
+	}
+	if got := g.Floats("app=AMG"); !reflect.DeepEqual(got, []float64{1, 0, 1, 0}) {
+		t.Errorf("app=AMG = %v", got)
+	}
+	if got := g.Floats("app=XSBench"); !reflect.DeepEqual(got, []float64{0, 0, 0, 0}) {
+		t.Errorf("unseen category should be all zeros, got %v", got)
+	}
+	// Each row has at most one 1 across the encoded columns.
+	for i := 0; i < g.NumRows(); i++ {
+		sum := g.Floats("app=AMG")[i] + g.Floats("app=CoMD")[i] + g.Floats("app=SW4lite")[i] + g.Floats("app=XSBench")[i]
+		if sum != 1 {
+			t.Errorf("row %d one-hot sum = %v", i, sum)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Float.String() != "float" || String.String() != "string" {
+		t.Error("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("unknown Kind.String wrong")
+	}
+}
+
+// Property: TakeRows(Perm(n)) preserves the multiset of every column.
+func TestTakeRowsPermutationProperty(t *testing.T) {
+	rng := stats.NewRNG(123)
+	err := quick.Check(func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		f := New().AddFloat("v", append([]float64(nil), vals...))
+		g := f.TakeRows(rng.Perm(n))
+		a := append([]float64(nil), vals...)
+		b := append([]float64(nil), g.Floats("v")...)
+		return stats.Sum(a) == stats.Sum(b) && len(a) == len(b)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregation names a reduction applied to each group's values.
+type Aggregation string
+
+const (
+	// AggMean averages each group's values.
+	AggMean Aggregation = "mean"
+	// AggSum totals each group's values.
+	AggSum Aggregation = "sum"
+	// AggMin and AggMax take group extrema.
+	AggMin Aggregation = "min"
+	AggMax Aggregation = "max"
+	// AggCount counts group members (the column's values are ignored).
+	AggCount Aggregation = "count"
+	// AggStd is the population standard deviation within the group.
+	AggStd Aggregation = "std"
+)
+
+// GroupBy aggregates float columns within groups of a string key
+// column, returning a new frame with one row per distinct key (sorted)
+// and one column per (column, aggregation) pair named
+// "<col>_<agg>". It panics if the key is missing, a column is not a
+// float column, or an aggregation is unknown — programmer errors, as
+// elsewhere in this package.
+func (f *Frame) GroupBy(key string, aggs map[string]Aggregation) *Frame {
+	keys := f.Strings(key)
+	groups := f.Unique(key)
+	index := make(map[string]int, len(groups))
+	for i, g := range groups {
+		index[g] = i
+	}
+
+	// Deterministic column order.
+	cols := make([]string, 0, len(aggs))
+	for c := range aggs {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+
+	out := New()
+	out.AddString(key, append([]string(nil), groups...))
+	for _, col := range cols {
+		agg := aggs[col]
+		var values []float64
+		if agg != AggCount {
+			values = f.Floats(col)
+		}
+		result := make([]float64, len(groups))
+		switch agg {
+		case AggCount:
+			for _, k := range keys {
+				result[index[k]]++
+			}
+		case AggSum, AggMean, AggStd:
+			sums := make([]float64, len(groups))
+			sqs := make([]float64, len(groups))
+			counts := make([]float64, len(groups))
+			for i, k := range keys {
+				g := index[k]
+				sums[g] += values[i]
+				sqs[g] += values[i] * values[i]
+				counts[g]++
+			}
+			for g := range result {
+				switch agg {
+				case AggSum:
+					result[g] = sums[g]
+				case AggMean:
+					result[g] = sums[g] / counts[g]
+				case AggStd:
+					mean := sums[g] / counts[g]
+					result[g] = math.Sqrt(sqs[g]/counts[g] - mean*mean)
+				}
+			}
+		case AggMin, AggMax:
+			for g := range result {
+				if agg == AggMin {
+					result[g] = math.Inf(1)
+				} else {
+					result[g] = math.Inf(-1)
+				}
+			}
+			for i, k := range keys {
+				g := index[k]
+				if agg == AggMin && values[i] < result[g] {
+					result[g] = values[i]
+				}
+				if agg == AggMax && values[i] > result[g] {
+					result[g] = values[i]
+				}
+			}
+		default:
+			panic(fmt.Sprintf("dataframe: unknown aggregation %q", agg))
+		}
+		out.AddFloat(fmt.Sprintf("%s_%s", col, agg), result)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package dataframe
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func groupFrame() *Frame {
+	f := New()
+	f.AddString("app", []string{"a", "b", "a", "b", "a"})
+	f.AddFloat("t", []float64{10, 100, 20, 200, 30})
+	return f
+}
+
+func TestGroupByMeanAndCount(t *testing.T) {
+	g := groupFrame().GroupBy("app", map[string]Aggregation{"t": AggMean})
+	if got := g.Strings("app"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("groups = %v", got)
+	}
+	want := []float64{20, 150}
+	if got := g.Floats("t_mean"); !reflect.DeepEqual(got, want) {
+		t.Errorf("means = %v, want %v", got, want)
+	}
+
+	c := groupFrame().GroupBy("app", map[string]Aggregation{"t": AggCount})
+	if got := c.Floats("t_count"); !reflect.DeepEqual(got, []float64{3, 2}) {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestGroupBySumMinMaxStd(t *testing.T) {
+	g := groupFrame().GroupBy("app", map[string]Aggregation{"t": AggSum})
+	if got := g.Floats("t_sum"); !reflect.DeepEqual(got, []float64{60, 300}) {
+		t.Errorf("sums = %v", got)
+	}
+	g = groupFrame().GroupBy("app", map[string]Aggregation{"t": AggMin})
+	if got := g.Floats("t_min"); !reflect.DeepEqual(got, []float64{10, 100}) {
+		t.Errorf("mins = %v", got)
+	}
+	g = groupFrame().GroupBy("app", map[string]Aggregation{"t": AggMax})
+	if got := g.Floats("t_max"); !reflect.DeepEqual(got, []float64{30, 200}) {
+		t.Errorf("maxs = %v", got)
+	}
+	g = groupFrame().GroupBy("app", map[string]Aggregation{"t": AggStd})
+	// Group a: values 10,20,30 -> population std = sqrt(200/3).
+	want := math.Sqrt(200.0 / 3.0)
+	if got := g.Floats("t_std")[0]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("std = %v, want %v", got, want)
+	}
+}
+
+func TestGroupByMultipleColumns(t *testing.T) {
+	f := groupFrame()
+	f.AddFloat("u", []float64{1, 2, 3, 4, 5})
+	g := f.GroupBy("app", map[string]Aggregation{"t": AggMean, "u": AggSum})
+	if !g.Has("t_mean") || !g.Has("u_sum") {
+		t.Fatalf("columns = %v", g.Columns())
+	}
+	if got := g.Floats("u_sum"); !reflect.DeepEqual(got, []float64{9, 6}) {
+		t.Errorf("u sums = %v", got)
+	}
+}
+
+func TestGroupByPanics(t *testing.T) {
+	mustPanic(t, "missing key", func() {
+		groupFrame().GroupBy("nope", map[string]Aggregation{"t": AggMean})
+	})
+	mustPanic(t, "bad agg", func() {
+		groupFrame().GroupBy("app", map[string]Aggregation{"t": "median"})
+	})
+	mustPanic(t, "string column agg", func() {
+		f := groupFrame()
+		f.AddString("s", []string{"x", "x", "x", "x", "x"})
+		f.GroupBy("app", map[string]Aggregation{"s": AggMean})
+	})
+}
+
+func TestDescribe(t *testing.T) {
+	f := groupFrame()
+	out := f.Describe()
+	if !strings.Contains(out, "t") || !strings.Contains(out, "mean") {
+		t.Errorf("Describe output malformed:\n%s", out)
+	}
+	// String columns are excluded.
+	if strings.Contains(out, "app ") && strings.Count(out, "\n") != 2 {
+		t.Errorf("Describe should list only float columns:\n%s", out)
+	}
+	s := f.DescribeColumn("t")
+	if s.Count != 5 || s.Mean != 72 {
+		t.Errorf("DescribeColumn = %+v", s)
+	}
+}

@@ -1,0 +1,89 @@
+package dataframe
+
+import (
+	"fmt"
+
+	"crossarch/internal/stats"
+)
+
+// TrainTestSplit partitions the frame's rows into a training and a test
+// frame. testFrac is the fraction of rows assigned to the test set
+// (the paper uses 0.10). Rows are shuffled with rng before splitting, so
+// the split is random but reproducible. It panics on a fraction outside
+// (0, 1).
+func (f *Frame) TrainTestSplit(rng *stats.RNG, testFrac float64) (train, test *Frame) {
+	if testFrac <= 0 || testFrac >= 1 {
+		panic(fmt.Sprintf("dataframe: testFrac %v outside (0,1)", testFrac))
+	}
+	n := f.NumRows()
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 && n > 1 {
+		nTest = 1
+	}
+	return f.TakeRows(perm[nTest:]), f.TakeRows(perm[:nTest])
+}
+
+// Fold is one cross-validation fold: the row indices (into the original
+// frame) used for training and validation.
+type Fold struct {
+	Train []int
+	Val   []int
+}
+
+// KFold returns k cross-validation folds over the frame's rows, shuffled
+// with rng. Every row appears in exactly one validation set and the fold
+// sizes differ by at most one. It panics unless 2 <= k <= NumRows.
+func (f *Frame) KFold(rng *stats.RNG, k int) []Fold {
+	n := f.NumRows()
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("dataframe: k=%d invalid for %d rows", k, n))
+	}
+	perm := rng.Perm(n)
+	folds := make([]Fold, k)
+	// Distribute the remainder one row at a time so sizes differ by <= 1.
+	base, rem := n/k, n%k
+	start := 0
+	for i := range folds {
+		size := base
+		if i < rem {
+			size++
+		}
+		val := perm[start : start+size]
+		train := make([]int, 0, n-size)
+		train = append(train, perm[:start]...)
+		train = append(train, perm[start+size:]...)
+		folds[i] = Fold{Train: train, Val: val}
+		start += size
+	}
+	return folds
+}
+
+// GroupKFold returns one fold per distinct value of the string column:
+// fold i validates on all rows whose group equals the i-th distinct value
+// and trains on everything else. This implements the paper's
+// leave-one-application-out ablation (Fig. 5).
+func (f *Frame) GroupKFold(col string) (groups []string, folds []Fold) {
+	groups = f.Unique(col)
+	values := f.Strings(col)
+	folds = make([]Fold, len(groups))
+	for gi, g := range groups {
+		var train, val []int
+		for i, v := range values {
+			if v == g {
+				val = append(val, i)
+			} else {
+				train = append(train, i)
+			}
+		}
+		folds[gi] = Fold{Train: train, Val: val}
+	}
+	return groups, folds
+}
+
+// Bootstrap returns a frame of n rows sampled uniformly with replacement,
+// as used by the decision-forest learner and the scheduler's workload
+// resampling.
+func (f *Frame) Bootstrap(rng *stats.RNG, n int) *Frame {
+	return f.TakeRows(rng.SampleWithReplacement(f.NumRows(), n))
+}

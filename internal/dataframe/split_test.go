@@ -1,0 +1,178 @@
+package dataframe
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func rangeFrame(n int) *Frame {
+	xs := make([]float64, n)
+	labels := make([]string, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		labels[i] = string(rune('a' + i%4))
+	}
+	return New().AddFloat("x", xs).AddString("g", labels)
+}
+
+func TestTrainTestSplitSizes(t *testing.T) {
+	f := rangeFrame(100)
+	train, test := f.TrainTestSplit(stats.NewRNG(1), 0.1)
+	if train.NumRows() != 90 || test.NumRows() != 10 {
+		t.Fatalf("split = %d/%d, want 90/10", train.NumRows(), test.NumRows())
+	}
+}
+
+func TestTrainTestSplitPartition(t *testing.T) {
+	f := rangeFrame(53)
+	train, test := f.TrainTestSplit(stats.NewRNG(2), 0.25)
+	seen := map[float64]int{}
+	for _, v := range train.Floats("x") {
+		seen[v]++
+	}
+	for _, v := range test.Floats("x") {
+		seen[v]++
+	}
+	if len(seen) != 53 {
+		t.Fatalf("union has %d distinct rows, want 53", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %v appears %d times", v, c)
+		}
+	}
+}
+
+func TestTrainTestSplitSmall(t *testing.T) {
+	f := rangeFrame(2)
+	train, test := f.TrainTestSplit(stats.NewRNG(3), 0.01)
+	// Even with a tiny fraction, at least one test row is produced.
+	if test.NumRows() != 1 || train.NumRows() != 1 {
+		t.Errorf("tiny split = %d/%d", train.NumRows(), test.NumRows())
+	}
+}
+
+func TestTrainTestSplitPanics(t *testing.T) {
+	f := rangeFrame(10)
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		frac := frac
+		mustPanic(t, "bad frac", func() { f.TrainTestSplit(stats.NewRNG(1), frac) })
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	f := rangeFrame(23)
+	folds := f.KFold(stats.NewRNG(5), 5)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	valSeen := map[int]int{}
+	for _, fold := range folds {
+		if len(fold.Train)+len(fold.Val) != 23 {
+			t.Fatalf("fold sizes %d+%d != 23", len(fold.Train), len(fold.Val))
+		}
+		for _, i := range fold.Val {
+			valSeen[i]++
+		}
+		// A row must never appear in both halves of a fold.
+		inVal := map[int]bool{}
+		for _, i := range fold.Val {
+			inVal[i] = true
+		}
+		for _, i := range fold.Train {
+			if inVal[i] {
+				t.Fatalf("row %d in both train and val", i)
+			}
+		}
+	}
+	if len(valSeen) != 23 {
+		t.Fatalf("validation union covers %d rows, want 23", len(valSeen))
+	}
+	for i, c := range valSeen {
+		if c != 1 {
+			t.Fatalf("row %d validated %d times", i, c)
+		}
+	}
+	// Fold sizes differ by at most one.
+	sizes := make([]int, len(folds))
+	for i, fold := range folds {
+		sizes[i] = len(fold.Val)
+	}
+	sort.Ints(sizes)
+	if sizes[len(sizes)-1]-sizes[0] > 1 {
+		t.Errorf("fold sizes unbalanced: %v", sizes)
+	}
+}
+
+func TestKFoldPanics(t *testing.T) {
+	f := rangeFrame(5)
+	mustPanic(t, "k too small", func() { f.KFold(stats.NewRNG(1), 1) })
+	mustPanic(t, "k too large", func() { f.KFold(stats.NewRNG(1), 6) })
+}
+
+func TestKFoldProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 4
+		k := int(kRaw%uint8(n-2)) + 2
+		f := rangeFrame(n)
+		folds := f.KFold(stats.NewRNG(seed), k)
+		count := map[int]int{}
+		for _, fold := range folds {
+			for _, i := range fold.Val {
+				count[i]++
+			}
+		}
+		if len(count) != n {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupKFold(t *testing.T) {
+	f := rangeFrame(16) // groups a,b,c,d repeating
+	groups, folds := f.GroupKFold("g")
+	if len(groups) != 4 || len(folds) != 4 {
+		t.Fatalf("groups = %v", groups)
+	}
+	labels := f.Strings("g")
+	for gi, fold := range folds {
+		for _, i := range fold.Val {
+			if labels[i] != groups[gi] {
+				t.Fatalf("val row %d has group %s, want %s", i, labels[i], groups[gi])
+			}
+		}
+		for _, i := range fold.Train {
+			if labels[i] == groups[gi] {
+				t.Fatalf("train row %d leaks group %s", i, groups[gi])
+			}
+		}
+		if len(fold.Train)+len(fold.Val) != 16 {
+			t.Fatal("group fold does not partition")
+		}
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	f := rangeFrame(10)
+	b := f.Bootstrap(stats.NewRNG(7), 100)
+	if b.NumRows() != 100 {
+		t.Fatalf("bootstrap rows = %d", b.NumRows())
+	}
+	for _, v := range b.Floats("x") {
+		if v < 0 || v > 9 {
+			t.Fatalf("bootstrap value %v outside source range", v)
+		}
+	}
+}

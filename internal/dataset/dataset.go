@@ -1,0 +1,401 @@
+// Package dataset builds the MP-HPC dataset: the paper's Section V
+// pipeline from application runs to a 21-feature learning table. Every
+// application-input pair is profiled at the three run scales on all
+// four systems; each profile becomes one dataset row whose features are
+// the Table III derivations (instruction-intensity ratios, z-scored
+// counter magnitudes, run configuration, one-hot architecture) and
+// whose target is the relative performance vector of that run's
+// runtimes, relative to the architecture the counters came from.
+//
+// With the default 11 trials per configuration the dataset has
+// 86 inputs x 3 scales x 11 trials x 4 source systems = 11,352 rows,
+// matching the paper's 11,312-row scale.
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/dataframe"
+	"crossarch/internal/hatchet"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/rpv"
+	"crossarch/internal/stats"
+)
+
+// Metadata column names.
+const (
+	ColApp    = "app"
+	ColInput  = "input"
+	ColScale  = "scale"
+	ColSystem = "system"
+	ColTrial  = "trial"
+)
+
+// Feature column names (the paper's 21 final columns).
+const (
+	ColBranchIntensity = "branch_intensity"
+	ColStoreIntensity  = "store_intensity"
+	ColLoadIntensity   = "load_intensity"
+	ColFP32Intensity   = "fp32_intensity"
+	ColFP64Intensity   = "fp64_intensity"
+	ColIntIntensity    = "int_intensity"
+	ColL1LoadMisses    = "l1_load_misses"
+	ColL1StoreMisses   = "l1_store_misses"
+	ColL2LoadMisses    = "l2_load_misses"
+	ColL2StoreMisses   = "l2_store_misses"
+	ColIOBytesRead     = "io_bytes_read"
+	ColIOBytesWritten  = "io_bytes_written"
+	ColEPTSize         = "ept_size"
+	ColMemStalls       = "mem_stalls"
+	ColNodes           = "nodes"
+	ColCores           = "cores"
+	ColUsesGPU         = "uses_gpu"
+)
+
+// FeatureColumns returns the 21 model-input columns in canonical order:
+// six intensity ratios, eight z-scored magnitudes, three run-config
+// columns, and the four-way architecture one-hot.
+func FeatureColumns() []string {
+	cols := []string{
+		ColBranchIntensity, ColStoreIntensity, ColLoadIntensity,
+		ColFP32Intensity, ColFP64Intensity, ColIntIntensity,
+		ColL1LoadMisses, ColL1StoreMisses, ColL2LoadMisses, ColL2StoreMisses,
+		ColIOBytesRead, ColIOBytesWritten, ColEPTSize, ColMemStalls,
+		ColNodes, ColCores, ColUsesGPU,
+	}
+	for _, name := range arch.Names() {
+		cols = append(cols, "arch="+name)
+	}
+	return cols
+}
+
+// ZScoredColumns returns the eight magnitude features the paper
+// standardizes (Section V-D).
+func ZScoredColumns() []string {
+	return []string{
+		ColL1LoadMisses, ColL1StoreMisses, ColL2LoadMisses, ColL2StoreMisses,
+		ColIOBytesRead, ColIOBytesWritten, ColEPTSize, ColMemStalls,
+	}
+}
+
+// TargetColumns returns the four RPV component columns in canonical
+// architecture order.
+func TargetColumns() []string {
+	names := arch.Names()
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = "rpv_" + n
+	}
+	return cols
+}
+
+// TimeColumns returns the observed-runtime metadata columns (seconds on
+// each system for the row's trial), used by the scheduling simulation.
+func TimeColumns() []string {
+	names := arch.Names()
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = "time_" + n
+	}
+	return cols
+}
+
+// trialScaleJitterSigma is the log-normal spread of the per-trial
+// effective input size around the nominal input deck, and
+// trialSigJitterSigma the spread of the per-trial behaviour signature
+// (see apps.Jittered).
+const (
+	trialScaleJitterSigma = 0.10
+	trialSigJitterSigma   = 0.12
+)
+
+// Params configures dataset generation.
+type Params struct {
+	// Apps to include; nil means the full Table II catalog.
+	Apps []*apps.App
+	// Trials is the number of repeated runs per (app, input, scale);
+	// 0 means 11, which yields the paper-scale 11,352-row dataset.
+	Trials int
+	// Seed makes the whole dataset reproducible.
+	Seed uint64
+	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SkipNormalize leaves the eight magnitude columns raw (used by
+	// tests that need ground-truth values).
+	SkipNormalize bool
+}
+
+// Dataset is the generated MP-HPC table plus its fitted normalization.
+type Dataset struct {
+	// Frame holds metadata, feature, target, and time columns.
+	Frame *dataframe.Frame
+	// Norms are the fitted z-score statistics per normalized column.
+	Norms map[string]dataframe.Stats
+}
+
+// Build generates the dataset. Generation is deterministic for a given
+// Params.Seed regardless of Workers.
+func Build(p Params) (*Dataset, error) {
+	appList := p.Apps
+	if appList == nil {
+		appList = apps.All()
+	}
+	if len(appList) == 0 {
+		return nil, fmt.Errorf("dataset: no applications")
+	}
+	trials := p.Trials
+	if trials == 0 {
+		trials = 11
+	}
+	if trials < 0 {
+		return nil, fmt.Errorf("dataset: negative trials %d", trials)
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// A combo is one (app, input, scale); each combo produces
+	// trials x 4 rows. Combos get pre-split RNGs so scheduling order
+	// cannot change the data.
+	type combo struct {
+		app   *apps.App
+		input apps.Input
+		scale perfmodel.Scale
+		rng   *stats.RNG
+	}
+	master := stats.NewRNG(p.Seed)
+	var combos []combo
+	for _, a := range appList {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		for _, in := range a.Inputs {
+			for _, s := range perfmodel.Scales {
+				combos = append(combos, combo{app: a, input: in, scale: s, rng: master.Split()})
+			}
+		}
+	}
+
+	machines := arch.All()
+	results := make([][]row, len(combos))
+	errs := make([]error, len(combos))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ci := range combos {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := combos[ci]
+			rows, err := buildCombo(c.app, c.input, c.scale, machines, trials, c.rng)
+			results[ci], errs[ci] = rows, err
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []row
+	for _, rs := range results {
+		rows = append(rows, rs...)
+	}
+	frame := rowsToFrame(rows)
+	ds := &Dataset{Frame: frame, Norms: map[string]dataframe.Stats{}}
+	if !p.SkipNormalize {
+		for _, col := range ZScoredColumns() {
+			ds.Norms[col] = frame.ZScore(col)
+		}
+	}
+	return ds, nil
+}
+
+// row is one dataset record before frame assembly.
+type row struct {
+	app, input, scale, system string
+	trial                     float64
+	features                  map[string]float64
+	targets                   rpv.RPV
+	times                     []float64
+}
+
+// buildCombo profiles one (app, input, scale) on all machines for all
+// trials and derives one row per (trial, source machine).
+func buildCombo(a *apps.App, in apps.Input, s perfmodel.Scale, machines []*arch.Machine, trials int, rng *stats.RNG) ([]row, error) {
+	var prof profiler.Profiler
+	var rows []row
+	for trial := 0; trial < trials; trial++ {
+		// Each trial is a fresh problem instance: the effective input
+		// size and the behaviour signature jitter around the nominal
+		// application (real campaigns vary particle counts, mesh seeds,
+		// and iteration counts run to run), so features and targets
+		// vary continuously rather than collapsing onto a small set of
+		// discrete configuration cells, and intensity features carry
+		// per-run causal signal.
+		trialApp := a.Jittered(rng, trialSigJitterSigma)
+		trialInput := in
+		trialInput.Scale *= rng.NoiseFactor(trialScaleJitterSigma)
+		profiles := make([]*profiler.Profile, len(machines))
+		times := make([]float64, len(machines))
+		for mi, m := range machines {
+			pr, err := prof.Run(trialApp, trialInput, m, s, rng)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: profiling %s %q on %s: %w", a.Name, in.Args, m.Name, err)
+			}
+			profiles[mi] = pr
+			times[mi] = pr.RuntimeSec
+		}
+		for mi, m := range machines {
+			target, err := rpv.FromTimes(times, mi)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: rpv for %s on %s: %w", a.Name, m.Name, err)
+			}
+			feats, err := FeaturesFromProfile(profiles[mi])
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row{
+				app: a.Name, input: in.Args, scale: s.String(), system: m.Name,
+				trial:    float64(trial),
+				features: feats,
+				targets:  target,
+				times:    append([]float64(nil), times...),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FeaturesFromProfile derives the 21 feature values of one profile
+// (Section V-D): instruction counters become ratios of total
+// instructions; magnitude counters stay raw here (z-scored at dataset
+// level); run configuration and the architecture one-hot complete the
+// vector.
+func FeaturesFromProfile(p *profiler.Profile) (map[string]float64, error) {
+	g, err := hatchet.FromProfile(p)
+	if err != nil {
+		return nil, err
+	}
+	canon, _ := g.Canonical()
+	total := canon[profiler.TotalInstr]
+	ratio := func(q profiler.Quantity) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return canon[q] / total
+	}
+	f := map[string]float64{
+		ColBranchIntensity: ratio(profiler.BranchInstr),
+		ColStoreIntensity:  ratio(profiler.StoreInstr),
+		ColLoadIntensity:   ratio(profiler.LoadInstr),
+		ColFP32Intensity:   ratio(profiler.FP32Instr),
+		ColFP64Intensity:   ratio(profiler.FP64Instr),
+		ColIntIntensity:    ratio(profiler.IntInstr),
+		ColL1LoadMisses:    canon[profiler.L1LoadMiss],
+		ColL1StoreMisses:   canon[profiler.L1StoreMiss],
+		ColL2LoadMisses:    canon[profiler.L2LoadMiss],
+		ColL2StoreMisses:   canon[profiler.L2StoreMiss],
+		ColIOBytesRead:     canon[profiler.IOReadBytes],
+		ColIOBytesWritten:  canon[profiler.IOWriteBytes],
+		ColEPTSize:         canon[profiler.EPTBytes],
+		ColMemStalls:       canon[profiler.MemStallCycles],
+		ColNodes:           float64(p.Nodes),
+		ColCores:           float64(p.Cores),
+	}
+	f[ColUsesGPU] = 0
+	if p.UsesGPU {
+		f[ColUsesGPU] = 1
+	}
+	for _, name := range arch.Names() {
+		v := 0.0
+		if name == p.System {
+			v = 1
+		}
+		f["arch="+name] = v
+	}
+	return f, nil
+}
+
+// rowsToFrame assembles the dataframe with a fixed column order:
+// metadata, features, targets, times.
+func rowsToFrame(rows []row) *dataframe.Frame {
+	n := len(rows)
+	f := dataframe.New()
+	appCol := make([]string, n)
+	inputCol := make([]string, n)
+	scaleCol := make([]string, n)
+	systemCol := make([]string, n)
+	trialCol := make([]float64, n)
+	for i, r := range rows {
+		appCol[i] = r.app
+		inputCol[i] = r.input
+		scaleCol[i] = r.scale
+		systemCol[i] = r.system
+		trialCol[i] = r.trial
+	}
+	f.AddString(ColApp, appCol)
+	f.AddString(ColInput, inputCol)
+	f.AddString(ColScale, scaleCol)
+	f.AddString(ColSystem, systemCol)
+	f.AddFloat(ColTrial, trialCol)
+
+	for _, col := range FeatureColumns() {
+		data := make([]float64, n)
+		for i, r := range rows {
+			data[i] = r.features[col]
+		}
+		f.AddFloat(col, data)
+	}
+	for k, col := range TargetColumns() {
+		data := make([]float64, n)
+		for i, r := range rows {
+			data[i] = r.targets[k]
+		}
+		f.AddFloat(col, data)
+	}
+	for k, col := range TimeColumns() {
+		data := make([]float64, n)
+		for i, r := range rows {
+			data[i] = r.times[k]
+		}
+		f.AddFloat(col, data)
+	}
+	return f
+}
+
+// Features extracts the model input matrix in FeatureColumns order.
+func (d *Dataset) Features() [][]float64 {
+	return d.Frame.Matrix(FeatureColumns())
+}
+
+// Targets extracts the RPV target matrix in TargetColumns order.
+func (d *Dataset) Targets() [][]float64 {
+	return d.Frame.Matrix(TargetColumns())
+}
+
+// NumRows returns the dataset size.
+func (d *Dataset) NumRows() int { return d.Frame.NumRows() }
+
+// FromFrame wraps an existing frame (e.g. read back from CSV) as a
+// Dataset, verifying the required columns exist.
+func FromFrame(f *dataframe.Frame) (*Dataset, error) {
+	var missing []string
+	for _, col := range append(append(FeatureColumns(), TargetColumns()...), ColApp, ColSystem, ColScale) {
+		if !f.Has(col) {
+			missing = append(missing, col)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("dataset: frame missing columns %v", missing)
+	}
+	return &Dataset{Frame: f, Norms: map[string]dataframe.Stats{}}, nil
+}

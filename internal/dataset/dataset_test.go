@@ -1,0 +1,324 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/dataframe"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/stats"
+)
+
+// smallParams builds a quick dataset: two apps, one trial.
+func smallParams() Params {
+	return Params{
+		Apps:   []*apps.App{apps.CoMD(), apps.SW4lite()},
+		Trials: 1,
+		Seed:   7,
+	}
+}
+
+func TestColumnSchemas(t *testing.T) {
+	if got := len(FeatureColumns()); got != 21 {
+		t.Fatalf("FeatureColumns = %d, paper says 21", got)
+	}
+	if got := len(TargetColumns()); got != arch.NumSystems {
+		t.Fatalf("TargetColumns = %d", got)
+	}
+	if got := len(ZScoredColumns()); got != 8 {
+		t.Fatalf("ZScoredColumns = %d, paper standardizes eight", got)
+	}
+	// Every z-scored column must be a feature column.
+	features := map[string]bool{}
+	for _, c := range FeatureColumns() {
+		features[c] = true
+	}
+	for _, c := range ZScoredColumns() {
+		if !features[c] {
+			t.Errorf("z-scored column %s is not a feature", c)
+		}
+	}
+}
+
+func TestBuildSmall(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 apps x (5+4 inputs) x 3 scales x 1 trial x 4 systems.
+	want := (5 + 4) * 3 * 1 * 4
+	if ds.NumRows() != want {
+		t.Fatalf("rows = %d, want %d", ds.NumRows(), want)
+	}
+	for _, col := range append(FeatureColumns(), TargetColumns()...) {
+		if !ds.Frame.Has(col) {
+			t.Fatalf("missing column %s", col)
+		}
+	}
+}
+
+func TestDefaultIsPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset build in -short mode")
+	}
+	// Count combos without building: 86 inputs x 3 scales x 11 trials x
+	// 4 systems = 11,352 — the paper reports 11,312 rows.
+	inputs := 0
+	for _, a := range apps.All() {
+		inputs += len(a.Inputs)
+	}
+	rows := inputs * 3 * 11 * 4
+	if rows < 11000 || rows > 12000 {
+		t.Errorf("default dataset would have %d rows; want paper scale ~11,312", rows)
+	}
+}
+
+func TestRPVTargetsValid(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := ds.Targets()
+	systems := ds.Frame.Strings(ColSystem)
+	for i, row := range targets {
+		ref := arch.Index(systems[i])
+		if ref < 0 {
+			t.Fatalf("row %d has unknown system %s", i, systems[i])
+		}
+		if math.Abs(row[ref]-1) > 1e-9 {
+			t.Fatalf("row %d: reference component = %v, want 1", i, row[ref])
+		}
+		for k, v := range row {
+			if !(v > 0) {
+				t.Fatalf("row %d target %d = %v", i, k, v)
+			}
+		}
+	}
+}
+
+func TestTimesConsistentWithTargets(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := ds.Frame.Matrix(TimeColumns())
+	targets := ds.Targets()
+	systems := ds.Frame.Strings(ColSystem)
+	for i := range targets {
+		ref := arch.Index(systems[i])
+		for k := range targets[i] {
+			want := times[i][k] / times[i][ref]
+			if math.Abs(targets[i][k]-want) > 1e-9*want {
+				t.Fatalf("row %d: rpv[%d]=%v, times give %v", i, k, targets[i][k], want)
+			}
+		}
+	}
+}
+
+func TestZScoreNormalization(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range ZScoredColumns() {
+		vals := ds.Frame.Floats(col)
+		if m := stats.Mean(vals); math.Abs(m) > 1e-9 {
+			t.Errorf("%s mean = %v after z-score", col, m)
+		}
+		if s := stats.StdDev(vals); math.Abs(s-1) > 1e-9 {
+			t.Errorf("%s std = %v after z-score", col, s)
+		}
+		if _, ok := ds.Norms[col]; !ok {
+			t.Errorf("missing fitted stats for %s", col)
+		}
+	}
+}
+
+func TestSkipNormalizeKeepsRaw(t *testing.T) {
+	p := smallParams()
+	p.SkipNormalize = true
+	ds, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw L1 miss counts should be large positive numbers, not z-scores.
+	vals := ds.Frame.Floats(ColL1LoadMisses)
+	if stats.Max(vals) < 1e3 {
+		t.Errorf("raw miss counts look normalized: max = %v", stats.Max(vals))
+	}
+}
+
+func TestIntensitiesAreRatios(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{ColBranchIntensity, ColLoadIntensity, ColStoreIntensity,
+		ColFP32Intensity, ColFP64Intensity, ColIntIntensity} {
+		for _, v := range ds.Frame.Floats(col) {
+			if v < 0 || v > 1.2 {
+				t.Fatalf("%s = %v is not a plausible instruction ratio", col, v)
+			}
+		}
+	}
+}
+
+func TestOneHotArchConsistent(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := ds.Frame.Strings(ColSystem)
+	for i := range systems {
+		sum := 0.0
+		for _, name := range arch.Names() {
+			v := ds.Frame.Floats("arch=" + name)[i]
+			sum += v
+			if name == systems[i] && v != 1 {
+				t.Fatalf("row %d: arch=%s should be 1", i, name)
+			}
+		}
+		if sum != 1 {
+			t.Fatalf("row %d: one-hot sum = %v", i, sum)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	p := smallParams()
+	p.Workers = 1
+	a, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row count differs across worker counts")
+	}
+	av := a.Frame.Floats(ColBranchIntensity)
+	bv := b.Frame.Floats(ColBranchIntensity)
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("row %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestGPURowsHaveGPUFlag(t *testing.T) {
+	ds, err := Build(Params{Apps: []*apps.App{apps.SW4lite()}, Trials: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := ds.Frame.Strings(ColSystem)
+	gpu := ds.Frame.Floats(ColUsesGPU)
+	for i, sys := range systems {
+		wantGPU := sys == "Lassen" || sys == "Corona"
+		if (gpu[i] == 1) != wantGPU {
+			t.Fatalf("row %d on %s: uses_gpu = %v", i, sys, gpu[i])
+		}
+	}
+}
+
+func TestCoronaGPURowsHaveZeroBranchIntensity(t *testing.T) {
+	// Table III: the AMD GPU cannot measure branch instructions; those
+	// features must be zero for Corona GPU rows.
+	ds, err := Build(Params{Apps: []*apps.App{apps.XSBench()}, Trials: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := ds.Frame.Strings(ColSystem)
+	branch := ds.Frame.Floats(ColBranchIntensity)
+	for i, sys := range systems {
+		if sys == "Corona" && branch[i] != 0 {
+			t.Fatalf("Corona GPU row has branch intensity %v", branch[i])
+		}
+		if sys == "Quartz" && branch[i] == 0 {
+			t.Fatal("Quartz row lost its branch intensity")
+		}
+	}
+}
+
+func TestCSVRoundTripThroughFromFrame(t *testing.T) {
+	ds, err := Build(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Frame.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := dataframe.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != ds.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), ds.NumRows())
+	}
+	a, b := ds.Features(), back.Features()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("feature (%d,%d) changed in CSV round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestFromFrameRejectsMissingColumns(t *testing.T) {
+	f := dataframe.New().AddFloat("x", []float64{1})
+	if _, err := FromFrame(f); err == nil {
+		t.Error("incomplete frame should be rejected")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Params{Apps: []*apps.App{}}); err == nil {
+		t.Error("empty app list should error")
+	}
+	if _, err := Build(Params{Trials: -1}); err == nil {
+		t.Error("negative trials should error")
+	}
+	bad := apps.CoMD()
+	bad.Inputs = nil
+	if _, err := Build(Params{Apps: []*apps.App{bad}, Trials: 1}); err == nil {
+		t.Error("invalid app should error")
+	}
+}
+
+func TestFeaturesFromProfileDirect(t *testing.T) {
+	a := apps.CoMD()
+	m, _ := arch.ByName("Ruby")
+	var p profiler.Profiler
+	prof, err := p.Run(a, a.Inputs[0], m, perfmodel.OneNode, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := FeaturesFromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 21 {
+		t.Fatalf("feature map has %d entries", len(feats))
+	}
+	if feats["arch=Ruby"] != 1 || feats["arch=Quartz"] != 0 {
+		t.Error("one-hot wrong")
+	}
+	if feats[ColCores] != 56 || feats[ColNodes] != 1 {
+		t.Errorf("run config features wrong: cores=%v nodes=%v", feats[ColCores], feats[ColNodes])
+	}
+	if math.Abs(feats[ColBranchIntensity]-a.Sig.BranchFrac) > 0.03 {
+		t.Errorf("branch intensity %v, want ~%v", feats[ColBranchIntensity], a.Sig.BranchFrac)
+	}
+}

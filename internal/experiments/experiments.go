@@ -1,0 +1,67 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VIII): the Figure 2 model comparison, the
+// Figure 3 per-architecture counter ablation, the Figure 4
+// leave-one-scale-out and Figure 5 leave-one-application-out studies,
+// the Figure 6 feature importances, and the Figure 7/8 multi-resource
+// scheduling simulation. Each experiment is a pure function of a
+// dataset and a Config, so the command-line tools, the benchmark
+// harness, and the tests all share one implementation.
+package experiments
+
+import (
+	"fmt"
+
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// Config carries the seeds and sizes shared by all experiments.
+type Config struct {
+	// DatasetSeed seeds MP-HPC generation.
+	DatasetSeed uint64
+	// SplitSeed seeds train/test shuffling.
+	SplitSeed uint64
+	// ModelSeed seeds the stochastic learners.
+	ModelSeed uint64
+	// Trials is passed to dataset.Build (0 = the paper-scale 11).
+	Trials int
+	// TestFraction for holdout evaluation (0 = the paper's 0.10).
+	TestFraction float64
+	// CVFolds for cross-validation (0 = the paper's 5).
+	CVFolds int
+}
+
+// Defaults returns the canonical experiment configuration.
+func Defaults() Config {
+	return Config{DatasetSeed: 1, SplitSeed: 2, ModelSeed: 3}
+}
+
+func (c *Config) setDefaults() {
+	if c.TestFraction == 0 {
+		c.TestFraction = 0.10
+	}
+	if c.CVFolds == 0 {
+		c.CVFolds = 5
+	}
+}
+
+// BuildDataset generates the MP-HPC dataset for the configuration.
+func BuildDataset(cfg Config) (*dataset.Dataset, error) {
+	return dataset.Build(dataset.Params{Trials: cfg.Trials, Seed: cfg.DatasetSeed})
+}
+
+// evalOn trains a fresh model from the factory on (trainX, trainY) and
+// evaluates on (testX, testY).
+func evalOn(f ml.Factory, trainX, trainY, testX, testY [][]float64) (ml.Evaluation, error) {
+	m := f()
+	if err := m.Fit(trainX, trainY); err != nil {
+		return ml.Evaluation{}, fmt.Errorf("experiments: fitting %s: %w", m.Name(), err)
+	}
+	return ml.Evaluate(m, testX, testY), nil
+}
+
+// splitFrame shuffles and splits a dataset's feature/target matrices.
+func splitFrame(ds *dataset.Dataset, testFrac float64, seed uint64) (trX, trY, teX, teY [][]float64, err error) {
+	return ml.TrainTestSplit(ds.Features(), ds.Targets(), testFrac, stats.NewRNG(seed))
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/sched"
+)
+
+// testConfig is a reduced-scale configuration: the full Table II app
+// catalog (Figure 5 needs it) at 2 trials instead of 11.
+func testConfig() Config {
+	cfg := Defaults()
+	cfg.Trials = 2
+	return cfg
+}
+
+var (
+	sharedDS   *dataset.Dataset
+	sharedCfg  Config
+	sharedPred *core.Predictor
+)
+
+// sharedDataset builds the reduced dataset once for the whole package
+// test run; individual experiments are read-only over it.
+func sharedDataset(t *testing.T) (*dataset.Dataset, Config) {
+	t.Helper()
+	if sharedDS == nil {
+		sharedCfg = testConfig()
+		ds, err := BuildDataset(sharedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDS = ds
+	}
+	return sharedDS, sharedCfg
+}
+
+func TestFig2Shape(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	rows, err := Fig2(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig2 rows = %d", len(rows))
+	}
+	byName := map[string]Fig2Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	xgb, mean, lin, forest := byName["xgboost"], byName["mean"], byName["linear"], byName["decision forest"]
+	// The paper's headline: XGBoost is a large improvement over the
+	// mean baseline (81.6% there).
+	if xgb.MAE >= mean.MAE/3 {
+		t.Errorf("xgboost MAE %v not a large improvement over mean %v", xgb.MAE, mean.MAE)
+	}
+	if xgb.MAE >= lin.MAE || forest.MAE >= lin.MAE {
+		t.Errorf("tree models should beat linear: xgb=%v forest=%v linear=%v",
+			xgb.MAE, forest.MAE, lin.MAE)
+	}
+	if lin.MAE >= mean.MAE {
+		t.Errorf("linear MAE %v >= mean %v", lin.MAE, mean.MAE)
+	}
+	if xgb.SOS <= lin.SOS || xgb.SOS <= mean.SOS {
+		t.Errorf("xgboost SOS %v should lead linear %v and mean %v", xgb.SOS, lin.SOS, mean.SOS)
+	}
+	// CV numbers must be populated and broadly consistent with test.
+	if xgb.CVMAE <= 0 || xgb.CVMAE > 3*xgb.MAE+0.1 {
+		t.Errorf("xgboost CV MAE %v inconsistent with test MAE %v", xgb.CVMAE, xgb.MAE)
+	}
+	out := FormatFig2(rows)
+	if !strings.Contains(out, "xgboost") || !strings.Contains(out, "MAE") {
+		t.Error("FormatFig2 output malformed")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	cells, err := Fig3(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 {
+		t.Fatalf("fig3 cells = %d, want 4 models x 4 archs", len(cells))
+	}
+	// CPU-sourced counters must beat GPU-sourced for xgboost (the
+	// paper's key Fig. 3 observation).
+	get := func(model, sys string) Fig3Cell {
+		for _, c := range cells {
+			if c.Model == model && c.SourceArch == sys {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%s", model, sys)
+		return Fig3Cell{}
+	}
+	cpu := (get("xgboost", "Quartz").MAE + get("xgboost", "Ruby").MAE) / 2
+	gpu := (get("xgboost", "Lassen").MAE + get("xgboost", "Corona").MAE) / 2
+	if cpu >= gpu {
+		t.Errorf("CPU-source xgboost MAE %v should beat GPU-source %v", cpu, gpu)
+	}
+	// Corona (AMD, sparse counters + noisy rocprofiler) should be the
+	// worst source for the learned models.
+	if get("xgboost", "Corona").MAE <= get("xgboost", "Quartz").MAE {
+		t.Error("Corona-sourced counters should predict worse than Quartz-sourced")
+	}
+	out := FormatFig3(cells)
+	if !strings.Contains(out, "Quartz") || !strings.Contains(out, "SOS") {
+		t.Error("FormatFig3 output malformed")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	rows, err := Fig4(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("fig4 rows = %d", len(rows))
+	}
+	scales := map[string]bool{}
+	for _, r := range rows {
+		scales[r.HeldOutScale] = true
+		// Cross-scale generalization is harder than random-split (tree
+		// ensembles cannot extrapolate to unseen cores/nodes values —
+		// see EXPERIMENTS.md) but must stay far better than the mean
+		// baseline (~0.9) and the linear model (~0.45).
+		if r.MAE > 0.45 {
+			t.Errorf("held-out %s MAE = %v, model failed to generalize", r.HeldOutScale, r.MAE)
+		}
+		if r.TestRows == 0 {
+			t.Errorf("held-out %s has no test rows", r.HeldOutScale)
+		}
+	}
+	for _, s := range []string{"1-core", "1-node", "2-node"} {
+		if !scales[s] {
+			t.Errorf("missing scale %s", s)
+		}
+	}
+	if out := FormatFig4(rows); !strings.Contains(out, "1-node") {
+		t.Error("FormatFig4 output malformed")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	rows, err := Fig5(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("fig5 rows = %d, want 20 applications", len(rows))
+	}
+	mlSum, mlN, otherSum, otherN := 0.0, 0, 0.0, 0
+	for _, r := range rows {
+		if r.MLStack {
+			mlSum += r.MAE
+			mlN++
+		} else {
+			otherSum += r.MAE
+			otherN++
+		}
+	}
+	if mlN != 4 {
+		t.Fatalf("ML-stack rows = %d, want 4", mlN)
+	}
+	// The paper: ML/Python applications predict notably worse.
+	if mlSum/float64(mlN) <= otherSum/float64(otherN) {
+		t.Errorf("ML apps mean MAE %v should exceed others %v",
+			mlSum/float64(mlN), otherSum/float64(otherN))
+	}
+	if out := FormatFig5(rows); !strings.Contains(out, "ML/Python") {
+		t.Error("FormatFig5 output malformed")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	rows, err := Fig6(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 {
+		t.Fatalf("fig6 rows = %d, want 21 features", len(rows))
+	}
+	sum := 0.0
+	for i, r := range rows {
+		if r.Importance < 0 {
+			t.Fatalf("negative importance for %s", r.Feature)
+		}
+		sum += r.Importance
+		if i > 0 && rows[i-1].Importance < r.Importance {
+			t.Fatal("fig6 rows not sorted descending")
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// The paper's Fig. 6 tops out with branch intensity; in our
+	// synthetic substrate the clean uses_gpu regime marker absorbs that
+	// gain (documented deviation in EXPERIMENTS.md). Assert the
+	// defensible invariants: the top feature is a CPU/GPU regime
+	// discriminator and some instruction-mix intensity features carry
+	// non-trivial importance.
+	if top := rows[0].Feature; top != dataset.ColUsesGPU && top != dataset.ColBranchIntensity &&
+		!strings.HasPrefix(top, "arch=") {
+		t.Errorf("top feature %s is not a regime discriminator", top)
+	}
+	intensitySum := 0.0
+	for _, col := range []string{dataset.ColBranchIntensity, dataset.ColFP32Intensity,
+		dataset.ColFP64Intensity, dataset.ColIntIntensity} {
+		intensitySum += ImportanceOf(rows, col)
+	}
+	if intensitySum <= 0 {
+		t.Error("instruction-mix intensities carry no importance at all")
+	}
+	if out := FormatFig6(rows); !strings.Contains(out, "branch_intensity") {
+		t.Error("FormatFig6 output malformed")
+	}
+}
+
+// sharedPredictor trains the default predictor once for the package.
+func sharedPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	ds, cfg := sharedDataset(t)
+	if sharedPred == nil {
+		pred, _, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPred = pred
+	}
+	return sharedPred
+}
+
+func TestSchedulingExperiment(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	scfg := SchedConfig{NumJobs: 4000, WorkloadSeed: 5, IncludeOracle: true}
+	results, err := RunScheduling(ds, pred, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5 with oracle", len(results))
+	}
+	byName := map[string]sched.Result{}
+	for _, r := range results {
+		byName[r.Strategy] = r
+	}
+	model := byName["Model-based"]
+	oracle := byName["Oracle"]
+	rr := byName["Round-Robin"]
+	random := byName["Random"]
+	user := byName["User+RR"]
+	// Fig. 7 shape: model-based beats round-robin and random; user+RR
+	// sits between.
+	if model.MakespanSec >= rr.MakespanSec || model.MakespanSec >= random.MakespanSec {
+		t.Errorf("model-based makespan %v should beat RR %v and Random %v",
+			model.MakespanSec, rr.MakespanSec, random.MakespanSec)
+	}
+	if user.MakespanSec >= rr.MakespanSec {
+		t.Errorf("user+RR makespan %v should beat RR %v", user.MakespanSec, rr.MakespanSec)
+	}
+	// The oracle bounds the model's total runtime from below.
+	if oracle.TotalRuntimeSec > model.TotalRuntimeSec*1.001 {
+		t.Errorf("oracle total runtime %v exceeds model-based %v",
+			oracle.TotalRuntimeSec, model.TotalRuntimeSec)
+	}
+	// Fig. 8 shape: model-based has the lowest average bounded slowdown
+	// among the paper's four strategies.
+	for _, other := range []sched.Result{rr, random, user} {
+		if model.AvgBoundedSlowdown > other.AvgBoundedSlowdown*1.001 {
+			t.Errorf("model-based slowdown %v exceeds %s %v",
+				model.AvgBoundedSlowdown, other.Strategy, other.AvgBoundedSlowdown)
+		}
+	}
+	if out := FormatSched(results); !strings.Contains(out, "makespan") {
+		t.Error("FormatSched output malformed")
+	}
+}
+
+func TestSampleWorkloadProperties(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	jobs, err := SampleWorkload(ds, pred, SchedConfig{NumJobs: 1000, WorkloadSeed: 9, ArrivalRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1000 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	prevArrival := 0.0
+	for _, j := range jobs {
+		if err := j.Validate(arch.NumSystems); err != nil {
+			t.Fatal(err)
+		}
+		if j.Arrival < prevArrival {
+			t.Fatal("arrivals not monotone under Poisson process")
+		}
+		prevArrival = j.Arrival
+		if len(j.Predicted) != arch.NumSystems {
+			t.Fatalf("job %d prediction has %d entries", j.ID, len(j.Predicted))
+		}
+		if j.Nodes != 1 && j.Nodes != 2 {
+			t.Fatalf("job %d nodes = %d", j.ID, j.Nodes)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := TableI()
+	for _, want := range []string{"Quartz", "Ruby", "Lassen", "Corona", "NVIDIA V100", "AMD MI50"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := TableII()
+	if !strings.Contains(t2, "XSBench") || !strings.Contains(t2, "20 total") {
+		t.Error("Table II malformed")
+	}
+	t3 := TableIII()
+	for _, want := range []string{"PAPI_BR_INS", "cf_executed", "TCC_MISS_RD", "requests x hit_rate", "—"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureSelection(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	res, err := FeatureSelection(ds, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 10 {
+		t.Fatalf("selected %d features", len(res.Selected))
+	}
+	// Both passes must evaluate all four models.
+	if len(res.Full) != 4 || len(res.Reduced) != 4 {
+		t.Fatalf("passes have %d/%d models", len(res.Full), len(res.Reduced))
+	}
+	// Selection trades some accuracy for profiling cost (dropping part
+	// of the architecture one-hot hurts); the reduced model must still
+	// beat the full linear and mean baselines decisively.
+	reduced := res.Reduced["xgboost"]
+	if reduced.MAE >= res.Full["linear"].MAE {
+		t.Errorf("reduced xgboost MAE %v not better than full linear %v", reduced.MAE, res.Full["linear"].MAE)
+	}
+	if reduced.MAE >= res.Full["mean"].MAE/2 {
+		t.Errorf("reduced xgboost MAE %v not far ahead of mean %v", reduced.MAE, res.Full["mean"].MAE)
+	}
+	// Selected features must be distinct and real columns.
+	seen := map[string]bool{}
+	for _, f := range res.Selected {
+		if seen[f] {
+			t.Fatalf("duplicate selected feature %s", f)
+		}
+		seen[f] = true
+		if !ds.Frame.Has(f) {
+			t.Fatalf("selected feature %s not in dataset", f)
+		}
+	}
+	out := FormatFeatureSelection(res)
+	if !strings.Contains(out, "MAE(sel)") || !strings.Contains(out, "xgboost") {
+		t.Error("FormatFeatureSelection malformed")
+	}
+}
+
+func TestFeatureSelectionErrors(t *testing.T) {
+	ds, cfg := sharedDataset(t)
+	if _, err := FeatureSelection(ds, cfg, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := FeatureSelection(ds, cfg, 99); err == nil {
+		t.Error("k too large should error")
+	}
+}

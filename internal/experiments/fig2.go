@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// Fig2Row is one bar pair of Figure 2: a model's MAE and SOS on the
+// held-out test set, plus the 5-fold cross-validation averages the
+// paper reports during training.
+type Fig2Row struct {
+	Model string
+	MAE   float64
+	SOS   float64
+	CVMAE float64
+	CVSOS float64
+}
+
+// Fig2 reproduces the Figure 2 model comparison: the four models
+// (mean, linear, decision forest, xgboost) trained on a 90/10 split
+// with 5-fold cross-validation inside the training set, evaluated by
+// MAE and Same Order Score on the untouched test set.
+func Fig2(ds *dataset.Dataset, cfg Config) ([]Fig2Row, error) {
+	cfg.setDefaults()
+	trX, trY, teX, teY, err := splitFrame(ds, cfg.TestFraction, cfg.SplitSeed)
+	if err != nil {
+		return nil, err
+	}
+	factories := core.StandardFactories(cfg.ModelSeed)
+	rows := make([]Fig2Row, 0, len(core.ModelOrder))
+	for _, name := range core.ModelOrder {
+		f := factories[name]
+		cv, err := ml.CrossValidate(f, trX, trY, cfg.CVFolds, stats.NewRNG(cfg.SplitSeed+1))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 CV for %s: %w", name, err)
+		}
+		ev, err := evalOn(f, trX, trY, teX, teY)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2Row{
+			Model: name,
+			MAE:   ev.MAE,
+			SOS:   ev.SOS,
+			CVMAE: cv.MeanMAE,
+			CVSOS: cv.MeanSOS,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig2 renders the rows as the experiment table.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — model comparison (test set; CV = 5-fold average on train)\n")
+	fmt.Fprintf(&b, "%-16s %8s %8s %10s %10s\n", "model", "MAE", "SOS", "CV-MAE", "CV-SOS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8.4f %8.4f %10.4f %10.4f\n", r.Model, r.MAE, r.SOS, r.CVMAE, r.CVSOS)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// Fig3Cell is one heatmap cell of Figure 3: the MAE and SOS of one
+// model when trained and evaluated only on counters recorded on one
+// source architecture.
+type Fig3Cell struct {
+	Model      string
+	SourceArch string
+	MAE        float64
+	SOS        float64
+}
+
+// Fig3 reproduces the Figure 3 ablation: for each source architecture,
+// restrict the dataset to rows whose counters were recorded on that
+// system, then train and evaluate every model on that slice. The
+// paper's observation — CPU-sourced counters (Quartz, Ruby) predict
+// better than GPU-sourced ones (Lassen, Corona) — emerges from the
+// counter-noise and counter-coverage differences of the profiler
+// schemas.
+func Fig3(ds *dataset.Dataset, cfg Config) ([]Fig3Cell, error) {
+	cfg.setDefaults()
+	factories := core.StandardFactories(cfg.ModelSeed)
+	var cells []Fig3Cell
+	for _, sys := range arch.Names() {
+		slice := ds.Frame.FilterEq(dataset.ColSystem, sys)
+		sub := &dataset.Dataset{Frame: slice, Norms: ds.Norms}
+		trX, trY, teX, teY, err := ml.TrainTestSplit(sub.Features(), sub.Targets(),
+			cfg.TestFraction, stats.NewRNG(cfg.SplitSeed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3 split for %s: %w", sys, err)
+		}
+		for _, name := range core.ModelOrder {
+			ev, err := evalOn(factories[name], trX, trY, teX, teY)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig3 %s on %s: %w", name, sys, err)
+			}
+			cells = append(cells, Fig3Cell{Model: name, SourceArch: sys, MAE: ev.MAE, SOS: ev.SOS})
+		}
+	}
+	return cells, nil
+}
+
+// FormatFig3 renders the cells as the two Figure 3 heatmaps.
+func FormatFig3(cells []Fig3Cell) string {
+	var b strings.Builder
+	for _, metric := range []string{"MAE", "SOS"} {
+		fmt.Fprintf(&b, "Figure 3 — %s by (model x counter-source architecture)\n", metric)
+		fmt.Fprintf(&b, "%-16s", "model")
+		for _, sys := range arch.Names() {
+			fmt.Fprintf(&b, " %8s", sys)
+		}
+		b.WriteByte('\n')
+		for _, name := range core.ModelOrder {
+			fmt.Fprintf(&b, "%-16s", name)
+			for _, sys := range arch.Names() {
+				for _, c := range cells {
+					if c.Model == name && c.SourceArch == sys {
+						if metric == "MAE" {
+							fmt.Fprintf(&b, " %8.4f", c.MAE)
+						} else {
+							fmt.Fprintf(&b, " %8.4f", c.SOS)
+						}
+					}
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

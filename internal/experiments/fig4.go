@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+	"crossarch/internal/perfmodel"
+)
+
+// Fig4Row is one bar of Figure 4: XGBoost trained on two of the three
+// resource scales and evaluated on the held-out third.
+type Fig4Row struct {
+	HeldOutScale string
+	MAE          float64
+	SOS          float64
+	TestRows     int
+}
+
+// Fig4 reproduces the leave-one-scale-out ablation: hold out each of
+// 1-core, 1-node, and 2-node in turn, train XGBoost on the remaining
+// two scales, evaluate on the held-out scale.
+func Fig4(ds *dataset.Dataset, cfg Config) ([]Fig4Row, error) {
+	cfg.setDefaults()
+	var rows []Fig4Row
+	for _, held := range perfmodel.Scales {
+		label := held.String()
+		trainFrame := ds.Frame.FilterNeq(dataset.ColScale, label)
+		testFrame := ds.Frame.FilterEq(dataset.ColScale, label)
+		if trainFrame.NumRows() == 0 || testFrame.NumRows() == 0 {
+			return nil, fmt.Errorf("experiments: fig4 scale %s has empty split", label)
+		}
+		train := &dataset.Dataset{Frame: trainFrame, Norms: ds.Norms}
+		test := &dataset.Dataset{Frame: testFrame, Norms: ds.Norms}
+		model := core.DefaultXGBoost(cfg.ModelSeed)
+		if err := model.Fit(train.Features(), train.Targets()); err != nil {
+			return nil, fmt.Errorf("experiments: fig4 training without %s: %w", label, err)
+		}
+		ev := ml.Evaluate(model, test.Features(), test.Targets())
+		rows = append(rows, Fig4Row{HeldOutScale: label, MAE: ev.MAE, SOS: ev.SOS, TestRows: ev.N})
+	}
+	return rows, nil
+}
+
+// FormatFig4 renders the rows.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — XGBoost trained on two scales, evaluated on the third\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "held out", "MAE", "SOS", "n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.4f %8.4f %8d\n", r.HeldOutScale, r.MAE, r.SOS, r.TestRows)
+	}
+	return b.String()
+}

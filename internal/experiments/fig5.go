@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
+)
+
+// Fig5Row is one bar of Figure 5: XGBoost trained on all applications
+// except one and evaluated on the held-out application.
+type Fig5Row struct {
+	App     string
+	MLStack bool
+	MAE     float64
+	SOS     float64
+}
+
+// Fig5 reproduces the leave-one-application-out ablation, the paper's
+// generalization test. The ML/Python-stack applications (CANDLE,
+// CosmoFlow, miniGAN, DeepCam) come out measurably worse, driven by
+// their software-stack runtime variance.
+func Fig5(ds *dataset.Dataset, cfg Config) ([]Fig5Row, error) {
+	cfg.setDefaults()
+	appNames := ds.Frame.Unique(dataset.ColApp)
+	var rows []Fig5Row
+	for _, name := range appNames {
+		trainFrame := ds.Frame.FilterNeq(dataset.ColApp, name)
+		testFrame := ds.Frame.FilterEq(dataset.ColApp, name)
+		train := &dataset.Dataset{Frame: trainFrame, Norms: ds.Norms}
+		test := &dataset.Dataset{Frame: testFrame, Norms: ds.Norms}
+		model := core.DefaultXGBoost(cfg.ModelSeed)
+		if err := model.Fit(train.Features(), train.Targets()); err != nil {
+			return nil, fmt.Errorf("experiments: fig5 training without %s: %w", name, err)
+		}
+		ev := ml.Evaluate(model, test.Features(), test.Targets())
+		mlStack := false
+		if a, err := apps.ByName(name); err == nil {
+			mlStack = a.MLStack
+		}
+		rows = append(rows, Fig5Row{App: name, MLStack: mlStack, MAE: ev.MAE, SOS: ev.SOS})
+	}
+	return rows, nil
+}
+
+// FormatFig5 renders the rows, flagging the ML-stack applications.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — leave-one-application-out MAE (XGBoost)\n")
+	fmt.Fprintf(&b, "%-16s %8s %8s %s\n", "held-out app", "MAE", "SOS", "")
+	for _, r := range rows {
+		tag := ""
+		if r.MLStack {
+			tag = "  [ML/Python stack]"
+		}
+		fmt.Fprintf(&b, "%-16s %8.4f %8.4f%s\n", r.App, r.MAE, r.SOS, tag)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+)
+
+// Fig6Row is one bar of Figure 6: a feature and its gain-based
+// importance in the trained XGBoost model.
+type Fig6Row struct {
+	Feature    string
+	Importance float64
+}
+
+// Fig6 reproduces the feature-importance analysis: train the headline
+// XGBoost model on the training split and report the per-feature
+// average split gain, normalized to sum to one, sorted descending.
+func Fig6(ds *dataset.Dataset, cfg Config) ([]Fig6Row, error) {
+	cfg.setDefaults()
+	trX, trY, _, _, err := splitFrame(ds, cfg.TestFraction, cfg.SplitSeed)
+	if err != nil {
+		return nil, err
+	}
+	model := core.DefaultXGBoost(cfg.ModelSeed)
+	if err := model.Fit(trX, trY); err != nil {
+		return nil, fmt.Errorf("experiments: fig6 training: %w", err)
+	}
+	imp := model.FeatureImportances()
+	names := dataset.FeatureColumns()
+	rows := make([]Fig6Row, len(names))
+	for i, n := range names {
+		rows[i] = Fig6Row{Feature: n, Importance: imp[i]}
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Importance > rows[b].Importance })
+	return rows, nil
+}
+
+// FormatFig6 renders the rows with a proportional bar.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — XGBoost feature importances (average split gain)\n")
+	maxImp := 0.0
+	for _, r := range rows {
+		if r.Importance > maxImp {
+			maxImp = r.Importance
+		}
+	}
+	for _, r := range rows {
+		barLen := 0
+		if maxImp > 0 {
+			barLen = int(40 * r.Importance / maxImp)
+		}
+		fmt.Fprintf(&b, "%-18s %7.4f %s\n", r.Feature, r.Importance, strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// ImportanceOf returns the importance of the named feature, or 0.
+func ImportanceOf(rows []Fig6Row, feature string) float64 {
+	for _, r := range rows {
+		if r.Feature == feature {
+			return r.Importance
+		}
+	}
+	return 0
+}
+
+// TopFeatures returns the n highest-importance feature names.
+func TopFeatures(rows []Fig6Row, n int) []string {
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[i].Feature
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/stats"
+)
+
+// StrategyReplicates summarizes one strategy across several workload
+// resamplings: mean makespan and slowdown with bootstrap confidence
+// intervals.
+type StrategyReplicates struct {
+	Strategy   string
+	MakespanH  stats.CI
+	Slowdown   stats.CI
+	Replicates int
+}
+
+// SchedulingReplicates repeats the Figure 7/8 simulation across
+// distinct workload seeds and reports per-strategy confidence
+// intervals, establishing that the strategy ordering is not an
+// artifact of one resampling. Replicates share the predictor; only the
+// workload draw changes.
+func SchedulingReplicates(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig, replicates int) ([]StrategyReplicates, error) {
+	if replicates < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 replicates, got %d", replicates)
+	}
+	makespans := map[string][]float64{}
+	slowdowns := map[string][]float64{}
+	var order []string
+	for rep := 0; rep < replicates; rep++ {
+		rcfg := cfg
+		rcfg.WorkloadSeed = cfg.WorkloadSeed + uint64(rep)*7919
+		results, err := RunScheduling(ds, pred, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replicate %d: %w", rep, err)
+		}
+		for _, r := range results {
+			if rep == 0 {
+				order = append(order, r.Strategy)
+			}
+			makespans[r.Strategy] = append(makespans[r.Strategy], r.MakespanSec/3600)
+			slowdowns[r.Strategy] = append(slowdowns[r.Strategy], r.AvgBoundedSlowdown)
+		}
+	}
+	rng := stats.NewRNG(cfg.WorkloadSeed + 1)
+	var out []StrategyReplicates
+	for _, name := range order {
+		out = append(out, StrategyReplicates{
+			Strategy:   name,
+			MakespanH:  stats.BootstrapMeanCI(makespans[name], 0.95, 1000, rng),
+			Slowdown:   stats.BootstrapMeanCI(slowdowns[name], 0.95, 1000, rng),
+			Replicates: replicates,
+		})
+	}
+	return out, nil
+}
+
+// FormatReplicates renders the replicate table.
+func FormatReplicates(rows []StrategyReplicates) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "Figures 7 & 8 with %d workload replicates (mean [95%% CI])\n", rows[0].Replicates)
+	fmt.Fprintf(&b, "%-14s %-28s %-28s\n", "strategy", "makespan (h)", "avg bounded slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-28s %-28s\n", r.Strategy, r.MakespanH, r.Slowdown)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchedulingReplicates(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	// Small workloads make makespan a longest-job lottery (see
+	// EXPERIMENTS.md); the paper-shape ordering needs a saturating
+	// workload, so the replicate check uses a moderately large one.
+	rows, err := SchedulingReplicates(ds, pred, SchedConfig{NumJobs: 12000, WorkloadSeed: 11}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 strategies", len(rows))
+	}
+	byName := map[string]StrategyReplicates{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if r.MakespanH.Lo > r.MakespanH.Hi || r.Slowdown.Lo > r.Slowdown.Hi {
+			t.Fatalf("%s: malformed CI %v / %v", r.Strategy, r.MakespanH, r.Slowdown)
+		}
+		if r.Replicates != 3 {
+			t.Fatalf("%s: replicates = %d", r.Strategy, r.Replicates)
+		}
+	}
+	model := byName["Model-based"]
+	rr := byName["Round-Robin"]
+	// The ordering should hold on replicate means, not just one draw.
+	if model.MakespanH.Mean >= rr.MakespanH.Mean {
+		t.Errorf("model-based mean makespan %v >= round-robin %v",
+			model.MakespanH.Mean, rr.MakespanH.Mean)
+	}
+	if model.Slowdown.Mean >= rr.Slowdown.Mean {
+		t.Errorf("model-based mean slowdown %v >= round-robin %v",
+			model.Slowdown.Mean, rr.Slowdown.Mean)
+	}
+	out := FormatReplicates(rows)
+	if !strings.Contains(out, "95% CI") || !strings.Contains(out, "Model-based") {
+		t.Error("FormatReplicates malformed")
+	}
+	if FormatReplicates(nil) != "" {
+		t.Error("empty replicates should render empty")
+	}
+}
+
+func TestSchedulingReplicatesErrors(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	if _, err := SchedulingReplicates(ds, pred, SchedConfig{NumJobs: 10}, 1); err == nil {
+		t.Error("single replicate should error")
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/rpv"
+	"crossarch/internal/sched"
+	"crossarch/internal/stats"
+)
+
+// SchedConfig configures the Section VII scheduling simulation.
+type SchedConfig struct {
+	// NumJobs is the workload size (0 = the paper's 50,000).
+	NumJobs int
+	// WorkloadSeed drives resampling and arrivals.
+	WorkloadSeed uint64
+	// ArrivalRate is mean job arrivals per second (Poisson); 0 submits
+	// the whole workload at time zero (a pure throughput experiment).
+	ArrivalRate float64
+	// IncludeOracle adds the perfect-information strategy for ablation.
+	IncludeOracle bool
+}
+
+func (c *SchedConfig) setDefaults() {
+	if c.NumJobs == 0 {
+		c.NumJobs = 50000
+	}
+}
+
+// SampleWorkload resamples dataset rows (with replacement) into jobs,
+// as the paper builds its 50,000-job workload. Each job carries the
+// row's observed per-machine runtimes for replay, its node demand, its
+// application's GPU capability (for User+RR), and the predictor's RPV
+// (for Model-based). Predictions are computed once per distinct
+// dataset row and reused across resamples.
+func SampleWorkload(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) ([]*sched.Job, error) {
+	cfg.setDefaults()
+	rng := stats.NewRNG(cfg.WorkloadSeed)
+	n := ds.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: empty dataset")
+	}
+
+	features := ds.Features()
+	times := ds.Frame.Matrix(dataset.TimeColumns())
+	nodes := ds.Frame.Floats(dataset.ColNodes)
+	appNames := ds.Frame.Strings(dataset.ColApp)
+
+	gpuCapable := map[string]bool{}
+	for _, a := range apps.All() {
+		gpuCapable[a.Name] = a.GPUSupport
+	}
+
+	predCache := make(map[int]rpv.RPV)
+	predictRow := func(row int) rpv.RPV {
+		if v, ok := predCache[row]; ok {
+			return v
+		}
+		// Dataset features are already normalized, so the raw model is
+		// applied directly rather than via Predictor.PredictFeatures.
+		v := rpv.RPV(pred.Model.Predict(features[row]))
+		predCache[row] = v
+		return v
+	}
+
+	jobs := make([]*sched.Job, cfg.NumJobs)
+	clock := 0.0
+	for i := range jobs {
+		row := rng.Intn(n)
+		arrival := clock
+		if cfg.ArrivalRate > 0 {
+			clock += rng.Exponential(cfg.ArrivalRate)
+			arrival = clock
+		}
+		jobs[i] = &sched.Job{
+			ID:         i,
+			App:        appNames[row],
+			GPUCapable: gpuCapable[appNames[row]],
+			Arrival:    arrival,
+			Nodes:      int(nodes[row]),
+			Runtimes:   times[row],
+			Predicted:  predictRow(row),
+		}
+	}
+	return jobs, nil
+}
+
+// RunScheduling reproduces Figures 7 and 8: the same workload
+// scheduled under each machine-assignment strategy, reporting makespan
+// and average bounded slowdown. The cluster uses the Table I node
+// counts.
+func RunScheduling(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) ([]sched.Result, error) {
+	cfg.setDefaults()
+	jobs, err := SampleWorkload(ds, pred, cfg)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []sched.Strategy{
+		sched.NewRoundRobin(),
+		sched.NewRandom(cfg.WorkloadSeed + 1),
+		sched.NewUserRR(),
+		sched.NewModelBased(),
+	}
+	if cfg.IncludeOracle {
+		strategies = append(strategies, sched.NewOracle())
+	}
+
+	var results []sched.Result
+	for _, strat := range strategies {
+		// Fresh job copies per strategy: Run mutates scheduling fields.
+		jcopy := make([]*sched.Job, len(jobs))
+		for i, j := range jobs {
+			cp := *j
+			jcopy[i] = &cp
+		}
+		cluster := sched.NewCluster(arch.All())
+		res, err := sched.Run(jcopy, cluster, strat, sched.Params{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduling with %s: %w", strat.Name(), err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatSched renders the Figure 7 (makespan) and Figure 8 (average
+// bounded slowdown) results.
+func FormatSched(results []sched.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 7 & 8 — multi-resource scheduling simulation\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s %12s\n", "strategy", "makespan (h)", "avg bd-slowdn", "avg wait (s)")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %14.3f %14.2f %12.1f\n",
+			r.Strategy, r.MakespanSec/3600, r.AvgBoundedSlowdown, r.AvgWaitSec)
+	}
+	return b.String()
+}

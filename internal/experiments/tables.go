@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/dataset"
+	"crossarch/internal/profiler"
+)
+
+// TableI renders the Table I system overview from the machine models.
+func TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — systems and their architectures\n")
+	fmt.Fprintf(&b, "%-8s %-24s %12s %10s %-14s %10s %8s\n",
+		"System", "CPU Type", "cores/node", "GHz", "GPU Type", "GPUs/node", "nodes")
+	for _, m := range arch.All() {
+		gpuType, gpuCount := "—", "—"
+		if m.HasGPU() {
+			gpuType = m.GPU.Model
+			gpuCount = fmt.Sprintf("%d", m.GPU.PerNode)
+		}
+		fmt.Fprintf(&b, "%-8s %-24s %12d %10.1f %-14s %10s %8d\n",
+			m.Name, m.CPUType, m.CoresPerNode, m.ClockGHz, gpuType, gpuCount, m.Nodes)
+	}
+	return b.String()
+}
+
+// TableII renders the Table II application catalog.
+func TableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — applications (%d total)\n", len(apps.All()))
+	fmt.Fprintf(&b, "%-16s %-62s %-4s %s\n", "Application", "Description", "GPU", "Inputs")
+	for _, a := range apps.All() {
+		gpu := ""
+		if a.GPUSupport {
+			gpu = "yes"
+		}
+		fmt.Fprintf(&b, "%-16s %-62s %-4s %d\n", a.Name, a.Description, gpu, len(a.Inputs))
+	}
+	return b.String()
+}
+
+// TableIII renders the Table III feature/counter mapping: the derived
+// features on the left, the per-context source counters on the right.
+func TableIII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — features and their per-architecture source counters\n")
+	contexts := []struct {
+		label  string
+		system string
+		gpu    bool
+	}{
+		{"Quartz", "Quartz", false},
+		{"Ruby", "Ruby", false},
+		{"Lassen/GPU", "Lassen", true},
+		{"Corona/GPU", "Corona", true},
+	}
+	fmt.Fprintf(&b, "%-16s", "quantity")
+	for _, c := range contexts {
+		fmt.Fprintf(&b, " %-26s", c.label)
+	}
+	b.WriteByte('\n')
+	for _, q := range profiler.Quantities() {
+		fmt.Fprintf(&b, "%-16s", q)
+		for _, c := range contexts {
+			schema, err := profiler.SchemaFor(c.system, c.gpu)
+			if err != nil {
+				fmt.Fprintf(&b, " %-26s", "?")
+				continue
+			}
+			name, ok := schema.Counters[q]
+			if !ok {
+				if schema.L1ViaHitRate && (q == profiler.L1LoadMiss || q == profiler.L1StoreMiss) {
+					name = "requests x hit_rate"
+				} else {
+					name = "—"
+				}
+			}
+			fmt.Fprintf(&b, " %-26s", name)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nfinal feature columns (%d): %s\n",
+		len(dataset.FeatureColumns()), strings.Join(dataset.FeatureColumns(), ", "))
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package hatchet plays the role of the Hatchet Python library in the
+// paper's pipeline: it gives programmatic access to the profiles the
+// simulated HPCToolkit produces — aggregating calling-context-tree
+// counters per rank, averaging across ranks (Section V-B records the
+// mean counter value across all processes), deriving canonical
+// quantities from architecture-specific counter idioms (e.g. CUPTI's
+// requests x hit-rate pair), and emitting flat per-region tables.
+package hatchet
+
+import (
+	"fmt"
+	"sort"
+
+	"crossarch/internal/dataframe"
+	"crossarch/internal/profiler"
+)
+
+// GraphFrame wraps one profile with aggregation helpers, mirroring
+// hatchet.GraphFrame.
+type GraphFrame struct {
+	prof *profiler.Profile
+	// meanTotals caches the rank-mean of per-rank counter sums.
+	meanTotals map[string]float64
+}
+
+// FromProfile builds a GraphFrame. It validates the profile first.
+func FromProfile(p *profiler.Profile) (*GraphFrame, error) {
+	if p == nil {
+		return nil, fmt.Errorf("hatchet: nil profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &GraphFrame{prof: p}, nil
+}
+
+// Profile returns the wrapped profile.
+func (g *GraphFrame) Profile() *profiler.Profile { return g.prof }
+
+// sumTree accumulates every counter in the subtree into acc. Gauges
+// (the page-table size) are max-aggregated rather than summed, since a
+// footprint does not accumulate across regions.
+func sumTree(n *profiler.CCTNode, gaugeNames map[string]bool, acc map[string]float64) {
+	for name, v := range n.Counters {
+		if gaugeNames[name] {
+			if v > acc[name] {
+				acc[name] = v
+			}
+		} else {
+			acc[name] += v
+		}
+	}
+	for _, c := range n.Children {
+		sumTree(c, gaugeNames, acc)
+	}
+}
+
+// gauges returns the counter names aggregated by max instead of sum.
+func (g *GraphFrame) gauges() map[string]bool {
+	out := map[string]bool{profiler.CounterLocalHitRate: true}
+	if name, ok := g.prof.Schema.Counters[profiler.EPTBytes]; ok {
+		out[name] = true
+	}
+	return out
+}
+
+// CounterTotals returns the mean across ranks of each counter's
+// per-rank CCT total. The map is cached; callers must not modify it.
+func (g *GraphFrame) CounterTotals() map[string]float64 {
+	if g.meanTotals != nil {
+		return g.meanTotals
+	}
+	gauges := g.gauges()
+	mean := map[string]float64{}
+	for _, r := range g.prof.Ranks {
+		acc := map[string]float64{}
+		sumTree(r.Root, gauges, acc)
+		for name, v := range acc {
+			mean[name] += v
+		}
+	}
+	n := float64(len(g.prof.Ranks))
+	for name := range mean {
+		mean[name] /= n
+	}
+	g.meanTotals = mean
+	return mean
+}
+
+// Canonical maps the profile's architecture-specific counters back to
+// canonical quantities. Quantities the architecture cannot measure
+// (Table III's "–" cells, e.g. most instruction-mix counters on the
+// AMD GPU) are reported in the missing list and set to zero, which is
+// how the downstream feature pipeline treats unmeasurable counters.
+func (g *GraphFrame) Canonical() (values map[profiler.Quantity]float64, missing []profiler.Quantity) {
+	totals := g.CounterTotals()
+	schema := g.prof.Schema
+	values = make(map[profiler.Quantity]float64, len(schema.Counters))
+	for _, q := range profiler.Quantities() {
+		name, ok := schema.Counters[q]
+		if ok {
+			values[q] = totals[name]
+			continue
+		}
+		// CUPTI idiom: L1 misses derived from requests x (1 - hit rate).
+		if schema.L1ViaHitRate && (q == profiler.L1LoadMiss || q == profiler.L1StoreMiss) {
+			miss := 1 - totals[profiler.CounterLocalHitRate]
+			if miss < 0 {
+				miss = 0
+			}
+			if q == profiler.L1LoadMiss {
+				values[q] = totals[profiler.CounterLocalLoadRequests] * miss
+			} else {
+				values[q] = totals[profiler.CounterLocalStoreRequests] * miss
+			}
+			continue
+		}
+		values[q] = 0
+		missing = append(missing, q)
+	}
+	return values, missing
+}
+
+// RegionTable flattens the first rank's CCT into a per-region
+// dataframe (region name plus one float column per counter), the
+// hatchet "to pandas" view used for exploratory analysis and the
+// counters example.
+func (g *GraphFrame) RegionTable() *dataframe.Frame {
+	if len(g.prof.Ranks) == 0 {
+		return dataframe.New()
+	}
+	root := g.prof.Ranks[0].Root
+	var names []string
+	var rows []*profiler.CCTNode
+	var walk func(n *profiler.CCTNode, depth int)
+	walk = func(n *profiler.CCTNode, depth int) {
+		names = append(names, n.Name)
+		rows = append(rows, n)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+
+	// Stable counter column order.
+	counterSet := map[string]bool{}
+	for _, n := range rows {
+		for c := range n.Counters {
+			counterSet[c] = true
+		}
+	}
+	counters := make([]string, 0, len(counterSet))
+	for c := range counterSet {
+		counters = append(counters, c)
+	}
+	sort.Strings(counters)
+
+	f := dataframe.New()
+	f.AddString("region", names)
+	for _, c := range counters {
+		col := make([]float64, len(rows))
+		for i, n := range rows {
+			col[i] = n.Counters[c]
+		}
+		f.AddFloat(c, col)
+	}
+	return f
+}

@@ -1,0 +1,184 @@
+package hatchet
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/profiler"
+	"crossarch/internal/stats"
+)
+
+func profileFor(t *testing.T, appName, sysName string, scale perfmodel.Scale, seed uint64) *profiler.Profile {
+	t.Helper()
+	a, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := arch.ByName(sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p profiler.Profiler
+	prof, err := p.Run(a, a.Inputs[1], m, scale, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestFromProfileValidates(t *testing.T) {
+	if _, err := FromProfile(nil); err == nil {
+		t.Error("nil profile should error")
+	}
+	prof := profileFor(t, "AMG", "Quartz", perfmodel.OneCore, 1)
+	prof.NumRanks = 99
+	if _, err := FromProfile(prof); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestCounterTotalsMeanAcrossRanks(t *testing.T) {
+	prof := profileFor(t, "CoMD", "Quartz", perfmodel.OneNode, 2)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := g.CounterTotals()
+
+	// Recompute by hand for one counter.
+	want := 0.0
+	for _, r := range prof.Ranks {
+		sum := 0.0
+		for _, c := range r.Root.Children {
+			sum += c.Counters["PAPI_BR_INS"]
+		}
+		want += sum
+	}
+	want /= float64(len(prof.Ranks))
+	if got := totals["PAPI_BR_INS"]; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("mean branch total = %v, want %v", got, want)
+	}
+	// Cached map identity.
+	if &totals == nil || g.CounterTotals()["PAPI_BR_INS"] != totals["PAPI_BR_INS"] {
+		t.Error("cache inconsistent")
+	}
+}
+
+func TestCanonicalRecoversSignatureRatios(t *testing.T) {
+	a, _ := apps.ByName("CoMD")
+	prof := profileFor(t, "CoMD", "Quartz", perfmodel.OneNode, 3)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, missing := g.Canonical()
+	if len(missing) != 0 {
+		t.Fatalf("PAPI context should measure everything, missing %v", missing)
+	}
+	ratio := values[profiler.BranchInstr] / values[profiler.TotalInstr]
+	if math.Abs(ratio-a.Sig.BranchFrac) > 0.03 {
+		t.Errorf("recovered branch fraction %v, want ~%v", ratio, a.Sig.BranchFrac)
+	}
+	fp64 := values[profiler.FP64Instr] / values[profiler.TotalInstr]
+	if math.Abs(fp64-a.Sig.FP64Frac) > 0.04 {
+		t.Errorf("recovered fp64 fraction %v, want ~%v", fp64, a.Sig.FP64Frac)
+	}
+}
+
+func TestCanonicalLassenGPUHitRateDerivation(t *testing.T) {
+	a, _ := apps.ByName("SW4lite")
+	prof := profileFor(t, "SW4lite", "Lassen", perfmodel.OneNode, 4)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, missing := g.Canonical()
+	for _, q := range missing {
+		if q == profiler.L1LoadMiss || q == profiler.L1StoreMiss {
+			t.Fatalf("%v should be derived, not missing", q)
+		}
+	}
+	if values[profiler.L1LoadMiss] <= 0 {
+		t.Error("derived L1 load misses should be positive")
+	}
+	// Derived miss rate should approximate the signature's L1 miss rate.
+	rate := values[profiler.L1LoadMiss] / values[profiler.LoadInstr]
+	if math.Abs(rate-a.Sig.L1MissRate) > 0.05 {
+		t.Errorf("derived L1 miss rate %v, want ~%v", rate, a.Sig.L1MissRate)
+	}
+}
+
+func TestCanonicalCoronaGPUGaps(t *testing.T) {
+	prof := profileFor(t, "XSBench", "Corona", perfmodel.OneNode, 5)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, missing := g.Canonical()
+	missingSet := map[profiler.Quantity]bool{}
+	for _, q := range missing {
+		missingSet[q] = true
+		if values[q] != 0 {
+			t.Errorf("missing quantity %v should be zero, got %v", q, values[q])
+		}
+	}
+	for _, q := range []profiler.Quantity{profiler.BranchInstr, profiler.FP32Instr, profiler.L1LoadMiss} {
+		if !missingSet[q] {
+			t.Errorf("%v should be unmeasurable on Corona GPU", q)
+		}
+	}
+	if values[profiler.TotalInstr] <= 0 {
+		t.Error("total instructions should be measured on Corona GPU")
+	}
+}
+
+func TestEPTAggregatesAsGaugeNotSum(t *testing.T) {
+	a, _ := apps.ByName("CoMD")
+	m, _ := arch.ByName("Quartz")
+	var mod perfmodel.Model
+	truth := mod.CountsFor(a, a.Inputs[1], m, perfmodel.OneNode)
+	prof := profileFor(t, "CoMD", "Quartz", perfmodel.OneNode, 6)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, _ := g.Canonical()
+	// If EPT were summed over the 4 regions it would be ~4x the truth.
+	if rel := values[profiler.EPTBytes] / truth.EPTBytes; rel > 1.5 || rel < 0.5 {
+		t.Errorf("EPT aggregation off by %vx; gauge should not be summed over regions", rel)
+	}
+}
+
+func TestRegionTable(t *testing.T) {
+	prof := profileFor(t, "AMG", "Quartz", perfmodel.OneCore, 7)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := g.RegionTable()
+	// main + 4 regions.
+	if table.NumRows() != 5 {
+		t.Errorf("region table rows = %d, want 5", table.NumRows())
+	}
+	if !table.Has("region") || !table.Has("PAPI_BR_INS") {
+		t.Errorf("region table columns = %v", table.Columns())
+	}
+	regions := table.Strings("region")
+	if regions[0] != "main" {
+		t.Errorf("first region = %s", regions[0])
+	}
+}
+
+func TestProfileAccessor(t *testing.T) {
+	prof := profileFor(t, "AMG", "Quartz", perfmodel.OneCore, 8)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Profile() != prof {
+		t.Error("Profile accessor broken")
+	}
+}

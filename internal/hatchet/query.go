@@ -1,0 +1,139 @@
+package hatchet
+
+import (
+	"fmt"
+	"sort"
+
+	"crossarch/internal/profiler"
+)
+
+// This file provides the query side of the Hatchet role: filtering the
+// calling context tree by region predicates and ranking regions by a
+// counter — the "which code region dominates this metric" questions
+// HPC performance analysis asks of a profile.
+
+// RegionTotal is one region's rank-mean counter totals.
+type RegionTotal struct {
+	Region   string
+	Counters map[string]float64
+}
+
+// RegionTotals aggregates each CCT region (by name) across all ranks:
+// the mean over ranks of the per-rank region totals. Regions are
+// returned in first-visit order of rank 0's tree.
+func (g *GraphFrame) RegionTotals() []RegionTotal {
+	if len(g.prof.Ranks) == 0 {
+		return nil
+	}
+	var order []string
+	sums := map[string]map[string]float64{}
+	var walk func(n *profiler.CCTNode)
+	walk = func(n *profiler.CCTNode) {
+		if _, seen := sums[n.Name]; !seen {
+			order = append(order, n.Name)
+			sums[n.Name] = map[string]float64{}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.prof.Ranks[0].Root)
+
+	for _, r := range g.prof.Ranks {
+		var acc func(n *profiler.CCTNode)
+		acc = func(n *profiler.CCTNode) {
+			dst := sums[n.Name]
+			if dst != nil {
+				for name, v := range n.Counters {
+					dst[name] += v
+				}
+			}
+			for _, c := range n.Children {
+				acc(c)
+			}
+		}
+		acc(r.Root)
+	}
+	nRanks := float64(len(g.prof.Ranks))
+	out := make([]RegionTotal, 0, len(order))
+	for _, name := range order {
+		mean := make(map[string]float64, len(sums[name]))
+		for c, v := range sums[name] {
+			mean[c] = v / nRanks
+		}
+		out = append(out, RegionTotal{Region: name, Counters: mean})
+	}
+	return out
+}
+
+// HottestRegions ranks leaf-level regions by the named counter,
+// descending, skipping the synthetic "main" root. It errors if the
+// counter does not exist in the profile's schema vocabulary.
+func (g *GraphFrame) HottestRegions(counter string, n int) ([]RegionTotal, error) {
+	totals := g.RegionTotals()
+	found := false
+	for _, rt := range totals {
+		if _, ok := rt.Counters[counter]; ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("hatchet: counter %q not recorded in this profile", counter)
+	}
+	var regions []RegionTotal
+	for _, rt := range totals {
+		if rt.Region == "main" {
+			continue
+		}
+		regions = append(regions, rt)
+	}
+	sort.SliceStable(regions, func(a, b int) bool {
+		return regions[a].Counters[counter] > regions[b].Counters[counter]
+	})
+	if n > 0 && n < len(regions) {
+		regions = regions[:n]
+	}
+	return regions, nil
+}
+
+// FilterRegions returns the rank-0 subtrees whose region names satisfy
+// the predicate, preserving tree order — hatchet's filter() analogue.
+func (g *GraphFrame) FilterRegions(pred func(name string) bool) []*profiler.CCTNode {
+	if len(g.prof.Ranks) == 0 {
+		return nil
+	}
+	var out []*profiler.CCTNode
+	var walk func(n *profiler.CCTNode)
+	walk = func(n *profiler.CCTNode) {
+		if pred(n.Name) {
+			out = append(out, n)
+			return // matched subtrees are returned whole
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.prof.Ranks[0].Root)
+	return out
+}
+
+// CounterShare returns region's share of the whole profile's total for
+// the named counter, in [0, 1]; 0 when the counter total is zero.
+func (g *GraphFrame) CounterShare(region, counter string) float64 {
+	totals := g.RegionTotals()
+	var regionV, totalV float64
+	for _, rt := range totals {
+		if rt.Region == "main" {
+			continue
+		}
+		totalV += rt.Counters[counter]
+		if rt.Region == region {
+			regionV = rt.Counters[counter]
+		}
+	}
+	if totalV == 0 {
+		return 0
+	}
+	return regionV / totalV
+}

@@ -1,0 +1,100 @@
+package hatchet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crossarch/internal/perfmodel"
+)
+
+func TestRegionTotals(t *testing.T) {
+	prof := profileFor(t, "CoMD", "Quartz", perfmodel.OneNode, 31)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := g.RegionTotals()
+	// main + 4 regions.
+	if len(totals) != 5 {
+		t.Fatalf("regions = %d", len(totals))
+	}
+	if totals[0].Region != "main" {
+		t.Errorf("first region = %s", totals[0].Region)
+	}
+	// The sum of region branch counters must match the frame-level
+	// total (both rank means).
+	sum := 0.0
+	for _, rt := range totals[1:] {
+		sum += rt.Counters["PAPI_BR_INS"]
+	}
+	want := g.CounterTotals()["PAPI_BR_INS"]
+	if math.Abs(sum-want) > 1e-6*want {
+		t.Errorf("region sum %v != frame total %v", sum, want)
+	}
+}
+
+func TestHottestRegions(t *testing.T) {
+	prof := profileFor(t, "CoMD", "Quartz", perfmodel.OneNode, 32)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := g.HottestRegions("PAPI_TOT_INS", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top = %d regions", len(top))
+	}
+	// The solver loop dominates instruction counts by construction.
+	if top[0].Region != "solve" {
+		t.Errorf("hottest region = %s, want solve", top[0].Region)
+	}
+	if top[0].Counters["PAPI_TOT_INS"] < top[1].Counters["PAPI_TOT_INS"] {
+		t.Error("regions not sorted descending")
+	}
+	if _, err := g.HottestRegions("flux_capacitor", 3); err == nil {
+		t.Error("unknown counter should error")
+	}
+}
+
+func TestFilterRegions(t *testing.T) {
+	prof := profileFor(t, "DeepCam", "Quartz", perfmodel.OneNode, 33)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := g.FilterRegions(func(name string) bool { return strings.Contains(name, "io") })
+	if len(io) != 1 || io[0].Name != "finalize+io" {
+		t.Fatalf("io filter = %v", io)
+	}
+	all := g.FilterRegions(func(string) bool { return true })
+	if len(all) != 1 || all[0].Name != "main" {
+		t.Errorf("match-all should return the root subtree only, got %d", len(all))
+	}
+	none := g.FilterRegions(func(string) bool { return false })
+	if len(none) != 0 {
+		t.Errorf("match-none returned %d", len(none))
+	}
+}
+
+func TestCounterShare(t *testing.T) {
+	prof := profileFor(t, "DeepCam", "Quartz", perfmodel.OneNode, 34)
+	g, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All I/O bytes are attributed to the io region.
+	share := g.CounterShare("finalize+io", "IO_BYTES_READ")
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("io region read share = %v, want 1", share)
+	}
+	solve := g.CounterShare("solve", "PAPI_TOT_INS")
+	if solve < 0.5 || solve > 1 {
+		t.Errorf("solve instruction share = %v", solve)
+	}
+	if got := g.CounterShare("solve", "unrecorded"); got != 0 {
+		t.Errorf("unknown counter share = %v, want 0", got)
+	}
+}

@@ -1,0 +1,53 @@
+// Package baseline provides the mean-vector predictor used in the paper
+// as the floor all learned models must beat: it ignores the features and
+// always predicts the mean target vector of the training set.
+package baseline
+
+import (
+	"fmt"
+
+	"crossarch/internal/ml"
+)
+
+// Mean is a Regressor that predicts the training-set mean target vector
+// for every input. The zero value is ready for Fit.
+type Mean struct {
+	// MeanVec is the fitted per-output mean; exported for persistence.
+	MeanVec []float64 `json:"mean"`
+}
+
+var _ ml.Regressor = (*Mean)(nil)
+
+// New returns an unfitted mean predictor.
+func New() *Mean { return &Mean{} }
+
+// Name implements ml.Regressor.
+func (m *Mean) Name() string { return "mean" }
+
+// Fit computes the per-output mean of Y. X participates only in shape
+// validation.
+func (m *Mean) Fit(X, Y [][]float64) error {
+	_, outputs, err := ml.CheckFitShapes(X, Y)
+	if err != nil {
+		return err
+	}
+	mean := make([]float64, outputs)
+	for _, row := range Y {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(Y))
+	}
+	m.MeanVec = mean
+	return nil
+}
+
+// Predict returns a copy of the fitted mean vector.
+func (m *Mean) Predict(x []float64) []float64 {
+	if m.MeanVec == nil {
+		panic(fmt.Sprintf("%s: Predict before Fit", m.Name()))
+	}
+	return append([]float64(nil), m.MeanVec...)
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crossarch/internal/ml"
+)
+
+func TestMeanPredictor(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	Y := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	m := New()
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{999})
+	if got[0] != 2.5 || got[1] != 25 {
+		t.Errorf("mean prediction = %v, want [2.5 25]", got)
+	}
+	// Prediction must be independent of the input.
+	other := m.Predict([]float64{-999})
+	if other[0] != got[0] || other[1] != got[1] {
+		t.Error("mean prediction varies with input")
+	}
+	// Returned slice must be a copy.
+	got[0] = -1
+	if m.Predict(nil)[0] == -1 {
+		t.Error("Predict aliases internal state")
+	}
+}
+
+func TestMeanPredictorIsOptimalConstantForMSE(t *testing.T) {
+	// Among constant predictors the mean minimizes MSE; verify it beats
+	// a slightly perturbed constant.
+	X := [][]float64{{0}, {0}, {0}}
+	Y := [][]float64{{1}, {5}, {6}}
+	m := New()
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	pred := ml.PredictBatch(m, X)
+	base := ml.MSE(pred, Y)
+	for i := range pred {
+		pred[i][0] += 0.5
+	}
+	if ml.MSE(pred, Y) <= base {
+		t.Error("mean is not the optimal constant under MSE")
+	}
+}
+
+func TestMeanFitErrors(t *testing.T) {
+	m := New()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if err := m.Fit([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("mismatched fit should error")
+	}
+}
+
+func TestMeanPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	New().Predict([]float64{1})
+}
+
+func TestMeanPersistence(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}, {2}}, [][]float64{{3}, {5}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ml.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Predict(nil)[0]; math.Abs(got-4) > 1e-12 {
+		t.Errorf("persisted mean = %v, want 4", got)
+	}
+}
+
+func TestMeanRefit(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}}, [][]float64{{10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit([][]float64{{1}}, [][]float64{{20}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(nil)[0]; got != 20 {
+		t.Errorf("refit mean = %v, want 20", got)
+	}
+}

@@ -1,0 +1,7 @@
+package baseline
+
+import "crossarch/internal/ml"
+
+func init() {
+	ml.RegisterModel("mean", func() ml.Regressor { return New() })
+}

@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"fmt"
+
+	"crossarch/internal/stats"
+)
+
+// Factory creates a fresh, unfitted regressor. Cross-validation needs a
+// factory rather than a model because each fold trains from scratch.
+type Factory func() Regressor
+
+// CVResult summarizes a k-fold cross-validation: the per-fold
+// evaluations and their averages, which is what the paper reports ("the
+// model is trained on four out of the five folds at a time ... and the
+// average MAE is reported").
+type CVResult struct {
+	Folds   []Evaluation
+	MeanMAE float64
+	MeanSOS float64
+}
+
+// CrossValidate performs k-fold cross-validation of the factory's model
+// over (X, Y). Rows are shuffled with rng. It returns an error if k is
+// out of range or any fold fails to train.
+func CrossValidate(f Factory, X, Y [][]float64, k int, rng *stats.RNG) (CVResult, error) {
+	if _, _, err := CheckFitShapes(X, Y); err != nil {
+		return CVResult{}, err
+	}
+	n := len(X)
+	if k < 2 || k > n {
+		return CVResult{}, fmt.Errorf("ml: k=%d invalid for %d samples", k, n)
+	}
+	perm := rng.Perm(n)
+	base, rem := n/k, n%k
+	var res CVResult
+	start := 0
+	for fold := 0; fold < k; fold++ {
+		size := base
+		if fold < rem {
+			size++
+		}
+		valIdx := perm[start : start+size]
+		trainIdx := make([]int, 0, n-size)
+		trainIdx = append(trainIdx, perm[:start]...)
+		trainIdx = append(trainIdx, perm[start+size:]...)
+		start += size
+
+		model := f()
+		if err := model.Fit(Take(X, trainIdx), Take(Y, trainIdx)); err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		ev := Evaluate(model, Take(X, valIdx), Take(Y, valIdx))
+		res.Folds = append(res.Folds, ev)
+		res.MeanMAE += ev.MAE
+		res.MeanSOS += ev.SOS
+	}
+	res.MeanMAE /= float64(k)
+	res.MeanSOS /= float64(k)
+	return res, nil
+}
+
+// TrainTestSplit shuffles and partitions paired matrices; testFrac in
+// (0, 1). The returned slices share row storage with the inputs.
+func TrainTestSplit(X, Y [][]float64, testFrac float64, rng *stats.RNG) (trainX, trainY, testX, testY [][]float64, err error) {
+	if _, _, err := CheckFitShapes(X, Y); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("ml: testFrac %v outside (0,1)", testFrac)
+	}
+	n := len(X)
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	testIdx, trainIdx := perm[:nTest], perm[nTest:]
+	return Take(X, trainIdx), Take(Y, trainIdx), Take(X, testIdx), Take(Y, testIdx), nil
+}

@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"fmt"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// constantModel predicts a fixed vector; used to exercise the CV plumbing
+// without depending on learner packages (which would create an import
+// cycle in tests).
+type constantModel struct {
+	Vec []float64 `json:"vec"`
+	fit bool
+}
+
+func (c *constantModel) Name() string { return "constant-test" }
+func (c *constantModel) Fit(X, Y [][]float64) error {
+	if _, _, err := CheckFitShapes(X, Y); err != nil {
+		return err
+	}
+	c.fit = true
+	if c.Vec == nil {
+		c.Vec = append([]float64(nil), Y[0]...)
+	}
+	return nil
+}
+func (c *constantModel) Predict(x []float64) []float64 {
+	if !c.fit && c.Vec == nil {
+		panic("predict before fit")
+	}
+	return append([]float64(nil), c.Vec...)
+}
+
+// failingModel always errors in Fit.
+type failingModel struct{ constantModel }
+
+func (f *failingModel) Fit(X, Y [][]float64) error { return fmt.Errorf("boom") }
+
+func cvData(n int) (X, Y [][]float64) {
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		Y[i] = []float64{1, 2}
+	}
+	return X, Y
+}
+
+func TestCrossValidateFoldCount(t *testing.T) {
+	X, Y := cvData(50)
+	res, err := CrossValidate(func() Regressor { return &constantModel{} }, X, Y, 5, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	total := 0
+	for _, f := range res.Folds {
+		total += f.N
+	}
+	if total != 50 {
+		t.Errorf("validation rows total %d, want 50", total)
+	}
+	// Constant labels => constant model is perfect.
+	if res.MeanMAE != 0 {
+		t.Errorf("MeanMAE = %v, want 0", res.MeanMAE)
+	}
+	if res.MeanSOS != 1 {
+		t.Errorf("MeanSOS = %v, want 1", res.MeanSOS)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X, Y := cvData(10)
+	if _, err := CrossValidate(func() Regressor { return &constantModel{} }, X, Y, 1, stats.NewRNG(1)); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := CrossValidate(func() Regressor { return &constantModel{} }, X, Y, 11, stats.NewRNG(1)); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := CrossValidate(func() Regressor { return &failingModel{} }, X, Y, 2, stats.NewRNG(1)); err == nil {
+		t.Error("failing fit should propagate")
+	}
+	if _, err := CrossValidate(func() Regressor { return &constantModel{} }, nil, nil, 2, stats.NewRNG(1)); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestTrainTestSplitMatrices(t *testing.T) {
+	X, Y := cvData(100)
+	trX, trY, teX, teY, err := TrainTestSplit(X, Y, 0.1, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teX) != 10 || len(trX) != 90 || len(trY) != 90 || len(teY) != 10 {
+		t.Fatalf("split sizes %d/%d", len(trX), len(teX))
+	}
+	// Partition check via feature values (all distinct).
+	seen := map[float64]bool{}
+	for _, r := range trX {
+		seen[r[0]] = true
+	}
+	for _, r := range teX {
+		if seen[r[0]] {
+			t.Fatalf("row %v in both train and test", r[0])
+		}
+		seen[r[0]] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("union = %d rows", len(seen))
+	}
+}
+
+func TestTrainTestSplitErrors(t *testing.T) {
+	X, Y := cvData(10)
+	if _, _, _, _, err := TrainTestSplit(X, Y, 0, stats.NewRNG(1)); err == nil {
+		t.Error("frac 0 should error")
+	}
+	if _, _, _, _, err := TrainTestSplit(X, Y, 1, stats.NewRNG(1)); err == nil {
+		t.Error("frac 1 should error")
+	}
+	if _, _, _, _, err := TrainTestSplit(nil, nil, 0.5, stats.NewRNG(1)); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := &constantModel{Vec: []float64{7, 8}}
+	out := PredictBatch(m, [][]float64{{1}, {2}, {3}})
+	if len(out) != 3 || out[2][1] != 8 {
+		t.Errorf("PredictBatch = %v", out)
+	}
+	// Batch rows must be independent copies.
+	out[0][0] = -1
+	if m.Vec[0] == -1 {
+		t.Error("PredictBatch aliases model state")
+	}
+}

@@ -1,0 +1,168 @@
+// Package forest implements a bagged decision-forest regressor (random
+// forest): an ensemble of CART trees, each trained on a bootstrap sample
+// with per-split random feature subsets, predictions averaged. It is the
+// "decision forest" baseline from the paper's Figure 2.
+package forest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/tree"
+	"crossarch/internal/stats"
+)
+
+// Params configures the forest.
+type Params struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds each tree (default 12).
+	MaxDepth int
+	// MinSamplesLeaf per tree leaf (default 2).
+	MinSamplesLeaf int
+	// MaxFeatures examined per split; 0 means features/3 (the classic
+	// regression-forest heuristic), capped at the feature count.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed uint64
+	// Workers bounds the training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (p *Params) setDefaults() {
+	if p.Trees <= 0 {
+		p.Trees = 100
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinSamplesLeaf <= 0 {
+		p.MinSamplesLeaf = 2
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Forest is the trained ensemble.
+type Forest struct {
+	Params   Params       `json:"params"`
+	Ensemble []*tree.Tree `json:"ensemble"`
+	Features int          `json:"features"`
+	Outputs  int          `json:"outputs"`
+}
+
+var _ ml.Regressor = (*Forest)(nil)
+var _ ml.FeatureImporter = (*Forest)(nil)
+
+// New returns an unfitted forest with the given parameters.
+func New(p Params) *Forest { return &Forest{Params: p} }
+
+// Name implements ml.Regressor.
+func (f *Forest) Name() string { return "decision forest" }
+
+// Fit trains the ensemble. Trees are independent, so they are grown in
+// parallel across Workers goroutines; each tree has its own RNG split
+// from the seed so results are identical regardless of scheduling.
+func (f *Forest) Fit(X, Y [][]float64) error {
+	features, outputs, err := ml.CheckFitShapes(X, Y)
+	if err != nil {
+		return err
+	}
+	p := f.Params
+	p.setDefaults()
+	maxFeatures := p.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = (features + 2) / 3
+	}
+	if maxFeatures > features {
+		maxFeatures = features
+	}
+
+	// Pre-split one RNG per tree from the master seed, so tree i always
+	// sees the same stream no matter which worker grows it.
+	master := stats.NewRNG(p.Seed)
+	rngs := make([]*stats.RNG, p.Trees)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+
+	ensemble := make([]*tree.Tree, p.Trees)
+	errs := make([]error, p.Trees)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.Workers)
+	for i := 0; i < p.Trees; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rngs[i]
+			idx := rng.SampleWithReplacement(len(X), len(X))
+			t, err := tree.BuildCART(X, Y, idx, tree.CARTParams{
+				MaxDepth:       p.MaxDepth,
+				MinSamplesLeaf: p.MinSamplesLeaf,
+				MaxFeatures:    maxFeatures,
+				RNG:            rng,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ensemble[i] = t
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+	}
+	f.Ensemble = ensemble
+	f.Features = features
+	f.Outputs = outputs
+	return nil
+}
+
+// Predict averages the member trees' outputs.
+func (f *Forest) Predict(x []float64) []float64 {
+	if len(f.Ensemble) == 0 {
+		panic("forest: Predict before Fit")
+	}
+	out := make([]float64, f.Outputs)
+	scale := 1 / float64(len(f.Ensemble))
+	for _, t := range f.Ensemble {
+		t.AccumulatePredict(x, scale, out)
+	}
+	return out
+}
+
+// FeatureImportances returns per-feature importances as each feature's
+// average split gain across the ensemble, normalized to sum to 1. A
+// feature never split has importance 0.
+func (f *Forest) FeatureImportances() []float64 {
+	if len(f.Ensemble) == 0 {
+		panic("forest: FeatureImportances before Fit")
+	}
+	gain := make([]float64, f.Features)
+	splits := make([]int, f.Features)
+	for _, t := range f.Ensemble {
+		t.GainByFeature(gain, splits)
+	}
+	imp := make([]float64, f.Features)
+	total := 0.0
+	for j := range imp {
+		if splits[j] > 0 {
+			imp[j] = gain[j] / float64(splits[j])
+			total += imp[j]
+		}
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}

@@ -1,0 +1,185 @@
+package forest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/baseline"
+	"crossarch/internal/stats"
+)
+
+// friedman generates a standard nonlinear regression benchmark:
+// y = 10 sin(pi x0 x1) + 20 (x2 - 0.5)^2 + 10 x3 + 5 x4 + noise.
+func friedman(n int, rng *stats.RNG) (X, Y [][]float64) {
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := range X {
+		x := make([]float64, 6) // feature 5 is pure noise
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		X[i] = x
+		y := 10*math.Sin(math.Pi*x[0]*x[1]) + 20*(x[2]-0.5)*(x[2]-0.5) + 10*x[3] + 5*x[4] + rng.Normal(0, 0.5)
+		Y[i] = []float64{y}
+	}
+	return X, Y
+}
+
+func TestForestBeatsMeanOnNonlinearData(t *testing.T) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(800, rng)
+	trX, trY, teX, teY, err := ml.TrainTestSplit(X, Y, 0.25, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Params{Trees: 60, MaxDepth: 10, Seed: 3})
+	if err := f.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	mean := baseline.New()
+	if err := mean.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	forestMAE := ml.MAE(ml.PredictBatch(f, teX), teY)
+	meanMAE := ml.MAE(ml.PredictBatch(mean, teX), teY)
+	if forestMAE >= meanMAE/2 {
+		t.Errorf("forest MAE %v not clearly better than mean MAE %v", forestMAE, meanMAE)
+	}
+}
+
+func TestForestDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := stats.NewRNG(4)
+	X, Y := friedman(300, rng)
+	f1 := New(Params{Trees: 20, MaxDepth: 6, Seed: 7, Workers: 1})
+	f4 := New(Params{Trees: 20, MaxDepth: 6, Seed: 7, Workers: 4})
+	if err := f1.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a, b := f1.Predict(X[i])[0], f4.Predict(X[i])[0]
+		if a != b {
+			t.Fatalf("worker-count nondeterminism: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestForestMultiOutput(t *testing.T) {
+	rng := stats.NewRNG(5)
+	n := 400
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		Y[i] = []float64{x, 1 - x}
+	}
+	f := New(Params{Trees: 30, MaxDepth: 8, Seed: 6})
+	if err := f.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	pred := f.Predict([]float64{0.8})
+	if math.Abs(pred[0]-0.8) > 0.1 || math.Abs(pred[1]-0.2) > 0.1 {
+		t.Errorf("multi-output prediction = %v", pred)
+	}
+}
+
+func TestForestFeatureImportances(t *testing.T) {
+	rng := stats.NewRNG(7)
+	X, Y := friedman(600, rng)
+	f := New(Params{Trees: 40, MaxDepth: 8, Seed: 8})
+	if err := f.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	if len(imp) != 6 {
+		t.Fatalf("importances length = %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// The pure-noise feature must be the least (or near-least) important.
+	noise := imp[5]
+	informative := (imp[0] + imp[1] + imp[3]) / 3
+	if noise >= informative {
+		t.Errorf("noise importance %v >= informative mean %v", noise, informative)
+	}
+}
+
+func TestForestDefaults(t *testing.T) {
+	f := New(Params{})
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	Y := [][]float64{{1}, {2}, {3}, {4}}
+	if err := f.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Ensemble) != 100 {
+		t.Errorf("default ensemble size = %d, want 100", len(f.Ensemble))
+	}
+}
+
+func TestForestErrorsAndPanics(t *testing.T) {
+	if err := New(Params{}).Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	New(Params{}).Predict([]float64{1})
+}
+
+func TestForestImportancesBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	New(Params{}).FeatureImportances()
+}
+
+func TestForestPersistence(t *testing.T) {
+	rng := stats.NewRNG(9)
+	X, Y := friedman(200, rng)
+	f := New(Params{Trees: 10, MaxDepth: 5, Seed: 10})
+	if err := f.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ml.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a, b := f.Predict(X[i])[0], back.Predict(X[i])[0]; a != b {
+			t.Fatalf("persisted forest prediction %v != %v", b, a)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(1000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := New(Params{Trees: 20, MaxDepth: 8, Seed: 1})
+		if err := f.Fit(X, Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package forest
+
+import "crossarch/internal/ml"
+
+func init() {
+	ml.RegisterModel("decision forest", func() ml.Regressor { return New(Params{}) })
+}

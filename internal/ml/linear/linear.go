@@ -1,0 +1,201 @@
+// Package linear implements multi-output ridge regression solved exactly
+// via the normal equations with Cholesky decomposition. With Alpha = 0 it
+// is ordinary least squares, matching the scikit-learn LinearRegression
+// baseline from the paper; a small positive Alpha keeps the solve stable
+// on nearly collinear counter features.
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"crossarch/internal/ml"
+)
+
+// Ridge is a linear model y = W x + b fit by minimizing
+// ||Y - XW||^2 + alpha ||W||^2 (the intercept is not penalized).
+type Ridge struct {
+	// Alpha is the L2 penalty; 0 gives ordinary least squares.
+	Alpha float64 `json:"alpha"`
+	// Weights is outputs x features; Intercept is per-output.
+	Weights   [][]float64 `json:"weights"`
+	Intercept []float64   `json:"intercept"`
+}
+
+var _ ml.Regressor = (*Ridge)(nil)
+
+// New returns an unfitted ridge model with the given penalty.
+func New(alpha float64) *Ridge { return &Ridge{Alpha: alpha} }
+
+// Name implements ml.Regressor.
+func (r *Ridge) Name() string { return "linear" }
+
+// Fit solves the normal equations (X'X + alpha I) W = X'Y on centered
+// data, then recovers the intercept from the feature and target means.
+// Centering first means the penalty never shrinks the intercept.
+func (r *Ridge) Fit(X, Y [][]float64) error {
+	features, outputs, err := ml.CheckFitShapes(X, Y)
+	if err != nil {
+		return err
+	}
+	if r.Alpha < 0 {
+		return fmt.Errorf("linear: negative alpha %v", r.Alpha)
+	}
+	n := len(X)
+
+	xMean := make([]float64, features)
+	for _, row := range X {
+		for j, v := range row {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	yMean := make([]float64, outputs)
+	for _, row := range Y {
+		for j, v := range row {
+			yMean[j] += v
+		}
+	}
+	for j := range yMean {
+		yMean[j] /= float64(n)
+	}
+
+	// Gram matrix A = Xc' Xc + alpha I (features x features), and
+	// B = Xc' Yc (features x outputs), on centered data.
+	A := make([][]float64, features)
+	for i := range A {
+		A[i] = make([]float64, features)
+	}
+	B := make([][]float64, features)
+	for i := range B {
+		B[i] = make([]float64, outputs)
+	}
+	xc := make([]float64, features)
+	for s := 0; s < n; s++ {
+		for j := 0; j < features; j++ {
+			xc[j] = X[s][j] - xMean[j]
+		}
+		for i := 0; i < features; i++ {
+			xi := xc[i]
+			if xi == 0 {
+				continue
+			}
+			row := A[i]
+			for j := i; j < features; j++ {
+				row[j] += xi * xc[j]
+			}
+			bi := B[i]
+			for k := 0; k < outputs; k++ {
+				bi[k] += xi * (Y[s][k] - yMean[k])
+			}
+		}
+	}
+	for i := 0; i < features; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		A[i][i] += r.Alpha
+	}
+
+	L, err := cholesky(A)
+	if err != nil {
+		// The Gram matrix can be singular for alpha = 0 with collinear
+		// features; retry with a tiny jitter, as scikit-learn's LAPACK
+		// path effectively does via least-squares.
+		for i := 0; i < features; i++ {
+			A[i][i] += 1e-8 * (1 + math.Abs(A[i][i]))
+		}
+		L, err = cholesky(A)
+		if err != nil {
+			return fmt.Errorf("linear: normal equations not solvable: %w", err)
+		}
+	}
+
+	// Solve per output column; store W as outputs x features.
+	r.Weights = make([][]float64, outputs)
+	col := make([]float64, features)
+	for k := 0; k < outputs; k++ {
+		for i := 0; i < features; i++ {
+			col[i] = B[i][k]
+		}
+		w := choleskySolve(L, col)
+		r.Weights[k] = w
+	}
+	r.Intercept = make([]float64, outputs)
+	for k := 0; k < outputs; k++ {
+		b := yMean[k]
+		for j := 0; j < features; j++ {
+			b -= r.Weights[k][j] * xMean[j]
+		}
+		r.Intercept[k] = b
+	}
+	return nil
+}
+
+// Predict implements ml.Regressor.
+func (r *Ridge) Predict(x []float64) []float64 {
+	if r.Weights == nil {
+		panic("linear: Predict before Fit")
+	}
+	out := make([]float64, len(r.Weights))
+	for k, w := range r.Weights {
+		v := r.Intercept[k]
+		for j, wj := range w {
+			v += wj * x[j]
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// cholesky computes the lower-triangular factor L with A = L L'. It
+// errors if A is not positive definite.
+func cholesky(A [][]float64) ([][]float64, error) {
+	n := len(A)
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := A[i][j]
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("matrix not positive definite at pivot %d (%v)", i, sum)
+				}
+				L[i][i] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	return L, nil
+}
+
+// choleskySolve solves A w = b given the factor L (forward then backward
+// substitution).
+func choleskySolve(L [][]float64, b []float64) []float64 {
+	n := len(L)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= L[i][k] * y[k]
+		}
+		y[i] = sum / L[i][i]
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= L[k][i] * w[k]
+		}
+		w[i] = sum / L[i][i]
+	}
+	return w
+}

@@ -1,0 +1,190 @@
+package linear
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+func TestRecoversExactLinearRelation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	n := 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	// y0 = 3*x0 - 2*x1 + 5 ; y1 = -x0 + 0.5*x1 - 1
+	for i := range X {
+		x0, x1 := rng.Normal(0, 1), rng.Normal(0, 1)
+		X[i] = []float64{x0, x1}
+		Y[i] = []float64{3*x0 - 2*x1 + 5, -x0 + 0.5*x1 - 1}
+	}
+	m := New(0)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	wantW := [][]float64{{3, -2}, {-1, 0.5}}
+	wantB := []float64{5, -1}
+	for k := range wantW {
+		for j := range wantW[k] {
+			if math.Abs(m.Weights[k][j]-wantW[k][j]) > 1e-8 {
+				t.Errorf("W[%d][%d] = %v, want %v", k, j, m.Weights[k][j], wantW[k][j])
+			}
+		}
+		if math.Abs(m.Intercept[k]-wantB[k]) > 1e-8 {
+			t.Errorf("b[%d] = %v, want %v", k, m.Intercept[k], wantB[k])
+		}
+	}
+	pred := m.Predict([]float64{1, 1})
+	if math.Abs(pred[0]-6) > 1e-8 || math.Abs(pred[1]+1.5) > 1e-8 {
+		t.Errorf("Predict = %v", pred)
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	rng := stats.NewRNG(2)
+	n := 100
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Normal(0, 1)
+		X[i] = []float64{x}
+		Y[i] = []float64{2 * x}
+	}
+	ols := New(0)
+	ridge := New(100)
+	if err := ols.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Weights[0][0]) >= math.Abs(ols.Weights[0][0]) {
+		t.Errorf("ridge weight %v not shrunk vs OLS %v", ridge.Weights[0][0], ols.Weights[0][0])
+	}
+	if math.Abs(ols.Weights[0][0]-2) > 1e-8 {
+		t.Errorf("OLS weight = %v, want 2", ols.Weights[0][0])
+	}
+}
+
+func TestCollinearFeaturesStillSolve(t *testing.T) {
+	// x1 = 2*x0 exactly: the Gram matrix is singular for alpha = 0; the
+	// jitter fallback must still produce a usable fit.
+	rng := stats.NewRNG(3)
+	n := 80
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Normal(0, 1)
+		X[i] = []float64{x, 2 * x}
+		Y[i] = []float64{3 * x}
+	}
+	m := New(0)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	pred := ml.PredictBatch(m, X)
+	if mae := ml.MAE(pred, Y); mae > 1e-3 {
+		t.Errorf("collinear fit MAE = %v", mae)
+	}
+}
+
+func TestNegativeAlphaRejected(t *testing.T) {
+	m := New(-1)
+	if err := m.Fit([][]float64{{1}, {2}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("negative alpha should error")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	New(0).Predict([]float64{1})
+}
+
+func TestFitShapeErrors(t *testing.T) {
+	if err := New(0).Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+}
+
+func TestLinearPersistence(t *testing.T) {
+	rng := stats.NewRNG(4)
+	X := make([][]float64, 50)
+	Y := make([][]float64, 50)
+	for i := range X {
+		x := rng.Normal(0, 1)
+		X[i] = []float64{x}
+		Y[i] = []float64{4*x + 1}
+	}
+	m := New(0)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ml.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:5] {
+		a, b := m.Predict(x)[0], back.Predict(x)[0]
+		if a != b {
+			t.Fatalf("persisted prediction %v != %v", b, a)
+		}
+	}
+}
+
+// Property: OLS residuals are orthogonal to every feature column
+// (the normal-equation optimality condition).
+func TestResidualOrthogonalityProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 60
+		X := make([][]float64, n)
+		Y := make([][]float64, n)
+		for i := range X {
+			x0, x1 := rng.Normal(0, 1), rng.Normal(0, 2)
+			X[i] = []float64{x0, x1}
+			Y[i] = []float64{x0 - x1 + rng.Normal(0, 0.3)}
+		}
+		m := New(0)
+		if err := m.Fit(X, Y); err != nil {
+			return false
+		}
+		for j := 0; j < 2; j++ {
+			dot := 0.0
+			for i := range X {
+				res := Y[i][0] - m.Predict(X[i])[0]
+				dot += res * X[i][j]
+			}
+			if math.Abs(dot) > 1e-6*float64(n) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFeatureSingleSamplePlusOne(t *testing.T) {
+	// Two points define a line exactly.
+	X := [][]float64{{0}, {1}}
+	Y := [][]float64{{1}, {3}}
+	m := New(0)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2})[0]; math.Abs(got-5) > 1e-9 {
+		t.Errorf("extrapolation = %v, want 5", got)
+	}
+}

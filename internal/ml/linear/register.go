@@ -1,0 +1,7 @@
+package linear
+
+import "crossarch/internal/ml"
+
+func init() {
+	ml.RegisterModel("linear", func() ml.Regressor { return New(0) })
+}

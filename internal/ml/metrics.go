@@ -1,0 +1,149 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MAE returns the mean absolute error between predictions and truth,
+// averaged over every component of every sample vector — the paper's
+// primary metric ("an MAE of 0.1 means the model predicts the relative
+// performance within ±0.1 on average across each vector"). It panics on
+// shape mismatch or empty input.
+func MAE(pred, truth [][]float64) float64 {
+	checkPaired(pred, truth)
+	sum, count := 0.0, 0
+	for i := range pred {
+		for j := range pred[i] {
+			sum += math.Abs(pred[i][j] - truth[i][j])
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+// MSE returns the mean squared error over every component.
+func MSE(pred, truth [][]float64) float64 {
+	checkPaired(pred, truth)
+	sum, count := 0.0, 0
+	for i := range pred {
+		for j := range pred[i] {
+			d := pred[i][j] - truth[i][j]
+			sum += d * d
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, truth [][]float64) float64 { return math.Sqrt(MSE(pred, truth)) }
+
+// R2 returns the coefficient of determination pooled over all components:
+// 1 - SS_res/SS_tot, where SS_tot is taken around the global component
+// mean. A constant truth yields NaN.
+func R2(pred, truth [][]float64) float64 {
+	checkPaired(pred, truth)
+	mean, count := 0.0, 0
+	for i := range truth {
+		for j := range truth[i] {
+			mean += truth[i][j]
+			count++
+		}
+	}
+	mean /= float64(count)
+	ssRes, ssTot := 0.0, 0.0
+	for i := range truth {
+		for j := range truth[i] {
+			d := pred[i][j] - truth[i][j]
+			ssRes += d * d
+			t := truth[i][j] - mean
+			ssTot += t * t
+		}
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// SameOrder reports whether the two vectors rank their elements
+// identically: element i of a must hold the same rank position in a as
+// element i of b holds in b, for every i. Ties are broken by index so the
+// comparison is deterministic.
+func SameOrder(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic("ml: SameOrder on vectors of different length")
+	}
+	return rankString(a) == rankString(b)
+}
+
+// rankString encodes the argsort permutation of v as a comparable string.
+func rankString(v []float64) string {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	buf := make([]byte, len(idx))
+	for i, p := range idx {
+		buf[i] = byte(p)
+	}
+	return string(buf)
+}
+
+// SOS returns the Same Order Score: the fraction of samples whose
+// predicted vector orders the architectures exactly as the true vector
+// does (the paper's secondary metric).
+func SOS(pred, truth [][]float64) float64 {
+	checkPaired(pred, truth)
+	hits := 0
+	for i := range pred {
+		if SameOrder(pred[i], truth[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+func checkPaired(pred, truth [][]float64) {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		panic(fmt.Sprintf("ml: paired metric on %d predictions and %d truths", len(pred), len(truth)))
+	}
+	for i := range pred {
+		if len(pred[i]) != len(truth[i]) {
+			panic(fmt.Sprintf("ml: sample %d has %d predicted and %d true components", i, len(pred[i]), len(truth[i])))
+		}
+	}
+}
+
+// Evaluation bundles the metrics reported for one model on one test set.
+type Evaluation struct {
+	Model string
+	MAE   float64
+	SOS   float64
+	RMSE  float64
+	R2    float64
+	N     int
+}
+
+// Evaluate runs a fitted model over the test set and computes all
+// metrics.
+func Evaluate(m Regressor, X, Y [][]float64) Evaluation {
+	pred := PredictBatch(m, X)
+	return Evaluation{
+		Model: m.Name(),
+		MAE:   MAE(pred, Y),
+		SOS:   SOS(pred, Y),
+		RMSE:  RMSE(pred, Y),
+		R2:    R2(pred, Y),
+		N:     len(X),
+	}
+}
+
+// String renders the evaluation as a fixed-width table row.
+func (e Evaluation) String() string {
+	return fmt.Sprintf("%-16s MAE=%.4f SOS=%.4f RMSE=%.4f R2=%.4f (n=%d)",
+		e.Model, e.MAE, e.SOS, e.RMSE, e.R2, e.N)
+}

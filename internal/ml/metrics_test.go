@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func TestMAEKnown(t *testing.T) {
+	pred := [][]float64{{1, 2}, {3, 4}}
+	truth := [][]float64{{1, 3}, {5, 4}}
+	// |0| + |1| + |2| + |0| = 3 over 4 components.
+	if got := MAE(pred, truth); got != 0.75 {
+		t.Errorf("MAE = %v, want 0.75", got)
+	}
+	if got := MAE(pred, pred); got != 0 {
+		t.Errorf("self MAE = %v", got)
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	pred := [][]float64{{0}, {0}}
+	truth := [][]float64{{3}, {4}}
+	if got := MSE(pred, truth); got != 12.5 {
+		t.Errorf("MSE = %v, want 12.5", got)
+	}
+	if got := RMSE(pred, truth); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	truth := [][]float64{{1}, {2}, {3}, {4}}
+	if got := R2(truth, truth); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	meanPred := [][]float64{{2.5}, {2.5}, {2.5}, {2.5}}
+	if got := R2(meanPred, truth); math.Abs(got) > 1e-12 {
+		t.Errorf("mean-prediction R2 = %v, want 0", got)
+	}
+	constTruth := [][]float64{{5}, {5}}
+	if !math.IsNaN(R2(constTruth, constTruth)) {
+		t.Error("R2 with constant truth should be NaN")
+	}
+}
+
+func TestSameOrder(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 2, 3}, []float64{10, 20, 30}, true},
+		{[]float64{1, 2, 3}, []float64{10, 30, 20}, false},
+		{[]float64{3, 1, 2}, []float64{0.3, 0.1, 0.2}, true},
+		{[]float64{1}, []float64{5}, true},
+		{[]float64{2, 1}, []float64{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := SameOrder(c.a, c.b); got != c.want {
+			t.Errorf("SameOrder(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSameOrderReflexiveProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(6)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.Normal(0, 1)
+		}
+		// A vector is always in the same order as any positive affine
+		// transform of itself.
+		scaled := make([]float64, n)
+		for i := range v {
+			scaled[i] = 2*v[i] + 10
+		}
+		return SameOrder(v, v) && SameOrder(v, scaled)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	SameOrder([]float64{1}, []float64{1, 2})
+}
+
+func TestSOS(t *testing.T) {
+	pred := [][]float64{{1, 2}, {2, 1}, {1, 2}}
+	truth := [][]float64{{5, 9}, {9, 5}, {9, 5}}
+	// Rows 0 and 1 preserve order; row 2 does not.
+	if got := SOS(pred, truth); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("SOS = %v, want 2/3", got)
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { MAE(nil, nil) },
+		"len":          func() { MAE([][]float64{{1}}, [][]float64{{1}, {2}}) },
+		"ragged":       func() { MAE([][]float64{{1}}, [][]float64{{1, 2}}) },
+		"sos mismatch": func() { SOS([][]float64{{1}}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	e := Evaluation{Model: "xgboost", MAE: 0.11, SOS: 0.86, N: 100}
+	s := e.String()
+	if !strings.Contains(s, "xgboost") || !strings.Contains(s, "0.11") {
+		t.Errorf("Evaluation.String = %q", s)
+	}
+}
+
+func TestCheckFitShapes(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	Y := [][]float64{{1}, {2}}
+	f, o, err := CheckFitShapes(X, Y)
+	if err != nil || f != 2 || o != 1 {
+		t.Fatalf("CheckFitShapes = %d,%d,%v", f, o, err)
+	}
+	bad := [][][2][][]float64{}
+	_ = bad
+	cases := []struct {
+		x, y [][]float64
+	}{
+		{nil, nil},
+		{X, [][]float64{{1}}},
+		{[][]float64{{}}, [][]float64{{1}}},
+		{X, [][]float64{{}, {}}},
+		{[][]float64{{1, 2}, {3}}, Y},
+		{X, [][]float64{{1}, {2, 3}}},
+	}
+	for i, c := range cases {
+		if _, _, err := CheckFitShapes(c.x, c.y); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTake(t *testing.T) {
+	m := [][]float64{{1}, {2}, {3}}
+	got := Take(m, []int{2, 0})
+	if len(got) != 2 || got[0][0] != 3 || got[1][0] != 1 {
+		t.Errorf("Take = %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+// Package ml defines the regression-model interface shared by every
+// learner in the repository (XGBoost-style boosting, decision forest,
+// ridge regression, mean baseline), together with the evaluation metrics
+// used in the paper (mean absolute error and same-order score),
+// train/test utilities, k-fold cross-validation, and JSON model
+// persistence.
+package ml
+
+import (
+	"fmt"
+)
+
+// Regressor is a multi-output regression model. X is row-major
+// (samples x features); Y is samples x outputs. Implementations must
+// validate shapes in Fit and may not retain the caller's slices after
+// Fit returns (they may copy).
+type Regressor interface {
+	// Fit trains the model. Calling Fit again retrains from scratch.
+	Fit(X, Y [][]float64) error
+	// Predict returns the output vector for a single feature vector. It
+	// panics if called before a successful Fit.
+	Predict(x []float64) []float64
+	// Name identifies the learner in experiment tables, e.g. "xgboost".
+	Name() string
+}
+
+// FeatureImporter is implemented by learners that expose per-feature
+// importance scores (the tree ensembles). Importances are normalized to
+// sum to 1 and are indexed like the training feature columns.
+type FeatureImporter interface {
+	FeatureImportances() []float64
+}
+
+// PredictBatch applies a regressor to every row of X.
+func PredictBatch(m Regressor, X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		p := m.Predict(x)
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}
+
+// CheckFitShapes validates the common preconditions shared by all
+// learners: non-empty X, matching Y length, rectangular rows, and at
+// least one output. It returns the feature and output dimensions.
+func CheckFitShapes(X, Y [][]float64) (features, outputs int, err error) {
+	if len(X) == 0 {
+		return 0, 0, fmt.Errorf("ml: empty training set")
+	}
+	if len(Y) != len(X) {
+		return 0, 0, fmt.Errorf("ml: X has %d rows but Y has %d", len(X), len(Y))
+	}
+	features = len(X[0])
+	if features == 0 {
+		return 0, 0, fmt.Errorf("ml: zero-width feature rows")
+	}
+	outputs = len(Y[0])
+	if outputs == 0 {
+		return 0, 0, fmt.Errorf("ml: zero-width target rows")
+	}
+	for i, row := range X {
+		if len(row) != features {
+			return 0, 0, fmt.Errorf("ml: X row %d has %d features, want %d", i, len(row), features)
+		}
+	}
+	for i, row := range Y {
+		if len(row) != outputs {
+			return 0, 0, fmt.Errorf("ml: Y row %d has %d outputs, want %d", i, len(row), outputs)
+		}
+	}
+	return features, outputs, nil
+}
+
+// Take extracts the rows of m at the given indices (shared backing rows,
+// no per-cell copying).
+func Take(m [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for j, i := range idx {
+		out[j] = m[i]
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The persistence registry maps a model name (Regressor.Name) to a
+// factory producing an empty instance whose exported fields JSON
+// round-trips its trained state. Learner packages register themselves in
+// init, so any program that imports a learner can load its saved models.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterModel makes a learner loadable by name. It panics on duplicate
+// registration, which would indicate two learners claiming one name.
+func RegisterModel(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("ml: duplicate model registration %q", name))
+	}
+	registry[name] = f
+}
+
+// RegisteredModels returns the sorted names of all loadable learners.
+func RegisteredModels() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// envelope is the on-disk model format: the learner name selects the
+// concrete type for the payload.
+type envelope struct {
+	Name    string          `json:"name"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SaveModel serializes a fitted model to w as a named JSON envelope.
+func SaveModel(w io.Writer, m Regressor) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("ml: marshaling %s: %w", m.Name(), err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{Name: m.Name(), Payload: payload})
+}
+
+// LoadModel reads a model envelope from r and reconstructs the learner
+// via the registry. The learner's package must have been imported so its
+// init registration ran.
+func LoadModel(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	registryMu.RLock()
+	factory, ok := registry[env.Name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown model %q (registered: %v)", env.Name, RegisteredModels())
+	}
+	m := factory()
+	if err := json.Unmarshal(env.Payload, m); err != nil {
+		return nil, fmt.Errorf("ml: decoding %s payload: %w", env.Name, err)
+	}
+	return m, nil
+}
+
+// SaveModelFile writes a model to the named file.
+func SaveModelFile(path string, m Regressor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveModel(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile reads a model from the named file.
+func LoadModelFile(path string) (Regressor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

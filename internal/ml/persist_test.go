@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	RegisterModel("constant-test", func() Regressor { return &constantModel{} })
+	defer unregister("constant-test")
+
+	m := &constantModel{Vec: []float64{1.5, 2.5}}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "constant-test" {
+		t.Fatalf("loaded name = %s", back.Name())
+	}
+	got := back.Predict([]float64{0})
+	if got[0] != 1.5 || got[1] != 2.5 {
+		t.Errorf("loaded prediction = %v", got)
+	}
+}
+
+func unregister(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, name)
+}
+
+func TestLoadUnknownModel(t *testing.T) {
+	in := strings.NewReader(`{"name":"never-registered","payload":{}}`)
+	if _, err := LoadModel(in); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	RegisterModel("dup-test", func() Regressor { return &constantModel{} })
+	defer unregister("dup-test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterModel("dup-test", func() Regressor { return &constantModel{} })
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	RegisterModel("file-test", func() Regressor { return &fileModel{} })
+	defer unregister("file-test")
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModelFile(path, &fileModel{constantModel{Vec: []float64{3}}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Predict(nil); got[0] != 3 {
+		t.Errorf("file round trip = %v", got)
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+type fileModel struct{ constantModel }
+
+func (f *fileModel) Name() string { return "file-test" }

@@ -1,0 +1,51 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"crossarch/internal/stats"
+)
+
+// Candidate pairs a label with a model factory for selection runs.
+type Candidate struct {
+	Name    string
+	Factory Factory
+}
+
+// SelectionResult records a cross-validated model-selection run.
+type SelectionResult struct {
+	// Best is the candidate with the lowest mean cross-validation MAE.
+	Best string
+	// Scores holds every candidate's CV result, sorted by MeanMAE.
+	Scores []struct {
+		Name string
+		CV   CVResult
+	}
+}
+
+// SelectModel performs the paper's Section VI model-selection loop:
+// cross-validate every candidate on the training data and pick the one
+// with the lowest mean MAE. Candidates are evaluated with the same
+// folds (same RNG seed) so the comparison is paired.
+func SelectModel(candidates []Candidate, X, Y [][]float64, folds int, seed uint64) (SelectionResult, error) {
+	if len(candidates) == 0 {
+		return SelectionResult{}, fmt.Errorf("ml: no candidates")
+	}
+	var res SelectionResult
+	for _, c := range candidates {
+		cv, err := CrossValidate(c.Factory, X, Y, folds, stats.NewRNG(seed))
+		if err != nil {
+			return SelectionResult{}, fmt.Errorf("ml: selecting %s: %w", c.Name, err)
+		}
+		res.Scores = append(res.Scores, struct {
+			Name string
+			CV   CVResult
+		}{c.Name, cv})
+	}
+	sort.SliceStable(res.Scores, func(a, b int) bool {
+		return res.Scores[a].CV.MeanMAE < res.Scores[b].CV.MeanMAE
+	})
+	res.Best = res.Scores[0].Name
+	return res, nil
+}

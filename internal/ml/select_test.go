@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// biasedModel predicts the training mean plus a fixed bias, so
+// selection quality is controlled exactly.
+type biasedModel struct {
+	constantModel
+	bias float64
+}
+
+func (m *biasedModel) Name() string { return "biased" }
+func (m *biasedModel) Fit(X, Y [][]float64) error {
+	if err := m.constantModel.Fit(X, Y); err != nil {
+		return err
+	}
+	mean := make([]float64, len(Y[0]))
+	for _, row := range Y {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] = mean[j]/float64(len(Y)) + m.bias
+	}
+	m.Vec = mean
+	return nil
+}
+
+func TestSelectModelPicksLowestMAE(t *testing.T) {
+	rng := stats.NewRNG(1)
+	n := 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		Y[i] = []float64{rng.Normal(5, 1)}
+	}
+	candidates := []Candidate{
+		{Name: "bias-2", Factory: func() Regressor { return &biasedModel{bias: 2} }},
+		{Name: "bias-0", Factory: func() Regressor { return &biasedModel{bias: 0} }},
+		{Name: "bias-1", Factory: func() Regressor { return &biasedModel{bias: 1} }},
+	}
+	res, err := SelectModel(candidates, X, Y, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != "bias-0" {
+		t.Errorf("Best = %s, want bias-0", res.Best)
+	}
+	// Scores sorted ascending by MAE.
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i-1].CV.MeanMAE > res.Scores[i].CV.MeanMAE {
+			t.Error("scores not sorted")
+		}
+	}
+	if len(res.Scores) != 3 {
+		t.Errorf("scores = %d", len(res.Scores))
+	}
+}
+
+func TestSelectModelErrors(t *testing.T) {
+	if _, err := SelectModel(nil, nil, nil, 5, 1); err == nil {
+		t.Error("no candidates should error")
+	}
+	bad := []Candidate{{Name: "x", Factory: func() Regressor { return &failingModel{} }}}
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	Y := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := SelectModel(bad, X, Y, 2, 1); err == nil {
+		t.Error("failing candidate should error")
+	}
+}

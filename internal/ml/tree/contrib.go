@@ -1,0 +1,84 @@
+package tree
+
+import "fmt"
+
+// This file implements per-prediction feature contributions using the
+// Saabas path-attribution method: walking a sample from root to leaf,
+// each split's feature is credited with the change in the (cover-
+// weighted) expected prediction between the node and the chosen child.
+// Contributions plus the root expectation reconstruct the prediction
+// exactly, giving a local explanation to pair with the global gain
+// importances of Figure 6.
+
+// NodeValues returns the cover-weighted expected prediction at every
+// node: leaves keep their values; an internal node's value is the
+// weighted average of its children's. The result is freshly allocated
+// per call (explanation paths are not hot loops).
+func (t *Tree) NodeValues() [][]float64 {
+	values := make([][]float64, t.NumNodes())
+	var walk func(node int) []float64
+	walk = func(node int) []float64 {
+		if t.Feature[node] == LeafMarker {
+			values[node] = t.Value[node]
+			return values[node]
+		}
+		l := walk(t.Left[node])
+		r := walk(t.Right[node])
+		lc := float64(t.Cover[t.Left[node]])
+		rc := float64(t.Cover[t.Right[node]])
+		total := lc + rc
+		v := make([]float64, t.Outputs)
+		if total > 0 {
+			for k := range v {
+				v[k] = (l[k]*lc + r[k]*rc) / total
+			}
+		} else {
+			// Degenerate cover (should not happen for built trees):
+			// fall back to the unweighted mean.
+			for k := range v {
+				v[k] = (l[k] + r[k]) / 2
+			}
+		}
+		values[node] = v
+		return v
+	}
+	walk(0)
+	return values
+}
+
+// Contributions decomposes the tree's prediction for x into a bias
+// (the root's expected value) plus one additive term per feature:
+//
+//	Predict(x)[k] == bias[k] + sum_f contrib[f][k]
+//
+// numFeatures sizes the contribution table (features never split
+// contribute zero).
+func (t *Tree) Contributions(x []float64, numFeatures int) (bias []float64, contrib [][]float64, err error) {
+	if t.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("tree: contributions of empty tree")
+	}
+	values := t.NodeValues()
+	bias = append([]float64(nil), values[0]...)
+	contrib = make([][]float64, numFeatures)
+	for f := range contrib {
+		contrib[f] = make([]float64, t.Outputs)
+	}
+	node := 0
+	for t.Feature[node] != LeafMarker {
+		f := t.Feature[node]
+		if f >= numFeatures {
+			return nil, nil, fmt.Errorf("tree: split feature %d outside table of %d", f, numFeatures)
+		}
+		var next int
+		if x[f] < t.Threshold[node] {
+			next = t.Left[node]
+		} else {
+			next = t.Right[node]
+		}
+		for k := 0; k < t.Outputs; k++ {
+			contrib[f][k] += values[next][k] - values[node][k]
+		}
+		node = next
+	}
+	return bias, contrib, nil
+}

@@ -1,0 +1,147 @@
+package tree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func TestNodeValuesWeighting(t *testing.T) {
+	// Hand-built tree: root splits feature 0 at 0.5; left leaf value 0
+	// covering 30 samples, right leaf value 10 covering 10 samples.
+	tr := &Tree{
+		Feature:   []int{0, LeafMarker, LeafMarker},
+		Threshold: []float64{0.5, 0, 0},
+		Left:      []int{1, -1, -1},
+		Right:     []int{2, -1, -1},
+		Value:     [][]float64{nil, {0}, {10}},
+		Gain:      []float64{5, 0, 0},
+		Cover:     []int{40, 30, 10},
+		Outputs:   1,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	values := tr.NodeValues()
+	// Root expectation: (0*30 + 10*10)/40 = 2.5.
+	if got := values[0][0]; math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("root value = %v, want 2.5", got)
+	}
+}
+
+func TestContributionsHandBuilt(t *testing.T) {
+	tr := &Tree{
+		Feature:   []int{0, LeafMarker, LeafMarker},
+		Threshold: []float64{0.5, 0, 0},
+		Left:      []int{1, -1, -1},
+		Right:     []int{2, -1, -1},
+		Value:     [][]float64{nil, {0}, {10}},
+		Gain:      []float64{5, 0, 0},
+		Cover:     []int{40, 30, 10},
+		Outputs:   1,
+	}
+	bias, contrib, err := tr.Contributions([]float64{0.9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bias[0]-2.5) > 1e-12 {
+		t.Errorf("bias = %v", bias[0])
+	}
+	// Right leaf: contribution of feature 0 = 10 - 2.5 = 7.5.
+	if math.Abs(contrib[0][0]-7.5) > 1e-12 {
+		t.Errorf("contrib[0] = %v, want 7.5", contrib[0][0])
+	}
+	if contrib[1][0] != 0 {
+		t.Errorf("unused feature contributed %v", contrib[1][0])
+	}
+	// Bias + contributions == prediction.
+	if got := bias[0] + contrib[0][0] + contrib[1][0]; math.Abs(got-10) > 1e-12 {
+		t.Errorf("reconstruction = %v, want 10", got)
+	}
+}
+
+// Property: for trained CART trees, bias + contributions reconstruct
+// the prediction exactly for arbitrary inputs.
+func TestContributionsReconstructProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 60 + rng.Intn(100)
+		X := make([][]float64, n)
+		Y := make([][]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)}
+			Y[i] = []float64{X[i][0] + 2*X[i][1] + rng.Normal(0, 0.2), X[i][2]}
+		}
+		tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 4, MinSamplesLeaf: 2})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := []float64{rng.Normal(0, 2), rng.Normal(0, 2), rng.Normal(0, 2)}
+			pred := tr.Predict(x)
+			bias, contrib, err := tr.Contributions(x, 3)
+			if err != nil {
+				return false
+			}
+			for k := range pred {
+				sum := bias[k]
+				for f := range contrib {
+					sum += contrib[f][k]
+				}
+				if math.Abs(sum-pred[k]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContributionsErrors(t *testing.T) {
+	empty := &Tree{}
+	if _, _, err := empty.Contributions([]float64{1}, 1); err == nil {
+		t.Error("empty tree should error")
+	}
+	tr, err := BuildCART([][]float64{{0}, {1}}, [][]float64{{0}, {1}}, nil, CARTParams{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() > 1 {
+		if _, _, err := tr.Contributions([]float64{0}, 0); err == nil {
+			t.Error("undersized feature table should error")
+		}
+	}
+}
+
+func TestCoverRecorded(t *testing.T) {
+	rng := stats.NewRNG(5)
+	n := 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		Y[i] = []float64{X[i][0]}
+	}
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 3, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cover[0] != n {
+		t.Errorf("root cover = %d, want %d", tr.Cover[0], n)
+	}
+	// Children covers partition the parent.
+	for node, f := range tr.Feature {
+		if f == LeafMarker {
+			continue
+		}
+		if tr.Cover[tr.Left[node]]+tr.Cover[tr.Right[node]] != tr.Cover[node] {
+			t.Fatalf("node %d cover %d != %d + %d", node, tr.Cover[node],
+				tr.Cover[tr.Left[node]], tr.Cover[tr.Right[node]])
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxBins is the histogram resolution of the hist tree method (the
+// xgboost default of 256 bins).
+const MaxBins = 256
+
+// BinnedMatrix is a quantile-binned view of a feature matrix, computed
+// once per training run and shared by every tree (the xgboost "hist"
+// tree method). Bin b of feature f covers values in
+// [Edges[f][b-1], Edges[f][b]); candidate split thresholds are the
+// edges themselves, so trained trees predict on raw float vectors.
+type BinnedMatrix struct {
+	// Bins is column-major: Bins[f][i] is the bin index of sample i's
+	// feature f. Column-major layout makes the per-feature histogram
+	// accumulation, the hot loop of hist training, a sequential scan.
+	Bins [][]uint8
+	// Edges[f] are the ascending cut points of feature f; a feature
+	// with fewer distinct values than MaxBins gets one cut between each
+	// pair of consecutive distinct values.
+	Edges [][]float64
+	// NumBins[f] = len(Edges[f]) + 1.
+	NumBins []int
+	// Samples is the number of rows binned.
+	Samples int
+}
+
+// NewBinnedMatrix quantile-bins X. It panics on an empty or ragged
+// matrix (callers validate shapes first).
+func NewBinnedMatrix(X [][]float64) *BinnedMatrix {
+	n := len(X)
+	features := len(X[0])
+	bm := &BinnedMatrix{
+		Bins:    make([][]uint8, features),
+		Edges:   make([][]float64, features),
+		NumBins: make([]int, features),
+		Samples: n,
+	}
+	flat := make([]uint8, n*features)
+	col := make([]float64, n)
+	for f := 0; f < features; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		bm.Edges[f] = quantileEdges(col, MaxBins)
+		bm.NumBins[f] = len(bm.Edges[f]) + 1
+		bm.Bins[f] = flat[f*n : (f+1)*n]
+		for i := 0; i < n; i++ {
+			bm.Bins[f][i] = binOf(col[i], bm.Edges[f])
+		}
+	}
+	return bm
+}
+
+// quantileEdges returns up to maxBins-1 ascending cut points placed at
+// quantiles of the distinct values, each cut midway between two
+// adjacent distinct values so binning is exact for the training data.
+func quantileEdges(col []float64, maxBins int) []float64 {
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	// Distinct values.
+	distinct := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != distinct[len(distinct)-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	if len(distinct) <= 1 {
+		return nil
+	}
+	nCuts := len(distinct) - 1
+	if nCuts > maxBins-1 {
+		nCuts = maxBins - 1
+	}
+	edges := make([]float64, 0, nCuts)
+	for c := 1; c <= nCuts; c++ {
+		// Position between distinct values at the c-th quantile.
+		pos := float64(c) * float64(len(distinct)-1) / float64(nCuts+1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(distinct) {
+			hi = len(distinct) - 1
+			lo = hi - 1
+		}
+		cut := (distinct[lo] + distinct[hi]) / 2
+		if len(edges) == 0 || cut > edges[len(edges)-1] {
+			edges = append(edges, cut)
+		}
+	}
+	return edges
+}
+
+// binOf returns the bin index of x: the number of edges <= x.
+func binOf(x float64, edges []float64) uint8 {
+	// Binary search: first edge > x.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x < edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint8(lo)
+}
+
+// BuildNewtonHist grows a Newton tree like BuildNewton but finds splits
+// by scanning per-feature gradient histograms over the binned matrix,
+// which is O(samples x features) per tree level instead of
+// O(samples log samples x features) per node. Predictions use the raw
+// feature values against edge thresholds, so a hist-trained tree is a
+// plain *Tree.
+func BuildNewtonHist(bm *BinnedMatrix, grad, hess []float64, idx []int, p NewtonParams) (*Tree, error) {
+	if bm == nil || bm.Samples == 0 {
+		return nil, fmt.Errorf("tree: empty binned matrix")
+	}
+	if len(grad) != bm.Samples || len(hess) != bm.Samples {
+		return nil, fmt.Errorf("tree: grad/hess length mismatch with binned matrix")
+	}
+	if p.MaxDepth < 0 {
+		return nil, fmt.Errorf("tree: negative MaxDepth %d", p.MaxDepth)
+	}
+	if p.MinSamplesLeaf < 1 {
+		p.MinSamplesLeaf = 1
+	}
+	if idx == nil {
+		idx = make([]int, bm.Samples)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("tree: empty training index set")
+	}
+	features := len(bm.NumBins)
+	if p.MaxFeatures <= 0 || p.MaxFeatures > features {
+		p.MaxFeatures = features
+	}
+	if p.MaxFeatures < features && p.RNG == nil {
+		return nil, fmt.Errorf("tree: column subsampling requires an RNG")
+	}
+
+	b := newBuilder(1)
+	g := &histGrower{bm: bm, grad: grad, hess: hess, p: p, b: b, features: features}
+	g.grow(append([]int(nil), idx...), 0)
+	t := b.t
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type histGrower struct {
+	bm         *BinnedMatrix
+	grad, hess []float64
+	p          NewtonParams
+	b          *builder
+	features   int
+}
+
+func (g *histGrower) sums(idx []int) (G, H float64) {
+	for _, i := range idx {
+		G += g.grad[i]
+		H += g.hess[i]
+	}
+	return G, H
+}
+
+func (g *histGrower) score(G, H float64) float64 { return G * G / (H + g.p.Lambda) }
+
+func (g *histGrower) candidateFeatures() []int {
+	if g.p.MaxFeatures >= g.features {
+		all := make([]int, g.features)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return g.p.RNG.SampleWithoutReplacement(g.features, g.p.MaxFeatures)
+}
+
+type histSplit struct {
+	feature   int
+	bin       int // split after this bin: bins <= bin go left
+	threshold float64
+	gain      float64
+}
+
+func (g *histGrower) bestSplit(idx []int, Gtot, Htot float64) *histSplit {
+	parent := g.score(Gtot, Htot)
+	candidates := g.candidateFeatures()
+	var best *histSplit
+
+	// Per-feature histograms of gradient, hessian, and count.
+	var gh [MaxBins]float64
+	var hh [MaxBins]float64
+	var ch [MaxBins]int
+	for _, f := range candidates {
+		nb := g.bm.NumBins[f]
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			gh[b], hh[b], ch[b] = 0, 0, 0
+		}
+		for _, i := range idx {
+			b := g.bm.Bins[f][i]
+			gh[b] += g.grad[i]
+			hh[b] += g.hess[i]
+			ch[b]++
+		}
+		var GL, HL float64
+		var CL int
+		for b := 0; b < nb-1; b++ {
+			GL += gh[b]
+			HL += hh[b]
+			CL += ch[b]
+			CR := len(idx) - CL
+			if CL < g.p.MinSamplesLeaf || CR < g.p.MinSamplesLeaf {
+				continue
+			}
+			GR, HR := Gtot-GL, Htot-HL
+			if HL < g.p.MinChildWeight || HR < g.p.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(g.score(GL, HL)+g.score(GR, HR)-parent) - g.p.Gamma
+			if gain <= 1e-12 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				if best == nil {
+					best = &histSplit{}
+				}
+				best.feature = f
+				best.bin = b
+				best.threshold = g.bm.Edges[f][b]
+				best.gain = gain
+			}
+		}
+	}
+	return best
+}
+
+func (g *histGrower) grow(idx []int, depth int) int {
+	G, H := g.sums(idx)
+	leaf := func() int {
+		return g.b.addLeaf([]float64{-G / (H + g.p.Lambda)}, len(idx))
+	}
+	if depth >= g.p.MaxDepth {
+		return leaf()
+	}
+	split := g.bestSplit(idx, G, H)
+	if split == nil {
+		return leaf()
+	}
+	var left, right []int
+	for _, i := range idx {
+		if int(g.bm.Bins[split.feature][i]) <= split.bin {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf()
+	}
+	node := g.b.addSplit(split.feature, split.threshold, split.gain, len(idx))
+	g.b.t.Left[node] = g.grow(left, depth+1)
+	g.b.t.Right[node] = g.grow(right, depth+1)
+	return node
+}

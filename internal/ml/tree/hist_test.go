@@ -1,0 +1,280 @@
+package tree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func TestBinnedMatrixBinning(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	bm := NewBinnedMatrix(X)
+	if bm.Samples != 5 {
+		t.Fatalf("samples = %d", bm.Samples)
+	}
+	// 5 distinct values -> 4 cuts -> 5 bins; each value its own bin.
+	if bm.NumBins[0] != 5 {
+		t.Fatalf("bins = %d, want 5", bm.NumBins[0])
+	}
+	for i := 0; i < 5; i++ {
+		if int(bm.Bins[0][i]) != i {
+			t.Errorf("value %v binned to %d, want %d", X[i][0], bm.Bins[0][i], i)
+		}
+	}
+}
+
+func TestBinnedMatrixConstantFeature(t *testing.T) {
+	X := [][]float64{{7, 1}, {7, 2}, {7, 3}}
+	bm := NewBinnedMatrix(X)
+	if bm.NumBins[0] != 1 {
+		t.Errorf("constant feature has %d bins, want 1", bm.NumBins[0])
+	}
+	if len(bm.Edges[0]) != 0 {
+		t.Errorf("constant feature has %d edges", len(bm.Edges[0]))
+	}
+}
+
+func TestBinnedMatrixManyValuesCapped(t *testing.T) {
+	rng := stats.NewRNG(1)
+	n := 2000
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+	}
+	bm := NewBinnedMatrix(X)
+	if bm.NumBins[0] > MaxBins {
+		t.Errorf("bins = %d exceeds MaxBins", bm.NumBins[0])
+	}
+	if bm.NumBins[0] < MaxBins/2 {
+		t.Errorf("bins = %d, expected near MaxBins for 2000 distinct values", bm.NumBins[0])
+	}
+}
+
+// Property: binning is order-consistent — x < y implies bin(x) <= bin(y),
+// and edges are strictly increasing.
+func TestBinMonotonicityProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 10 + rng.Intn(300)
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.Normal(0, 10)}
+		}
+		bm := NewBinnedMatrix(X)
+		for i := 1; i < len(bm.Edges[0]); i++ {
+			if bm.Edges[0][i] <= bm.Edges[0][i-1] {
+				return false
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if X[a][0] < X[b][0] && bm.Bins[0][a] > bm.Bins[0][b] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistMatchesExactOnSeparableData(t *testing.T) {
+	// On a cleanly separable step function both split finders must
+	// learn the same function.
+	rng := stats.NewRNG(2)
+	n := 400
+	X := make([][]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x, rng.Float64()}
+		y := 0.0
+		if x >= 0.5 {
+			y = 2
+		}
+		grad[i] = -y
+		hess[i] = 1
+	}
+	p := NewtonParams{MaxDepth: 2, Lambda: 1}
+	exact, err := BuildNewton(X, grad, hess, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := NewBinnedMatrix(X)
+	hist, err := BuildNewtonHist(bm, grad, hess, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		a, b := exact.Predict(x)[0], hist.Predict(x)[0]
+		if math.Abs(a-b) > 0.05 {
+			t.Fatalf("exact %v vs hist %v at %v", a, b, x)
+		}
+	}
+}
+
+func TestHistMultiMatchesSingleOutputHist(t *testing.T) {
+	// A multi-output tree over K identical gradient copies must equal
+	// the single-output tree on each component (the summed gain is K
+	// times the single gain, so split choices coincide).
+	rng := stats.NewRNG(3)
+	n := 300
+	X := make([][]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		grad[i] = -math.Sin(3 * x)
+		hess[i] = 1
+	}
+	p := NewtonParams{MaxDepth: 4, Lambda: 1}
+	single, err := BuildNewtonHist(NewBinnedMatrix(X), grad, hess, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildNewtonHistMulti(NewBinnedMatrix(X),
+		[][]float64{grad, grad}, [][]float64{hess, hess}, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Outputs != 2 {
+		t.Fatalf("multi outputs = %d", multi.Outputs)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64()}
+		s := single.Predict(x)[0]
+		m := multi.Predict(x)
+		if math.Abs(m[0]-s) > 1e-9 || math.Abs(m[1]-s) > 1e-9 {
+			t.Fatalf("multi %v vs single %v at %v", m, s, x)
+		}
+	}
+}
+
+func TestHistMultiSubtractionConsistency(t *testing.T) {
+	// Deep trees exercise both the subtraction path (large nodes) and
+	// the small-node buffer path; leaf values must remain the exact
+	// Newton weights of the routed samples.
+	rng := stats.NewRNG(4)
+	n := 1500 // large enough to trigger the full-histogram path
+	X := make([][]float64, n)
+	grads := make([][]float64, 2)
+	hesses := make([][]float64, 2)
+	for k := range grads {
+		grads[k] = make([]float64, n)
+		hesses[k] = make([]float64, n)
+	}
+	for i := range X {
+		x0, x1 := rng.Float64(), rng.Float64()
+		X[i] = []float64{x0, x1}
+		grads[0][i] = -(x0 + x1)
+		grads[1][i] = -(x0 * x1)
+		hesses[0][i] = 1
+		hesses[1][i] = 1
+	}
+	lambda := 1.0
+	tr, err := BuildNewtonHistMulti(NewBinnedMatrix(X), grads, hesses, nil,
+		NewtonParams{MaxDepth: 7, Lambda: lambda})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route every sample; recompute each leaf's Newton weight directly.
+	leafG := make(map[int][]float64)
+	leafH := make(map[int][]float64)
+	for i := range X {
+		node := 0
+		for tr.Feature[node] != LeafMarker {
+			if X[i][tr.Feature[node]] < tr.Threshold[node] {
+				node = tr.Left[node]
+			} else {
+				node = tr.Right[node]
+			}
+		}
+		if leafG[node] == nil {
+			leafG[node] = make([]float64, 2)
+			leafH[node] = make([]float64, 2)
+		}
+		for k := 0; k < 2; k++ {
+			leafG[node][k] += grads[k][i]
+			leafH[node][k] += hesses[k][i]
+		}
+	}
+	for node, G := range leafG {
+		for k := 0; k < 2; k++ {
+			want := -G[k] / (leafH[node][k] + lambda)
+			if math.Abs(tr.Value[node][k]-want) > 1e-6 {
+				t.Fatalf("leaf %d output %d = %v, want %v (subtraction drift?)",
+					node, k, tr.Value[node][k], want)
+			}
+		}
+	}
+}
+
+func TestHistMultiErrors(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	bm := NewBinnedMatrix(X)
+	g := []float64{1, 2}
+	h := []float64{1, 1}
+	if _, err := BuildNewtonHistMulti(nil, [][]float64{g}, [][]float64{h}, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("nil matrix should error")
+	}
+	if _, err := BuildNewtonHistMulti(bm, nil, nil, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("no outputs should error")
+	}
+	if _, err := BuildNewtonHistMulti(bm, [][]float64{{1}}, [][]float64{{1}}, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BuildNewtonHistMulti(bm, [][]float64{g}, [][]float64{h}, []int{}, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("empty idx should error")
+	}
+	if _, err := BuildNewtonHistMulti(bm, [][]float64{g}, [][]float64{h}, nil, NewtonParams{MaxDepth: -1}); err == nil {
+		t.Error("negative depth should error")
+	}
+}
+
+func TestHistErrors(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	bm := NewBinnedMatrix(X)
+	if _, err := BuildNewtonHist(nil, []float64{1}, []float64{1}, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("nil matrix should error")
+	}
+	if _, err := BuildNewtonHist(bm, []float64{1}, []float64{1}, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func BenchmarkHistVsExactSplit(b *testing.B) {
+	rng := stats.NewRNG(1)
+	n := 5000
+	X := make([][]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		grad[i] = rng.Normal(0, 1)
+		hess[i] = 1
+	}
+	p := NewtonParams{MaxDepth: 6, Lambda: 1}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildNewton(X, grad, hess, nil, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		bm := NewBinnedMatrix(X)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildNewtonHist(bm, grad, hess, nil, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package tree
+
+import (
+	"fmt"
+
+	"crossarch/internal/stats"
+)
+
+// NewtonParams configures second-order (XGBoost-style) tree construction.
+type NewtonParams struct {
+	// MaxDepth bounds the tree depth.
+	MaxDepth int
+	// Lambda is the L2 regularization on leaf weights (xgboost's
+	// reg_lambda; the paper's Omega term).
+	Lambda float64
+	// Gamma is the minimum loss reduction required to make a split
+	// (xgboost's complexity pruning term).
+	Gamma float64
+	// MinChildWeight is the minimum hessian sum in each child.
+	MinChildWeight float64
+	// MinSamplesLeaf is the smallest number of samples per leaf (>= 1).
+	MinSamplesLeaf int
+	// MaxFeatures restricts the features examined per split (column
+	// subsampling by node). 0 means all.
+	MaxFeatures int
+	// RNG drives column subsampling; required when MaxFeatures is
+	// restrictive.
+	RNG *stats.RNG
+}
+
+// BuildNewton grows a single-output regression tree from per-sample
+// gradients and hessians using the exact greedy XGBoost split criterion:
+//
+//	gain = 1/2 * ( GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ) - gamma
+//
+// and leaf weights w = -G/(H+lambda). The produced Tree has Outputs == 1
+// (boosting fits one tree per target component per round).
+func BuildNewton(X [][]float64, grad, hess []float64, idx []int, p NewtonParams) (*Tree, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("tree: empty feature matrix")
+	}
+	if len(grad) != len(X) || len(hess) != len(X) {
+		return nil, fmt.Errorf("tree: grad/hess length %d/%d != %d rows", len(grad), len(hess), len(X))
+	}
+	if p.MaxDepth < 0 {
+		return nil, fmt.Errorf("tree: negative MaxDepth %d", p.MaxDepth)
+	}
+	if p.MinSamplesLeaf < 1 {
+		p.MinSamplesLeaf = 1
+	}
+	if idx == nil {
+		idx = make([]int, len(X))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("tree: empty training index set")
+	}
+	features := len(X[0])
+	if p.MaxFeatures <= 0 || p.MaxFeatures > features {
+		p.MaxFeatures = features
+	}
+	if p.MaxFeatures < features && p.RNG == nil {
+		return nil, fmt.Errorf("tree: column subsampling requires an RNG")
+	}
+
+	b := newBuilder(1)
+	g := &newtonGrower{X: X, grad: grad, hess: hess, p: p, b: b, features: features,
+		scratch: make([]int, 0, len(idx))}
+	g.grow(append([]int(nil), idx...), 0)
+	t := b.t
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type newtonGrower struct {
+	X          [][]float64
+	grad, hess []float64
+	p          NewtonParams
+	b          *builder
+	features   int
+	scratch    []int
+}
+
+func (g *newtonGrower) sums(idx []int) (G, H float64) {
+	for _, i := range idx {
+		G += g.grad[i]
+		H += g.hess[i]
+	}
+	return G, H
+}
+
+// score is the (negated, scaled) optimal structure score G^2/(H+lambda).
+func (g *newtonGrower) score(G, H float64) float64 {
+	return G * G / (H + g.p.Lambda)
+}
+
+func (g *newtonGrower) leafWeight(G, H float64) float64 {
+	return -G / (H + g.p.Lambda)
+}
+
+type newtonSplit struct {
+	feature   int
+	threshold float64
+	gain      float64
+	leftIdx   []int
+	rightIdx  []int
+}
+
+func (g *newtonGrower) bestSplit(idx []int) *newtonSplit {
+	Gtot, Htot := g.sums(idx)
+	parent := g.score(Gtot, Htot)
+	var best *newtonSplit
+	candidates := g.candidateFeatures()
+	n := len(idx)
+
+	for _, f := range candidates {
+		g.scratch = sortByFeature(g.X, idx, f, g.scratch)
+		sorted := g.scratch
+		var GL, HL float64
+		for cut := 1; cut < n; cut++ {
+			i := sorted[cut-1]
+			GL += g.grad[i]
+			HL += g.hess[i]
+			if g.X[sorted[cut]][f] == g.X[sorted[cut-1]][f] {
+				continue
+			}
+			if cut < g.p.MinSamplesLeaf || n-cut < g.p.MinSamplesLeaf {
+				continue
+			}
+			GR, HR := Gtot-GL, Htot-HL
+			if HL < g.p.MinChildWeight || HR < g.p.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(g.score(GL, HL)+g.score(GR, HR)-parent) - g.p.Gamma
+			if gain <= 1e-12 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				if best == nil {
+					best = &newtonSplit{}
+				}
+				best.feature = f
+				best.threshold = (g.X[sorted[cut]][f] + g.X[sorted[cut-1]][f]) / 2
+				best.gain = gain
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	for _, i := range idx {
+		if g.X[i][best.feature] < best.threshold {
+			best.leftIdx = append(best.leftIdx, i)
+		} else {
+			best.rightIdx = append(best.rightIdx, i)
+		}
+	}
+	if len(best.leftIdx) == 0 || len(best.rightIdx) == 0 {
+		return nil
+	}
+	return best
+}
+
+func (g *newtonGrower) candidateFeatures() []int {
+	if g.p.MaxFeatures >= g.features {
+		all := make([]int, g.features)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return g.p.RNG.SampleWithoutReplacement(g.features, g.p.MaxFeatures)
+}
+
+func (g *newtonGrower) grow(idx []int, depth int) int {
+	G, H := g.sums(idx)
+	if depth >= g.p.MaxDepth {
+		return g.b.addLeaf([]float64{g.leafWeight(G, H)}, len(idx))
+	}
+	split := g.bestSplit(idx)
+	if split == nil {
+		return g.b.addLeaf([]float64{g.leafWeight(G, H)}, len(idx))
+	}
+	node := g.b.addSplit(split.feature, split.threshold, split.gain, len(idx))
+	g.b.t.Left[node] = g.grow(split.leftIdx, depth+1)
+	g.b.t.Right[node] = g.grow(split.rightIdx, depth+1)
+	return node
+}

@@ -1,0 +1,202 @@
+// Package tree implements regression trees over dense float feature
+// matrices. It provides the two tree learners the repository needs:
+//
+//   - BuildCART: classic variance-reduction CART regression trees with
+//     multi-output mean leaves, used by the decision-forest baseline.
+//   - BuildNewton: second-order (gradient/hessian) trees with L2 leaf
+//     regularization and split gain per the XGBoost objective, used by
+//     the gradient-boosting learner in internal/ml/xgboost.
+//
+// Trees are stored in a flat array form: node i splits on Feature[i] at
+// Threshold[i] and routes to children Left[i]/Right[i]; leaves are marked
+// with Feature[i] == LeafMarker and carry a multi-output value vector.
+// The flat form serializes to JSON directly and keeps prediction walks
+// allocation-free.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LeafMarker is the Feature value identifying leaf nodes.
+const LeafMarker = -1
+
+// Tree is a trained regression tree in flat array form. All slices have
+// one entry per node; node 0 is the root.
+type Tree struct {
+	Feature   []int       `json:"feature"`
+	Threshold []float64   `json:"threshold"`
+	Left      []int       `json:"left"`
+	Right     []int       `json:"right"`
+	Value     [][]float64 `json:"value"` // leaf output vector; nil for internal nodes
+	Gain      []float64   `json:"gain"`  // split gain; 0 for leaves
+	Cover     []int       `json:"cover"` // training samples routed through the node
+	Outputs   int         `json:"outputs"`
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.Feature) }
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for _, f := range t.Feature {
+		if f == LeafMarker {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum root-to-leaf depth (a lone root counts as 0).
+func (t *Tree) Depth() int {
+	if t.NumNodes() == 0 {
+		return 0
+	}
+	var walk func(node, d int) int
+	walk = func(node, d int) int {
+		if t.Feature[node] == LeafMarker {
+			return d
+		}
+		l := walk(t.Left[node], d+1)
+		r := walk(t.Right[node], d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(0, 0)
+}
+
+// Predict returns the leaf value vector reached by x. The returned slice
+// aliases the tree's storage and must not be modified.
+func (t *Tree) Predict(x []float64) []float64 {
+	node := 0
+	for t.Feature[node] != LeafMarker {
+		if x[t.Feature[node]] < t.Threshold[node] {
+			node = t.Left[node]
+		} else {
+			node = t.Right[node]
+		}
+	}
+	return t.Value[node]
+}
+
+// AccumulatePredict adds scale times the leaf value of x into out, which
+// lets boosting sum trees without allocating.
+func (t *Tree) AccumulatePredict(x []float64, scale float64, out []float64) {
+	v := t.Predict(x)
+	for i := range out {
+		out[i] += scale * v[i]
+	}
+}
+
+// GainByFeature accumulates each feature's total split gain and split
+// count into the provided slices (indexed by feature). It is the
+// primitive under gain-based feature importances.
+func (t *Tree) GainByFeature(totalGain []float64, splits []int) {
+	for i, f := range t.Feature {
+		if f == LeafMarker {
+			continue
+		}
+		if f >= 0 && f < len(totalGain) {
+			totalGain[f] += t.Gain[i]
+			splits[f]++
+		}
+	}
+}
+
+// Validate checks structural invariants: children indices in range, every
+// leaf has a value vector of the advertised width, no internal node has a
+// value, and the node graph reachable from the root is a tree. It returns
+// a descriptive error for the first violation found.
+func (t *Tree) Validate() error {
+	n := t.NumNodes()
+	if n == 0 {
+		return fmt.Errorf("tree: empty tree")
+	}
+	if len(t.Threshold) != n || len(t.Left) != n || len(t.Right) != n || len(t.Value) != n || len(t.Gain) != n || len(t.Cover) != n {
+		return fmt.Errorf("tree: inconsistent node array lengths")
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	visited := 0
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if node < 0 || node >= n {
+			return fmt.Errorf("tree: node index %d out of range", node)
+		}
+		if seen[node] {
+			return fmt.Errorf("tree: node %d reachable twice (cycle or DAG)", node)
+		}
+		seen[node] = true
+		visited++
+		if t.Feature[node] == LeafMarker {
+			if len(t.Value[node]) != t.Outputs {
+				return fmt.Errorf("tree: leaf %d has %d outputs, want %d", node, len(t.Value[node]), t.Outputs)
+			}
+			continue
+		}
+		if t.Feature[node] < 0 {
+			return fmt.Errorf("tree: node %d has invalid feature %d", node, t.Feature[node])
+		}
+		if t.Value[node] != nil {
+			return fmt.Errorf("tree: internal node %d carries a value", node)
+		}
+		stack = append(stack, t.Left[node], t.Right[node])
+	}
+	if visited != n {
+		return fmt.Errorf("tree: %d of %d nodes unreachable from root", n-visited, n)
+	}
+	return nil
+}
+
+// builder accumulates nodes during recursive construction.
+type builder struct {
+	t *Tree
+}
+
+func newBuilder(outputs int) *builder {
+	return &builder{t: &Tree{Outputs: outputs}}
+}
+
+// addLeaf appends a leaf node covering count training samples and
+// returns its index.
+func (b *builder) addLeaf(value []float64, count int) int {
+	idx := len(b.t.Feature)
+	b.t.Feature = append(b.t.Feature, LeafMarker)
+	b.t.Threshold = append(b.t.Threshold, 0)
+	b.t.Left = append(b.t.Left, -1)
+	b.t.Right = append(b.t.Right, -1)
+	b.t.Value = append(b.t.Value, value)
+	b.t.Gain = append(b.t.Gain, 0)
+	b.t.Cover = append(b.t.Cover, count)
+	return idx
+}
+
+// addSplit appends an internal node with placeholder children and returns
+// its index; the caller patches Left/Right after building the subtrees.
+func (b *builder) addSplit(feature int, threshold, gain float64, count int) int {
+	idx := len(b.t.Feature)
+	b.t.Feature = append(b.t.Feature, feature)
+	b.t.Threshold = append(b.t.Threshold, threshold)
+	b.t.Left = append(b.t.Left, -1)
+	b.t.Right = append(b.t.Right, -1)
+	b.t.Value = append(b.t.Value, nil)
+	b.t.Gain = append(b.t.Gain, gain)
+	b.t.Cover = append(b.t.Cover, count)
+	return idx
+}
+
+// sortByFeature orders idx by feature f of X, ascending, without
+// disturbing the caller's slice. The scratch slice is reused.
+func sortByFeature(X [][]float64, idx []int, f int, scratch []int) []int {
+	scratch = scratch[:0]
+	scratch = append(scratch, idx...)
+	sort.Slice(scratch, func(a, b int) bool {
+		return X[scratch[a]][f] < X[scratch[b]][f]
+	})
+	return scratch
+}

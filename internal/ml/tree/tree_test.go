@@ -1,0 +1,459 @@
+package tree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+// makeStep returns a dataset where y = 1 if x0 >= 0.5 else 0, plus a
+// second irrelevant feature.
+func makeStep(n int, rng *stats.RNG) (X, Y [][]float64) {
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := range X {
+		x0 := rng.Float64()
+		X[i] = []float64{x0, rng.Float64()}
+		label := 0.0
+		if x0 >= 0.5 {
+			label = 1
+		}
+		Y[i] = []float64{label}
+	}
+	return X, Y
+}
+
+func TestCARTLearnsStepFunction(t *testing.T) {
+	rng := stats.NewRNG(1)
+	X, Y := makeStep(400, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 3, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		pred := tr.Predict(x)[0]
+		if math.Abs(pred-Y[i][0]) > 0.05 {
+			t.Fatalf("step prediction at %v = %v, want %v", x, pred, Y[i][0])
+		}
+	}
+	// The first split must be on the informative feature near 0.5.
+	if tr.Feature[0] != 0 {
+		t.Errorf("root split on feature %d, want 0", tr.Feature[0])
+	}
+	if math.Abs(tr.Threshold[0]-0.5) > 0.1 {
+		t.Errorf("root threshold = %v, want ~0.5", tr.Threshold[0])
+	}
+}
+
+func TestCARTMultiOutput(t *testing.T) {
+	rng := stats.NewRNG(2)
+	n := 300
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		// Two coupled outputs of the same split structure.
+		if x < 0.3 {
+			Y[i] = []float64{1, 10}
+		} else {
+			Y[i] = []float64{2, 20}
+		}
+	}
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 2, MinSamplesLeaf: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := tr.Predict([]float64{0.1})
+	if math.Abs(pred[0]-1) > 0.05 || math.Abs(pred[1]-10) > 0.5 {
+		t.Errorf("multi-output low prediction = %v", pred)
+	}
+	pred = tr.Predict([]float64{0.9})
+	if math.Abs(pred[0]-2) > 0.05 || math.Abs(pred[1]-20) > 0.5 {
+		t.Errorf("multi-output high prediction = %v", pred)
+	}
+}
+
+func TestCARTDepthZeroIsMeanLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	Y := [][]float64{{1}, {2}, {6}}
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 || tr.NumLeaves() != 1 {
+		t.Fatalf("depth-0 tree has %d nodes", tr.NumNodes())
+	}
+	if got := tr.Predict([]float64{99})[0]; got != 3 {
+		t.Errorf("mean leaf = %v, want 3", got)
+	}
+}
+
+func TestCARTMinSamplesLeaf(t *testing.T) {
+	rng := stats.NewRNG(3)
+	X, Y := makeStep(100, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 10, MinSamplesLeaf: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With min leaf 40 of 100 samples, at most 2 leaves are possible.
+	if tr.NumLeaves() > 2 {
+		t.Errorf("leaves = %d, want <= 2", tr.NumLeaves())
+	}
+}
+
+func TestCARTConstantLabelsNoSplit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	Y := [][]float64{{5}, {5}, {5}, {5}}
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("constant labels grew %d nodes", tr.NumNodes())
+	}
+}
+
+func TestCARTErrors(t *testing.T) {
+	X := [][]float64{{1, 2}}
+	Y := [][]float64{{1}}
+	if _, err := BuildCART(nil, nil, nil, CARTParams{MaxDepth: 1}); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := BuildCART(X, nil, nil, CARTParams{MaxDepth: 1}); err == nil {
+		t.Error("mismatched Y should error")
+	}
+	if _, err := BuildCART(X, Y, []int{}, CARTParams{MaxDepth: 1}); err == nil {
+		t.Error("empty idx should error")
+	}
+	if _, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: -1}); err == nil {
+		t.Error("negative depth should error")
+	}
+	if _, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 1, MaxFeatures: 1}); err == nil {
+		t.Error("subsampling without RNG should error")
+	}
+}
+
+func TestCARTFeatureSubsampling(t *testing.T) {
+	rng := stats.NewRNG(4)
+	X, Y := makeStep(200, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{
+		MaxDepth: 4, MinSamplesLeaf: 2, MaxFeatures: 1, RNG: stats.NewRNG(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCARTWithIndexSubset(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	Y := [][]float64{{0}, {0}, {100}, {100}}
+	// Train only on rows 0 and 1: should be a constant-0 leaf.
+	tr, err := BuildCART(X, Y, []int{0, 1}, CARTParams{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{3})[0]; got != 0 {
+		t.Errorf("subset-trained prediction = %v, want 0", got)
+	}
+}
+
+func TestNewtonLeafWeightMatchesClosedForm(t *testing.T) {
+	// With squared loss, grad = pred0 - y = -y (pred0 = 0), hess = 1.
+	// A single leaf over all samples gets w = sum(y)/(n + lambda).
+	X := [][]float64{{1}, {1}, {1}, {1}}
+	ys := []float64{2, 4, 6, 8}
+	grad := make([]float64, len(ys))
+	hess := make([]float64, len(ys))
+	for i, y := range ys {
+		grad[i] = -y
+		hess[i] = 1
+	}
+	lambda := 1.0
+	tr, err := BuildNewton(X, grad, hess, nil, NewtonParams{MaxDepth: 3, Lambda: lambda})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All features identical: no split possible, single leaf.
+	if tr.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", tr.NumNodes())
+	}
+	want := 20.0 / (4 + lambda)
+	if got := tr.Predict([]float64{1})[0]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("leaf weight = %v, want %v", got, want)
+	}
+}
+
+func TestNewtonFindsInformativeSplit(t *testing.T) {
+	rng := stats.NewRNG(5)
+	n := 500
+	X := make([][]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x, rng.Float64()}
+		y := 0.0
+		if x >= 0.5 {
+			y = 4
+		}
+		grad[i] = -y // squared loss at pred = 0
+		hess[i] = 1
+	}
+	tr, err := BuildNewton(X, grad, hess, nil, NewtonParams{MaxDepth: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Feature[0] != 0 {
+		t.Fatalf("root split feature = %d, want 0", tr.Feature[0])
+	}
+	lo := tr.Predict([]float64{0.1, 0.5})[0]
+	hi := tr.Predict([]float64{0.9, 0.5})[0]
+	if lo > 0.2 || hi < 3.5 {
+		t.Errorf("newton leaves = %v / %v, want ~0 / ~4", lo, hi)
+	}
+}
+
+func TestNewtonGammaPrunes(t *testing.T) {
+	rng := stats.NewRNG(6)
+	n := 200
+	X := make([][]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		// Weak signal: tiny difference across the split.
+		y := 0.01 * x
+		grad[i] = -y
+		hess[i] = 1
+	}
+	free, err := BuildNewton(X, grad, hess, nil, NewtonParams{MaxDepth: 4, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := BuildNewton(X, grad, hess, nil, NewtonParams{MaxDepth: 4, Lambda: 1, Gamma: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumNodes() >= free.NumNodes() {
+		t.Errorf("gamma=100 nodes %d, gamma=0 nodes %d; expected pruning",
+			pruned.NumNodes(), free.NumNodes())
+	}
+	if pruned.NumNodes() != 1 {
+		t.Errorf("huge gamma should force a single leaf, got %d nodes", pruned.NumNodes())
+	}
+}
+
+func TestNewtonMinChildWeight(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	grad := []float64{-1, -1, -10, -10}
+	hess := []float64{1, 1, 1, 1}
+	tr, err := BuildNewton(X, grad, hess, nil, NewtonParams{MaxDepth: 3, Lambda: 0, MinChildWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each child needs hessian sum >= 3, impossible with 4 unit-hessian
+	// samples split 2/2? 2 < 3, so no split is admissible.
+	if tr.NumNodes() != 1 {
+		t.Errorf("MinChildWeight violated: %d nodes", tr.NumNodes())
+	}
+}
+
+func TestNewtonErrors(t *testing.T) {
+	X := [][]float64{{1}}
+	if _, err := BuildNewton(nil, nil, nil, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := BuildNewton(X, []float64{1, 2}, []float64{1}, nil, NewtonParams{MaxDepth: 1}); err == nil {
+		t.Error("grad length mismatch should error")
+	}
+	if _, err := BuildNewton(X, []float64{1}, []float64{1}, nil, NewtonParams{MaxDepth: -2}); err == nil {
+		t.Error("negative depth should error")
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(7)
+	X, Y := makeStep(100, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 3, MinSamplesLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if a, b := tr.Predict(x)[0], back.Predict(x)[0]; a != b {
+			t.Fatalf("round-trip prediction mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rng := stats.NewRNG(8)
+	X, Y := makeStep(50, rng)
+	tr, _ := BuildCART(X, Y, nil, CARTParams{MaxDepth: 2, MinSamplesLeaf: 2})
+	if tr.NumNodes() < 3 {
+		t.Skip("tree too small to corrupt")
+	}
+	// Introduce a cycle.
+	bad := *tr
+	bad.Left = append([]int(nil), tr.Left...)
+	bad.Left[0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic tree")
+	}
+	// Out-of-range child.
+	bad.Left[0] = 999
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range child")
+	}
+}
+
+func TestDepthAndLeaves(t *testing.T) {
+	rng := stats.NewRNG(9)
+	X, Y := makeStep(200, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 3, MinSamplesLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Errorf("Depth = %d exceeds MaxDepth 3", d)
+	}
+	if tr.NumLeaves() > 8 {
+		t.Errorf("leaves = %d exceeds 2^3", tr.NumLeaves())
+	}
+	if tr.NumLeaves()+tr.NumLeaves()-1 < tr.NumNodes() {
+		t.Errorf("binary tree identity violated: %d leaves, %d nodes", tr.NumLeaves(), tr.NumNodes())
+	}
+}
+
+func TestGainByFeature(t *testing.T) {
+	rng := stats.NewRNG(10)
+	X, Y := makeStep(300, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 4, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := make([]float64, 2)
+	splits := make([]int, 2)
+	tr.GainByFeature(gain, splits)
+	// Feature 0 carries the signal: it must dominate total gain.
+	if gain[0] <= gain[1] {
+		t.Errorf("gain = %v, expected feature 0 to dominate", gain)
+	}
+	if splits[0] == 0 {
+		t.Error("informative feature never split")
+	}
+}
+
+// Property: CART predictions are always within [min(Y), max(Y)] because
+// leaves are means of subsets.
+func TestCARTPredictionBoundsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 30 + rng.Intn(70)
+		X := make([][]float64, n)
+		Y := make([][]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Normal(0, 1), rng.Normal(0, 1)}
+			y := rng.Normal(0, 5)
+			Y[i] = []float64{y}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 4, MinSamplesLeaf: 1})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{rng.Normal(0, 3), rng.Normal(0, 3)})[0]
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting all labels by a constant shifts CART predictions by
+// the same constant (split structure is shift-invariant).
+func TestCARTShiftInvarianceProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, shiftRaw int8) bool {
+		rng := stats.NewRNG(seed)
+		shift := float64(shiftRaw)
+		n := 50
+		X := make([][]float64, n)
+		Y := make([][]float64, n)
+		Y2 := make([][]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.Float64()}
+			y := rng.Normal(0, 2)
+			Y[i] = []float64{y}
+			Y2[i] = []float64{y + shift}
+		}
+		p := CARTParams{MaxDepth: 3, MinSamplesLeaf: 2}
+		t1, err1 := BuildCART(X, Y, nil, p)
+		t2, err2 := BuildCART(X, Y2, nil, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			x := []float64{rng.Float64()}
+			if math.Abs((t2.Predict(x)[0]-t1.Predict(x)[0])-shift) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildCART(b *testing.B) {
+	rng := stats.NewRNG(1)
+	X, Y := makeStep(2000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 6, MinSamplesLeaf: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	rng := stats.NewRNG(1)
+	X, Y := makeStep(2000, rng)
+	tr, err := BuildCART(X, Y, nil, CARTParams{MaxDepth: 6, MinSamplesLeaf: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Predict(X[i%len(X)])
+	}
+}

@@ -1,0 +1,60 @@
+package xgboost
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes a human-readable description of the trained ensemble to
+// w, mirroring the xgboost library's dump_model text format: one block
+// per tree with depth-indented split conditions and leaf values.
+// featureNames labels split features; pass nil for f0, f1, ... labels.
+func (m *Model) Dump(w io.Writer, featureNames []string) error {
+	if m.Trees == nil {
+		return fmt.Errorf("xgboost: Dump before Fit")
+	}
+	name := func(f int) string {
+		if f >= 0 && f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("f%d", f)
+	}
+	if _, err := fmt.Fprintf(w, "xgboost model: %d rounds, %d outputs, base score %v\n",
+		len(m.Trees), m.Outputs, m.BaseScore); err != nil {
+		return err
+	}
+	for round, trees := range m.Trees {
+		for k, t := range trees {
+			label := fmt.Sprintf("booster[%d]", round)
+			if len(trees) > 1 {
+				label = fmt.Sprintf("booster[%d][output %d]", round, k)
+			}
+			if _, err := fmt.Fprintln(w, label+":"); err != nil {
+				return err
+			}
+			var walk func(node, depth int) error
+			walk = func(node, depth int) error {
+				indent := ""
+				for i := 0; i < depth; i++ {
+					indent += "  "
+				}
+				if t.Feature[node] == -1 {
+					_, err := fmt.Fprintf(w, "%s%d:leaf=%v cover=%d\n", indent, node, t.Value[node], t.Cover[node])
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s%d:[%s<%g] gain=%.4g cover=%d\n",
+					indent, node, name(t.Feature[node]), t.Threshold[node], t.Gain[node], t.Cover[node]); err != nil {
+					return err
+				}
+				if err := walk(t.Left[node], depth+1); err != nil {
+					return err
+				}
+				return walk(t.Right[node], depth+1)
+			}
+			if err := walk(0, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

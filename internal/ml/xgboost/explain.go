@@ -1,0 +1,76 @@
+package xgboost
+
+import "fmt"
+
+// Explanation decomposes one prediction additively:
+//
+//	prediction[k] = Bias[k] + sum over features f of Contributions[f][k]
+//
+// Bias is the base score plus every tree's root expectation;
+// Contributions attribute the rest to the features along each tree's
+// decision path (the Saabas method), the per-prediction counterpart of
+// the Figure 6 global importances.
+type Explanation struct {
+	Bias          []float64
+	Contributions [][]float64 // [feature][output]
+}
+
+// Explain computes the additive feature contributions of the model's
+// prediction for x.
+func (m *Model) Explain(x []float64) (*Explanation, error) {
+	if m.Trees == nil {
+		return nil, fmt.Errorf("xgboost: Explain before Fit")
+	}
+	lr := m.Params.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	ex := &Explanation{
+		Bias:          append([]float64(nil), m.BaseScore...),
+		Contributions: make([][]float64, m.Features),
+	}
+	for f := range ex.Contributions {
+		ex.Contributions[f] = make([]float64, m.Outputs)
+	}
+	for _, round := range m.Trees {
+		if len(round) == 1 && round[0].Outputs == m.Outputs {
+			// Vector-leaf tree: contributions cover all outputs.
+			bias, contrib, err := round[0].Contributions(x, m.Features)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < m.Outputs; k++ {
+				ex.Bias[k] += lr * bias[k]
+			}
+			for f := range contrib {
+				for k := 0; k < m.Outputs; k++ {
+					ex.Contributions[f][k] += lr * contrib[f][k]
+				}
+			}
+			continue
+		}
+		for k, t := range round {
+			bias, contrib, err := t.Contributions(x, m.Features)
+			if err != nil {
+				return nil, err
+			}
+			ex.Bias[k] += lr * bias[0]
+			for f := range contrib {
+				ex.Contributions[f][k] += lr * contrib[f][0]
+			}
+		}
+	}
+	return ex, nil
+}
+
+// Reconstruct returns Bias + summed contributions, which must equal
+// Predict(x) up to floating-point error; exposed for verification.
+func (e *Explanation) Reconstruct() []float64 {
+	out := append([]float64(nil), e.Bias...)
+	for _, c := range e.Contributions {
+		for k := range out {
+			out[k] += c[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package xgboost
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+func TestExplainReconstructsPrediction(t *testing.T) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(400, rng)
+	for _, strat := range []string{"multi_output_tree", "one_output_per_tree"} {
+		m := New(Params{Rounds: 40, MaxDepth: 5, LearningRate: 0.15, Seed: 2, MultiStrategy: strat})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for i := 0; i < 30; i++ {
+			x := X[i]
+			pred := m.Predict(x)
+			ex, err := m.Explain(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ex.Reconstruct()
+			for k := range pred {
+				if math.Abs(got[k]-pred[k]) > 1e-9 {
+					t.Fatalf("%s: reconstruction %v != prediction %v", strat, got, pred)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainAttributesSignalFeatures(t *testing.T) {
+	// y depends only on x0; contributions of the pure-noise feature
+	// must be tiny compared to x0's for a point far from the mean.
+	rng := stats.NewRNG(3)
+	n := 600
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x0, x1 := rng.Float64(), rng.Float64()
+		X[i] = []float64{x0, x1}
+		Y[i] = []float64{10 * x0}
+	}
+	m := New(Params{Rounds: 60, MaxDepth: 4, LearningRate: 0.2, Seed: 4})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Explain([]float64{0.95, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := math.Abs(ex.Contributions[0][0])
+	c1 := math.Abs(ex.Contributions[1][0])
+	if c0 < 10*c1 {
+		t.Errorf("signal contribution %v not dominant over noise %v", c0, c1)
+	}
+	if c0 < 2 {
+		t.Errorf("x0 contribution %v too small for an extreme point", c0)
+	}
+}
+
+func TestExplainBeforeFit(t *testing.T) {
+	if _, err := New(Params{}).Explain([]float64{1}); err == nil {
+		t.Error("Explain before Fit should error")
+	}
+}
+
+func TestDump(t *testing.T) {
+	rng := stats.NewRNG(9)
+	X, Y := friedman(150, rng)
+	m := New(Params{Rounds: 3, MaxDepth: 2, Seed: 10})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Dump(&buf, []string{"alpha", "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"booster[0]", "leaf=", "gain=", "cover="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+	// Named features appear; unnamed fall back to fN.
+	if !strings.Contains(out, "alpha") && !strings.Contains(out, "beta") && !strings.Contains(out, "f2") {
+		t.Error("dump shows no feature labels")
+	}
+	if err := New(Params{}).Dump(&buf, nil); err == nil {
+		t.Error("Dump before Fit should error")
+	}
+}

@@ -1,0 +1,7 @@
+package xgboost
+
+import "crossarch/internal/ml"
+
+func init() {
+	ml.RegisterModel("xgboost", func() ml.Regressor { return New(Params{}) })
+}

@@ -1,0 +1,369 @@
+package xgboost
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/baseline"
+	"crossarch/internal/ml/linear"
+	"crossarch/internal/stats"
+)
+
+// friedman is the standard nonlinear regression benchmark.
+func friedman(n int, rng *stats.RNG) (X, Y [][]float64) {
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := range X {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		X[i] = x
+		y := 10*math.Sin(math.Pi*x[0]*x[1]) + 20*(x[2]-0.5)*(x[2]-0.5) + 10*x[3] + 5*x[4] + rng.Normal(0, 0.5)
+		Y[i] = []float64{y}
+	}
+	return X, Y
+}
+
+func TestBoostingReducesTrainLossMonotonically(t *testing.T) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(300, rng)
+	prev := math.Inf(1)
+	for _, rounds := range []int{1, 5, 25, 100} {
+		m := New(Params{Rounds: rounds, MaxDepth: 4, LearningRate: 0.3, Seed: 2})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatal(err)
+		}
+		mse := ml.MSE(ml.PredictBatch(m, X), Y)
+		if mse >= prev {
+			t.Errorf("train MSE did not decrease at %d rounds: %v >= %v", rounds, mse, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestXGBoostBeatsLinearAndMeanOnNonlinearData(t *testing.T) {
+	rng := stats.NewRNG(3)
+	X, Y := friedman(1200, rng)
+	trX, trY, teX, teY, err := ml.TrainTestSplit(X, Y, 0.25, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xgb := New(Params{Rounds: 150, MaxDepth: 5, LearningRate: 0.1, Seed: 5})
+	if err := xgb.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	lin := linear.New(0)
+	if err := lin.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	mean := baseline.New()
+	if err := mean.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	xgbMAE := ml.MAE(ml.PredictBatch(xgb, teX), teY)
+	linMAE := ml.MAE(ml.PredictBatch(lin, teX), teY)
+	meanMAE := ml.MAE(ml.PredictBatch(mean, teX), teY)
+	if xgbMAE >= linMAE {
+		t.Errorf("xgboost MAE %v >= linear MAE %v", xgbMAE, linMAE)
+	}
+	if linMAE >= meanMAE {
+		t.Errorf("linear MAE %v >= mean MAE %v on partly-linear target", linMAE, meanMAE)
+	}
+	if xgbMAE > meanMAE/3 {
+		t.Errorf("xgboost MAE %v not a large improvement over mean %v", xgbMAE, meanMAE)
+	}
+}
+
+func TestMultiOutputVectors(t *testing.T) {
+	rng := stats.NewRNG(6)
+	n := 500
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		Y[i] = []float64{math.Sin(4 * x), math.Cos(4 * x), 2 * x}
+	}
+	m := New(Params{Rounds: 120, MaxDepth: 4, LearningRate: 0.15, Seed: 7})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Outputs != 3 {
+		t.Fatalf("outputs = %d", m.Outputs)
+	}
+	mae := ml.MAE(ml.PredictBatch(m, X), Y)
+	if mae > 0.05 {
+		t.Errorf("multi-output train MAE = %v", mae)
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	rng := stats.NewRNG(8)
+	X, Y := friedman(400, rng)
+	for _, obj := range []Objective{SquaredError, AbsoluteError, PseudoHuber} {
+		m := New(Params{Rounds: 80, MaxDepth: 4, LearningRate: 0.2, Objective: obj, Seed: 9})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatalf("%s: %v", obj, err)
+		}
+		mae := ml.MAE(ml.PredictBatch(m, X), Y)
+		if mae > 1.5 {
+			t.Errorf("%s train MAE = %v, too high", obj, mae)
+		}
+	}
+}
+
+func TestAbsoluteErrorRobustToOutliers(t *testing.T) {
+	// With a large label outlier, L1 training should move predictions of
+	// the clean points less than L2 training does.
+	n := 101
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i % 2)} // two groups only
+		Y[i] = []float64{1}
+	}
+	Y[n-1] = []float64{1000} // outlier in group (n-1)%2 == 0
+	l2 := New(Params{Rounds: 100, MaxDepth: 2, LearningRate: 0.3, Objective: SquaredError, Seed: 1})
+	l1 := New(Params{Rounds: 100, MaxDepth: 2, LearningRate: 0.3, Objective: AbsoluteError, Seed: 1})
+	if err := l2.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	cleanX := []float64{0}
+	l2Err := math.Abs(l2.Predict(cleanX)[0] - 1)
+	l1Err := math.Abs(l1.Predict(cleanX)[0] - 1)
+	if l1Err >= l2Err {
+		t.Errorf("L1 clean-point error %v >= L2 error %v; L1 should be robust", l1Err, l2Err)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	rng := stats.NewRNG(10)
+	X, Y := friedman(500, rng)
+	m := New(Params{Rounds: 400, MaxDepth: 6, LearningRate: 0.3, Seed: 11,
+		EarlyStoppingRounds: 10})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if m.BestRound >= 400 {
+		t.Logf("early stopping never triggered (best=%d); acceptable but unusual", m.BestRound)
+	}
+	if len(m.Trees) != m.BestRound {
+		t.Errorf("retained %d rounds, BestRound=%d", len(m.Trees), m.BestRound)
+	}
+}
+
+func TestSubsamplingStillLearns(t *testing.T) {
+	rng := stats.NewRNG(12)
+	X, Y := friedman(600, rng)
+	m := New(Params{Rounds: 120, MaxDepth: 5, LearningRate: 0.1,
+		Subsample: 0.7, ColsampleByTree: 0.7, Seed: 13})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	mae := ml.MAE(ml.PredictBatch(m, X), Y)
+	if mae > 1.0 {
+		t.Errorf("subsampled train MAE = %v", mae)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := stats.NewRNG(14)
+	X, Y := friedman(200, rng)
+	a := New(Params{Rounds: 30, Seed: 15, Subsample: 0.8})
+	b := New(Params{Rounds: 30, Seed: 15, Subsample: 0.8})
+	if err := a.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a.Predict(X[i])[0] != b.Predict(X[i])[0] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestFeatureImportancesIdentifySignal(t *testing.T) {
+	rng := stats.NewRNG(16)
+	X, Y := friedman(800, rng)
+	m := New(Params{Rounds: 80, MaxDepth: 5, LearningRate: 0.1, Seed: 17})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportances()
+	if len(imp) != 6 {
+		t.Fatalf("importances length = %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum = %v", sum)
+	}
+	if imp[5] >= imp[3] {
+		t.Errorf("noise feature importance %v >= informative %v", imp[5], imp[3])
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	Y := [][]float64{{1}, {2}}
+	bad := []Params{
+		{LearningRate: -0.1},
+		{LearningRate: 1.5},
+		{Subsample: -0.5},
+		{ColsampleByTree: 2},
+		{Objective: "reg:nonsense"},
+		{Lambda: -1},
+		{Gamma: -1},
+		{ValidationFraction: 2, EarlyStoppingRounds: 5},
+	}
+	for i, p := range bad {
+		if err := New(p).Fit(X, Y); err == nil {
+			t.Errorf("params case %d should error", i)
+		}
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	New(Params{}).Predict([]float64{1})
+}
+
+func TestXGBoostPersistence(t *testing.T) {
+	rng := stats.NewRNG(18)
+	X, Y := friedman(300, rng)
+	m := New(Params{Rounds: 25, MaxDepth: 4, Seed: 19})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ml.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a, b := m.Predict(X[i])[0], back.Predict(X[i])[0]; a != b {
+			t.Fatalf("persisted xgboost prediction %v != %v", b, a)
+		}
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	rng := stats.NewRNG(20)
+	n := 100
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		Y[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	m := New(Params{Rounds: 10, MaxDepth: 3, Seed: 21, MultiStrategy: "one_output_per_tree"})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumTrees(); got != 20 {
+		t.Errorf("NumTrees = %d, want 10 rounds x 2 outputs", got)
+	}
+	multi := New(Params{Rounds: 10, MaxDepth: 3, Seed: 21})
+	if err := multi.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if got := multi.NumTrees(); got != 10 {
+		t.Errorf("multi_output_tree NumTrees = %d, want one per round", got)
+	}
+}
+
+func TestMultiStrategyValidation(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	Y := [][]float64{{1}, {2}}
+	if err := New(Params{MultiStrategy: "nonsense"}).Fit(X, Y); err == nil {
+		t.Error("unknown multi strategy should error")
+	}
+	if err := New(Params{MultiStrategy: "multi_output_tree", TreeMethod: "exact"}).Fit(X, Y); err == nil {
+		t.Error("multi_output_tree with exact method should error")
+	}
+}
+
+func TestMultiOutputTreeCoherence(t *testing.T) {
+	// Both strategies must fit a coupled two-output target well.
+	rng := stats.NewRNG(30)
+	n := 600
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := rng.Float64()
+		X[i] = []float64{x}
+		Y[i] = []float64{math.Sin(3 * x), math.Cos(3 * x)}
+	}
+	for _, strat := range []string{"multi_output_tree", "one_output_per_tree"} {
+		m := New(Params{Rounds: 100, MaxDepth: 4, LearningRate: 0.2, Seed: 31, MultiStrategy: strat})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if mae := ml.MAE(ml.PredictBatch(m, X), Y); mae > 0.05 {
+			t.Errorf("%s train MAE = %v", strat, mae)
+		}
+	}
+}
+
+func TestLearningRateShrinksSteps(t *testing.T) {
+	// One round at lr=1 equals the raw Newton tree; lr=0.1 must move a
+	// tenth of that from the base score.
+	X := [][]float64{{0}, {0}, {1}, {1}}
+	Y := [][]float64{{0}, {0}, {10}, {10}}
+	full := New(Params{Rounds: 1, LearningRate: 1, MaxDepth: 2, Lambda: 0, Seed: 1})
+	tenth := New(Params{Rounds: 1, LearningRate: 0.1, MaxDepth: 2, Lambda: 0, Seed: 1})
+	if err := full.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := tenth.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	base := 5.0 // mean of labels
+	fullStep := full.Predict([]float64{1})[0] - base
+	tenthStep := tenth.Predict([]float64{1})[0] - base
+	if math.Abs(tenthStep-fullStep/10) > 1e-9 {
+		t.Errorf("lr scaling: full step %v, tenth step %v", fullStep, tenthStep)
+	}
+}
+
+func BenchmarkXGBoostFit(b *testing.B) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(1000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(Params{Rounds: 30, MaxDepth: 5, Seed: 1})
+		if err := m.Fit(X, Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXGBoostPredict(b *testing.B) {
+	rng := stats.NewRNG(1)
+	X, Y := friedman(1000, rng)
+	m := New(Params{Rounds: 50, MaxDepth: 5, Seed: 1})
+	if err := m.Fit(X, Y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}

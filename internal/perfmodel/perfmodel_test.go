@@ -1,0 +1,284 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/stats"
+)
+
+var mod Model
+
+func TestScaleString(t *testing.T) {
+	if OneCore.String() != "1-core" || OneNode.String() != "1-node" || TwoNodes.String() != "2-node" {
+		t.Error("scale labels wrong")
+	}
+	for _, s := range Scales {
+		back, err := ParseScale(s.String())
+		if err != nil || back != s {
+			t.Errorf("ParseScale(%s) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseScale("4-node"); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestResourcesFor(t *testing.T) {
+	amg := apps.AMG() // GPU-capable
+	comd := apps.CoMD()
+	quartz, lassen := arch.Quartz(), arch.Lassen()
+
+	r := ResourcesFor(amg, quartz, OneCore)
+	if r.Cores != 1 || r.GPUs != 0 || r.Ranks != 1 || r.UsesGPU {
+		t.Errorf("AMG/Quartz/1-core = %+v", r)
+	}
+	r = ResourcesFor(amg, lassen, OneCore)
+	if r.GPUs != 1 || r.Ranks != 1 || !r.UsesGPU {
+		t.Errorf("AMG/Lassen/1-core = %+v", r)
+	}
+	r = ResourcesFor(amg, lassen, OneNode)
+	if r.GPUs != 4 || r.Ranks != 4 || r.Nodes != 1 {
+		t.Errorf("AMG/Lassen/1-node = %+v", r)
+	}
+	r = ResourcesFor(amg, lassen, TwoNodes)
+	if r.GPUs != 8 || r.Ranks != 8 || r.Nodes != 2 {
+		t.Errorf("AMG/Lassen/2-node = %+v", r)
+	}
+	r = ResourcesFor(comd, lassen, OneNode)
+	if r.UsesGPU || r.Cores != 44 || r.Ranks != 44 {
+		t.Errorf("CPU-only app on Lassen = %+v", r)
+	}
+	r = ResourcesFor(comd, quartz, TwoNodes)
+	if r.Cores != 72 || r.Ranks != 72 {
+		t.Errorf("CoMD/Quartz/2-node = %+v", r)
+	}
+}
+
+func TestRuntimePositiveEverywhere(t *testing.T) {
+	for _, a := range apps.All() {
+		for _, in := range a.Inputs {
+			for _, m := range arch.All() {
+				for _, s := range Scales {
+					b := mod.Runtime(a, in, m, s)
+					if !(b.TotalSec > 0) || math.IsNaN(b.TotalSec) || math.IsInf(b.TotalSec, 0) {
+						t.Fatalf("%s %s on %s %s: runtime %v", a.Name, in.Args, m.Name, s, b.TotalSec)
+					}
+					if b.ComputeSec < 0 || b.CommSec < 0 || b.IOSec < 0 {
+						t.Fatalf("negative breakdown component: %+v", b)
+					}
+					sum := b.ComputeSec + b.CommSec + b.IOSec
+					if math.Abs(sum-b.TotalSec) > 1e-9*b.TotalSec {
+						t.Fatalf("breakdown does not sum: %+v", b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStrongScalingHelps(t *testing.T) {
+	// One node must beat one core for every app/machine (the parallel
+	// fraction dominates these workloads).
+	for _, a := range apps.All() {
+		in := a.Inputs[0]
+		for _, m := range arch.All() {
+			oneCore := mod.Runtime(a, in, m, OneCore).TotalSec
+			oneNode := mod.Runtime(a, in, m, OneNode).TotalSec
+			if oneNode >= oneCore {
+				t.Errorf("%s on %s: 1-node (%v) not faster than 1-core (%v)",
+					a.Name, m.Name, oneNode, oneCore)
+			}
+		}
+	}
+}
+
+func TestWorkScalesWithInput(t *testing.T) {
+	a := apps.CoMD()
+	m := arch.Quartz()
+	small := mod.Runtime(a, apps.Input{Args: "-N 1", Scale: 1}, m, OneNode).TotalSec
+	big := mod.Runtime(a, apps.Input{Args: "-N 4", Scale: 4}, m, OneNode).TotalSec
+	if big < 3*small || big > 5*small {
+		t.Errorf("4x input scaled runtime by %vx, want ~4x", big/small)
+	}
+}
+
+func TestGPUBeatsCPUForDataParallelApps(t *testing.T) {
+	// The ML apps are the paper's canonical GPU-friendly codes: their
+	// time on GPU machines must beat both CPU-only machines.
+	for _, name := range []string{"CANDLE", "miniGAN", "DeepCam", "CosmoFlow"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := a.Inputs[1]
+		quartz := mod.Runtime(a, in, arch.Quartz(), OneNode).TotalSec
+		ruby := mod.Runtime(a, in, arch.Ruby(), OneNode).TotalSec
+		lassen := mod.Runtime(a, in, arch.Lassen(), OneNode).TotalSec
+		corona := mod.Runtime(a, in, arch.Corona(), OneNode).TotalSec
+		if lassen >= quartz || lassen >= ruby || corona >= quartz || corona >= ruby {
+			t.Errorf("%s: GPU systems should win (Qu=%v Ru=%v La=%v Co=%v)",
+				name, quartz, ruby, lassen, corona)
+		}
+	}
+}
+
+func TestBranchinessHurtsGPUMoreThanCPU(t *testing.T) {
+	// Increase the branch fraction of a GPU app; the GPU runtime should
+	// degrade by a larger factor than the CPU runtime (SIMT divergence),
+	// the relationship the model must learn from the branch-intensity
+	// feature.
+	a := apps.SW4lite()
+	in := a.Inputs[1]
+	cpuBefore := mod.Runtime(a, in, arch.Quartz(), OneNode).TotalSec
+	gpuBefore := mod.Runtime(a, in, arch.Lassen(), OneNode).TotalSec
+
+	a.Sig.BranchFrac += 0.10
+	a.Sig.IntFrac -= 0.10 // keep the mix sum constant
+	cpuAfter := mod.Runtime(a, in, arch.Quartz(), OneNode).TotalSec
+	gpuAfter := mod.Runtime(a, in, arch.Lassen(), OneNode).TotalSec
+
+	cpuRatio := cpuAfter / cpuBefore
+	gpuRatio := gpuAfter / gpuBefore
+	if gpuRatio <= cpuRatio {
+		t.Errorf("branchiness: GPU degraded %vx, CPU %vx; GPU should suffer more", gpuRatio, cpuRatio)
+	}
+}
+
+func TestCommunicationBoundAppScalesWorse(t *testing.T) {
+	ember, _ := apps.ByName("Ember") // CommFrac 0.30
+	comd, _ := apps.ByName("CoMD")   // CommFrac 0.04
+	m := arch.Quartz()
+	emberSpeedup := mod.Runtime(ember, ember.Inputs[1], m, OneNode).TotalSec /
+		mod.Runtime(ember, ember.Inputs[1], m, TwoNodes).TotalSec
+	comdSpeedup := mod.Runtime(comd, comd.Inputs[1], m, OneNode).TotalSec /
+		mod.Runtime(comd, comd.Inputs[1], m, TwoNodes).TotalSec
+	if emberSpeedup >= comdSpeedup {
+		t.Errorf("Ember 2-node speedup %v >= CoMD %v; comm-bound app should scale worse",
+			emberSpeedup, comdSpeedup)
+	}
+}
+
+func TestNoisyRuntimeCentersOnDeterministic(t *testing.T) {
+	a := apps.AMG()
+	in := a.Inputs[1]
+	m := arch.Ruby()
+	det := mod.Runtime(a, in, m, OneNode).TotalSec
+	rng := stats.NewRNG(1)
+	vals := make([]float64, 2001)
+	for i := range vals {
+		vals[i] = mod.NoisyRuntime(a, in, m, OneNode, rng).TotalSec
+	}
+	med := stats.Median(vals)
+	if math.Abs(med-det)/det > 0.02 {
+		t.Errorf("noisy median %v vs deterministic %v", med, det)
+	}
+}
+
+func TestMLAppsNoisierThanOthers(t *testing.T) {
+	rng := stats.NewRNG(2)
+	spread := func(a *apps.App) float64 {
+		vals := make([]float64, 500)
+		for i := range vals {
+			vals[i] = mod.NoisyRuntime(a, a.Inputs[0], arch.Quartz(), OneNode, rng).TotalSec
+		}
+		return stats.StdDev(vals) / stats.Mean(vals)
+	}
+	candle, _ := apps.ByName("CANDLE")
+	comd, _ := apps.ByName("CoMD")
+	if spread(candle) <= 2*spread(comd) {
+		t.Errorf("CANDLE cv %v should far exceed CoMD cv %v", spread(candle), spread(comd))
+	}
+}
+
+func TestCountsConsistentWithSignature(t *testing.T) {
+	a := apps.CoMD()
+	in := a.Inputs[1]
+	m := arch.Quartz()
+	c := mod.CountsFor(a, in, m, OneNode)
+	// Mix ratios must be recoverable from the counts.
+	if got := c.Branch / c.TotalInstructions; math.Abs(got-a.Sig.BranchFrac) > 1e-9 {
+		t.Errorf("branch ratio = %v, want %v", got, a.Sig.BranchFrac)
+	}
+	if got := c.FP64 / c.TotalInstructions; math.Abs(got-a.Sig.FP64Frac) > 1e-9 {
+		t.Errorf("fp64 ratio = %v, want %v", got, a.Sig.FP64Frac)
+	}
+	// Misses are nested: L2 misses cannot exceed L1 misses, which
+	// cannot exceed accesses.
+	if c.L2LoadMiss > c.L1LoadMiss || c.L1LoadMiss > c.Load {
+		t.Errorf("miss hierarchy violated: %+v", c)
+	}
+	if c.L2StoreMiss > c.L1StoreMiss || c.L1StoreMiss > c.Store {
+		t.Errorf("store miss hierarchy violated: %+v", c)
+	}
+}
+
+func TestCountsPerRankShrinkWithScale(t *testing.T) {
+	a := apps.CoMD()
+	in := a.Inputs[1]
+	m := arch.Quartz()
+	oneCore := mod.CountsFor(a, in, m, OneCore)
+	oneNode := mod.CountsFor(a, in, m, OneNode)
+	if oneNode.TotalInstructions >= oneCore.TotalInstructions {
+		t.Error("per-rank instructions should shrink with more ranks")
+	}
+}
+
+func TestGPUCountsOnlyCoverOffloadedWork(t *testing.T) {
+	a := apps.AMG()
+	in := a.Inputs[1]
+	cpu := mod.CountsFor(a, in, arch.Quartz(), OneCore)
+	gpu := mod.CountsFor(a, in, arch.Lassen(), OneCore)
+	// Lassen GPU profile counts only the offloaded fraction; a lone
+	// rank offloads less (the single-rank penalty).
+	want := cpu.TotalInstructions * a.Sig.GPUParallelFrac * singleRankOffloadFactor
+	if math.Abs(gpu.TotalInstructions-want) > 1e-6*want {
+		t.Errorf("GPU counted instructions = %v, want %v", gpu.TotalInstructions, want)
+	}
+	// At node scale no penalty applies.
+	cpuNode := mod.CountsFor(a, in, arch.Quartz(), OneNode)
+	gpuNode := mod.CountsFor(a, in, arch.Lassen(), OneNode)
+	wantNode := cpuNode.TotalInstructions * float64(36) / 4 * a.Sig.GPUParallelFrac
+	if math.Abs(gpuNode.TotalInstructions-wantNode) > 0.15*wantNode {
+		t.Errorf("node-scale GPU counted instructions = %v, want ~%v", gpuNode.TotalInstructions, wantNode)
+	}
+}
+
+func TestSingleRankGPUPenaltyCompressesRatios(t *testing.T) {
+	// The 1-core CPU-vs-GPU runtime ratio must stay moderate (the
+	// paper's RPV distribution has no extreme tail); at node scale the
+	// GPU advantage is larger per comparison of scales.
+	a := apps.XSBench()
+	in := a.Inputs[1]
+	cpu1 := mod.Runtime(a, in, arch.Quartz(), OneCore).TotalSec
+	gpu1 := mod.Runtime(a, in, arch.Corona(), OneCore).TotalSec
+	if ratio := cpu1 / gpu1; ratio > 8 {
+		t.Errorf("1-core CPU/GPU ratio = %v, want moderate (<8)", ratio)
+	}
+}
+
+func TestCacheAdjustment(t *testing.T) {
+	a := apps.MiniFE() // memory hungry
+	// Ruby's 1 MB L2 must yield a lower adjusted L2 miss rate than
+	// Quartz's 256 KB L2.
+	_, quartzMiss := cacheAdjustedMissRates(&a.Sig, arch.Quartz())
+	_, rubyMiss := cacheAdjustedMissRates(&a.Sig, arch.Ruby())
+	if rubyMiss >= quartzMiss {
+		t.Errorf("Ruby L2 miss %v >= Quartz %v despite 4x larger L2", rubyMiss, quartzMiss)
+	}
+	if quartzMiss > 1 || rubyMiss < 0 {
+		t.Error("adjusted miss rate out of range")
+	}
+}
+
+func BenchmarkRuntimeModel(b *testing.B) {
+	a := apps.AMG()
+	in := a.Inputs[1]
+	m := arch.Lassen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.Runtime(a, in, m, OneNode)
+	}
+}

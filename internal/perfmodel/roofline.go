@@ -1,0 +1,116 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+)
+
+// RooflinePoint places one (application, machine, scale) execution on
+// the machine's roofline: arithmetic intensity (FLOPs per DRAM byte)
+// against achieved and attainable throughput. The roofline view
+// explains the runtime model's behaviour — memory-bound codes (left of
+// the ridge) track bandwidth across machines while compute-bound codes
+// track peak FLOP/s — which is exactly the structure the paper's
+// counters-to-performance mapping has to learn.
+type RooflinePoint struct {
+	App     string
+	Machine string
+	Scale   string
+
+	// ArithmeticIntensity is FLOPs per byte of main-memory traffic.
+	ArithmeticIntensity float64
+	// PeakGFLOPS and PeakBWGBs are the machine ceilings used (GPU
+	// ceilings for offloaded runs, CPU node ceilings otherwise).
+	PeakGFLOPS float64
+	PeakBWGBs  float64
+	// AttainableGFLOPS = min(PeakGFLOPS, AI x PeakBWGBs): the roofline.
+	AttainableGFLOPS float64
+	// AchievedGFLOPS is the model-estimated delivered FLOP rate.
+	AchievedGFLOPS float64
+	// MemoryBound reports which side of the ridge the code sits on.
+	MemoryBound bool
+}
+
+// Efficiency returns achieved throughput as a fraction of attainable.
+func (r RooflinePoint) Efficiency() float64 {
+	if r.AttainableGFLOPS == 0 {
+		return 0
+	}
+	return r.AchievedGFLOPS / r.AttainableGFLOPS
+}
+
+// String renders the point as one analysis-table row.
+func (r RooflinePoint) String() string {
+	bound := "compute"
+	if r.MemoryBound {
+		bound = "memory"
+	}
+	return fmt.Sprintf("%-14s %-8s %-7s AI=%6.2f flop/B attainable=%8.1f GF/s achieved=%8.1f GF/s (%4.0f%%, %s-bound)",
+		r.App, r.Machine, r.Scale, r.ArithmeticIntensity, r.AttainableGFLOPS,
+		r.AchievedGFLOPS, 100*r.Efficiency(), bound)
+}
+
+// Roofline analyzes one run under the analytic model.
+func (mod Model) Roofline(a *apps.App, in apps.Input, m *arch.Machine, s Scale) RooflinePoint {
+	sig := &a.Sig
+	res := ResourcesFor(a, m, s)
+	totalInstr := sig.BaseInstructions * in.Scale
+	flops := totalInstr * (sig.FP32Frac + sig.FP64Frac)
+
+	p := RooflinePoint{App: a.Name, Machine: m.Name, Scale: s.String()}
+
+	var dramBytes float64
+	if res.UsesGPU {
+		off, _ := effectiveOffload(sig, res)
+		g := m.GPU
+		// Mixed-precision peak: weight FP32/FP64 ceilings by the mix.
+		fpTotal := sig.FP32Frac + sig.FP64Frac
+		peak := g.PeakFP64TFLOPS
+		if fpTotal > 0 {
+			peak = (g.PeakFP32TFLOPS*sig.FP32Frac + g.PeakFP64TFLOPS*sig.FP64Frac) / fpTotal
+		}
+		p.PeakGFLOPS = peak * 1e3 * float64(res.GPUs)
+		p.PeakBWGBs = g.MemBWGBs * float64(res.GPUs)
+		memAccess := sig.LoadFrac + sig.StoreFrac
+		coalescing := 1 - 1.6*sig.L1MissRate
+		if coalescing < 0.15 {
+			coalescing = 0.15
+		}
+		dramBytes = totalInstr * off * memAccess * sig.L2MissRate * 64 / coalescing
+		flops *= off
+	} else {
+		p.PeakGFLOPS = m.PeakNodeGFLOPS() * float64(res.Nodes) * float64(res.Cores) / float64(res.Nodes*m.CoresPerNode)
+		p.PeakBWGBs = m.MemBWGBs * float64(res.Nodes)
+		l1Miss, l2Miss := cacheAdjustedMissRates(sig, m)
+		memAccess := sig.LoadFrac + sig.StoreFrac
+		dramBytes = totalInstr * memAccess * l1Miss * l2Miss * 64
+	}
+	if dramBytes > 0 {
+		p.ArithmeticIntensity = flops / dramBytes
+	}
+
+	bwRoof := p.ArithmeticIntensity * p.PeakBWGBs // GB/s x flop/B = GFLOP/s
+	p.AttainableGFLOPS = p.PeakGFLOPS
+	if bwRoof < p.PeakGFLOPS {
+		p.AttainableGFLOPS = bwRoof
+		p.MemoryBound = true
+	}
+
+	b := mod.Runtime(a, in, m, s)
+	if b.ComputeSec > 0 {
+		p.AchievedGFLOPS = flops / b.ComputeSec / 1e9
+	}
+	return p
+}
+
+// RooflineSweep analyzes every Table II application on the machine at
+// the given scale, in catalog order.
+func (mod Model) RooflineSweep(m *arch.Machine, s Scale) []RooflinePoint {
+	var out []RooflinePoint
+	for _, a := range apps.All() {
+		out = append(out, mod.Roofline(a, a.Inputs[len(a.Inputs)/2], m, s))
+	}
+	return out
+}

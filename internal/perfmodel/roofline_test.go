@@ -1,0 +1,83 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+)
+
+func TestRooflineBasics(t *testing.T) {
+	a := apps.MiniFE() // memory-bound sparse solver
+	m := arch.Quartz()
+	p := mod.Roofline(a, a.Inputs[1], m, OneNode)
+	if p.App != "miniFE" || p.Machine != "Quartz" {
+		t.Fatalf("labels: %+v", p)
+	}
+	if p.ArithmeticIntensity <= 0 {
+		t.Error("AI should be positive for an FP code")
+	}
+	if !p.MemoryBound {
+		t.Error("miniFE should be memory-bound on Quartz")
+	}
+	if p.AttainableGFLOPS > p.PeakGFLOPS {
+		t.Error("attainable cannot exceed peak")
+	}
+	if p.AchievedGFLOPS > p.PeakGFLOPS*1.01 {
+		t.Errorf("achieved %v exceeds peak %v", p.AchievedGFLOPS, p.PeakGFLOPS)
+	}
+	if p.Efficiency() <= 0 || p.Efficiency() > 1.2 {
+		t.Errorf("efficiency = %v", p.Efficiency())
+	}
+	if !strings.Contains(p.String(), "memory-bound") {
+		t.Errorf("String = %s", p.String())
+	}
+}
+
+func TestRooflineComputeVsMemoryBound(t *testing.T) {
+	// CoMD (dense FP64, good locality) must have higher arithmetic
+	// intensity than XSBench (random lookups, few flops).
+	comd := apps.CoMD()
+	xs := apps.XSBench()
+	m := arch.Ruby()
+	pc := mod.Roofline(comd, comd.Inputs[1], m, OneNode)
+	px := mod.Roofline(xs, xs.Inputs[1], m, OneNode)
+	if pc.ArithmeticIntensity <= px.ArithmeticIntensity {
+		t.Errorf("CoMD AI %v should exceed XSBench AI %v",
+			pc.ArithmeticIntensity, px.ArithmeticIntensity)
+	}
+}
+
+func TestRooflineGPUUsesDeviceCeilings(t *testing.T) {
+	a := apps.CANDLE() // FP32 ML code
+	lassen := arch.Lassen()
+	p := mod.Roofline(a, a.Inputs[1], lassen, OneNode)
+	// 4 V100s at ~15.7 FP32 TFLOPS each: the ceiling must dwarf any CPU
+	// node peak.
+	if p.PeakGFLOPS < 20000 {
+		t.Errorf("GPU peak = %v GFLOPS, expected tens of TFLOPS", p.PeakGFLOPS)
+	}
+	if p.PeakBWGBs != 4*lassen.GPU.MemBWGBs {
+		t.Errorf("GPU bandwidth ceiling = %v", p.PeakBWGBs)
+	}
+}
+
+func TestRooflineSweep(t *testing.T) {
+	points := mod.RooflineSweep(arch.Corona(), OneNode)
+	if len(points) != 20 {
+		t.Fatalf("sweep returned %d points", len(points))
+	}
+	for _, p := range points {
+		if p.AchievedGFLOPS < 0 || p.AttainableGFLOPS < 0 {
+			t.Fatalf("negative throughput: %+v", p)
+		}
+		// The analytic model never beats the roofline by more than
+		// rounding (achieved uses total compute time, which includes
+		// non-FP work, so it is normally far below).
+		if p.AchievedGFLOPS > p.AttainableGFLOPS*1.05 && p.AttainableGFLOPS > 0 {
+			t.Errorf("%s on %s achieves %v above attainable %v",
+				p.App, p.Machine, p.AchievedGFLOPS, p.AttainableGFLOPS)
+		}
+	}
+}

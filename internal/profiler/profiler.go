@@ -1,0 +1,257 @@
+package profiler
+
+import (
+	"fmt"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/stats"
+)
+
+// CCTNode is one calling-context-tree node: a named code region with
+// attributed counter values and child regions, mirroring the structure
+// HPCToolkit produces and Hatchet consumes.
+type CCTNode struct {
+	Name     string
+	Counters map[string]float64
+	Children []*CCTNode
+}
+
+// RankProfile is the calling context tree recorded for one MPI rank.
+type RankProfile struct {
+	Rank int
+	Root *CCTNode
+}
+
+// Profile is the result of profiling one run: metadata plus one CCT per
+// rank.
+type Profile struct {
+	App        string
+	Input      string
+	System     string
+	Scale      string
+	Nodes      int
+	Cores      int
+	GPUs       int
+	NumRanks   int
+	UsesGPU    bool
+	RuntimeSec float64
+	Schema     *Schema
+	Ranks      []RankProfile
+}
+
+// regionShare describes how one synthetic code region splits the run's
+// counters: every region receives `frac` of each compute counter; the
+// region flagged io receives all I/O bytes.
+type regionShare struct {
+	name string
+	frac float64
+	io   bool
+}
+
+// regionsFor derives the synthetic CCT shape from the application: the
+// solver loop dominates, I/O-heavy codes get a visible io region, and
+// communication-heavy codes a visible exchange region. Fractions sum
+// to 1.
+func regionsFor(a *apps.App) []regionShare {
+	comm := 0.04 + a.Sig.CommFrac*0.3
+	init := 0.05
+	fin := 0.02
+	solve := 1 - init - fin - comm
+	return []regionShare{
+		{name: "initialize", frac: init},
+		{name: "solve", frac: solve},
+		{name: "exchange_halo", frac: comm},
+		{name: "finalize+io", frac: fin, io: true},
+	}
+}
+
+// rankImbalanceSigma is the log-normal spread of counter totals across
+// ranks from load imbalance.
+const rankImbalanceSigma = 0.04
+
+// magnitudeNoiseSigma is the extra log-normal attribution noise on
+// magnitude-class counters (cache misses, I/O bytes, page-table size,
+// stall cycles). Sampling-based profilers reconstruct these totals
+// from periodic samples, so their absolute values are far less
+// reliable than instruction counts; the multiplier amplifies each
+// profiling stack's own base noise on top.
+const (
+	magnitudeNoiseSigma      = 0.12
+	magnitudeNoiseMultiplier = 1.5
+)
+
+// isMagnitudeQuantity reports whether a quantity is a magnitude-class
+// counter (exactly the ones the dataset z-scores rather than turning
+// into instruction ratios).
+func isMagnitudeQuantity(q Quantity) bool {
+	switch q {
+	case L1LoadMiss, L1StoreMiss, L2LoadMiss, L2StoreMiss,
+		IOReadBytes, IOWriteBytes, EPTBytes, MemStallCycles:
+		return true
+	default:
+		return false
+	}
+}
+
+// Profiler simulates HPCToolkit (with CUPTI on NVIDIA and rocprofiler
+// on AMD): it produces per-rank CCT profiles with noisy counters.
+type Profiler struct {
+	Model perfmodel.Model
+}
+
+// Run profiles one (app, input, machine, scale) execution. The supplied
+// RNG drives runtime variability, measurement noise, and rank
+// imbalance; the same seed reproduces the profile exactly.
+func (p *Profiler) Run(a *apps.App, in apps.Input, m *arch.Machine, s perfmodel.Scale, rng *stats.RNG) (*Profile, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	res := perfmodel.ResourcesFor(a, m, s)
+	schema, err := SchemaFor(m.Name, res.UsesGPU)
+	if err != nil {
+		return nil, err
+	}
+	b := p.Model.NoisyRuntime(a, in, m, s, rng)
+	counts := p.Model.CountsFor(a, in, m, s)
+
+	noiseSigma := m.CounterNoiseSigma
+	if res.UsesGPU {
+		noiseSigma = m.GPU.CounterNoiseSigma
+	}
+
+	prof := &Profile{
+		App:        a.Name,
+		Input:      in.Args,
+		System:     m.Name,
+		Scale:      s.String(),
+		Nodes:      res.Nodes,
+		Cores:      res.Cores,
+		GPUs:       res.GPUs,
+		NumRanks:   res.Ranks,
+		UsesGPU:    res.UsesGPU,
+		RuntimeSec: b.TotalSec,
+		Schema:     schema,
+	}
+
+	regions := regionsFor(a)
+	for rank := 0; rank < res.Ranks; rank++ {
+		imbalance := rng.NoiseFactor(rankImbalanceSigma)
+		root := &CCTNode{Name: "main", Counters: map[string]float64{}}
+		for _, region := range regions {
+			node := &CCTNode{
+				Name:     region.name,
+				Counters: p.regionCounters(schema, counts, region, imbalance, noiseSigma, rng),
+			}
+			root.Children = append(root.Children, node)
+		}
+		prof.Ranks = append(prof.Ranks, RankProfile{Rank: rank, Root: root})
+	}
+	return prof, nil
+}
+
+// regionCounters materializes the noisy counter map of one region for
+// one rank.
+func (p *Profiler) regionCounters(schema *Schema, c perfmodel.Counts, region regionShare, imbalance, sigma float64, rng *stats.RNG) map[string]float64 {
+	truth := map[Quantity]float64{
+		TotalInstr:     c.TotalInstructions,
+		BranchInstr:    c.Branch,
+		LoadInstr:      c.Load,
+		StoreInstr:     c.Store,
+		FP32Instr:      c.FP32,
+		FP64Instr:      c.FP64,
+		IntInstr:       c.Int,
+		L1LoadMiss:     c.L1LoadMiss,
+		L1StoreMiss:    c.L1StoreMiss,
+		L2LoadMiss:     c.L2LoadMiss,
+		L2StoreMiss:    c.L2StoreMiss,
+		MemStallCycles: c.MemStallCycles,
+	}
+	out := make(map[string]float64, len(schema.Counters)+3)
+	// Iterate quantities in canonical order (not map order) so RNG
+	// consumption — and therefore the whole profile — is deterministic
+	// for a given seed.
+	for _, q := range Quantities() {
+		name, ok := schema.Counters[q]
+		if !ok {
+			continue
+		}
+		qSigma := sigma
+		if isMagnitudeQuantity(q) {
+			qSigma = magnitudeNoiseSigma + magnitudeNoiseMultiplier*sigma
+		}
+		switch q {
+		case IOReadBytes:
+			if region.io {
+				out[name] = c.IOReadBytes * imbalance * rng.NoiseFactor(qSigma)
+			} else {
+				out[name] = 0
+			}
+		case IOWriteBytes:
+			if region.io {
+				out[name] = c.IOWriteBytes * imbalance * rng.NoiseFactor(qSigma)
+			} else {
+				out[name] = 0
+			}
+		case EPTBytes:
+			// Page-table size is a gauge, not a flow: every region
+			// observes the same footprint (no regional split).
+			out[name] = c.EPTBytes * rng.NoiseFactor(qSigma)
+		default:
+			out[name] = truth[q] * region.frac * imbalance * rng.NoiseFactor(qSigma)
+		}
+	}
+	if schema.L1ViaHitRate {
+		// CUPTI idiom: requests plus a hit rate instead of direct miss
+		// counters. The hit rate is shared by loads and stores.
+		loadReq := c.Load * region.frac * imbalance * rng.NoiseFactor(sigma)
+		storeReq := c.Store * region.frac * imbalance * rng.NoiseFactor(sigma)
+		missRate := 0.0
+		if c.Load+c.Store > 0 {
+			missRate = (c.L1LoadMiss + c.L1StoreMiss) / (c.Load + c.Store)
+		}
+		hitRate := 1 - missRate*rng.NoiseFactor(sigma)
+		if hitRate < 0 {
+			hitRate = 0
+		}
+		if hitRate > 1 {
+			hitRate = 1
+		}
+		out[CounterLocalLoadRequests] = loadReq
+		out[CounterLocalStoreRequests] = storeReq
+		out[CounterLocalHitRate] = hitRate
+	}
+	return out
+}
+
+// Validate checks profile invariants: rank count, non-negative
+// counters, and schema consistency across all CCT nodes.
+func (prof *Profile) Validate() error {
+	if len(prof.Ranks) != prof.NumRanks {
+		return fmt.Errorf("profiler: profile advertises %d ranks but has %d", prof.NumRanks, len(prof.Ranks))
+	}
+	if prof.RuntimeSec <= 0 {
+		return fmt.Errorf("profiler: non-positive runtime %v", prof.RuntimeSec)
+	}
+	var walk func(n *CCTNode) error
+	walk = func(n *CCTNode) error {
+		for name, v := range n.Counters {
+			if v < 0 {
+				return fmt.Errorf("profiler: negative counter %s=%v in %s", name, v, n.Name)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range prof.Ranks {
+		if err := walk(r.Root); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/perfmodel"
+	"crossarch/internal/stats"
+)
+
+func TestSchemaFor(t *testing.T) {
+	cases := []struct {
+		system  string
+		gpu     bool
+		wantErr bool
+		name    string
+	}{
+		{"Quartz", false, false, "Quartz/CPU"},
+		{"Ruby", false, false, "Ruby/CPU"},
+		{"Lassen", false, false, "Lassen/CPU"},
+		{"Corona", false, false, "Corona/CPU"},
+		{"Lassen", true, false, "Lassen/GPU"},
+		{"Corona", true, false, "Corona/GPU"},
+		{"Quartz", true, true, ""},
+		{"Ruby", true, true, ""},
+		{"Sierra", false, true, ""},
+	}
+	for _, c := range cases {
+		s, err := SchemaFor(c.system, c.gpu)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("SchemaFor(%s,%v): expected error", c.system, c.gpu)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("SchemaFor(%s,%v): %v", c.system, c.gpu, err)
+		}
+		if s.Name != c.name {
+			t.Errorf("schema name = %s, want %s", s.Name, c.name)
+		}
+	}
+}
+
+func TestPAPISchemaCompleteness(t *testing.T) {
+	s, _ := SchemaFor("Quartz", false)
+	for _, q := range Quantities() {
+		if _, ok := s.Counters[q]; !ok {
+			t.Errorf("PAPI schema missing %v", q)
+		}
+	}
+	if s.Counters[BranchInstr] != "PAPI_BR_INS" {
+		t.Errorf("branch counter = %s", s.Counters[BranchInstr])
+	}
+}
+
+func TestCoronaGPUSchemaHasTableIIIGaps(t *testing.T) {
+	s, _ := SchemaFor("Corona", true)
+	// Table III marks these rows "–" for the AMD GPU.
+	for _, q := range []Quantity{BranchInstr, LoadInstr, StoreInstr, FP32Instr, FP64Instr, L1LoadMiss, L1StoreMiss} {
+		if _, ok := s.Counters[q]; ok {
+			t.Errorf("Corona GPU schema should not measure %v", q)
+		}
+	}
+	for _, q := range []Quantity{TotalInstr, L2LoadMiss, MemStallCycles} {
+		if _, ok := s.Counters[q]; !ok {
+			t.Errorf("Corona GPU schema should measure %v", q)
+		}
+	}
+}
+
+func TestLassenGPUUsesHitRateIdiom(t *testing.T) {
+	s, _ := SchemaFor("Lassen", true)
+	if !s.L1ViaHitRate {
+		t.Error("Lassen GPU schema should derive L1 via hit rate")
+	}
+	if _, ok := s.Counters[L1LoadMiss]; ok {
+		t.Error("Lassen GPU should not have a direct L1 miss counter")
+	}
+}
+
+func profileOnce(t *testing.T, appName, sysName string, scale perfmodel.Scale, seed uint64) *Profile {
+	t.Helper()
+	a, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := arch.ByName(sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Profiler
+	prof, err := p.Run(a, a.Inputs[1], m, scale, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestProfileStructure(t *testing.T) {
+	prof := profileOnce(t, "AMG", "Quartz", perfmodel.OneNode, 1)
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if prof.NumRanks != 36 || len(prof.Ranks) != 36 {
+		t.Errorf("ranks = %d/%d, want 36", prof.NumRanks, len(prof.Ranks))
+	}
+	if prof.UsesGPU {
+		t.Error("AMG on Quartz should not use a GPU")
+	}
+	if prof.RuntimeSec <= 0 {
+		t.Error("non-positive runtime")
+	}
+	root := prof.Ranks[0].Root
+	if root.Name != "main" || len(root.Children) != 4 {
+		t.Errorf("CCT shape: root %s with %d children", root.Name, len(root.Children))
+	}
+}
+
+func TestGPUProfileUsesDeviceSchema(t *testing.T) {
+	prof := profileOnce(t, "AMG", "Lassen", perfmodel.OneNode, 2)
+	if !prof.UsesGPU || prof.GPUs != 4 {
+		t.Fatalf("AMG on Lassen: UsesGPU=%v GPUs=%d", prof.UsesGPU, prof.GPUs)
+	}
+	if prof.Schema.Name != "Lassen/GPU" {
+		t.Errorf("schema = %s", prof.Schema.Name)
+	}
+	// The hit-rate idiom counters must be present in solve region.
+	solve := prof.Ranks[0].Root.Children[1]
+	if _, ok := solve.Counters[CounterLocalHitRate]; !ok {
+		t.Error("missing local_hit_rate counter")
+	}
+	hr := solve.Counters[CounterLocalHitRate]
+	if hr < 0 || hr > 1 {
+		t.Errorf("hit rate %v outside [0,1]", hr)
+	}
+}
+
+func TestCPUOnlyAppOnGPUMachineUsesCPUCounters(t *testing.T) {
+	prof := profileOnce(t, "CoMD", "Corona", perfmodel.OneNode, 3)
+	if prof.UsesGPU {
+		t.Fatal("CoMD cannot use GPUs")
+	}
+	if prof.Schema.Name != "Corona/CPU" {
+		t.Errorf("schema = %s", prof.Schema.Name)
+	}
+	if prof.NumRanks != 48 {
+		t.Errorf("ranks = %d, want 48 (Corona cores)", prof.NumRanks)
+	}
+}
+
+func TestCounterTotalsNearTruth(t *testing.T) {
+	a, _ := apps.ByName("CoMD")
+	m, _ := arch.ByName("Quartz")
+	var mod perfmodel.Model
+	truth := mod.CountsFor(a, a.Inputs[1], m, perfmodel.OneNode)
+	prof := profileOnce(t, "CoMD", "Quartz", perfmodel.OneNode, 4)
+
+	// Sum the branch counter over regions of rank 0 and compare with
+	// the ground truth within noise tolerance.
+	sum := 0.0
+	for _, child := range prof.Ranks[0].Root.Children {
+		sum += child.Counters["PAPI_BR_INS"]
+	}
+	if rel := math.Abs(sum-truth.Branch) / truth.Branch; rel > 0.25 {
+		t.Errorf("profiled branch count off by %.0f%%", rel*100)
+	}
+}
+
+func TestIOAttributedToIORegion(t *testing.T) {
+	prof := profileOnce(t, "DeepCam", "Quartz", perfmodel.OneNode, 5)
+	var ioRegion, solveRegion *CCTNode
+	for _, c := range prof.Ranks[0].Root.Children {
+		switch c.Name {
+		case "finalize+io":
+			ioRegion = c
+		case "solve":
+			solveRegion = c
+		}
+	}
+	if ioRegion == nil || solveRegion == nil {
+		t.Fatal("expected regions missing")
+	}
+	if ioRegion.Counters["IO_BYTES_READ"] <= 0 {
+		t.Error("io region has no read bytes")
+	}
+	if solveRegion.Counters["IO_BYTES_READ"] != 0 {
+		t.Error("solve region should have zero I/O")
+	}
+}
+
+func TestProfilerDeterminism(t *testing.T) {
+	a := profileOnce(t, "miniFE", "Ruby", perfmodel.OneNode, 42)
+	b := profileOnce(t, "miniFE", "Ruby", perfmodel.OneNode, 42)
+	if a.RuntimeSec != b.RuntimeSec {
+		t.Error("same seed, different runtime")
+	}
+	for name, v := range a.Ranks[0].Root.Children[1].Counters {
+		if b.Ranks[0].Root.Children[1].Counters[name] != v {
+			t.Fatalf("same seed, different counter %s", name)
+		}
+	}
+	c := profileOnce(t, "miniFE", "Ruby", perfmodel.OneNode, 43)
+	if c.RuntimeSec == a.RuntimeSec {
+		t.Error("different seed produced identical runtime")
+	}
+}
+
+func TestGPUCountersNoisierThanCPU(t *testing.T) {
+	// Repeated profiles of the same run: the relative spread of a GPU
+	// counter (Corona) must exceed that of the matching CPU counter
+	// (Quartz), implementing the paper's Fig. 3 mechanism.
+	a, _ := apps.ByName("XSBench")
+	quartz, _ := arch.ByName("Quartz")
+	corona, _ := arch.ByName("Corona")
+	var p Profiler
+	spread := func(m *arch.Machine, counter string) float64 {
+		rng := stats.NewRNG(7)
+		vals := make([]float64, 200)
+		for i := range vals {
+			prof, err := p.Run(a, a.Inputs[1], m, perfmodel.OneCore, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for _, c := range prof.Ranks[0].Root.Children {
+				sum += c.Counters[counter]
+			}
+			vals[i] = sum
+		}
+		return stats.StdDev(vals) / stats.Mean(vals)
+	}
+	cpuSpread := spread(quartz, "PAPI_TOT_INS")
+	gpuSpread := spread(corona, "SQ_INSTS")
+	if gpuSpread <= cpuSpread {
+		t.Errorf("GPU counter cv %v <= CPU cv %v; GPU counters must be noisier", gpuSpread, cpuSpread)
+	}
+}
+
+func TestValidateCatchesNegativeCounter(t *testing.T) {
+	prof := profileOnce(t, "AMG", "Quartz", perfmodel.OneCore, 9)
+	prof.Ranks[0].Root.Children[0].Counters["PAPI_BR_INS"] = -1
+	if err := prof.Validate(); err == nil {
+		t.Error("negative counter should fail validation")
+	}
+}
+
+func TestValidateCatchesRankMismatch(t *testing.T) {
+	prof := profileOnce(t, "AMG", "Quartz", perfmodel.OneCore, 10)
+	prof.NumRanks = 99
+	if err := prof.Validate(); err == nil {
+		t.Error("rank mismatch should fail validation")
+	}
+}
+
+func TestQuantityString(t *testing.T) {
+	if BranchInstr.String() != "BranchInstr" {
+		t.Errorf("BranchInstr.String = %s", BranchInstr)
+	}
+	if Quantity(99).String() == "" {
+		t.Error("unknown quantity should still render")
+	}
+	if len(Quantities()) != int(numQuantities) {
+		t.Error("Quantities length wrong")
+	}
+}
+
+func BenchmarkProfileRun(b *testing.B) {
+	a, _ := apps.ByName("AMG")
+	m, _ := arch.ByName("Quartz")
+	var p Profiler
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(a, a.Inputs[1], m, perfmodel.OneNode, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMagnitudeCountersNoisierThanInstructionCounters(t *testing.T) {
+	// Sampled magnitude counters (cache misses) carry extra attribution
+	// noise relative to instruction counts — the mechanism that keeps
+	// the learned models anchored on the scale-free intensity ratios.
+	a, _ := apps.ByName("CoMD")
+	m, _ := arch.ByName("Quartz")
+	var p Profiler
+	rng := stats.NewRNG(71)
+	spread := func(counter string) float64 {
+		vals := make([]float64, 300)
+		for i := range vals {
+			prof, err := p.Run(a, a.Inputs[0], m, perfmodel.OneCore, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for _, c := range prof.Ranks[0].Root.Children {
+				sum += c.Counters[counter]
+			}
+			vals[i] = sum
+		}
+		return stats.StdDev(vals) / stats.Mean(vals)
+	}
+	instr := spread("PAPI_BR_INS")
+	misses := spread("PAPI_L1_LDM")
+	if misses <= 2*instr {
+		t.Errorf("miss-counter cv %v should far exceed instruction-counter cv %v", misses, instr)
+	}
+}

@@ -1,0 +1,143 @@
+package profiler
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Profiles serialize as gzip-compressed JSON "measurement files",
+// standing in for HPCToolkit's measurement directories: a profiling
+// run can be recorded once and analysed (or fed to a predictor) later
+// without re-simulating. Schemas are stored by name and resolved back
+// through SchemaFor on load, so files stay small and the counter
+// vocabulary stays canonical.
+
+// profileEnvelope is the on-disk form; Schema is flattened to its name.
+type profileEnvelope struct {
+	App        string        `json:"app"`
+	Input      string        `json:"input"`
+	System     string        `json:"system"`
+	Scale      string        `json:"scale"`
+	Nodes      int           `json:"nodes"`
+	Cores      int           `json:"cores"`
+	GPUs       int           `json:"gpus"`
+	NumRanks   int           `json:"num_ranks"`
+	UsesGPU    bool          `json:"uses_gpu"`
+	RuntimeSec float64       `json:"runtime_sec"`
+	Ranks      []RankProfile `json:"ranks"`
+}
+
+// Write serializes the profile to w as gzipped JSON.
+func (prof *Profile) Write(w io.Writer) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	env := profileEnvelope{
+		App: prof.App, Input: prof.Input, System: prof.System, Scale: prof.Scale,
+		Nodes: prof.Nodes, Cores: prof.Cores, GPUs: prof.GPUs,
+		NumRanks: prof.NumRanks, UsesGPU: prof.UsesGPU,
+		RuntimeSec: prof.RuntimeSec, Ranks: prof.Ranks,
+	}
+	if err := json.NewEncoder(zw).Encode(env); err != nil {
+		return fmt.Errorf("profiler: encoding profile: %w", err)
+	}
+	return zw.Close()
+}
+
+// WriteFile writes the profile to the named file. By convention the
+// extension is ".profile.json.gz".
+func (prof *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := prof.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadProfile deserializes a profile written by Write, re-resolving
+// its counter schema from the system name and execution side.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: opening gzip stream: %w", err)
+	}
+	defer zr.Close()
+	var env profileEnvelope
+	if err := json.NewDecoder(zr).Decode(&env); err != nil {
+		return nil, fmt.Errorf("profiler: decoding profile: %w", err)
+	}
+	schema, err := SchemaFor(env.System, env.UsesGPU)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{
+		App: env.App, Input: env.Input, System: env.System, Scale: env.Scale,
+		Nodes: env.Nodes, Cores: env.Cores, GPUs: env.GPUs,
+		NumRanks: env.NumRanks, UsesGPU: env.UsesGPU,
+		RuntimeSec: env.RuntimeSec, Schema: schema, Ranks: env.Ranks,
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	// Sanity-check counter names against the resolved schema so a file
+	// edited to mix vocabularies is rejected early.
+	known := map[string]bool{
+		CounterLocalLoadRequests:  true,
+		CounterLocalStoreRequests: true,
+		CounterLocalHitRate:       true,
+	}
+	for _, name := range schema.Counters {
+		known[name] = true
+	}
+	if len(prof.Ranks) > 0 {
+		var check func(n *CCTNode) error
+		check = func(n *CCTNode) error {
+			for name := range n.Counters {
+				if !known[name] {
+					return fmt.Errorf("profiler: counter %q not in schema %s (valid: %s...)",
+						name, schema.Name, strings.Join(someKeys(known, 3), ", "))
+				}
+			}
+			for _, c := range n.Children {
+				if err := check(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := check(prof.Ranks[0].Root); err != nil {
+			return nil, err
+		}
+	}
+	return prof, nil
+}
+
+// ReadProfileFile reads a profile from the named file.
+func ReadProfileFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+func someKeys(m map[string]bool, n int) []string {
+	out := make([]string, 0, n)
+	for k := range m {
+		out = append(out, k)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

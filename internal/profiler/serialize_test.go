@@ -1,0 +1,88 @@
+package profiler
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crossarch/internal/perfmodel"
+)
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	prof := profileOnce(t, "SW4lite", "Lassen", perfmodel.OneNode, 21)
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != prof.App || back.System != prof.System || back.Scale != prof.Scale {
+		t.Fatalf("metadata changed: %+v", back)
+	}
+	if back.Schema.Name != "Lassen/GPU" {
+		t.Errorf("schema resolved to %s", back.Schema.Name)
+	}
+	if back.NumRanks != prof.NumRanks || len(back.Ranks) != len(prof.Ranks) {
+		t.Fatalf("ranks changed: %d vs %d", len(back.Ranks), len(prof.Ranks))
+	}
+	// Counter values must survive exactly.
+	a := prof.Ranks[0].Root.Children[1].Counters
+	b := back.Ranks[0].Root.Children[1].Counters
+	if len(a) != len(b) {
+		t.Fatalf("counter maps differ in size")
+	}
+	for name, v := range a {
+		if b[name] != v {
+			t.Fatalf("counter %s changed: %v vs %v", name, b[name], v)
+		}
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	prof := profileOnce(t, "CoMD", "Quartz", perfmodel.OneCore, 22)
+	path := filepath.Join(t.TempDir(), "run.profile.json.gz")
+	if err := prof.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RuntimeSec != prof.RuntimeSec {
+		t.Errorf("runtime changed")
+	}
+	if _, err := ReadProfileFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("not gzip")); err == nil {
+		t.Error("non-gzip input should error")
+	}
+}
+
+func TestReadProfileRejectsForeignCounters(t *testing.T) {
+	prof := profileOnce(t, "CoMD", "Quartz", perfmodel.OneCore, 23)
+	// Inject a counter from the wrong vocabulary.
+	prof.Ranks[0].Root.Children[0].Counters["SQ_INSTS"] = 1
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err == nil {
+		t.Error("foreign counter should be rejected on load")
+	}
+}
+
+func TestWriteRejectsInvalidProfile(t *testing.T) {
+	prof := profileOnce(t, "CoMD", "Quartz", perfmodel.OneCore, 24)
+	prof.NumRanks = 99
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err == nil {
+		t.Error("invalid profile should not serialize")
+	}
+}

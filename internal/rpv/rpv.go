@@ -1,0 +1,165 @@
+// Package rpv implements the paper's Relative Performance Vector: for
+// an application-input pair executed on N systems, rpv(a, i, s) is the
+// vector of runtimes on every system relative to the runtime on system
+// s. Following the paper's worked example (10 min on X, 8 on Y, 21 on Z
+// gives [1.0, 0.8, 2.1] relative to X), entries are time ratios: lower
+// means faster. The reference system's own entry is exactly 1.
+//
+// Note on Algorithm 2: the paper's pseudocode selects argmax(rpv) for
+// "the fastest machine", which is inconsistent with the time-ratio
+// encoding of its own example. This package keeps the example's
+// semantics, so the fastest machine is the argmin; the scheduler uses
+// Fastest()/RankedByPerformance() accordingly (see DESIGN.md §1).
+package rpv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RPV is a relative performance vector: entry i is the runtime on
+// system i divided by the runtime on the reference system.
+type RPV []float64
+
+// FromTimes builds the RPV of the given runtimes relative to system
+// ref. It returns an error for an out-of-range reference or a
+// non-positive reference time.
+func FromTimes(times []float64, ref int) (RPV, error) {
+	if ref < 0 || ref >= len(times) {
+		return nil, fmt.Errorf("rpv: reference %d out of range [0,%d)", ref, len(times))
+	}
+	base := times[ref]
+	if !(base > 0) {
+		return nil, fmt.Errorf("rpv: non-positive reference time %v", base)
+	}
+	v := make(RPV, len(times))
+	for i, t := range times {
+		if !(t > 0) {
+			return nil, fmt.Errorf("rpv: non-positive time %v at system %d", t, i)
+		}
+		v[i] = t / base
+	}
+	return v, nil
+}
+
+// RelativeToMin returns the vector relative to the fastest system
+// (the paper's rpv(.,.,min) where performance is highest, i.e. the
+// smallest runtime): all entries >= 1.
+func RelativeToMin(times []float64) (RPV, error) {
+	return FromTimes(times, argmin(times))
+}
+
+// RelativeToMax returns the vector relative to the slowest system
+// (the paper's rpv(.,.,max)): all entries <= 1.
+func RelativeToMax(times []float64) (RPV, error) {
+	return FromTimes(times, argmax(times))
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Fastest returns the index of the fastest system (smallest time
+// ratio). It panics on an empty vector.
+func (v RPV) Fastest() int {
+	if len(v) == 0 {
+		panic("rpv: Fastest of empty vector")
+	}
+	return argmin(v)
+}
+
+// Slowest returns the index of the slowest system.
+func (v RPV) Slowest() int {
+	if len(v) == 0 {
+		panic("rpv: Slowest of empty vector")
+	}
+	return argmax(v)
+}
+
+// RankedByPerformance returns system indices ordered fastest to
+// slowest; ties break by index, so the order is deterministic.
+func (v RPV) RankedByPerformance() []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	return idx
+}
+
+// Rebase re-expresses the vector relative to a different system:
+// Rebase(j)[i] = v[i] / v[j]. FromTimes(t, a).Rebase(b) equals
+// FromTimes(t, b) up to floating point.
+func (v RPV) Rebase(ref int) (RPV, error) {
+	if ref < 0 || ref >= len(v) {
+		return nil, fmt.Errorf("rpv: rebase reference %d out of range", ref)
+	}
+	if !(v[ref] > 0) {
+		return nil, fmt.Errorf("rpv: rebase on non-positive entry %v", v[ref])
+	}
+	out := make(RPV, len(v))
+	for i, x := range v {
+		out[i] = x / v[ref]
+	}
+	return out, nil
+}
+
+// Speedup returns how many times faster system i is than system j
+// under this vector (> 1 means i is faster).
+func (v RPV) Speedup(i, j int) float64 {
+	return v[j] / v[i]
+}
+
+// Validate checks the vector is usable: non-empty, all entries
+// positive and finite, and at least one entry equal to 1 (the
+// reference), within tolerance.
+func (v RPV) Validate() error {
+	if len(v) == 0 {
+		return fmt.Errorf("rpv: empty vector")
+	}
+	hasRef := false
+	for i, x := range v {
+		if !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+			return fmt.Errorf("rpv: entry %d = %v invalid", i, x)
+		}
+		if math.Abs(x-1) < 1e-9 {
+			hasRef = true
+		}
+	}
+	if !hasRef {
+		return fmt.Errorf("rpv: no reference entry equal to 1 in %v", v)
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (v RPV) Clone() RPV { return append(RPV(nil), v...) }
+
+// String renders the vector in the paper's column style.
+func (v RPV) String() string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", x)
+	}
+	return s + "]"
+}

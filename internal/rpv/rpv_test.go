@@ -1,0 +1,209 @@
+package rpv
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func TestPaperWorkedExample(t *testing.T) {
+	// Section IV: 10 min on X, 8 on Y, 21 on Z relative to X.
+	v, err := FromTimes([]float64{10, 8, 21}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RPV{1.0, 0.8, 2.1}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-12 {
+			t.Fatalf("rpv = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestFromTimesErrors(t *testing.T) {
+	if _, err := FromTimes([]float64{1, 2}, 2); err == nil {
+		t.Error("out-of-range ref should error")
+	}
+	if _, err := FromTimes([]float64{1, 2}, -1); err == nil {
+		t.Error("negative ref should error")
+	}
+	if _, err := FromTimes([]float64{0, 2}, 0); err == nil {
+		t.Error("zero reference time should error")
+	}
+	if _, err := FromTimes([]float64{1, -2}, 0); err == nil {
+		t.Error("negative time should error")
+	}
+}
+
+func TestRelativeToMinMax(t *testing.T) {
+	times := []float64{10, 8, 21, 12}
+	vmin, err := RelativeToMin(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative to the fastest system: every entry >= 1.
+	for _, x := range vmin {
+		if x < 1-1e-12 {
+			t.Errorf("RelativeToMin entry %v < 1", x)
+		}
+	}
+	if vmin[1] != 1 {
+		t.Errorf("fastest system entry = %v, want 1", vmin[1])
+	}
+	vmax, err := RelativeToMax(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range vmax {
+		if x > 1+1e-12 {
+			t.Errorf("RelativeToMax entry %v > 1", x)
+		}
+	}
+	if vmax[2] != 1 {
+		t.Errorf("slowest system entry = %v, want 1", vmax[2])
+	}
+}
+
+func TestFastestSlowest(t *testing.T) {
+	v := RPV{1.0, 0.8, 2.1, 1.5}
+	if v.Fastest() != 1 {
+		t.Errorf("Fastest = %d", v.Fastest())
+	}
+	if v.Slowest() != 2 {
+		t.Errorf("Slowest = %d", v.Slowest())
+	}
+}
+
+func TestFastestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty")
+		}
+	}()
+	RPV{}.Fastest()
+}
+
+func TestRankedByPerformance(t *testing.T) {
+	v := RPV{1.0, 0.8, 2.1, 1.5}
+	want := []int{1, 0, 3, 2}
+	if got := v.RankedByPerformance(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ranked = %v, want %v", got, want)
+	}
+	// Ties break by index deterministically.
+	tied := RPV{1.0, 1.0}
+	if got := tied.RankedByPerformance(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestRebaseIdentityProperty(t *testing.T) {
+	// FromTimes(t, a).Rebase(b) == FromTimes(t, b).
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(5)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = rng.Range(0.1, 100)
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		va, err1 := FromTimes(times, a)
+		vb, err2 := FromTimes(times, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		rebased, err := va.Rebase(b)
+		if err != nil {
+			return false
+		}
+		for i := range vb {
+			if math.Abs(rebased[i]-vb[i]) > 1e-9*vb[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebaseErrors(t *testing.T) {
+	v := RPV{1, 2}
+	if _, err := v.Rebase(5); err == nil {
+		t.Error("out-of-range rebase should error")
+	}
+	bad := RPV{1, 0}
+	if _, err := bad.Rebase(1); err == nil {
+		t.Error("rebase on zero entry should error")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	v := RPV{1.0, 0.5, 2.0}
+	if got := v.Speedup(1, 0); got != 2 {
+		t.Errorf("Speedup(1,0) = %v, want 2", got)
+	}
+	if got := v.Speedup(2, 0); got != 0.5 {
+		t.Errorf("Speedup(2,0) = %v, want 0.5", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := RPV{1.0, 0.8, 2.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	cases := map[string]RPV{
+		"empty":    {},
+		"zero":     {1, 0},
+		"negative": {1, -1},
+		"nan":      {1, math.NaN()},
+		"inf":      {1, math.Inf(1)},
+		"no-ref":   {2, 3},
+	}
+	for name, v := range cases {
+		if err := v.Validate(); err == nil {
+			t.Errorf("%s: expected error for %v", name, v)
+		}
+	}
+}
+
+func TestOrderInvariantUnderRebase(t *testing.T) {
+	// The performance ranking must be the same no matter which system
+	// the vector is expressed relative to.
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		times := make([]float64, 4)
+		for i := range times {
+			times[i] = rng.Range(1, 50)
+		}
+		v0, _ := FromTimes(times, 0)
+		want := v0.RankedByPerformance()
+		for ref := 1; ref < 4; ref++ {
+			v, _ := FromTimes(times, ref)
+			if !reflect.DeepEqual(v.RankedByPerformance(), want) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	v := RPV{1.0, 0.8}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] == 9 {
+		t.Error("Clone shares storage")
+	}
+	if s := v.String(); !strings.Contains(s, "0.80") {
+		t.Errorf("String = %s", s)
+	}
+}

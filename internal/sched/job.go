@@ -1,0 +1,97 @@
+// Package sched implements the paper's Section VII multi-resource
+// scheduling simulation: an event-driven First-Come-First-Serve
+// scheduler with EASY backfilling (Algorithm 1) dispatching jobs onto
+// the four Table I machines through a pluggable machine-assignment
+// strategy — Round-Robin, Random, User+RR, or Model-based
+// (Algorithm 2). Job runtimes are replayed from observed per-machine
+// runtimes, exactly as the paper drives its simulation from the MP-HPC
+// dataset, and the simulation reports makespan and average bounded
+// slowdown.
+package sched
+
+import (
+	"fmt"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/rpv"
+)
+
+// Job is one schedulable unit: a dataset run resampled into the
+// workload.
+type Job struct {
+	// ID is the submission index.
+	ID int
+	// App names the application (used by User+RR).
+	App string
+	// GPUCapable marks jobs whose application can use accelerators.
+	GPUCapable bool
+	// Arrival is the submission time in seconds.
+	Arrival float64
+	// Nodes is the node count the job requires on any machine.
+	Nodes int
+	// Runtimes[k] is the observed runtime (seconds) on machine k in
+	// canonical architecture order; the simulator replays these.
+	Runtimes []float64
+	// Predicted is the model's relative performance vector for this
+	// job (any reference system; only the ordering matters to the
+	// Model-based strategy). Nil for strategies that don't use it.
+	Predicted rpv.RPV
+
+	// Simulation results, filled by Run.
+	Machine int     // assigned machine index
+	Start   float64 // start time
+	End     float64 // completion time
+}
+
+// Validate checks the job is simulatable on the given machine count.
+func (j *Job) Validate(machines int) error {
+	if j.Nodes <= 0 {
+		return fmt.Errorf("sched: job %d requires %d nodes", j.ID, j.Nodes)
+	}
+	if len(j.Runtimes) != machines {
+		return fmt.Errorf("sched: job %d has %d runtimes for %d machines", j.ID, len(j.Runtimes), machines)
+	}
+	for k, r := range j.Runtimes {
+		if !(r > 0) {
+			return fmt.Errorf("sched: job %d runtime on machine %d = %v", j.ID, k, r)
+		}
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("sched: job %d arrives at %v", j.ID, j.Arrival)
+	}
+	return nil
+}
+
+// MachineState is one machine's scheduling view.
+type MachineState struct {
+	// Spec is the underlying architecture model.
+	Spec *arch.Machine
+	// TotalNodes and FreeNodes track capacity.
+	TotalNodes int
+	FreeNodes  int
+}
+
+// Full reports whether the machine cannot currently fit a job needing
+// n nodes (Algorithm 2's "m is full" test).
+func (m *MachineState) Full(n int) bool { return m.FreeNodes < n }
+
+// Cluster is the multi-resource pool visible to assignment strategies.
+type Cluster struct {
+	Machines []*MachineState
+}
+
+// NewCluster builds the four-machine pool from the Table I models.
+func NewCluster(machines []*arch.Machine) *Cluster {
+	c := &Cluster{}
+	for _, m := range machines {
+		c.Machines = append(c.Machines, &MachineState{
+			Spec:       m,
+			TotalNodes: m.Nodes,
+			FreeNodes:  m.Nodes,
+		})
+	}
+	return c
+}
+
+// NumMachines returns the pool size.
+func (c *Cluster) NumMachines() int { return len(c.Machines) }

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy orders the wait queue — the R1 (queue ordering) and R2
+// (backfill ordering) parameters of the paper's Algorithm 1. The paper
+// instantiates both as FCFS; SJF and LargestFirst are provided for the
+// ablation benches and downstream experimentation.
+type Policy interface {
+	Name() string
+	// Less reports whether job a should be considered before job b.
+	// Implementations must be deterministic; ties are broken by
+	// submission order by the scheduler.
+	Less(a, b *Job) bool
+}
+
+// FCFS orders by arrival time (the paper's choice for both R1 and R2).
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Less implements Policy.
+func (FCFS) Less(a, b *Job) bool { return a.Arrival < b.Arrival }
+
+// SJF orders by the job's shortest runtime across machines (shortest
+// job first), a classic slowdown-minimizing policy.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// Less implements Policy.
+func (SJF) Less(a, b *Job) bool { return minRuntime(a) < minRuntime(b) }
+
+// LargestFirst orders by node demand descending, a packing-oriented
+// policy that reduces fragmentation on wide jobs.
+type LargestFirst struct{}
+
+// Name implements Policy.
+func (LargestFirst) Name() string { return "LargestFirst" }
+
+// Less implements Policy.
+func (LargestFirst) Less(a, b *Job) bool { return a.Nodes > b.Nodes }
+
+func minRuntime(j *Job) float64 {
+	m := j.Runtimes[0]
+	for _, r := range j.Runtimes[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// PolicyByName resolves a policy label.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "FCFS", "fcfs":
+		return FCFS{}, nil
+	case "SJF", "sjf":
+		return SJF{}, nil
+	case "LargestFirst", "largest-first":
+		return LargestFirst{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// sortQueue stably sorts jobs by the policy, preserving submission
+// order among equals.
+func sortQueue(jobs []*Job, p Policy) {
+	sort.SliceStable(jobs, func(a, b int) bool { return p.Less(jobs[a], jobs[b]) })
+}

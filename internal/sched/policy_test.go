@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"crossarch/internal/arch"
+)
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":              "FCFS",
+		"FCFS":          "FCFS",
+		"sjf":           "SJF",
+		"largest-first": "LargestFirst",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%q resolved to %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("lottery"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestPolicyOrderings(t *testing.T) {
+	early := mkJob(0, 1, 2, 50)
+	late := mkJob(1, 5, 1, 10)
+	if !(FCFS{}).Less(early, late) || (FCFS{}).Less(late, early) {
+		t.Error("FCFS ordering wrong")
+	}
+	if !(SJF{}).Less(late, early) {
+		t.Error("SJF should prefer the 10s job")
+	}
+	if !(LargestFirst{}).Less(early, late) {
+		t.Error("LargestFirst should prefer the 2-node job")
+	}
+}
+
+func TestSJFPolicyReducesSlowdown(t *testing.T) {
+	// One 1-node machine; one long job then many short ones, all at
+	// t=0. SJF should yield much lower average bounded slowdown than
+	// FCFS (the classic result), with identical makespan.
+	l := arch.Lassen()
+	l.Nodes = 1
+	mk := func() ([]*Job, *Cluster) {
+		var jobs []*Job
+		jobs = append(jobs, mkJob(0, 0, 1, 1000))
+		for i := 1; i <= 20; i++ {
+			jobs = append(jobs, mkJob(i, 0, 1, 10))
+		}
+		lc := arch.Lassen()
+		lc.Nodes = 1
+		return jobs, NewCluster([]*arch.Machine{lc})
+	}
+
+	fcfsJobs, fcfsCluster := mk()
+	fcfsRes, err := Run(fcfsJobs, fcfsCluster, NewRoundRobin(), Params{SlowdownBound: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sjfJobs, sjfCluster := mk()
+	sjfRes, err := Run(sjfJobs, sjfCluster, NewRoundRobin(), Params{SlowdownBound: 10, R1: SJF{}, R2: SJF{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sjfRes.AvgBoundedSlowdown >= fcfsRes.AvgBoundedSlowdown {
+		t.Errorf("SJF slowdown %v >= FCFS %v", sjfRes.AvgBoundedSlowdown, fcfsRes.AvgBoundedSlowdown)
+	}
+	if sjfRes.MakespanSec != fcfsRes.MakespanSec {
+		t.Errorf("single-machine makespan should be policy-invariant: %v vs %v",
+			sjfRes.MakespanSec, fcfsRes.MakespanSec)
+	}
+	// Under SJF the long job must run last.
+	if sjfJobs[0].Start != 200 {
+		t.Errorf("long job started at %v under SJF, want 200", sjfJobs[0].Start)
+	}
+}
+
+func TestNonFCFSPoliciesKeepInvariants(t *testing.T) {
+	c := tinyCluster()
+	for _, r1 := range []Policy{SJF{}, LargestFirst{}} {
+		var jobs []*Job
+		for i := 0; i < 100; i++ {
+			jobs = append(jobs, mkJob(i, float64(i%7), 1+i%2,
+				float64(5+i%30), float64(5+(i+3)%30), float64(5+(i+11)%30)))
+		}
+		if _, err := Run(jobs, c, NewModelBased(), Params{R1: r1, R2: r1}); err != nil {
+			t.Fatalf("%s: %v", r1.Name(), err)
+		}
+		for _, j := range jobs {
+			if j.Start < j.Arrival || j.End <= j.Start {
+				t.Fatalf("%s: job %d scheduled [%v,%v) arrival %v", r1.Name(), j.ID, j.Start, j.End, j.Arrival)
+			}
+		}
+	}
+}
+
+func TestEstimateFactorLoosensBackfill(t *testing.T) {
+	// A candidate whose true runtime just fits before the shadow stops
+	// fitting when the planner doubles its estimate.
+	build := func() ([]*Job, *Cluster) {
+		q := arch.Quartz()
+		q.Nodes = 4
+		running := mkJob(0, 0, 2, 100)
+		head := mkJob(1, 1, 4, 10)
+		candidate := mkJob(2, 2, 2, 90) // ends at ~92 < 100 with truth
+		return []*Job{running, head, candidate}, NewCluster([]*arch.Machine{q})
+	}
+	jobs, c := build()
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start >= 100 {
+		t.Fatalf("perfect estimates: candidate should backfill (start %v)", jobs[2].Start)
+	}
+	jobs, c = build()
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{EstimateFactor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start < 100 {
+		t.Fatalf("2x estimates: candidate backfilled at %v despite estimated overrun", jobs[2].Start)
+	}
+}

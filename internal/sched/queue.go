@@ -1,0 +1,107 @@
+package sched
+
+// jobQueue is the FCFS wait queue: FIFO order with O(1) amortized push
+// and pop, plus mid-queue removal for backfilled jobs (lazy deletion
+// with periodic compaction, so 50,000-job workloads stay cheap).
+type jobQueue struct {
+	items   []*Job
+	head    int
+	removed map[*Job]bool
+	live    int
+}
+
+// push appends a job.
+func (q *jobQueue) push(j *Job) {
+	q.items = append(q.items, j)
+	q.live++
+}
+
+// size returns the number of live queued jobs.
+func (q *jobQueue) size() int { return q.live }
+
+// skipDead advances head past popped or removed entries.
+func (q *jobQueue) skipDead() {
+	for q.head < len(q.items) && (q.items[q.head] == nil || q.removed[q.items[q.head]]) {
+		if q.items[q.head] != nil {
+			delete(q.removed, q.items[q.head])
+		}
+		q.items[q.head] = nil
+		q.head++
+	}
+	// Compact when more than half the backing slice is dead.
+	if q.head > len(q.items)/2 && q.head > 1024 {
+		q.items = append([]*Job(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+}
+
+// peek returns the head job without removing it, or nil when empty.
+func (q *jobQueue) peek() *Job {
+	q.skipDead()
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// pop removes and returns the head job, or nil when empty.
+func (q *jobQueue) pop() *Job {
+	j := q.peek()
+	if j == nil {
+		return nil
+	}
+	q.items[q.head] = nil
+	q.head++
+	q.live--
+	return j
+}
+
+// remove marks a mid-queue job as gone (it was backfilled).
+func (q *jobQueue) remove(j *Job) {
+	if q.removed == nil {
+		q.removed = make(map[*Job]bool)
+	}
+	q.removed[j] = true
+	q.live--
+}
+
+// liveSlice returns up to limit live jobs in FIFO order (limit <= 0
+// means all). The slice is freshly allocated; removing returned jobs
+// through remove is allowed.
+func (q *jobQueue) liveSlice(limit int) []*Job {
+	q.skipDead()
+	var out []*Job
+	for i := q.head; i < len(q.items); i++ {
+		j := q.items[i]
+		if j == nil || q.removed[j] {
+			continue
+		}
+		out = append(out, j)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// forEachBehindHead visits the live jobs strictly behind the head in
+// FIFO order, passing each job and its live queue index (head is 0).
+// The callback returns false to stop early. The callback may remove
+// the visited job (but not others).
+func (q *jobQueue) forEachBehindHead(fn func(j *Job, queueIndex int) bool) {
+	q.skipDead()
+	queueIndex := 1
+	for i := q.head + 1; i < len(q.items); i++ {
+		j := q.items[i]
+		if j == nil || q.removed[j] {
+			continue
+		}
+		if !fn(j, queueIndex) {
+			return
+		}
+		// If fn removed j, the index does not advance past a live job.
+		if !q.removed[j] {
+			queueIndex++
+		}
+	}
+}

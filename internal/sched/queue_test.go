@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/stats"
+)
+
+func qJob(id int) *Job { return &Job{ID: id} }
+
+func TestQueueFIFO(t *testing.T) {
+	var q jobQueue
+	for i := 0; i < 5; i++ {
+		q.push(qJob(i))
+	}
+	if q.size() != 5 {
+		t.Fatalf("size = %d", q.size())
+	}
+	for i := 0; i < 5; i++ {
+		if got := q.pop(); got.ID != i {
+			t.Fatalf("pop %d = job %d", i, got.ID)
+		}
+	}
+	if q.pop() != nil || q.peek() != nil || q.size() != 0 {
+		t.Error("empty queue misbehaves")
+	}
+}
+
+func TestQueuePeekDoesNotConsume(t *testing.T) {
+	var q jobQueue
+	q.push(qJob(7))
+	if q.peek().ID != 7 || q.peek().ID != 7 {
+		t.Fatal("peek consumed")
+	}
+	if q.size() != 1 {
+		t.Fatal("peek changed size")
+	}
+}
+
+func TestQueueRemoveMidQueue(t *testing.T) {
+	var q jobQueue
+	jobs := make([]*Job, 6)
+	for i := range jobs {
+		jobs[i] = qJob(i)
+		q.push(jobs[i])
+	}
+	q.remove(jobs[2])
+	q.remove(jobs[4])
+	if q.size() != 4 {
+		t.Fatalf("size = %d after removals", q.size())
+	}
+	want := []int{0, 1, 3, 5}
+	for _, w := range want {
+		if got := q.pop(); got.ID != w {
+			t.Fatalf("pop = %d, want %d", got.ID, w)
+		}
+	}
+}
+
+func TestQueueRemoveHeadThenPeek(t *testing.T) {
+	var q jobQueue
+	a, b := qJob(0), qJob(1)
+	q.push(a)
+	q.push(b)
+	q.remove(a)
+	if got := q.peek(); got != b {
+		t.Fatalf("peek = %v, want job 1", got)
+	}
+	if q.size() != 1 {
+		t.Fatalf("size = %d", q.size())
+	}
+}
+
+func TestForEachBehindHeadIndices(t *testing.T) {
+	var q jobQueue
+	jobs := make([]*Job, 5)
+	for i := range jobs {
+		jobs[i] = qJob(i)
+		q.push(jobs[i])
+	}
+	q.remove(jobs[1]) // behind head, removed
+	var visited []int
+	var indices []int
+	q.forEachBehindHead(func(j *Job, idx int) bool {
+		visited = append(visited, j.ID)
+		indices = append(indices, idx)
+		return true
+	})
+	// Head (0) excluded; removed (1) skipped.
+	if len(visited) != 3 || visited[0] != 2 || visited[1] != 3 || visited[2] != 4 {
+		t.Fatalf("visited = %v", visited)
+	}
+	if indices[0] != 1 || indices[1] != 2 || indices[2] != 3 {
+		t.Fatalf("indices = %v", indices)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	var q jobQueue
+	for i := 0; i < 10; i++ {
+		q.push(qJob(i))
+	}
+	count := 0
+	q.forEachBehindHead(func(j *Job, idx int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("visited %d, want 3", count)
+	}
+}
+
+func TestForEachAllowsRemovalOfVisited(t *testing.T) {
+	var q jobQueue
+	jobs := make([]*Job, 4)
+	for i := range jobs {
+		jobs[i] = qJob(i)
+		q.push(jobs[i])
+	}
+	q.forEachBehindHead(func(j *Job, idx int) bool {
+		if j.ID == 2 {
+			q.remove(j)
+		}
+		return true
+	})
+	if q.size() != 3 {
+		t.Fatalf("size = %d", q.size())
+	}
+	order := []int{0, 1, 3}
+	for _, w := range order {
+		if got := q.pop(); got.ID != w {
+			t.Fatalf("pop = %d, want %d", got.ID, w)
+		}
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Push and pop enough to trigger the compaction path; FIFO order
+	// must survive.
+	var q jobQueue
+	next := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 1000; i++ {
+			q.push(qJob(next))
+			next++
+		}
+		for i := 0; i < 900; i++ {
+			q.pop()
+		}
+	}
+	// 5*1000 pushed, 4500 popped: 500 live, next pop is 4500.
+	if q.size() != 500 {
+		t.Fatalf("size = %d", q.size())
+	}
+	if got := q.pop(); got.ID != 4500 {
+		t.Fatalf("pop after compaction = %d, want 4500", got.ID)
+	}
+}
+
+// Property: any interleaving of push/pop/remove keeps FIFO order among
+// surviving jobs.
+func TestQueueFIFOProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		var q jobQueue
+		var model []*Job // reference implementation
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // push
+				j := qJob(next)
+				next++
+				q.push(j)
+				model = append(model, j)
+			case 1: // pop
+				got := q.pop()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			case 2: // remove a random live mid-queue job
+				if len(model) < 2 {
+					continue
+				}
+				idx := 1 + rng.Intn(len(model)-1)
+				q.remove(model[idx])
+				model = append(model[:idx], model[idx+1:]...)
+			}
+			if q.size() != len(model) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

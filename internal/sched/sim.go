@@ -1,0 +1,345 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params configures a simulation run.
+type Params struct {
+	// BackfillDepth bounds how many queued jobs behind the blocked head
+	// are examined per scheduling pass (production schedulers bound
+	// this too). 0 means 512.
+	BackfillDepth int
+	// SlowdownBound is the runtime floor (seconds) of the bounded
+	// slowdown metric, preventing very short jobs from dominating.
+	// 0 means 10 seconds, the customary threshold.
+	SlowdownBound float64
+	// R1 orders the wait queue and R2 the backfill candidates
+	// (Algorithm 1's policy parameters). nil means FCFS, the paper's
+	// configuration. Non-FCFS R1 re-sorts the live queue every pass,
+	// so it suits ablation-scale workloads rather than 50k-job runs.
+	R1 Policy
+	R2 Policy
+	// EstimateFactor scales the walltime estimates EASY backfilling
+	// plans with, relative to true runtimes. 0 means 1 (perfect
+	// estimates, the paper's replay setting); real users typically
+	// overestimate (factor > 1), which loosens backfill decisions.
+	EstimateFactor float64
+}
+
+func (p *Params) setDefaults() {
+	if p.BackfillDepth <= 0 {
+		p.BackfillDepth = 512
+	}
+	if p.SlowdownBound <= 0 {
+		p.SlowdownBound = 10
+	}
+	if p.R1 == nil {
+		p.R1 = FCFS{}
+	}
+	if p.R2 == nil {
+		p.R2 = FCFS{}
+	}
+	if p.EstimateFactor <= 0 {
+		p.EstimateFactor = 1
+	}
+}
+
+// isFCFS reports whether a policy is plain arrival order, enabling the
+// allocation-free FIFO fast path.
+func isFCFS(p Policy) bool {
+	_, ok := p.(FCFS)
+	return ok
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Strategy string
+	// MakespanSec is the time from first arrival to last completion.
+	MakespanSec float64
+	// AvgBoundedSlowdown is the Section VII-A metric:
+	// mean over jobs of max(1, (wait + run) / max(run, bound)).
+	AvgBoundedSlowdown float64
+	// AvgWaitSec is the mean queue wait.
+	AvgWaitSec float64
+	// JobsPerMachine and NodeSecondsPerMachine describe placement.
+	JobsPerMachine        []int
+	NodeSecondsPerMachine []float64
+	// Utilization is each machine's busy node-seconds divided by its
+	// capacity over the makespan (0 when the makespan is zero).
+	Utilization []float64
+	// TotalRuntimeSec is the summed execution time across jobs (lower
+	// means the strategy picked faster machines).
+	TotalRuntimeSec float64
+}
+
+// runningJob is a heap entry for an executing job.
+type runningJob struct {
+	end     float64
+	job     *Job
+	machine int
+}
+
+type runHeap []runningJob
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(runningJob)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Run simulates FCFS+EASY (Algorithm 1) of the jobs on the cluster
+// using the strategy for machine assignment. It mutates the cluster's
+// free-node counts during simulation and restores them before
+// returning; job Start/End/Machine fields are filled in.
+func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error) {
+	p.setDefaults()
+	nm := cluster.NumMachines()
+	if nm == 0 {
+		return Result{}, fmt.Errorf("sched: empty cluster")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(nm); err != nil {
+			return Result{}, err
+		}
+		maxNodes := 0
+		for _, m := range cluster.Machines {
+			if m.TotalNodes > maxNodes {
+				maxNodes = m.TotalNodes
+			}
+		}
+		if j.Nodes > maxNodes {
+			return Result{}, fmt.Errorf("sched: job %d needs %d nodes, largest machine has %d", j.ID, j.Nodes, maxNodes)
+		}
+	}
+	if len(jobs) == 0 {
+		return Result{Strategy: strat.Name()}, nil
+	}
+
+	// R1 = FCFS: order by arrival (stable on submission index).
+	order := make([]*Job, len(jobs))
+	copy(order, jobs)
+	sort.SliceStable(order, func(a, b int) bool { return order[a].Arrival < order[b].Arrival })
+
+	// Restore capacity on exit so the cluster can be reused.
+	defer func() {
+		for _, m := range cluster.Machines {
+			m.FreeNodes = m.TotalNodes
+		}
+	}()
+
+	var queue jobQueue
+	running := &runHeap{}
+	nextArrival := 0
+	clock := order[0].Arrival
+	firstArrival := clock
+	lastEnd := clock
+
+	start := func(j *Job, mi int, now float64) {
+		cluster.Machines[mi].FreeNodes -= j.Nodes
+		end := now + j.Runtimes[mi]
+		j.Machine = mi
+		j.Start = now
+		j.End = end
+		heap.Push(running, runningJob{end: end, job: j, machine: mi})
+		if end > lastEnd {
+			lastEnd = end
+		}
+	}
+
+	// nextHead returns the job the queue policy puts first. The FCFS
+	// fast path avoids materializing the queue.
+	nextHead := func() *Job {
+		if isFCFS(p.R1) {
+			return queue.peek()
+		}
+		live := queue.liveSlice(0)
+		if len(live) == 0 {
+			return nil
+		}
+		sortQueue(live, p.R1)
+		return live[0]
+	}
+
+	// backfillCandidates returns up to BackfillDepth jobs behind the
+	// head, ordered by R2 (Algorithm 1 line 11).
+	backfillCandidates := func(head *Job) []*Job {
+		var live []*Job
+		if isFCFS(p.R1) {
+			live = queue.liveSlice(p.BackfillDepth + 1)
+		} else {
+			live = queue.liveSlice(0)
+			sortQueue(live, p.R1)
+		}
+		// Drop the head wherever the ordering put it.
+		cands := make([]*Job, 0, len(live))
+		for _, j := range live {
+			if j != head {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) > p.BackfillDepth {
+			cands = cands[:p.BackfillDepth]
+		}
+		if !isFCFS(p.R2) {
+			sortQueue(cands, p.R2)
+		}
+		return cands
+	}
+
+	// schedulePass implements one Algorithm 1 round at the current
+	// clock: start the policy head while it fits, then reserve and
+	// backfill.
+	schedulePass := func(now float64) {
+		for {
+			head := nextHead()
+			if head == nil {
+				return
+			}
+			mi := strat.Assign(head, 0, cluster)
+			if !cluster.Machines[mi].Full(head.Nodes) {
+				queue.remove(head)
+				start(head, mi, now)
+				continue
+			}
+			// Head blocked: reserve it on mi at the earliest time
+			// enough nodes free up (EASY shadow time).
+			shadow, availAtShadow := shadowTime(cluster, running, mi, head.Nodes, now)
+
+			// Backfill: candidates may start only without delaying the
+			// reservation. Planning uses walltime estimates (true
+			// runtime x EstimateFactor), as real EASY does.
+			for queueIndex, j := range backfillCandidates(head) {
+				mj := strat.Assign(j, queueIndex+1, cluster)
+				if cluster.Machines[mj].Full(j.Nodes) {
+					continue
+				}
+				if mj == mi {
+					endsBeforeShadow := now+j.Runtimes[mj]*p.EstimateFactor <= shadow
+					// Running past the shadow is allowed only if the
+					// reservation still has its nodes then.
+					if !endsBeforeShadow && availAtShadow-j.Nodes < head.Nodes {
+						continue
+					}
+					if !endsBeforeShadow {
+						availAtShadow -= j.Nodes
+					}
+				}
+				queue.remove(j)
+				start(j, mj, now)
+			}
+			return
+		}
+	}
+
+	for queue.size() > 0 || running.Len() > 0 || nextArrival < len(order) {
+		// Advance the clock to the next event.
+		next := math.Inf(1)
+		if nextArrival < len(order) {
+			next = order[nextArrival].Arrival
+		}
+		if running.Len() > 0 && (*running)[0].end < next {
+			next = (*running)[0].end
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		clock = next
+
+		// Process all completions at this instant.
+		for running.Len() > 0 && (*running)[0].end <= clock {
+			done := heap.Pop(running).(runningJob)
+			cluster.Machines[done.machine].FreeNodes += done.job.Nodes
+		}
+		// Process all arrivals at this instant.
+		for nextArrival < len(order) && order[nextArrival].Arrival <= clock {
+			queue.push(order[nextArrival])
+			nextArrival++
+		}
+		schedulePass(clock)
+	}
+
+	return summarize(jobs, cluster, strat, p, firstArrival, lastEnd), nil
+}
+
+// shadowTime computes when `nodes` will be free on machine mi given
+// the currently running jobs, and how many nodes will be free at that
+// instant beyond the reservation's own need plus it.
+func shadowTime(cluster *Cluster, running *runHeap, mi, nodes int, now float64) (shadow float64, availAtShadow int) {
+	free := cluster.Machines[mi].FreeNodes
+	if free >= nodes {
+		return now, free
+	}
+	// Collect this machine's completions in end order.
+	type rel struct {
+		end   float64
+		nodes int
+	}
+	var rels []rel
+	for _, r := range *running {
+		if r.machine == mi {
+			rels = append(rels, rel{end: r.end, nodes: r.job.Nodes})
+		}
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].end < rels[b].end })
+	avail := free
+	for _, r := range rels {
+		avail += r.nodes
+		if avail >= nodes {
+			return r.end, avail
+		}
+	}
+	// Unreachable if job sizes were validated against machine capacity.
+	return math.Inf(1), avail
+}
+
+// summarize computes the result metrics after the simulation drains.
+func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArrival, lastEnd float64) Result {
+	res := Result{
+		Strategy:              strat.Name(),
+		MakespanSec:           lastEnd - firstArrival,
+		JobsPerMachine:        make([]int, cluster.NumMachines()),
+		NodeSecondsPerMachine: make([]float64, cluster.NumMachines()),
+	}
+	if len(jobs) == 0 {
+		return res
+	}
+	sumSlow, sumWait := 0.0, 0.0
+	for _, j := range jobs {
+		run := j.End - j.Start
+		wait := j.Start - j.Arrival
+		slow := (wait + run) / math.Max(run, p.SlowdownBound)
+		if slow < 1 {
+			slow = 1
+		}
+		sumSlow += slow
+		sumWait += wait
+		res.JobsPerMachine[j.Machine]++
+		res.NodeSecondsPerMachine[j.Machine] += run * float64(j.Nodes)
+		res.TotalRuntimeSec += run
+	}
+	res.AvgBoundedSlowdown = sumSlow / float64(len(jobs))
+	res.AvgWaitSec = sumWait / float64(len(jobs))
+	res.Utilization = make([]float64, cluster.NumMachines())
+	if res.MakespanSec > 0 {
+		for mi, m := range cluster.Machines {
+			res.Utilization[mi] = res.NodeSecondsPerMachine[mi] / (float64(m.TotalNodes) * res.MakespanSec)
+		}
+	}
+	return res
+}
+
+// String renders the result as one experiment-table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s makespan=%.3fh avg-bounded-slowdown=%.2f avg-wait=%.1fs",
+		r.Strategy, r.MakespanSec/3600, r.AvgBoundedSlowdown, r.AvgWaitSec)
+}

@@ -1,0 +1,417 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/rpv"
+	"crossarch/internal/stats"
+)
+
+// tinyCluster builds a pool of two 4-node CPU machines and one 2-node
+// GPU machine for fast, hand-checkable tests.
+func tinyCluster() *Cluster {
+	q := arch.Quartz()
+	q.Nodes = 4
+	r := arch.Ruby()
+	r.Nodes = 4
+	l := arch.Lassen()
+	l.Nodes = 2
+	return NewCluster([]*arch.Machine{q, r, l})
+}
+
+func mkJob(id int, arrival float64, nodes int, runtimes ...float64) *Job {
+	pred, _ := rpv.FromTimes(runtimes, 0)
+	return &Job{
+		ID: id, Arrival: arrival, Nodes: nodes,
+		Runtimes:  runtimes,
+		Predicted: pred,
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	c := tinyCluster()
+	jobs := []*Job{mkJob(0, 0, 1, 10, 20, 30)}
+	res, err := Run(jobs, c, NewModelBased(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Machine != 0 {
+		t.Errorf("model-based picked machine %d, fastest is 0", jobs[0].Machine)
+	}
+	if jobs[0].Start != 0 || jobs[0].End != 10 {
+		t.Errorf("job scheduled at [%v,%v], want [0,10]", jobs[0].Start, jobs[0].End)
+	}
+	if res.MakespanSec != 10 {
+		t.Errorf("makespan = %v", res.MakespanSec)
+	}
+	if res.AvgBoundedSlowdown != 1 {
+		t.Errorf("slowdown = %v, want 1 for an unqueued job", res.AvgBoundedSlowdown)
+	}
+	// Cluster capacity restored.
+	for _, m := range c.Machines {
+		if m.FreeNodes != m.TotalNodes {
+			t.Errorf("machine %s not restored: %d/%d", m.Spec.Name, m.FreeNodes, m.TotalNodes)
+		}
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := tinyCluster()
+	rng := stats.NewRNG(1)
+	var jobs []*Job
+	for i := 0; i < 200; i++ {
+		jobs = append(jobs, mkJob(i, rng.Range(0, 50), 1+rng.Intn(2),
+			rng.Range(1, 20), rng.Range(1, 20), rng.Range(1, 20)))
+	}
+	if _, err := Run(jobs, c, NewRandom(2), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the schedule: at every job-start instant, count nodes
+	// concurrently held on that machine; capacity must hold.
+	for _, j := range jobs {
+		used := 0
+		for _, other := range jobs {
+			if other.Machine == j.Machine && other.Start <= j.Start && j.Start < other.End {
+				used += other.Nodes
+			}
+		}
+		if used > c.Machines[j.Machine].TotalNodes {
+			t.Fatalf("machine %d oversubscribed: %d nodes in flight at t=%v", j.Machine, used, j.Start)
+		}
+	}
+}
+
+func TestEveryJobRunsExactlyOnce(t *testing.T) {
+	c := tinyCluster()
+	rng := stats.NewRNG(3)
+	var jobs []*Job
+	for i := 0; i < 300; i++ {
+		jobs = append(jobs, mkJob(i, rng.Range(0, 100), 1,
+			rng.Range(1, 10), rng.Range(1, 10), rng.Range(1, 10)))
+	}
+	res, err := Run(jobs, c, NewRoundRobin(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.JobsPerMachine {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("jobs placed = %d, want 300", total)
+	}
+	for _, j := range jobs {
+		if j.End <= j.Start || j.Start < j.Arrival {
+			t.Fatalf("job %d has invalid schedule [%v,%v] arrival %v", j.ID, j.Start, j.End, j.Arrival)
+		}
+		wantEnd := j.Start + j.Runtimes[j.Machine]
+		if math.Abs(j.End-wantEnd) > 1e-9 {
+			t.Fatalf("job %d end %v, want %v", j.ID, j.End, wantEnd)
+		}
+	}
+}
+
+func TestFCFSNoBackfillStarvation(t *testing.T) {
+	// A 2-node job blocks a full 2-node machine; a later 1-node short
+	// job must backfill without delaying the blocked head.
+	l := arch.Lassen()
+	l.Nodes = 2
+	c := NewCluster([]*arch.Machine{l})
+	long := mkJob(0, 0, 2, 100)    // starts immediately, occupies machine
+	head := mkJob(1, 1, 2, 50)     // blocked until t=100
+	filler := mkJob(2, 2, 1, 1000) // would delay head: must NOT backfill
+	short := mkJob(3, 3, 1, 50)    // finishes before t=100: may not fit? 2 nodes busy
+	jobs := []*Job{long, head, filler, short}
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if head.Start != 100 {
+		t.Errorf("blocked head started at %v, want 100", head.Start)
+	}
+	if filler.Start < head.End && filler.Start < 100 {
+		t.Errorf("filler backfilled at %v and delayed the reservation", filler.Start)
+	}
+}
+
+func TestBackfillFillsHoles(t *testing.T) {
+	// Machine with 4 nodes: a 4-node head blocked behind a 2-node job
+	// leaves 2 free nodes; a short 2-node job behind the head should
+	// backfill into the hole.
+	q := arch.Quartz()
+	q.Nodes = 4
+	c := NewCluster([]*arch.Machine{q})
+	running := mkJob(0, 0, 2, 100)
+	head := mkJob(1, 1, 4, 10)
+	backfiller := mkJob(2, 2, 2, 50) // ends at ~52 < 100: safe
+	jobs := []*Job{running, head, backfiller}
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if backfiller.Start >= 100 {
+		t.Errorf("backfiller started at %v; should fill the hole before 100", backfiller.Start)
+	}
+	if head.Start != 100 {
+		t.Errorf("head started at %v, want 100 (undelayed)", head.Start)
+	}
+}
+
+func TestModelBasedPrefersFastMachineAndOverflows(t *testing.T) {
+	c := tinyCluster() // machine 0 has 4 nodes
+	// Five 1-node jobs all fastest on machine 0; the fifth must
+	// overflow to the next-fastest machine (Algorithm 2's walk).
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, mkJob(i, 0, 1, 10, 11, 30))
+	}
+	if _, err := Run(jobs, c, NewModelBased(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	on0, on1 := 0, 0
+	for _, j := range jobs {
+		switch j.Machine {
+		case 0:
+			on0++
+		case 1:
+			on1++
+		}
+	}
+	if on0 != 4 || on1 != 1 {
+		t.Errorf("placement = %d on fast, %d on overflow; want 4/1", on0, on1)
+	}
+}
+
+func TestUserRRSegregatesByGPU(t *testing.T) {
+	c := tinyCluster() // machines 0,1 CPU; 2 GPU
+	gpuJob := mkJob(0, 0, 1, 10, 10, 10)
+	gpuJob.GPUCapable = true
+	cpuJob := mkJob(1, 0, 1, 10, 10, 10)
+	jobs := []*Job{gpuJob, cpuJob}
+	if _, err := Run(jobs, c, NewUserRR(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if gpuJob.Machine != 2 {
+		t.Errorf("GPU job placed on machine %d, want the GPU machine", gpuJob.Machine)
+	}
+	if cpuJob.Machine == 2 {
+		t.Error("CPU job placed on the GPU machine")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	c := tinyCluster()
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, mkJob(i, float64(i)*1000, 1, 1, 1, 1))
+	}
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if j.Machine != i%3 {
+			t.Errorf("job %d on machine %d, want %d", i, j.Machine, i%3)
+		}
+	}
+}
+
+func TestRandomIsStableAndCoversMachines(t *testing.T) {
+	c := tinyCluster()
+	r := NewRandom(7)
+	j := mkJob(42, 0, 1, 1, 1, 1)
+	first := r.Assign(j, 0, c)
+	for i := 0; i < 10; i++ {
+		if r.Assign(j, 0, c) != first {
+			t.Fatal("Random assignment not stable for the same job")
+		}
+	}
+	seen := map[int]bool{}
+	for id := 0; id < 100; id++ {
+		seen[r.Assign(mkJob(id, 0, 1, 1, 1, 1), 0, c)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Random covered %d machines of 3", len(seen))
+	}
+}
+
+func TestOracleBeatsOrMatchesEverything(t *testing.T) {
+	c := tinyCluster()
+	rng := stats.NewRNG(11)
+	var jobs []*Job
+	for i := 0; i < 400; i++ {
+		rt := []float64{rng.Range(5, 50), rng.Range(5, 50), rng.Range(5, 50)}
+		j := mkJob(i, 0, 1, rt...)
+		j.GPUCapable = i%2 == 0
+		jobs = append(jobs, j)
+	}
+	clone := func() []*Job {
+		out := make([]*Job, len(jobs))
+		for i, j := range jobs {
+			cp := *j
+			out[i] = &cp
+		}
+		return out
+	}
+	oracleJobs := clone()
+	oracleRes, err := Run(oracleJobs, c, NewOracle(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{NewRoundRobin(), NewRandom(3), NewUserRR()} {
+		js := clone()
+		res, err := Run(js, c, s, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracleRes.TotalRuntimeSec > res.TotalRuntimeSec*1.001 {
+			t.Errorf("oracle total runtime %v worse than %s %v",
+				oracleRes.TotalRuntimeSec, s.Name(), res.TotalRuntimeSec)
+		}
+	}
+}
+
+func TestSlowdownBound(t *testing.T) {
+	l := arch.Lassen()
+	l.Nodes = 1
+	c := NewCluster([]*arch.Machine{l})
+	// Two 1-second jobs back to back: the second waits 1s. With bound
+	// 10, slowdown = max(1, (1+1)/10) = 1, not 2.
+	jobs := []*Job{mkJob(0, 0, 1, 1), mkJob(1, 0, 1, 1)}
+	res, err := Run(jobs, c, NewRoundRobin(), Params{SlowdownBound: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgBoundedSlowdown != 1 {
+		t.Errorf("bounded slowdown = %v, want 1", res.AvgBoundedSlowdown)
+	}
+	// With bound 1 second, the waiting job has slowdown 2.
+	res, err = Run(jobs, c, NewRoundRobin(), Params{SlowdownBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgBoundedSlowdown-1.5) > 1e-9 {
+		t.Errorf("bounded slowdown = %v, want 1.5", res.AvgBoundedSlowdown)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c := tinyCluster()
+	if _, err := Run([]*Job{mkJob(0, 0, 0, 1, 1, 1)}, c, NewRoundRobin(), Params{}); err == nil {
+		t.Error("zero-node job should error")
+	}
+	if _, err := Run([]*Job{mkJob(0, 0, 1, 1)}, c, NewRoundRobin(), Params{}); err == nil {
+		t.Error("runtime-count mismatch should error")
+	}
+	if _, err := Run([]*Job{mkJob(0, 0, 99, 1, 1, 1)}, c, NewRoundRobin(), Params{}); err == nil {
+		t.Error("oversized job should error")
+	}
+	if _, err := Run(nil, &Cluster{}, NewRoundRobin(), Params{}); err == nil {
+		t.Error("empty cluster should error")
+	}
+	empty, err := Run(nil, c, NewRoundRobin(), Params{})
+	if err != nil || empty.MakespanSec != 0 {
+		t.Errorf("empty workload: %v, %v", empty, err)
+	}
+}
+
+// Property: the simulation conserves work — every job's end-start
+// equals its runtime on its assigned machine, no job starts before
+// arrival, and capacity holds at every start event.
+func TestSchedulerInvariantsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		c := tinyCluster()
+		n := 30 + rng.Intn(100)
+		var jobs []*Job
+		for i := 0; i < n; i++ {
+			j := mkJob(i, rng.Range(0, 40), 1+rng.Intn(2),
+				rng.Range(0.5, 30), rng.Range(0.5, 30), rng.Range(0.5, 30))
+			j.GPUCapable = rng.Bernoulli(0.5)
+			jobs = append(jobs, j)
+		}
+		strats := []Strategy{NewRoundRobin(), NewRandom(seed), NewUserRR(), NewModelBased()}
+		s := strats[rng.Intn(len(strats))]
+		if _, err := Run(jobs, c, s, Params{}); err != nil {
+			return false
+		}
+		for _, j := range jobs {
+			if j.Start < j.Arrival {
+				return false
+			}
+			if math.Abs((j.End-j.Start)-j.Runtimes[j.Machine]) > 1e-9 {
+				return false
+			}
+		}
+		// Capacity at every interval via pairwise overlap counting.
+		for mi, m := range c.Machines {
+			for _, j := range jobs {
+				if j.Machine != mi {
+					continue
+				}
+				used := 0
+				for _, o := range jobs {
+					if o.Machine == mi && o.Start <= j.Start && j.Start < o.End {
+						used += o.Nodes
+					}
+				}
+				if used > m.TotalNodes {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackfillDepthLimits(t *testing.T) {
+	// With depth 1, only the first job behind the head is considered.
+	q := arch.Quartz()
+	q.Nodes = 4
+	c := NewCluster([]*arch.Machine{q})
+	running := mkJob(0, 0, 2, 100)
+	head := mkJob(1, 1, 4, 10)
+	unfit := mkJob(2, 2, 4, 5) // cannot backfill (needs 4 nodes)
+	fits := mkJob(3, 3, 2, 5)  // would backfill, but beyond depth 1
+	jobs := []*Job{running, head, unfit, fits}
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{BackfillDepth: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fits.Start < 100 {
+		t.Errorf("depth-1 backfill examined job beyond the window (start %v)", fits.Start)
+	}
+}
+
+func TestUtilizationMetric(t *testing.T) {
+	l := arch.Lassen()
+	l.Nodes = 1
+	c := NewCluster([]*arch.Machine{l})
+	// Two back-to-back 10s jobs on 1 node: utilization = 20/20 = 1.
+	jobs := []*Job{mkJob(0, 0, 1, 10), mkJob(1, 0, 1, 10)}
+	res, err := Run(jobs, c, NewRoundRobin(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 1 {
+		t.Fatalf("utilization entries = %d", len(res.Utilization))
+	}
+	if math.Abs(res.Utilization[0]-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1", res.Utilization[0])
+	}
+	// Idle machine in a bigger pool shows zero.
+	c3 := tinyCluster()
+	solo := []*Job{mkJob(0, 0, 1, 10, 20, 30)}
+	res, err = Run(solo, c3, NewModelBased(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization[2] != 0 {
+		t.Errorf("idle machine utilization = %v", res.Utilization[2])
+	}
+	if res.Utilization[0] <= 0 {
+		t.Errorf("busy machine utilization = %v", res.Utilization[0])
+	}
+}

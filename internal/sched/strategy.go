@@ -1,0 +1,138 @@
+package sched
+
+// Strategy implements the paper's Machine(j, i, M) function: given a
+// job, its current queue index, and the machine pool, return the
+// machine index to run it on. The scheduler may consult a strategy for
+// the same job on several scheduling passes (the job sits in the queue
+// until it fits), so strategies are pure functions of the job and the
+// cluster state: the rotation-style strategies key on the job's
+// submission index rather than internal counters.
+type Strategy interface {
+	Name() string
+	Assign(j *Job, queueIndex int, c *Cluster) int
+}
+
+// RoundRobin places consecutive submissions on consecutive machines
+// ("rotating between machines for each consecutive job").
+type RoundRobin struct{}
+
+// NewRoundRobin returns the Round-Robin placement strategy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Strategy.
+func (*RoundRobin) Name() string { return "Round-Robin" }
+
+// Assign implements Strategy.
+func (*RoundRobin) Assign(j *Job, _ int, c *Cluster) int {
+	return j.ID % c.NumMachines()
+}
+
+// Random places each job on a uniformly pseudo-random machine, keyed
+// by job ID so the choice is stable across scheduling passes.
+type Random struct {
+	seed uint64
+}
+
+// NewRandom returns the Random placement strategy.
+func NewRandom(seed uint64) *Random { return &Random{seed: seed} }
+
+// Name implements Strategy.
+func (*Random) Name() string { return "Random" }
+
+// Assign implements Strategy.
+func (r *Random) Assign(j *Job, _ int, c *Cluster) int {
+	// SplitMix64 finalizer over (seed, job ID) gives an unbiased-enough
+	// stable hash for four buckets.
+	z := r.seed + 0x9e3779b97f4a7c15*uint64(j.ID+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(c.NumMachines()))
+}
+
+// UserRR mimics typical user behaviour (Section VII): GPU-capable
+// applications go to GPU systems, CPU-only applications to CPU-only
+// systems, round-robin within each class by submission index.
+type UserRR struct{}
+
+// NewUserRR returns the User+RR placement strategy.
+func NewUserRR() *UserRR { return &UserRR{} }
+
+// Name implements Strategy.
+func (*UserRR) Name() string { return "User+RR" }
+
+// Assign implements Strategy.
+func (*UserRR) Assign(j *Job, _ int, c *Cluster) int {
+	var class []int
+	for mi, m := range c.Machines {
+		if m.Spec.HasGPU() == j.GPUCapable {
+			class = append(class, mi)
+		}
+	}
+	if len(class) == 0 {
+		// Degenerate pool (e.g. all machines of one kind): plain
+		// round robin over everything.
+		return j.ID % c.NumMachines()
+	}
+	return class[j.ID%len(class)]
+}
+
+// ModelBased implements Algorithm 2: rank machines by the job's
+// predicted relative performance and pick the fastest machine that is
+// not full; if every machine is full, return the predicted-fastest one
+// (the job then waits for it). Under the worked-example RPV encoding
+// (entries are time ratios; see package rpv), "fastest" is the
+// smallest predicted entry.
+type ModelBased struct{}
+
+// NewModelBased returns the Model-based placement strategy.
+func NewModelBased() *ModelBased { return &ModelBased{} }
+
+// Name implements Strategy.
+func (*ModelBased) Name() string { return "Model-based" }
+
+// Assign implements Strategy.
+func (*ModelBased) Assign(j *Job, _ int, c *Cluster) int {
+	ranked := j.Predicted.RankedByPerformance()
+	for _, mi := range ranked {
+		if !c.Machines[mi].Full(j.Nodes) {
+			return mi
+		}
+	}
+	return ranked[0]
+}
+
+// Oracle places each job on its truly fastest machine that is not
+// full — the upper bound on what any prediction-driven strategy can
+// achieve. Not part of the paper's Figure 7/8 comparison; used by the
+// ablation benches.
+type Oracle struct{}
+
+// NewOracle returns the oracle placement strategy.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements Strategy.
+func (*Oracle) Name() string { return "Oracle" }
+
+// Assign implements Strategy.
+func (*Oracle) Assign(j *Job, _ int, c *Cluster) int {
+	best := -1
+	for mi := range c.Machines {
+		if c.Machines[mi].Full(j.Nodes) {
+			continue
+		}
+		if best < 0 || j.Runtimes[mi] < j.Runtimes[best] {
+			best = mi
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	for mi := range j.Runtimes {
+		if j.Runtimes[mi] < j.Runtimes[best] {
+			best = mi
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Standard Workload Format (SWF) used by the
+// Parallel Workloads Archive and most scheduling research: one line per
+// job with 18 whitespace-separated fields, ';' comment lines. Export
+// writes a completed simulation so external tools can analyse it;
+// import turns archived traces into Job workloads for the simulator
+// (the machine-assignment study then attaches per-machine runtimes and
+// predictions on top).
+//
+// SWF fields used here (1-based, per the archive specification):
+//
+//	 1 job number          2 submit time        3 wait time
+//	 4 run time            5 allocated procs    8 requested procs
+//	 9 requested time     15 partition (exported as the machine index)
+//
+// Unused fields are written as -1, the SWF convention for missing data.
+
+// swfFields is the column count of a standard SWF record.
+const swfFields = 18
+
+// WriteSWF exports completed jobs (after Run) as an SWF trace. The
+// partition field records the assigned machine index; wait and run
+// times come from the simulated schedule. nodesPerProc converts node
+// counts to processor counts (pass 1 to keep nodes).
+func WriteSWF(w io.Writer, jobs []*Job, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range jobs {
+		wait := j.Start - j.Arrival
+		run := j.End - j.Start
+		fields := make([]string, swfFields)
+		for i := range fields {
+			fields[i] = "-1"
+		}
+		fields[0] = strconv.Itoa(j.ID + 1) // SWF numbers jobs from 1
+		fields[1] = formatSWFTime(j.Arrival)
+		fields[2] = formatSWFTime(wait)
+		fields[3] = formatSWFTime(run)
+		fields[4] = strconv.Itoa(j.Nodes)
+		fields[7] = strconv.Itoa(j.Nodes)
+		fields[8] = formatSWFTime(run) // requested time = actual (replay)
+		fields[14] = strconv.Itoa(j.Machine + 1)
+		if _, err := fmt.Fprintln(bw, strings.Join(fields, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func formatSWFTime(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// SWFRecord is one parsed SWF job line.
+type SWFRecord struct {
+	JobID     int
+	Submit    float64
+	Wait      float64
+	Run       float64
+	Procs     int
+	Partition int
+}
+
+// ReadSWF parses an SWF trace. Records with non-positive run time or
+// processor count are skipped (the archive convention for failed or
+// cancelled jobs); the skipped count is returned alongside the usable
+// records.
+func ReadSWF(r io.Reader) (records []SWFRecord, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 9 {
+			return nil, 0, fmt.Errorf("sched: swf line %d has %d fields, want >= 9", lineNo, len(fields))
+		}
+		get := func(i int) (float64, error) {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("sched: swf line %d field %d: %w", lineNo, i+1, err)
+			}
+			return v, nil
+		}
+		jobID, err := get(0)
+		if err != nil {
+			return nil, 0, err
+		}
+		submit, err := get(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		wait, err := get(2)
+		if err != nil {
+			return nil, 0, err
+		}
+		run, err := get(3)
+		if err != nil {
+			return nil, 0, err
+		}
+		procs, err := get(4)
+		if err != nil {
+			return nil, 0, err
+		}
+		if procs <= 0 && len(fields) > 7 {
+			// Fall back to requested processors when allocation is
+			// missing (-1), as archive readers conventionally do.
+			if req, err := get(7); err == nil && req > 0 {
+				procs = req
+			}
+		}
+		partition := -1.0
+		if len(fields) > 14 {
+			if pv, err := get(14); err == nil {
+				partition = pv
+			}
+		}
+		if run <= 0 || procs <= 0 {
+			skipped++
+			continue
+		}
+		records = append(records, SWFRecord{
+			JobID:     int(jobID),
+			Submit:    submit,
+			Wait:      wait,
+			Run:       run,
+			Procs:     int(procs),
+			Partition: int(partition) - 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return records, skipped, nil
+}
+
+// JobsFromSWF converts parsed SWF records into simulator jobs for a
+// pool with the given machine count. SWF traces are single-machine, so
+// each job gets its trace runtime on every machine; callers studying
+// machine assignment overwrite Runtimes (and Predicted) with
+// architecture-aware values. Jobs are renumbered densely in submit
+// order so strategy rotation behaves sensibly.
+func JobsFromSWF(records []SWFRecord, machines int) []*Job {
+	jobs := make([]*Job, len(records))
+	for i, r := range records {
+		runtimes := make([]float64, machines)
+		for k := range runtimes {
+			runtimes[k] = r.Run
+		}
+		jobs[i] = &Job{
+			ID:       i,
+			App:      fmt.Sprintf("swf-job-%d", r.JobID),
+			Arrival:  r.Submit,
+			Nodes:    r.Procs,
+			Runtimes: runtimes,
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSWFRoundTrip(t *testing.T) {
+	c := tinyCluster()
+	jobs := []*Job{
+		mkJob(0, 0, 1, 10, 20, 30),
+		mkJob(1, 5, 2, 15, 25, 35),
+		mkJob(2, 8, 1, 7, 9, 11),
+	}
+	if _, err := Run(jobs, c, NewModelBased(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, "crossarch test trace\nsecond comment line"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "; crossarch test trace") {
+		t.Errorf("missing comment header:\n%s", out)
+	}
+
+	records, skipped, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(records) != 3 {
+		t.Fatalf("records = %d skipped = %d", len(records), skipped)
+	}
+	for i, r := range records {
+		j := jobs[i]
+		if r.JobID != j.ID+1 {
+			t.Errorf("record %d id = %d", i, r.JobID)
+		}
+		if math.Abs(r.Submit-j.Arrival) > 0.01 {
+			t.Errorf("record %d submit = %v, want %v", i, r.Submit, j.Arrival)
+		}
+		if math.Abs(r.Run-(j.End-j.Start)) > 0.01 {
+			t.Errorf("record %d run = %v, want %v", i, r.Run, j.End-j.Start)
+		}
+		if r.Procs != j.Nodes {
+			t.Errorf("record %d procs = %d, want %d", i, r.Procs, j.Nodes)
+		}
+		if r.Partition != j.Machine {
+			t.Errorf("record %d partition = %d, want machine %d", i, r.Partition, j.Machine)
+		}
+	}
+}
+
+func TestReadSWFSkipsFailedJobs(t *testing.T) {
+	in := strings.Join([]string{
+		"; header",
+		"1 0 0 100 4 -1 -1 4 100 -1 -1 -1 -1 -1 1 -1 -1 -1",
+		"2 5 0 -1 4 -1 -1 4 100 -1 -1 -1 -1 -1 1 -1 -1 -1", // failed: run -1
+		"3 6 0 50 -1 -1 -1 2 50 -1 -1 -1 -1 -1 1 -1 -1 -1", // procs from requested
+		"4 7 0 10 0 -1 -1 -1 10",                           // short line, no procs at all
+	}, "\n")
+	records, skipped, err := ReadSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || skipped != 2 {
+		t.Fatalf("records = %d skipped = %d, want 2/2", len(records), skipped)
+	}
+	if records[1].Procs != 2 {
+		t.Errorf("requested-procs fallback failed: %d", records[1].Procs)
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 2 3")); err == nil {
+		t.Error("too-few fields should error")
+	}
+	if _, _, err := ReadSWF(strings.NewReader("a b c d e f g h i")); err == nil {
+		t.Error("non-numeric fields should error")
+	}
+	// Empty input is a valid empty trace.
+	records, skipped, err := ReadSWF(strings.NewReader("; only comments\n"))
+	if err != nil || len(records) != 0 || skipped != 0 {
+		t.Errorf("comment-only trace: %v %d %d", err, len(records), skipped)
+	}
+}
+
+func TestJobsFromSWF(t *testing.T) {
+	records := []SWFRecord{
+		{JobID: 17, Submit: 3, Run: 42, Procs: 2, Partition: 0},
+		{JobID: 99, Submit: 9, Run: 7, Procs: 1, Partition: -1},
+	}
+	jobs := JobsFromSWF(records, 4)
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Errorf("job %d renumbered to %d", i, j.ID)
+		}
+		if len(j.Runtimes) != 4 {
+			t.Fatalf("runtimes = %d", len(j.Runtimes))
+		}
+		for _, r := range j.Runtimes {
+			if r != records[i].Run {
+				t.Errorf("runtime %v, want %v", r, records[i].Run)
+			}
+		}
+		if err := j.Validate(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jobs[0].Arrival != 3 || jobs[0].Nodes != 2 {
+		t.Errorf("job 0 = %+v", jobs[0])
+	}
+}
+
+func TestSWFImportedTraceSchedules(t *testing.T) {
+	// An imported trace must run through the simulator end to end.
+	in := strings.NewReader(strings.Join([]string{
+		"1 0 0 30 1 -1 -1 1 30",
+		"2 1 0 20 2 -1 -1 2 20",
+		"3 2 0 10 1 -1 -1 1 10",
+	}, "\n"))
+	records, _, err := ReadSWF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := JobsFromSWF(records, 3)
+	res, err := Run(jobs, tinyCluster(), NewRoundRobin(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec <= 0 {
+		t.Error("imported trace produced empty schedule")
+	}
+}

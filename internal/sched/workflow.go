@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"fmt"
+
+	"crossarch/internal/rpv"
+)
+
+// The paper's motivation is scientific *workflows*: pipelines of
+// dependent tasks (simulation, analysis, ML training) where each task
+// may favour a different architecture. The Section VII simulation
+// schedules independent jobs; this file adds the workflow layer the
+// introduction motivates — a task DAG scheduled onto the machine pool
+// with per-task machine assignment driven by predicted relative
+// performance, plus critical-path analytics.
+
+// Task is one node of a workflow DAG.
+type Task struct {
+	// Name identifies the task within its workflow.
+	Name string
+	// Nodes is the node count the task needs on any machine.
+	Nodes int
+	// Runtimes[k] is the task's runtime on machine k.
+	Runtimes []float64
+	// Predicted is the model's relative performance vector for the
+	// task (time ratios; used by model-driven placement).
+	Predicted rpv.RPV
+	// After lists the names of tasks that must complete first.
+	After []string
+
+	// Scheduling results, filled by ScheduleWorkflow.
+	Machine int
+	Start   float64
+	End     float64
+}
+
+// Workflow is a named DAG of tasks.
+type Workflow struct {
+	Name  string
+	Tasks []*Task
+}
+
+// Validate checks the DAG: unique names, known dependencies, no
+// cycles, and simulatable tasks.
+func (w *Workflow) Validate(machines int) error {
+	if len(w.Tasks) == 0 {
+		return fmt.Errorf("sched: workflow %q has no tasks", w.Name)
+	}
+	byName := make(map[string]*Task, len(w.Tasks))
+	for _, t := range w.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("sched: workflow %q has an unnamed task", w.Name)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return fmt.Errorf("sched: workflow %q has duplicate task %q", w.Name, t.Name)
+		}
+		byName[t.Name] = t
+		if t.Nodes <= 0 {
+			return fmt.Errorf("sched: task %q needs %d nodes", t.Name, t.Nodes)
+		}
+		if len(t.Runtimes) != machines {
+			return fmt.Errorf("sched: task %q has %d runtimes for %d machines", t.Name, len(t.Runtimes), machines)
+		}
+		for _, r := range t.Runtimes {
+			if !(r > 0) {
+				return fmt.Errorf("sched: task %q has non-positive runtime", t.Name)
+			}
+		}
+	}
+	for _, t := range w.Tasks {
+		for _, dep := range t.After {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("sched: task %q depends on unknown task %q", t.Name, dep)
+			}
+		}
+	}
+	if _, err := w.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns the tasks in a dependency-respecting order,
+// erroring on cycles.
+func (w *Workflow) topoOrder() ([]*Task, error) {
+	byName := make(map[string]*Task, len(w.Tasks))
+	indeg := make(map[string]int, len(w.Tasks))
+	succ := make(map[string][]*Task, len(w.Tasks))
+	for _, t := range w.Tasks {
+		byName[t.Name] = t
+		indeg[t.Name] = len(t.After)
+	}
+	for _, t := range w.Tasks {
+		for _, dep := range t.After {
+			succ[dep] = append(succ[dep], t)
+		}
+	}
+	var ready []*Task
+	for _, t := range w.Tasks {
+		if indeg[t.Name] == 0 {
+			ready = append(ready, t)
+		}
+	}
+	var order []*Task
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, s := range succ[t.Name] {
+			indeg[s.Name]--
+			if indeg[s.Name] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(w.Tasks) {
+		return nil, fmt.Errorf("sched: workflow %q has a dependency cycle", w.Name)
+	}
+	return order, nil
+}
+
+// CriticalPathSec returns the workflow's lower-bound makespan under
+// the given per-task runtime selector (e.g. fastest machine per task,
+// unbounded resources).
+func (w *Workflow) CriticalPathSec(runtimeOf func(*Task) float64) (float64, error) {
+	order, err := w.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make(map[string]float64, len(order))
+	byName := make(map[string]*Task, len(order))
+	for _, t := range order {
+		byName[t.Name] = t
+	}
+	longest := 0.0
+	for _, t := range order {
+		start := 0.0
+		for _, dep := range t.After {
+			if finish[dep] > start {
+				start = finish[dep]
+			}
+		}
+		finish[t.Name] = start + runtimeOf(t)
+		if finish[t.Name] > longest {
+			longest = finish[t.Name]
+		}
+	}
+	return longest, nil
+}
+
+// WorkflowResult summarizes one scheduled workflow.
+type WorkflowResult struct {
+	Workflow string
+	Strategy string
+	// MakespanSec is the completion time of the last task.
+	MakespanSec float64
+	// CriticalPathSec is the dependency-only lower bound using each
+	// task's runtime on its assigned machine.
+	CriticalPathSec float64
+	// TasksPerMachine counts placement.
+	TasksPerMachine []int
+}
+
+// ScheduleWorkflow list-schedules the DAG onto the cluster: tasks
+// become ready when their dependencies finish, ready tasks start as
+// soon as their strategy-assigned machine has nodes (earliest-finish
+// first among ready tasks). The cluster's capacity is restored before
+// returning.
+func ScheduleWorkflow(w *Workflow, cluster *Cluster, strat Strategy) (WorkflowResult, error) {
+	nm := cluster.NumMachines()
+	if err := w.Validate(nm); err != nil {
+		return WorkflowResult{}, err
+	}
+	defer func() {
+		for _, m := range cluster.Machines {
+			m.FreeNodes = m.TotalNodes
+		}
+	}()
+
+	order, err := w.topoOrder()
+	if err != nil {
+		return WorkflowResult{}, err
+	}
+	done := make(map[string]bool, len(order))
+	finish := make(map[string]float64, len(order))
+	var runningEnd []float64 // end times of running tasks
+	running := map[*Task]bool{}
+
+	res := WorkflowResult{
+		Workflow:        w.Name,
+		Strategy:        strat.Name(),
+		TasksPerMachine: make([]int, nm),
+	}
+
+	clock := 0.0
+	remaining := len(order)
+	for remaining > 0 {
+		progressed := false
+		// Start every ready task that fits right now.
+		for _, t := range order {
+			if done[t.Name] || running[t] {
+				continue
+			}
+			ready := true
+			start := clock
+			for _, dep := range t.After {
+				if !done[dep] {
+					ready = false
+					break
+				}
+				if finish[dep] > start {
+					start = finish[dep]
+				}
+			}
+			if !ready || start > clock {
+				continue
+			}
+			mi := strat.Assign(&Job{
+				ID: len(finish), App: t.Name, Nodes: t.Nodes,
+				Runtimes: t.Runtimes, Predicted: t.Predicted,
+			}, 0, cluster)
+			if cluster.Machines[mi].Full(t.Nodes) {
+				continue
+			}
+			cluster.Machines[mi].FreeNodes -= t.Nodes
+			t.Machine = mi
+			t.Start = clock
+			t.End = clock + t.Runtimes[mi]
+			running[t] = true
+			runningEnd = append(runningEnd, t.End)
+			res.TasksPerMachine[mi]++
+			progressed = true
+		}
+		// Advance to the next completion.
+		next := -1.0
+		for _, e := range runningEnd {
+			if e > clock && (next < 0 || e < next) {
+				next = e
+			}
+		}
+		if next < 0 {
+			if !progressed {
+				return WorkflowResult{}, fmt.Errorf("sched: workflow %q deadlocked (task too large for every non-full machine?)", w.Name)
+			}
+			continue
+		}
+		clock = next
+		for t := range running {
+			if t.End <= clock {
+				delete(running, t)
+				done[t.Name] = true
+				finish[t.Name] = t.End
+				cluster.Machines[t.Machine].FreeNodes += t.Nodes
+				remaining--
+				if t.End > res.MakespanSec {
+					res.MakespanSec = t.End
+				}
+			}
+		}
+	}
+
+	cp, err := w.CriticalPathSec(func(t *Task) float64 { return t.Runtimes[t.Machine] })
+	if err != nil {
+		return WorkflowResult{}, err
+	}
+	res.CriticalPathSec = cp
+	return res, nil
+}

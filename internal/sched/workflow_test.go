@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crossarch/internal/rpv"
+)
+
+func mkTask(name string, nodes int, after []string, runtimes ...float64) *Task {
+	pred, _ := rpv.FromTimes(runtimes, 0)
+	return &Task{Name: name, Nodes: nodes, After: after, Runtimes: runtimes, Predicted: pred}
+}
+
+// pipelineWorkflow builds sim -> {analysis, viz} -> train.
+func pipelineWorkflow() *Workflow {
+	return &Workflow{
+		Name: "campaign",
+		Tasks: []*Task{
+			mkTask("sim", 2, nil, 100, 80, 120),
+			mkTask("analysis", 1, []string{"sim"}, 30, 25, 20),
+			mkTask("viz", 1, []string{"sim"}, 10, 12, 14),
+			mkTask("train", 1, []string{"analysis", "viz"}, 200, 180, 40),
+		},
+	}
+}
+
+func TestWorkflowValidate(t *testing.T) {
+	w := pipelineWorkflow()
+	if err := w.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Workflow{Name: "x"}
+	if err := bad.Validate(3); err == nil {
+		t.Error("empty workflow should fail")
+	}
+	dup := &Workflow{Name: "d", Tasks: []*Task{
+		mkTask("a", 1, nil, 1, 1, 1), mkTask("a", 1, nil, 1, 1, 1),
+	}}
+	if err := dup.Validate(3); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	dangling := &Workflow{Name: "g", Tasks: []*Task{mkTask("a", 1, []string{"ghost"}, 1, 1, 1)}}
+	if err := dangling.Validate(3); err == nil {
+		t.Error("unknown dependency should fail")
+	}
+	cycle := &Workflow{Name: "c", Tasks: []*Task{
+		mkTask("a", 1, []string{"b"}, 1, 1, 1),
+		mkTask("b", 1, []string{"a"}, 1, 1, 1),
+	}}
+	if err := cycle.Validate(3); err == nil {
+		t.Error("cycle should fail")
+	}
+	wrongMachines := pipelineWorkflow()
+	if err := wrongMachines.Validate(2); err == nil {
+		t.Error("runtime-count mismatch should fail")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	w := pipelineWorkflow()
+	// Fastest-machine runtimes: sim 80, analysis 20, viz 10, train 40.
+	// Critical path: sim -> analysis -> train = 140.
+	cp, err := w.CriticalPathSec(func(t *Task) float64 { return minRuntime(&Job{Runtimes: t.Runtimes}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp-140) > 1e-9 {
+		t.Errorf("critical path = %v, want 140", cp)
+	}
+}
+
+func TestScheduleWorkflowRespectsDependencies(t *testing.T) {
+	w := pipelineWorkflow()
+	res, err := ScheduleWorkflow(w, tinyCluster(), NewModelBased())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Task{}
+	for _, task := range w.Tasks {
+		byName[task.Name] = task
+	}
+	for _, task := range w.Tasks {
+		for _, dep := range task.After {
+			if byName[dep].End > task.Start+1e-9 {
+				t.Errorf("task %s started at %v before %s finished at %v",
+					task.Name, task.Start, dep, byName[dep].End)
+			}
+		}
+		if math.Abs((task.End-task.Start)-task.Runtimes[task.Machine]) > 1e-9 {
+			t.Errorf("task %s duration mismatch", task.Name)
+		}
+	}
+	if res.MakespanSec < res.CriticalPathSec-1e-9 {
+		t.Errorf("makespan %v below its critical path %v", res.MakespanSec, res.CriticalPathSec)
+	}
+	total := 0
+	for _, n := range res.TasksPerMachine {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("placed %d tasks", total)
+	}
+	if !strings.Contains(res.Strategy, "Model") {
+		t.Errorf("strategy = %s", res.Strategy)
+	}
+}
+
+func TestScheduleWorkflowModelBeatsRoundRobinOnHeterogeneousDAG(t *testing.T) {
+	// The train task is 5x faster on machine 2 (the GPU box); model
+	// placement should finish the campaign sooner than blind rotation.
+	run := func(s Strategy) float64 {
+		w := pipelineWorkflow()
+		res, err := ScheduleWorkflow(w, tinyCluster(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	model := run(NewModelBased())
+	rr := run(NewRoundRobin())
+	if model >= rr {
+		t.Errorf("model-based workflow makespan %v >= round-robin %v", model, rr)
+	}
+	// Model-based: sim on Ruby (80) + max(analysis 20 on Corona-ish...)
+	// the exact value depends on placement; assert the bound instead.
+	oracleCP, _ := pipelineWorkflow().CriticalPathSec(func(task *Task) float64 {
+		return minRuntime(&Job{Runtimes: task.Runtimes})
+	})
+	if model < oracleCP-1e-9 {
+		t.Errorf("makespan %v beats the oracle critical path %v", model, oracleCP)
+	}
+}
+
+func TestScheduleWorkflowParallelSiblings(t *testing.T) {
+	// Two independent 1-node tasks on a 2-node machine must overlap.
+	w := &Workflow{Name: "par", Tasks: []*Task{
+		mkTask("a", 1, nil, 50, 50, 50),
+		mkTask("b", 1, nil, 50, 50, 50),
+	}}
+	c := tinyCluster()
+	res, err := ScheduleWorkflow(w, c, NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec > 50+1e-9 {
+		t.Errorf("independent tasks did not run in parallel: makespan %v", res.MakespanSec)
+	}
+}
+
+func TestScheduleWorkflowCapacityQueueing(t *testing.T) {
+	// Three 2-node tasks on a single 2-node machine must serialize.
+	l := tinyCluster().Machines[2].Spec // Lassen with 2 nodes
+	single := &Cluster{Machines: []*MachineState{{Spec: l, TotalNodes: 2, FreeNodes: 2}}}
+	w := &Workflow{Name: "serial", Tasks: []*Task{
+		mkTask("a", 2, nil, 10),
+		mkTask("b", 2, nil, 10),
+		mkTask("c", 2, nil, 10),
+	}}
+	res, err := ScheduleWorkflow(w, single, NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MakespanSec-30) > 1e-9 {
+		t.Errorf("serialized makespan = %v, want 30", res.MakespanSec)
+	}
+}
+
+func TestScheduleWorkflowOversizedTaskErrors(t *testing.T) {
+	w := &Workflow{Name: "big", Tasks: []*Task{mkTask("huge", 99, nil, 10, 10, 10)}}
+	if _, err := ScheduleWorkflow(w, tinyCluster(), NewModelBased()); err == nil {
+		t.Error("oversized task should error (deadlock detection)")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Mean float64
+	Lo   float64
+	Hi   float64
+}
+
+// String renders the interval compactly.
+func (c CI) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", c.Mean, c.Lo, c.Hi)
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs by
+// the percentile bootstrap: iters resamples with replacement,
+// interval at the (1-conf)/2 and 1-(1-conf)/2 percentiles. It panics
+// on an empty sample, conf outside (0,1), or non-positive iters.
+func BootstrapMeanCI(xs []float64, conf float64, iters int, rng *RNG) CI {
+	if len(xs) == 0 {
+		panic("stats: bootstrap of empty sample")
+	}
+	if conf <= 0 || conf >= 1 {
+		panic(fmt.Sprintf("stats: confidence %v outside (0,1)", conf))
+	}
+	if iters <= 0 {
+		panic("stats: bootstrap needs positive iterations")
+	}
+	point := Mean(xs)
+	if len(xs) == 1 {
+		return CI{Mean: point, Lo: point, Hi: point}
+	}
+	means := make([]float64, iters)
+	for b := range means {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return CI{
+		Mean: point,
+		Lo:   Quantile(means, alpha),
+		Hi:   Quantile(means, 1-alpha),
+	}
+}
+
+// PairedPermutationPValue tests whether the paired samples a and b have
+// the same mean via a sign-flip permutation test on the differences:
+// the returned p-value is the two-sided probability of seeing a mean
+// difference at least as extreme under random sign flips. It panics on
+// mismatched or empty inputs.
+func PairedPermutationPValue(a, b []float64, iters int, rng *RNG) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("stats: permutation test needs equal non-empty samples")
+	}
+	if iters <= 0 {
+		panic("stats: permutation test needs positive iterations")
+	}
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	observed := Mean(diffs)
+	abs := observed
+	if abs < 0 {
+		abs = -abs
+	}
+	extreme := 0
+	for it := 0; it < iters; it++ {
+		sum := 0.0
+		for _, d := range diffs {
+			if rng.Bernoulli(0.5) {
+				sum += d
+			} else {
+				sum -= d
+			}
+		}
+		m := sum / float64(len(diffs))
+		if m >= abs || m <= -abs {
+			extreme++
+		}
+	}
+	// Add-one smoothing keeps the p-value away from an impossible 0.
+	return (float64(extreme) + 1) / (float64(iters) + 1)
+}

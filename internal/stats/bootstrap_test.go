@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	rng := NewRNG(1)
+	// Repeated experiments: a 95% CI should cover the true mean in
+	// roughly 95% of draws; assert well above chance.
+	covered := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = rng.Normal(7, 2)
+		}
+		ci := BootstrapMeanCI(xs, 0.95, 400, rng)
+		if ci.Contains(7) {
+			covered++
+		}
+		if ci.Lo > ci.Mean || ci.Hi < ci.Mean {
+			t.Fatalf("interval %v does not bracket its point estimate", ci)
+		}
+	}
+	if covered < 85 {
+		t.Errorf("95%% CI covered the truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	rng := NewRNG(2)
+	ci := BootstrapMeanCI([]float64{5}, 0.95, 100, rng)
+	if ci.Mean != 5 || ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("single-sample CI = %v", ci)
+	}
+	constant := []float64{3, 3, 3, 3}
+	ci = BootstrapMeanCI(constant, 0.9, 100, rng)
+	if ci.Lo != 3 || ci.Hi != 3 {
+		t.Errorf("constant-sample CI = %v", ci)
+	}
+	if !strings.Contains(ci.String(), "3") {
+		t.Error("CI.String malformed")
+	}
+}
+
+func TestBootstrapPanics(t *testing.T) {
+	rng := NewRNG(3)
+	for name, fn := range map[string]func(){
+		"empty":     func() { BootstrapMeanCI(nil, 0.9, 10, rng) },
+		"conf":      func() { BootstrapMeanCI([]float64{1}, 1.5, 10, rng) },
+		"iters":     func() { BootstrapMeanCI([]float64{1}, 0.9, 0, rng) },
+		"perm-len":  func() { PairedPermutationPValue([]float64{1}, []float64{1, 2}, 10, rng) },
+		"perm-iter": func() { PairedPermutationPValue([]float64{1}, []float64{2}, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermutationTestDetectsDifference(t *testing.T) {
+	rng := NewRNG(4)
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Normal(10, 1)
+		a[i] = base
+		b[i] = base + 2 // systematic offset
+	}
+	p := PairedPermutationPValue(a, b, 2000, rng)
+	if p > 0.01 {
+		t.Errorf("clear difference got p = %v", p)
+	}
+}
+
+func TestPermutationTestNullIsUniformish(t *testing.T) {
+	rng := NewRNG(5)
+	n := 25
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Normal(0, 1)
+		b[i] = rng.Normal(0, 1)
+	}
+	p := PairedPermutationPValue(a, b, 2000, rng)
+	if p < 0.001 {
+		t.Errorf("null hypothesis rejected with p = %v on pure noise", p)
+	}
+}

@@ -1,0 +1,261 @@
+// Package stats provides deterministic pseudo-random number generation,
+// probability distributions, and summary statistics used throughout the
+// crossarch simulation and modelling pipeline.
+//
+// All stochastic components of the repository (application behaviour
+// signatures, counter measurement noise, dataset shuffling, bootstrap
+// sampling in the decision forest, workload resampling in the scheduler)
+// draw from the RNG defined here rather than math/rand so that every
+// experiment is exactly reproducible from a single integer seed across
+// platforms and Go releases.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256** by Blackman and Vigna, seeded through SplitMix64. It is not
+// safe for concurrent use; callers that need parallel streams should
+// derive independent generators with Split.
+type RNG struct {
+	s [4]uint64
+	// cached spare normal variate for the Box-Muller transform
+	hasSpare bool
+	spare    float64
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next value. It
+// is used only to expand a user seed into the 256-bit xoshiro state, as
+// recommended by the xoshiro authors.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator deterministically seeded from seed. Two
+// generators created with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new generator whose stream is statistically independent
+// of the parent's subsequent output. It consumes one value from the parent.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0. The
+// implementation uses Lemire's nearly-divisionless bounded rejection
+// method, which is unbiased.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b, returning the high and
+// low 64-bit halves. Equivalent to math/bits.Mul64, restated here to keep
+// the arithmetic explicit.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Int63 returns a non-negative uniform int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Range returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *RNG) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("stats: Range called with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform with caching of the second generated value.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation. A non-positive sigma yields the mean exactly.
+func (r *RNG) Normal(mean, sigma float64) float64 {
+	if sigma <= 0 {
+		return mean
+	}
+	return mean + sigma*r.NormFloat64()
+}
+
+// LogNormal returns a log-normal variate: exp(N(mu, sigma)). It is the
+// canonical multiplicative-noise model for simulated performance-counter
+// measurements in this repository.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// NoiseFactor returns a multiplicative noise term with median 1.0 and
+// log-space standard deviation sigma. sigma = 0 returns exactly 1.
+func (r *RNG) NoiseFactor(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return r.LogNormal(0, sigma)
+}
+
+// Exponential returns an exponential variate with the given rate
+// parameter lambda (> 0).
+func (r *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exponential requires lambda > 0")
+	}
+	// 1 - Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place using Fisher-Yates.
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using the
+// caller-provided swap function, mirroring math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n or either argument is negative.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("stats: invalid SampleWithoutReplacement arguments")
+	}
+	// Partial Fisher-Yates: only the first k positions are materialized.
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// SampleWithReplacement returns k indices drawn uniformly and
+// independently from [0, n).
+func (r *RNG) SampleWithReplacement(n, k int) []int {
+	if n <= 0 || k < 0 {
+		panic("stats: invalid SampleWithReplacement arguments")
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = r.Intn(n)
+	}
+	return out
+}
+
+// Choice returns one index in [0, n) with probability proportional to the
+// non-negative weights. It panics if the weights are empty or sum to zero.
+func (r *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: Choice weight is negative")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("stats: Choice requires positive total weight")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

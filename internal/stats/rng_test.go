@@ -1,0 +1,332 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var acc Online
+	for i := 0; i < n; i++ {
+		acc.Add(r.Float64())
+	}
+	if m := acc.Mean(); math.Abs(m-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", m)
+	}
+	// Var(U[0,1)) = 1/12.
+	if v := acc.Variance(); math.Abs(v-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ~%v", v, 1.0/12)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n <= 17; n++ {
+		seen := make([]bool, n)
+		for i := 0; i < 200*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Errorf("Intn(%d) never produced %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	// A crude chi-square style check on Intn(3).
+	r := NewRNG(5)
+	counts := [3]int{}
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(3)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Errorf("Intn(3) bucket %d frequency %v, want ~1/3", i, frac)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var acc Online
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.NormFloat64())
+	}
+	if m := acc.Mean(); math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if s := acc.Std(); math.Abs(s-1) > 0.02 {
+		t.Errorf("normal std = %v, want ~1", s)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := NewRNG(17)
+	var acc Online
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Normal(10, 2))
+	}
+	if m := acc.Mean(); math.Abs(m-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", m)
+	}
+	if s := acc.Std(); math.Abs(s-2) > 0.05 {
+		t.Errorf("std = %v, want ~2", s)
+	}
+	if got := r.Normal(5, 0); got != 5 {
+		t.Errorf("Normal with sigma=0 = %v, want 5", got)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(19)
+	vals := make([]float64, 100001)
+	for i := range vals {
+		vals[i] = r.LogNormal(0, 0.5)
+	}
+	// Median of LogNormal(0, sigma) is exp(0) = 1.
+	if med := Median(vals); math.Abs(med-1) > 0.03 {
+		t.Errorf("lognormal median = %v, want ~1", med)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+	}
+}
+
+func TestNoiseFactor(t *testing.T) {
+	r := NewRNG(23)
+	if got := r.NoiseFactor(0); got != 1 {
+		t.Errorf("NoiseFactor(0) = %v, want 1", got)
+	}
+	if got := r.NoiseFactor(-1); got != 1 {
+		t.Errorf("NoiseFactor(-1) = %v, want 1", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if f := r.NoiseFactor(0.3); f <= 0 {
+			t.Fatal("noise factor must be positive")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(29)
+	var acc Online
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Exponential(2))
+	}
+	if m := acc.Mean(); math.Abs(m-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", m)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(31)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	r := NewRNG(37)
+	idx := r.SampleWithoutReplacement(50, 20)
+	if len(idx) != 20 {
+		t.Fatalf("got %d samples, want 20", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, v := range idx {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid or duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithReplacementRange(t *testing.T) {
+	r := NewRNG(41)
+	idx := r.SampleWithReplacement(10, 1000)
+	for _, v := range idx {
+		if v < 0 || v >= 10 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestChoiceWeighted(t *testing.T) {
+	r := NewRNG(43)
+	counts := [3]int{}
+	weights := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("choice %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice with zero weights did not panic")
+		}
+	}()
+	NewRNG(1).Choice([]float64{0, 0})
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	// The child's stream should not simply replay the parent's.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream repeats parent stream (%d/100 matches)", same)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(53)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) frequency %v", frac)
+	}
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	r := NewRNG(59)
+	xs := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	// Multiset must be preserved.
+	seen := map[string]int{}
+	for _, s := range xs {
+		seen[s]++
+	}
+	for _, s := range orig {
+		seen[s]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("shuffle changed multiset at %q", k)
+		}
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(hi<lo) did not panic")
+		}
+	}()
+	NewRNG(1).Range(2, 1)
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	r := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs computed with Welford's
+// numerically stable single-pass algorithm. It returns NaN for an empty
+// slice and 0 for a single element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var acc Online
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Variance()
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	v := Variance(xs)
+	if math.IsNaN(v) {
+		return v
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs using Kahan compensated summation so that
+// long, noisy counter streams accumulate without drift.
+func Sum(xs []float64) float64 {
+	sum, comp := 0.0, 0.0
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It copies xs and returns NaN for an
+// empty input or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Covariance returns the population covariance of the paired samples. It
+// panics if the slices differ in length and returns NaN when empty.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Covariance requires equal-length slices")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sum := 0.0
+	for i := range xs {
+		sum += (xs[i] - mx) * (ys[i] - my)
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples, or NaN if either sample has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Summary holds descriptive statistics for one sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Describe computes a Summary of xs.
+func Describe(xs []float64) Summary {
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		P25:    Quantile(xs, 0.25),
+		Median: Median(xs),
+		P75:    Quantile(xs, 0.75),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary on one line, suitable for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g",
+		s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.Max)
+}
+
+// Online is a Welford accumulator for streaming mean and variance. The
+// zero value is ready to use. Accumulators can be combined with Merge,
+// which makes them suitable for parallel reductions.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// Merge combines another accumulator into o using Chan et al.'s parallel
+// update, so that Add-ing a stream sequentially and merging partitions of
+// the same stream agree.
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n := o.n + other.n
+	delta := other.mean - o.mean
+	o.m2 += other.m2 + delta*delta*float64(o.n)*float64(other.n)/float64(n)
+	o.mean += delta * float64(other.n) / float64(n)
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	o.n = n
+}
+
+// Count returns the number of observations.
+func (o *Online) Count() int { return o.n }
+
+// Mean returns the running mean, or NaN when empty.
+func (o *Online) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Variance returns the running population variance, or NaN when empty.
+func (o *Online) Variance() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Std returns the running population standard deviation.
+func (o *Online) Std() float64 {
+	v := o.Variance()
+	if math.IsNaN(v) {
+		return v
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation, or +Inf when empty.
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.Inf(1)
+	}
+	return o.min
+}
+
+// Max returns the largest observation, or -Inf when empty.
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.Inf(-1)
+	}
+	return o.max
+}
+
+// Histogram bins values into equal-width buckets over [lo, hi]. Values
+// outside the range are clamped into the first or last bucket, which is
+// the behaviour wanted for visualising heavy-tailed runtime ratios.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Total   int
+	clamped int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi]. It panics on
+// a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo || x > h.Hi {
+		h.clamped++
+	}
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 || x < h.Lo {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Clamped reports how many observations fell outside [Lo, Hi].
+func (h *Histogram) Clamped() int { return h.clamped }
+
+// BinCenter returns the midpoint of bucket i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

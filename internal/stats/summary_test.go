@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasics(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Mean([]float64{2}); got != 2 {
+		t.Errorf("Mean single = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{7}); got != 0 {
+		t.Errorf("Variance single = %v, want 0", got)
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Error("Variance(nil) should be NaN")
+	}
+}
+
+func TestVarianceShiftInvariance(t *testing.T) {
+	// Welford should be stable under large offsets where the naive
+	// two-pass sum-of-squares formula loses precision.
+	xs := []float64{1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}
+	shifted := []float64{4, 7, 13, 16}
+	if got, want := Variance(xs), Variance(shifted); !almost(got, want, 1e-6) {
+		t.Errorf("Variance with offset = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 9 {
+		t.Errorf("Sum = %v", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +/-Inf")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times: naive summation loses the tail.
+	xs := make([]float64, 1000001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("Kahan Sum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("invalid quantile arguments should return NaN")
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{5, 1, 3}
+	Quantile(ys, 0.5)
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}
+
+func TestCovarianceAndPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almost(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if !math.IsNaN(Pearson(xs, flat)) {
+		t.Error("correlation with constant should be NaN")
+	}
+}
+
+func TestCovariancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Covariance([]float64{1}, []float64{1, 2})
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("Summary.String missing count: %s", s.String())
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := NewRNG(1)
+	xs := make([]float64, 1000)
+	var acc Online
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+		acc.Add(xs[i])
+	}
+	if !almost(acc.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v != batch %v", acc.Mean(), Mean(xs))
+	}
+	if !almost(acc.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online variance %v != batch %v", acc.Variance(), Variance(xs))
+	}
+	if acc.Min() != Min(xs) || acc.Max() != Max(xs) {
+		t.Error("online min/max mismatch")
+	}
+}
+
+func TestOnlineMergeProperty(t *testing.T) {
+	// Property: merging partitions equals accumulating the whole stream.
+	err := quick.Check(func(seed uint64, splitRaw uint8) bool {
+		r := NewRNG(seed)
+		n := 100
+		split := int(splitRaw) % n
+		var whole, left, right Online
+		for i := 0; i < n; i++ {
+			x := r.Normal(0, 10)
+			whole.Add(x)
+			if i < split {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		return almost(left.Mean(), whole.Mean(), 1e-8) &&
+			almost(left.Variance(), whole.Variance(), 1e-6) &&
+			left.Count() == whole.Count() &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if !math.IsNaN(o.Mean()) || !math.IsNaN(o.Variance()) || !math.IsNaN(o.Std()) {
+		t.Error("empty Online should return NaN moments")
+	}
+	var other Online
+	other.Add(5)
+	o.Merge(other)
+	if o.Mean() != 5 || o.Count() != 1 {
+		t.Error("merge into empty accumulator failed")
+	}
+	var empty Online
+	o.Merge(empty)
+	if o.Count() != 1 {
+		t.Error("merging an empty accumulator changed the count")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 9.9, -1, 11} {
+		h.Add(v)
+	}
+	if h.Total != 8 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Clamped() != 2 {
+		t.Errorf("Clamped = %d, want 2", h.Clamped())
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Error("histogram counts do not sum to total")
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 5)
+}
