@@ -1,0 +1,37 @@
+# Tier-1 verification and the race detector in one command:
+#
+#	make check
+#
+# Individual targets mirror ROADMAP.md's tier-1 line (build + test),
+# plus vet, the race-enabled suite, and the inference-throughput
+# benchmark pair tracked by the perf trajectory (DESIGN.md §6).
+
+GO ?= go
+
+.PHONY: check vet build test race bench-predict bench
+
+check: vet build race bench-predict
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race-instrumented experiments suite can exceed go test's default
+# 10m per-package timeout on small machines (measured ~115m on one
+# core); give it room.
+race:
+	$(GO) test -race -timeout 120m ./...
+
+# The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
+# a laptop while still printing the rows/s comparison.
+bench-predict:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Row|Batch)' -benchtime 2x .
+
+# The full evaluation-reproduction benchmark suite (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -210,6 +210,70 @@ func BenchmarkFig8Slowdown(b *testing.B) {
 	}
 }
 
+// --- Inference-throughput benches (DESIGN.md §6) ---
+
+// benchPredictSetup trains a compact boosted model on the shared
+// dataset and tiles its feature rows up to the requested batch size, so
+// the row and batch predictors walk identical trees over identical
+// inputs.
+func benchPredictSetup(b *testing.B, rows int) (*xgboost.Model, [][]float64) {
+	b.Helper()
+	ds, cfg := benchDataset(b)
+	X, Y := ds.Features(), ds.Targets()
+	m := xgboost.New(xgboost.Params{Rounds: 60, MaxDepth: 8, LearningRate: 0.1, Seed: cfg.ModelSeed})
+	if err := m.Fit(X, Y); err != nil {
+		b.Fatal(err)
+	}
+	tiled := make([][]float64, rows)
+	for i := range tiled {
+		tiled[i] = X[i%len(X)]
+	}
+	return m, tiled
+}
+
+// BenchmarkPredictRow is the single-row baseline of the batch-vs-row
+// perf pair: 10k predictions through the pointer-walk Predict, one
+// allocation per call.
+func BenchmarkPredictRow(b *testing.B) {
+	m, X := benchPredictSetup(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range X {
+			m.Predict(x)
+		}
+	}
+	b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkPredictBatch is the batched counterpart: the same 10k rows
+// through the flat-tree engine with a reused output buffer. The target
+// tracked by the perf trajectory is >=4x BenchmarkPredictRow on 8
+// cores.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, X := benchPredictSetup(b, 10000)
+	out := ml.NewMatrix(len(X), m.Outputs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(X, out)
+	}
+	b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkXGBoostFit tracks training time, dominated by tree growth
+// plus the per-round margin update that now runs through the batched
+// engine.
+func BenchmarkXGBoostFit(b *testing.B) {
+	ds, cfg := benchDataset(b)
+	X, Y := ds.Features(), ds.Targets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := xgboost.New(xgboost.Params{Rounds: 40, MaxDepth: 8, LearningRate: 0.1, Seed: cfg.ModelSeed})
+		if err := m.Fit(X, Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Design-choice ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationTreeMethod compares the exact greedy and histogram

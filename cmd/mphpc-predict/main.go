@@ -25,6 +25,7 @@ import (
 	"crossarch/internal/arch"
 	"crossarch/internal/core"
 	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
 	"crossarch/internal/ml/xgboost"
 	"crossarch/internal/perfmodel"
 	"crossarch/internal/profiler"
@@ -39,6 +40,7 @@ func main() {
 	scaleName := flag.String("scale", "1-node", "run scale: 1-core, 1-node, or 2-node")
 	inputIdx := flag.Int("input", 1, "input deck index (0-based)")
 	predictorPath := flag.String("predictor", "", "load a saved predictor (else train one)")
+	evalFlag := flag.Bool("eval", false, "evaluate the predictor on a freshly generated dataset before predicting")
 	explain := flag.Bool("explain", false, "print per-feature contributions (XGBoost predictors)")
 	seed := flag.Uint64("seed", 42, "profiling noise seed")
 	trials := flag.Int("trials", 3, "dataset trials when training in-process")
@@ -81,6 +83,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained: %s\n\n", ev)
+	}
+
+	if *evalFlag {
+		// Fresh rows from a different generation seed, pushed through the
+		// predictor in one batched call (ml.Evaluate takes the vectorized
+		// PredictBatch path for tree ensembles).
+		evalDS, err := dataset.Build(dataset.Params{Trials: *trials, Seed: *seed + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := ml.Evaluate(pred.Model, evalDS.Features(), evalDS.Targets())
+		fmt.Printf("evaluation on %d fresh rows: %s\n\n", evalDS.NumRows(), ev)
 	}
 
 	var prof *profiler.Profile

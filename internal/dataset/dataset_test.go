@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"crossarch/internal/apps"
@@ -186,6 +187,45 @@ func TestOneHotArchConsistent(t *testing.T) {
 			t.Fatalf("row %d: one-hot sum = %v", i, sum)
 		}
 	}
+}
+
+// TestConcurrentBuildsRace runs several worker-pooled Builds at once so
+// the race detector can watch the per-combo goroutines fill the shared
+// results slices; every build must still agree with a serial reference.
+func TestConcurrentBuildsRace(t *testing.T) {
+	p := smallParams()
+	p.Workers = 1
+	ref, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCol := ref.Frame.Floats(ColBranchIntensity)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := smallParams()
+			q.Workers = 8
+			ds, err := Build(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			col := ds.Frame.Floats(ColBranchIntensity)
+			if len(col) != len(refCol) {
+				t.Errorf("concurrent build has %d rows, want %d", len(col), len(refCol))
+				return
+			}
+			for i := range col {
+				if col[i] != refCol[i] {
+					t.Errorf("row %d differs from serial reference", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestDeterministicAcrossWorkerCounts(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"crossarch/internal/arch"
 	"crossarch/internal/core"
 	"crossarch/internal/dataset"
+	"crossarch/internal/ml"
 	"crossarch/internal/rpv"
 	"crossarch/internal/sched"
 	"crossarch/internal/stats"
@@ -56,35 +57,46 @@ func SampleWorkload(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) 
 		gpuCapable[a.Name] = a.GPUSupport
 	}
 
-	predCache := make(map[int]rpv.RPV)
-	predictRow := func(row int) rpv.RPV {
-		if v, ok := predCache[row]; ok {
-			return v
-		}
-		// Dataset features are already normalized, so the raw model is
-		// applied directly rather than via Predictor.PredictFeatures.
-		v := rpv.RPV(pred.Model.Predict(features[row]))
-		predCache[row] = v
-		return v
-	}
-
-	jobs := make([]*sched.Job, cfg.NumJobs)
+	// Draw the whole workload first (row choices and arrivals share one
+	// RNG stream, so the draw order is part of the workload identity),
+	// then push every distinct sampled row through the model in a single
+	// batched call instead of one Predict per row.
+	rowOf := make([]int, cfg.NumJobs)
+	arrivalOf := make([]float64, cfg.NumJobs)
 	clock := 0.0
-	for i := range jobs {
-		row := rng.Intn(n)
+	for i := range rowOf {
+		rowOf[i] = rng.Intn(n)
 		arrival := clock
 		if cfg.ArrivalRate > 0 {
 			clock += rng.Exponential(cfg.ArrivalRate)
 			arrival = clock
 		}
+		arrivalOf[i] = arrival
+	}
+
+	// Dataset features are already normalized, so the raw model is
+	// applied directly rather than via Predictor.PredictFeatures.
+	batchOf := make(map[int]int, n) // dataset row -> batch index
+	var batchX [][]float64
+	for _, row := range rowOf {
+		if _, ok := batchOf[row]; !ok {
+			batchOf[row] = len(batchX)
+			batchX = append(batchX, features[row])
+		}
+	}
+	preds := ml.PredictBatch(pred.Model, batchX)
+
+	jobs := make([]*sched.Job, cfg.NumJobs)
+	for i := range jobs {
+		row := rowOf[i]
 		jobs[i] = &sched.Job{
 			ID:         i,
 			App:        appNames[row],
 			GPUCapable: gpuCapable[appNames[row]],
-			Arrival:    arrival,
+			Arrival:    arrivalOf[i],
 			Nodes:      int(nodes[row]),
 			Runtimes:   times[row],
-			Predicted:  predictRow(row),
+			Predicted:  rpv.RPV(preds[batchOf[row]]),
 		}
 	}
 	return jobs, nil

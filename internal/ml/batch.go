@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchRegressor is implemented by regressors with a vectorized
+// prediction path. PredictBatch fills out[i] with the prediction for
+// X[i]; out must have len(X) rows, each of the model's output width.
+// Implementations must produce bitwise-identical results to calling
+// Predict row by row on the same fitted model, and must be safe to call
+// concurrently on a fitted model (prediction is read-only).
+type BatchRegressor interface {
+	Regressor
+	PredictBatch(X, out [][]float64)
+}
+
+// minChunk is the smallest row block ParallelRows hands to a worker
+// goroutine. Below ~2 blocks the goroutine handoff costs more than the
+// traversal work it parallelizes, so small batches run inline.
+const minChunk = 256
+
+// ParallelRows partitions [0, n) into contiguous blocks and runs fn on
+// every block, using up to GOMAXPROCS goroutines. Blocks are disjoint,
+// so fn may write freely to per-row state (output buffers, margins)
+// without synchronization; fn must not touch rows outside its block.
+// Small n runs inline on the calling goroutine. ParallelRows returns
+// after every block has been processed.
+func ParallelRows(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < 2*minChunk || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NewMatrix allocates a rows x cols matrix whose rows share one
+// contiguous backing array, so batch outputs cost two allocations
+// instead of rows+1 and stay cache-friendly when scanned row-major.
+func NewMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelRowsCoversEveryRowOnce drives the pool at several sizes
+// spanning the inline and parallel paths and checks the blocks tile
+// [0, n) exactly.
+func TestParallelRowsCoversEveryRowOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 511, 512, 10000} {
+		hits := make([]int32, n)
+		ParallelRows(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad block [%d,%d)", n, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: row %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// TestParallelRowsBlocksAreDisjoint verifies per-row writes need no
+// synchronization: every worker writes its block into a shared slice
+// without atomics and nothing is lost (the race detector guards this
+// under -race).
+func TestParallelRowsBlocksAreDisjoint(t *testing.T) {
+	const n = 4096
+	out := make([]int, n)
+	ParallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+	})
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("row %d = %d, want %d", i, out[i], i*i)
+		}
+	}
+}
+
+// TestNewMatrixContiguous checks shape and the shared-backing layout.
+func TestNewMatrixContiguous(t *testing.T) {
+	m := NewMatrix(5, 3)
+	if len(m) != 5 {
+		t.Fatalf("rows = %d", len(m))
+	}
+	for i := range m {
+		if len(m[i]) != 3 || cap(m[i]) != 3 {
+			t.Fatalf("row %d: len %d cap %d", i, len(m[i]), cap(m[i]))
+		}
+		for j := range m[i] {
+			m[i][j] = float64(i*3 + j)
+		}
+	}
+	// Rows must not alias each other.
+	if m[0][2] != 2 || m[1][0] != 3 {
+		t.Fatal("rows alias or overlap")
+	}
+}
+
+// stubBatch is a BatchRegressor that records whether the batched path
+// was taken.
+type stubBatch struct {
+	batched int32
+}
+
+func (s *stubBatch) Fit(X, Y [][]float64) error { return nil }
+func (s *stubBatch) Predict(x []float64) []float64 {
+	return []float64{x[0] + 1, x[0] + 2}
+}
+func (s *stubBatch) Name() string { return "stub" }
+func (s *stubBatch) PredictBatch(X, out [][]float64) {
+	atomic.StoreInt32(&s.batched, 1)
+	for i, x := range X {
+		copy(out[i], s.Predict(x))
+	}
+}
+
+// TestPredictBatchUsesVectorizedPath checks the helper dispatches to
+// BatchRegressor and matches the row-at-a-time fallback exactly.
+func TestPredictBatchUsesVectorizedPath(t *testing.T) {
+	s := &stubBatch{}
+	X := [][]float64{{1}, {2}, {3}}
+	got := PredictBatch(s, X)
+	if atomic.LoadInt32(&s.batched) != 1 {
+		t.Fatal("BatchRegressor path not taken")
+	}
+	for i, x := range X {
+		want := s.Predict(x)
+		for k := range want {
+			if got[i][k] != want[k] {
+				t.Fatalf("row %d: %v, want %v", i, got[i], want)
+			}
+		}
+	}
+	if out := PredictBatch(s, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(out))
+	}
+}
+
+// TestPredictBatchConcurrent exercises the helper from many goroutines
+// at once so -race can observe the shared pool machinery.
+func TestPredictBatchConcurrent(t *testing.T) {
+	s := &stubBatch{}
+	X := make([][]float64, 1000)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := PredictBatch(s, X)
+			if out[999][0] != 1000 {
+				t.Error("wrong batched value")
+			}
+		}()
+	}
+	wg.Wait()
+}

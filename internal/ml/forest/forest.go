@@ -52,9 +52,16 @@ type Forest struct {
 	Ensemble []*tree.Tree `json:"ensemble"`
 	Features int          `json:"features"`
 	Outputs  int          `json:"outputs"`
+
+	// flat caches the ensemble compiled for batched prediction; built
+	// lazily on first PredictBatch (also after a JSON load) and
+	// invalidated by Fit.
+	flatMu sync.Mutex
+	flat   []*tree.FlatTree
 }
 
 var _ ml.Regressor = (*Forest)(nil)
+var _ ml.BatchRegressor = (*Forest)(nil)
 var _ ml.FeatureImporter = (*Forest)(nil)
 
 // New returns an unfitted forest with the given parameters.
@@ -123,6 +130,9 @@ func (f *Forest) Fit(X, Y [][]float64) error {
 	f.Ensemble = ensemble
 	f.Features = features
 	f.Outputs = outputs
+	f.flatMu.Lock()
+	f.flat = nil
+	f.flatMu.Unlock()
 	return nil
 }
 
@@ -137,6 +147,58 @@ func (f *Forest) Predict(x []float64) []float64 {
 		t.AccumulatePredict(x, scale, out)
 	}
 	return out
+}
+
+// flatEnsemble returns the ensemble compiled to flat trees, building
+// and caching it on first use.
+func (f *Forest) flatEnsemble() []*tree.FlatTree {
+	f.flatMu.Lock()
+	defer f.flatMu.Unlock()
+	if f.flat == nil {
+		flat := make([]*tree.FlatTree, len(f.Ensemble))
+		for i, t := range f.Ensemble {
+			flat[i] = t.Flatten()
+		}
+		f.flat = flat
+	}
+	return f.flat
+}
+
+// batchTile bounds how many rows PredictBatch walks through one tree
+// before moving to the next; see the xgboost batch predictor for the
+// cache rationale.
+const batchTile = 1024
+
+// PredictBatch implements ml.BatchRegressor: it fills out[i] with the
+// ensemble average for X[i], chunking rows across cores and iterating
+// trees outer over cache-sized row tiles. Every output element still
+// accumulates trees in ensemble order, so results are bitwise
+// identical to Predict. out must have len(X) rows of width Outputs.
+func (f *Forest) PredictBatch(X, out [][]float64) {
+	if len(f.Ensemble) == 0 {
+		panic("forest: PredictBatch before Fit")
+	}
+	flat := f.flatEnsemble()
+	scale := 1 / float64(len(f.Ensemble))
+	ml.ParallelRows(len(X), func(lo, hi int) {
+		for tlo := lo; tlo < hi; tlo += batchTile {
+			thi := tlo + batchTile
+			if thi > hi {
+				thi = hi
+			}
+			for i := tlo; i < thi; i++ {
+				row := out[i]
+				for k := range row {
+					row[k] = 0
+				}
+			}
+			for _, ft := range flat {
+				for i := tlo; i < thi; i++ {
+					ft.Accumulate(X[i], scale, out[i])
+				}
+			}
+		}
+	})
 }
 
 // FeatureImportances returns per-feature importances as each feature's

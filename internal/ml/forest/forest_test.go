@@ -3,6 +3,7 @@ package forest
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"crossarch/internal/ml"
@@ -25,6 +26,55 @@ func friedman(n int, rng *stats.RNG) (X, Y [][]float64) {
 		Y[i] = []float64{y}
 	}
 	return X, Y
+}
+
+// TestPredictBatchGolden pins batch-vs-row bitwise equality for the
+// forest, including after a persistence round-trip (which drops the
+// cached flat compilation) and under concurrent first use so -race can
+// observe the lazy cache build.
+func TestPredictBatchGolden(t *testing.T) {
+	rng := stats.NewRNG(50)
+	X, Y := friedman(400, rng)
+	f := New(Params{Trees: 40, MaxDepth: 8, Seed: 51})
+	if err := f.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	out := ml.NewMatrix(len(X), f.Outputs)
+	f.PredictBatch(X, out)
+	for i, x := range X {
+		want := f.Predict(x)
+		for k := range want {
+			if out[i][k] != want[k] {
+				t.Fatalf("row %d: batch %v != row %v", i, out[i], want)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ml.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := back.(*Forest)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := ml.NewMatrix(len(X), reloaded.Outputs)
+			reloaded.PredictBatch(X, o)
+			for i := range X {
+				if o[i][0] != out[i][0] {
+					t.Errorf("reloaded concurrent batch diverged at row %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestForestBeatsMeanOnNonlinearData(t *testing.T) {

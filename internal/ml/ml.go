@@ -31,8 +31,20 @@ type FeatureImporter interface {
 	FeatureImportances() []float64
 }
 
-// PredictBatch applies a regressor to every row of X.
+// PredictBatch applies a regressor to every row of X. Models that
+// implement BatchRegressor (the tree ensembles) take the vectorized
+// path — one contiguous output allocation, rows chunked across cores —
+// which produces bitwise-identical results to the row-at-a-time
+// fallback used for everything else.
 func PredictBatch(m Regressor, X [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return make([][]float64, 0)
+	}
+	if br, ok := m.(BatchRegressor); ok {
+		out := NewMatrix(len(X), len(m.Predict(X[0])))
+		br.PredictBatch(X, out)
+		return out
+	}
 	out := make([][]float64, len(X))
 	for i, x := range X {
 		p := m.Predict(x)

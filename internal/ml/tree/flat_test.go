@@ -1,0 +1,156 @@
+package tree
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// buildRandomTree grows a CART tree on random regression data for the
+// flat-compilation tests.
+func buildRandomTree(t *testing.T, rows, features, outputs int, seed uint64) (*Tree, [][]float64) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	X := make([][]float64, rows)
+	Y := make([][]float64, rows)
+	idx := make([]int, rows)
+	for i := range X {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.Normal(0, 2)
+		}
+		X[i] = x
+		y := make([]float64, outputs)
+		for k := range y {
+			y[k] = math.Sin(x[0]) + float64(k)*x[1%features] + rng.Normal(0, 0.1)
+		}
+		Y[i] = y
+		idx[i] = i
+	}
+	tr, err := BuildCART(X, Y, idx, CARTParams{MaxDepth: 8, MinSamplesLeaf: 1, MaxFeatures: features, RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, X
+}
+
+// TestFlattenGoldenEquivalence is the golden test of the acceptance
+// criteria: the flat compiled tree must return bitwise-identical leaf
+// vectors to the pointer-walk Predict for every probe, including probes
+// far outside the training distribution.
+func TestFlattenGoldenEquivalence(t *testing.T) {
+	tr, X := buildRandomTree(t, 400, 3, 2, 1)
+	ft := tr.Flatten()
+	if ft.NumNodes() != tr.NumNodes() {
+		t.Fatalf("flat tree has %d nodes, source %d", ft.NumNodes(), tr.NumNodes())
+	}
+	rng := stats.NewRNG(2)
+	probes := append([][]float64{}, X...)
+	for i := 0; i < 500; i++ {
+		probes = append(probes, []float64{rng.Normal(0, 10), rng.Normal(0, 10), rng.Normal(0, 10)})
+	}
+	for _, x := range probes {
+		want := tr.Predict(x)
+		got := ft.Predict(x)
+		if len(got) != len(want) {
+			t.Fatalf("output width %d, want %d", len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("flat predict %v != tree predict %v at %v", got, want, x)
+			}
+		}
+	}
+}
+
+// TestFlattenNaNRouting pins the tie-breaking semantics: Tree.Predict
+// sends x < threshold left and everything else right, so a NaN feature
+// must route right in the flat form too.
+func TestFlattenNaNRouting(t *testing.T) {
+	tr, _ := buildRandomTree(t, 200, 2, 1, 3)
+	ft := tr.Flatten()
+	rng := stats.NewRNG(4)
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Normal(0, 2), rng.Normal(0, 2)}
+		x[i%2] = math.NaN()
+		want, got := tr.Predict(x), ft.Predict(x)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("NaN probe routed differently: flat %v, tree %v", got, want)
+			}
+		}
+	}
+}
+
+// TestFlattenSingleLeaf covers the degenerate lone-root tree.
+func TestFlattenSingleLeaf(t *testing.T) {
+	tr := &Tree{
+		Feature:   []int{LeafMarker},
+		Threshold: []float64{0},
+		Left:      []int{-1},
+		Right:     []int{-1},
+		Value:     [][]float64{{3, 4}},
+		Gain:      []float64{0},
+		Cover:     []int{1},
+		Outputs:   2,
+	}
+	ft := tr.Flatten()
+	got := ft.Predict([]float64{42})
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("lone leaf predicts %v, want [3 4]", got)
+	}
+}
+
+// TestPredictBatchMatchesRowByRow checks Tree.PredictBatch against the
+// row loop and exercises concurrent batch calls on one tree so the race
+// detector sees the shared read-only traversal.
+func TestPredictBatchMatchesRowByRow(t *testing.T) {
+	tr, X := buildRandomTree(t, 1000, 4, 3, 5)
+	out := ml.NewMatrix(len(X), tr.Outputs)
+	tr.PredictBatch(X, out)
+	for i, x := range X {
+		want := tr.Predict(x)
+		for k := range want {
+			if out[i][k] != want[k] {
+				t.Fatalf("row %d: batch %v, row-at-a-time %v", i, out[i], want)
+			}
+		}
+	}
+
+	ft := tr.Flatten()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := ml.NewMatrix(len(X), tr.Outputs)
+			ft.PredictRange(X, o, 0, len(X))
+			for i := range X {
+				if o[i][0] != out[i][0] {
+					t.Errorf("concurrent batch diverged at row %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAccumulateMatchesAccumulatePredict checks the boosting primitive
+// agrees between layouts.
+func TestAccumulateMatchesAccumulatePredict(t *testing.T) {
+	tr, X := buildRandomTree(t, 300, 3, 2, 6)
+	ft := tr.Flatten()
+	for _, x := range X[:50] {
+		a := []float64{1, 2}
+		b := []float64{1, 2}
+		tr.AccumulatePredict(x, 0.3, a)
+		ft.Accumulate(x, 0.3, b)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("accumulate diverged: tree %v, flat %v", a, b)
+		}
+	}
+}

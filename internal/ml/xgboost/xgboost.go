@@ -159,9 +159,16 @@ type Model struct {
 	// BestRound records where early stopping cut training (== len(Trees)
 	// when early stopping is off or never triggered).
 	BestRound int `json:"best_round"`
+
+	// flat caches the ensemble compiled for batched prediction; built
+	// lazily on first PredictBatch (also after a JSON load) and
+	// invalidated by Fit.
+	flatMu sync.Mutex
+	flat   [][]*tree.FlatTree
 }
 
 var _ ml.Regressor = (*Model)(nil)
+var _ ml.BatchRegressor = (*Model)(nil)
 var _ ml.FeatureImporter = (*Model)(nil)
 
 // New returns an unfitted model with the given parameters.
@@ -334,12 +341,15 @@ func (m *Model) Fit(X, Y [][]float64) error {
 				// residual of its training rows, the exact L1 minimizer.
 				refitLeavesToMedian(t, X, Y, pred, rows, outputs)
 			}
-			for i := range X {
-				leaf := t.Predict(X[i])
-				for k := 0; k < outputs; k++ {
-					pred[i][k] += p.LearningRate * leaf[k]
+			// Margin update for every row (train and val) through the
+			// flat compiled tree, rows chunked across cores; each block
+			// owns disjoint pred rows, so the update is race-free.
+			ft := t.Flatten()
+			ml.ParallelRows(len(X), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ft.Accumulate(X[i], p.LearningRate, pred[i])
 				}
-			}
+			})
 			trees = append(trees, []*tree.Tree{t})
 			if stop := m.earlyStopCheck(&p, pred, Y, valIdx, outputs, &bestLoss, &bestRound, &sinceBest, len(trees)); stop {
 				break
@@ -390,12 +400,19 @@ func (m *Model) Fit(X, Y [][]float64) error {
 				return err
 			}
 		}
-		// Update every row's margin (train and val) with shrinkage.
-		for i := range X {
-			for k, t := range roundTrees {
-				pred[i][k] += p.LearningRate * t.Predict(X[i])[0]
-			}
+		// Update every row's margin (train and val) with shrinkage,
+		// batched over row blocks through the flat compiled trees.
+		flats := make([]*tree.FlatTree, outputs)
+		for k, t := range roundTrees {
+			flats[k] = t.Flatten()
 		}
+		ml.ParallelRows(len(X), func(lo, hi int) {
+			for k, ft := range flats {
+				for i := lo; i < hi; i++ {
+					pred[i][k] += p.LearningRate * ft.Predict(X[i])[0]
+				}
+			}
+		})
 		trees = append(trees, roundTrees)
 		if stop := m.earlyStopCheck(&p, pred, Y, valIdx, outputs, &bestLoss, &bestRound, &sinceBest, len(trees)); stop {
 			break
@@ -410,6 +427,9 @@ func (m *Model) Fit(X, Y [][]float64) error {
 	m.Features = features
 	m.Outputs = outputs
 	m.BestRound = len(trees)
+	m.flatMu.Lock()
+	m.flat = nil
+	m.flatMu.Unlock()
 	return nil
 }
 
@@ -510,6 +530,73 @@ func (m *Model) Predict(x []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// flatTrees returns the retained ensemble compiled to flat trees,
+// building and caching it on first use.
+func (m *Model) flatTrees() [][]*tree.FlatTree {
+	m.flatMu.Lock()
+	defer m.flatMu.Unlock()
+	if m.flat == nil {
+		flat := make([][]*tree.FlatTree, len(m.Trees))
+		for r, round := range m.Trees {
+			flat[r] = make([]*tree.FlatTree, len(round))
+			for k, t := range round {
+				flat[r][k] = t.Flatten()
+			}
+		}
+		m.flat = flat
+	}
+	return m.flat
+}
+
+// batchTile bounds how many rows a batch predictor walks through one
+// tree before moving to the next: tree-outer iteration keeps a round's
+// node arrays hot in cache across the whole tile instead of re-walking
+// every round per row, and the tile keeps the touched X and out rows
+// cache-resident too.
+const batchTile = 1024
+
+// PredictBatch implements ml.BatchRegressor: it fills out[i] with the
+// ensemble prediction for X[i], chunking rows across cores and walking
+// rounds tree-outer over cache-sized row tiles. Every output element
+// still accumulates base score then rounds in Predict's order, so
+// results are bitwise identical to row-at-a-time Predict. out must
+// have len(X) rows of width Outputs.
+func (m *Model) PredictBatch(X, out [][]float64) {
+	if m.Trees == nil {
+		panic("xgboost: PredictBatch before Fit")
+	}
+	flat := m.flatTrees()
+	lr := m.Params.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	ml.ParallelRows(len(X), func(lo, hi int) {
+		for tlo := lo; tlo < hi; tlo += batchTile {
+			thi := tlo + batchTile
+			if thi > hi {
+				thi = hi
+			}
+			for i := tlo; i < thi; i++ {
+				copy(out[i], m.BaseScore)
+			}
+			for _, round := range flat {
+				if len(round) == 1 && round[0].Outputs == m.Outputs {
+					ft := round[0]
+					for i := tlo; i < thi; i++ {
+						ft.Accumulate(X[i], lr, out[i])
+					}
+					continue
+				}
+				for k, ft := range round {
+					for i := tlo; i < thi; i++ {
+						out[i][k] += lr * ft.Predict(X[i])[0]
+					}
+				}
+			}
+		}
+	})
 }
 
 // FeatureImportances returns gain-based importances: each feature's

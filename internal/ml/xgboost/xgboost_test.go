@@ -3,6 +3,7 @@ package xgboost
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"crossarch/internal/ml"
@@ -155,6 +156,155 @@ func TestEarlyStopping(t *testing.T) {
 	}
 	if len(m.Trees) != m.BestRound {
 		t.Errorf("retained %d rounds, BestRound=%d", len(m.Trees), m.BestRound)
+	}
+}
+
+// TestEarlyStoppingTruncatesToBestRound is the regression test for the
+// ensemble-truncation contract: when early stopping fires, the rounds
+// after the best-validation-loss round (the ones that triggered the
+// stop) must be discarded, leaving a model identical to one trained for
+// exactly BestRound rounds. Training with Rounds = BestRound under the
+// same seed replays the identical RNG stream (holdout split, then
+// per-round subsampling), so the two ensembles must match tree for
+// tree; any retained post-best round would change the predictions.
+func TestEarlyStoppingTruncatesToBestRound(t *testing.T) {
+	rng := stats.NewRNG(21)
+	// Noisy targets plus an aggressive learning rate overfit quickly, so
+	// validation loss reliably degrades and the stop fires mid-run.
+	X, Y := friedman(300, rng)
+	for i := range Y {
+		Y[i][0] += rng.Normal(0, 3)
+	}
+	params := Params{Rounds: 300, MaxDepth: 6, LearningRate: 0.5, Seed: 7,
+		EarlyStoppingRounds: 8}
+	a := New(params)
+	if err := a.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if a.BestRound >= params.Rounds {
+		t.Fatalf("early stopping never fired (BestRound=%d); pick a noisier setup", a.BestRound)
+	}
+	if len(a.Trees) != a.BestRound {
+		t.Fatalf("retained %d rounds after stop, want BestRound=%d (post-best rounds kept?)",
+			len(a.Trees), a.BestRound)
+	}
+
+	ref := params
+	ref.Rounds = a.BestRound
+	b := New(ref)
+	if err := b.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Trees) != len(a.Trees) {
+		t.Fatalf("reference run retained %d rounds, stopped run %d", len(b.Trees), len(a.Trees))
+	}
+	for i := range X {
+		if got, want := a.Predict(X[i])[0], b.Predict(X[i])[0]; got != want {
+			t.Fatalf("row %d: stopped model predicts %v, BestRound-trained model %v", i, got, want)
+		}
+	}
+}
+
+// TestPredictBatchGolden is the batch-vs-row golden test for both
+// multi-output strategies: PredictBatch must be bitwise identical to
+// Predict on every row, including through persistence (which drops the
+// cached flat compilation).
+func TestPredictBatchGolden(t *testing.T) {
+	rng := stats.NewRNG(31)
+	X, _ := friedman(400, rng)
+	Y := make([][]float64, len(X))
+	for i, x := range X {
+		Y[i] = []float64{x[0] + x[1], x[0] * x[1], x[2] - x[3]}
+	}
+	for _, strat := range []string{"multi_output_tree", "one_output_per_tree"} {
+		m := New(Params{Rounds: 30, MaxDepth: 5, LearningRate: 0.2,
+			MultiStrategy: strat, Seed: 33})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatal(err)
+		}
+		out := ml.NewMatrix(len(X), m.Outputs)
+		m.PredictBatch(X, out)
+		for i, x := range X {
+			want := m.Predict(x)
+			for k := range want {
+				if out[i][k] != want[k] {
+					t.Fatalf("%s row %d: batch %v != row %v", strat, i, out[i], want)
+				}
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := ml.SaveModel(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ml.LoadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2 := ml.NewMatrix(len(X), m.Outputs)
+		back.(*Model).PredictBatch(X, out2)
+		if out2[0][0] != out[0][0] || out2[len(X)-1][m.Outputs-1] != out[len(X)-1][m.Outputs-1] {
+			t.Fatalf("%s: reloaded model batch-predicts differently", strat)
+		}
+	}
+}
+
+// TestPredictBatchConcurrent hammers one fitted model from many
+// goroutines — first calls included, so the lazy flat-tree compilation
+// is exercised under -race — and checks every result agrees.
+func TestPredictBatchConcurrent(t *testing.T) {
+	rng := stats.NewRNG(35)
+	X, Y := friedman(500, rng)
+	m := New(Params{Rounds: 20, MaxDepth: 4, Seed: 36})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	want := ml.PredictBatch(m, X)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := ml.NewMatrix(len(X), m.Outputs)
+			m.PredictBatch(X, out)
+			for i := range X {
+				if out[i][0] != want[i][0] {
+					t.Errorf("concurrent batch diverged at row %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPerOutputParallelGrowthDeterministic fits the one-tree-per-output
+// strategy (whose round trees grow on separate goroutines) twice and
+// demands identical ensembles — run under -race this doubles as the
+// concurrency test for the parallel growth path.
+func TestPerOutputParallelGrowthDeterministic(t *testing.T) {
+	rng := stats.NewRNG(37)
+	X, _ := friedman(300, rng)
+	Y := make([][]float64, len(X))
+	for i, x := range X {
+		Y[i] = []float64{x[0], x[1] * x[2], x[3] - x[4]}
+	}
+	fit := func() *Model {
+		m := New(Params{Rounds: 25, MaxDepth: 5, MultiStrategy: "one_output_per_tree",
+			Subsample: 0.8, Seed: 38})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := fit(), fit()
+	for i := range X {
+		pa, pb := a.Predict(X[i]), b.Predict(X[i])
+		for k := range pa {
+			if pa[k] != pb[k] {
+				t.Fatalf("parallel per-output growth not deterministic at row %d", i)
+			}
+		}
 	}
 }
 

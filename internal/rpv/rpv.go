@@ -122,9 +122,20 @@ func (v RPV) Rebase(ref int) (RPV, error) {
 }
 
 // Speedup returns how many times faster system i is than system j
-// under this vector (> 1 means i is faster).
+// under this vector (> 1 means i is faster). Out-of-range indices
+// panic with a descriptive message, matching Fastest/Slowest. A
+// non-positive or non-finite entry at either index yields NaN rather
+// than a spurious ±Inf or negative ratio, so a degenerate vector
+// (one that fails Validate) can never masquerade as a real speedup.
 func (v RPV) Speedup(i, j int) float64 {
-	return v[j] / v[i]
+	if i < 0 || i >= len(v) || j < 0 || j >= len(v) {
+		panic(fmt.Sprintf("rpv: Speedup(%d, %d) out of range for %d systems", i, j, len(v)))
+	}
+	vi, vj := v[i], v[j]
+	if !(vi > 0) || !(vj > 0) || math.IsInf(vi, 1) || math.IsInf(vj, 1) {
+		return math.NaN()
+	}
+	return vj / vi
 }
 
 // Validate checks the vector is usable: non-empty, all entries

@@ -152,6 +152,43 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
+func TestSpeedupDegenerateEntriesAreNaN(t *testing.T) {
+	cases := []struct {
+		name string
+		v    RPV
+		i, j int
+	}{
+		{"zero denominator", RPV{1.0, 0.0}, 1, 0},
+		{"zero numerator", RPV{1.0, 0.0}, 0, 1},
+		{"negative entry", RPV{1.0, -0.5}, 1, 0},
+		{"NaN entry", RPV{1.0, math.NaN()}, 1, 0},
+		{"+Inf entry", RPV{1.0, math.Inf(1)}, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.v.Speedup(c.i, c.j); !math.IsNaN(got) {
+			t.Errorf("%s: Speedup(%d,%d) = %v, want NaN", c.name, c.i, c.j, got)
+		}
+	}
+	// A well-formed vector stays NaN-free.
+	if got := (RPV{1.0, 0.5}).Speedup(1, 0); got != 2 {
+		t.Errorf("well-formed Speedup = %v, want 2", got)
+	}
+}
+
+func TestSpeedupOutOfRangePanics(t *testing.T) {
+	v := RPV{1.0, 0.5}
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Speedup(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			v.Speedup(c[0], c[1])
+		}()
+	}
+}
+
 func TestValidate(t *testing.T) {
 	good := RPV{1.0, 0.8, 2.1}
 	if err := good.Validate(); err != nil {

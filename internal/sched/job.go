@@ -41,6 +41,22 @@ type Job struct {
 	Machine int     // assigned machine index
 	Start   float64 // start time
 	End     float64 // completion time
+
+	// ranked caches RankedByPredicted; a job is consulted on many
+	// scheduling passes while it waits, and its prediction never
+	// changes.
+	ranked []int
+}
+
+// RankedByPredicted returns the machine indices ordered by the job's
+// predicted relative performance, fastest first, computing the ranking
+// once per job and reusing it on every subsequent scheduling pass. The
+// cache assumes Predicted is not modified after the first call.
+func (j *Job) RankedByPredicted() []int {
+	if j.ranked == nil {
+		j.ranked = j.Predicted.RankedByPerformance()
+	}
+	return j.ranked
 }
 
 // Validate checks the job is simulatable on the given machine count.

@@ -30,11 +30,21 @@ type Params struct {
 	EstimateFactor float64
 }
 
-func (p *Params) setDefaults() {
-	if p.BackfillDepth <= 0 {
+// setDefaults fills zero values with their documented defaults and
+// rejects negative ones: a negative depth, bound, or factor is always a
+// caller bug (a sign slip or a bad subtraction), and silently mapping
+// it to the default would mask it.
+func (p *Params) setDefaults() error {
+	if p.BackfillDepth < 0 {
+		return fmt.Errorf("sched: negative BackfillDepth %d", p.BackfillDepth)
+	}
+	if p.BackfillDepth == 0 {
 		p.BackfillDepth = 512
 	}
-	if p.SlowdownBound <= 0 {
+	if p.SlowdownBound < 0 {
+		return fmt.Errorf("sched: negative SlowdownBound %v", p.SlowdownBound)
+	}
+	if p.SlowdownBound == 0 {
 		p.SlowdownBound = 10
 	}
 	if p.R1 == nil {
@@ -43,9 +53,13 @@ func (p *Params) setDefaults() {
 	if p.R2 == nil {
 		p.R2 = FCFS{}
 	}
-	if p.EstimateFactor <= 0 {
+	if p.EstimateFactor < 0 {
+		return fmt.Errorf("sched: negative EstimateFactor %v", p.EstimateFactor)
+	}
+	if p.EstimateFactor == 0 {
 		p.EstimateFactor = 1
 	}
+	return nil
 }
 
 // isFCFS reports whether a policy is plain arrival order, enabling the
@@ -102,7 +116,9 @@ func (h *runHeap) Pop() interface{} {
 // free-node counts during simulation and restores them before
 // returning; job Start/End/Machine fields are filled in.
 func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error) {
-	p.setDefaults()
+	if err := p.setDefaults(); err != nil {
+		return Result{}, err
+	}
 	nm := cluster.NumMachines()
 	if nm == 0 {
 		return Result{}, fmt.Errorf("sched: empty cluster")

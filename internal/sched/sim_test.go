@@ -315,6 +315,31 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestNegativeParamsRejected pins the validation contract: zero Params
+// fields mean "use the default", but a negative value is a caller bug
+// and must surface as an error from Run instead of being silently
+// mapped to the default.
+func TestNegativeParamsRejected(t *testing.T) {
+	jobs := []*Job{mkJob(0, 0, 1, 10, 20, 30)}
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"negative BackfillDepth", Params{BackfillDepth: -1}},
+		{"negative SlowdownBound", Params{SlowdownBound: -10}},
+		{"negative EstimateFactor", Params{EstimateFactor: -0.5}},
+	}
+	for _, c := range cases {
+		if _, err := Run(jobs, tinyCluster(), NewRoundRobin(), c.p); err == nil {
+			t.Errorf("%s: Run accepted %+v", c.name, c.p)
+		}
+	}
+	// Zero values still mean defaults.
+	if _, err := Run(jobs, tinyCluster(), NewRoundRobin(), Params{}); err != nil {
+		t.Errorf("zero params should default, got %v", err)
+	}
+}
+
 // Property: the simulation conserves work — every job's end-start
 // equals its runtime on its assigned machine, no job starts before
 // arrival, and capacity holds at every start event.

@@ -93,7 +93,7 @@ func (*ModelBased) Name() string { return "Model-based" }
 
 // Assign implements Strategy.
 func (*ModelBased) Assign(j *Job, _ int, c *Cluster) int {
-	ranked := j.Predicted.RankedByPerformance()
+	ranked := j.RankedByPredicted()
 	for _, mi := range ranked {
 		if !c.Machines[mi].Full(j.Nodes) {
 			return mi
