@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"crossarch/internal/apps"
@@ -27,6 +28,7 @@ import (
 	"crossarch/internal/dataset"
 	"crossarch/internal/ml"
 	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/obs"
 	"crossarch/internal/perfmodel"
 	"crossarch/internal/profiler"
 	"crossarch/internal/stats"
@@ -46,7 +48,9 @@ func main() {
 	trials := flag.Int("trials", 3, "dataset trials when training in-process")
 	profileIn := flag.String("profile", "", "load a recorded profile instead of simulating one (-app/-system/-scale ignored)")
 	profileOut := flag.String("save-profile", "", "save the simulated profile to this path (.profile.json.gz)")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
 	flag.Parse()
+	cmdSpan := obs.StartSpan("cmd.mphpc-predict")
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
@@ -106,7 +110,9 @@ func main() {
 		fmt.Printf("loaded profile %s\n", *profileIn)
 	} else {
 		var p profiler.Profiler
+		profSpan := cmdSpan.StartSpan("profile")
 		prof, err = p.Run(app, input, machine, scale, stats.NewRNG(*seed))
+		profSpan.End()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,7 +126,9 @@ func main() {
 	fmt.Printf("profiled %s %q on %s/%s: %d ranks, %.1fs, schema %s\n",
 		prof.App, prof.Input, prof.System, prof.Scale, prof.NumRanks, prof.RuntimeSec, prof.Schema.Name)
 
+	inferSpan := cmdSpan.StartSpan("predict")
 	rpvHat, err := pred.PredictProfile(prof)
+	inferSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,6 +191,13 @@ func main() {
 				fmt.Printf(" %+7.3f", c)
 			}
 			fmt.Println()
+		}
+	}
+
+	obs.Set("cmd.wall_seconds", cmdSpan.End().Seconds())
+	if *metricsOut != "" {
+		if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

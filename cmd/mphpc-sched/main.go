@@ -14,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"crossarch/internal/core"
 	"crossarch/internal/dataset"
 	"crossarch/internal/experiments"
+	"crossarch/internal/obs"
 )
 
 func main() {
@@ -34,7 +36,17 @@ func main() {
 	oracle := flag.Bool("oracle", false, "include the perfect-information oracle strategy")
 	rate := flag.Float64("rate", 0, "Poisson arrival rate in jobs/second (0 = all jobs at t=0)")
 	replicates := flag.Int("replicates", 0, "repeat across N workload seeds and report 95% CIs")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
 	flag.Parse()
+	cmdSpan := obs.StartSpan("cmd.mphpc-sched")
+	dumpMetrics := func() {
+		obs.Set("cmd.wall_seconds", cmdSpan.End().Seconds())
+		if *metricsOut != "" {
+			if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
 	cfg := experiments.Config{
 		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
@@ -74,6 +86,7 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(experiments.FormatReplicates(rows))
+		dumpMetrics()
 		return
 	}
 
@@ -101,6 +114,7 @@ func main() {
 		fmt.Printf("model-based makespan reduction vs worst strategy: %.1f%%\n",
 			100*(1-model/worst))
 	}
+	dumpMetrics()
 }
 
 // trainDefault trains the default XGBoost predictor for the run.

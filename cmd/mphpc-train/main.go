@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"crossarch/internal/core"
 	"crossarch/internal/dataframe"
 	"crossarch/internal/dataset"
 	"crossarch/internal/experiments"
+	"crossarch/internal/obs"
 )
 
 func main() {
@@ -33,7 +35,9 @@ func main() {
 	data := flag.String("data", "", "load an existing dataset CSV instead of generating")
 	selectK := flag.Int("select-k", 0, "also run Section VI-B feature selection keeping the top K features")
 	card := flag.Bool("card", false, "print a model card for the trained XGBoost predictor")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
 	flag.Parse()
+	cmdSpan := obs.StartSpan("cmd.mphpc-train")
 
 	cfg := experiments.Config{
 		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
@@ -79,6 +83,13 @@ func main() {
 			}
 			fmt.Println()
 			fmt.Print(mc.String())
+		}
+	}
+
+	obs.Set("cmd.wall_seconds", cmdSpan.End().Seconds())
+	if *metricsOut != "" {
+		if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,160 @@
+// Golden end-to-end regression fixture (ISSUE PR 2): a tiny fixed-seed
+// run of the full pipeline — dataset generation, XGBoost training,
+// held-out evaluation, and the scheduling simulation — with the key
+// outputs pinned in testdata/golden/e2e.json. Every stage is
+// deterministic for fixed seeds regardless of worker count, so any
+// drift in these numbers means a behavior change somewhere in the
+// pipeline, caught here rather than in production comparisons.
+//
+// Refresh the fixture after an intentional change with
+//
+//	go test -run TestGoldenEndToEnd -update
+package crossarch
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/obs"
+	"crossarch/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden end-to-end fixture")
+
+// goldenE2E is the pinned shape of the run. Floats are rounded to six
+// decimals before comparison so the fixture file stays readable.
+type goldenE2E struct {
+	Rows       int                `json:"rows"`
+	MAE        float64            `json:"mae"`
+	SOS        float64            `json:"sos"`
+	Makespans  map[string]float64 `json:"makespan_sec"`
+	MetricKeys []string           `json:"metric_keys"`
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// runGoldenPipeline executes the scaled-down pipeline: three apps, one
+// trial, a small boosted model, and a 400-job workload under two
+// strategies. Fixed seeds end to end.
+func runGoldenPipeline(t *testing.T) goldenE2E {
+	t.Helper()
+	obs.Reset()
+
+	ds, err := dataset.Build(dataset.Params{
+		Apps:   []*apps.App{apps.CoMD(), apps.XSBench(), apps.MiniFE()},
+		Trials: 1,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+
+	model := xgboost.New(xgboost.Params{Rounds: 40, MaxDepth: 4, LearningRate: 0.2, Seed: 5})
+	pred, ev, err := core.TrainPredictor(ds, model, 7)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	jobs, err := experiments.SampleWorkload(ds, pred, experiments.SchedConfig{
+		NumJobs: 400, WorkloadSeed: 13,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	makespans := map[string]float64{}
+	for _, strat := range []sched.Strategy{sched.NewRoundRobin(), sched.NewModelBased()} {
+		jcopy := make([]*sched.Job, len(jobs))
+		for i, j := range jobs {
+			cp := *j
+			jcopy[i] = &cp
+		}
+		res, err := sched.Run(jcopy, sched.NewCluster(arch.All()), strat, sched.Params{})
+		if err != nil {
+			t.Fatalf("sched %s: %v", strat.Name(), err)
+		}
+		makespans[res.Strategy] = round6(res.MakespanSec)
+	}
+
+	return goldenE2E{
+		Rows:       ds.NumRows(),
+		MAE:        round6(ev.MAE),
+		SOS:        round6(ev.SOS),
+		Makespans:  makespans,
+		MetricKeys: obs.TakeSnapshot().MetricKeys(),
+	}
+}
+
+func TestGoldenEndToEnd(t *testing.T) {
+	got := runGoldenPipeline(t)
+	path := filepath.Join("testdata", "golden", "e2e.json")
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden fixture (run with -update to create): %v", err)
+	}
+	var want goldenE2E
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+
+	if got.Rows != want.Rows {
+		t.Errorf("dataset rows = %d, golden %d", got.Rows, want.Rows)
+	}
+	if got.MAE != want.MAE {
+		t.Errorf("held-out MAE = %v, golden %v", got.MAE, want.MAE)
+	}
+	if got.SOS != want.SOS {
+		t.Errorf("held-out SOS = %v, golden %v", got.SOS, want.SOS)
+	}
+	for strat, wantMS := range want.Makespans {
+		if gotMS, ok := got.Makespans[strat]; !ok || gotMS != wantMS {
+			t.Errorf("makespan[%s] = %v, golden %v", strat, got.Makespans[strat], wantMS)
+		}
+	}
+
+	// The metric-key check is a superset assertion: every key the
+	// fixture pins must still be emitted (keys may grow as new
+	// instrumentation lands; dropping one is the regression).
+	have := map[string]bool{}
+	for _, k := range got.MetricKeys {
+		have[k] = true
+	}
+	var missing []string
+	for _, k := range want.MetricKeys {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("metric keys missing from snapshot: %v", missing)
+	}
+	if t.Failed() {
+		fmt.Fprintln(os.Stderr, "golden_test: intentional pipeline changes need `go test -run TestGoldenEndToEnd -update`")
+	}
+}

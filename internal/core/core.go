@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"crossarch/internal/dataframe"
 	"crossarch/internal/dataset"
@@ -17,6 +18,7 @@ import (
 	"crossarch/internal/ml/forest"
 	"crossarch/internal/ml/linear"
 	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/obs"
 	"crossarch/internal/profiler"
 	"crossarch/internal/rpv"
 	"crossarch/internal/stats"
@@ -165,11 +167,15 @@ func (p *Predictor) vectorFromFeatures(features map[string]float64) ([]float64, 
 // PredictFeatures predicts the relative performance vector from an
 // already-derived feature map (dataset.FeaturesFromProfile output).
 func (p *Predictor) PredictFeatures(features map[string]float64) (rpv.RPV, error) {
+	start := time.Now()
 	x, err := p.vectorFromFeatures(features)
 	if err != nil {
 		return nil, err
 	}
-	return rpv.RPV(p.Model.Predict(x)), nil
+	out := rpv.RPV(p.Model.Predict(x))
+	obs.Inc("core.predictions.total")
+	obs.Observe("core.prediction.seconds", time.Since(start).Seconds())
+	return out, nil
 }
 
 // PredictProfile predicts the relative performance vector for a raw

@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"crossarch/internal/apps"
 	"crossarch/internal/arch"
 	"crossarch/internal/dataframe"
 	"crossarch/internal/hatchet"
+	"crossarch/internal/obs"
 	"crossarch/internal/perfmodel"
 	"crossarch/internal/profiler"
 	"crossarch/internal/rpv"
@@ -141,6 +143,8 @@ type Dataset struct {
 // Build generates the dataset. Generation is deterministic for a given
 // Params.Seed regardless of Workers.
 func Build(p Params) (*Dataset, error) {
+	span := obs.StartSpan("dataset.build")
+	defer span.End()
 	appList := p.Apps
 	if appList == nil {
 		appList = apps.All()
@@ -183,6 +187,7 @@ func Build(p Params) (*Dataset, error) {
 	}
 
 	machines := arch.All()
+	obs.Add("dataset.combos.total", float64(len(combos)))
 	results := make([][]row, len(combos))
 	errs := make([]error, len(combos))
 	var wg sync.WaitGroup
@@ -194,7 +199,13 @@ func Build(p Params) (*Dataset, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			c := combos[ci]
+			comboStart := time.Now()
 			rows, err := buildCombo(c.app, c.input, c.scale, machines, trials, c.rng)
+			obs.Observe("dataset.combo.seconds", time.Since(comboStart).Seconds())
+			if err == nil {
+				// Every trial profiles the combo on every machine.
+				obs.Add("dataset.profiles.total", float64(trials*len(machines)))
+			}
 			results[ci], errs[ci] = rows, err
 		}(ci)
 	}
@@ -209,6 +220,9 @@ func Build(p Params) (*Dataset, error) {
 	for _, rs := range results {
 		rows = append(rows, rs...)
 	}
+	span.AddRows(len(rows))
+	obs.Add("dataset.rows.total", float64(len(rows)))
+	obs.Set("dataset.rows.last", float64(len(rows)))
 	frame := rowsToFrame(rows)
 	ds := &Dataset{Frame: frame, Norms: map[string]dataframe.Stats{}}
 	if !p.SkipNormalize {

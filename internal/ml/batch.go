@@ -3,6 +3,8 @@ package ml
 import (
 	"runtime"
 	"sync"
+
+	"crossarch/internal/obs"
 )
 
 // BatchRegressor is implemented by regressors with a vectorized
@@ -31,8 +33,12 @@ func ParallelRows(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	// Chunk occupancy is observed per block, not per row, so the
+	// instrumentation cost stays negligible next to the traversal work.
 	workers := runtime.GOMAXPROCS(0)
 	if n < 2*minChunk || workers <= 1 {
+		obs.Add("ml.parallel.chunks.total", 1)
+		obs.Observe("ml.parallel.chunk.rows", float64(n))
 		fn(0, n)
 		return
 	}
@@ -46,6 +52,8 @@ func ParallelRows(n int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
+		obs.Add("ml.parallel.chunks.total", 1)
+		obs.Observe("ml.parallel.chunk.rows", float64(hi-lo))
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()

@@ -8,6 +8,9 @@ package ml
 
 import (
 	"fmt"
+	"time"
+
+	"crossarch/internal/obs"
 )
 
 // Regressor is a multi-output regression model. X is row-major
@@ -40,16 +43,21 @@ func PredictBatch(m Regressor, X [][]float64) [][]float64 {
 	if len(X) == 0 {
 		return make([][]float64, 0)
 	}
+	start := time.Now()
+	var out [][]float64
 	if br, ok := m.(BatchRegressor); ok {
-		out := NewMatrix(len(X), len(m.Predict(X[0])))
+		out = NewMatrix(len(X), len(m.Predict(X[0])))
 		br.PredictBatch(X, out)
-		return out
+	} else {
+		out = make([][]float64, len(X))
+		for i, x := range X {
+			p := m.Predict(x)
+			out[i] = append([]float64(nil), p...)
+		}
 	}
-	out := make([][]float64, len(X))
-	for i, x := range X {
-		p := m.Predict(x)
-		out[i] = append([]float64(nil), p...)
-	}
+	obs.Add("ml.predict.rows.total", float64(len(X)))
+	obs.Set("ml.predict.batch.rows", float64(len(X)))
+	obs.Observe("ml.predict.batch.seconds", time.Since(start).Seconds())
 	return out
 }
 

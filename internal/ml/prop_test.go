@@ -1,0 +1,243 @@
+// Property-based sweep over the predict path (ISSUE PR 2): random
+// datasets drive every learner through invariants that must hold for
+// ANY input, not just the fixtures the unit tests pin down —
+//
+//   - PredictBatch is bitwise identical to row-at-a-time Predict
+//     (the vectorized FlatTree path may not change a single ULP);
+//   - exact-method trees are equivariant under feature translation
+//     (CART/Newton thresholds are midpoints of adjacent sorted values,
+//     so shifting a feature column shifts every threshold with it);
+//   - finite training data plus finite query points can never produce
+//     NaN or ±Inf predictions, even at extreme magnitudes.
+//
+// The file lives in package ml_test because it pulls in the concrete
+// learners (forest, xgboost) which themselves import ml.
+package ml_test
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/baseline"
+	"crossarch/internal/ml/forest"
+	"crossarch/internal/ml/linear"
+	"crossarch/internal/ml/tree"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/stats"
+)
+
+// propSeeds drives every property over several independent random
+// datasets; failures report the seed so a repro is one -run away.
+var propSeeds = []uint64{1, 17, 4242, 987654321}
+
+// randomDataset draws n rows of a noisy piecewise-nonlinear response so
+// the trees have real structure to find: each output mixes a linear
+// term, a threshold step, and multiplicative noise.
+func randomDataset(rng *stats.RNG, n, features, outputs int) (X, Y [][]float64) {
+	w := make([][]float64, outputs)
+	steps := make([]float64, outputs)
+	for k := range w {
+		w[k] = make([]float64, features)
+		for j := range w[k] {
+			w[k][j] = rng.Range(-2, 2)
+		}
+		steps[k] = rng.Range(-3, 3)
+	}
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.Range(-10, 10)
+		}
+		y := make([]float64, outputs)
+		for k := range y {
+			v := 0.0
+			for j := range x {
+				v += w[k][j] * x[j]
+			}
+			if x[k%features] > steps[k] {
+				v += 5
+			}
+			y[k] = v * rng.NoiseFactor(0.05)
+		}
+		X[i], Y[i] = x, y
+	}
+	return X, Y
+}
+
+// fittedLearners trains one instance of every learner family on the
+// dataset. Small budgets keep the whole sweep under a second.
+func fittedLearners(t *testing.T, X, Y [][]float64) []ml.Regressor {
+	t.Helper()
+	models := []ml.Regressor{
+		baseline.New(),
+		linear.New(1.0),
+		forest.New(forest.Params{Trees: 8, MaxDepth: 5, Seed: 7, Workers: 2}),
+		xgboost.New(xgboost.Params{Rounds: 12, MaxDepth: 3, Seed: 9}),
+		xgboost.New(xgboost.Params{
+			Rounds: 8, MaxDepth: 3, Seed: 11,
+			TreeMethod: "exact", MultiStrategy: "one_output_per_tree",
+		}),
+	}
+	for _, m := range models {
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatalf("%s: Fit: %v", m.Name(), err)
+		}
+	}
+	return models
+}
+
+// TestPropBatchEqualsRowAtATime asserts the documented contract of
+// ml.PredictBatch: the vectorized path produces bitwise-identical
+// output to calling Predict row by row, for every learner.
+func TestPropBatchEqualsRowAtATime(t *testing.T) {
+	for _, seed := range propSeeds {
+		rng := stats.NewRNG(seed)
+		X, Y := randomDataset(rng, 300, 6, 3)
+		Xq, _ := randomDataset(rng, 157, 6, 3) // odd size: exercises chunk remainders
+		for _, m := range fittedLearners(t, X, Y) {
+			batch := ml.PredictBatch(m, Xq)
+			for i, x := range Xq {
+				want := m.Predict(x)
+				for k := range want {
+					if math.Float64bits(batch[i][k]) != math.Float64bits(want[k]) {
+						t.Fatalf("seed %d %s: row %d output %d: batch %v != predict %v",
+							seed, m.Name(), i, k, batch[i][k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropTreeBatchEqualsWalk covers the raw tree layer under the
+// ensembles: a CART tree's FlatTree compilation must route every query
+// to the same leaf as the pointer-chasing walk.
+func TestPropTreeBatchEqualsWalk(t *testing.T) {
+	for _, seed := range propSeeds {
+		rng := stats.NewRNG(seed)
+		X, Y := randomDataset(rng, 250, 5, 2)
+		tr, err := tree.BuildCART(X, Y, nil, tree.CARTParams{MaxDepth: 6, MinSamplesLeaf: 2})
+		if err != nil {
+			t.Fatalf("seed %d: BuildCART: %v", seed, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: trained tree fails Validate: %v", seed, err)
+		}
+		ft := tr.Flatten()
+		Xq, _ := randomDataset(rng, 101, 5, 2)
+		out := ml.NewMatrix(len(Xq), tr.Outputs)
+		tr.PredictBatch(Xq, out)
+		for i, x := range Xq {
+			want := tr.Predict(x)
+			got := ft.Predict(x)
+			for k := range want {
+				if math.Float64bits(got[k]) != math.Float64bits(want[k]) ||
+					math.Float64bits(out[i][k]) != math.Float64bits(want[k]) {
+					t.Fatalf("seed %d row %d: flat %v batch %v != walk %v",
+						seed, i, got, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropTranslationEquivariance checks the structural property that
+// makes exact tree methods trustworthy: thresholds are midpoints of
+// adjacent sorted feature values, so translating a feature column by a
+// constant translates every threshold by the same constant and leaves
+// all routing decisions — hence all predictions — unchanged (up to
+// floating-point rounding of the shifted midpoints).
+func TestPropTranslationEquivariance(t *testing.T) {
+	const shift = 37.5
+	shiftCol := func(M [][]float64, col int) [][]float64 {
+		out := make([][]float64, len(M))
+		for i, row := range M {
+			r := append([]float64(nil), row...)
+			r[col] += shift
+			out[i] = r
+		}
+		return out
+	}
+	for _, seed := range propSeeds {
+		rng := stats.NewRNG(seed)
+		X, Y := randomDataset(rng, 200, 4, 2)
+		Xq, _ := randomDataset(rng, 80, 4, 2)
+		for col := 0; col < 2; col++ {
+			Xs, Xqs := shiftCol(X, col), shiftCol(Xq, col)
+
+			models := map[string][2]ml.Regressor{
+				"forest": {
+					forest.New(forest.Params{Trees: 6, MaxDepth: 5, MaxFeatures: 4, Seed: 3, Workers: 1}),
+					forest.New(forest.Params{Trees: 6, MaxDepth: 5, MaxFeatures: 4, Seed: 3, Workers: 1}),
+				},
+				"xgboost-exact": {
+					xgboost.New(xgboost.Params{Rounds: 10, MaxDepth: 3, Seed: 5,
+						TreeMethod: "exact", MultiStrategy: "one_output_per_tree"}),
+					xgboost.New(xgboost.Params{Rounds: 10, MaxDepth: 3, Seed: 5,
+						TreeMethod: "exact", MultiStrategy: "one_output_per_tree"}),
+				},
+			}
+			for name, pair := range models {
+				if err := pair[0].Fit(X, Y); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := pair[1].Fit(Xs, Y); err != nil {
+					t.Fatalf("%s shifted: %v", name, err)
+				}
+				for i := range Xq {
+					a := pair[0].Predict(Xq[i])
+					b := pair[1].Predict(Xqs[i])
+					for k := range a {
+						if !closeRel(a[k], b[k], 1e-9) {
+							t.Fatalf("seed %d %s col %d row %d: prediction changed under translation: %v vs %v",
+								seed, name, col, i, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropFiniteInFiniteOut trains on finite data and queries points at
+// extreme but finite magnitudes; no learner may emit NaN or ±Inf.
+func TestPropFiniteInFiniteOut(t *testing.T) {
+	extremes := []float64{0, 1e-300, -1e-300, 1, -1, 1e12, -1e12, 1e300, -1e300}
+	for _, seed := range propSeeds[:2] {
+		rng := stats.NewRNG(seed)
+		X, Y := randomDataset(rng, 200, 6, 3)
+		var Xq [][]float64
+		for i := 0; i < 120; i++ {
+			x := make([]float64, 6)
+			for j := range x {
+				x[j] = extremes[rng.Intn(len(extremes))]
+			}
+			Xq = append(Xq, x)
+		}
+		for _, m := range fittedLearners(t, X, Y) {
+			for i, row := range ml.PredictBatch(m, Xq) {
+				for k, v := range row {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("seed %d %s: non-finite prediction %v at row %d output %d (x=%v)",
+							seed, m.Name(), v, i, k, Xq[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// closeRel reports |a-b| within tol relative to max(1, |a|, |b|).
+func closeRel(a, b, tol float64) bool {
+	scale := 1.0
+	if s := math.Abs(a); s > scale {
+		scale = s
+	}
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// buildFuzzTree grows a random but structurally valid tree: the fuzzed
+// seed picks the shape, features, thresholds, and leaf values, so the
+// fuzzer explores tree space through a single uint64 while every tree
+// still passes Validate.
+func buildFuzzTree(rng *stats.RNG, features, outputs, maxDepth int) *Tree {
+	t := &Tree{Outputs: outputs}
+	var grow func(depth int) int
+	grow = func(depth int) int {
+		if depth >= maxDepth || rng.Float64() < 0.3 {
+			val := make([]float64, outputs)
+			for k := range val {
+				val[k] = rng.Range(-100, 100)
+			}
+			idx := len(t.Feature)
+			t.Feature = append(t.Feature, LeafMarker)
+			t.Threshold = append(t.Threshold, 0)
+			t.Left = append(t.Left, -1)
+			t.Right = append(t.Right, -1)
+			t.Value = append(t.Value, val)
+			t.Gain = append(t.Gain, 0)
+			t.Cover = append(t.Cover, 1)
+			return idx
+		}
+		idx := len(t.Feature)
+		t.Feature = append(t.Feature, rng.Intn(features))
+		t.Threshold = append(t.Threshold, rng.Range(-50, 50))
+		t.Left = append(t.Left, -1)
+		t.Right = append(t.Right, -1)
+		t.Value = append(t.Value, nil)
+		t.Gain = append(t.Gain, rng.Float64())
+		t.Cover = append(t.Cover, 2)
+		l := grow(depth + 1)
+		r := grow(depth + 1)
+		t.Left[idx], t.Right[idx] = l, r
+		return idx
+	}
+	grow(0)
+	return t
+}
+
+// FuzzFlatTreePredict drives random trees and arbitrary query points
+// (including NaN and ±Inf coordinates, which the fuzzer will find)
+// through both prediction layouts and demands bitwise agreement between
+// the pointer-walk Tree.Predict and the SoA FlatTree paths.
+func FuzzFlatTreePredict(f *testing.F) {
+	f.Add(uint64(1), 0.5, -1.0, 3.0, uint64(4))
+	f.Add(uint64(42), 0.0, 0.0, 0.0, uint64(1))
+	f.Add(uint64(7), math.Inf(1), math.Inf(-1), 1e308, uint64(6))
+	f.Add(uint64(99), -0.0, 1e-308, -42.5, uint64(3))
+	f.Fuzz(func(t *testing.T, seed uint64, x0, x1, x2 float64, depth uint64) {
+		rng := stats.NewRNG(seed)
+		const outputs = 2
+		tr := buildFuzzTree(rng, 3, outputs, int(depth%7))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: generated tree fails Validate: %v", seed, err)
+		}
+		ft := tr.Flatten()
+		if ft.NumNodes() != tr.NumNodes() {
+			t.Fatalf("seed %d: flatten changed node count %d -> %d", seed, tr.NumNodes(), ft.NumNodes())
+		}
+		x := []float64{x0, x1, x2}
+
+		want := tr.Predict(x)
+		got := ft.Predict(x)
+		for k := 0; k < outputs; k++ {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("seed %d x=%v: flat predict %v != walk %v", seed, x, got, want)
+			}
+		}
+
+		// Accumulate must equal out += scale*leaf elementwise.
+		out := []float64{1.5, -2.5}
+		accWant := []float64{1.5 + 0.5*want[0], -2.5 + 0.5*want[1]}
+		ft.Accumulate(x, 0.5, out)
+		for k := 0; k < outputs; k++ {
+			if math.Float64bits(out[k]) != math.Float64bits(accWant[k]) {
+				t.Fatalf("seed %d x=%v: accumulate %v != %v", seed, x, out, accWant)
+			}
+		}
+
+		// The chunked batch entry point on a 1-row batch.
+		batch := [][]float64{make([]float64, outputs)}
+		tr.PredictBatch([][]float64{x}, batch)
+		for k := 0; k < outputs; k++ {
+			if math.Float64bits(batch[0][k]) != math.Float64bits(want[k]) {
+				t.Fatalf("seed %d x=%v: batch %v != walk %v", seed, x, batch[0], want)
+			}
+		}
+	})
+}

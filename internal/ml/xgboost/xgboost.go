@@ -15,9 +15,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"crossarch/internal/ml"
 	"crossarch/internal/ml/tree"
+	"crossarch/internal/obs"
 	"crossarch/internal/stats"
 )
 
@@ -228,10 +230,13 @@ func lossOf(obj Objective, pred, y float64) float64 {
 
 // Fit trains the boosted ensemble.
 func (m *Model) Fit(X, Y [][]float64) error {
+	span := obs.StartSpan("xgboost.fit")
+	defer span.End()
 	features, outputs, err := ml.CheckFitShapes(X, Y)
 	if err != nil {
 		return err
 	}
+	span.AddRows(len(X))
 	p := m.Params
 	if err := p.setDefaults(); err != nil {
 		return err
@@ -300,7 +305,26 @@ func (m *Model) Fit(X, Y [][]float64) error {
 	bestRound := 0
 	sinceBest := 0
 
+	// endRound records the per-round observability signals: wall time,
+	// trees added, and the mean training loss at the updated margins
+	// (one O(rows x outputs) pass, small next to tree growth).
+	endRound := func(roundStart time.Time, added int) {
+		obs.Observe("xgboost.round.seconds", time.Since(roundStart).Seconds())
+		obs.Add("xgboost.trees.total", float64(added))
+		obs.Add("xgboost.rounds.total", 1)
+		loss := 0.0
+		for _, i := range trainIdx {
+			for k := 0; k < outputs; k++ {
+				loss += lossOf(p.Objective, pred[i][k], Y[i][k])
+			}
+		}
+		loss /= float64(len(trainIdx) * outputs)
+		obs.Observe("xgboost.round.train_loss", loss)
+		obs.Set("xgboost.train_loss", loss)
+	}
+
 	for round := 0; round < p.Rounds; round++ {
+		roundStart := time.Now()
 		// Row subsample for this round (without replacement, as xgboost).
 		rows := trainIdx
 		if subN < len(trainIdx) {
@@ -351,6 +375,7 @@ func (m *Model) Fit(X, Y [][]float64) error {
 				}
 			})
 			trees = append(trees, []*tree.Tree{t})
+			endRound(roundStart, 1)
 			if stop := m.earlyStopCheck(&p, pred, Y, valIdx, outputs, &bestLoss, &bestRound, &sinceBest, len(trees)); stop {
 				break
 			}
@@ -414,6 +439,7 @@ func (m *Model) Fit(X, Y [][]float64) error {
 			}
 		})
 		trees = append(trees, roundTrees)
+		endRound(roundStart, outputs)
 		if stop := m.earlyStopCheck(&p, pred, Y, valIdx, outputs, &bestLoss, &bestRound, &sinceBest, len(trees)); stop {
 			break
 		}
@@ -427,6 +453,8 @@ func (m *Model) Fit(X, Y [][]float64) error {
 	m.Features = features
 	m.Outputs = outputs
 	m.BestRound = len(trees)
+	obs.Set("xgboost.best_round", float64(m.BestRound))
+	obs.Add("xgboost.fits.total", 1)
 	m.flatMu.Lock()
 	m.flat = nil
 	m.flatMu.Unlock()
@@ -495,6 +523,7 @@ func (m *Model) earlyStopCheck(p *Params, pred, Y [][]float64, valIdx []int, out
 		}
 	}
 	loss /= float64(len(valIdx) * outputs)
+	obs.Observe("xgboost.round.val_loss", loss)
 	if loss < *bestLoss-1e-12 {
 		*bestLoss = loss
 		*bestRound = rounds

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpCLI is the -metrics exit path shared by the command-line tools:
+// it snapshots the default registry, writes the JSON document to path,
+// and prints the human-readable summary table to w (the commands pass
+// stderr, keeping stdout clean for the experiment tables).
+func DumpCLI(path string, w io.Writer) error {
+	snap := Default().Snapshot()
+	if err := snap.WriteFile(path); err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprint(w, snap.Summary())
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package obs is the pipeline's zero-dependency observability layer: a
+// process-wide metrics registry (monotonic counters, last-value gauges,
+// fixed exponential-bucket histograms) plus lightweight span-based
+// stage tracing. The hot layers of the prediction pipeline — dataset
+// generation, XGBoost training rounds, batched inference, and the
+// scheduling simulation — record into the default registry; the
+// command-line tools snapshot it on exit (the -metrics flag) as a
+// structured JSON document and a human-readable summary table.
+//
+// Everything is safe for concurrent use: counters and gauges are
+// lock-free atomics, histograms take a short mutex per observation, and
+// spans may be started, annotated, and ended from any goroutine. The
+// recording primitives are cheap enough to leave enabled
+// unconditionally (an atomic add per counter bump, one mutex'd bucket
+// increment per histogram observation at per-chunk — not per-row —
+// granularity).
+package obs
+
+// defaultRegistry is the process-wide registry the package-level
+// helpers and the instrumented pipeline layers record into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Add adds delta to the named counter in the default registry.
+func Add(name string, delta float64) { defaultRegistry.Counter(name).Add(delta) }
+
+// Inc increments the named counter in the default registry by one.
+func Inc(name string) { defaultRegistry.Counter(name).Add(1) }
+
+// Set sets the named gauge in the default registry.
+func Set(name string, v float64) { defaultRegistry.Gauge(name).Set(v) }
+
+// SetMax raises the named gauge in the default registry to v if v
+// exceeds its current value.
+func SetMax(name string, v float64) { defaultRegistry.Gauge(name).SetMax(v) }
+
+// Observe records v into the named histogram in the default registry.
+func Observe(name string, v float64) { defaultRegistry.Histogram(name).Observe(v) }
+
+// StartSpan begins a root span on the default registry.
+func StartSpan(name string) *Span { return defaultRegistry.StartSpan(name) }
+
+// TakeSnapshot captures the default registry's current state.
+func TakeSnapshot() Snapshot { return defaultRegistry.Snapshot() }
+
+// Reset clears the default registry (tests and long-lived servers that
+// want per-window snapshots).
+func Reset() { defaultRegistry.Reset() }

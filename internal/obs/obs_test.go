@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Counters only move forward; negative and NaN adds are ignored.
+	c.Add(-5)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter after invalid adds = %v, want 3", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name returned a different counter")
+	}
+}
+
+func TestGaugeSetAddMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(10)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax = %v, want 10", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid ExpBuckets did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("h", ExpBuckets(1, 2, 4)) // bounds 1 2 4 8
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.NaNs != 1 {
+		t.Fatalf("nans = %d, want 1", s.NaNs)
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1 (the 100)", s.Overflow)
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v, want 0.5/100", s.Min, s.Max)
+	}
+	if got := s.Sum; got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	// Buckets: le=1 holds {0.5, 1}, le=2 holds {1.5}, le=4 holds {3}.
+	wantBuckets := map[float64]uint64{1: 2, 2: 1, 4: 1}
+	for _, bc := range s.Buckets {
+		if wantBuckets[bc.Le] != bc.Count {
+			t.Fatalf("bucket le=%v count=%d, want %d", bc.Le, bc.Count, wantBuckets[bc.Le])
+		}
+		delete(wantBuckets, bc.Le)
+	}
+	if len(wantBuckets) != 0 {
+		t.Fatalf("missing buckets: %v", wantBuckets)
+	}
+	// Quantiles are bucket upper bounds clamped to the observed range.
+	if s.P50 != 2 {
+		t.Fatalf("p50 = %v, want 2 (3rd of 5 obs is in le=2)", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Fatalf("p99 = %v, want max 100", s.P99)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := r.Histogram("empty").snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("root")
+	child := root.StartSpan("child")
+	grand := child.StartSpan("grand")
+	grand.AddRows(7)
+	grand.End()
+	child.End()
+	sibling := root.StartSpan("sibling")
+	sibling.End()
+	root.AddRows(100)
+	root.End()
+
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d roots, want 1: %+v", len(snap.Spans), snap.Spans)
+	}
+	rootSnap := snap.Spans[0]
+	if rootSnap.Name != "root" || rootSnap.Rows != 100 {
+		t.Fatalf("root = %+v", rootSnap)
+	}
+	if len(rootSnap.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(rootSnap.Children))
+	}
+	if rootSnap.Children[0].Name != "child" || rootSnap.Children[1].Name != "sibling" {
+		t.Fatalf("children out of start order: %+v", rootSnap.Children)
+	}
+	if len(rootSnap.Children[0].Children) != 1 || rootSnap.Children[0].Children[0].Rows != 7 {
+		t.Fatalf("grandchild wrong: %+v", rootSnap.Children[0].Children)
+	}
+	// Every ended span also lands in a duration histogram.
+	for _, name := range []string{"root", "child", "grand", "sibling"} {
+		h, ok := snap.Histograms["span."+name+".seconds"]
+		if !ok || h.Count != 1 {
+			t.Fatalf("span histogram for %q missing or empty", name)
+		}
+	}
+}
+
+func TestSpanOrphanPromotedToRoot(t *testing.T) {
+	r := NewRegistry()
+	parent := r.StartSpan("parent")
+	child := parent.StartSpan("child")
+	child.End()
+	// Parent never ends: the child must still appear, as a root.
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "child" {
+		t.Fatalf("orphan child not promoted: %+v", snap.Spans)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("once")
+	sp.End()
+	sp.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("double End recorded %d spans", len(snap.Spans))
+	}
+	if h := snap.Histograms["span.once.seconds"]; h.Count != 1 {
+		t.Fatalf("double End observed %d durations", h.Count)
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.AddRows(5)
+	if sp.Rows() != 0 {
+		t.Fatal("nil span has rows")
+	}
+	if sp.End() != 0 {
+		t.Fatal("nil span End returned nonzero")
+	}
+	// A nil parent starts a root span on the default registry.
+	child := sp.StartSpan("from-nil")
+	if child == nil {
+		t.Fatal("StartSpan on nil parent returned nil")
+	}
+	child.End()
+}
+
+func TestSpanBufferCap(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxSpans+10; i++ {
+		r.StartSpan("s").End()
+	}
+	snap := r.Snapshot()
+	if snap.SpansDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", snap.SpansDropped)
+	}
+}
+
+func TestTimed(t *testing.T) {
+	r := NewRegistry()
+	ran := false
+	d := r.Timed("stage", func() { ran = true; time.Sleep(time.Millisecond) })
+	if !ran || d <= 0 {
+		t.Fatalf("Timed ran=%v d=%v", ran, d)
+	}
+	if len(r.Snapshot().Spans) != 1 {
+		t.Fatal("Timed did not record a span")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows.total").Add(42)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat").Observe(0.25)
+	sp := r.StartSpan("stage")
+	sp.AddRows(42)
+	sp.End()
+
+	snap := r.Snapshot()
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("schema version = %d", back.SchemaVersion)
+	}
+	if back.Counters["rows.total"] != 42 || back.Gauges["depth"] != 3 {
+		t.Fatalf("round trip lost metrics: %+v", back)
+	}
+	if back.Histograms["lat"].Count != 1 {
+		t.Fatalf("round trip lost histogram: %+v", back.Histograms)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Rows != 42 {
+		t.Fatalf("round trip lost spans: %+v", back.Spans)
+	}
+}
+
+func TestMetricKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Gauge("a").Set(1)
+	r.Histogram("c").Observe(1)
+	keys := r.Snapshot().MetricKeys()
+	want := []string{"counter:b", "gauge:a", "histogram:c"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs.total").Add(5)
+	r.Gauge("queue.depth").Set(2)
+	r.Histogram("wait.seconds").Observe(1.5)
+	sp := r.StartSpan("run")
+	sp.AddRows(5)
+	sp.End()
+	out := r.Snapshot().Summary()
+	for _, want := range []string{"jobs.total", "queue.depth", "wait.seconds", "run", "rows=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.StartSpan("s").End()
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("Reset left state: %+v", snap)
+	}
+}
+
+// TestConcurrentRecording exercises every primitive from many
+// goroutines at once; run under -race this is the package's
+// thread-safety proof.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("root")
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(float64(i))
+				r.Histogram("h").Observe(float64(i))
+				root.AddRows(1)
+				if i%100 == 0 {
+					sp := root.StartSpan("child")
+					sp.AddRows(1)
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	// Snapshots race with recording by design; they must be consistent,
+	// not quiescent.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	root.End()
+	snap := r.Snapshot()
+	if got := snap.Counters["c"]; got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := snap.Histograms["h"].Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := snap.Gauges["g"]; got != iters-1 {
+		t.Fatalf("gauge max = %v, want %d", got, iters-1)
+	}
+	if got := snap.Spans[len(snap.Spans)-1]; got.Rows != workers*iters {
+		t.Fatalf("root rows = %d, want %d", got.Rows, workers*iters)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	Reset()
+	defer Reset()
+	Add("pkg.counter", 2)
+	Inc("pkg.counter")
+	Set("pkg.gauge", 7)
+	SetMax("pkg.gauge", 9)
+	Observe("pkg.hist", 0.5)
+	sp := StartSpan("pkg.span")
+	sp.End()
+	snap := TakeSnapshot()
+	if snap.Counters["pkg.counter"] != 3 || snap.Gauges["pkg.gauge"] != 9 {
+		t.Fatalf("helpers lost data: %+v", snap)
+	}
+	if snap.Histograms["pkg.hist"].Count != 1 {
+		t.Fatal("Observe helper lost data")
+	}
+	if Default() == nil {
+		t.Fatal("Default returned nil")
+	}
+}

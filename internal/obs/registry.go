@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. Adds are lock-free.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Add increases the counter by delta. Negative or NaN deltas are
+// ignored: a counter only moves forward, and silently corrupting the
+// total with a NaN would poison every later read.
+func (c *Counter) Add(delta float64) {
+	if !(delta > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a last-value metric (queue depth, best round, makespan so
+// far). Sets are lock-free.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-watermark primitive (peak queue depth).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates a value distribution into fixed exponential
+// buckets. Bucket i counts observations v <= bounds[i] (and greater
+// than the previous bound); values above the last bound land in the
+// overflow bucket. The fixed layout keeps observation O(log buckets)
+// with no allocation and makes snapshots mergeable across processes.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64 // ascending upper bounds
+	counts   []uint64  // len(bounds)+1; last entry is overflow
+	count    uint64
+	sum      float64
+	min, max float64
+	nans     uint64
+}
+
+// DefaultBuckets is the registry's default histogram layout: 48
+// exponential buckets doubling from 1e-6, covering microsecond-scale
+// durations up to ~2.8e8 — wide enough for both second-denominated
+// stage timings and row counts.
+func DefaultBuckets() []float64 { return ExpBuckets(1e-6, 2, 48) }
+
+// ExpBuckets returns n ascending upper bounds starting at base and
+// multiplying by growth: base, base*growth, base*growth^2, ...
+// It panics on a non-positive base, growth <= 1, or n < 1.
+func ExpBuckets(base, growth float64, n int) []float64 {
+	if !(base > 0) || !(growth > 1) || n < 1 {
+		panic("obs: ExpBuckets requires base > 0, growth > 1, n >= 1")
+	}
+	bounds := make([]float64, n)
+	b := base
+	for i := range bounds {
+		bounds[i] = b
+		b *= growth
+	}
+	return bounds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value. NaN observations are counted separately
+// rather than being dropped silently or poisoning the sum.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if math.IsNaN(v) {
+		h.nans++
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Registry holds named metrics and the span recorder. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	created time.Time
+
+	spanMu      sync.Mutex
+	spans       []spanRecord
+	spanDropped uint64
+	nextSpanID  uint64
+}
+
+// maxSpans bounds the completed-span buffer; spans ended past the cap
+// are dropped (and counted) rather than growing memory without bound
+// in long-lived processes.
+const maxSpans = 8192
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		created:  time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The
+// same name always returns the same counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default exponential
+// buckets, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the
+// given ascending upper bounds on first use (nil means DefaultBuckets).
+// An existing histogram keeps its original layout.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultBuckets()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric and recorded span, returning the registry
+// to its initial state. Metric handles obtained before Reset keep
+// recording into the old, now-unreachable metrics.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.created = time.Now()
+	r.mu.Unlock()
+	r.spanMu.Lock()
+	r.spans = nil
+	r.spanDropped = 0
+	r.spanMu.Unlock()
+}

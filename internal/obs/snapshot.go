@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SnapshotSchemaVersion identifies the JSON layout written by
+// Snapshot; bump it on breaking changes so downstream dashboards can
+// dispatch.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON
+// serialization. All maps are plain values — mutating a snapshot never
+// touches the live registry.
+type Snapshot struct {
+	SchemaVersion int                          `json:"schema_version"`
+	TakenUnixMs   int64                        `json:"taken_unix_ms"`
+	UptimeSec     float64                      `json:"uptime_sec"`
+	Counters      map[string]float64           `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	Spans         []SpanSnapshot               `json:"spans"`
+	SpansDropped  uint64                       `json:"spans_dropped,omitempty"`
+}
+
+// HistogramSnapshot summarizes one histogram: exact count/sum/min/max
+// plus the non-empty buckets and bucket-interpolated quantiles.
+type HistogramSnapshot struct {
+	Count    uint64        `json:"count"`
+	Sum      float64       `json:"sum"`
+	Min      float64       `json:"min"`
+	Max      float64       `json:"max"`
+	Mean     float64       `json:"mean"`
+	P50      float64       `json:"p50"`
+	P95      float64       `json:"p95"`
+	P99      float64       `json:"p99"`
+	NaNs     uint64        `json:"nans,omitempty"`
+	Overflow uint64        `json:"overflow,omitempty"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket: the count of
+// observations at or below Le (and above the previous bound).
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// SpanSnapshot is one completed span with its completed children
+// nested beneath it. Start is the offset from registry creation.
+type SpanSnapshot struct {
+	Name        string         `json:"name"`
+	StartSec    float64        `json:"start_sec"`
+	DurationSec float64        `json:"duration_sec"`
+	Rows        int64          `json:"rows,omitempty"`
+	Children    []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		TakenUnixMs:   time.Now().UnixMilli(),
+		Counters:      map[string]float64{},
+		Gauges:        map[string]float64{},
+		Histograms:    map[string]HistogramSnapshot{},
+	}
+	r.mu.Lock()
+	snap.UptimeSec = time.Since(r.created).Seconds()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.snapshot()
+	}
+
+	r.spanMu.Lock()
+	records := append([]spanRecord(nil), r.spans...)
+	snap.SpansDropped = r.spanDropped
+	r.spanMu.Unlock()
+	snap.Spans = buildSpanTree(records)
+	return snap
+}
+
+// snapshot copies the histogram state under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:    h.count,
+		Sum:      h.sum,
+		NaNs:     h.nans,
+		Overflow: h.counts[len(h.counts)-1],
+	}
+	if h.count == 0 {
+		return s
+	}
+	s.Min, s.Max = h.min, h.max
+	s.Mean = h.sum / float64(h.count)
+	for i, c := range h.counts[:len(h.bounds)] {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: h.bounds[i], Count: c})
+		}
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked estimates quantile q as the upper bound of the bucket
+// containing the q-th observation, clamped to the observed min/max.
+// Callers must hold h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts[:len(h.bounds)] {
+		cum += c
+		if cum >= target {
+			est := h.bounds[i]
+			if est > h.max {
+				est = h.max
+			}
+			if est < h.min {
+				est = h.min
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// buildSpanTree nests completed spans under their completed parents.
+// A span whose parent has not ended (or was dropped) is promoted to a
+// root, so snapshots taken mid-stage still show the finished work.
+// Siblings sort by start time.
+func buildSpanTree(records []spanRecord) []SpanSnapshot {
+	if len(records) == 0 {
+		return nil
+	}
+	byID := make(map[uint64]int, len(records))
+	for i, rec := range records {
+		byID[rec.id] = i
+	}
+	nodes := make([]SpanSnapshot, len(records))
+	for i, rec := range records {
+		nodes[i] = SpanSnapshot{
+			Name:        rec.name,
+			StartSec:    rec.startSec,
+			DurationSec: rec.durSec,
+			Rows:        rec.rows,
+		}
+	}
+	children := make(map[int][]int, len(records))
+	var rootIdx []int
+	for i, rec := range records {
+		if pi, ok := byID[rec.parent]; ok && rec.parent != 0 {
+			children[pi] = append(children[pi], i)
+		} else {
+			rootIdx = append(rootIdx, i)
+		}
+	}
+	var build func(i int) SpanSnapshot
+	build = func(i int) SpanSnapshot {
+		n := nodes[i]
+		kids := children[i]
+		sort.Slice(kids, func(a, b int) bool { return nodes[kids[a]].StartSec < nodes[kids[b]].StartSec })
+		for _, k := range kids {
+			n.Children = append(n.Children, build(k))
+		}
+		return n
+	}
+	sort.Slice(rootIdx, func(a, b int) bool { return nodes[rootIdx[a]].StartSec < nodes[rootIdx[b]].StartSec })
+	out := make([]SpanSnapshot, 0, len(rootIdx))
+	for _, i := range rootIdx {
+		out = append(out, build(i))
+	}
+	return out
+}
+
+// MetricKeys returns every counter, gauge, and histogram name in the
+// snapshot, sorted, each prefixed with its kind ("counter:...") — the
+// stable identity the golden regression test pins.
+func (s Snapshot) MetricKeys() []string {
+	var keys []string
+	for k := range s.Counters {
+		keys = append(keys, "counter:"+k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, "gauge:"+k)
+	}
+	for k := range s.Histograms {
+		keys = append(keys, "histogram:"+k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteFile writes the snapshot as indented JSON to path.
+func (s Snapshot) WriteFile(path string) error {
+	data, err := s.WriteJSON()
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Summary renders the snapshot as a fixed-width table for stderr: the
+// counters and gauges sorted by name, one line per histogram with its
+// headline statistics, and the span tree indented by nesting depth.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== metrics snapshot (uptime %.2fs) ==\n", s.UptimeSec)
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %16.6g\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges:\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-36s %16.6g\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-36s n=%-8d mean=%-12.6g p50=%-12.6g p95=%-12.6g max=%-12.6g\n",
+				k, h.Count, h.Mean, h.P50, h.P95, h.Max)
+		}
+	}
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(&b, "spans:\n")
+		var walk func(sp SpanSnapshot, depth int)
+		walk = func(sp SpanSnapshot, depth int) {
+			pad := strings.Repeat("  ", depth+1)
+			line := fmt.Sprintf("%s%s", pad, sp.Name)
+			fmt.Fprintf(&b, "%-38s %12.4fs", line, sp.DurationSec)
+			if sp.Rows > 0 {
+				rate := float64(sp.Rows) / sp.DurationSec
+				if sp.DurationSec <= 0 || math.IsInf(rate, 0) {
+					fmt.Fprintf(&b, "  rows=%d", sp.Rows)
+				} else {
+					fmt.Fprintf(&b, "  rows=%d (%.0f rows/s)", sp.Rows, rate)
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+			for _, c := range sp.Children {
+				walk(c, depth+1)
+			}
+		}
+		for _, sp := range s.Spans {
+			walk(sp, 0)
+		}
+	}
+	if s.SpansDropped > 0 {
+		fmt.Fprintf(&b, "spans dropped: %d\n", s.SpansDropped)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

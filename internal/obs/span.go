@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of the pipeline. A span records wall time
+// from StartSpan to End, an optional row count (AddRows), and its
+// parent, so snapshots can render the stage tree. Spans are cheap —
+// two time.Now calls and one buffered record — and safe to start,
+// annotate, and end from any goroutine.
+type Span struct {
+	reg    *Registry
+	name   string
+	id     uint64
+	parent uint64 // 0 means root
+	start  time.Time
+	rows   atomic.Int64
+	ended  atomic.Bool
+}
+
+// spanRecord is the completed-span entry buffered in the registry.
+type spanRecord struct {
+	id, parent uint64
+	name       string
+	startSec   float64 // offset from registry creation
+	durSec     float64
+	rows       int64
+}
+
+// StartSpan begins a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	return r.newSpan(name, 0)
+}
+
+func (r *Registry) newSpan(name string, parent uint64) *Span {
+	r.spanMu.Lock()
+	r.nextSpanID++
+	id := r.nextSpanID
+	r.spanMu.Unlock()
+	return &Span{reg: r, name: name, id: id, parent: parent, start: time.Now()}
+}
+
+// StartSpan begins a child span of s. A nil receiver starts a root
+// span on the default registry, so call sites can thread an optional
+// parent without guarding.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return defaultRegistry.StartSpan(name)
+	}
+	return s.reg.newSpan(name, s.id)
+}
+
+// AddRows adds n to the span's processed-row count.
+func (s *Span) AddRows(n int) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(int64(n))
+}
+
+// Rows returns the row count recorded so far.
+func (s *Span) Rows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rows.Load()
+}
+
+// End completes the span, records it in the registry, and observes its
+// duration into the histogram "span.<name>.seconds". End is
+// idempotent: only the first call records; later calls return the
+// duration measured then-current but change nothing. It returns the
+// wall time since StartSpan. A nil span is a no-op.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if !s.ended.CompareAndSwap(false, true) {
+		return d
+	}
+	s.reg.Histogram("span." + s.name + ".seconds").Observe(d.Seconds())
+	rec := spanRecord{
+		id:       s.id,
+		parent:   s.parent,
+		name:     s.name,
+		startSec: s.start.Sub(s.reg.created).Seconds(),
+		durSec:   d.Seconds(),
+		rows:     s.rows.Load(),
+	}
+	s.reg.spanMu.Lock()
+	if len(s.reg.spans) < maxSpans {
+		s.reg.spans = append(s.reg.spans, rec)
+	} else {
+		s.reg.spanDropped++
+	}
+	s.reg.spanMu.Unlock()
+	return d
+}
+
+// Timed runs fn under a root span and returns its wall time — the
+// one-liner for instrumenting a whole stage.
+func (r *Registry) Timed(name string, fn func()) time.Duration {
+	sp := r.StartSpan(name)
+	fn()
+	return sp.End()
+}

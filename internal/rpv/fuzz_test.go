@@ -1,0 +1,56 @@
+package rpv
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSpeedup feeds arbitrary float bit patterns (the fuzzer reaches
+// NaN, ±Inf, subnormals, and negative zero) through Speedup and checks
+// its contract: NaN exactly when either entry is invalid, otherwise a
+// non-negative ratio with Speedup(i,i) == 1 and reciprocal symmetry.
+func FuzzSpeedup(f *testing.F) {
+	f.Add(1.0, 0.8, 2.1, uint64(0), uint64(1))
+	f.Add(1.0, 1.0, 1.0, uint64(2), uint64(2))
+	f.Add(math.NaN(), -1.0, 0.0, uint64(1), uint64(0))
+	f.Add(math.Inf(1), 1e-308, 1e308, uint64(0), uint64(2))
+	f.Fuzz(func(t *testing.T, a, b, c float64, i, j uint64) {
+		v := RPV{a, b, c}
+		ii, jj := int(i%3), int(j%3)
+		valid := func(x float64) bool { return x > 0 && !math.IsInf(x, 1) }
+
+		s := v.Speedup(ii, jj)
+		if !valid(v[ii]) || !valid(v[jj]) {
+			if !math.IsNaN(s) {
+				t.Fatalf("Speedup(%d,%d) of %v: invalid entry must yield NaN, got %v", ii, jj, v, s)
+			}
+			return
+		}
+		// Both entries valid: the ratio is a plain division of two
+		// positive finite numbers — never NaN or negative (it may
+		// underflow to 0 or overflow to +Inf at the extremes).
+		if math.IsNaN(s) || s < 0 {
+			t.Fatalf("Speedup(%d,%d) of %v: got %v for valid entries", ii, jj, v, s)
+		}
+		if self := v.Speedup(ii, ii); self != 1 {
+			t.Fatalf("Speedup(%d,%d) of %v: self-speedup %v != 1", ii, ii, v, self)
+		}
+		// Reciprocal symmetry away from the underflow/overflow edges.
+		inv := v.Speedup(jj, ii)
+		if s > 0 && inv > 0 && !math.IsInf(s, 1) && !math.IsInf(inv, 1) {
+			if prod := s * inv; prod > 0 && !math.IsInf(prod, 1) && math.Abs(prod-1) > 1e-9 {
+				t.Fatalf("Speedup(%d,%d)*Speedup(%d,%d) of %v = %v, want 1", ii, jj, jj, ii, v, prod)
+			}
+		}
+
+		// Out-of-range indices must panic, matching Fastest/Slowest.
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Speedup(3,0) of %v: expected out-of-range panic", v)
+				}
+			}()
+			v.Speedup(3, 0)
+		}()
+	})
+}

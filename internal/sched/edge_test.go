@@ -1,0 +1,191 @@
+// Edge-case coverage for the wait queue and scheduling policies
+// (ISSUE PR 2): degenerate inputs the mainline tests never reach —
+// empty queues, a one-node cluster, workloads whose RPVs are all
+// identical, and configurations where the EASY backfill window is
+// exactly zero.
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/rpv"
+)
+
+// TestEmptyQueueOps exercises every jobQueue operation on the zero
+// value and on a drained queue: all must be safe no-ops.
+func TestEmptyQueueOps(t *testing.T) {
+	var q jobQueue
+	if q.size() != 0 {
+		t.Fatalf("zero queue size = %d", q.size())
+	}
+	if q.peek() != nil || q.pop() != nil {
+		t.Fatal("peek/pop on empty queue must return nil")
+	}
+	if s := q.liveSlice(0); len(s) != 0 {
+		t.Fatalf("liveSlice on empty queue = %v", s)
+	}
+	q.forEachBehindHead(func(*Job, int) bool {
+		t.Fatal("forEachBehindHead visited a job in an empty queue")
+		return false
+	})
+
+	// Drain a one-element queue and repeat: the emptied state must
+	// behave exactly like the zero value.
+	j := mkJob(1, 0, 1, 10, 10, 10)
+	q.push(j)
+	if q.pop() != j {
+		t.Fatal("pop did not return the pushed job")
+	}
+	if q.size() != 0 || q.peek() != nil || q.pop() != nil {
+		t.Fatal("drained queue must be empty again")
+	}
+
+	// Removing the only element leaves an empty queue too.
+	q.push(j)
+	q.remove(j)
+	if q.size() != 0 || q.peek() != nil {
+		t.Fatalf("remove of sole element: size=%d peek=%v", q.size(), q.peek())
+	}
+}
+
+// singleNodeCluster is the smallest possible pool: one machine with a
+// single node.
+func singleNodeCluster() *Cluster {
+	q := arch.Quartz()
+	q.Nodes = 1
+	return NewCluster([]*arch.Machine{q})
+}
+
+// TestSingleNodeClusterSerializes checks that on a one-node cluster
+// every job runs back to back: no overlap, no backfill opportunity,
+// makespan equal to the summed runtimes.
+func TestSingleNodeClusterSerializes(t *testing.T) {
+	runtimes := []float64{30, 5, 20, 10}
+	var jobs []*Job
+	total := 0.0
+	for i, r := range runtimes {
+		jobs = append(jobs, mkJob(i, 0, 1, r))
+		total += r
+	}
+	res, err := Run(jobs, singleNodeCluster(), NewRoundRobin(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MakespanSec-total) > 1e-9 {
+		t.Fatalf("makespan = %v, want serialized total %v", res.MakespanSec, total)
+	}
+	for a := 0; a < len(jobs); a++ {
+		for b := a + 1; b < len(jobs); b++ {
+			ja, jb := jobs[a], jobs[b]
+			if ja.Start < jb.End && jb.Start < ja.End {
+				t.Fatalf("jobs %d and %d overlap on a single node: [%v,%v) vs [%v,%v)",
+					ja.ID, jb.ID, ja.Start, ja.End, jb.Start, jb.End)
+			}
+		}
+	}
+	// FCFS with equal arrivals: submission order is start order.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Start < jobs[i-1].Start {
+			t.Fatalf("job %d started before job %d on a serial machine", jobs[i].ID, jobs[i-1].ID)
+		}
+	}
+}
+
+// TestAllJobsIdenticalRPVs drives Model-based assignment with every
+// job predicting the same ranking: all jobs prefer the same machine,
+// so the strategy's overflow path (Algorithm 2's "m is full" branch)
+// must spread the load instead of wedging the queue, and the result
+// must stay deterministic.
+func TestAllJobsIdenticalRPVs(t *testing.T) {
+	pred := rpv.RPV{1.0, 0.5, 2.0} // machine 1 fastest for everyone
+	mk := func() []*Job {
+		var jobs []*Job
+		for i := 0; i < 24; i++ {
+			j := mkJob(i, 0, 2, 40, 20, 80)
+			j.Predicted = pred.Clone()
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	run := func() Result {
+		res, err := Run(mk(), tinyCluster(), NewModelBased(), Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.JobsPerMachine[1] == 0 {
+		t.Fatal("no job landed on the unanimously predicted fastest machine")
+	}
+	spread := 0
+	for _, n := range res.JobsPerMachine {
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("identical RPVs wedged all %d jobs onto one machine: %v", 24, res.JobsPerMachine)
+	}
+	if again := run(); again.MakespanSec != res.MakespanSec {
+		t.Fatalf("identical-RPV run not deterministic: %v vs %v", res.MakespanSec, again.MakespanSec)
+	}
+}
+
+// TestZeroBackfillWindow pins the EASY boundary case: when the blocked
+// head job's reservation leaves a zero-width window (every job needs
+// the whole machine), nothing may jump the queue — starts follow
+// strict arrival order even though shorter jobs wait behind longer
+// ones.
+func TestZeroBackfillWindow(t *testing.T) {
+	c := singleNodeCluster()
+	jobs := []*Job{
+		mkJob(0, 0, 1, 100),
+		mkJob(1, 1, 1, 1), // short, tempting backfill candidate
+		mkJob(2, 2, 1, 50),
+		mkJob(3, 3, 1, 1),
+	}
+	if _, err := Run(jobs, c, NewRoundRobin(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Start < jobs[i-1].End {
+			t.Fatalf("job %d backfilled through a zero-width window: start %v before job %d ended at %v",
+				jobs[i].ID, jobs[i].Start, jobs[i-1].ID, jobs[i-1].End)
+		}
+	}
+}
+
+// TestSortQueueTiesKeepSubmissionOrder checks the documented stability
+// of sortQueue: jobs the policy considers equal keep FIFO order, for
+// every built-in policy.
+func TestSortQueueTiesKeepSubmissionOrder(t *testing.T) {
+	for _, name := range []string{"FCFS", "SJF", "LargestFirst"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same arrival, same min runtime, same node count: every
+		// policy sees all-equal keys.
+		var jobs []*Job
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, mkJob(i, 0, 2, 10, 10, 10))
+		}
+		sortQueue(jobs, p)
+		for i, j := range jobs {
+			if j.ID != i {
+				t.Fatalf("%s: tie broke submission order: %v", name, ids(jobs))
+			}
+		}
+	}
+}
+
+func ids(jobs []*Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}

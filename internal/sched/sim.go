@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"crossarch/internal/obs"
 )
 
 // Params configures a simulation run.
@@ -141,6 +143,21 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		return Result{Strategy: strat.Name()}, nil
 	}
 
+	// Observability: one span per simulation plus hoisted metric
+	// handles, so the hot event loop pays one atomic op per signal
+	// instead of a registry lookup.
+	span := obs.StartSpan("sched.run")
+	span.AddRows(len(jobs))
+	defer span.End()
+	obs.Add("sched.jobs.total", float64(len(jobs)))
+	reg := obs.Default()
+	startedJobs := reg.Counter("sched.jobs.started.total")
+	backfillHits := reg.Counter("sched.backfill.hits")
+	passes := reg.Counter("sched.passes.total")
+	queueDepth := reg.Histogram("sched.queue.depth")
+	queueDepthMax := reg.Gauge("sched.queue.depth.max")
+	clockGauge := reg.Gauge("sched.clock.seconds")
+
 	// R1 = FCFS: order by arrival (stable on submission index).
 	order := make([]*Job, len(jobs))
 	copy(order, jobs)
@@ -161,6 +178,7 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	lastEnd := clock
 
 	start := func(j *Job, mi int, now float64) {
+		startedJobs.Inc()
 		cluster.Machines[mi].FreeNodes -= j.Nodes
 		end := now + j.Runtimes[mi]
 		j.Machine = mi
@@ -252,6 +270,7 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 				}
 				queue.remove(j)
 				start(j, mj, now)
+				backfillHits.Inc()
 			}
 			return
 		}
@@ -281,10 +300,17 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 			queue.push(order[nextArrival])
 			nextArrival++
 		}
+		depth := float64(queue.size())
+		queueDepth.Observe(depth)
+		queueDepthMax.SetMax(depth)
+		clockGauge.Set(clock - firstArrival)
+		passes.Inc()
 		schedulePass(clock)
 	}
 
-	return summarize(jobs, cluster, strat, p, firstArrival, lastEnd), nil
+	res := summarize(jobs, cluster, strat, p, firstArrival, lastEnd)
+	obs.Set("sched.makespan.seconds", res.MakespanSec)
+	return res, nil
 }
 
 // shadowTime computes when `nodes` will be free on machine mi given
