@@ -4,9 +4,10 @@
 #	make check
 #
 # Individual targets mirror ROADMAP.md's tier-1 line (build + test),
-# plus vet, the race-enabled suite, the coverage floor, the native fuzz
-# targets, and the inference-throughput benchmark pair tracked by the
-# perf trajectory (DESIGN.md §6).
+# plus vet, the custom static-analysis suite (DESIGN.md §8), the
+# race-enabled suite, the coverage floor, the native fuzz targets, and
+# the inference-throughput benchmark pair tracked by the perf
+# trajectory (DESIGN.md §6).
 
 GO ?= go
 
@@ -19,9 +20,15 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check vet build test race cover fuzz bench-predict bench
+.PHONY: check lint vet build test race cover fuzz bench-predict bench
 
-check: vet build race cover bench-predict
+check: lint build race cover bench-predict
+
+# Static analysis: go vet, then the repository's own analyzer suite
+# (cmd/mphpc-lint; see DESIGN.md §8). `go run ./cmd/mphpc-lint -json
+# ./...` emits the machine-readable report instead of the table.
+lint: vet
+	$(GO) run ./cmd/mphpc-lint ./...
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +46,13 @@ race:
 	$(GO) test -race -timeout 120m ./...
 
 # Coverage floor: fails when total statement coverage drops below
-# COVER_MIN percent.
+# COVER_MIN percent. The profile is written to a temp file so no
+# cover.out ever lands in the working tree.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./...
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	@profile=$$(mktemp -t cover.XXXXXX.out); \
+	trap 'rm -f "$$profile"' EXIT; \
+	$(GO) test -count=1 -coverprofile="$$profile" ./... || exit 1; \
+	total=$$($(GO) tool cover -func="$$profile" | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 	{ echo "FAIL: coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }

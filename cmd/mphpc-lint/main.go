@@ -1,0 +1,68 @@
+// Command mphpc-lint runs the repository's custom static-analysis
+// suite (internal/lint) over the given package patterns and reports
+// violations of the determinism, float-safety, and observability
+// invariants the prediction pipeline depends on.
+//
+// Usage:
+//
+//	mphpc-lint [-json] [-list] [patterns ...]
+//
+// Patterns default to ./... resolved from the current directory. Exit
+// status is 0 when clean, 1 when findings are reported, 2 on driver
+// errors. Suppress a justified finding with a directive on the same
+// line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"crossarch/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the schema-versioned JSON report instead of the table")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
+		os.Exit(2)
+	}
+	res := lint.Run(pkgs, lint.All())
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		root = ""
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, root, res); err != nil {
+			fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
+			os.Exit(2)
+		}
+	} else if err := lint.WriteTable(os.Stdout, root, res); err != nil {
+		fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
+		os.Exit(2)
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

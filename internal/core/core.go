@@ -9,7 +9,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"crossarch/internal/dataframe"
 	"crossarch/internal/dataset"
@@ -167,14 +166,14 @@ func (p *Predictor) vectorFromFeatures(features map[string]float64) ([]float64, 
 // PredictFeatures predicts the relative performance vector from an
 // already-derived feature map (dataset.FeaturesFromProfile output).
 func (p *Predictor) PredictFeatures(features map[string]float64) (rpv.RPV, error) {
-	start := time.Now()
+	start := obs.Now()
 	x, err := p.vectorFromFeatures(features)
 	if err != nil {
 		return nil, err
 	}
 	out := rpv.RPV(p.Model.Predict(x))
 	obs.Inc("core.predictions.total")
-	obs.Observe("core.prediction.seconds", time.Since(start).Seconds())
+	obs.Observe("core.prediction.seconds", obs.SinceSeconds(start))
 	return out, nil
 }
 

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"crossarch/internal/apps"
 	"crossarch/internal/arch"
@@ -199,9 +198,9 @@ func Build(p Params) (*Dataset, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			c := combos[ci]
-			comboStart := time.Now()
+			comboStart := obs.Now()
 			rows, err := buildCombo(c.app, c.input, c.scale, machines, trials, c.rng)
-			obs.Observe("dataset.combo.seconds", time.Since(comboStart).Seconds())
+			obs.Observe("dataset.combo.seconds", obs.SinceSeconds(comboStart))
 			if err == nil {
 				// Every trial profiles the combo on every machine.
 				obs.Add("dataset.profiles.total", float64(trials*len(machines)))

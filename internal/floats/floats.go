@@ -1,0 +1,44 @@
+// Package floats centralizes the repository's float-comparison
+// semantics. The floateq analyzer (internal/lint) forbids raw == / !=
+// between computed float operands everywhere outside tests, because a
+// bitwise comparison is almost never the intended predicate in
+// modelling code; the intentional exact comparisons that remain —
+// deduplicating adjacent sorted feature values in split finding, exact
+// cache-key matching — route through this package, where the IEEE-754
+// semantics are documented once and audited once.
+package floats
+
+import "math"
+
+// Eq reports whether a and b are equal under IEEE-754 == semantics:
+// NaN equals nothing (including itself) and +0 equals -0. This is the
+// predicate split finding wants when deduplicating adjacent sorted
+// values: two runs that sorted identical inputs see identical
+// adjacency, so the comparison is exact by construction, and the
+// -0/+0 identification keeps thresholds stable for signed zeros.
+//
+//lint:ignore floateq the repository's single audited exact float comparison
+func Eq(a, b float64) bool { return a == b }
+
+// BitEqual reports whether a and b have identical bit patterns: NaN
+// equals NaN (payload-sensitive) and +0 differs from -0. This is the
+// predicate golden tests and persistence round-trips want.
+func BitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// EqualWithin reports whether a and b differ by at most tol, treating
+// two NaNs as equal and requiring equal signs on infinities. A
+// negative tol panics; tol zero degenerates to Eq plus the NaN rule.
+func EqualWithin(a, b, tol float64) bool {
+	if tol < 0 {
+		panic("floats: negative tolerance")
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //lint:ignore floateq infinities compare exactly by definition
+	}
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,73 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{1.5, 1.5000001, false},
+		{0.0, math.Copysign(0, -1), true}, // +0 == -0 under IEEE ==
+		{nan, nan, false},                 // NaN equals nothing
+		{nan, 1.0, false},
+	} {
+		if got := Eq(tc.a, tc.b); got != tc.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBitEqual(t *testing.T) {
+	nan := math.NaN()
+	negZero := math.Copysign(0, -1)
+	for _, tc := range []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{nan, nan, true},      // same payload
+		{0.0, negZero, false}, // distinct bit patterns
+		{negZero, negZero, true},
+	} {
+		if got := BitEqual(tc.a, tc.b); got != tc.want {
+			t.Errorf("BitEqual(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0 + 1e-10, 1e-9, true},
+		{1.0, 1.1, 1e-9, false},
+		{nan, nan, 1.0, true}, // two NaNs are equal under tolerance
+		{nan, 1.0, 1.0, false},
+		{inf, inf, 0, true},     // same-signed infinities
+		{inf, -inf, inf, false}, // opposite signs never within tol
+		{inf, 1.0, inf, false},  // finite vs infinite
+		{2.0, 2.0, 0, true},     // tol zero degenerates to Eq
+	} {
+		if got := EqualWithin(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestEqualWithinNegativeTolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EqualWithin with negative tol did not panic")
+		}
+	}()
+	EqualWithin(1, 1, -1)
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags calls whose error result is silently dropped: a call
+// used as a bare statement (or behind defer/go) when the callee
+// returns an error. An explicit `_ =` assignment is allowed — it is
+// visible in review and greppable — as are the stdlib printers whose
+// error returns are conventionally ignored (fmt.Print*/Fprint* and the
+// never-failing strings.Builder / bytes.Buffer writers), and
+// `defer x.Close()`, the cleanup idiom: write paths in this repository
+// pair it with an explicit error-returning Close on the success path,
+// so the deferred one only fires on error paths where the Close error
+// is moot. A deferred Flush or other error-returning call is still
+// flagged — deferring it is exactly how a short write gets lost.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flags dropped error returns from bare call, defer, and go statements",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				if fn := funcObject(pass.Info, s.Call); fn != nil && fn.Name() == "Close" {
+					return true
+				}
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || errcheckExempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign to _ explicitly", calleeName(pass, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := typeOf(pass, call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errcheckExempt lists callees whose error return is conventionally
+// meaningless.
+func errcheckExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := funcObject(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.Contains(fn.Name(), "rint") {
+		return true // Print, Printf, Println, Fprint*, Sprint* variants
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				if full == "strings.Builder" || full == "bytes.Buffer" {
+					return true // documented never to return an error
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := funcObject(pass.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between two *computed* float operands.
+// Bitwise equality on floats is almost never the intended predicate in
+// modelling code — two mathematically equal reductions differ in their
+// last ulp — and the repository's convention is to route intentional
+// exact comparisons through internal/floats (Eq, BitEqual,
+// EqualWithin) where the IEEE semantics are documented and audited.
+//
+// Deliberately allowed:
+//   - comparisons where either operand is a compile-time constant
+//     (sentinel guards such as `sigma == 0`, `r == 1`, which rely on
+//     exact propagation of an assigned constant);
+//   - the `x != x` NaN idiom (same identifier on both sides);
+//   - _test.go files, whose golden assertions *depend* on bitwise
+//     float equality.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between computed float operands outside tests; use internal/floats or an explicit tolerance",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(typeOf(pass, bin.X)) && !isFloat(typeOf(pass, bin.Y)) {
+				return true
+			}
+			if pass.InTestFile(bin.Pos()) {
+				return true
+			}
+			if isConstExpr(pass, bin.X) || isConstExpr(pass, bin.Y) {
+				return true
+			}
+			if sameIdentObj(pass, bin.X, bin.Y) {
+				return true // x != x NaN idiom
+			}
+			pass.Reportf(bin.Pos(), "%s on computed float operands; use floats.Eq/BitEqual/EqualWithin", bin.Op)
+			return true
+		})
+	}
+}
+
+// isConstExpr reports whether the type checker evaluated e to a
+// compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+)
+
+// ReportSchemaVersion identifies the -json layout, mirroring the obs
+// snapshot convention (DESIGN.md §7): bump on breaking changes.
+const ReportSchemaVersion = 1
+
+// jsonDiagnostic is one finding in the -json report. Paths are
+// relativized to the module root so reports are machine-diffable
+// across checkouts.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Packages      int              `json:"packages"`
+	Analyzers     []string         `json:"analyzers"`
+	Findings      int              `json:"findings"`
+	Suppressed    int              `json:"suppressed"`
+	Diagnostics   []jsonDiagnostic `json:"diagnostics"`
+}
+
+// relPath makes file relative to root when possible.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// WriteJSON renders the result as the schema-versioned JSON report,
+// with diagnostics sorted and file paths relative to root.
+func WriteJSON(w io.Writer, root string, res Result) error {
+	rep := jsonReport{
+		SchemaVersion: ReportSchemaVersion,
+		Packages:      res.Packages,
+		Analyzers:     res.Analyzers,
+		Findings:      len(res.Diagnostics),
+		Suppressed:    res.Suppressed,
+		Diagnostics:   []jsonDiagnostic{},
+	}
+	for _, d := range res.Diagnostics {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Position.Filename),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteTable renders the human-readable report: one aligned row per
+// finding plus a summary line.
+func WriteTable(w io.Writer, root string, res Result) error {
+	if len(res.Diagnostics) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(tw, "%s:%d:%d\t%s\t%s\n",
+				relPath(root, d.Position.Filename), d.Position.Line, d.Position.Column,
+				d.Analyzer, d.Message)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "mphpc-lint: %d finding(s), %d suppressed, %d package(s), %d analyzer(s)\n",
+		len(res.Diagnostics), res.Suppressed, res.Packages, len(res.Analyzers))
+	return nil
+}

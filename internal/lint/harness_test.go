@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-diagnostic harness: fixture packages under testdata/src
+// carry `// want "regexp"` comments; running an analyzer over the
+// fixture must produce exactly one diagnostic on each want-line whose
+// message matches the regexp, and no diagnostics anywhere else.
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// wantExpectation is one // want comment in a fixture.
+type wantExpectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the fixture package's comments for expectations.
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("%s: malformed want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture loads testdata/src/<path> through the GOPATH-style
+// fixture loader.
+func loadFixture(t *testing.T, path string) *Package {
+	t.Helper()
+	pkg, err := loadFixtureTree("testdata/src", path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	return pkg
+}
+
+// runFixture runs one analyzer over one fixture package (through the
+// full driver, so scoping and suppressions apply) and checks the
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, path string) Result {
+	t.Helper()
+	pkg := loadFixture(t, path)
+	res := Run([]*Package{pkg}, []*Analyzer{a})
+	checkWants(t, pkg, res.Diagnostics)
+	return res
+}
+
+// checkWants verifies the 1:1 correspondence between diagnostics and
+// want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package lint is the repository's self-contained static-analysis
+// framework: a go/parser + go/types analyzer driver (stdlib only — no
+// golang.org/x/tools) plus the registry of analyzers that machine-check
+// the invariants the prediction pipeline's reproducibility rests on.
+//
+// The paper's results are only reproducible because every path from
+// counters through XGBoost to RPVs to the scheduler is bitwise
+// deterministic. The golden e2e fixture and the property tests pin that
+// property at runtime; this package pins it at review time: one
+// time.Now in a hot path, one range over a map feeding a float
+// accumulator, or one == on computed float64s silently breaks the
+// fixture, and each of those now fails `make lint` with a position and
+// a message instead.
+//
+// A diagnostic can be suppressed at a justified site with a directive
+// comment on the same line or the line immediately above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory, `all` matches every analyzer, and directives
+// that suppress nothing are themselves reported, so the suppression
+// inventory cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package through the Pass and reports findings via
+// Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by -list and
+	// quoted in DESIGN.md §8.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// import path matches. A nil Scope means every package.
+	Scope *regexp.Regexp
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	return a.Scope == nil || a.Scope.MatchString(pkgPath)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. The module
+// driver only loads non-test sources, but fixture packages loaded by
+// the test harness may include them, and some analyzers relax their
+// rule inside tests (floateq allows bitwise golden comparisons,
+// seeddiscipline allows literal seeds).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// sortDiagnostics orders by file, line, column, then analyzer, so
+// output and JSON snapshots are deterministic.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	// Diagnostics are the surviving (unsuppressed) findings, sorted.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by lint:ignore directives.
+	Suppressed int
+	// Packages is the number of packages analyzed.
+	Packages int
+	// Analyzers are the names of the analyzers that ran, sorted.
+	Analyzers []string
+}
+
+// Run applies every analyzer to every package it is scoped to, applies
+// lint:ignore suppressions, and reports directive hygiene problems
+// (missing reason, suppressing nothing) under the reserved analyzer
+// name "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	res := Result{Packages: len(pkgs)}
+	for _, a := range analyzers {
+		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	sort.Strings(res.Analyzers)
+
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		kept, suppressed, hygiene := applySuppressions(pkg, raw)
+		res.Diagnostics = append(res.Diagnostics, kept...)
+		res.Diagnostics = append(res.Diagnostics, hygiene...)
+		res.Suppressed += suppressed
+	}
+	sortDiagnostics(res.Diagnostics)
+	return res
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string // analyzer name or "all"
+	reason   string
+	used     bool
+	bad      bool // malformed (missing analyzer or reason)
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(.*\S))?\s*$`)
+
+// collectDirectives parses every lint:ignore comment in the package,
+// keyed by file name then line number.
+func collectDirectives(pkg *Package) map[string]map[int]*ignoreDirective {
+	out := map[string]map[int]*ignoreDirective{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:ignore") {
+					continue
+				}
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				pos := pkg.Fset.Position(c.Pos())
+				d := &ignoreDirective{pos: pos}
+				if m == nil || m[1] == "" || m[2] == "" {
+					d.bad = true
+				} else {
+					d.analyzer, d.reason = m[1], m[2]
+				}
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]*ignoreDirective{}
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions partitions raw findings into kept and suppressed
+// using the package's lint:ignore directives, and emits framework
+// hygiene diagnostics for malformed or unused directives.
+func applySuppressions(pkg *Package, raw []Diagnostic) (kept []Diagnostic, suppressed int, hygiene []Diagnostic) {
+	dirs := collectDirectives(pkg)
+	match := func(d Diagnostic) *ignoreDirective {
+		byLine := dirs[d.Position.Filename]
+		if byLine == nil {
+			return nil
+		}
+		for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+			if dir := byLine[line]; dir != nil && !dir.bad &&
+				(dir.analyzer == "all" || dir.analyzer == d.Analyzer) {
+				return dir
+			}
+		}
+		return nil
+	}
+	for _, d := range raw {
+		if dir := match(d); dir != nil {
+			dir.used = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, byLine := range dirs {
+		for _, dir := range byLine {
+			switch {
+			case dir.bad:
+				hygiene = append(hygiene, Diagnostic{
+					Analyzer: "lint",
+					Position: dir.pos,
+					Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+				})
+			case !dir.used:
+				hygiene = append(hygiene, Diagnostic{
+					Analyzer: "lint",
+					Position: dir.pos,
+					Message:  fmt.Sprintf("lint:ignore %s suppresses nothing; delete it", dir.analyzer),
+				})
+			}
+		}
+	}
+	return kept, suppressed, hygiene
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcObject resolves the called function of a call expression, seeing
+// through parentheses. Returns nil for calls of function-typed values,
+// conversions, and builtins.
+func funcObject(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcIn reports whether fn is the named package-level function (or
+// method) of a package with the given *name* — the last element of the
+// import path is deliberately not used, so that fixture stubs under
+// testdata/src (package obs, package stats) match the real
+// crossarch/internal/* packages.
+func funcIn(fn *types.Func, pkgName, funcName string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == pkgName && fn.Name() == funcName
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// --- Per-analyzer golden-diagnostic fixtures -------------------------
+
+func TestNondeterminismFixture(t *testing.T) {
+	// The fixture lives at internal/ml/nondetfix so the analyzer's
+	// package Scope matches it the same way it matches the real tree.
+	runFixture(t, Nondeterminism, "internal/ml/nondetfix")
+}
+
+func TestNondeterminismScope(t *testing.T) {
+	// The same hazards outside internal/{ml,rpv,dataset,sched,perfmodel}
+	// must produce nothing: the determinism contract is scoped.
+	pkg := loadFixture(t, "nondetscope")
+	res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("nondeterminism fired outside its scope: %+v", res.Diagnostics)
+	}
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	runFixture(t, FloatEq, "floateqfix")
+}
+
+func TestErrCheckFixture(t *testing.T) {
+	runFixture(t, ErrCheck, "errcheckfix")
+}
+
+func TestMutexCopyFixture(t *testing.T) {
+	runFixture(t, MutexCopy, "mutexcopyfix")
+}
+
+func TestObsNamesFixture(t *testing.T) {
+	runFixture(t, ObsNames, "obsnamesfix")
+}
+
+func TestSeedDisciplineFixture(t *testing.T) {
+	runFixture(t, SeedDiscipline, "seeddisciplinefix")
+}
+
+// --- Suppression directives ------------------------------------------
+
+// TestSuppression pins the //lint:ignore contract on the suppressfix
+// fixture: two directives silence real findings, an unsuppressed
+// violation and one behind a malformed directive survive, and the
+// unused and malformed directives are themselves reported under the
+// reserved "lint" analyzer.
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "suppressfix")
+	res := Run([]*Package{pkg}, []*Analyzer{FloatEq})
+
+	if res.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2", res.Suppressed)
+	}
+	counts := map[string]int{}
+	for _, d := range res.Diagnostics {
+		counts[d.Analyzer]++
+	}
+	if counts["floateq"] != 2 {
+		t.Errorf("surviving floateq findings = %d, want 2 (one unsuppressed, one behind a malformed directive): %+v", counts["floateq"], res.Diagnostics)
+	}
+	if counts["lint"] != 2 {
+		t.Errorf("directive hygiene findings = %d, want 2 (one unused, one malformed): %+v", counts["lint"], res.Diagnostics)
+	}
+	var sawUnused, sawMalformed bool
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != "lint" {
+			continue
+		}
+		if strings.Contains(d.Message, "suppresses nothing") {
+			sawUnused = true
+		}
+		if strings.Contains(d.Message, "malformed directive") {
+			sawMalformed = true
+		}
+	}
+	if !sawUnused || !sawMalformed {
+		t.Errorf("missing hygiene diagnostics (unused=%v malformed=%v): %+v", sawUnused, sawMalformed, res.Diagnostics)
+	}
+}
+
+// --- JSON report snapshot --------------------------------------------
+
+// TestJSONGolden snapshots the -json report for the suppressfix
+// fixture. Regenerate with `go test ./internal/lint -run JSONGolden -update`.
+func TestJSONGolden(t *testing.T) {
+	pkg := loadFixture(t, "suppressfix")
+	res := Run([]*Package{pkg}, []*Analyzer{FloatEq})
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "testdata/src", res); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden", "lint_report.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report drifted from golden.\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The report must round-trip and carry the schema version.
+	var rep struct {
+		SchemaVersion int `json:"schema_version"`
+		Findings      int `json:"findings"`
+		Suppressed    int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.Findings != len(res.Diagnostics) || rep.Suppressed != res.Suppressed {
+		t.Errorf("report counts (%d findings, %d suppressed) disagree with result (%d, %d)",
+			rep.Findings, rep.Suppressed, len(res.Diagnostics), res.Suppressed)
+	}
+}
+
+// --- Mutation property test ------------------------------------------
+
+const hazardSum = `package mutant
+
+// Sum accumulates floats in map iteration order: nondeterministic.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+
+const cleanSum = `package mutant
+
+import "sort"
+
+// Sum iterates sorted keys: deterministic.
+func Sum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+`
+
+// TestMutationProperty is the deliberate-violation property test: a
+// mutated fixture whose map-range loop accumulates a float sum is
+// flagged by nondeterminism, and the sorted-keys rewrite of the same
+// function — including its collect-then-sort key loop — passes clean.
+func TestMutationProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		src      string
+		findings int
+	}{
+		{"hazard", hazardSum, 1},
+		{"clean", cleanSum, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			// A go.mod makes the lazy std-export lookups (for "sort")
+			// unambiguous regardless of where the temp dir lands.
+			if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(root, "internal", "ml", "mutant")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "mutant.go"), []byte(tc.src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loadFixtureTree(root, "internal/ml/mutant")
+			if err != nil {
+				t.Fatalf("loading mutant fixture: %v", err)
+			}
+			res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism})
+			if len(res.Diagnostics) != tc.findings {
+				t.Errorf("%s variant: %d finding(s), want %d: %+v", tc.name, len(res.Diagnostics), tc.findings, res.Diagnostics)
+			}
+			if tc.findings > 0 && !strings.Contains(res.Diagnostics[0].Message, "float accumulation over map iteration order") {
+				t.Errorf("unexpected message: %s", res.Diagnostics[0].Message)
+			}
+		})
+	}
+}
+
+// --- The gate: the built binary catches a deliberate violation --------
+
+// TestDeliberateViolationGate builds cmd/mphpc-lint and points it at a
+// throwaway module containing one floateq violation: the binary must
+// exit 1 and name the finding in its JSON report. This is the proof
+// that `make lint` actually gates — a lint pass that cannot fail is
+// decoration.
+func TestDeliberateViolationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the lint binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mphpc-lint")
+	build := exec.Command("go", "build", "-o", bin, "crossarch/cmd/mphpc-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mphpc-lint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module gatecheck\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := `package gatecheck
+
+// Converged compares computed floats bitwise: the gate must catch it.
+func Converged(prev, next float64) bool {
+	return prev == next
+}
+`
+	if err := os.WriteFile(filepath.Join(mod, "gatecheck.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-json", "-C", mod, "./...")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1 on a violating module, got err=%v\nstdout:\n%s", err, out)
+	}
+	var rep struct {
+		Findings    int `json:"findings"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("gate output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Findings != 1 || len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Analyzer != "floateq" {
+		t.Fatalf("want exactly one floateq finding, got:\n%s", out)
+	}
+	if rep.Diagnostics[0].File != "gatecheck.go" {
+		t.Errorf("finding path %q not relativized to the -C root", rep.Diagnostics[0].File)
+	}
+}
+
+// --- Module driver ----------------------------------------------------
+
+// TestLoadModule runs the real driver over two in-repo packages and
+// pins the tree's suppression inventory there: internal/floats holds
+// the repository's only two justified floateq suppressions, and both
+// packages are otherwise clean.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	pkgs, err := Load("../..", []string{"./internal/floats", "./internal/rpv"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	res := Run(pkgs, All())
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("unexpected findings: %+v", res.Diagnostics)
+	}
+	if res.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2 (the audited sites in internal/floats)", res.Suppressed)
+	}
+}
+
+// --- Registry and table output ---------------------------------------
+
+func TestRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc, or Run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("lint") != nil {
+		t.Error(`"lint" is reserved for directive hygiene and must not be registered`)
+	}
+	if ByName("nope") != nil {
+		t.Error(`ByName("nope") should be nil`)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	pkg := loadFixture(t, "suppressfix")
+	res := Run([]*Package{pkg}, []*Analyzer{FloatEq})
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, "testdata/src", res); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "suppressfix/suppressfix.go") {
+		t.Errorf("table rows missing relativized path:\n%s", out)
+	}
+	if !strings.Contains(out, "mphpc-lint: 4 finding(s), 2 suppressed, 1 package(s), 1 analyzer(s)") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,320 @@
+// Package loading for the analyzer driver. Two loaders share one
+// import mechanism:
+//
+//   - Load: the module driver. One `go list -deps -export -json`
+//     invocation yields, for every package the patterns reach, the
+//     source file list plus a gc export-data file from the build cache;
+//     each target package is then parsed with go/parser and
+//     type-checked with go/types, resolving every import (std and
+//     intra-module alike) through the export data. No golang.org/x/tools,
+//     no GOROOT .a archives, no source re-typechecking of dependencies.
+//
+//   - loadFixtureTree: the test-harness loader. Resolves import paths
+//     GOPATH-style under a testdata/src-like root (so fixture packages
+//     can import stub `obs`/`stats` packages that live next to them)
+//     and falls back to lazily-listed std export data for everything
+//     else.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("crossarch/internal/sched").
+	PkgPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON object stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=Dir,ImportPath,Name,Standard,Export,GoFiles,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to *types.Package by reading gc
+// export data files recorded by `go list -export`. Paths not yet known
+// are listed lazily (the fixture loader's std imports); the underlying
+// gc importer memoizes imported packages, and ensure() may be called
+// from the recursive fixture loader, so the whole thing is mutex'd.
+type exportImporter struct {
+	mu      sync.Mutex
+	dir     string // working directory for go list
+	fset    *token.FileSet
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newExportImporter(dir string, fset *token.FileSet) *exportImporter {
+	ei := &exportImporter{dir: dir, fset: fset, exports: map[string]string{}}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+// absorb records export files from a go list run.
+func (ei *exportImporter) absorb(pkgs []listedPackage) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			ei.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// ensure makes export data for path (and its transitive dependencies)
+// available, shelling out to go list only when the path is unknown.
+func (ei *exportImporter) ensure(path string) error {
+	if path == "unsafe" {
+		return nil // special-cased by the gc importer
+	}
+	if _, ok := ei.exports[path]; ok {
+		return nil
+	}
+	pkgs, err := goList(ei.dir, "-deps", "-export", path)
+	if err != nil {
+		return err
+	}
+	ei.absorb(pkgs)
+	if _, ok := ei.exports[path]; !ok {
+		return fmt.Errorf("lint: go list produced no export data for %q", path)
+	}
+	return nil
+}
+
+// Import implements types.Importer.
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	ei.mu.Lock()
+	defer ei.mu.Unlock()
+	if err := ei.ensure(path); err != nil {
+		return nil, err
+	}
+	return ei.gc.Import(path)
+}
+
+// newInfo allocates the full set of go/types fact maps the analyzers
+// consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// parseDir parses the named files of one package directory.
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load resolves the go list patterns (e.g. "./...") relative to dir,
+// parses every matched package's non-test sources, and type-checks
+// them against build-cache export data. Test files are intentionally
+// not analyzed: the determinism and float-equality invariants are
+// production-path properties, and the golden tests *rely* on bitwise
+// float comparison.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := map[string]listedPackage{}
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(dir, fset)
+	imp.absorb(listed)
+
+	var out []*Package
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	for _, t := range targets {
+		lp, ok := byPath[t.ImportPath]
+		if !ok {
+			lp = t
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", lp.ImportPath, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// fixtureLoader type-checks GOPATH-style package trees rooted at a
+// testdata/src directory: import path P resolves to root/P when that
+// directory exists, and to std export data otherwise.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	std  *exportImporter
+	pkgs map[string]*Package
+	// loading guards against import cycles in fixtures.
+	loading map[string]bool
+}
+
+func newFixtureLoader(root string) *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		root:    root,
+		fset:    fset,
+		std:     newExportImporter(root, fset),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (fl *fixtureLoader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(fl.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pkg, err := fl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fl.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at import path, with
+// test files included (fixture trees use them to exercise per-file
+// analyzer exemptions).
+func (fl *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := fl.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if fl.loading[path] {
+		return nil, fmt.Errorf("lint: fixture import cycle through %q", path)
+	}
+	fl.loading[path] = true
+	defer delete(fl.loading, path)
+
+	dir := filepath.Join(fl.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: fixture package %q has no Go files", path)
+	}
+	files, err := parseDir(fl.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fl}
+	tpkg, err := conf.Check(path, fl.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: fl.fset, Files: files, Types: tpkg, Info: info}
+	fl.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadFixtureTree loads the fixture package at importPath under root
+// (a testdata/src-style directory).
+func loadFixtureTree(root, importPath string) (*Package, error) {
+	return newFixtureLoader(root).load(importPath)
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of types that contain a sync or
+// sync/atomic primitive: value receivers and value parameters/results
+// of such types, assignments copying an existing value, and range
+// clauses that copy one per iteration. The obs registry — a struct
+// holding mutex-guarded maps and atomics — is exactly this hazard: a
+// copied registry silently forks its counters and the snapshot goes
+// quietly wrong.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags by-value copies of types containing sync.Mutex/RWMutex/WaitGroup/Once/Cond or sync/atomic values",
+	Run:  runMutexCopy,
+}
+
+// lockTypes are the sync primitives that must never be copied after
+// first use (sync/atomic types are matched by package path alone).
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t (or any field/element reachable by
+// value) is a sync primitive or sync/atomic value type.
+func containsLock(t types.Type) bool {
+	return containsLockVisited(t, map[types.Type]bool{})
+}
+
+func containsLockVisited(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				if lockTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockVisited(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockVisited(u.Elem(), seen)
+	}
+	return false
+}
+
+func runMutexCopy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(pass, n.Recv, "receiver")
+				}
+				checkFuncType(pass, n.Type)
+			case *ast.FuncLit:
+				checkFuncType(pass, n.Type)
+			case *ast.AssignStmt:
+				checkLockAssign(pass, n)
+			case *ast.RangeStmt:
+				checkLockRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncType(pass *Pass, ft *ast.FuncType) {
+	checkLockFields(pass, ft.Params, "parameter")
+	checkLockFields(pass, ft.Results, "result")
+}
+
+func checkLockFields(pass *Pass, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := typeOf(pass, field.Type)
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			pass.Reportf(field.Pos(), "%s passes %s by value, copying its lock; use a pointer", role, types.TypeString(t, nil))
+		}
+	}
+}
+
+// checkLockAssign flags x := y / x = y where y is an existing
+// addressable value (not a fresh composite literal or call result)
+// whose type contains a lock.
+func checkLockAssign(pass *Pass, asg *ast.AssignStmt) {
+	if asg.Tok != token.ASSIGN && asg.Tok != token.DEFINE {
+		return
+	}
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, rhs := range asg.Rhs {
+		if id, ok := asg.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue // assignment to blank discards, it does not copy
+		}
+		if !copiesExisting(rhs) {
+			continue
+		}
+		if t := typeOf(pass, rhs); containsLock(t) {
+			pass.Reportf(asg.Lhs[i].Pos(), "assignment copies %s, which contains a lock; use a pointer", types.TypeString(t, nil))
+		}
+	}
+}
+
+// copiesExisting reports whether e denotes an already-initialized
+// value (identifier, field, element, or dereference) rather than a
+// freshly constructed one.
+func copiesExisting(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = x
+		return true
+	}
+	return false
+}
+
+func checkLockRange(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// The value ident of a `:=` range clause is a definition, not an
+	// evaluated expression, so its type lives in Defs rather than Types.
+	t := typeOf(pass, rng.Value)
+	if t == types.Typ[types.Invalid] {
+		if id, ok := rng.Value.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if containsLock(t) {
+		pass.Reportf(rng.Value.Pos(), "range clause copies %s per iteration, which contains a lock; range over indices or pointers", types.TypeString(t, nil))
+	}
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared, nondeterministically-seeded
+// global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "IntN": true,
+	"Int32": true, "Int32N": true, "Int64N": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint64": true, "Uint32N": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+// Nondeterminism enforces the pipeline's bitwise-reproducibility
+// contract in the packages whose outputs the golden e2e fixture pins:
+// no wall-clock reads (time.Now) — telemetry timing must go through
+// obs.Now/obs.SinceSeconds so determinism-relevant code visibly never
+// touches the clock; no global math/rand — all randomness threads a
+// seeded *stats.RNG; and no iteration over a map that accumulates
+// floats or appends to a result slice, because Go randomizes map order
+// and float addition does not commute bitwise — such loops must
+// iterate sorted keys.
+var Nondeterminism = &Analyzer{
+	Name:  "nondeterminism",
+	Doc:   "forbids time.Now, global math/rand, and order-sensitive map iteration in the deterministic pipeline packages",
+	Scope: regexp.MustCompile(`(^|/)internal/(ml|rpv|dataset|sched|perfmodel)(/|$)`),
+	Run:   runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	fn := funcObject(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in a deterministic pipeline package; use obs.Now/obs.SinceSeconds for telemetry timing or thread a clock explicitly")
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand.%s; thread a seeded *stats.RNG instead", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map whose body either
+// accumulates into a float declared outside the loop or appends to a
+// slice declared outside the loop — both make the result depend on
+// Go's randomized map iteration order.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range asg.Lhs {
+				if isFloat(typeOf(pass, lhs)) && declaredOutside(pass, lhs, rng) {
+					pass.Reportf(asg.Pos(), "float accumulation over map iteration order; iterate sorted keys")
+					return false
+				}
+			}
+		case token.ASSIGN:
+			for i, lhs := range asg.Lhs {
+				if i >= len(asg.Rhs) {
+					break
+				}
+				if isSelfAppend(pass, lhs, asg.Rhs[i]) && declaredOutside(pass, lhs, rng) &&
+					!sortedAfter(pass, file, lhs, rng) {
+					pass.Reportf(asg.Pos(), "append to a result slice over map iteration order; iterate sorted keys or sort the collected slice")
+					return false
+				}
+				if bin, ok := ast.Unparen(asg.Rhs[i]).(*ast.BinaryExpr); ok && bin.Op == token.ADD &&
+					isFloat(typeOf(pass, lhs)) && sameIdentObj(pass, lhs, bin.X) && declaredOutside(pass, lhs, rng) {
+					pass.Reportf(asg.Pos(), "float accumulation over map iteration order; iterate sorted keys")
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// declaredOutside reports whether the root object of e was declared
+// outside the range statement (so writes to it survive the loop).
+func declaredOutside(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// rootIdent unwraps selectors/indexes/derefs to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs are the sort/slices functions whose first argument is the
+// slice being ordered.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether the slice rooted at lhs is passed to a
+// sorting function after the range statement — the blessed
+// collect-then-sort pattern, which is deterministic regardless of map
+// iteration order.
+func sortedAfter(pass *Pass, file *ast.File, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := funcObject(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !sortFuncs[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		argID := rootIdent(call.Args[0])
+		if argID != nil && pass.Info.Uses[argID] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...).
+func isSelfAppend(pass *Pass, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return sameIdentObj(pass, lhs, call.Args[0])
+}
+
+// sameIdentObj reports whether a and b are identifiers naming the same
+// object.
+func sameIdentObj(pass *Pass, a, b ast.Expr) bool {
+	ia, ok1 := ast.Unparen(a).(*ast.Ident)
+	ib, ok2 := ast.Unparen(b).(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	oa := pass.Info.Uses[ia]
+	if oa == nil {
+		oa = pass.Info.Defs[ia]
+	}
+	ob := pass.Info.Uses[ib]
+	if ob == nil {
+		ob = pass.Info.Defs[ib]
+	}
+	return oa != nil && oa == ob
+}

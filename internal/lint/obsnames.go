@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// ObsNames enforces the observability layer's metric-name contract
+// (DESIGN.md §7): every counter/gauge/histogram name passed to the obs
+// package is a constant flat dotted snake_case string
+// (`xgboost.round.train_loss`), so the JSON snapshot's key space stays
+// machine-parseable and the golden fixture's MetricKeys superset
+// assertion stays meaningful. It also flags metrics that are
+// registered but never recorded: a Counter/Gauge/Histogram handle that
+// is discarded or bound to a variable which is never used again is
+// dead wiring — the metric appears in snapshots, permanently zero.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "enforces constant dotted snake_case obs metric names and flags handles registered but never recorded",
+	Run:  runObsNames,
+}
+
+// metricNameRE is the snake_case dotted convention: lowercase segments
+// of [a-z0-9_], separated by single dots, starting with a letter.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
+
+// obsNameFuncs are the obs functions/methods whose first argument is a
+// metric name.
+var obsNameFuncs = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "SetMax": true,
+	"Observe": true, "Counter": true, "Gauge": true,
+	"Histogram": true, "HistogramBuckets": true,
+}
+
+// obsHandleFuncs are the registration functions returning a recordable
+// handle; calling one without using the handle records nothing, ever.
+var obsHandleFuncs = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "HistogramBuckets": true,
+}
+
+// isObsNameTaking reports whether fn's first argument is a metric
+// name: the obs package-level record helpers (obs.Add, obs.Inc, ...)
+// and the Registry registration methods. Methods on the handle types
+// themselves (Counter.Add, Histogram.Observe, ...) take values, not
+// names.
+func isObsNameTaking(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return obsNameFuncs[fn.Name()]
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	return ok && named.Obj().Name() == "Registry" && obsHandleFuncs[fn.Name()]
+}
+
+// isObsHandleCall reports whether call registers a metric handle.
+func isObsHandleCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := funcObject(pass.Info, call)
+	return isObsNameTaking(fn) && obsHandleFuncs[fn.Name()]
+}
+
+func runObsNames(pass *Pass) {
+	// The obs package itself is registration plumbing: every helper
+	// necessarily forwards a non-constant name parameter.
+	if pass.Pkg != nil && pass.Pkg.Name() == "obs" {
+		return
+	}
+	// bound maps a variable object holding an obs handle to its
+	// registration call; the second sweep marks the ones recorded into.
+	bound := map[types.Object]*ast.CallExpr{}
+	used := map[types.Object]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkObsName(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isObsHandleCall(pass, call) {
+					fn := funcObject(pass.Info, call)
+					pass.Reportf(call.Pos(), "obs %s handle is discarded: metric is registered but never recorded", fn.Name())
+				}
+			case *ast.AssignStmt:
+				// x := reg.Counter("...") — remember the binding.
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isObsHandleCall(pass, call) {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								bound[obj] = call
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				// var x = obs.Counter("...") — same binding rule.
+				if len(n.Names) == 1 && len(n.Values) == 1 {
+					if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok && isObsHandleCall(pass, call) {
+						if n.Names[0].Name != "_" {
+							if obj := pass.Info.Defs[n.Names[0]]; obj != nil {
+								bound[obj] = call
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Second sweep: any use of a bound handle variable other than its
+	// defining identifier marks it live.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && bound[obj] != nil {
+					used[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, call := range bound {
+		if !used[obj] {
+			pass.Reportf(call.Pos(), "obs handle %s is registered but never recorded", obj.Name())
+		}
+	}
+}
+
+// checkObsName validates the metric-name argument of obs calls.
+func checkObsName(pass *Pass, call *ast.CallExpr) {
+	fn := funcObject(pass.Info, call)
+	if !isObsNameTaking(fn) {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil {
+		pass.Reportf(arg.Pos(), "obs metric name is not a compile-time constant; dynamic names fragment the snapshot key space")
+		return
+	}
+	if tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "obs metric name %q is not dotted snake_case (want e.g. \"stage.rows.total\")", name)
+	}
+}

@@ -1,0 +1,24 @@
+package lint
+
+// All returns the full analyzer registry in stable order. The driver
+// runs every one of these; each applies its own package Scope.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ErrCheck,
+		FloatEq,
+		MutexCopy,
+		Nondeterminism,
+		ObsNames,
+		SeedDiscipline,
+	}
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

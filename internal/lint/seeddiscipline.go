@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeedDiscipline enforces the repository's seed-threading contract
+// (internal/stats package doc): every experiment must be reproducible
+// from a single integer seed, so library code may only construct a
+// *stats.RNG from a seed that was passed in — never from a literal
+// buried at call depth. A literal seed is legitimate exactly once, at
+// the top of a program (package main) or in a test; anywhere deeper it
+// pins a hidden stream that callers cannot vary or replay.
+var SeedDiscipline = &Analyzer{
+	Name: "seeddiscipline",
+	Doc:  "forbids constant-literal seeds to stats.NewRNG outside package main and tests; thread the seed parameter",
+	Run:  runSeedDiscipline,
+}
+
+func runSeedDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := funcObject(pass.Info, call)
+			if !funcIn(fn, "stats", "NewRNG") {
+				return true
+			}
+			if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			if isConstExpr(pass, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(), "stats.NewRNG seeded with a literal in library code; thread an explicit seed parameter")
+			}
+			return true
+		})
+	}
+}

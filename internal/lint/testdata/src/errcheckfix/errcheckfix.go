@@ -1,0 +1,72 @@
+// Package errcheckfix exercises the errcheck analyzer.
+package errcheckfix
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Dropped flags a bare statement discarding an error.
+func Dropped() {
+	fails() // want "error result of errcheckfix.fails is dropped"
+}
+
+// DroppedOsCall flags stdlib calls the same way.
+func DroppedOsCall(path string) {
+	os.Remove(path) // want "error result of os.Remove is dropped"
+}
+
+// DroppedTuple flags multi-result calls whose tuple includes an error.
+func DroppedTuple() {
+	pair() // want "error result of errcheckfix.pair is dropped"
+}
+
+// ExplicitBlank is the visible, greppable way to drop an error.
+func ExplicitBlank() {
+	_ = fails()
+	_, _ = pair()
+}
+
+// Handled consumes the error.
+func Handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Printers are conventionally unchecked.
+func Printers(w *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "x")
+	w.WriteString("builders never fail")
+}
+
+// DeferClose is the cleanup idiom: allowed.
+func DeferClose(f *os.File) {
+	defer f.Close()
+}
+
+// DeferFlush loses buffered writes: flagged.
+func DeferFlush(w *bufio.Writer) {
+	defer w.Flush() // want "error result of .*bufio.Writer..Flush is dropped"
+}
+
+// GoDropped loses the error on another goroutine: flagged.
+func GoDropped() {
+	go fails() // want "error result of errcheckfix.fails is dropped"
+}
+
+// NoError returns nothing; bare statement allowed.
+func NoError() {}
+
+// BareNoError calls it.
+func BareNoError() {
+	NoError()
+}

@@ -1,0 +1,33 @@
+// Package floateqfix exercises the floateq analyzer.
+package floateqfix
+
+import "math"
+
+const tol = 1e-9
+
+// Computed flags equality between two computed floats.
+func Computed(a, b float64) bool {
+	return a*2 == b+1 // want "== on computed float operands"
+}
+
+// ComputedNeq flags inequality the same way.
+func ComputedNeq(a, b float64) bool {
+	return math.Sqrt(a) != math.Sqrt(b) // want "!= on computed float operands"
+}
+
+// Float32 is covered too.
+func Float32(a, b float32) bool {
+	return a+1 == b // want "== on computed float operands"
+}
+
+// ZeroGuard compares against a constant: allowed (exact sentinel).
+func ZeroGuard(sigma float64) bool { return sigma == 0 }
+
+// ConstGuard with a named constant is allowed too.
+func ConstGuard(x float64) bool { return x != tol }
+
+// NaNIdiom is the classic self-comparison: allowed.
+func NaNIdiom(x float64) bool { return x != x }
+
+// Ints are not floats.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,8 @@
+package floateqfix
+
+// Test files may compare floats bitwise: golden assertions depend on
+// it. No diagnostics expected anywhere in this file.
+
+func bitwiseGolden(got, want float64) bool {
+	return got == want
+}

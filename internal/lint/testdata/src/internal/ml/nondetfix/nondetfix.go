@@ -1,0 +1,85 @@
+// Package nondetfix exercises the nondeterminism analyzer. Its import
+// path (internal/ml/nondetfix) deliberately falls inside the
+// analyzer's package scope.
+package nondetfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock in a deterministic pipeline package.
+func Clock() time.Time {
+	return time.Now() // want "time.Now in a deterministic pipeline package"
+}
+
+// GlobalRand draws from the shared math/rand source.
+func GlobalRand() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+// SeededRand uses an explicit source, which is allowed.
+func SeededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// SumValues accumulates floats in map order.
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation over map iteration order"
+	}
+	return total
+}
+
+// SumValuesExplicit accumulates with x = x + v, same hazard.
+func SumValuesExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation over map iteration order"
+	}
+	return total
+}
+
+// CollectKeys appends map keys without sorting them.
+func CollectKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to a result slice over map iteration order"
+	}
+	return keys
+}
+
+// SortedKeys is the blessed collect-then-sort pattern: no diagnostic.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerIterationLocal accumulates into a loop-local: order cannot leak.
+func PerIterationLocal(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// SliceSum ranges over a slice, not a map: ordered, allowed.
+func SliceSum(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,94 @@
+// Package mutexcopyfix exercises the mutexcopy analyzer.
+package mutexcopyfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Registry mirrors the obs registry hazard: a struct holding a mutex.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]float64
+}
+
+// Atomic holds a sync/atomic value by value.
+type Atomic struct {
+	n atomic.Int64
+}
+
+// Nested reaches a lock through a field.
+type Nested struct {
+	reg Registry
+}
+
+// Clean has no locks.
+type Clean struct{ n int }
+
+// ByValueParam copies the registry's mutex on every call.
+func ByValueParam(r Registry) { // want "parameter passes .*Registry by value"
+	_ = r
+}
+
+// ByPointerParam is the correct signature.
+func ByPointerParam(r *Registry) {
+	_ = r
+}
+
+// AtomicParam is the same hazard with sync/atomic.
+func AtomicParam(a Atomic) { // want "parameter passes .*Atomic by value"
+	_ = a
+}
+
+// NestedParam reaches the mutex through a field.
+func NestedParam(n Nested) { // want "parameter passes .*Nested by value"
+	_ = n
+}
+
+// CleanParam is fine.
+func CleanParam(c Clean) {
+	_ = c
+}
+
+// ValueReceiver copies the lock on every method call.
+func (r Registry) ValueReceiver() {} // want "receiver passes .*Registry by value"
+
+// PointerReceiver is correct.
+func (r *Registry) PointerReceiver() {}
+
+// LockResult returns a lock-containing value by value.
+func LockResult() Registry { // want "result passes .*Registry by value"
+	return Registry{}
+}
+
+// AssignCopy duplicates an existing registry.
+func AssignCopy(src *Registry) {
+	dup := *src // want "assignment copies .*Registry"
+	_ = dup
+}
+
+// AssignElement copies out of a slice.
+func AssignElement(rs []Registry) {
+	first := rs[0] // want "assignment copies .*Registry"
+	_ = first
+}
+
+// FreshLiteral constructs a new value: allowed.
+func FreshLiteral() {
+	r := Registry{counts: map[string]float64{}}
+	_ = r
+}
+
+// RangeCopy copies one registry per iteration.
+func RangeCopy(rs []Registry) {
+	for _, r := range rs { // want "range clause copies .*Registry"
+		_ = r
+	}
+}
+
+// RangePointers is the correct loop.
+func RangePointers(rs []*Registry) {
+	for _, r := range rs {
+		_ = r
+	}
+}

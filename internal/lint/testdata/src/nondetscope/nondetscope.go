@@ -1,0 +1,19 @@
+// Package nondetscope holds the same hazards as the nondetfix fixture
+// but lives outside the nondeterminism analyzer's package scope, so
+// the driver must not report anything here.
+package nondetscope
+
+import "time"
+
+// Clock is allowed here: this package is not part of the deterministic
+// pipeline.
+func Clock() time.Time { return time.Now() }
+
+// SumValues is likewise out of scope.
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+// Package obs is a minimal stub of crossarch/internal/obs for the
+// obsnames fixture: the analyzer matches by package *name*, so this
+// stub exercises it without importing the real module.
+package obs
+
+// Registry is the stub metric registry.
+type Registry struct{}
+
+// Counter, Gauge, and Histogram are stub handle types.
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+// Default returns a stub registry.
+func Default() *Registry { return &Registry{} }
+
+// Counter registers a counter handle.
+func (r *Registry) Counter(name string) *Counter { _ = name; return &Counter{} }
+
+// Gauge registers a gauge handle.
+func (r *Registry) Gauge(name string) *Gauge { _ = name; return &Gauge{} }
+
+// Histogram registers a histogram handle.
+func (r *Registry) Histogram(name string) *Histogram { _ = name; return &Histogram{} }
+
+// HistogramBuckets registers a histogram with explicit bounds.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	_, _ = name, bounds
+	return &Histogram{}
+}
+
+// Add records into the handle.
+func (c *Counter) Add(delta float64) { _ = delta }
+
+// Inc bumps the handle by one.
+func (c *Counter) Inc() {}
+
+// Set records the gauge value.
+func (g *Gauge) Set(v float64) { _ = v }
+
+// SetMax raises the gauge high-water mark.
+func (g *Gauge) SetMax(v float64) { _ = v }
+
+// Observe records into the histogram.
+func (h *Histogram) Observe(v float64) { _ = v }
+
+// Add is the package-level counter helper.
+func Add(name string, delta float64) { _, _ = name, delta }
+
+// Inc is the package-level increment helper.
+func Inc(name string) { _ = name }
+
+// Set is the package-level gauge helper.
+func Set(name string, v float64) { _, _ = name, v }
+
+// SetMax is the package-level high-water helper.
+func SetMax(name string, v float64) { _, _ = name, v }
+
+// Observe is the package-level histogram helper.
+func Observe(name string, v float64) { _, _ = name, v }

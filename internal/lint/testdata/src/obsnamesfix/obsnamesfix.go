@@ -1,0 +1,57 @@
+// Package obsnamesfix exercises the obsnames analyzer against the obs
+// stub package.
+package obsnamesfix
+
+import "obsnamesfix/obs"
+
+const goodName = "stage.rows.total"
+
+// dead is registered at package level and never recorded into.
+var dead = obs.Default().Counter("dead.counter") // want "obs handle dead is registered but never recorded"
+
+// live is registered and recorded.
+var live = obs.Default().Counter("live.counter")
+
+// GoodNames follow the dotted snake_case convention.
+func GoodNames() {
+	obs.Add("stage.rows.total", 1)
+	obs.Inc("stage.passes")
+	obs.Set("queue.depth.max", 3)
+	obs.SetMax("queue.depth.max", 4)
+	obs.Observe("round.train_loss", 0.5)
+	obs.Inc(goodName) // named constants are fine
+	live.Add(2)
+}
+
+// BadNames violate the convention.
+func BadNames() {
+	obs.Inc("Bad.Name")           // want "not dotted snake_case"
+	obs.Add("kebab-case.no", 1)   // want "not dotted snake_case"
+	obs.Set("trailing.", 1)       // want "not dotted snake_case"
+	obs.Observe("double..dot", 1) // want "not dotted snake_case"
+}
+
+// DynamicName fragments the snapshot key space.
+func DynamicName(name string) {
+	obs.Inc(name) // want "not a compile-time constant"
+}
+
+// DiscardedHandle registers a metric nothing can ever record into.
+func DiscardedHandle() {
+	obs.Default().Gauge("discarded.gauge") // want "Gauge handle is discarded"
+}
+
+// BoundAndUsed is the correct local-handle pattern.
+func BoundAndUsed(n int) {
+	h := obs.Default().Histogram("local.hist")
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+// HandleMethodsAreNotNames: values passed to handle methods must not
+// be mistaken for metric names (none of these lines diagnose).
+func HandleMethodsAreNotNames(g *obs.Gauge) {
+	g.Set(1.5)
+	g.SetMax(2.5)
+}

@@ -1,0 +1,26 @@
+// Package seeddisciplinefix exercises the seeddiscipline analyzer.
+package seeddisciplinefix
+
+import "seeddisciplinefix/stats"
+
+const defaultSeed = 42
+
+// LiteralSeed pins a hidden stream callers cannot vary: flagged.
+func LiteralSeed() *stats.RNG {
+	return stats.NewRNG(1234) // want "seeded with a literal in library code"
+}
+
+// NamedConstSeed is still a compile-time constant: flagged.
+func NamedConstSeed() *stats.RNG {
+	return stats.NewRNG(defaultSeed) // want "seeded with a literal in library code"
+}
+
+// ThreadedSeed is the contract: the seed arrives as a parameter.
+func ThreadedSeed(seed uint64) *stats.RNG {
+	return stats.NewRNG(seed)
+}
+
+// DerivedSeed mixes a threaded seed; the argument is not constant.
+func DerivedSeed(seed uint64, stream uint64) *stats.RNG {
+	return stats.NewRNG(seed ^ stream)
+}

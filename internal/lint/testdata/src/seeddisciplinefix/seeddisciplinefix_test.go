@@ -1,0 +1,9 @@
+package seeddisciplinefix
+
+import "seeddisciplinefix/stats"
+
+// testSeed shows the test-file carve-out: literal seeds are legitimate
+// at the top of a test.
+func testSeed() *stats.RNG {
+	return stats.NewRNG(7)
+}

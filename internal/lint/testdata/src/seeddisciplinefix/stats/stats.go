@@ -1,0 +1,9 @@
+// Package stats is a minimal stub of crossarch/internal/stats for the
+// seeddiscipline fixture: the analyzer matches by package name.
+package stats
+
+// RNG is the stub deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a stub generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }

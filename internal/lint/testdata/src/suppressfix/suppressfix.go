@@ -1,0 +1,34 @@
+// Package suppressfix exercises //lint:ignore suppression handling.
+// This fixture is asserted programmatically (TestSuppression), not via
+// want comments, because a want comment on a directive line would merge
+// with the directive.
+package suppressfix
+
+// SuppressedSameLine drops a floateq finding with an inline directive.
+func SuppressedSameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture demonstrates inline suppression
+}
+
+// SuppressedLineAbove drops a finding with a directive on the line above.
+func SuppressedLineAbove(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates line-above suppression
+	return a != b
+}
+
+// Unsuppressed still diagnoses: one real floateq finding survives.
+func Unsuppressed(a, b float64) bool {
+	return a == b
+}
+
+// unusedDirective suppresses nothing: the comparison below is integral,
+// so the directive itself is reported as unused.
+func unusedDirective(a, b int) bool {
+	//lint:ignore floateq nothing here triggers floateq
+	return a == b
+}
+
+// malformedDirective omits the mandatory reason.
+func malformedDirective(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

@@ -8,7 +8,6 @@ package ml
 
 import (
 	"fmt"
-	"time"
 
 	"crossarch/internal/obs"
 )
@@ -43,7 +42,7 @@ func PredictBatch(m Regressor, X [][]float64) [][]float64 {
 	if len(X) == 0 {
 		return make([][]float64, 0)
 	}
-	start := time.Now()
+	start := obs.Now()
 	var out [][]float64
 	if br, ok := m.(BatchRegressor); ok {
 		out = NewMatrix(len(X), len(m.Predict(X[0])))
@@ -57,7 +56,7 @@ func PredictBatch(m Regressor, X [][]float64) [][]float64 {
 	}
 	obs.Add("ml.predict.rows.total", float64(len(X)))
 	obs.Set("ml.predict.batch.rows", float64(len(X)))
-	obs.Observe("ml.predict.batch.seconds", time.Since(start).Seconds())
+	obs.Observe("ml.predict.batch.seconds", obs.SinceSeconds(start))
 	return out
 }
 

@@ -3,6 +3,7 @@ package tree
 import (
 	"fmt"
 
+	"crossarch/internal/floats"
 	"crossarch/internal/stats"
 )
 
@@ -158,7 +159,7 @@ func (g *cartGrower) bestSplit(idx []int) *cartSplit {
 				sqL[k] += y * y
 			}
 			// Can't split between equal feature values.
-			if g.X[sorted[cut]][f] == g.X[sorted[cut-1]][f] {
+			if floats.Eq(g.X[sorted[cut]][f], g.X[sorted[cut-1]][f]) {
 				continue
 			}
 			if cut < g.p.MinSamplesLeaf || n-cut < g.p.MinSamplesLeaf {

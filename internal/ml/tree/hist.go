@@ -3,6 +3,8 @@ package tree
 import (
 	"fmt"
 	"sort"
+
+	"crossarch/internal/floats"
 )
 
 // MaxBins is the histogram resolution of the hist tree method (the
@@ -65,7 +67,7 @@ func quantileEdges(col []float64, maxBins int) []float64 {
 	// Distinct values.
 	distinct := sorted[:0]
 	for i, v := range sorted {
-		if i == 0 || v != distinct[len(distinct)-1] {
+		if i == 0 || !floats.Eq(v, distinct[len(distinct)-1]) {
 			distinct = append(distinct, v)
 		}
 	}

@@ -3,6 +3,7 @@ package tree
 import (
 	"fmt"
 
+	"crossarch/internal/floats"
 	"crossarch/internal/stats"
 )
 
@@ -125,7 +126,7 @@ func (g *newtonGrower) bestSplit(idx []int) *newtonSplit {
 			i := sorted[cut-1]
 			GL += g.grad[i]
 			HL += g.hess[i]
-			if g.X[sorted[cut]][f] == g.X[sorted[cut-1]][f] {
+			if floats.Eq(g.X[sorted[cut]][f], g.X[sorted[cut-1]][f]) {
 				continue
 			}
 			if cut < g.p.MinSamplesLeaf || n-cut < g.p.MinSamplesLeaf {

@@ -309,7 +309,7 @@ func (m *Model) Fit(X, Y [][]float64) error {
 	// trees added, and the mean training loss at the updated margins
 	// (one O(rows x outputs) pass, small next to tree growth).
 	endRound := func(roundStart time.Time, added int) {
-		obs.Observe("xgboost.round.seconds", time.Since(roundStart).Seconds())
+		obs.Observe("xgboost.round.seconds", obs.SinceSeconds(roundStart))
 		obs.Add("xgboost.trees.total", float64(added))
 		obs.Add("xgboost.rounds.total", 1)
 		loss := 0.0
@@ -324,7 +324,7 @@ func (m *Model) Fit(X, Y [][]float64) error {
 	}
 
 	for round := 0; round < p.Rounds; round++ {
-		roundStart := time.Now()
+		roundStart := obs.Now()
 		// Row subsample for this round (without replacement, as xgboost).
 		rows := trainIdx
 		if subN < len(trainIdx) {
@@ -483,8 +483,18 @@ func refitLeavesToMedian(t *tree.Tree, X, Y, pred [][]float64, rows []int, outpu
 		}
 		residuals[node] = append(residuals[node], r)
 	}
+	// Iterate leaves in sorted order: the medians themselves are
+	// order-independent, but a fixed order keeps allocation and
+	// float-op sequencing identical across runs (and satisfies the
+	// nondeterminism analyzer's map-iteration rule).
+	leaves := make([]int, 0, len(residuals))
+	for node := range residuals {
+		leaves = append(leaves, node)
+	}
+	sort.Ints(leaves)
 	col := make([]float64, 0, len(rows))
-	for node, rs := range residuals {
+	for _, node := range leaves {
+		rs := residuals[node]
 		value := make([]float64, outputs)
 		for k := 0; k < outputs; k++ {
 			col = col[:0]

@@ -16,9 +16,23 @@
 // granularity).
 package obs
 
+import "time"
+
 // defaultRegistry is the process-wide registry the package-level
 // helpers and the instrumented pipeline layers record into.
 var defaultRegistry = NewRegistry()
+
+// Now returns the current wall-clock time for telemetry timing. The
+// deterministic pipeline packages (internal/ml, dataset, sched, ...)
+// are forbidden from calling time.Now directly — the nondeterminism
+// analyzer enforces it — so that a clock read in those packages is
+// visibly telemetry-only: obs values never feed back into model or
+// scheduling computation.
+func Now() time.Time { return time.Now() }
+
+// SinceSeconds returns the wall-clock seconds elapsed since start, the
+// unit every obs duration metric records.
+func SinceSeconds(start time.Time) float64 { return time.Since(start).Seconds() }
 
 // Default returns the process-wide registry.
 func Default() *Registry { return defaultRegistry }
