@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint vet build test race cover fuzz bench-predict bench
+.PHONY: check lint vet build test race cover fuzz faults bench-predict bench
 
-check: lint build race cover bench-predict
+check: lint build race cover faults bench-predict
 
 # Static analysis: go vet, then the repository's own analyzer suite
 # (cmd/mphpc-lint; see DESIGN.md §8). `go run ./cmd/mphpc-lint -json
@@ -62,6 +62,14 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzFlatTreePredict -fuzztime $(FUZZTIME) ./internal/ml/tree/
 	$(GO) test -fuzz FuzzSpeedup -fuzztime $(FUZZTIME) ./internal/rpv/
+	$(GO) test -fuzz FuzzPredictInput -fuzztime $(FUZZTIME) ./internal/ml/
+
+# Fault-injection smoke sweep (DESIGN.md §9): a tiny rate sweep through
+# the degradation ladder and failure-aware scheduler that exits non-zero
+# unless ladder accounting, monotone degradation, and the no-cliff
+# invariant all hold.
+faults:
+	$(GO) run ./cmd/mphpc-faults -smoke
 
 # The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
 # a laptop while still printing the rows/s comparison.

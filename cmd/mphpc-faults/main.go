@@ -1,0 +1,218 @@
+// Command mphpc-faults is the robustness experiment: it sweeps fault
+// injection rates across the full pipeline — counter dropout, feature
+// corruption, transient prediction errors, model corruption, and node
+// failures — and reports makespan versus fault rate, demonstrating the
+// degradation ladder keeps the model-based scheduler well below the
+// no-prediction floor instead of cliffing when components start dying.
+// It also demonstrates the persistence checksum catching a bit-flipped
+// model artifact.
+//
+// Usage:
+//
+//	mphpc-faults [-jobs N] [-rates 0,0.05,0.2,0.5] [-fault-seed S]
+//	             [-retrycap N] [-smoke]
+//
+// -smoke runs a tiny sweep and exits non-zero unless the ladder
+// accounting, monotonicity, and no-cliff invariants hold; `make
+// faults` wires it into `make check`.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crossarch/internal/core"
+	"crossarch/internal/experiments"
+	"crossarch/internal/floats"
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-faults: ")
+	jobs := flag.Int("jobs", 5000, "workload size per sweep point")
+	trials := flag.Int("trials", 0, "dataset trials per configuration (0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "dataset generation seed")
+	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
+	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
+	workloadSeed := flag.Uint64("workload-seed", 4, "workload resampling seed")
+	faultSeed := flag.Uint64("fault-seed", 5, "fault-injection seed")
+	retryCap := flag.Int("retrycap", 0, "re-executions after node failures before a job is abandoned (0 = default 3)")
+	ratesFlag := flag.String("rates", "0,0.05,0.2,0.5", "comma-separated injection rates to sweep")
+	predictorPath := flag.String("predictor", "", "load a saved predictor instead of training")
+	smoke := flag.Bool("smoke", false, "tiny sweep with hard assertions; non-zero exit on violation")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
+	flag.Parse()
+	cmdSpan := obs.StartSpan("cmd.mphpc-faults")
+
+	rates, err := parseRates(*ratesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.Config{
+		DatasetSeed: *seed, SplitSeed: *splitSeed, ModelSeed: *modelSeed, Trials: *trials,
+	}
+	if *smoke {
+		// Small enough to run inside `make check`, large enough for
+		// every fault class to fire at the swept rates.
+		*jobs = 400
+		if cfg.Trials == 0 {
+			cfg.Trials = 1
+		}
+	}
+
+	ds, err := experiments.BuildDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pred *core.Predictor
+	if *predictorPath != "" {
+		pred, err = core.LoadPredictorFile(*predictorPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded predictor from %s\n", *predictorPath)
+	} else {
+		start := time.Now()
+		var ev fmt.Stringer
+		pred, ev, err = core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained predictor in %v: %s\n", time.Since(start).Round(time.Millisecond), ev)
+	}
+
+	demoChecksum(pred)
+
+	fcfg := experiments.FaultConfig{
+		Sched: experiments.SchedConfig{
+			NumJobs:      *jobs,
+			WorkloadSeed: *workloadSeed,
+		},
+		Rates:     rates,
+		FaultSeed: *faultSeed,
+		RetryCap:  *retryCap,
+	}
+	start := time.Now()
+	points, err := experiments.RunFaultSweep(ds, pred, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.FormatFaultSweep(points))
+	fmt.Printf("\nswept %d rates x %d jobs in %v\n", len(points), *jobs, time.Since(start).Round(time.Millisecond))
+
+	if *smoke {
+		if err := checkInvariants(points); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("smoke invariants hold: ladder accounting, monotone degradation, no cliff")
+	}
+
+	obs.Set("cmd.wall_seconds", cmdSpan.End().Seconds())
+	if *metricsOut != "" {
+		if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseRates parses the -rates list.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", part, err)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no rates in %q", s)
+	}
+	return rates, nil
+}
+
+// demoChecksum shows the persistence guard in action: serialize the
+// trained model, flip one payload byte, and let LoadModel catch it.
+func demoChecksum(pred *core.Predictor) {
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, pred.Model); err != nil {
+		fmt.Printf("checksum demo skipped: %v\n", err)
+		return
+	}
+	data := buf.Bytes()
+	at := bytes.Index(data, []byte(`"payload"`))
+	if at < 0 {
+		fmt.Println("checksum demo skipped: no payload field")
+		return
+	}
+	// Flip the first digit found inside the payload.
+	for i := at; i < len(data); i++ {
+		if data[i] >= '0' && data[i] <= '8' {
+			data[i]++
+			break
+		}
+	}
+	if _, err := ml.LoadModel(bytes.NewReader(data)); err != nil {
+		fmt.Printf("model-corruption guard: one flipped byte -> %v\n", err)
+	} else {
+		fmt.Println("model-corruption guard FAILED: bit-flipped model loaded cleanly")
+	}
+}
+
+// checkInvariants enforces the -smoke acceptance bars.
+func checkInvariants(points []experiments.FaultPoint) error {
+	if len(points) < 2 {
+		return fmt.Errorf("smoke sweep needs at least 2 rates, have %d", len(points))
+	}
+	total0 := points[0].PrimaryRows + points[0].FallbackRows + points[0].IdentityRows
+	if total0 <= 0 {
+		return fmt.Errorf("ladder counters recorded no rows")
+	}
+	for i, p := range points {
+		// Every predicted row resolves at exactly one ladder level; the
+		// workload identity is shared, so the totals match across rates.
+		if total := p.PrimaryRows + p.FallbackRows + p.IdentityRows; !floats.Eq(total, total0) {
+			return fmt.Errorf("rate %v: ladder accounts %v rows, rate %v accounted %v",
+				p.Rate, total, points[0].Rate, total0)
+		}
+		if p.Result.CompletedJobs+p.Result.AbandonedJobs == 0 {
+			return fmt.Errorf("rate %v: no job resolved", p.Rate)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := points[i-1]
+		if p.DegradedRows() < prev.DegradedRows() {
+			return fmt.Errorf("degraded rows shrank: %v@%v -> %v@%v",
+				prev.DegradedRows(), prev.Rate, p.DegradedRows(), p.Rate)
+		}
+		// Graceful: makespan may only drift up with the fault rate
+		// (small slack for requeue shuffling)...
+		if p.Result.MakespanSec < prev.Result.MakespanSec*0.99 {
+			return fmt.Errorf("makespan improved under more faults: %.1fs@%v -> %.1fs@%v",
+				prev.Result.MakespanSec, prev.Rate, p.Result.MakespanSec, p.Rate)
+		}
+	}
+	// ...and must not cliff onto the no-prediction floor below the
+	// highest swept rate.
+	for _, p := range points[:len(points)-1] {
+		if p.Result.MakespanSec >= p.Floor.MakespanSec {
+			return fmt.Errorf("rate %v: makespan %.1fs reached the no-prediction floor %.1fs",
+				p.Rate, p.Result.MakespanSec, p.Floor.MakespanSec)
+		}
+	}
+	return nil
+}

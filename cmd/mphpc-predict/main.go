@@ -44,6 +44,7 @@ func main() {
 	predictorPath := flag.String("predictor", "", "load a saved predictor (else train one)")
 	evalFlag := flag.Bool("eval", false, "evaluate the predictor on a freshly generated dataset before predicting")
 	explain := flag.Bool("explain", false, "print per-feature contributions (XGBoost predictors)")
+	fallback := flag.Bool("fallback", false, "wrap the model in the degradation ladder: a failing prediction returns the unit RPV instead of crashing")
 	seed := flag.Uint64("seed", 42, "profiling noise seed")
 	trials := flag.Int("trials", 3, "dataset trials when training in-process")
 	profileIn := flag.String("profile", "", "load a recorded profile instead of simulating one (-app/-system/-scale ignored)")
@@ -87,6 +88,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained: %s\n\n", ev)
+	}
+
+	if *fallback {
+		ladder, lerr := ml.NewDegradingPredictor(pred.Model, nil, len(arch.Names()), ml.DegradeOpts{})
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		pred.Model = ladder
+		fmt.Printf("degradation ladder armed: %s\n", ladder.Name())
 	}
 
 	if *evalFlag {

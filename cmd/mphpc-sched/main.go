@@ -8,6 +8,7 @@
 // Usage:
 //
 //	mphpc-sched [-jobs N] [-trials N] [-seed S] [-predictor p.json] [-oracle] [-rate R]
+//	            [-fault-rate F] [-fault-seed S] [-retrycap N]
 package main
 
 import (
@@ -36,6 +37,9 @@ func main() {
 	oracle := flag.Bool("oracle", false, "include the perfect-information oracle strategy")
 	rate := flag.Float64("rate", 0, "Poisson arrival rate in jobs/second (0 = all jobs at t=0)")
 	replicates := flag.Int("replicates", 0, "repeat across N workload seeds and report 95% CIs")
+	faultRate := flag.Float64("fault-rate", 0, "node-failure injection rate per job attempt (0 = none)")
+	faultSeed := flag.Uint64("fault-seed", 5, "fault-injection seed")
+	retryCap := flag.Int("retrycap", 0, "re-executions after node failures before a job is abandoned (0 = default 3)")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
 	flag.Parse()
 	cmdSpan := obs.StartSpan("cmd.mphpc-sched")
@@ -78,6 +82,9 @@ func main() {
 		WorkloadSeed:  *workloadSeed,
 		ArrivalRate:   *rate,
 		IncludeOracle: *oracle,
+		NodeFaultRate: *faultRate,
+		FaultSeed:     *faultSeed,
+		RetryCap:      *retryCap,
 	}
 	if *replicates > 1 {
 		rows, err := experiments.SchedulingReplicates(ds, pred, scfg, *replicates)

@@ -171,6 +171,11 @@ func (p *Predictor) PredictFeatures(features map[string]float64) (rpv.RPV, error
 	if err != nil {
 		return nil, err
 	}
+	// A non-finite feature (bad profile arithmetic upstream) must fail
+	// here as a typed error, not propagate NaN into the RPV.
+	if err := ml.ValidateRow(x, len(p.Features)); err != nil {
+		return nil, err
+	}
 	out := rpv.RPV(p.Model.Predict(x))
 	obs.Inc("core.predictions.total")
 	obs.Observe("core.prediction.seconds", obs.SinceSeconds(start))

@@ -1,0 +1,171 @@
+package experiments
+
+// This file holds the fault sweep, the robustness experiment behind
+// the mphpc-faults CLI. One workload is pushed through the full
+// pipeline — degradation ladder for predictions, node failures in the
+// scheduler — at a range of injection rates, demonstrating that
+// makespan degrades gracefully toward (not off a cliff onto) the
+// no-prediction floor.
+
+import (
+	"fmt"
+	"strings"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/fault"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/baseline"
+	"crossarch/internal/obs"
+	"crossarch/internal/sched"
+)
+
+// FaultConfig configures the fault-injection sweep.
+type FaultConfig struct {
+	// Sched shapes the workload (jobs, arrivals, seed), shared by every
+	// sweep point so rate is the only variable.
+	Sched SchedConfig
+	// Rates are the uniform per-class injection rates to sweep
+	// (nil = 0, 0.05, 0.2, 0.5).
+	Rates []float64
+	// FaultSeed seeds the injector. Because draws are keyed, the fault
+	// set at a lower rate is a subset of the set at a higher rate under
+	// the same seed, which is what makes the sweep read as one world
+	// getting progressively less reliable.
+	FaultSeed uint64
+	// RetryCap bounds per-job re-executions (0 = sched default).
+	RetryCap int
+}
+
+func (c *FaultConfig) setDefaults() {
+	c.Sched.setDefaults()
+	if c.Rates == nil {
+		c.Rates = []float64{0, 0.05, 0.2, 0.5}
+	}
+}
+
+// FaultPoint is one sweep row: the model-based pipeline under
+// injection at Rate, next to the no-prediction floor (identity ladder,
+// same faults) it must stay clearly below.
+type FaultPoint struct {
+	Rate   float64
+	Result sched.Result
+	// Floor is the same workload and faults scheduled with the
+	// identity-only ladder (no model, no fallback): what the cluster
+	// does when prediction is gone entirely.
+	Floor sched.Result
+	// ModelCorrupted reports whether the ModelCorrupt draw removed the
+	// primary model for this point (the ladder then starts at the
+	// fallback rung).
+	ModelCorrupted bool
+	// PrimaryRows/FallbackRows/IdentityRows count prediction rows by
+	// the ladder level that resolved them; they always sum to the
+	// number of predicted rows.
+	PrimaryRows, FallbackRows, IdentityRows float64
+}
+
+// DegradedRows is the count of rows resolved below the primary rung.
+func (p FaultPoint) DegradedRows() float64 { return p.FallbackRows + p.IdentityRows }
+
+// ladderRows reads the ladder counters.
+func ladderRows() (primary, fallback, identity float64) {
+	reg := obs.Default()
+	return reg.Counter("ml.ladder.primary.rows").Value(),
+		reg.Counter("ml.ladder.fallback.rows").Value(),
+		reg.Counter("ml.ladder.identity.rows").Value()
+}
+
+// RunFaultSweep runs the pipeline at every configured rate. For each
+// point it builds a fresh injector (same seed), assembles the ladder —
+// the trained model over a mean fallback fitted on the dataset, unless
+// the ModelCorrupt draw removed the primary — predicts the workload
+// through it, and schedules under node failures with the Model-based
+// strategy. The floor run repeats the schedule with identity
+// predictions and the same injected node failures.
+func RunFaultSweep(ds *dataset.Dataset, pred *core.Predictor, cfg FaultConfig) ([]FaultPoint, error) {
+	cfg.setDefaults()
+	outputs := len(dataset.TimeColumns())
+
+	// One shared fallback: the mean baseline the paper uses as its
+	// model floor, fitted on the same dataset.
+	fallback := baseline.New()
+	if err := fallback.Fit(ds.Features(), ds.Targets()); err != nil {
+		return nil, fmt.Errorf("experiments: fitting fault-sweep fallback: %w", err)
+	}
+
+	var points []FaultPoint
+	for _, rate := range cfg.Rates {
+		inj, err := fault.NewInjector(cfg.FaultSeed, fault.Uniform(rate))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault sweep rate %v: %w", rate, err)
+		}
+		pt := FaultPoint{Rate: rate}
+
+		// A corrupt model artifact takes out the whole primary rung;
+		// the ladder absorbs it instead of the pipeline dying.
+		primary := pred.Model
+		if inj.Hit(fault.ModelCorrupt, 0) {
+			primary = nil
+			pt.ModelCorrupted = true
+		}
+		ladder, err := ml.NewDegradingPredictor(primary, fallback, outputs, ml.DegradeOpts{
+			Injector: inj,
+			Clock:    &fault.Clock{},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		p0, f0, i0 := ladderRows()
+		jobs, err := SampleWorkloadModel(ds, ladder, cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		p1, f1, i1 := ladderRows()
+		pt.PrimaryRows, pt.FallbackRows, pt.IdentityRows = p1-p0, f1-f0, i1-i0
+
+		params := sched.Params{Faults: inj, RetryCap: cfg.RetryCap}
+		pt.Result, err = sched.Run(jobs, sched.NewCluster(arch.All()), sched.NewModelBased(), params)
+		if err != nil {
+			return nil, err
+		}
+
+		// Floor: identical workload identity and faults, no prediction
+		// at all (identity ladder ranks every machine equally).
+		identity, err := ml.NewDegradingPredictor(nil, nil, outputs, ml.DegradeOpts{})
+		if err != nil {
+			return nil, err
+		}
+		floorJobs, err := SampleWorkloadModel(ds, identity, cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		pt.Floor, err = sched.Run(floorJobs, sched.NewCluster(arch.All()), sched.NewModelBased(), params)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FormatFaultSweep renders the makespan-vs-fault-rate table.
+func FormatFaultSweep(points []FaultPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep — graceful degradation under injected failures\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %8s %9s %11s %10s %10s %10s %8s\n",
+		"rate", "makespan(h)", "floor(h)", "killed", "abandoned", "wasted(nh)",
+		"primary", "fallback", "identity", "model")
+	for _, p := range points {
+		model := "ok"
+		if p.ModelCorrupted {
+			model = "corrupt"
+		}
+		fmt.Fprintf(&b, "%-6.2f %12.3f %12.3f %8d %9d %11.1f %10.0f %10.0f %10.0f %8s\n",
+			p.Rate, p.Result.MakespanSec/3600, p.Floor.MakespanSec/3600,
+			p.Result.KilledAttempts, p.Result.AbandonedJobs, p.Result.WastedNodeSec/3600,
+			p.PrimaryRows, p.FallbackRows, p.IdentityRows, model)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweep runs a reduced sweep end to end and checks the
+// acceptance invariants the CLI smoke test also enforces: ladder
+// accounting is complete at every rate, rate 0 is fault-free, faults
+// fire at higher rates, and the model stays below the no-prediction
+// floor instead of cliffing.
+func TestFaultSweep(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	cfg := FaultConfig{
+		Sched:     SchedConfig{NumJobs: 500, WorkloadSeed: 5},
+		Rates:     []float64{0, 0.2, 0.5},
+		FaultSeed: 5,
+	}
+	points, err := RunFaultSweep(ds, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+
+	p0 := points[0]
+	if p0.Result.KilledAttempts != 0 || p0.DegradedRows() != 0 || p0.ModelCorrupted {
+		t.Errorf("rate 0 injected faults: %+v", p0)
+	}
+	total := p0.PrimaryRows + p0.FallbackRows + p0.IdentityRows
+	if total <= 0 {
+		t.Fatal("no ladder rows recorded")
+	}
+	for _, p := range points {
+		if got := p.PrimaryRows + p.FallbackRows + p.IdentityRows; got != total {
+			t.Errorf("rate %v: ladder accounts %v rows, want %v", p.Rate, got, total)
+		}
+		if p.Result.CompletedJobs+p.Result.AbandonedJobs != 500 {
+			t.Errorf("rate %v: %d completed + %d abandoned != 500",
+				p.Rate, p.Result.CompletedJobs, p.Result.AbandonedJobs)
+		}
+		if p.Result.MakespanSec >= p.Floor.MakespanSec {
+			t.Errorf("rate %v: makespan %v at/above no-prediction floor %v",
+				p.Rate, p.Result.MakespanSec, p.Floor.MakespanSec)
+		}
+	}
+	if points[1].Result.KilledAttempts == 0 {
+		t.Error("rate 0.2 killed no attempts")
+	}
+	if points[1].DegradedRows() == 0 {
+		t.Error("rate 0.2 degraded no prediction rows")
+	}
+	if points[2].DegradedRows() < points[1].DegradedRows() {
+		t.Errorf("degraded rows shrank with rate: %v -> %v",
+			points[1].DegradedRows(), points[2].DegradedRows())
+	}
+
+	out := FormatFaultSweep(points)
+	if !strings.Contains(out, "rate") || !strings.Contains(out, "0.50") {
+		t.Errorf("table missing columns:\n%s", out)
+	}
+}
+
+// TestFaultSweepDeterministic re-runs the same sweep and requires
+// bitwise-identical makespans — the substrate's keyed draws make the
+// whole experiment a pure function of its seeds.
+func TestFaultSweepDeterministic(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	cfg := FaultConfig{
+		Sched:     SchedConfig{NumJobs: 300, WorkloadSeed: 6},
+		Rates:     []float64{0.3},
+		FaultSeed: 8,
+	}
+	a, err := RunFaultSweep(ds, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultSweep(ds, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Result.MakespanSec != b[0].Result.MakespanSec ||
+		a[0].Result.KilledAttempts != b[0].Result.KilledAttempts ||
+		a[0].DegradedRows() != b[0].DegradedRows() {
+		t.Errorf("sweep not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+// TestSampleWorkloadModelMatches pins the refactor: SampleWorkload and
+// SampleWorkloadModel over the bare model produce identical workloads.
+func TestSampleWorkloadModelMatches(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	pred := sharedPredictor(t)
+	cfg := SchedConfig{NumJobs: 200, WorkloadSeed: 7, ArrivalRate: 5}
+	a, err := SampleWorkload(ds, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleWorkloadModel(ds, pred.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].App != b[i].App || a[i].Nodes != b[i].Nodes {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for k := range a[i].Predicted {
+			if a[i].Predicted[k] != b[i].Predicted[k] {
+				t.Fatalf("job %d prediction differs", i)
+			}
+		}
+	}
+}

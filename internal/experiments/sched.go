@@ -8,6 +8,7 @@ import (
 	"crossarch/internal/arch"
 	"crossarch/internal/core"
 	"crossarch/internal/dataset"
+	"crossarch/internal/fault"
 	"crossarch/internal/ml"
 	"crossarch/internal/rpv"
 	"crossarch/internal/sched"
@@ -25,6 +26,12 @@ type SchedConfig struct {
 	ArrivalRate float64
 	// IncludeOracle adds the perfect-information strategy for ablation.
 	IncludeOracle bool
+	// NodeFaultRate injects node failures at this per-attempt rate
+	// during the simulation (0 = none); FaultSeed seeds the injector
+	// and RetryCap bounds per-job re-executions (0 = sched default).
+	NodeFaultRate float64
+	FaultSeed     uint64
+	RetryCap      int
 }
 
 func (c *SchedConfig) setDefaults() {
@@ -40,6 +47,14 @@ func (c *SchedConfig) setDefaults() {
 // (for Model-based). Predictions are computed once per distinct
 // dataset row and reused across resamples.
 func SampleWorkload(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) ([]*sched.Job, error) {
+	return SampleWorkloadModel(ds, pred.Model, cfg)
+}
+
+// SampleWorkloadModel is SampleWorkload against a bare regressor, so
+// callers can substitute a wrapped model — the fault experiments pass
+// a DegradingPredictor here and the workload identity (row choices,
+// arrivals) stays bit-for-bit the same as with the raw model.
+func SampleWorkloadModel(ds *dataset.Dataset, model ml.Regressor, cfg SchedConfig) ([]*sched.Job, error) {
 	cfg.setDefaults()
 	rng := stats.NewRNG(cfg.WorkloadSeed)
 	n := ds.NumRows()
@@ -84,7 +99,7 @@ func SampleWorkload(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) 
 			batchX = append(batchX, features[row])
 		}
 	}
-	preds := ml.PredictBatch(pred.Model, batchX)
+	preds := ml.PredictBatch(model, batchX)
 
 	jobs := make([]*sched.Job, cfg.NumJobs)
 	for i := range jobs {
@@ -122,6 +137,15 @@ func RunScheduling(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) (
 		strategies = append(strategies, sched.NewOracle())
 	}
 
+	params := sched.Params{RetryCap: cfg.RetryCap}
+	if cfg.NodeFaultRate > 0 {
+		inj, err := fault.NewInjector(cfg.FaultSeed, fault.Plan{NodeFailure: cfg.NodeFaultRate})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		params.Faults = inj
+	}
+
 	var results []sched.Result
 	for _, strat := range strategies {
 		// Fresh job copies per strategy: Run mutates scheduling fields.
@@ -131,7 +155,7 @@ func RunScheduling(ds *dataset.Dataset, pred *core.Predictor, cfg SchedConfig) (
 			jcopy[i] = &cp
 		}
 		cluster := sched.NewCluster(arch.All())
-		res, err := sched.Run(jcopy, cluster, strat, sched.Params{})
+		res, err := sched.Run(jcopy, cluster, strat, params)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scheduling with %s: %w", strat.Name(), err)
 		}

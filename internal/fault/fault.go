@@ -1,0 +1,214 @@
+// Package fault is the pipeline's deterministic fault-injection
+// substrate. Production profiling stacks lose counters, corrupt model
+// files, time out predictions, and lose nodes mid-job; this package
+// simulates those failures reproducibly so every degradation path in
+// the repository can be exercised under `go test` exactly as it would
+// fire in the field.
+//
+// An Injector is seeded like every other stochastic component in the
+// repository (a single integer seed through the stats generator), but
+// its draws are keyed rather than streamed: whether fault class c fires
+// for logical event key k depends only on (seed, c, k), never on how
+// many draws happened before or on which goroutine asks. That makes
+// injection bitwise-reproducible under the parallel prediction pool and
+// lets independent layers (the ml ladder, the scheduler) share one
+// injector without coupling their draw orders.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"crossarch/internal/obs"
+	"crossarch/internal/stats"
+)
+
+// Class enumerates the injectable fault classes, one per real-world
+// failure mode the pipeline must survive.
+type Class int
+
+const (
+	// CounterDropout simulates a hardware counter sample that never
+	// arrived: the feature is missing and must be imputed.
+	CounterDropout Class = iota
+	// FeatureCorrupt simulates NaN/Inf corruption of a feature row, the
+	// kind produced by torn reads or unit bugs in collection agents.
+	FeatureCorrupt
+	// PredictError simulates a transient prediction failure (timeout,
+	// RPC error); retry may succeed.
+	PredictError
+	// ModelCorrupt simulates a truncated or bit-flipped model artifact
+	// that fails to load.
+	ModelCorrupt
+	// NodeFailure simulates a compute node dying at a simulated time,
+	// killing the job running on it.
+	NodeFailure
+
+	// NumClasses is the number of fault classes.
+	NumClasses
+)
+
+// String names the class in tables and error messages.
+func (c Class) String() string {
+	switch c {
+	case CounterDropout:
+		return "counter_dropout"
+	case FeatureCorrupt:
+		return "feature_corrupt"
+	case PredictError:
+		return "predict_error"
+	case ModelCorrupt:
+		return "model_corrupt"
+	case NodeFailure:
+		return "node_failure"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Plan holds the per-class injection rates, each the probability in
+// [0, 1] that the class fires for one keyed event. The zero value
+// injects nothing.
+type Plan struct {
+	CounterDropout float64 `json:"counter_dropout"`
+	FeatureCorrupt float64 `json:"feature_corrupt"`
+	PredictError   float64 `json:"predict_error"`
+	ModelCorrupt   float64 `json:"model_corrupt"`
+	NodeFailure    float64 `json:"node_failure"`
+}
+
+// Uniform returns a plan injecting every class at the same rate.
+func Uniform(rate float64) Plan {
+	return Plan{
+		CounterDropout: rate,
+		FeatureCorrupt: rate,
+		PredictError:   rate,
+		ModelCorrupt:   rate,
+		NodeFailure:    rate,
+	}
+}
+
+// Rate returns the rate for class c (0 for unknown classes).
+func (p Plan) Rate(c Class) float64 {
+	switch c {
+	case CounterDropout:
+		return p.CounterDropout
+	case FeatureCorrupt:
+		return p.FeatureCorrupt
+	case PredictError:
+		return p.PredictError
+	case ModelCorrupt:
+		return p.ModelCorrupt
+	case NodeFailure:
+		return p.NodeFailure
+	default:
+		return 0
+	}
+}
+
+// Validate rejects rates outside [0, 1] (including NaN): an
+// out-of-range rate is always a caller bug — a percentage passed as a
+// fraction, or a sign slip — and clamping it would silently change the
+// experiment.
+func (p Plan) Validate() error {
+	for c := Class(0); c < NumClasses; c++ {
+		r := p.Rate(c)
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", c, r)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the plan injects nothing.
+func (p Plan) Zero() bool {
+	for c := Class(0); c < NumClasses; c++ {
+		if p.Rate(c) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Injector decides deterministically which keyed events fault. The
+// fields are exported so validation layers (sched.Params) can inspect
+// a plan they did not construct; use NewInjector to get a validated
+// instance. A nil *Injector is valid and injects nothing, so
+// fault-free paths pay no branches beyond one nil check.
+type Injector struct {
+	// Seed is the substrate seed all draws derive from.
+	Seed uint64
+	// Plan holds the per-class rates.
+	Plan Plan
+}
+
+// NewInjector returns an injector for the seed and plan, rejecting
+// invalid rates.
+func NewInjector(seed uint64, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{Seed: seed, Plan: plan}, nil
+}
+
+// Key2 mixes two 64-bit components into one draw key, so layers can
+// key draws on composite identities like (row, attempt) or
+// (job, attempt) without colliding with single-component keys.
+func Key2(a, b uint64) uint64 {
+	// SplitMix64-style finalize over a linear combination; the odd
+	// multipliers keep (a,b) and (b,a) distinct.
+	z := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw returns the stream-th uniform variate for (class, key). Each
+// (seed, class, key, stream) tuple seeds its own generator, so draws
+// are independent of call order and safe from any goroutine.
+func (in *Injector) draw(c Class, key, stream uint64) float64 {
+	mixed := Key2(in.Seed, Key2(uint64(c)+1, Key2(key, stream)))
+	return stats.NewRNG(mixed).Float64()
+}
+
+// Hit reports whether fault class c fires for event key, and counts
+// the injection in obs when it does. The same (seed, plan, class, key)
+// always returns the same answer. Nil injectors never fire.
+func (in *Injector) Hit(c Class, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	rate := in.Plan.Rate(c)
+	if rate <= 0 {
+		return false
+	}
+	if rate < 1 && in.draw(c, key, 0) >= rate {
+		return false
+	}
+	// obsnames requires constant metric names, so each class records
+	// into its own literal-named counter.
+	switch c {
+	case CounterDropout:
+		obs.Inc("fault.counter_dropout.total")
+	case FeatureCorrupt:
+		obs.Inc("fault.feature_corrupt.total")
+	case PredictError:
+		obs.Inc("fault.predict_error.total")
+	case ModelCorrupt:
+		obs.Inc("fault.model_corrupt.total")
+	case NodeFailure:
+		obs.Inc("fault.node_failure.total")
+	}
+	return true
+}
+
+// U returns a deterministic uniform variate in [0, 1) for event key of
+// class c, independent of the Hit draw — the "where/when" companion to
+// Hit's "whether" (which feature dropped, how far into the run the
+// node died). Nil injectors return 0.
+func (in *Injector) U(c Class, key uint64) float64 {
+	if in == nil {
+		return 0
+	}
+	return in.draw(c, key, 1)
+}

@@ -1,0 +1,299 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"crossarch/internal/obs"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero plan", Plan{}, true},
+		{"uniform half", Uniform(0.5), true},
+		{"rate one", Uniform(1), true},
+		{"negative rate", Plan{NodeFailure: -0.1}, false},
+		{"rate above one", Plan{PredictError: 1.5}, false},
+		{"NaN rate", Plan{FeatureCorrupt: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+		if _, err := NewInjector(1, c.plan); (err == nil) != c.ok {
+			t.Errorf("%s: NewInjector = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPlanZero(t *testing.T) {
+	if !(Plan{}).Zero() {
+		t.Error("zero plan should report Zero")
+	}
+	if (Plan{ModelCorrupt: 0.01}).Zero() {
+		t.Error("non-zero plan should not report Zero")
+	}
+	if Uniform(0.2).Zero() {
+		t.Error("uniform plan should not report Zero")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := []string{"counter_dropout", "feature_corrupt", "predict_error", "model_corrupt", "node_failure"}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() != want[c] {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c, want[c])
+		}
+	}
+}
+
+// TestHitDeterminismAndOrderIndependence pins the substrate's core
+// contract: a draw depends only on (seed, class, key), never on how
+// many draws preceded it or their order.
+func TestHitDeterminismAndOrderIndependence(t *testing.T) {
+	a, err := NewInjector(42, Uniform(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(42, Uniform(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	forward := make([]bool, n)
+	for k := 0; k < n; k++ {
+		forward[k] = a.Hit(PredictError, uint64(k))
+	}
+	for k := n - 1; k >= 0; k-- {
+		if got := b.Hit(PredictError, uint64(k)); got != forward[k] {
+			t.Fatalf("key %d: reverse-order draw %v != forward-order %v", k, got, forward[k])
+		}
+	}
+	// A different seed must give a different hit set.
+	c, err := NewInjector(43, Uniform(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for k := 0; k < n; k++ {
+		if c.Hit(PredictError, uint64(k)) == forward[k] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed 43 produced the identical hit set as seed 42")
+	}
+}
+
+func TestHitRates(t *testing.T) {
+	const n = 5000
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		in, err := NewInjector(7, Uniform(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for k := 0; k < n; k++ {
+			if in.Hit(NodeFailure, uint64(k)) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("rate %v: empirical hit rate %v", rate, got)
+		}
+	}
+}
+
+func TestHitClassesIndependent(t *testing.T) {
+	in, err := NewInjector(9, Uniform(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for k := 0; k < 500; k++ {
+		if in.Hit(CounterDropout, uint64(k)) != in.Hit(FeatureCorrupt, uint64(k)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("classes share a draw stream: every key agreed across classes")
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Hit(NodeFailure, 1) {
+		t.Error("nil injector fired")
+	}
+	if u := in.U(NodeFailure, 1); u != 0 {
+		t.Errorf("nil injector U = %v", u)
+	}
+}
+
+func TestUDeterministicAndDistinctFromHit(t *testing.T) {
+	in, err := NewInjector(11, Uniform(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, u2 := in.U(NodeFailure, 33), in.U(NodeFailure, 33)
+	if u1 != u2 {
+		t.Errorf("U not deterministic: %v vs %v", u1, u2)
+	}
+	if u1 < 0 || u1 >= 1 {
+		t.Errorf("U out of [0,1): %v", u1)
+	}
+	// The U stream must differ from the Hit stream for most keys.
+	same := 0
+	for k := 0; k < 200; k++ {
+		if in.draw(NodeFailure, uint64(k), 0) == in.draw(NodeFailure, uint64(k), 1) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d keys drew identical values on both streams", same)
+	}
+}
+
+func TestHitCountsInObs(t *testing.T) {
+	in, err := NewInjector(3, Plan{NodeFailure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.Default().Counter("fault.node_failure.total")
+	before := c.Value()
+	for k := 0; k < 10; k++ {
+		in.Hit(NodeFailure, uint64(k))
+	}
+	if got := c.Value() - before; got != 10 {
+		t.Errorf("fault.node_failure.total delta = %v, want 10", got)
+	}
+}
+
+// TestHitConcurrent exercises the injector from many goroutines under
+// -race: draws are stateless, so concurrent use must be safe and agree
+// with sequential evaluation.
+func TestHitConcurrent(t *testing.T) {
+	in, err := NewInjector(21, Uniform(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	want := make([]bool, n)
+	for k := range want {
+		want[k] = in.Hit(FeatureCorrupt, uint64(k))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < n; k++ {
+				if in.Hit(FeatureCorrupt, uint64(k)) != want[k] {
+					select {
+					case errs <- k:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case k := <-errs:
+		t.Fatalf("concurrent draw diverged at key %d", k)
+	default:
+	}
+}
+
+func TestKey2Mixes(t *testing.T) {
+	if Key2(1, 2) == Key2(2, 1) {
+		t.Error("Key2 is symmetric; composite keys would collide")
+	}
+	if Key2(0, 0) == Key2(0, 1) || Key2(0, 0) == Key2(1, 0) {
+		t.Error("Key2 collides on small inputs")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Errorf("zero clock Now = %v", c.Now())
+	}
+	c.Sleep(1.5)
+	c.Sleep(-2)         // ignored
+	c.Sleep(math.NaN()) // ignored
+	if c.Now() != 1.5 {
+		t.Errorf("clock after sleeps = %v, want 1.5", c.Now())
+	}
+	var nilClock *Clock
+	nilClock.Sleep(1) // must not panic
+	if nilClock.Now() != 0 {
+		t.Errorf("nil clock Now = %v", nilClock.Now())
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Retries: 4, Base: 0.1, Factor: 2, Max: 0.35}
+	want := []float64{0.1, 0.2, 0.35, 0.35}
+	for i, w := range want {
+		if got := b.Delay(i + 1); math.Abs(got-w) > 1e-12 {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := (Backoff{}).Attempts(); got != 3 {
+		t.Errorf("default Attempts = %d, want 3", got)
+	}
+	if got := (Backoff{Retries: -1}).Attempts(); got != 1 {
+		t.Errorf("Retries -1 Attempts = %d, want 1", got)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	clock := &Clock{}
+	calls := 0
+	err := Retry(clock, Backoff{Retries: 3, Base: 0.1, Factor: 2, Max: 10}, func(attempt int) error {
+		if attempt != calls {
+			t.Errorf("attempt %d on call %d", attempt, calls)
+		}
+		calls++
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Two backoffs: 0.1 + 0.2 simulated seconds, no wall time.
+	if got := clock.Now(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("simulated clock = %v, want 0.3", got)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	err := Retry(nil, Backoff{Retries: 2}, func(int) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("exhausted Retry error %v does not wrap the last failure", err)
+	}
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"fmt"
+
+	"crossarch/internal/obs"
+)
+
+// Clock is a simulated clock: a monotonically advancing virtual time in
+// seconds. Retry backoff sleeps on it instead of the wall clock, so
+// tests of transient-fault handling run instantly and the backoff
+// schedule is part of the deterministic record. The zero value starts
+// at time zero; a nil *Clock still accepts sleeps (they are counted in
+// obs but the elapsed time is discarded).
+type Clock struct {
+	sec float64
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.sec
+}
+
+// Sleep advances the simulated clock by d seconds (negative or NaN
+// durations are ignored, mirroring obs counter semantics).
+func (c *Clock) Sleep(d float64) {
+	if !(d > 0) {
+		return
+	}
+	obs.Add("fault.backoff.seconds.total", d)
+	if c != nil {
+		c.sec += d
+	}
+}
+
+// Backoff bounds a retry loop: up to Retries re-attempts after the
+// first failure, sleeping Base * Factor^attempt simulated seconds
+// (capped at Max) between attempts. Zero fields take the documented
+// defaults.
+type Backoff struct {
+	// Retries is the number of re-attempts after the first failure
+	// (0 = 2; use a negative value for "no retries").
+	Retries int
+	// Base is the first backoff delay in simulated seconds (0 = 0.05).
+	Base float64
+	// Factor multiplies the delay each attempt (0 = 2).
+	Factor float64
+	// Max caps one delay (0 = 1.0).
+	Max float64
+}
+
+// withDefaults returns the backoff with zero fields defaulted.
+func (b Backoff) withDefaults() Backoff {
+	if b.Retries == 0 {
+		b.Retries = 2
+	}
+	if b.Retries < 0 {
+		b.Retries = 0
+	}
+	if b.Base == 0 {
+		b.Base = 0.05
+	}
+	if b.Factor == 0 {
+		b.Factor = 2
+	}
+	if b.Max == 0 {
+		b.Max = 1
+	}
+	return b
+}
+
+// Attempts returns the total attempt budget (first try + retries).
+func (b Backoff) Attempts() int { return b.withDefaults().Retries + 1 }
+
+// Delay returns the simulated backoff before re-attempt number
+// attempt (1-based: the delay slept after the attempt-th failure).
+func (b Backoff) Delay(attempt int) float64 {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= b.Max {
+			return b.Max
+		}
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// Retry runs op until it succeeds or the attempt budget is exhausted,
+// sleeping the backoff schedule on the simulated clock between
+// attempts. op receives the 0-based attempt number; the returned error
+// is nil on success or the last attempt's error. Every re-attempt is
+// counted in obs.
+func Retry(clock *Clock, b Backoff, op func(attempt int) error) error {
+	b = b.withDefaults()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(attempt); err == nil {
+			return nil
+		}
+		if attempt >= b.Retries {
+			return fmt.Errorf("fault: %d attempts exhausted: %w", attempt+1, err)
+		}
+		obs.Inc("fault.retries.total")
+		clock.Sleep(b.Delay(attempt + 1))
+	}
+}

@@ -7,13 +7,14 @@ import (
 // SeedDiscipline enforces the repository's seed-threading contract
 // (internal/stats package doc): every experiment must be reproducible
 // from a single integer seed, so library code may only construct a
-// *stats.RNG from a seed that was passed in — never from a literal
-// buried at call depth. A literal seed is legitimate exactly once, at
-// the top of a program (package main) or in a test; anywhere deeper it
-// pins a hidden stream that callers cannot vary or replay.
+// *stats.RNG — or a *fault.Injector, whose keyed draws derive from the
+// same generator — from a seed that was passed in, never from a
+// literal buried at call depth. A literal seed is legitimate exactly
+// once, at the top of a program (package main) or in a test; anywhere
+// deeper it pins a hidden stream that callers cannot vary or replay.
 var SeedDiscipline = &Analyzer{
 	Name: "seeddiscipline",
-	Doc:  "forbids constant-literal seeds to stats.NewRNG outside package main and tests; thread the seed parameter",
+	Doc:  "forbids constant-literal seeds to stats.NewRNG and fault.NewInjector outside package main and tests; thread the seed parameter",
 	Run:  runSeedDiscipline,
 }
 
@@ -25,7 +26,7 @@ func runSeedDiscipline(pass *Pass) {
 				return true
 			}
 			fn := funcObject(pass.Info, call)
-			if !funcIn(fn, "stats", "NewRNG") {
+			if !funcIn(fn, "stats", "NewRNG") && !funcIn(fn, "fault", "NewInjector") {
 				return true
 			}
 			if pass.Pkg != nil && pass.Pkg.Name() == "main" {
@@ -35,7 +36,8 @@ func runSeedDiscipline(pass *Pass) {
 				return true
 			}
 			if isConstExpr(pass, call.Args[0]) {
-				pass.Reportf(call.Args[0].Pos(), "stats.NewRNG seeded with a literal in library code; thread an explicit seed parameter")
+				pass.Reportf(call.Args[0].Pos(), "%s.%s seeded with a literal in library code; thread an explicit seed parameter",
+					fn.Pkg().Name(), fn.Name())
 			}
 			return true
 		})

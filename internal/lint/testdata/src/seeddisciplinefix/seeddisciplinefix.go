@@ -1,7 +1,10 @@
 // Package seeddisciplinefix exercises the seeddiscipline analyzer.
 package seeddisciplinefix
 
-import "seeddisciplinefix/stats"
+import (
+	"seeddisciplinefix/fault"
+	"seeddisciplinefix/stats"
+)
 
 const defaultSeed = 42
 
@@ -23,4 +26,14 @@ func ThreadedSeed(seed uint64) *stats.RNG {
 // DerivedSeed mixes a threaded seed; the argument is not constant.
 func DerivedSeed(seed uint64, stream uint64) *stats.RNG {
 	return stats.NewRNG(seed ^ stream)
+}
+
+// LiteralInjectorSeed pins the fault substrate the same way: flagged.
+func LiteralInjectorSeed() (*fault.Injector, error) {
+	return fault.NewInjector(99, fault.Plan{Rate: 0.1}) // want "seeded with a literal in library code"
+}
+
+// ThreadedInjectorSeed is the contract for injectors too.
+func ThreadedInjectorSeed(seed uint64) (*fault.Injector, error) {
+	return fault.NewInjector(seed, fault.Plan{Rate: 0.1})
 }

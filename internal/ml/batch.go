@@ -29,38 +29,100 @@ const minChunk = 256
 // without synchronization; fn must not touch rows outside its block.
 // Small n runs inline on the calling goroutine. ParallelRows returns
 // after every block has been processed.
+//
+// A panic inside fn is captured in the worker and re-raised on the
+// calling goroutine after all blocks finish, so callers can recover it
+// like any ordinary panic; an uncaught worker panic would otherwise
+// kill the whole process with no recovery point.
 func ParallelRows(n int, fn func(lo, hi int)) {
+	parallelBlocks(n, fn, nil)
+}
+
+// ParallelRowsSafe is ParallelRows with per-row panic isolation for
+// degradable work: when a block panics, the pool re-runs that block's
+// rows one at a time and reports each row that panics to onPanic
+// (called from the worker goroutine that hit it, with disjoint rows)
+// instead of unwinding. The batch survives — only the panicking rows
+// lack output, and the caller decides how to degrade them. fn must be
+// idempotent per row, because rows of a panicked block that ran before
+// the panic run again during isolation. A nil onPanic behaves exactly
+// like ParallelRows.
+func ParallelRowsSafe(n int, fn func(lo, hi int), onPanic func(row int, v any)) {
+	parallelBlocks(n, fn, onPanic)
+}
+
+// parallelBlocks is the shared pool: chunking, instrumentation, and
+// panic containment.
+func parallelBlocks(n int, fn func(lo, hi int), onPanic func(row int, v any)) {
 	if n <= 0 {
 		return
 	}
+	// runBlock reports whether fn completed; the returned value is the
+	// recovered panic when it did not. The bool is the source of truth
+	// (a recovered nil still means the block died).
+	runBlock := func(lo, hi int) (v any, ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				v = r
+			}
+		}()
+		fn(lo, hi)
+		return nil, true
+	}
+	var panicMu sync.Mutex
+	var firstPanic any
+	var panicked bool
+	safeRun := func(lo, hi int) {
+		v, ok := runBlock(lo, hi)
+		if ok {
+			return
+		}
+		if onPanic == nil {
+			panicMu.Lock()
+			if !panicked {
+				panicked, firstPanic = true, v
+			}
+			panicMu.Unlock()
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if v, ok := runBlock(i, i+1); !ok {
+				onPanic(i, v)
+			}
+		}
+	}
+
 	// Chunk occupancy is observed per block, not per row, so the
 	// instrumentation cost stays negligible next to the traversal work.
 	workers := runtime.GOMAXPROCS(0)
 	if n < 2*minChunk || workers <= 1 {
 		obs.Add("ml.parallel.chunks.total", 1)
 		obs.Observe("ml.parallel.chunk.rows", float64(n))
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	if chunk < minChunk {
-		chunk = minChunk
-	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+		safeRun(0, n)
+	} else {
+		chunk := (n + workers - 1) / workers
+		if chunk < minChunk {
+			chunk = minChunk
 		}
-		obs.Add("ml.parallel.chunks.total", 1)
-		obs.Observe("ml.parallel.chunk.rows", float64(hi-lo))
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			obs.Add("ml.parallel.chunks.total", 1)
+			obs.Observe("ml.parallel.chunk.rows", float64(hi-lo))
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				safeRun(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if panicked {
+		panic(firstPanic)
+	}
 }
 
 // NewMatrix allocates a rows x cols matrix whose rows share one

@@ -108,6 +108,71 @@ func TestPredictBatchUsesVectorizedPath(t *testing.T) {
 	}
 }
 
+// TestParallelRowsRepanicsOnCaller pins the containment contract: a
+// worker panic no longer kills the process but surfaces as a
+// recoverable panic on the calling goroutine, at inline and parallel
+// sizes.
+func TestParallelRowsRepanicsOnCaller(t *testing.T) {
+	for _, n := range []int{4, 4096} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("n=%d: recovered %v, want boom", n, r)
+				}
+			}()
+			ParallelRows(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == n/2 {
+						panic("boom")
+					}
+				}
+			})
+			t.Errorf("n=%d: ParallelRows returned past a panicking block", n)
+		}()
+	}
+}
+
+// TestParallelRowsSafeIsolatesPanickingRows checks the degradation
+// contract: only the rows that panic are reported, every other row's
+// output survives, and the pool never unwinds.
+func TestParallelRowsSafeIsolatesPanickingRows(t *testing.T) {
+	for _, n := range []int{9, 2048} {
+		bad := map[int]bool{1: true, n / 2: true, n - 1: true}
+		out := make([]float64, n)
+		var mu sync.Mutex
+		panicked := map[int]bool{}
+		ParallelRowsSafe(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if bad[i] {
+					panic(i)
+				}
+				out[i] = float64(i) + 0.5
+			}
+		}, func(row int, v any) {
+			mu.Lock()
+			panicked[row] = true
+			mu.Unlock()
+			if v.(int) != row {
+				t.Errorf("row %d reported panic value %v", row, v)
+			}
+		})
+		for i := range out {
+			if bad[i] {
+				if !panicked[i] {
+					t.Errorf("n=%d: bad row %d not reported", n, i)
+				}
+				continue
+			}
+			if out[i] != float64(i)+0.5 {
+				t.Errorf("n=%d: surviving row %d = %v", n, i, out[i])
+			}
+		}
+		if len(panicked) != len(bad) {
+			t.Errorf("n=%d: %d rows reported, want %d", n, len(panicked), len(bad))
+		}
+	}
+}
+
 // TestPredictBatchConcurrent exercises the helper from many goroutines
 // at once so -race can observe the shared pool machinery.
 func TestPredictBatchConcurrent(t *testing.T) {

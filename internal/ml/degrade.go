@@ -1,0 +1,415 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
+)
+
+// Ladder levels, in degradation order. Every prediction resolves at
+// exactly one level; the identity floor cannot fail, so a batch always
+// returns a full output matrix no matter what faults fire.
+const (
+	// LevelPrimary is the trained model (xgboost in the paper pipeline).
+	LevelPrimary = iota
+	// LevelFallback is the feature-independent baseline (per-arch mean).
+	LevelFallback
+	// LevelIdentity is the unit relative-performance vector: "assume all
+	// architectures perform alike". Always succeeds.
+	LevelIdentity
+
+	numLevels
+)
+
+// LevelName names a ladder level in tables and logs.
+func LevelName(level int) string {
+	switch level {
+	case LevelPrimary:
+		return "primary"
+	case LevelFallback:
+		return "fallback"
+	case LevelIdentity:
+		return "identity"
+	default:
+		return fmt.Sprintf("level(%d)", level)
+	}
+}
+
+// DegradeOpts configures a DegradingPredictor. The zero value is a
+// fault-free ladder with the documented breaker defaults.
+type DegradeOpts struct {
+	// Injector supplies the fault draws; nil injects nothing.
+	Injector *fault.Injector
+	// Clock receives retry backoff sleeps; nil discards elapsed time.
+	Clock *fault.Clock
+	// Backoff bounds the per-row retry loop for transient predict
+	// errors (zero value = fault.Backoff defaults).
+	Backoff fault.Backoff
+	// BreakerThreshold is the number of consecutive primary failures
+	// that opens the circuit breaker (0 = 8; negative disables the
+	// breaker entirely).
+	BreakerThreshold int
+	// BreakerCooldown is the number of rows served at fallback while
+	// the breaker is open before one probe row retries the primary
+	// (0 or negative = 64).
+	BreakerCooldown int
+}
+
+// DegradingPredictor is the graceful-degradation prediction ladder:
+// primary model, then feature-independent fallback, then the unit-RPV
+// identity, which always succeeds. Faults — injected or organic
+// (non-finite inputs, panicking models) — demote individual rows down
+// the ladder instead of failing the batch, and a circuit breaker stops
+// hammering a primary that fails many rows in a row.
+//
+// Planning (which level serves which row, fault draws, breaker state)
+// is serialized under a mutex over a monotone row-sequence counter, so
+// a single stream of batches is bitwise-reproducible regardless of how
+// prediction work is later scheduled across goroutines. With a nil
+// injector and healthy models, batch output is bitwise identical to
+// calling the primary directly.
+type DegradingPredictor struct {
+	primary  Regressor
+	fallback Regressor
+	outputs  int
+	opts     DegradeOpts
+
+	mu       sync.Mutex
+	seq      uint64 // next row-sequence key for fault draws
+	consec   int    // consecutive primary failures
+	cooldown int    // rows remaining with the breaker open
+	halfOpen bool   // next primary row is a probe after cooldown
+}
+
+var (
+	_ BatchRegressor = (*DegradingPredictor)(nil)
+	_ OutputSizer    = (*DegradingPredictor)(nil)
+)
+
+// NewDegradingPredictor builds the ladder. primary and fallback may
+// each be nil (rows plan past a missing level); outputs is the
+// prediction width and must be positive so the identity floor can size
+// its all-ones vector even with both models absent.
+func NewDegradingPredictor(primary, fallback Regressor, outputs int, opts DegradeOpts) (*DegradingPredictor, error) {
+	if outputs <= 0 {
+		return nil, fmt.Errorf("ml: degrading predictor needs outputs > 0, got %d", outputs)
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 8
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 64
+	}
+	return &DegradingPredictor{primary: primary, fallback: fallback, outputs: outputs, opts: opts}, nil
+}
+
+// Name identifies the ladder and its rungs, e.g.
+// "degrading(xgboost->mean->identity)".
+func (d *DegradingPredictor) Name() string {
+	p, f := "none", "none"
+	if d.primary != nil {
+		p = d.primary.Name()
+	}
+	if d.fallback != nil {
+		f = d.fallback.Name()
+	}
+	return fmt.Sprintf("degrading(%s->%s->identity)", p, f)
+}
+
+// NumOutputs implements OutputSizer.
+func (d *DegradingPredictor) NumOutputs() int { return d.outputs }
+
+// Fit trains both rungs on the same data. The target width must match
+// the width the ladder was built for.
+func (d *DegradingPredictor) Fit(X, Y [][]float64) error {
+	_, outputs, err := CheckFitShapes(X, Y)
+	if err != nil {
+		return err
+	}
+	if outputs != d.outputs {
+		return fmt.Errorf("ml: degrading predictor built for %d outputs, targets have %d", d.outputs, outputs)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.primary != nil {
+		if err := d.primary.Fit(X, Y); err != nil {
+			return err
+		}
+	}
+	if d.fallback != nil {
+		if err := d.fallback.Fit(X, Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict resolves a single row through the ladder.
+func (d *DegradingPredictor) Predict(x []float64) []float64 {
+	out := NewMatrix(1, d.outputs)
+	d.PredictBatch([][]float64{x}, out)
+	return out[0]
+}
+
+// rowPlan is the planned treatment of one row: the level it starts at
+// and the feature to impute after a counter dropout (-1 = none).
+type rowPlan struct {
+	level  int
+	impute int
+}
+
+// PredictBatch resolves every row of X through the ladder into out
+// (len(X) rows of width NumOutputs). It never panics on model
+// failure: a panicking primary row degrades that row, not the batch.
+// Level counts are recorded in obs and always sum to len(X).
+func (d *DegradingPredictor) PredictBatch(X, out [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	plans := d.plan(X)
+
+	// Resolved level per row. Rows are written by at most one goroutine
+	// (disjoint blocks) and read only after the pool's barrier.
+	levels := make([]int, len(X))
+	var primaryIdx []int
+	pure := true // every row primary, nothing imputed: the fault-free fast path
+	for i, p := range plans {
+		levels[i] = p.level
+		if p.level == LevelPrimary {
+			primaryIdx = append(primaryIdx, i)
+			if p.impute >= 0 {
+				pure = false
+			}
+		} else {
+			pure = false
+		}
+	}
+
+	if pure {
+		if !d.predictPrimaryWhole(X, out) {
+			// The whole batch panicked; isolate row by row so only the
+			// offending rows degrade.
+			d.predictPrimaryRows(X, out, primaryIdx, plans, levels)
+		}
+	} else if len(primaryIdx) > 0 {
+		d.predictPrimaryRows(X, out, primaryIdx, plans, levels)
+	}
+
+	for i := range X {
+		switch levels[i] {
+		case LevelFallback:
+			d.predictFallbackRow(X[i], out[i], &levels[i])
+		case LevelIdentity:
+			identityRow(out[i])
+		}
+	}
+
+	var counts [numLevels]int
+	for _, lv := range levels {
+		counts[lv]++
+	}
+	obs.Add("ml.ladder.primary.rows", float64(counts[LevelPrimary]))
+	obs.Add("ml.ladder.fallback.rows", float64(counts[LevelFallback]))
+	obs.Add("ml.ladder.identity.rows", float64(counts[LevelIdentity]))
+	worst := LevelPrimary
+	for lv := numLevels - 1; lv > LevelPrimary; lv-- {
+		if counts[lv] > 0 {
+			worst = lv
+			break
+		}
+	}
+	obs.Set("ml.ladder.level", float64(worst))
+}
+
+// plan assigns a ladder level to every row of the batch. It runs
+// sequentially under the mutex so breaker transitions and fault-draw
+// keys depend only on row order, never on goroutine scheduling.
+func (d *DegradingPredictor) plan(X [][]float64) []rowPlan {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	plans := make([]rowPlan, len(X))
+	for i := range X {
+		plans[i] = d.planRow(X[i])
+	}
+	return plans
+}
+
+// planRow decides one row's starting level, consuming the next
+// row-sequence key. Caller holds d.mu.
+func (d *DegradingPredictor) planRow(x []float64) rowPlan {
+	key := d.seq
+	d.seq++
+	p := rowPlan{level: LevelPrimary, impute: -1}
+	switch {
+	case d.primary == nil:
+		p.level = LevelFallback
+	case d.cooldown > 0:
+		// Breaker open: serve at fallback without touching the primary.
+		d.cooldown--
+		if d.cooldown == 0 {
+			d.halfOpen = true
+		}
+		obs.Inc("ml.breaker.skipped.total")
+		p.level = LevelFallback
+	default:
+		inj := d.opts.Injector
+		if inj.Hit(fault.CounterDropout, key) && len(x) > 0 {
+			// A counter sample never arrived. Pick which feature via the
+			// keyed companion draw and impute it; the row stays primary.
+			f := int(inj.U(fault.CounterDropout, key) * float64(len(x)))
+			if f >= len(x) {
+				f = len(x) - 1
+			}
+			p.impute = f
+			obs.Inc("ml.degrade.imputed.total")
+		}
+		failed := inj.Hit(fault.FeatureCorrupt, key) || !rowFinite(x, p.impute)
+		if !failed && inj != nil && inj.Plan.Rate(fault.PredictError) > 0 {
+			err := fault.Retry(d.opts.Clock, d.opts.Backoff, func(attempt int) error {
+				if inj.Hit(fault.PredictError, fault.Key2(key, uint64(attempt))) {
+					return fmt.Errorf("ml: injected transient predict error (row key %d, attempt %d)", key, attempt)
+				}
+				return nil
+			})
+			failed = err != nil
+		}
+		if failed {
+			p.level = LevelFallback
+			d.noteFailure()
+		} else {
+			d.noteSuccess()
+		}
+	}
+	if p.level == LevelFallback && d.fallback == nil {
+		p.level = LevelIdentity
+	}
+	return p
+}
+
+// noteFailure advances the breaker after a planned primary failure.
+// Caller holds d.mu.
+func (d *DegradingPredictor) noteFailure() {
+	if d.opts.BreakerThreshold < 0 {
+		return
+	}
+	if d.halfOpen {
+		// The probe row failed: reopen immediately.
+		d.halfOpen = false
+		d.openBreaker()
+		return
+	}
+	d.consec++
+	if d.consec >= d.opts.BreakerThreshold {
+		d.openBreaker()
+	}
+}
+
+// noteSuccess resets the breaker after a planned primary success.
+// Caller holds d.mu.
+func (d *DegradingPredictor) noteSuccess() {
+	d.consec = 0
+	d.halfOpen = false
+}
+
+// openBreaker opens the circuit for the configured cooldown. Caller
+// holds d.mu.
+func (d *DegradingPredictor) openBreaker() {
+	d.consec = 0
+	d.cooldown = d.opts.BreakerCooldown
+	obs.Inc("ml.breaker.open.total")
+}
+
+// predictPrimaryWhole runs the primary over the whole batch on its
+// native path — bitwise identical to using the primary directly — and
+// reports whether it completed. A panic anywhere fails the whole call;
+// the caller re-runs with per-row isolation.
+func (d *DegradingPredictor) predictPrimaryWhole(X, out [][]float64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	if br, isBatch := d.primary.(BatchRegressor); isBatch {
+		br.PredictBatch(X, out)
+	} else {
+		for i, x := range X {
+			writePred(out[i], d.primary.Predict(x))
+		}
+	}
+	return true
+}
+
+// predictPrimaryRows runs the primary row by row over the planned
+// subset with panic isolation: a row that panics is demoted one level
+// and the rest of the batch is untouched. Prediction is read-only on a
+// fitted model, so the per-row re-run after a block panic is safe.
+func (d *DegradingPredictor) predictPrimaryRows(X, out [][]float64, idx []int, plans []rowPlan, levels []int) {
+	ParallelRowsSafe(len(idx), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			i := idx[j]
+			x := X[i]
+			if f := plans[i].impute; f >= 0 {
+				cp := append([]float64(nil), x...)
+				cp[f] = 0 // features are z-scored: 0 is the training mean
+				x = cp
+			}
+			writePred(out[i], d.primary.Predict(x))
+		}
+	}, func(j int, v any) {
+		obs.Inc("ml.ladder.panic.total")
+		i := idx[j]
+		levels[i] = LevelFallback
+		if d.fallback == nil {
+			levels[i] = LevelIdentity
+		}
+	})
+}
+
+// predictFallbackRow resolves one row at the fallback rung; a panic
+// there drops the row to the identity floor.
+func (d *DegradingPredictor) predictFallbackRow(x, out []float64, level *int) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Inc("ml.ladder.panic.total")
+			*level = LevelIdentity
+			identityRow(out)
+		}
+	}()
+	writePred(out, d.fallback.Predict(x))
+}
+
+// identityRow fills the unit relative-performance vector: every
+// architecture predicted to perform identically.
+func identityRow(out []float64) {
+	for j := range out {
+		out[j] = 1
+	}
+}
+
+// writePred copies a model's prediction into the output row, panicking
+// on width mismatch so the ladder's panic isolation degrades the row
+// instead of silently truncating it.
+func writePred(dst, src []float64) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("ml: prediction width %d, want %d", len(src), len(dst)))
+	}
+	copy(dst, src)
+}
+
+// rowFinite reports whether every feature except the imputed one is
+// finite; a non-finite surviving feature means the row cannot be
+// trusted at the primary rung.
+func rowFinite(x []float64, impute int) bool {
+	for j, v := range x {
+		if j == impute {
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,336 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
+)
+
+// affineModel is a deterministic stand-in for the trained primary: a
+// feature-dependent BatchRegressor, optionally panicking on marked rows
+// so tests can exercise panic isolation.
+type affineModel struct {
+	w       float64
+	panicOn float64 // panic when x[0] equals this (0 disables)
+}
+
+func (m *affineModel) Fit(X, Y [][]float64) error { return nil }
+func (m *affineModel) Name() string               { return "affine" }
+func (m *affineModel) Predict(x []float64) []float64 {
+	if m.panicOn != 0 && x[0] == m.panicOn {
+		panic("marked row")
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return []float64{m.w * s, m.w*s + 1}
+}
+func (m *affineModel) PredictBatch(X, out [][]float64) {
+	for i, x := range X {
+		copy(out[i], m.Predict(x))
+	}
+}
+
+func degradeInputs(n int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i%17) + 0.25, float64(i % 5), -float64(i % 3)}
+	}
+	return X
+}
+
+func ladderCounts(t *testing.T) (primary, fallback, identity float64) {
+	t.Helper()
+	reg := obs.Default()
+	return reg.Counter("ml.ladder.primary.rows").Value(),
+		reg.Counter("ml.ladder.fallback.rows").Value(),
+		reg.Counter("ml.ladder.identity.rows").Value()
+}
+
+// TestDegradingRateZeroBitwise pins the acceptance bar: with no
+// injector the ladder's batch output is bitwise identical to calling
+// the primary directly, and every row resolves at the primary rung.
+func TestDegradingRateZeroBitwise(t *testing.T) {
+	primary := &affineModel{w: 2}
+	d, err := NewDegradingPredictor(primary, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := degradeInputs(600)
+	p0, _, _ := ladderCounts(t)
+	got := PredictBatch(d, X)
+	want := PredictBatch(primary, X)
+	for i := range X {
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("row %d: ladder %v, primary %v", i, got[i], want[i])
+			}
+		}
+	}
+	p1, _, _ := ladderCounts(t)
+	if p1-p0 != 600 {
+		t.Errorf("primary rows delta = %v, want 600", p1-p0)
+	}
+	if name := d.Name(); name != "degrading(affine->constant-test->identity)" {
+		t.Errorf("Name() = %q", name)
+	}
+}
+
+// TestDegradingDeterministic runs two fresh ladders with the same seed
+// and plan over the same batches and requires bitwise-identical
+// outputs — the property the keyed fault substrate exists to provide.
+func TestDegradingDeterministic(t *testing.T) {
+	run := func() [][]float64 {
+		inj, err := fault.NewInjector(99, fault.Plan{
+			CounterDropout: 0.3, FeatureCorrupt: 0.2, PredictError: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDegradingPredictor(&affineModel{w: 2}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{Injector: inj, Clock: &fault.Clock{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]float64
+		for _, n := range []int{50, 300, 1} {
+			out = append(out, PredictBatch(d, degradeInputs(n))...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDegradingLadderAccounting checks the obs invariant the faults
+// CLI smoke test relies on: level counts sum to exactly the rows
+// predicted, at every fault rate.
+func TestDegradingLadderAccounting(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.2, 0.5, 1} {
+		inj, err := fault.NewInjector(7, fault.Uniform(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{Injector: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0, f0, i0 := ladderCounts(t)
+		const n = 400
+		PredictBatch(d, degradeInputs(n))
+		p1, f1, i1 := ladderCounts(t)
+		if sum := (p1 - p0) + (f1 - f0) + (i1 - i0); sum != n {
+			t.Errorf("rate %v: ladder rows sum to %v, want %v", rate, sum, n)
+		}
+	}
+}
+
+// TestDegradingBreakerOpensAndProbes drives a primary that always
+// fails (PredictError at rate 1): the breaker opens after the
+// threshold, skips the cooldown rows, and reopens when the probe row
+// fails again.
+func TestDegradingBreakerOpensAndProbes(t *testing.T) {
+	inj, err := fault.NewInjector(3, fault.Plan{PredictError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{
+		Injector: inj, Clock: &fault.Clock{}, BreakerThreshold: 2, BreakerCooldown: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	opens0 := reg.Counter("ml.breaker.open.total").Value()
+	skip0 := reg.Counter("ml.breaker.skipped.total").Value()
+	p0, f0, _ := ladderCounts(t)
+	// 12 rows: fail,fail(open) skip,skip,skip probe-fail(reopen)
+	// skip,skip,skip probe-fail(reopen) skip,skip — 3 opens, 8 skips.
+	PredictBatch(d, degradeInputs(12))
+	if got := reg.Counter("ml.breaker.open.total").Value() - opens0; got != 3 {
+		t.Errorf("breaker opens = %v, want 3", got)
+	}
+	if got := reg.Counter("ml.breaker.skipped.total").Value() - skip0; got != 8 {
+		t.Errorf("breaker skips = %v, want 8", got)
+	}
+	p1, f1, _ := ladderCounts(t)
+	if p1-p0 != 0 || f1-f0 != 12 {
+		t.Errorf("primary/fallback deltas = %v/%v, want 0/12", p1-p0, f1-f0)
+	}
+}
+
+// TestDegradingPanicDegradesRowNotBatch marks two rows so the primary
+// panics on them: those rows resolve at fallback, every other row
+// keeps its primary output, and the batch call itself never panics.
+func TestDegradingPanicDegradesRowNotBatch(t *testing.T) {
+	primary := &affineModel{w: 2, panicOn: 13.5}
+	d, err := NewDegradingPredictor(primary, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := degradeInputs(300)
+	X[40][0] = 13.5
+	X[200][0] = 13.5
+	out := PredictBatch(d, X)
+	clean := &affineModel{w: 2}
+	for i, x := range X {
+		if i == 40 || i == 200 {
+			if out[i][0] != 7 || out[i][1] != 8 {
+				t.Errorf("panicking row %d = %v, want fallback [7 8]", i, out[i])
+			}
+			continue
+		}
+		want := clean.Predict(x)
+		if out[i][0] != want[0] || out[i][1] != want[1] {
+			t.Errorf("surviving row %d = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+// TestDegradingNonFiniteInputFallsBack sends genuinely corrupt rows
+// (no injector at all): NaN and Inf rows resolve at fallback, finite
+// rows stay primary.
+func TestDegradingNonFiniteInputFallsBack(t *testing.T) {
+	d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := [][]float64{{1, 2, 3}, {math.NaN(), 2, 3}, {1, math.Inf(1), 3}, {4, 5, 6}}
+	out := PredictBatch(d, X)
+	if out[1][0] != 7 || out[2][0] != 7 {
+		t.Errorf("corrupt rows = %v, %v, want fallback", out[1], out[2])
+	}
+	if out[0][0] != 6 || out[3][0] != 15 {
+		t.Errorf("finite rows = %v, %v, want primary sums", out[0], out[3])
+	}
+}
+
+// TestDegradingIdentityFloor removes both models: every row resolves
+// to the all-ones unit RPV and nothing panics.
+func TestDegradingIdentityFloor(t *testing.T) {
+	d, err := NewDegradingPredictor(nil, nil, 3, DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, i0 := ladderCounts(t)
+	out := PredictBatch(d, degradeInputs(5))
+	for i := range out {
+		for k := range out[i] {
+			if out[i][k] != 1 {
+				t.Fatalf("identity row %d = %v", i, out[i])
+			}
+		}
+	}
+	_, _, i1 := ladderCounts(t)
+	if i1-i0 != 5 {
+		t.Errorf("identity rows delta = %v, want 5", i1-i0)
+	}
+	if !strings.Contains(d.Name(), "none->none") {
+		t.Errorf("Name() = %q", d.Name())
+	}
+}
+
+// TestDegradingRetryRecovers injects transient predict errors at a
+// rate where retries matter: with the default budget some rows must
+// still resolve at primary, retries are counted, and the simulated
+// clock (not the wall clock) absorbs the backoff.
+func TestDegradingRetryRecovers(t *testing.T) {
+	inj, err := fault.NewInjector(11, fault.Plan{PredictError: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fault.Clock{}
+	d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{Injector: inj, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retries0 := obs.Default().Counter("fault.retries.total").Value()
+	p0, f0, _ := ladderCounts(t)
+	PredictBatch(d, degradeInputs(300))
+	p1, f1, _ := ladderCounts(t)
+	// At rate 0.5 with 3 attempts, ~7/8 of rows should recover; require
+	// the loose version of both directions.
+	if p1-p0 <= f1-f0 {
+		t.Errorf("primary %v <= fallback %v: retries are not recovering transient faults", p1-p0, f1-f0)
+	}
+	if f1-f0 == 0 {
+		t.Error("no row exhausted its retry budget at rate 0.5")
+	}
+	if got := obs.Default().Counter("fault.retries.total").Value() - retries0; got == 0 {
+		t.Error("no retries counted")
+	}
+	if clock.Now() == 0 {
+		t.Error("backoff did not advance the simulated clock")
+	}
+}
+
+// TestDegradingFitAndValidation covers constructor and Fit errors.
+func TestDegradingFitAndValidation(t *testing.T) {
+	if _, err := NewDegradingPredictor(nil, nil, 0, DegradeOpts{}); err == nil {
+		t.Error("outputs=0 accepted")
+	}
+	d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{}, 2, DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fit([][]float64{{1}}, [][]float64{{1, 2, 3}}); err == nil {
+		t.Error("width-mismatched Fit accepted")
+	}
+	if err := d.Fit([][]float64{{1}, {2}}, [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Errorf("Fit: %v", err)
+	}
+	if got := d.Predict([]float64{1}); len(got) != 2 {
+		t.Errorf("Predict width = %d", len(got))
+	}
+	if d.NumOutputs() != 2 {
+		t.Errorf("NumOutputs = %d", d.NumOutputs())
+	}
+}
+
+// TestDegradingConcurrent hammers one ladder from many goroutines with
+// faults on so -race can see the plan mutex and the pool handoffs.
+// Outputs are not order-deterministic across goroutines (the plan
+// interleaving is) — each row must simply be one of the valid values.
+func TestDegradingConcurrent(t *testing.T) {
+	inj, err := fault.NewInjector(5, fault.Uniform(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDegradingPredictor(&affineModel{w: 1}, &constantModel{Vec: []float64{7, 8}}, 2, DegradeOpts{Injector: inj, Clock: &fault.Clock{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := degradeInputs(500)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := PredictBatch(d, X)
+			for i, x := range X {
+				sum := x[0] + x[1] + x[2]
+				switch {
+				case out[i][0] == sum: // primary
+				case out[i][0] == sum-x[0], out[i][0] == sum-x[1], out[i][0] == sum-x[2]: // imputed primary
+				case out[i][0] == 7: // fallback
+				default:
+					t.Errorf("row %d = %v: not a ladder value for %v", i, out[i], x)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

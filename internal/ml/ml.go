@@ -33,6 +33,15 @@ type FeatureImporter interface {
 	FeatureImportances() []float64
 }
 
+// OutputSizer is implemented by regressors that know their output
+// width without predicting. PredictBatch uses it to size the output
+// matrix instead of burning a throwaway Predict call on the first row —
+// which matters for stateful wrappers like DegradingPredictor, where
+// every prediction consumes a fault-draw key.
+type OutputSizer interface {
+	NumOutputs() int
+}
+
 // PredictBatch applies a regressor to every row of X. Models that
 // implement BatchRegressor (the tree ensembles) take the vectorized
 // path — one contiguous output allocation, rows chunked across cores —
@@ -45,7 +54,14 @@ func PredictBatch(m Regressor, X [][]float64) [][]float64 {
 	start := obs.Now()
 	var out [][]float64
 	if br, ok := m.(BatchRegressor); ok {
-		out = NewMatrix(len(X), len(m.Predict(X[0])))
+		width := 0
+		if os, ok := m.(OutputSizer); ok {
+			width = os.NumOutputs()
+		}
+		if width <= 0 {
+			width = len(m.Predict(X[0]))
+		}
+		out = NewMatrix(len(X), width)
 		br.PredictBatch(X, out)
 	} else {
 		out = make([][]float64, len(X))

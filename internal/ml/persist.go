@@ -3,10 +3,13 @@ package ml
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sort"
 	"sync"
+
+	"crossarch/internal/obs"
 )
 
 // The persistence registry maps a model name (Regressor.Name) to a
@@ -42,29 +45,61 @@ func RegisteredModels() []string {
 }
 
 // envelope is the on-disk model format: the learner name selects the
-// concrete type for the payload.
+// concrete type for the payload, and the checksum (FNV-1a 64 over the
+// raw payload bytes, hex) lets load detect truncation or bit flips
+// before garbage weights ever produce a prediction. Files written
+// before the checksum existed omit the field and still load (with a
+// warning), so saved predictors never strand.
 type envelope struct {
-	Name    string          `json:"name"`
-	Payload json.RawMessage `json:"payload"`
+	Name     string          `json:"name"`
+	Checksum string          `json:"checksum,omitempty"`
+	Payload  json.RawMessage `json:"payload"`
 }
 
-// SaveModel serializes a fitted model to w as a named JSON envelope.
+// payloadChecksum is the FNV-1a 64 digest of the payload bytes in
+// fixed-width hex.
+func payloadChecksum(payload []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(payload) // hash.Hash.Write never returns an error
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// LegacyWarn receives one line per checksum-less model file loaded; it
+// defaults to stderr. Tests may silence or capture it. A nil writer
+// disables the warning (the obs counter still counts them).
+var LegacyWarn io.Writer = os.Stderr
+
+// SaveModel serializes a fitted model to w as a named, checksummed
+// JSON envelope.
 func SaveModel(w io.Writer, m Regressor) error {
 	payload, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("ml: marshaling %s: %w", m.Name(), err)
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(envelope{Name: m.Name(), Payload: payload})
+	return enc.Encode(envelope{Name: m.Name(), Checksum: payloadChecksum(payload), Payload: payload})
 }
 
 // LoadModel reads a model envelope from r and reconstructs the learner
 // via the registry. The learner's package must have been imported so its
-// init registration ran.
+// init registration ran. A checksum mismatch is reported as a distinct
+// "model corrupt" error before any payload field is interpreted;
+// checksum-less legacy files load with a warning.
 func LoadModel(r io.Reader) (Regressor, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	if env.Checksum != "" {
+		if got := payloadChecksum(env.Payload); got != env.Checksum {
+			obs.Inc("ml.persist.corrupt.total")
+			return nil, fmt.Errorf("ml: model %q corrupt: payload checksum %s, envelope says %s", env.Name, got, env.Checksum)
+		}
+	} else {
+		obs.Inc("ml.persist.legacy.total")
+		if LegacyWarn != nil {
+			fmt.Fprintf(LegacyWarn, "ml: warning: model %q has no checksum (written by an older version); corruption cannot be detected\n", env.Name)
+		}
 	}
 	registryMu.RLock()
 	factory, ok := registry[env.Name]

@@ -2,9 +2,12 @@ package ml
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"crossarch/internal/obs"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -81,3 +84,97 @@ func TestSaveLoadFile(t *testing.T) {
 type fileModel struct{ constantModel }
 
 func (f *fileModel) Name() string { return "file-test" }
+
+// TestChecksumWritten pins the envelope format: SaveModel emits an
+// FNV-1a payload checksum that LoadModel verifies.
+func TestChecksumWritten(t *testing.T) {
+	RegisterModel("ck-test", func() Regressor { return &ckModel{} })
+	defer unregister("ck-test")
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, &ckModel{constantModel{Vec: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Checksum string `json:"checksum"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Checksum) != 16 {
+		t.Fatalf("checksum = %q, want 16 hex digits", env.Checksum)
+	}
+	if _, err := LoadModel(&buf); err != nil {
+		t.Fatalf("round trip with checksum: %v", err)
+	}
+}
+
+// TestCorruptPayloadRejected flips one payload byte and expects the
+// distinct "corrupt" error instead of garbage predictions or a
+// confusing decode failure.
+func TestCorruptPayloadRejected(t *testing.T) {
+	RegisterModel("ck-corrupt", func() Regressor { return &ckCorruptModel{} })
+	defer unregister("ck-corrupt")
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, &ckCorruptModel{constantModel{Vec: []float64{1.5, 2.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a digit inside the payload's numeric value: still valid JSON,
+	// so only the checksum can catch it.
+	i := bytes.Index(data, []byte("1.5"))
+	if i < 0 {
+		t.Fatalf("payload value not found in %s", data)
+	}
+	data[i] = '9'
+	before := obs.Default().Counter("ml.persist.corrupt.total").Value()
+	_, err := LoadModel(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("bit-flipped model load = %v, want corrupt error", err)
+	}
+	if got := obs.Default().Counter("ml.persist.corrupt.total").Value() - before; got != 1 {
+		t.Errorf("ml.persist.corrupt.total delta = %v, want 1", got)
+	}
+	// Truncation breaks the JSON framing and is caught at decode.
+	if _, err := LoadModel(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated model load should error")
+	}
+}
+
+// TestLegacyChecksumlessLoad keeps backward compatibility: files
+// written before the checksum field still load, with a warning.
+func TestLegacyChecksumlessLoad(t *testing.T) {
+	RegisterModel("ck-legacy", func() Regressor { return &ckLegacyModel{} })
+	defer unregister("ck-legacy")
+	var warn bytes.Buffer
+	old := LegacyWarn
+	LegacyWarn = &warn
+	defer func() { LegacyWarn = old }()
+
+	before := obs.Default().Counter("ml.persist.legacy.total").Value()
+	in := strings.NewReader(`{"name":"ck-legacy","payload":{"vec":[4.5]}}`)
+	m, err := LoadModel(in)
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if got := m.Predict(nil); got[0] != 4.5 {
+		t.Errorf("legacy model predicts %v", got)
+	}
+	if !strings.Contains(warn.String(), "no checksum") {
+		t.Errorf("legacy warning = %q", warn.String())
+	}
+	if got := obs.Default().Counter("ml.persist.legacy.total").Value() - before; got != 1 {
+		t.Errorf("ml.persist.legacy.total delta = %v, want 1", got)
+	}
+}
+
+type ckModel struct{ constantModel }
+
+func (*ckModel) Name() string { return "ck-test" }
+
+type ckCorruptModel struct{ constantModel }
+
+func (*ckCorruptModel) Name() string { return "ck-corrupt" }
+
+type ckLegacyModel struct{ constantModel }
+
+func (*ckLegacyModel) Name() string { return "ck-legacy" }

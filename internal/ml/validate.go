@@ -1,0 +1,54 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadInput is the typed cause of every predict-boundary validation
+// failure: a feature row of the wrong width, or a non-finite feature
+// value. Callers branch on it with errors.Is to distinguish "the input
+// is garbage" (degrade, reject the request) from infrastructure
+// errors. Without this gate a NaN feature silently propagates into a
+// NaN RPV, which downstream ranking treats as arbitrary ordering.
+var ErrBadInput = errors.New("ml: bad predict input")
+
+// ValidateRow checks one feature vector at the predict boundary: it
+// must have exactly want features (want <= 0 skips the width check)
+// and every value must be finite. The returned error wraps
+// ErrBadInput.
+func ValidateRow(x []float64, want int) error {
+	if want > 0 && len(x) != want {
+		return fmt.Errorf("%w: row has %d features, want %d", ErrBadInput, len(x), want)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: feature %d is %v", ErrBadInput, j, v)
+		}
+	}
+	return nil
+}
+
+// ValidateMatrix checks a whole feature matrix: every row rectangular
+// at width want (want <= 0 means the first row's width) and every
+// value finite. The error identifies the first offending row and wraps
+// ErrBadInput. An empty matrix is valid (an empty batch predicts
+// nothing).
+func ValidateMatrix(X [][]float64, want int) error {
+	if len(X) == 0 {
+		return nil
+	}
+	if want <= 0 {
+		want = len(X[0])
+		if want == 0 {
+			return fmt.Errorf("%w: zero-width feature rows", ErrBadInput)
+		}
+	}
+	for i, row := range X {
+		if err := ValidateRow(row, want); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}

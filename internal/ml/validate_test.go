@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidateRow(t *testing.T) {
+	cases := []struct {
+		name string
+		x    []float64
+		want int
+		ok   bool
+	}{
+		{"finite exact width", []float64{1, -2, 0.5}, 3, true},
+		{"width unchecked", []float64{1, 2}, 0, true},
+		{"width mismatch", []float64{1, 2}, 3, false},
+		{"NaN feature", []float64{1, math.NaN(), 3}, 3, false},
+		{"+Inf feature", []float64{math.Inf(1)}, 1, false},
+		{"-Inf feature", []float64{math.Inf(-1)}, 1, false},
+		{"empty row vs width", []float64{}, 2, false},
+		{"empty row unchecked", []float64{}, 0, true},
+	}
+	for _, c := range cases {
+		err := ValidateRow(c.x, c.want)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: ValidateRow = %v, want ok=%v", c.name, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: error %v does not wrap ErrBadInput", c.name, err)
+		}
+	}
+}
+
+func TestValidateMatrix(t *testing.T) {
+	if err := ValidateMatrix(nil, 0); err != nil {
+		t.Errorf("empty matrix: %v", err)
+	}
+	if err := ValidateMatrix([][]float64{{1, 2}, {3, 4}}, 0); err != nil {
+		t.Errorf("rectangular finite matrix: %v", err)
+	}
+	if err := ValidateMatrix([][]float64{{1, 2}, {3}}, 0); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if err := ValidateMatrix([][]float64{{1, 2}}, 3); err == nil {
+		t.Error("width mismatch vs explicit want accepted")
+	}
+	if err := ValidateMatrix([][]float64{{1}, {math.NaN()}}, 1); err == nil {
+		t.Error("NaN entry accepted")
+	} else if !errors.Is(err, ErrBadInput) {
+		t.Errorf("error %v does not wrap ErrBadInput", err)
+	}
+	if err := ValidateMatrix([][]float64{{}}, 0); err == nil {
+		t.Error("zero-width rows accepted")
+	}
+}
+
+// FuzzPredictInput drives the predict-boundary validator with
+// arbitrary byte-derived matrices (the fuzzer reaches NaN payloads,
+// infinities, subnormals, and every width mismatch shape) and checks
+// its contract against a straightforward reference predicate: the
+// validator never panics, accepts exactly the rectangular all-finite
+// matrices, and every rejection wraps ErrBadInput.
+func FuzzPredictInput(f *testing.F) {
+	nan := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x3f, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Add(nan, uint8(1))
+	f.Add([]byte{1, 2, 3}, uint8(3)) // trailing partial value is dropped
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		// Decode data as float64s and shape them into rows of `width`
+		// columns; a ragged tail row exercises the width check.
+		vals := make([]float64, 0, len(data)/8)
+		for len(data) >= 8 {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+		w := int(width%8) + 1
+		var X [][]float64
+		for lo := 0; lo < len(vals); lo += w {
+			hi := lo + w
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			X = append(X, vals[lo:hi])
+		}
+
+		err := ValidateMatrix(X, w)
+		wantOK := true
+		for _, row := range X {
+			if len(row) != w {
+				wantOK = false
+			}
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					wantOK = false
+				}
+			}
+		}
+		if (err == nil) != wantOK {
+			t.Fatalf("ValidateMatrix(%d rows, w=%d) = %v, reference says ok=%v", len(X), w, err, wantOK)
+		}
+		if err != nil && !errors.Is(err, ErrBadInput) {
+			t.Fatalf("validation error %v does not wrap ErrBadInput", err)
+		}
+		// Inferred-width mode must agree on rectangular matrices.
+		if len(X) > 0 && len(X[0]) == w {
+			if err2 := ValidateMatrix(X, 0); (err2 == nil) != (err == nil) {
+				t.Fatalf("inferred-width disagrees: %v vs %v", err2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
+	"crossarch/internal/stats"
+)
+
+// failureWorkload builds a reproducible mixed workload large enough
+// for node failures to fire at moderate rates.
+func failureWorkload(seed uint64, n int) []*Job {
+	rng := stats.NewRNG(seed)
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		j := mkJob(i, rng.Range(0, 200), 1+rng.Intn(2),
+			rng.Range(1, 40), rng.Range(1, 40), rng.Range(1, 40))
+		j.GPUCapable = rng.Bernoulli(0.5)
+		jobs[i] = j
+	}
+	return jobs
+}
+
+func mustInjector(t *testing.T, seed uint64, rate float64) *fault.Injector {
+	t.Helper()
+	inj, err := fault.NewInjector(seed, fault.Plan{NodeFailure: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestFaultFreeRunsUnchanged pins the rate-0 identity: a nil injector
+// and a rate-0 injector both produce the exact result of a run with no
+// fault machinery configured at all.
+func TestFaultFreeRunsUnchanged(t *testing.T) {
+	jobs := failureWorkload(1, 120)
+	base, err := Run(jobs, tinyCluster(), NewModelBased(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{
+		{Faults: nil, RetryCap: 5},
+		{Faults: mustInjector(t, 42, 0)},
+	} {
+		got, err := Run(jobs, tinyCluster(), NewModelBased(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MakespanSec != base.MakespanSec || got.AvgBoundedSlowdown != base.AvgBoundedSlowdown ||
+			got.AvgWaitSec != base.AvgWaitSec || got.TotalRuntimeSec != base.TotalRuntimeSec {
+			t.Errorf("rate-0 run diverged: %+v vs %+v", got, base)
+		}
+		if got.KilledAttempts != 0 || got.AbandonedJobs != 0 || got.WastedNodeSec != 0 {
+			t.Errorf("rate-0 run reports faults: %+v", got)
+		}
+		if got.CompletedJobs != len(jobs) {
+			t.Errorf("completed %d of %d", got.CompletedJobs, len(jobs))
+		}
+	}
+}
+
+// TestNodeFailuresKillAndRequeue checks the core failure semantics at
+// a rate where kills certainly fire: killed attempts free their nodes
+// (capacity is restored at the end), requeued jobs complete elsewhere
+// or are abandoned once the retry cap runs out, and the accounting
+// identity completed + abandoned == submitted holds.
+func TestNodeFailuresKillAndRequeue(t *testing.T) {
+	jobs := failureWorkload(2, 150)
+	c := tinyCluster()
+	res, err := Run(jobs, c, NewModelBased(), Params{Faults: mustInjector(t, 7, 0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KilledAttempts == 0 {
+		t.Fatal("no attempts killed at rate 0.3")
+	}
+	if res.CompletedJobs+res.AbandonedJobs != len(jobs) {
+		t.Errorf("completed %d + abandoned %d != %d", res.CompletedJobs, res.AbandonedJobs, len(jobs))
+	}
+	if res.WastedNodeSec <= 0 {
+		t.Errorf("killed attempts wasted %v node-seconds", res.WastedNodeSec)
+	}
+	for _, m := range c.Machines {
+		if m.FreeNodes != m.TotalNodes {
+			t.Errorf("capacity not restored: %d/%d", m.FreeNodes, m.TotalNodes)
+		}
+	}
+	maxAttempts := 0
+	for _, j := range jobs {
+		if j.Attempts > maxAttempts {
+			maxAttempts = j.Attempts
+		}
+		if j.Abandoned {
+			if j.Attempts != 4 { // default RetryCap 3 = 4 attempts
+				t.Errorf("job %d abandoned after %d attempts", j.ID, j.Attempts)
+			}
+			continue
+		}
+		if j.Attempts < 1 {
+			t.Errorf("job %d completed with %d attempts", j.ID, j.Attempts)
+		}
+		if j.End <= j.Start {
+			t.Errorf("job %d ran [%v,%v]", j.ID, j.Start, j.End)
+		}
+	}
+	if maxAttempts < 2 {
+		t.Error("no job was ever retried at rate 0.3")
+	}
+}
+
+// TestFailureAwareRerank checks the Model-based strategy avoids a
+// machine the job already died on: after one failure on the predicted
+// fastest machine, the retry goes to the next-ranked machine even
+// though the first has free nodes.
+func TestFailureAwareRerank(t *testing.T) {
+	j := mkJob(0, 0, 1, 10, 20, 30)
+	j.markFailed(0)
+	c := tinyCluster()
+	if mi := NewModelBased().Assign(j, 0, c); mi != 1 {
+		t.Errorf("requeued job assigned to machine %d, want next-ranked 1", mi)
+	}
+	// All ranked machines failed: the strategy must still place the job
+	// rather than wedge the queue.
+	j.markFailed(1)
+	j.markFailed(2)
+	if mi := NewModelBased().Assign(j, 0, c); mi != 0 {
+		t.Errorf("all-failed job assigned to machine %d, want predicted-fastest 0", mi)
+	}
+}
+
+// TestDeterminismUnderFaults is the tentpole acceptance property: the
+// same seed and plan produce a bitwise-identical makespan and an
+// identical fault/scheduling counter snapshot, run after run, under
+// -race. Wall-time-derived metrics are excluded; everything else must
+// match exactly.
+func TestDeterminismUnderFaults(t *testing.T) {
+	type outcome struct {
+		res  Result
+		snap obs.Snapshot
+	}
+	run := func() outcome {
+		jobs := failureWorkload(3, 200)
+		before := obs.TakeSnapshot()
+		res, err := Run(jobs, tinyCluster(), NewModelBased(), Params{Faults: mustInjector(t, 9, 0.25), RetryCap: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := obs.TakeSnapshot()
+		// Keep only the deterministic deltas of the fault/sched counters.
+		diff := obs.Snapshot{Counters: map[string]float64{}}
+		for name, v := range after.Counters {
+			if !strings.HasPrefix(name, "sched.") && !strings.HasPrefix(name, "fault.") {
+				continue
+			}
+			if strings.Contains(name, "seconds") {
+				continue
+			}
+			diff.Counters[name] = v - before.Counters[name]
+		}
+		return outcome{res: res, snap: diff}
+	}
+	a, b := run(), run()
+	if a.res.MakespanSec != b.res.MakespanSec || a.res.AvgBoundedSlowdown != b.res.AvgBoundedSlowdown {
+		t.Errorf("fault runs diverge: %+v vs %+v", a.res, b.res)
+	}
+	if a.res.KilledAttempts != b.res.KilledAttempts || a.res.AbandonedJobs != b.res.AbandonedJobs ||
+		a.res.WastedNodeSec != b.res.WastedNodeSec {
+		t.Errorf("fault accounting diverges: %+v vs %+v", a.res, b.res)
+	}
+	for name, av := range a.snap.Counters {
+		if bv := b.snap.Counters[name]; av != bv {
+			t.Errorf("counter %s: %v vs %v", name, av, bv)
+		}
+	}
+	if a.res.KilledAttempts == 0 {
+		t.Error("determinism test did not exercise any failure")
+	}
+}
+
+// TestDeterminismUnderFaultsConcurrent runs independent fault
+// simulations in parallel goroutines: results must match the serial
+// run, proving no hidden shared state couples simulations.
+func TestDeterminismUnderFaultsConcurrent(t *testing.T) {
+	serial, err := Run(failureWorkload(4, 150), tinyCluster(), NewModelBased(),
+		Params{Faults: mustInjector(t, 11, 0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Run(failureWorkload(4, 150), tinyCluster(), NewModelBased(),
+				Params{Faults: mustInjector(t, 11, 0.2)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.MakespanSec != serial.MakespanSec || res.KilledAttempts != serial.KilledAttempts {
+				t.Errorf("concurrent run diverged: %+v vs %+v", res, serial)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRequeuePreservesQueueIntegrity stresses the lazy-deletion
+// interaction: killed jobs re-enter a queue that also sees arrivals
+// and backfill removals, and every job must still resolve exactly once.
+func TestRequeuePreservesQueueIntegrity(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		jobs := failureWorkload(seed, 80)
+		res, err := Run(jobs, tinyCluster(), NewRoundRobin(), Params{Faults: mustInjector(t, seed, 0.4), RetryCap: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompletedJobs+res.AbandonedJobs != len(jobs) {
+			t.Fatalf("seed %d: completed %d + abandoned %d != %d",
+				seed, res.CompletedJobs, res.AbandonedJobs, len(jobs))
+		}
+	}
+}
+
+// TestRequeueObsRecorded checks the requeue histogram and kill/abandon
+// counters move under injection.
+func TestRequeueObsRecorded(t *testing.T) {
+	reg := obs.Default()
+	k0 := reg.Counter("sched.jobs.killed.total").Value()
+	if _, err := Run(failureWorkload(5, 100), tinyCluster(), NewModelBased(),
+		Params{Faults: mustInjector(t, 13, 0.3)}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("sched.jobs.killed.total").Value() == k0 {
+		t.Error("sched.jobs.killed.total did not move")
+	}
+}

@@ -42,10 +42,33 @@ type Job struct {
 	Start   float64 // start time
 	End     float64 // completion time
 
+	// Fault-injection results, filled by Run. Attempts counts
+	// executions started; Abandoned marks a job whose retry cap ran
+	// out (its Start/End then describe the last failed attempt).
+	Attempts  int
+	Abandoned bool
+
+	// failedOn is a bitmask of machines this job's attempts died on,
+	// letting failure-aware strategies steer the requeue elsewhere.
+	failedOn uint64
+
 	// ranked caches RankedByPredicted; a job is consulted on many
 	// scheduling passes while it waits, and its prediction never
 	// changes.
 	ranked []int
+}
+
+// FailedOn reports whether one of the job's attempts died on machine
+// mi (machine indices above 63 are never marked).
+func (j *Job) FailedOn(mi int) bool {
+	return mi < 64 && j.failedOn&(1<<uint(mi)) != 0
+}
+
+// markFailed records a death on machine mi.
+func (j *Job) markFailed(mi int) {
+	if mi < 64 {
+		j.failedOn |= 1 << uint(mi)
+	}
 }
 
 // RankedByPredicted returns the machine indices ordered by the job's

@@ -65,6 +65,23 @@ func (q *jobQueue) remove(j *Job) {
 	q.live--
 }
 
+// requeue re-adds a job that previously left the queue to start (and
+// whose node then died). Leaving is lazy — remove only marks the job —
+// so any stale slot and mark are purged first, otherwise the fresh
+// tail entry would be filtered as dead and the job lost.
+func (q *jobQueue) requeue(j *Job) {
+	if q.removed[j] {
+		delete(q.removed, j)
+		for i := q.head; i < len(q.items); i++ {
+			if q.items[i] == j {
+				q.items[i] = nil
+				break
+			}
+		}
+	}
+	q.push(j)
+}
+
 // liveSlice returns up to limit live jobs in FIFO order (limit <= 0
 // means all). The slice is freshly allocated; removing returned jobs
 // through remove is allowed.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"crossarch/internal/fault"
 	"crossarch/internal/obs"
 )
 
@@ -30,6 +31,15 @@ type Params struct {
 	// estimates, the paper's replay setting); real users typically
 	// overestimate (factor > 1), which loosens backfill decisions.
 	EstimateFactor float64
+	// Faults injects node failures: each job attempt draws
+	// fault.NodeFailure keyed on (job ID, attempt); a hit kills the
+	// attempt partway through its run, frees the nodes, and requeues
+	// the job. nil injects nothing and leaves the simulation bitwise
+	// identical to a fault-free run.
+	Faults *fault.Injector
+	// RetryCap is the number of re-executions a job gets after failed
+	// attempts before it is abandoned (0 = 3; negative rejected).
+	RetryCap int
 }
 
 // setDefaults fills zero values with their documented defaults and
@@ -61,6 +71,19 @@ func (p *Params) setDefaults() error {
 	if p.EstimateFactor == 0 {
 		p.EstimateFactor = 1
 	}
+	if p.RetryCap < 0 {
+		return fmt.Errorf("sched: negative RetryCap %d", p.RetryCap)
+	}
+	if p.RetryCap == 0 {
+		p.RetryCap = 3
+	}
+	if p.Faults != nil {
+		// A hand-built injector may carry rates NewInjector would have
+		// rejected; re-validate at the boundary.
+		if err := p.Faults.Plan.Validate(); err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -90,13 +113,24 @@ type Result struct {
 	// TotalRuntimeSec is the summed execution time across jobs (lower
 	// means the strategy picked faster machines).
 	TotalRuntimeSec float64
+	// CompletedJobs counts jobs that finished; under fault injection
+	// the per-job averages are over these.
+	CompletedJobs int
+	// KilledAttempts counts job executions cut short by an injected
+	// node failure; AbandonedJobs counts jobs whose retry cap ran out.
+	KilledAttempts int
+	AbandonedJobs  int
+	// WastedNodeSec is node-seconds consumed by attempts that died.
+	WastedNodeSec float64
 }
 
-// runningJob is a heap entry for an executing job.
+// runningJob is a heap entry for an executing job. A failed entry ends
+// at the injected failure instant instead of the job's completion.
 type runningJob struct {
 	end     float64
 	job     *Job
 	machine int
+	failed  bool
 }
 
 type runHeap []runningJob
@@ -129,6 +163,11 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		if err := j.Validate(nm); err != nil {
 			return Result{}, err
 		}
+		// Reset per-run failure state so a job slice can be replayed
+		// (the determinism tests run the same workload twice).
+		j.Attempts = 0
+		j.Abandoned = false
+		j.failedOn = 0
 		maxNodes := 0
 		for _, m := range cluster.Machines {
 			if m.TotalNodes > maxNodes {
@@ -157,6 +196,9 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	queueDepth := reg.Histogram("sched.queue.depth")
 	queueDepthMax := reg.Gauge("sched.queue.depth.max")
 	clockGauge := reg.Gauge("sched.clock.seconds")
+	killedJobs := reg.Counter("sched.jobs.killed.total")
+	abandonedJobs := reg.Counter("sched.jobs.abandoned.total")
+	requeueHist := reg.Histogram("sched.requeue.attempts")
 
 	// R1 = FCFS: order by arrival (stable on submission index).
 	order := make([]*Job, len(jobs))
@@ -177,14 +219,27 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	firstArrival := clock
 	lastEnd := clock
 
+	var killed, abandoned int
+	var wastedNodeSec float64
+
 	start := func(j *Job, mi int, now float64) {
 		startedJobs.Inc()
+		j.Attempts++
 		cluster.Machines[mi].FreeNodes -= j.Nodes
 		end := now + j.Runtimes[mi]
+		rj := runningJob{end: end, job: j, machine: mi}
+		attemptKey := fault.Key2(uint64(j.ID), uint64(j.Attempts))
+		if p.Faults.Hit(fault.NodeFailure, attemptKey) {
+			// The node dies partway through the run; the keyed companion
+			// draw places the failure instant within it.
+			rj.failed = true
+			rj.end = now + j.Runtimes[mi]*p.Faults.U(fault.NodeFailure, attemptKey)
+			end = rj.end
+		}
 		j.Machine = mi
 		j.Start = now
 		j.End = end
-		heap.Push(running, runningJob{end: end, job: j, machine: mi})
+		heap.Push(running, rj)
 		if end > lastEnd {
 			lastEnd = end
 		}
@@ -290,10 +345,26 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		}
 		clock = next
 
-		// Process all completions at this instant.
+		// Process all completions (and injected deaths) at this instant.
 		for running.Len() > 0 && (*running)[0].end <= clock {
 			done := heap.Pop(running).(runningJob)
 			cluster.Machines[done.machine].FreeNodes += done.job.Nodes
+			if !done.failed {
+				continue
+			}
+			j := done.job
+			j.markFailed(done.machine)
+			killed++
+			killedJobs.Inc()
+			wastedNodeSec += (done.end - j.Start) * float64(j.Nodes)
+			if j.Attempts > p.RetryCap {
+				j.Abandoned = true
+				abandoned++
+				abandonedJobs.Inc()
+				continue
+			}
+			requeueHist.Observe(float64(j.Attempts))
+			queue.requeue(j)
 		}
 		// Process all arrivals at this instant.
 		for nextArrival < len(order) && order[nextArrival].Arrival <= clock {
@@ -309,6 +380,9 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	}
 
 	res := summarize(jobs, cluster, strat, p, firstArrival, lastEnd)
+	res.KilledAttempts = killed
+	res.AbandonedJobs = abandoned
+	res.WastedNodeSec = wastedNodeSec
 	obs.Set("sched.makespan.seconds", res.MakespanSec)
 	return res, nil
 }
@@ -345,6 +419,10 @@ func shadowTime(cluster *Cluster, running *runHeap, mi, nodes int, now float64) 
 }
 
 // summarize computes the result metrics after the simulation drains.
+// Abandoned jobs never completed: they are excluded from the per-job
+// averages and placement stats (their consumed node-seconds are
+// reported separately as WastedNodeSec, alongside every other failed
+// attempt's).
 func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArrival, lastEnd float64) Result {
 	res := Result{
 		Strategy:              strat.Name(),
@@ -357,6 +435,10 @@ func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArr
 	}
 	sumSlow, sumWait := 0.0, 0.0
 	for _, j := range jobs {
+		if j.Abandoned {
+			continue
+		}
+		res.CompletedJobs++
 		run := j.End - j.Start
 		wait := j.Start - j.Arrival
 		slow := (wait + run) / math.Max(run, p.SlowdownBound)
@@ -369,8 +451,10 @@ func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArr
 		res.NodeSecondsPerMachine[j.Machine] += run * float64(j.Nodes)
 		res.TotalRuntimeSec += run
 	}
-	res.AvgBoundedSlowdown = sumSlow / float64(len(jobs))
-	res.AvgWaitSec = sumWait / float64(len(jobs))
+	if res.CompletedJobs > 0 {
+		res.AvgBoundedSlowdown = sumSlow / float64(res.CompletedJobs)
+		res.AvgWaitSec = sumWait / float64(res.CompletedJobs)
+	}
 	res.Utilization = make([]float64, cluster.NumMachines())
 	if res.MakespanSec > 0 {
 		for mi, m := range cluster.Machines {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"crossarch/internal/arch"
+	"crossarch/internal/fault"
 	"crossarch/internal/rpv"
 	"crossarch/internal/stats"
 )
@@ -328,6 +329,10 @@ func TestNegativeParamsRejected(t *testing.T) {
 		{"negative BackfillDepth", Params{BackfillDepth: -1}},
 		{"negative SlowdownBound", Params{SlowdownBound: -10}},
 		{"negative EstimateFactor", Params{EstimateFactor: -0.5}},
+		{"negative RetryCap", Params{RetryCap: -1}},
+		{"negative fault rate", Params{Faults: &fault.Injector{Plan: fault.Plan{NodeFailure: -0.1}}}},
+		{"fault rate above 1", Params{Faults: &fault.Injector{Plan: fault.Plan{PredictError: 1.5}}}},
+		{"NaN fault rate", Params{Faults: &fault.Injector{Plan: fault.Plan{FeatureCorrupt: math.NaN()}}}},
 	}
 	for _, c := range cases {
 		if _, err := Run(jobs, tinyCluster(), NewRoundRobin(), c.p); err == nil {

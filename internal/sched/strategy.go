@@ -91,9 +91,18 @@ func NewModelBased() *ModelBased { return &ModelBased{} }
 // Name implements Strategy.
 func (*ModelBased) Name() string { return "Model-based" }
 
-// Assign implements Strategy.
+// Assign implements Strategy. Machines a previous attempt of the job
+// died on are avoided while any other predicted-ranked machine has
+// room, so a requeued job is steered away from its failure site; with
+// no recorded failures the scan is exactly the fault-free Algorithm 2.
 func (*ModelBased) Assign(j *Job, _ int, c *Cluster) int {
 	ranked := j.RankedByPredicted()
+	for _, mi := range ranked {
+		if j.FailedOn(mi) || c.Machines[mi].Full(j.Nodes) {
+			continue
+		}
+		return mi
+	}
 	for _, mi := range ranked {
 		if !c.Machines[mi].Full(j.Nodes) {
 			return mi
