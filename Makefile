@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint vet build test race cover fuzz faults bench-predict bench
+.PHONY: check lint vet build test race cover fuzz faults serve-smoke bench-predict bench
 
-check: lint build race cover faults bench-predict
+check: lint build race cover faults serve-smoke bench-predict
 
 # Static analysis: go vet, then the repository's own analyzer suite
 # (cmd/mphpc-lint; see DESIGN.md §8). `go run ./cmd/mphpc-lint -json
@@ -70,6 +70,14 @@ fuzz:
 # invariant all hold.
 faults:
 	$(GO) run ./cmd/mphpc-faults -smoke
+
+# Serving smoke gate (DESIGN.md §10): an in-process mphpc-serve is
+# driven through a scripted request mix — valid (bitwise-checked
+# against the offline batch path), malformed, oversized, queue-overflow
+# 429, hot reload under load, graceful drain — and the process exits
+# non-zero unless every invariant holds.
+serve-smoke:
+	$(GO) run ./cmd/mphpc-serve -smoke
 
 # The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
 # a laptop while still printing the rows/s comparison.

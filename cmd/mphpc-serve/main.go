@@ -1,0 +1,133 @@
+// Command mphpc-serve is the long-lived prediction service: it loads a
+// persisted model envelope (mphpc-train -save-model, checksum-verified
+// on load) and serves batched relative-performance predictions over
+// HTTP, coalescing concurrent requests into micro-batches for the
+// vectorized inference path and degrading — never 500ing — when the
+// model misbehaves.
+//
+// Usage:
+//
+//	mphpc-serve -model model.json [-addr :8080] [-max-batch 64]
+//	            [-max-wait 2ms] [-queue 256] [-features N]
+//	            [-metrics out.json]
+//
+// Endpoints: POST /v1/predict, GET /v1/healthz, GET /v1/metrics,
+// GET /v1/modelz, POST /v1/reload. SIGHUP also hot-reloads the model
+// file atomically; SIGINT/SIGTERM drain gracefully (in-flight and
+// queued requests finish, new ones get 503).
+//
+// The -smoke flag runs the self-contained serving smoke gate instead:
+// an in-process server is driven through a scripted request mix —
+// valid (bitwise-checked against the offline batch path), malformed,
+// oversized, queue-overflow 429, hot reload under load, drain — and
+// the process exits non-zero unless every invariant holds. `make
+// serve-smoke` wires it into `make check`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	// Learner registrations so any saved model envelope can load.
+	_ "crossarch/internal/ml/baseline"
+	_ "crossarch/internal/ml/forest"
+	_ "crossarch/internal/ml/linear"
+	_ "crossarch/internal/ml/xgboost"
+
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+	"crossarch/internal/serve/smoke"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-serve: ")
+	modelPath := flag.String("model", "", "persisted model envelope to serve (required unless -smoke)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 64, "max rows coalesced into one inference batch")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time an open batch waits for more rows")
+	queueCap := flag.Int("queue", 256, "admission queue capacity in requests (overflow gets 429)")
+	maxRows := flag.Int("max-rows", 4096, "max rows per request (larger gets 413)")
+	features := flag.Int("features", 0, "required feature width per row (0 = any rectangular width)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight requests are abandoned")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
+	smokeFlag := flag.Bool("smoke", false, "run the serving smoke gate and exit (non-zero on any violated invariant)")
+	flag.Parse()
+
+	if *smokeFlag {
+		if err := smoke.Run(); err != nil {
+			log.Fatalf("SMOKE FAIL: %v", err)
+		}
+		log.Print("smoke: all serving invariants hold")
+		return
+	}
+	if *modelPath == "" {
+		log.Fatal("-model is required (train one with: mphpc-train -save-model model.json)")
+	}
+
+	srv, err := serve.New(serve.Config{
+		ModelPath:         *modelPath,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		QueueCap:          *queueCap,
+		MaxRowsPerRequest: *maxRows,
+		Features:          *features,
+		RequestTimeout:    *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("serving %s on http://%s", *modelPath, ln.Addr())
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		for sig := range sigCh {
+			if sig == syscall.SIGHUP {
+				if rerr := srv.Reload(); rerr != nil {
+					log.Printf("reload failed (%s), previous model keeps serving: %v", serve.ErrKind(rerr), rerr)
+				} else {
+					log.Print("model hot-reloaded")
+				}
+				continue
+			}
+			log.Printf("%v: draining (in-flight requests finish, new ones get 503)", sig)
+			srv.BeginDrain()
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if serr := httpSrv.Shutdown(ctx); serr != nil {
+				log.Printf("shutdown: %v", serr)
+			}
+			cancel()
+			return
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	srv.Close()
+	log.Print("drained cleanly")
+	if *metricsOut != "" {
+		if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

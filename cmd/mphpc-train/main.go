@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	mphpc-train [-trials N] [-seed S] [-split-seed S] [-save predictor.json] [-data dataset.csv]
+//	mphpc-train [-trials N] [-seed S] [-split-seed S] [-save predictor.json]
+//	            [-save-model model.json] [-data dataset.csv]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"crossarch/internal/dataframe"
 	"crossarch/internal/dataset"
 	"crossarch/internal/experiments"
+	"crossarch/internal/ml"
 	"crossarch/internal/obs"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	splitSeed := flag.Uint64("split-seed", 2, "train/test split seed")
 	modelSeed := flag.Uint64("model-seed", 3, "learner seed")
 	save := flag.String("save", "", "save the trained XGBoost predictor to this path")
+	saveModel := flag.String("save-model", "", "save the bare XGBoost model envelope (mphpc-serve's input) to this path")
 	data := flag.String("data", "", "load an existing dataset CSV instead of generating")
 	selectK := flag.Int("select-k", 0, "also run Section VI-B feature selection keeping the top K features")
 	card := flag.Bool("card", false, "print a model card for the trained XGBoost predictor")
@@ -65,7 +68,7 @@ func main() {
 		fmt.Print(experiments.FormatFeatureSelection(res))
 	}
 
-	if *save != "" || *card {
+	if *save != "" || *saveModel != "" || *card {
 		pred, ev, err := core.TrainPredictor(ds, core.DefaultXGBoost(*modelSeed), *splitSeed)
 		if err != nil {
 			log.Fatal(err)
@@ -75,6 +78,12 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("\nsaved predictor to %s (%s)\n", *save, ev)
+		}
+		if *saveModel != "" {
+			if err := ml.SaveModelFile(*saveModel, pred.Model); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nsaved model envelope to %s (%s)\n", *saveModel, ev)
 		}
 		if *card {
 			mc, err := core.BuildModelCard(ds, pred, *splitSeed)

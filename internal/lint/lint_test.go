@@ -21,9 +21,17 @@ func TestNondeterminismFixture(t *testing.T) {
 	runFixture(t, Nondeterminism, "internal/ml/nondetfix")
 }
 
+func TestNondeterminismServeFixture(t *testing.T) {
+	// The serving layer is inside the determinism scope too: batched
+	// responses are bitwise-pinned against the offline path, so the
+	// service must not read the wall clock or the global rand source.
+	runFixture(t, Nondeterminism, "internal/serve/servefix")
+}
+
 func TestNondeterminismScope(t *testing.T) {
-	// The same hazards outside internal/{ml,rpv,dataset,sched,perfmodel}
-	// must produce nothing: the determinism contract is scoped.
+	// The same hazards outside the scoped packages (internal/{ml,rpv,
+	// dataset,sched,perfmodel,fault,serve}) must produce nothing: the
+	// determinism contract is scoped.
 	pkg := loadFixture(t, "nondetscope")
 	res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism})
 	if len(res.Diagnostics) != 0 {

@@ -1,0 +1,28 @@
+// Package servefix exercises the nondeterminism analyzer inside the
+// serving layer's scope. Its import path (internal/serve/servefix)
+// deliberately falls inside the analyzer's package scope: the batched
+// HTTP service shares the pipeline's bitwise-reproducibility contract
+// (served responses must equal the offline batch path exactly), so
+// wall-clock reads and global randomness are banned here too.
+package servefix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampRequest reads the wall clock while labelling a request.
+func StampRequest() int64 {
+	return time.Now().UnixMilli() // want "time.Now in a deterministic pipeline package"
+}
+
+// JitterBatch draws an unseeded wait perturbation.
+func JitterBatch() time.Duration {
+	return time.Duration(rand.Int63n(1000)) // want "global math/rand.Int63n"
+}
+
+// CoalesceWait is fine: duration arithmetic and timers never read the
+// wall clock, and the analyzer must not flag them.
+func CoalesceWait(base time.Duration) *time.Timer {
+	return time.NewTimer(2 * base)
+}

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,13 @@ import (
 
 	"crossarch/internal/obs"
 )
+
+// ErrChecksum is the typed cause of every payload-checksum failure in
+// the load path. Callers branch on it with errors.Is to distinguish "the
+// file is corrupt" (refuse to serve, keep the old model) from "the file
+// is missing" (fs.ErrNotExist) or "the learner is unknown" — the serving
+// reload path and /v1/modelz surface the distinction to operators.
+var ErrChecksum = errors.New("ml: model payload checksum mismatch")
 
 // The persistence registry maps a model name (Regressor.Name) to a
 // factory producing an empty instance whose exported fields JSON
@@ -80,20 +88,51 @@ func SaveModel(w io.Writer, m Regressor) error {
 	return enc.Encode(envelope{Name: m.Name(), Checksum: payloadChecksum(payload), Payload: payload})
 }
 
+// ModelInfo describes a loaded model envelope: the metadata a serving
+// process exposes about the weights it holds, without re-reading the
+// file.
+type ModelInfo struct {
+	// Name is the learner name from the envelope (e.g. "xgboost").
+	Name string `json:"name"`
+	// Checksum is the FNV-1a 64 payload digest in hex; empty for legacy
+	// files written before the checksum existed.
+	Checksum string `json:"checksum,omitempty"`
+	// Legacy marks a checksum-less file (corruption undetectable).
+	Legacy bool `json:"legacy,omitempty"`
+	// PayloadBytes is the serialized model size.
+	PayloadBytes int `json:"payload_bytes"`
+}
+
 // LoadModel reads a model envelope from r and reconstructs the learner
 // via the registry. The learner's package must have been imported so its
 // init registration ran. A checksum mismatch is reported as a distinct
-// "model corrupt" error before any payload field is interpreted;
-// checksum-less legacy files load with a warning.
+// corrupt-model error wrapping ErrChecksum before any payload field is
+// interpreted; checksum-less legacy files load with a warning.
 func LoadModel(r io.Reader) (Regressor, error) {
+	m, _, err := LoadModelInfo(r)
+	return m, err
+}
+
+// LoadModelInfo is LoadModel returning the envelope metadata alongside
+// the reconstructed learner — the serving layer's load path, which
+// reports the checksum on /v1/modelz. On error the info still carries
+// whatever envelope fields were decoded, so a corrupt file can be
+// reported by name.
+func LoadModelInfo(r io.Reader) (Regressor, ModelInfo, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+		return nil, ModelInfo{}, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	info := ModelInfo{
+		Name:         env.Name,
+		Checksum:     env.Checksum,
+		Legacy:       env.Checksum == "",
+		PayloadBytes: len(env.Payload),
 	}
 	if env.Checksum != "" {
 		if got := payloadChecksum(env.Payload); got != env.Checksum {
 			obs.Inc("ml.persist.corrupt.total")
-			return nil, fmt.Errorf("ml: model %q corrupt: payload checksum %s, envelope says %s", env.Name, got, env.Checksum)
+			return nil, info, fmt.Errorf("ml: model %q corrupt: payload checksum %s, envelope says %s: %w", env.Name, got, env.Checksum, ErrChecksum)
 		}
 	} else {
 		obs.Inc("ml.persist.legacy.total")
@@ -105,13 +144,13 @@ func LoadModel(r io.Reader) (Regressor, error) {
 	factory, ok := registry[env.Name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("ml: unknown model %q (registered: %v)", env.Name, RegisteredModels())
+		return nil, info, fmt.Errorf("ml: unknown model %q (registered: %v)", env.Name, RegisteredModels())
 	}
 	m := factory()
 	if err := json.Unmarshal(env.Payload, m); err != nil {
-		return nil, fmt.Errorf("ml: decoding %s payload: %w", env.Name, err)
+		return nil, info, fmt.Errorf("ml: decoding %s payload: %w", env.Name, err)
 	}
-	return m, nil
+	return m, info, nil
 }
 
 // SaveModelFile writes a model to the named file.
@@ -135,4 +174,16 @@ func LoadModelFile(path string) (Regressor, error) {
 	}
 	defer f.Close()
 	return LoadModel(f)
+}
+
+// LoadModelFileInfo reads a model and its envelope metadata from the
+// named file. A missing file surfaces as the os.Open error (errors.Is
+// fs.ErrNotExist), distinct from the ErrChecksum corrupt-payload case.
+func LoadModelFileInfo(path string) (Regressor, ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	defer f.Close()
+	return LoadModelInfo(f)
 }

@@ -3,6 +3,9 @@ package ml
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -166,6 +169,91 @@ func TestLegacyChecksumlessLoad(t *testing.T) {
 		t.Errorf("ml.persist.legacy.total delta = %v, want 1", got)
 	}
 }
+
+// TestLoadErrorKinds pins the typed-error contract of the load path:
+// a corrupt payload is errors.Is-able as ErrChecksum, a missing file as
+// fs.ErrNotExist, and neither wraps the other — the serving reload path
+// branches on exactly this distinction.
+func TestLoadErrorKinds(t *testing.T) {
+	RegisterModel("errkind-test", func() Regressor { return &errKindModel{} })
+	defer unregister("errkind-test")
+
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.json")
+	if err := SaveModelFile(goodPath, &errKindModel{constantModel{Vec: []float64{1.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Replace(good, []byte("1.5"), []byte("9.5"), 1)
+	if bytes.Equal(corrupt, good) {
+		t.Fatal("corruption did not change the payload")
+	}
+	corruptPath := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corruptPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := LegacyWarn
+	LegacyWarn = nil
+	defer func() { LegacyWarn = old }()
+	legacyPath := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacyPath, []byte(`{"name":"errkind-test","payload":{"vec":[2]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name         string
+		path         string
+		wantChecksum bool
+		wantMissing  bool
+		wantLegacy   bool
+	}{
+		{name: "intact", path: goodPath},
+		{name: "corrupt payload", path: corruptPath, wantChecksum: true},
+		{name: "missing file", path: filepath.Join(dir, "missing.json"), wantMissing: true},
+		{name: "legacy checksum-less", path: legacyPath, wantLegacy: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, info, err := LoadModelFileInfo(tc.path)
+			if got := errors.Is(err, ErrChecksum); got != tc.wantChecksum {
+				t.Errorf("errors.Is(err, ErrChecksum) = %v, want %v (err: %v)", got, tc.wantChecksum, err)
+			}
+			if got := errors.Is(err, fs.ErrNotExist); got != tc.wantMissing {
+				t.Errorf("errors.Is(err, fs.ErrNotExist) = %v, want %v (err: %v)", got, tc.wantMissing, err)
+			}
+			wantErr := tc.wantChecksum || tc.wantMissing
+			if (err != nil) != wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, wantErr)
+			}
+			if wantErr {
+				if tc.wantChecksum && info.Name != "errkind-test" {
+					t.Errorf("corrupt-load info.Name = %q, want the envelope name", info.Name)
+				}
+				return
+			}
+			if m == nil || m.Name() != "errkind-test" {
+				t.Fatalf("loaded model = %v", m)
+			}
+			if info.Legacy != tc.wantLegacy {
+				t.Errorf("info.Legacy = %v, want %v", info.Legacy, tc.wantLegacy)
+			}
+			if !tc.wantLegacy && len(info.Checksum) != 16 {
+				t.Errorf("info.Checksum = %q, want 16 hex digits", info.Checksum)
+			}
+			if info.PayloadBytes <= 0 {
+				t.Errorf("info.PayloadBytes = %d, want > 0", info.PayloadBytes)
+			}
+		})
+	}
+}
+
+type errKindModel struct{ constantModel }
+
+func (*errKindModel) Name() string { return "errkind-test" }
 
 type ckModel struct{ constantModel }
 

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotUnderConcurrentLoad is the snapshot-concurrency gate
+// (run under -race by `make race`): snapshots taken WHILE writers are
+// hammering the registry must each serialize to well-formed JSON, and
+// a single reader's successive snapshots must observe monotone
+// counters and histogram totals — a snapshot may be stale, never
+// inconsistent or torn.
+func TestSnapshotUnderConcurrentLoad(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const iters = 2000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("load.requests.total").Inc()
+				r.Counter("load.rows.total").Add(float64(1 + i%7))
+				r.Gauge("load.depth").Set(float64(i % 13))
+				r.Gauge("load.peak").SetMax(float64(i))
+				r.Histogram("load.seconds").Observe(float64(i%97) / 100)
+			}
+		}(w)
+	}
+
+	// Several concurrent readers, each checking its own monotone view.
+	const readers = 4
+	const snapsPerReader = 60
+	readerErrs := make(chan error, readers)
+	var rwg sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			var prevReq, prevRows float64
+			var prevHistCount uint64
+			var prevHistSum float64
+			for i := 0; i < snapsPerReader && !stop.Load(); i++ {
+				snap := r.Snapshot()
+
+				// Well-formed JSON that round-trips.
+				data, err := snap.WriteJSON()
+				if err != nil {
+					readerErrs <- err
+					return
+				}
+				var back Snapshot
+				if err := json.Unmarshal(data, &back); err != nil {
+					readerErrs <- err
+					return
+				}
+				if back.SchemaVersion != SnapshotSchemaVersion {
+					t.Errorf("schema version %d after round-trip", back.SchemaVersion)
+				}
+
+				// Counters and histogram totals never run backwards.
+				if c := snap.Counters["load.requests.total"]; c < prevReq {
+					t.Errorf("counter ran backwards: %v -> %v", prevReq, c)
+				} else {
+					prevReq = c
+				}
+				if c := snap.Counters["load.rows.total"]; c < prevRows {
+					t.Errorf("row counter ran backwards: %v -> %v", prevRows, c)
+				} else {
+					prevRows = c
+				}
+				h := snap.Histograms["load.seconds"]
+				if h.Count < prevHistCount || h.Sum < prevHistSum {
+					t.Errorf("histogram totals ran backwards: count %d->%d sum %v->%v",
+						prevHistCount, h.Count, prevHistSum, h.Sum)
+				}
+				prevHistCount, prevHistSum = h.Count, h.Sum
+
+				// Internal consistency of each snapshot.
+				if h.Count > 0 {
+					if h.Min > h.Max || math.IsNaN(h.Mean) {
+						t.Errorf("histogram min/max/mean inconsistent: %+v", h)
+					}
+					if h.P50 > h.P95 || h.P95 > h.P99 {
+						t.Errorf("quantiles out of order: p50=%v p95=%v p99=%v", h.P50, h.P95, h.P99)
+					}
+					var bucketed uint64
+					for _, b := range h.Buckets {
+						bucketed += b.Count
+					}
+					if bucketed+h.Overflow+h.NaNs < h.Count {
+						t.Errorf("buckets under-count: %d+%d+%d < %d", bucketed, h.Overflow, h.NaNs, h.Count)
+					}
+				}
+			}
+			readerErrs <- nil
+		}()
+	}
+
+	wg.Wait()
+	rwg.Wait()
+	stop.Store(true)
+	close(readerErrs)
+	for err := range readerErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiescent totals are exact.
+	final := r.Snapshot()
+	if got := final.Counters["load.requests.total"]; got != writers*iters {
+		t.Fatalf("final counter = %v, want %d", got, writers*iters)
+	}
+	if got := final.Histograms["load.seconds"].Count; got != writers*iters {
+		t.Fatalf("final histogram count = %d, want %d", got, writers*iters)
+	}
+	if got := final.Gauges["load.peak"]; got != iters-1 {
+		t.Fatalf("final peak gauge = %v, want %d", got, iters-1)
+	}
+}

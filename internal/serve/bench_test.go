@@ -1,0 +1,42 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crossarch/internal/serve"
+)
+
+// BenchmarkServePredict measures end-to-end served prediction latency
+// through the full stack — HTTP transport, JSON codec, admission,
+// micro-batch coalescing, ladder inference, fan-back — for the two
+// canonical shapes: the interactive 1-row request and the scheduler's
+// 64-row workload batch. b.RunParallel supplies the concurrency the
+// coalescer exists for; single-row requests amortize best (they share
+// batches with other clients), so rows/s at 1 row is the coalescing
+// win and rows/s at 64 is the transport+codec overhead on top of the
+// offline batch path. Baselines live in EXPERIMENTS.md.
+func BenchmarkServePredict(b *testing.B) {
+	model := trainModel(b, 90)
+	for _, nrows := range []int{1, 64} {
+		b.Run(fmt.Sprintf("rows=%d", nrows), func(b *testing.B) {
+			_, client := newTestServer(b, model, serve.Config{
+				MaxBatch: 256,
+				MaxWait:  200 * time.Microsecond,
+				QueueCap: 4096,
+			})
+			rows := testRows(nrows, uint64(nrows))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.PredictBatch(rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(nrows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a minimal typed client for the prediction service, used by
+// the scheduler integration path (predictions fetched over HTTP
+// instead of an in-process model call) and the smoke harness.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// StatusError is a non-2xx server answer, preserving the code so
+// callers can branch on 429 vs 400 vs 503.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// PredictBatch posts rows to /v1/predict and returns the predictions
+// in row order — the remote twin of ml.PredictBatch.
+func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
+	body, err := json.Marshal(PredictRequest{Rows: rows})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readStatusError(resp)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	if len(pr.Predictions) != len(rows) {
+		return nil, fmt.Errorf("serve: got %d predictions for %d rows", len(pr.Predictions), len(rows))
+	}
+	return pr.Predictions, nil
+}
+
+// Modelz fetches the served model's metadata.
+func (c *Client) Modelz() (ModelzResponse, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/modelz")
+	if err != nil {
+		return ModelzResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ModelzResponse{}, readStatusError(resp)
+	}
+	var mz ModelzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mz); err != nil {
+		return ModelzResponse{}, fmt.Errorf("serve: decoding modelz: %w", err)
+	}
+	return mz, nil
+}
+
+// readStatusError turns a non-2xx response into a StatusError, using
+// the JSON error body when the server sent one.
+func readStatusError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return &StatusError{Code: resp.StatusCode, Message: er.Error}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(data))}
+}

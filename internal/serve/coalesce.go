@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"time"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+// pending is one admitted request waiting for its slice of a batch.
+// resp is buffered so the coalescer never blocks on a caller that gave
+// up (deadline, disconnect); the abandoned result is simply collected.
+type pending struct {
+	rows [][]float64
+	resp chan result
+}
+
+// result is the fan-back payload for one request: the request's rows
+// of the batch output matrix, in request order.
+type result struct {
+	preds [][]float64
+	model string
+}
+
+// run is the coalescer loop, one goroutine per server: pull the first
+// pending request, top the batch up until MaxBatch rows or MaxWait
+// elapse, resolve it through the ladder, fan the rows back. After quit
+// closes, whatever is still queued is answered before the loop exits,
+// so a drain never strands an admitted request.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case p := <-s.queue:
+			s.serveBatch(p)
+		case <-s.quit:
+			for {
+				select {
+				case p := <-s.queue:
+					s.serveBatch(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serveBatch coalesces one micro-batch starting from first and
+// resolves it. Gathering stops at MaxBatch rows, after MaxWait, or as
+// soon as the queue is empty during a drain.
+func (s *Server) serveBatch(first *pending) {
+	batch := []*pending{first}
+	rows := len(first.rows)
+	if rows < s.cfg.MaxBatch {
+		timer := time.NewTimer(s.cfg.MaxWait)
+	gather:
+		for rows < s.cfg.MaxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+				rows += len(p.rows)
+			case <-timer.C:
+				break gather
+			case <-s.quit:
+				// Draining: flush immediately with whatever is here; the
+				// run loop empties the rest of the queue afterwards.
+				break gather
+			}
+		}
+		timer.Stop()
+	}
+	obs.Set("serve.queue.depth", float64(len(s.queue)))
+
+	st := s.state()
+	X := make([][]float64, 0, rows)
+	for _, p := range batch {
+		X = append(X, p.rows...)
+	}
+	out := ml.NewMatrix(len(X), st.outputs)
+	start := obs.Now()
+	st.ladder.PredictBatch(X, out)
+	obs.Observe("serve.batch.seconds", obs.SinceSeconds(start))
+	obs.Observe("serve.batch.rows", float64(len(X)))
+	obs.Observe("serve.batch.requests", float64(len(batch)))
+	obs.Add("serve.batch.total", 1)
+	obs.Add("serve.rows.total", float64(len(X)))
+
+	lo := 0
+	for _, p := range batch {
+		hi := lo + len(p.rows)
+		p.resp <- result{preds: out[lo:hi], model: st.info.Name}
+		lo = hi
+	}
+}

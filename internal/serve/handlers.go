@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+// PredictRequest is the POST /v1/predict payload: feature rows in the
+// model's training column order (already normalized, as in the offline
+// batch path).
+type PredictRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// PredictResponse is the /v1/predict result: one prediction row per
+// request row, in order, plus the name of the model generation that
+// served the batch.
+type PredictResponse struct {
+	Model       string      `json:"model"`
+	Predictions [][]float64 `json:"predictions"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies reload failures ("corrupt", "missing", "other").
+	Kind string `json:"kind,omitempty"`
+}
+
+// ModelzResponse is the GET /v1/modelz body: the served model's
+// envelope metadata, the ladder wrapped around it, and the generation
+// counter that hot reloads bump.
+type ModelzResponse struct {
+	Model        ml.ModelInfo `json:"model"`
+	Ladder       string       `json:"ladder"`
+	Outputs      int          `json:"outputs"`
+	Generation   uint64       `json:"generation"`
+	LoadedUnixMs int64        `json:"loaded_unix_ms"`
+	Path         string       `json:"path,omitempty"`
+}
+
+// HealthzResponse is the GET /v1/healthz body.
+type HealthzResponse struct {
+	Status string `json:"status"` // "ok", "draining", or "no-model"
+	Model  string `json:"model,omitempty"`
+}
+
+// retryAfterSeconds is the Retry-After hint on 429/503 responses: by
+// the time it elapses the queue has turned over several MaxWait
+// windows, so an immediate retry storm is spread out instead of
+// re-hitting a full queue.
+const retryAfterSeconds = 1
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// An encode failure here means the client is gone; there is no
+	// channel left to report it on.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := obs.Now()
+	obs.Inc("serve.requests.total")
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		obs.Inc("serve.reject.draining.total")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.state() == nil {
+		obs.Inc("serve.reject.no_model.total")
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		obs.Inc("serve.reject.too_large.total")
+		writeError(w, http.StatusRequestEntityTooLarge, "body of %d bytes exceeds the %d-byte cap", r.ContentLength, s.cfg.MaxBodyBytes)
+		return
+	}
+	// Chunked bodies carry no Content-Length; the reader enforces the
+	// same cap mid-stream.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			obs.Inc("serve.reject.too_large.total")
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		obs.Inc("serve.reject.bad_request.total")
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		obs.Inc("serve.reject.bad_request.total")
+		writeError(w, http.StatusBadRequest, "request has no rows")
+		return
+	}
+	if len(req.Rows) > s.cfg.MaxRowsPerRequest {
+		obs.Inc("serve.reject.too_large.total")
+		writeError(w, http.StatusRequestEntityTooLarge, "%d rows exceed the %d-row request cap", len(req.Rows), s.cfg.MaxRowsPerRequest)
+		return
+	}
+	if err := ml.ValidateMatrix(req.Rows, s.cfg.Features); err != nil {
+		obs.Inc("serve.reject.bad_request.total")
+		writeError(w, http.StatusBadRequest, "invalid rows: %v", err)
+		return
+	}
+
+	p := &pending{rows: req.Rows, resp: make(chan result, 1)}
+	select {
+	case s.queue <- p:
+		depth := float64(len(s.queue))
+		obs.Set("serve.queue.depth", depth)
+		obs.SetMax("serve.queue.peak", depth)
+	default:
+		obs.Inc("serve.reject.queue_full.total")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "admission queue full (%d requests)", s.cfg.QueueCap)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case res := <-p.resp:
+		writeJSON(w, http.StatusOK, PredictResponse{Model: res.model, Predictions: res.preds})
+		obs.Observe("serve.request.seconds", obs.SinceSeconds(start))
+	case <-ctx.Done():
+		// The request stays in its batch — the coalescer computes it and
+		// parks the result in the buffered channel — but nobody is left
+		// to read the answer.
+		obs.Inc("serve.reject.deadline.total")
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded: %v", ctx.Err())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	switch {
+	case s.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{Status: "draining"})
+	case st == nil:
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{Status: "no-model"})
+	default:
+		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Model: st.info.Name})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := obs.TakeSnapshot().WriteJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelzResponse{
+		Model:        st.info,
+		Ladder:       st.ladder.Name(),
+		Outputs:      st.outputs,
+		Generation:   st.generation,
+		LoadedUnixMs: st.loadedUnixMs,
+		Path:         s.cfg.ModelPath,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: ErrKind(err)})
+		return
+	}
+	s.handleModelz(w, r)
+}

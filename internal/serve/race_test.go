@@ -1,0 +1,389 @@
+// The tentpole's concurrency spine: a -race hammer that drives the
+// coalescer from dozens of goroutines with every caller asserting
+// bitwise correctness of its own rows, plus the deterministic
+// load-generator tests for the 429 / drain / reload invariants. The
+// gated model pins the dispatcher inside a batch so queue overflow
+// and in-flight-during-reload states are reached by construction, not
+// by timing luck.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+)
+
+// gatedModel wraps a fitted model: every Predict announces itself on
+// entered (non-blocking) and then parks until the gate closes. It lets
+// a test hold the dispatcher mid-batch deterministically.
+type gatedModel struct {
+	inner   ml.Regressor
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gatedModel) Fit(X, Y [][]float64) error { return g.inner.Fit(X, Y) }
+func (g *gatedModel) Name() string               { return g.inner.Name() }
+func (g *gatedModel) Predict(x []float64) []float64 {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.inner.Predict(x)
+}
+
+// queueDepth reads the serve.queue.depth gauge from the process-global
+// registry. Only this package's server writes it, and tests here do
+// not run in parallel, so the reading is unambiguous.
+func queueDepth() float64 {
+	return obs.TakeSnapshot().Gauges["serve.queue.depth"]
+}
+
+// waitQueueDepth polls the gauge until it reaches want.
+func waitQueueDepth(t *testing.T, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if queueDepth() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %v (now %v)", want, queueDepth())
+}
+
+// TestConcurrentHammerBitwise floods the coalescer from 32 goroutines,
+// each firing a stream of differently-shaped requests and asserting
+// its own rows come back bitwise identical to the offline path —
+// micro-batching with strangers must never perturb anyone's floats.
+// Run under -race this is also the coalescer's data-race gate.
+func TestConcurrentHammerBitwise(t *testing.T) {
+	model := trainModel(t, 20)
+	_, client := newTestServer(t, model, serve.Config{
+		MaxBatch: 32,
+		MaxWait:  500 * time.Microsecond,
+	})
+
+	const goroutines = 32
+	const perG = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := 1 + (g+i)%9
+				rows := testRows(n, uint64(1000+g*perG+i))
+				want := ml.PredictBatch(model, rows)
+				got, err := client.PredictBatch(rows)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for r := range got {
+					for c := range got[r] {
+						if got[r][c] != want[r][c] {
+							errCh <- errors.New("served row diverged from offline prediction under concurrency")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueOverflow429 reaches the overflow state by construction: the
+// gate pins the dispatcher inside request A's batch, request B fills
+// the one-slot queue, so a probe MUST be rejected with 429 and a
+// Retry-After hint. Both admitted requests still complete bitwise
+// correct after release.
+func TestQueueOverflow429(t *testing.T) {
+	inner := trainModel(t, 21)
+	gm := &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	_, client := newTestServer(t, gm, serve.Config{
+		MaxBatch: 1,
+		QueueCap: 1,
+		MaxWait:  100 * time.Microsecond,
+	})
+
+	rowsA, rowsB := testRows(1, 30), testRows(1, 31)
+	type answer struct {
+		preds [][]float64
+		err   error
+	}
+	fire := func(rows [][]float64) chan answer {
+		ch := make(chan answer, 1)
+		go func() {
+			preds, err := client.PredictBatch(rows)
+			ch <- answer{preds, err}
+		}()
+		return ch
+	}
+
+	chA := fire(rowsA)
+	select {
+	case <-gm.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never entered the gated batch")
+	}
+	// Dispatcher is parked inside A's batch and has already published
+	// depth 0; the only remaining gauge writer is B's handler.
+	chB := fire(rowsB)
+	waitQueueDepth(t, 1)
+
+	// Queue full, dispatcher pinned: the probe must bounce.
+	body, err := json.Marshal(serve.PredictRequest{Rows: testRows(1, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(client.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow probe = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+
+	close(gm.gate)
+	for _, tc := range []struct {
+		ch   chan answer
+		rows [][]float64
+		name string
+	}{{chA, rowsA, "pinned request"}, {chB, rowsB, "queued request"}} {
+		select {
+		case a := <-tc.ch:
+			if a.err != nil {
+				t.Fatalf("%s failed after release: %v", tc.name, a.err)
+			}
+			mustEqualBitwise(t, a.preds, ml.PredictBatch(inner, tc.rows), tc.name)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never completed after release", tc.name)
+		}
+	}
+}
+
+// TestDrainUnderLoad asserts the drain contract: once BeginDrain is
+// called, new requests bounce with 503 + Retry-After and healthz turns
+// unhealthy, while the pinned in-flight request and the already-queued
+// request BOTH finish with bitwise-correct answers — an accepted
+// request is never dropped by a drain.
+func TestDrainUnderLoad(t *testing.T) {
+	inner := trainModel(t, 22)
+	gm := &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv, client := newTestServer(t, gm, serve.Config{
+		MaxBatch: 1,
+		QueueCap: 4,
+		MaxWait:  100 * time.Microsecond,
+	})
+
+	rowsA, rowsB := testRows(2, 40), testRows(3, 41)
+	type answer struct {
+		preds [][]float64
+		err   error
+	}
+	fire := func(rows [][]float64) chan answer {
+		ch := make(chan answer, 1)
+		go func() {
+			preds, err := client.PredictBatch(rows)
+			ch <- answer{preds, err}
+		}()
+		return ch
+	}
+
+	chA := fire(rowsA)
+	select {
+	case <-gm.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never entered the gated batch")
+	}
+	chB := fire(rowsB)
+	waitQueueDepth(t, 1)
+
+	srv.BeginDrain()
+
+	_, err := client.PredictBatch(testRows(1, 42))
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request err = %v, want 503", err)
+	}
+	hresp, err := http.Get(client.BaseURL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hz serve.HealthzResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable || hz.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v, want 503 draining", hresp.StatusCode, hz)
+	}
+
+	close(gm.gate)
+	for _, tc := range []struct {
+		ch   chan answer
+		rows [][]float64
+		name string
+	}{{chA, rowsA, "in-flight request"}, {chB, rowsB, "queued request"}} {
+		select {
+		case a := <-tc.ch:
+			if a.err != nil {
+				t.Fatalf("%s dropped by drain: %v", tc.name, a.err)
+			}
+			mustEqualBitwise(t, a.preds, ml.PredictBatch(inner, tc.rows), tc.name+" during drain")
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never completed during drain", tc.name)
+		}
+	}
+	// Close must return promptly now that the queue is empty.
+	srv.Close()
+}
+
+// TestReloadUnderLoad pins a batch on the old model, hot-reloads to a
+// new envelope mid-flight, and asserts the generation capture: the
+// pinned batch finishes on the OLD weights while the next request is
+// served by the new ones, both bitwise.
+func TestReloadUnderLoad(t *testing.T) {
+	modelOld := trainModel(t, 23)
+	modelNew := trainModel(t, 24)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := ml.SaveModelFile(path, modelOld); err != nil {
+		t.Fatal(err)
+	}
+	gm := &gatedModel{inner: modelOld, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv, client := newTestServer(t, nil, serve.Config{
+		ModelPath: path,
+		MaxBatch:  1,
+		MaxWait:   100 * time.Microsecond,
+	})
+	// Replace the file-loaded model with the gated wrapper around the
+	// same weights so the in-flight batch can be held open.
+	if err := srv.Install(gm, ml.ModelInfo{Name: gm.Name()}); err != nil {
+		t.Fatal(err)
+	}
+
+	rowsA := testRows(2, 50)
+	type answer struct {
+		preds [][]float64
+		err   error
+	}
+	ch := make(chan answer, 1)
+	go func() {
+		preds, err := client.PredictBatch(rowsA)
+		ch <- answer{preds, err}
+	}()
+	select {
+	case <-gm.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never entered the gated batch")
+	}
+
+	// Swap the envelope on disk and reload while the batch is pinned.
+	if err := ml.SaveModelFile(path, modelNew); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gm.gate)
+	select {
+	case a := <-ch:
+		if a.err != nil {
+			t.Fatal(a.err)
+		}
+		mustEqualBitwise(t, a.preds, ml.PredictBatch(modelOld, rowsA), "in-flight batch on old weights")
+	case <-time.After(5 * time.Second):
+		t.Fatal("pinned request never completed after reload")
+	}
+
+	rowsB := testRows(3, 51)
+	got, err := client.PredictBatch(rowsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBitwise(t, got, ml.PredictBatch(modelNew, rowsB), "post-reload request on new weights")
+}
+
+// TestLoadGeneratorAccounting runs a mixed open-loop load against a
+// deliberately tiny queue and checks the global invariant: every
+// request is answered exactly once — 200 with bitwise-correct rows, or
+// 429 with Retry-After — and the two tallies sum to the offered load.
+func TestLoadGeneratorAccounting(t *testing.T) {
+	model := trainModel(t, 25)
+	_, client := newTestServer(t, model, serve.Config{
+		MaxBatch: 4,
+		QueueCap: 2,
+		MaxWait:  200 * time.Microsecond,
+	})
+
+	const goroutines = 16
+	const perG = 10
+	var ok, rejected atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rows := testRows(1+(g+i)%4, uint64(2000+g*perG+i))
+				got, err := client.PredictBatch(rows)
+				if err != nil {
+					var se *serve.StatusError
+					if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+						rejected.Add(1)
+						continue
+					}
+					errCh <- err
+					return
+				}
+				ok.Add(1)
+				want := ml.PredictBatch(model, rows)
+				for r := range got {
+					for c := range got[r] {
+						if got[r][c] != want[r][c] {
+							errCh <- errors.New("accepted request returned non-bitwise rows under load")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if total := ok.Load() + rejected.Load(); total != goroutines*perG {
+		t.Fatalf("answered %d of %d offered requests", total, goroutines*perG)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("load generator saw zero accepted requests")
+	}
+	t.Logf("offered %d: %d served, %d rejected 429", goroutines*perG, ok.Load(), rejected.Load())
+}

@@ -1,0 +1,122 @@
+// Satellite integration test: the scheduler's Model-based placement
+// (Algorithm 2) driven by predictions fetched from an in-process
+// serving endpoint must make exactly the decisions it makes with
+// direct in-memory predictions. Because the service is bitwise
+// identical to the offline batch path, every job's RPV — and therefore
+// every ranking, every placement, and every simulation metric — is
+// byte-for-byte the same.
+package serve_test
+
+import (
+	"reflect"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/ml"
+	"crossarch/internal/rpv"
+	"crossarch/internal/sched"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+// buildWorkload synthesizes a schedulable job stream: positive
+// per-machine runtimes, staggered arrivals, modest node counts. The
+// Predicted field is left nil for the caller to fill from either
+// prediction path.
+func buildWorkload(n int, seed uint64) ([]*sched.Job, [][]float64) {
+	rng := stats.NewRNG(seed)
+	machines := len(arch.Names())
+	jobs := make([]*sched.Job, n)
+	features := make([][]float64, n)
+	for i := range jobs {
+		rts := make([]float64, machines)
+		for k := range rts {
+			rts[k] = rng.Range(30, 3000)
+		}
+		jobs[i] = &sched.Job{
+			ID:       i,
+			App:      "app",
+			Arrival:  float64(i) * rng.Range(1, 20),
+			Nodes:    1 + int(rng.Range(0, 8)),
+			Runtimes: rts,
+		}
+		row := make([]float64, testFeatures)
+		for j := range row {
+			row[j] = rng.Range(-3, 3)
+		}
+		features[i] = row
+	}
+	return jobs, features
+}
+
+// attach copies predictions onto a fresh clone of the workload (Run
+// mutates jobs, so each path needs its own).
+func attach(jobs []*sched.Job, preds [][]float64) []*sched.Job {
+	out := make([]*sched.Job, len(jobs))
+	for i, j := range jobs {
+		cp := *j
+		cp.Predicted = rpv.RPV(preds[i])
+		out[i] = &cp
+	}
+	return out
+}
+
+func TestModelBasedSchedulingViaService(t *testing.T) {
+	model := trainModel(t, 60)
+	_, client := newTestServer(t, model, serve.Config{})
+
+	const numJobs = 120
+	jobs, features := buildWorkload(numJobs, 61)
+
+	direct := ml.PredictBatch(model, features)
+	served, err := client.PredictBatch(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBitwise(t, served, direct, "served workload predictions")
+
+	run := func(preds [][]float64) (sched.Result, []int) {
+		t.Helper()
+		cluster := sched.NewCluster(arch.All())
+		jj := attach(jobs, preds)
+		res, err := sched.Run(jj, cluster, sched.NewModelBased(), sched.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements := make([]int, len(jj))
+		for i, j := range jj {
+			placements[i] = j.Machine
+		}
+		return res, placements
+	}
+
+	directRes, directPlace := run(direct)
+	servedRes, servedPlace := run(served)
+
+	if !reflect.DeepEqual(directPlace, servedPlace) {
+		for i := range directPlace {
+			if directPlace[i] != servedPlace[i] {
+				t.Fatalf("job %d placed on machine %d via service, %d direct",
+					jobs[i].ID, servedPlace[i], directPlace[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(directRes, servedRes) {
+		t.Fatalf("simulation results diverge:\n service: %+v\n direct:  %+v", servedRes, directRes)
+	}
+	if directRes.CompletedJobs != numJobs {
+		t.Fatalf("completed %d of %d jobs", directRes.CompletedJobs, numJobs)
+	}
+
+	// The placements must reflect the model, not a degenerate ranking:
+	// at least two machines receive jobs in a 120-job stream.
+	used := 0
+	for _, n := range directRes.JobsPerMachine {
+		if n > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("model-based placement used %d machines: %v", used, directRes.JobsPerMachine)
+	}
+}

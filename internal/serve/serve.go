@@ -1,0 +1,262 @@
+// Package serve is the online face of the prediction pipeline: a
+// zero-dependency net/http service that loads a persisted model
+// (internal/ml envelope, checksum-verified), coalesces concurrent
+// POST /v1/predict requests into micro-batches for the vectorized
+// ml.BatchRegressor path, and routes every batch through the
+// ml.DegradingPredictor ladder so faults degrade predictions instead
+// of failing requests.
+//
+// The serving contract mirrors the offline path exactly: for the same
+// feature rows, a served prediction is bitwise identical to
+// ml.PredictBatch on the same fitted model, no matter how requests are
+// interleaved or coalesced — per-row tree traversal is independent of
+// batch composition (DESIGN.md §6), and the coalescer only ever
+// changes the composition, never the rows.
+//
+// Admission control is explicit: a bounded queue rejects overflow with
+// 429 + Retry-After, request bodies and row counts are capped, and
+// every request carries a deadline. Shutdown is graceful — draining
+// refuses new work with 503 while every accepted request still gets
+// its prediction — and the model can be atomically hot-reloaded from
+// disk (endpoint- or SIGHUP-triggered) without dropping a request.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+// Config tunes the service. The zero value serves with the documented
+// defaults; ModelPath (or a later Install) supplies the model.
+type Config struct {
+	// ModelPath is the ml envelope file to load at startup and on every
+	// Reload. Empty means the caller must Install a model before the
+	// server is ready.
+	ModelPath string
+
+	// Outputs is the prediction width. 0 means the canonical RPV width,
+	// one entry per architecture.
+	Outputs int
+
+	// Features, when positive, is the exact feature width every request
+	// row must have; 0 only enforces that rows are rectangular & finite.
+	Features int
+
+	// MaxBatch caps the rows coalesced into one PredictBatch call
+	// (default 64). A single request larger than MaxBatch still forms
+	// one batch of its own.
+	MaxBatch int
+
+	// MaxWait bounds how long an open batch waits for more rows before
+	// dispatching (default 2ms). Larger values trade tail latency for
+	// batch occupancy.
+	MaxWait time.Duration
+
+	// QueueCap bounds the admission queue in requests (default 256);
+	// an enqueue past the cap is rejected with 429.
+	QueueCap int
+
+	// MaxRowsPerRequest caps the rows in one request (default 4096);
+	// larger payloads are rejected with 413.
+	MaxRowsPerRequest int
+
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// RequestTimeout is the per-request deadline measured from the
+	// moment the handler admits the request (default 10s).
+	RequestTimeout time.Duration
+
+	// Degrade configures the degradation ladder wrapped around the
+	// loaded model (fault injection, breaker tuning). The zero value is
+	// the fault-free ladder, whose output is bitwise identical to the
+	// primary model.
+	Degrade ml.DegradeOpts
+}
+
+func (c *Config) setDefaults() {
+	if c.Outputs <= 0 {
+		c.Outputs = len(arch.Names())
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.MaxRowsPerRequest <= 0 {
+		c.MaxRowsPerRequest = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+}
+
+// modelState is one immutable generation of the served model. Reload
+// builds a fresh state and swaps the pointer; batches capture the
+// pointer once at dispatch, so an in-flight batch finishes on the
+// model it started with.
+type modelState struct {
+	ladder       *ml.DegradingPredictor
+	info         ml.ModelInfo
+	outputs      int
+	generation   uint64
+	loadedUnixMs int64
+}
+
+// Server is the batched prediction service. Construct with New, serve
+// it via any http.Server (it implements http.Handler), then BeginDrain
+// + http.Server.Shutdown + Close to stop without dropping an accepted
+// request.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *pending
+
+	model      atomic.Pointer[modelState]
+	generation atomic.Uint64
+	draining   atomic.Bool
+
+	reloadMu  sync.Mutex // serializes Reload/Install swaps
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds the server and starts its coalescer. When cfg.ModelPath
+// is set the model is loaded (and checksum-verified) before New
+// returns, so a misconfigured path fails fast instead of 503ing
+// forever.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *pending, cfg.QueueCap),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/modelz", s.handleModelz)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	if cfg.ModelPath != "" {
+		if err := s.Reload(); err != nil {
+			return nil, err
+		}
+	}
+	go s.run()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Install wraps a fitted model in the degradation ladder and swaps it
+// in as the served generation — the programmatic sibling of Reload,
+// used by tests and the smoke harness. info describes the model for
+// /v1/modelz (zero value is fine for unsaved models).
+func (s *Server) Install(m ml.Regressor, info ml.ModelInfo) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.install(m, info)
+}
+
+// install builds and swaps a model state. Caller holds reloadMu.
+func (s *Server) install(m ml.Regressor, info ml.ModelInfo) error {
+	ladder, err := ml.NewDegradingPredictor(m, nil, s.cfg.Outputs, s.cfg.Degrade)
+	if err != nil {
+		return err
+	}
+	if info.Name == "" {
+		info.Name = m.Name()
+	}
+	st := &modelState{
+		ladder:       ladder,
+		info:         info,
+		outputs:      s.cfg.Outputs,
+		generation:   s.generation.Add(1),
+		loadedUnixMs: obs.Now().UnixMilli(),
+	}
+	s.model.Store(st)
+	obs.Set("serve.model.generation", float64(st.generation))
+	return nil
+}
+
+// Reload atomically replaces the served model from cfg.ModelPath. On
+// any failure — missing file, corrupt payload (ml.ErrChecksum),
+// unknown learner — the previous generation keeps serving untouched.
+func (s *Server) Reload() error {
+	if s.cfg.ModelPath == "" {
+		return errors.New("serve: no ModelPath configured; use Install")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	m, info, err := ml.LoadModelFileInfo(s.cfg.ModelPath)
+	if err != nil {
+		obs.Inc("serve.reload.fail.total")
+		return fmt.Errorf("serve: reload %s: %w", s.cfg.ModelPath, err)
+	}
+	if err := s.install(m, info); err != nil {
+		obs.Inc("serve.reload.fail.total")
+		return err
+	}
+	obs.Inc("serve.reload.total")
+	return nil
+}
+
+// ErrKind classifies a load/reload error for operators: "corrupt"
+// (checksum mismatch), "missing" (no such file), or "other".
+func ErrKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ml.ErrChecksum):
+		return "corrupt"
+	case errors.Is(err, fs.ErrNotExist):
+		return "missing"
+	default:
+		return "other"
+	}
+}
+
+// BeginDrain puts the server into draining mode: every subsequent
+// /v1/predict is refused with 503 while already-admitted requests run
+// to completion. Idempotent. The caller then shuts the http.Server
+// down (which waits for in-flight handlers) and finally calls Close.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		obs.Inc("serve.drain.total")
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the coalescer after it has answered everything still in
+// the queue, and waits for it to exit. Call after the HTTP server has
+// drained (all handlers returned); Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// state returns the current model generation, or nil before the first
+// successful load.
+func (s *Server) state() *modelState { return s.model.Load() }

@@ -1,0 +1,458 @@
+// The tentpole's verification spine (ISSUE 5): an httptest-based e2e
+// harness proving the batched service answers bitwise identically to
+// the offline ml.PredictBatch path, request-validation and endpoint
+// tables, and the reload error-kind contract. The concurrency hammer
+// and drain/overflow load generator live in race_test.go.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+const (
+	testFeatures = 6
+	testOutputs  = 4
+)
+
+// trainModel fits a small XGBoost model on a synthetic nonlinear
+// response; all serving tests share its shape constants.
+func trainModel(t testing.TB, seed uint64) *xgboost.Model {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	const n = 150
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, testFeatures)
+		for j := range x {
+			x[j] = rng.Range(-3, 3)
+		}
+		y := make([]float64, testOutputs)
+		for k := range y {
+			y[k] = x[k%testFeatures] * float64(k+1)
+			if x[(k+1)%testFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		X[i], Y[i] = x, y
+	}
+	m := xgboost.New(xgboost.Params{Rounds: 8, MaxDepth: 3, LearningRate: 0.3, Seed: seed})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testRows draws n valid feature rows.
+func testRows(n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, testFeatures)
+		for j := range r {
+			r[j] = rng.Range(-3, 3)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// newTestServer builds a serve.Server with the model installed, wraps
+// it in httptest, and registers teardown in the right order (HTTP
+// drain before coalescer close).
+func newTestServer(t testing.TB, m ml.Regressor, cfg serve.Config) (*serve.Server, *serve.Client) {
+	t.Helper()
+	if cfg.Outputs == 0 {
+		cfg.Outputs = testOutputs
+	}
+	if cfg.Features == 0 {
+		cfg.Features = testFeatures
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		if err := srv.Install(m, ml.ModelInfo{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.BeginDrain()
+		ts.Close()
+		srv.Close()
+	})
+	return srv, &serve.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+}
+
+// mustEqualBitwise fails unless two prediction matrices are exactly
+// equal, bit for bit.
+func mustEqualBitwise(t testing.TB, got, want [][]float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", msg, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			// Exact float comparison is the contract under test.
+			//lint:ignore floateq bitwise identity is the serving contract being asserted
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d col %d: %v != %v", msg, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestServedBitwiseIdenticalToOffline is the core e2e equivalence: for
+// any request shape, served predictions equal ml.PredictBatch on the
+// same fitted model exactly.
+func TestServedBitwiseIdenticalToOffline(t *testing.T) {
+	model := trainModel(t, 1)
+	_, client := newTestServer(t, model, serve.Config{})
+	for _, n := range []int{1, 2, 7, 64, 200} {
+		rows := testRows(n, uint64(n)+100)
+		got, err := client.PredictBatch(rows)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		mustEqualBitwise(t, got, ml.PredictBatch(model, rows), "served vs offline")
+	}
+}
+
+// TestRequestValidation drives the admission boundary: every malformed
+// or oversized payload maps to its documented status code and no
+// prediction work happens.
+func TestRequestValidation(t *testing.T) {
+	model := trainModel(t, 2)
+	_, client := newTestServer(t, model, serve.Config{
+		MaxRowsPerRequest: 8,
+		MaxBodyBytes:      1 << 14,
+	})
+	base := client.BaseURL
+
+	bigRows, err := json.Marshal(serve.PredictRequest{Rows: testRows(9, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"malformed json", []byte(`{"rows": [[1,`), http.StatusBadRequest},
+		{"empty rows", []byte(`{"rows": []}`), http.StatusBadRequest},
+		{"no rows field", []byte(`{}`), http.StatusBadRequest},
+		{"ragged rows", []byte(`{"rows": [[1,2,3,4,5,6],[1,2]]}`), http.StatusBadRequest},
+		{"wrong width", []byte(`{"rows": [[1,2,3]]}`), http.StatusBadRequest},
+		{"non-finite row", []byte(`{"rows": [[1,2,3,4,5,"NaN"]]}`), http.StatusBadRequest},
+		{"row cap", bigRows, http.StatusRequestEntityTooLarge},
+		{"oversized body", make([]byte, 1<<15), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d (body: %s)", resp.StatusCode, tc.want, body)
+			}
+			var er serve.ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+				t.Fatalf("error body not JSON with an error field: %v", err)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(base + "/v1/predict")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/predict = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestHealthzModelzMetrics exercises the observability endpoints: the
+// health states, the model metadata (name + checksum of the envelope
+// on disk), and a well-formed obs snapshot containing the serving
+// metrics.
+func TestHealthzModelzMetrics(t *testing.T) {
+	model := trainModel(t, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := ml.SaveModelFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := ml.LoadModelFileInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, nil, serve.Config{ModelPath: path})
+
+	resp, err := http.Get(client.BaseURL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz serve.HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Model != "xgboost" {
+		t.Fatalf("healthz = %d %+v, want 200 ok/xgboost", resp.StatusCode, hz)
+	}
+
+	mz, err := client.Modelz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mz.Model.Name != "xgboost" || mz.Model.Checksum != info.Checksum || mz.Model.Legacy {
+		t.Fatalf("modelz model = %+v, want checksummed xgboost envelope %+v", mz.Model, info)
+	}
+	if mz.Outputs != testOutputs || mz.Generation == 0 || mz.LoadedUnixMs == 0 || mz.Path != path {
+		t.Fatalf("modelz = %+v", mz)
+	}
+	if !strings.Contains(mz.Ladder, "degrading(xgboost->") {
+		t.Fatalf("modelz ladder = %q", mz.Ladder)
+	}
+
+	// One request so the serving metrics exist, then snapshot.
+	if _, err := client.PredictBatch(testRows(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.Get(client.BaseURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics endpoint is not a parsable snapshot: %v", err)
+	}
+	if snap.SchemaVersion != obs.SnapshotSchemaVersion {
+		t.Fatalf("snapshot schema %d, want %d", snap.SchemaVersion, obs.SnapshotSchemaVersion)
+	}
+	if snap.Counters["serve.requests.total"] < 1 || snap.Counters["serve.rows.total"] < 3 {
+		t.Fatalf("serving counters missing from snapshot: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["serve.batch.rows"]; !ok {
+		t.Fatalf("serve.batch.rows histogram missing: %v", snap.Histograms)
+	}
+	_ = srv
+}
+
+// TestReloadErrorKinds pins the reload contract: a corrupt model file
+// is refused (kind "corrupt", errors.Is ml.ErrChecksum), a missing
+// file likewise ("missing"), and in both cases the previous generation
+// keeps serving bitwise-unchanged.
+func TestReloadErrorKinds(t *testing.T) {
+	model := trainModel(t, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := ml.SaveModelFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, nil, serve.Config{ModelPath: path})
+	rows := testRows(5, 6)
+	want := ml.PredictBatch(model, rows)
+
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Replace(intact, []byte(`"payload":{`), []byte(`"payload":{ `), 1)
+	if bytes.Equal(corrupt, intact) {
+		t.Fatal("corruption produced identical bytes")
+	}
+
+	tests := []struct {
+		name     string
+		prep     func() error
+		wantKind string
+		checksum bool
+	}{
+		{"corrupt file", func() error { return os.WriteFile(path, corrupt, 0o644) }, "corrupt", true},
+		{"missing file", func() error { return os.Remove(path) }, "missing", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.prep(); err != nil {
+				t.Fatal(err)
+			}
+			err := srv.Reload()
+			if err == nil {
+				t.Fatal("reload of a bad file succeeded")
+			}
+			if got := serve.ErrKind(err); got != tc.wantKind {
+				t.Fatalf("ErrKind = %q, want %q (err: %v)", got, tc.wantKind, err)
+			}
+			if errors.Is(err, ml.ErrChecksum) != tc.checksum {
+				t.Fatalf("errors.Is(ErrChecksum) = %v, want %v", !tc.checksum, tc.checksum)
+			}
+
+			// The reload endpoint reports the same classification.
+			resp, err := http.Post(client.BaseURL+"/v1/reload", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var er serve.ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusInternalServerError || er.Kind != tc.wantKind {
+				t.Fatalf("reload endpoint = %d kind %q, want 500 %q", resp.StatusCode, er.Kind, tc.wantKind)
+			}
+
+			// The old generation keeps serving, bitwise unchanged.
+			got, err := client.PredictBatch(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualBitwise(t, got, want, "serving after failed reload")
+		})
+	}
+}
+
+// TestHotReloadSwapsAtomically overwrites the model file and reloads:
+// the next responses are the new model's, bitwise — and the generation
+// counter records the swap.
+func TestHotReloadSwapsAtomically(t *testing.T) {
+	modelA := trainModel(t, 7)
+	modelB := trainModel(t, 8)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := ml.SaveModelFile(path, modelA); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, nil, serve.Config{ModelPath: path})
+	rows := testRows(9, 9)
+
+	got, err := client.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBitwise(t, got, ml.PredictBatch(modelA, rows), "pre-reload")
+	before, err := client.Modelz()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ml.SaveModelFile(path, modelB); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = client.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBitwise(t, got, ml.PredictBatch(modelB, rows), "post-reload")
+	after, err := client.Modelz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation != before.Generation+1 || after.Model.Checksum == before.Model.Checksum {
+		t.Fatalf("generations %d -> %d, checksums %q -> %q", before.Generation, after.Generation,
+			before.Model.Checksum, after.Model.Checksum)
+	}
+}
+
+// panicModel's Predict always panics — the organic fault the ladder
+// must absorb.
+type panicModel struct{}
+
+func (panicModel) Fit(X, Y [][]float64) error { return nil }
+func (panicModel) Predict(x []float64) []float64 {
+	panic("serve_test: model exploded")
+}
+func (panicModel) Name() string { return "panic-model" }
+
+// TestPanickingModelDegradesInsteadOf500 proves the ladder routing: a
+// model that panics on every row still answers 200, with the identity
+// RPV (all ones) — faults degrade, they do not fail requests.
+func TestPanickingModelDegradesInsteadOf500(t *testing.T) {
+	_, client := newTestServer(t, panicModel{}, serve.Config{})
+	rows := testRows(4, 10)
+	got, err := client.PredictBatch(rows)
+	if err != nil {
+		t.Fatalf("panicking model must still answer: %v", err)
+	}
+	for i, row := range got {
+		for j, v := range row {
+			//lint:ignore floateq identity floor is exactly 1.0 by construction
+			if v != 1.0 {
+				t.Fatalf("row %d col %d = %v, want identity 1.0", i, j, v)
+			}
+		}
+	}
+}
+
+// TestRequestDeadline arms a tiny per-request timeout against a model
+// that blocks: the handler must answer 503 instead of hanging.
+func TestRequestDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	_, client := newTestServer(t, &blockingModel{gate: gate}, serve.Config{
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	_, err := client.PredictBatch(testRows(1, 11))
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline request err = %v, want 503 StatusError", err)
+	}
+}
+
+// blockingModel blocks every Predict until its gate closes.
+type blockingModel struct{ gate chan struct{} }
+
+func (b *blockingModel) Fit(X, Y [][]float64) error { return nil }
+func (b *blockingModel) Name() string               { return "blocking-model" }
+func (b *blockingModel) Predict(x []float64) []float64 {
+	<-b.gate
+	out := make([]float64, testOutputs)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// TestNoModel503 covers the not-yet-ready states.
+func TestNoModel503(t *testing.T) {
+	_, client := newTestServer(t, nil, serve.Config{})
+	_, err := client.PredictBatch(testRows(1, 12))
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no-model predict err = %v, want 503", err)
+	}
+	if _, err := client.Modelz(); err == nil {
+		t.Fatal("no-model modelz should 503")
+	}
+}

@@ -1,0 +1,408 @@
+// Package smoke is the serving smoke gate (`mphpc-serve -smoke`,
+// `make serve-smoke`): a self-contained end-to-end drill of the
+// serving invariants against a real listener on a random port. Run
+// hard-asserts, in order:
+//
+//  1. a valid request answers 200 with predictions bitwise identical
+//     to the offline ml.PredictBatch on the same model file;
+//  2. malformed JSON answers 400, an oversized body 413, a row-count
+//     overflow 413, and a wrong-width row 400;
+//  3. with the dispatcher pinned inside an inference batch and the
+//     bounded queue full, the next request answers 429 with
+//     Retry-After — and every admitted request still completes with
+//     bitwise-correct results once the batch unblocks;
+//  4. a hot reload under in-flight load swaps the model atomically:
+//     the in-flight request finishes on the old weights, the next
+//     request uses the new ones, and /v1/modelz reports the new
+//     checksum and generation;
+//  5. draining answers 503 (with Retry-After) to new work while
+//     everything accepted drains cleanly, and the closed listener
+//     refuses connections.
+//
+// The package lives inside the nondeterminism lint scope with the rest
+// of the serving layer, so it never reads the wall clock: waits are
+// bounded selects and attempt-counted sleeps.
+package smoke
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"crossarch/internal/floats"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+const (
+	smokeFeatures = 6
+	smokeOutputs  = 4
+	smokeWait     = 10 * time.Second
+)
+
+// smokeModel fits a small XGBoost model on a synthetic piecewise
+// response — the weights are irrelevant to the invariants, only that
+// they form a real BatchRegressor with a checksummed envelope.
+func smokeModel(seed uint64) (*xgboost.Model, error) {
+	rng := stats.NewRNG(seed)
+	const n = 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, smokeFeatures)
+		for j := range x {
+			x[j] = rng.Range(-3, 3)
+		}
+		y := make([]float64, smokeOutputs)
+		for k := range y {
+			y[k] = x[k%smokeFeatures] * float64(k+1)
+			if x[(k+1)%smokeFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		X[i], Y[i] = x, y
+	}
+	m := xgboost.New(xgboost.Params{Rounds: 10, MaxDepth: 3, LearningRate: 0.3, Seed: seed})
+	if err := m.Fit(X, Y); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// gatedModel wraps a fitted model so every Predict blocks until the
+// gate channel closes, pinning the coalescer inside a batch at a known
+// point — the only way to drive the 429 overflow and reload-under-load
+// stages deterministically. entered signals the first blocked row.
+type gatedModel struct {
+	inner   ml.Regressor
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func newGated(inner ml.Regressor) *gatedModel {
+	return &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+}
+
+func (g *gatedModel) Fit(X, Y [][]float64) error { return g.inner.Fit(X, Y) }
+func (g *gatedModel) Name() string               { return g.inner.Name() }
+
+func (g *gatedModel) Predict(x []float64) []float64 {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.inner.Predict(x)
+}
+
+// smokeRows returns a deterministic batch of valid feature rows.
+func smokeRows(n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, smokeFeatures)
+		for j := range r {
+			r[j] = rng.Range(-3, 3)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// postRaw posts raw bytes to the predict endpoint and returns the
+// status code and the Retry-After header.
+func postRaw(base string, body []byte) (code int, retryAfter string, err error) {
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// queueDepth reads the serve.queue.depth gauge off /v1/metrics.
+func queueDepth(base string) (float64, error) {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("decoding metrics snapshot: %w", err)
+	}
+	return snap.Gauges["serve.queue.depth"], nil
+}
+
+// bitwiseEqual compares two prediction matrices exactly: serving must
+// not change a single bit relative to the offline path.
+func bitwiseEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			// Exact comparison is the contract under test; NaN never
+			// appears (finite inputs, finite trees).
+			if !floats.Eq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type reply struct {
+	preds [][]float64
+	err   error
+}
+
+// Run executes every smoke stage in order and returns the first
+// violated invariant (nil when all hold).
+func Run() error {
+	dir, err := os.MkdirTemp("", "mphpc-serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	modelPath := filepath.Join(dir, "model.json")
+
+	modelA, err := smokeModel(11)
+	if err != nil {
+		return fmt.Errorf("training model A: %w", err)
+	}
+	modelB, err := smokeModel(22)
+	if err != nil {
+		return fmt.Errorf("training model B: %w", err)
+	}
+	if err := ml.SaveModelFile(modelPath, modelA); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		ModelPath:         modelPath,
+		Outputs:           smokeOutputs,
+		Features:          smokeFeatures,
+		MaxBatch:          8,
+		MaxWait:           time.Millisecond,
+		QueueCap:          1,
+		MaxRowsPerRequest: 32,
+		MaxBodyBytes:      1 << 16,
+		RequestTimeout:    smokeWait,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &serve.Client{BaseURL: base}
+
+	// Stage 1: served == offline, bitwise.
+	rows := smokeRows(12, 7)
+	got, err := client.PredictBatch(rows)
+	if err != nil {
+		return fmt.Errorf("valid request: %w", err)
+	}
+	if want := ml.PredictBatch(modelA, rows); !bitwiseEqual(got, want) {
+		return errors.New("served predictions differ from offline PredictBatch")
+	}
+
+	// Stage 2: malformed, oversized, and invalid payloads.
+	if code, _, err := postRaw(base, []byte(`{"rows": [[1,`)); err != nil || code != http.StatusBadRequest {
+		return fmt.Errorf("malformed JSON: code %d, err %v (want 400)", code, err)
+	}
+	if code, _, err := postRaw(base, make([]byte, 1<<17)); err != nil || code != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("oversized body: code %d, err %v (want 413)", code, err)
+	}
+	capBody, err := json.Marshal(serve.PredictRequest{Rows: smokeRows(33, 8)})
+	if err != nil {
+		return err
+	}
+	if code, _, err := postRaw(base, capBody); err != nil || code != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("row-cap overflow: code %d, err %v (want 413)", code, err)
+	}
+	if code, _, err := postRaw(base, []byte(`{"rows": [[1,2,3]]}`)); err != nil || code != http.StatusBadRequest {
+		return fmt.Errorf("wrong-width row: code %d, err %v (want 400)", code, err)
+	}
+
+	// Stage 3: 429 overflow while the dispatcher is pinned in a batch.
+	// Pin request A inside the gated model, park request B in the
+	// 1-slot queue (confirmed via the queue-depth gauge), then probe:
+	// the probe must bounce with 429 + Retry-After.
+	gated := newGated(modelA)
+	if err := srv.Install(gated, ml.ModelInfo{}); err != nil {
+		return err
+	}
+	inflightRows := smokeRows(2, 9)
+	inflight := make(chan reply, 1)
+	go func() {
+		p, perr := client.PredictBatch(inflightRows)
+		inflight <- reply{p, perr}
+	}()
+	select {
+	case <-gated.entered:
+	case <-time.After(smokeWait):
+		return errors.New("dispatcher never entered the gated batch")
+	}
+	queuedRows := smokeRows(1, 10)
+	queued := make(chan reply, 1)
+	go func() {
+		p, perr := client.PredictBatch(queuedRows)
+		queued <- reply{p, perr}
+	}()
+	// Attempt-counted poll (5ms × 2000 = the same 10s budget as
+	// smokeWait) instead of a wall-clock deadline: the serving layer's
+	// lint scope bans time.Now.
+	reached := false
+	for attempt := 0; attempt < 2000; attempt++ {
+		depth, derr := queueDepth(base)
+		if derr != nil {
+			return derr
+		}
+		if depth >= 1 {
+			reached = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !reached {
+		return errors.New("request B never reached the admission queue")
+	}
+	probeBody, err := json.Marshal(serve.PredictRequest{Rows: smokeRows(1, 12)})
+	if err != nil {
+		return err
+	}
+	code, retryAfter, err := postRaw(base, probeBody)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusTooManyRequests || retryAfter == "" {
+		return fmt.Errorf("overflow probe: code %d, Retry-After %q (want 429 with Retry-After)", code, retryAfter)
+	}
+	close(gated.gate)
+	in := <-inflight
+	if in.err != nil {
+		return fmt.Errorf("in-flight request failed after gate release: %w", in.err)
+	}
+	if want := ml.PredictBatch(modelA, inflightRows); !bitwiseEqual(in.preds, want) {
+		return errors.New("in-flight gated request: served != offline")
+	}
+	q := <-queued
+	if q.err != nil {
+		return fmt.Errorf("queued request dropped: %w", q.err)
+	}
+	if want := ml.PredictBatch(modelA, queuedRows); !bitwiseEqual(q.preds, want) {
+		return errors.New("queued request: served != offline")
+	}
+
+	// Stage 4: hot reload under load. Pin a batch on the old weights,
+	// swap the file to model B, reload, then release: the pinned
+	// request must answer with A's predictions, the next with B's.
+	before, err := client.Modelz()
+	if err != nil {
+		return err
+	}
+	gated = newGated(modelA)
+	if err := srv.Install(gated, ml.ModelInfo{}); err != nil {
+		return err
+	}
+	go func() {
+		p, perr := client.PredictBatch(inflightRows)
+		inflight <- reply{p, perr}
+	}()
+	select {
+	case <-gated.entered:
+	case <-time.After(smokeWait):
+		return errors.New("dispatcher never entered the reload-stage batch")
+	}
+	if err := ml.SaveModelFile(modelPath, modelB); err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/reload", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return cerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reload: status %d, want 200", resp.StatusCode)
+	}
+	close(gated.gate)
+	in = <-inflight
+	if in.err != nil {
+		return fmt.Errorf("request in flight across reload failed: %w", in.err)
+	}
+	if want := ml.PredictBatch(modelA, inflightRows); !bitwiseEqual(in.preds, want) {
+		return errors.New("request in flight across reload must finish on the old weights")
+	}
+	after, err := client.Modelz()
+	if err != nil {
+		return err
+	}
+	if after.Model.Checksum == before.Model.Checksum || after.Generation <= before.Generation {
+		return fmt.Errorf("reload did not swap the model (checksum %q -> %q, generation %d -> %d)",
+			before.Model.Checksum, after.Model.Checksum, before.Generation, after.Generation)
+	}
+	got, err = client.PredictBatch(rows)
+	if err != nil {
+		return fmt.Errorf("post-reload request: %w", err)
+	}
+	if want := ml.PredictBatch(modelB, rows); !bitwiseEqual(got, want) {
+		return errors.New("post-reload predictions are not model B's")
+	}
+
+	// Stage 5: graceful drain. New work gets 503 + Retry-After, health
+	// reports draining, then the listener closes cleanly.
+	srv.BeginDrain()
+	code, retryAfter, err = postRaw(base, probeBody)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable || retryAfter == "" {
+		return fmt.Errorf("post-drain predict: code %d, Retry-After %q (want 503 with Retry-After)", code, retryAfter)
+	}
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, hresp.Body)
+	if cerr := hresp.Body.Close(); cerr != nil {
+		return cerr
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("draining healthz: status %d, want 503", hresp.StatusCode)
+	}
+	if err := httpSrv.Close(); err != nil {
+		return err
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	srv.Close()
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		return errors.New("listener still accepting after shutdown")
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package smoke_test
+
+import (
+	"testing"
+
+	"crossarch/internal/serve/smoke"
+)
+
+// TestRun executes the full smoke gate in-process: the same drill
+// `mphpc-serve -smoke` (and `make serve-smoke`) runs, so a regression
+// in any serving invariant fails plain `go test ./...` too.
+func TestRun(t *testing.T) {
+	if err := smoke.Run(); err != nil {
+		t.Fatalf("SMOKE FAIL: %v", err)
+	}
+}
