@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint vet build test race cover fuzz faults serve-smoke bench-predict bench
+.PHONY: check lint vet build test race cover fuzz faults serve-smoke bench-predict bench bench-gate bench-all
 
-check: lint build race cover faults serve-smoke bench-predict
+check: lint build race cover faults serve-smoke bench-gate
 
 # Static analysis: go vet, then the repository's own analyzer suite
 # (cmd/mphpc-lint; see DESIGN.md §8). `go run ./cmd/mphpc-lint -json
@@ -61,6 +61,7 @@ cover:
 # runs one target per invocation).
 fuzz:
 	$(GO) test -fuzz FuzzFlatTreePredict -fuzztime $(FUZZTIME) ./internal/ml/tree/
+	$(GO) test -fuzz FuzzCompiledPredict -fuzztime $(FUZZTIME) ./internal/ml/tree/
 	$(GO) test -fuzz FuzzSpeedup -fuzztime $(FUZZTIME) ./internal/rpv/
 	$(GO) test -fuzz FuzzPredictInput -fuzztime $(FUZZTIME) ./internal/ml/
 
@@ -84,6 +85,31 @@ serve-smoke:
 bench-predict:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Row|Batch)' -benchtime 2x .
 
-# The full evaluation-reproduction benchmark suite (slow).
+# The gated inference benchmarks (DESIGN.md §11): the compiled-arena
+# kernel, its envelope reference, and the end-to-end serve path. A
+# fixed iteration count plus -count 3 repeats (mphpc-bench keeps the
+# per-metric best) makes the record reproducible on noisy boxes.
+BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict' \
+	-benchmem -benchtime 5000x -count 3 ./internal/ml/ ./internal/serve/
+
+# Refresh the checked-in trajectory after a deliberate perf change;
+# commit the updated BENCH_predict.json alongside the change.
 bench:
+	@out=$$(mktemp -t bench.XXXXXX.txt); \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) test $(BENCH_GATED) > "$$out" || { cat "$$out"; exit 1; }; \
+	$(GO) run ./cmd/mphpc-bench -write BENCH_predict.json \
+		-commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" < "$$out"
+
+# Regression gate (wired into `make check`): rerun the gated benchmarks
+# and fail on >15% ns/op slowdown — or any allocation on a benchmark
+# whose recorded steady state is zero-alloc — vs BENCH_predict.json.
+bench-gate:
+	@out=$$(mktemp -t bench.XXXXXX.txt); \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) test $(BENCH_GATED) > "$$out" || { cat "$$out"; exit 1; }; \
+	$(GO) run ./cmd/mphpc-bench -gate BENCH_predict.json < "$$out"
+
+# The full evaluation-reproduction benchmark suite (slow).
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .

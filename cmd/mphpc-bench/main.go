@@ -1,0 +1,88 @@
+// mphpc-bench records and gates the serving-benchmark trajectory.
+// It reads `go test -bench` output on stdin and either writes the
+// parsed results as a schema-versioned trajectory (-write, the `make
+// bench` path) or compares them against a checked-in baseline and
+// exits nonzero on any regression (-gate, wired into `make check`).
+//
+//	go test -bench ... | mphpc-bench -write BENCH_predict.json -commit $(git rev-parse --short HEAD)
+//	go test -bench ... | mphpc-bench -gate BENCH_predict.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crossarch/internal/benchgate"
+)
+
+func main() {
+	var (
+		writePath   = flag.String("write", "", "write the parsed trajectory to this path")
+		gatePath    = flag.String("gate", "", "compare against the baseline trajectory at this path; exit 1 on regression")
+		maxSlowdown = flag.Float64("max-slowdown", 15, "allowed ns/op (and nonzero allocs/op) growth in percent")
+		commit      = flag.String("commit", "", "commit id recorded in a written trajectory")
+	)
+	flag.Parse()
+	if *writePath == "" && *gatePath == "" {
+		fmt.Fprintln(os.Stderr, "mphpc-bench: need -write PATH and/or -gate PATH")
+		os.Exit(2)
+	}
+
+	results, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (did the bench run fail?)"))
+	}
+	for _, r := range results {
+		fmt.Printf("mphpc-bench: %-45s %12.1f ns/op %10.0f rows/s %6.0f allocs/op\n",
+			r.Name, r.NsPerOp, r.RowsPerSec, r.AllocsPerOp)
+	}
+
+	if *gatePath != "" {
+		f, err := os.Open(*gatePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := benchgate.Load(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		violations := benchgate.Compare(base, results, *maxSlowdown)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "mphpc-bench: REGRESSION %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "mphpc-bench: %d regression(s) vs %s (baseline commit %s)\n",
+				len(violations), *gatePath, base.Commit)
+			os.Exit(1)
+		}
+		fmt.Printf("mphpc-bench: gate ok vs %s (baseline commit %s, max slowdown %.0f%%)\n",
+			*gatePath, base.Commit, *maxSlowdown)
+	}
+
+	if *writePath != "" {
+		f, err := os.Create(*writePath)
+		if err != nil {
+			fatal(err)
+		}
+		werr := benchgate.Write(f, benchgate.Trajectory{Commit: *commit, Benchmarks: results})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("mphpc-bench: wrote %d benchmarks to %s\n", len(results), *writePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mphpc-bench: %v\n", err)
+	os.Exit(1)
+}

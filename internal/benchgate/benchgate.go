@@ -1,0 +1,232 @@
+// Package benchgate turns `go test -bench` output into a checked-in,
+// schema-versioned performance trajectory (BENCH_predict.json) and
+// enforces it: a change that slows a gated benchmark past the allowed
+// slowdown, or that makes a zero-alloc steady state allocate, fails
+// `make check` the same way a broken test would.
+//
+// Robustness on noisy boxes is structural, not statistical: callers
+// run the benchmarks with a fixed iteration count and -count repeats,
+// and Parse keeps the minimum per metric across repeats — the minimum
+// of several runs filters scheduler stalls and cache-cold first
+// iterations, while a genuine regression shifts every repeat.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is bumped whenever the trajectory JSON shape changes;
+// Load refuses other versions so the gate never silently compares
+// incompatible records.
+const SchemaVersion = 1
+
+// Result is one benchmark's recorded metrics. NsPerOp and AllocsPerOp
+// are the gated metrics; BytesPerOp and RowsPerSec ride along for the
+// experiment tables.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+}
+
+// Trajectory is the checked-in benchmark record for one commit.
+type Trajectory struct {
+	SchemaVersion int      `json:"schema_version"`
+	Commit        string   `json:"commit"`
+	Benchmarks    []Result `json:"benchmarks"`
+}
+
+// Violation is one gate failure: a benchmark missing from the current
+// run, a slowdown past the threshold, or an allocation regression.
+type Violation struct {
+	Benchmark string
+	Metric    string
+	Base      float64
+	Cur       float64
+	Reason    string
+}
+
+func (v Violation) String() string {
+	if v.Metric == "" {
+		return fmt.Sprintf("%s: %s", v.Benchmark, v.Reason)
+	}
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (%s)", v.Benchmark, v.Metric, v.Base, v.Cur, v.Reason)
+}
+
+// Parse reads `go test -bench` output and returns one Result per
+// benchmark name, taking the per-metric minimum across -count repeats.
+// Benchmark lines look like
+//
+//	BenchmarkCompiledPredict/row-4  1000  907.9 ns/op  239523 rows/s  0 B/op  0 allocs/op
+//
+// where the trailing -4 is GOMAXPROCS, stripped so trajectories
+// compare across machines. Non-benchmark lines (goos, pkg, ok, PASS)
+// are ignored. Parse fails on a malformed benchmark line rather than
+// skipping it: a gate that silently drops its subject is no gate.
+func Parse(r io.Reader) ([]Result, error) {
+	byName := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark result line is name, iteration count, then
+		// value/unit pairs; "Benchmark" alone or a RUN header is not.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			if len(fields) == 1 || (len(fields) > 1 && !isNumber(fields[1])) {
+				continue // e.g. "BenchmarkFoo" naming line with no metrics
+			}
+			return nil, fmt.Errorf("benchgate: malformed benchmark line %q", line)
+		}
+		if !isNumber(fields[1]) {
+			continue
+		}
+		name := stripProcs(fields[0])
+		res, seen := byName[name]
+		if !seen {
+			res = &Result{Name: name}
+			byName[name] = res
+			order = append(order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value in %q: %w", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				minInto(&res.NsPerOp, v, seen)
+			case "allocs/op":
+				minInto(&res.AllocsPerOp, v, seen)
+			case "B/op":
+				minInto(&res.BytesPerOp, v, seen)
+			case "rows/s":
+				// Throughput: best repeat is the max, mirroring min ns/op.
+				if !seen || v > res.RowsPerSec {
+					res.RowsPerSec = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out, nil
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// minInto folds v into *dst as a running minimum; the first repeat
+// initializes it.
+func minInto(dst *float64, v float64, seen bool) {
+	if !seen || v < *dst {
+		*dst = v
+	}
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends
+// to every benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// Load reads and schema-checks a trajectory.
+func Load(r io.Reader) (Trajectory, error) {
+	var t Trajectory
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return t, fmt.Errorf("benchgate: decoding trajectory: %w", err)
+	}
+	if t.SchemaVersion != SchemaVersion {
+		return t, fmt.Errorf("benchgate: trajectory schema version %d, want %d", t.SchemaVersion, SchemaVersion)
+	}
+	return t, nil
+}
+
+// Write emits a trajectory with stable ordering, so checked-in records
+// diff cleanly across commits.
+func Write(w io.Writer, t Trajectory) error {
+	t.SchemaVersion = SchemaVersion
+	sort.Slice(t.Benchmarks, func(i, j int) bool { return t.Benchmarks[i].Name < t.Benchmarks[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Compare gates the current results against a baseline trajectory.
+// Rules, per baseline benchmark:
+//
+//   - missing from the current run: violation (a gate whose subject
+//     disappeared must fail loudly, not pass vacuously);
+//   - ns/op more than maxSlowdownPct above baseline: violation;
+//   - allocs/op: a zero-alloc baseline must stay exactly zero — the
+//     steady-state contract is categorical, one alloc per op on the
+//     hot path is a regression regardless of percentage — while a
+//     nonzero baseline gets the same percentage slack as latency.
+//
+// Benchmarks present only in the current run pass free: adding
+// coverage must never be punished.
+func Compare(base Trajectory, cur []Result, maxSlowdownPct float64) []Violation {
+	curBy := map[string]Result{}
+	for _, r := range cur {
+		curBy[r.Name] = r
+	}
+	var out []Violation
+	slack := 1 + maxSlowdownPct/100
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			out = append(out, Violation{Benchmark: b.Name, Reason: "benchmark missing from current run"})
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*slack {
+			out = append(out, Violation{
+				Benchmark: b.Name, Metric: "ns/op", Base: b.NsPerOp, Cur: c.NsPerOp,
+				Reason: fmt.Sprintf("slowdown %.1f%% exceeds %.0f%%", (c.NsPerOp/b.NsPerOp-1)*100, maxSlowdownPct),
+			})
+		}
+		switch {
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			out = append(out, Violation{
+				Benchmark: b.Name, Metric: "allocs/op", Base: 0, Cur: c.AllocsPerOp,
+				Reason: "zero-alloc steady state now allocates",
+			})
+		case b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*slack:
+			out = append(out, Violation{
+				Benchmark: b.Name, Metric: "allocs/op", Base: b.AllocsPerOp, Cur: c.AllocsPerOp,
+				Reason: fmt.Sprintf("allocation growth exceeds %.0f%%", maxSlowdownPct),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package benchgate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: crossarch/internal/ml
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkCompiledPredict/row-4         	    1000	       950.0 ns/op	   1052631 rows/s	       0 B/op	       0 allocs/op
+BenchmarkCompiledPredict/row-4         	    1000	       907.9 ns/op	   1101443 rows/s	       0 B/op	       0 allocs/op
+BenchmarkCompiledPredict/row-4         	    1000	      1400.0 ns/op	    714285 rows/s	       0 B/op	       0 allocs/op
+BenchmarkCompiledPredict/batch64-4     	    1000	    178000 ns/op	    359550 rows/s	       0 B/op	       0 allocs/op
+BenchmarkServePredict/rows=64-4        	    1000	    267000 ns/op	    239523 rows/s	   21000 B/op	     143 allocs/op
+PASS
+ok  	crossarch/internal/ml	12.3s
+`
+
+// TestParseMinOfRepeats: -count repeats collapse to one Result per
+// name, keeping the minimum latency (and maximum throughput) so a
+// single scheduler stall cannot fake a regression.
+func TestParseMinOfRepeats(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(res), res)
+	}
+	row := res[0]
+	if row.Name != "BenchmarkCompiledPredict/row" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", row.Name)
+	}
+	if row.NsPerOp != 907.9 {
+		t.Fatalf("ns/op = %v, want min across repeats 907.9", row.NsPerOp)
+	}
+	if row.RowsPerSec != 1101443 {
+		t.Fatalf("rows/s = %v, want max across repeats 1101443", row.RowsPerSec)
+	}
+	if row.AllocsPerOp != 0 || row.BytesPerOp != 0 {
+		t.Fatalf("allocs = %v bytes = %v, want 0", row.AllocsPerOp, row.BytesPerOp)
+	}
+	srv := res[2]
+	if srv.Name != "BenchmarkServePredict/rows=64" || srv.AllocsPerOp != 143 || srv.BytesPerOp != 21000 {
+		t.Fatalf("serve result = %+v", srv)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-4 1000 abc ns/op\n")); err == nil {
+		t.Fatal("malformed value parsed without error")
+	}
+}
+
+func trajectoryOf(results ...Result) Trajectory {
+	return Trajectory{SchemaVersion: SchemaVersion, Commit: "abc1234", Benchmarks: results}
+}
+
+// TestGateFailsInjectedSlowdown is the acceptance criterion for the
+// regression gate: a 20% ns/op slowdown against the recorded baseline
+// must produce a violation at the default 15% threshold, while a 10%
+// wobble must pass.
+func TestGateFailsInjectedSlowdown(t *testing.T) {
+	base := trajectoryOf(Result{Name: "BenchmarkCompiledPredict/row", NsPerOp: 1000, AllocsPerOp: 0})
+
+	slow := []Result{{Name: "BenchmarkCompiledPredict/row", NsPerOp: 1200, AllocsPerOp: 0}}
+	v := Compare(base, slow, 15)
+	if len(v) != 1 || v[0].Metric != "ns/op" {
+		t.Fatalf("20%% slowdown: violations = %v, want one ns/op violation", v)
+	}
+	if !strings.Contains(v[0].String(), "ns/op") {
+		t.Fatalf("violation text %q does not name the metric", v[0].String())
+	}
+
+	wobble := []Result{{Name: "BenchmarkCompiledPredict/row", NsPerOp: 1100, AllocsPerOp: 0}}
+	if v := Compare(base, wobble, 15); len(v) != 0 {
+		t.Fatalf("10%% wobble: violations = %v, want none", v)
+	}
+}
+
+// TestGateAllocRules: zero-alloc baselines are categorical (any alloc
+// fails); nonzero baselines get percentage slack.
+func TestGateAllocRules(t *testing.T) {
+	base := trajectoryOf(
+		Result{Name: "zero", NsPerOp: 100, AllocsPerOp: 0},
+		Result{Name: "some", NsPerOp: 100, AllocsPerOp: 100},
+	)
+	cur := []Result{
+		{Name: "zero", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "some", NsPerOp: 100, AllocsPerOp: 110},
+	}
+	v := Compare(base, cur, 15)
+	if len(v) != 1 || v[0].Benchmark != "zero" || v[0].Metric != "allocs/op" {
+		t.Fatalf("violations = %v, want exactly the zero-alloc regression", v)
+	}
+	cur[1].AllocsPerOp = 120
+	if v := Compare(base, cur, 15); len(v) != 2 {
+		t.Fatalf("20%% alloc growth on nonzero baseline: violations = %v, want 2", v)
+	}
+}
+
+// TestGateMissingBenchmark: a baseline benchmark absent from the
+// current run fails the gate — deleting the benchmark cannot be a way
+// past it.
+func TestGateMissingBenchmark(t *testing.T) {
+	base := trajectoryOf(Result{Name: "gone", NsPerOp: 100})
+	v := Compare(base, nil, 15)
+	if len(v) != 1 || !strings.Contains(v[0].String(), "missing") {
+		t.Fatalf("violations = %v, want missing-benchmark", v)
+	}
+	// The reverse — new benchmarks with no baseline — passes free.
+	if v := Compare(trajectoryOf(), []Result{{Name: "new", NsPerOp: 5}}, 15); len(v) != 0 {
+		t.Fatalf("new benchmark penalized: %v", v)
+	}
+}
+
+// TestTrajectoryRoundTrip: Write→Load preserves the record, orders
+// benchmarks stably, and Load refuses other schema versions.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	traj := trajectoryOf(
+		Result{Name: "b", NsPerOp: 2, RowsPerSec: 10},
+		Result{Name: "a", NsPerOp: 1, AllocsPerOp: 3, BytesPerOp: 4},
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Commit != "abc1234" || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Benchmarks[0].Name != "a" || got.Benchmarks[1].Name != "b" {
+		t.Fatalf("benchmarks not sorted: %+v", got.Benchmarks)
+	}
+	if got.Benchmarks[0].AllocsPerOp != 3 || got.Benchmarks[1].RowsPerSec != 10 {
+		t.Fatalf("metrics lost: %+v", got.Benchmarks)
+	}
+
+	if _, err := Load(strings.NewReader(`{"schema_version": 99}`)); err == nil {
+		t.Fatal("schema version 99 accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestStripProcs covers the GOMAXPROCS-suffix normalization edge
+// cases, including names whose last segment is itself numeric-ish.
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-4":                  "BenchmarkX",
+		"BenchmarkX-16":                 "BenchmarkX",
+		"BenchmarkX":                    "BenchmarkX",
+		"BenchmarkServe/rows=64-4":      "BenchmarkServe/rows=64",
+		"BenchmarkX-":                   "BenchmarkX-",
+		"BenchmarkX-4a":                 "BenchmarkX-4a",
+		"BenchmarkCompiled/batch64-128": "BenchmarkCompiled/batch64",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Fatalf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -28,6 +28,22 @@ func TestNondeterminismServeFixture(t *testing.T) {
 	runFixture(t, Nondeterminism, "internal/serve/servefix")
 }
 
+func TestCompiledEnsembleFixture(t *testing.T) {
+	// The compiled-arena hot path (ISSUE PR 6) lives inside the
+	// determinism scope and promises bitwise identity with the
+	// envelope, so both the nondeterminism and floateq analyzers must
+	// cover compiled-ensemble-shaped code: wall-clock latency stamps,
+	// rand-ordered tree layout, and bare float equivalence checks are
+	// each flagged, while the arena walk, bitwise comparison, and
+	// timer-reuse plumbing stay silent.
+	pkg := loadFixture(t, "internal/ml/compiledfix")
+	res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism, FloatEq})
+	checkWants(t, pkg, res.Diagnostics)
+	if len(res.Diagnostics) != 3 {
+		t.Errorf("compiledfix diagnostics = %d, want 3", len(res.Diagnostics))
+	}
+}
+
 func TestNondeterminismScope(t *testing.T) {
 	// The same hazards outside the scoped packages (internal/{ml,rpv,
 	// dataset,sched,perfmodel,fault,serve}) must produce nothing: the

@@ -1,0 +1,80 @@
+// Package compiledfix exercises the nondeterminism and floateq
+// analyzers over compiled-ensemble-shaped code. Its import path sits
+// inside the determinism scope (internal/ml/...): the compiled arena
+// promises bitwise identity with the envelope path, so wall-clock
+// reads, global randomness, and tolerance-free float comparison are
+// exactly the hazards that would silently break that promise.
+package compiledfix
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arena is a miniature of the compiled struct-of-arrays layout.
+type Arena struct {
+	Feature   []int32
+	Threshold []float64
+	Index     []int32
+	Values    []float64
+	Scale     float64
+}
+
+// walk resolves one row through the arena; pure and in scope, the
+// analyzers must stay silent here.
+func (a *Arena) walk(x []float64) float64 {
+	node := 0
+	for a.Feature[node] >= 0 {
+		next := int(a.Index[node]) + 1
+		if x[a.Feature[node]] < a.Threshold[node] {
+			next--
+		}
+		node = next
+	}
+	return a.Scale * a.Values[a.Index[node]]
+}
+
+// TimedWalk stamps kernel latency off the wall clock inside the
+// deterministic pipeline: banned (route through internal/obs).
+func (a *Arena) TimedWalk(x []float64) (float64, int64) {
+	start := time.Now() // want "time.Now in a deterministic pipeline package"
+	v := a.walk(x)
+	return v, start.UnixNano()
+}
+
+// ShuffledCompile orders trees with the global rand source, making the
+// arena layout — and float accumulation order — run-dependent.
+func ShuffledCompile(trees []Arena) []Arena {
+	rand.Shuffle(len(trees), func(i, j int) { // want "global math/rand.Shuffle"
+		trees[i], trees[j] = trees[j], trees[i]
+	})
+	return trees
+}
+
+// MatchesEnvelope compares the compiled and envelope outputs with
+// bare float equality on computed operands: banned outside tests —
+// equivalence checks must go through math.Float64bits goldens or an
+// explicit tolerance.
+func (a *Arena) MatchesEnvelope(x []float64, envelope float64) bool {
+	return a.walk(x) == envelope // want "== on computed float operands"
+}
+
+// BitwiseMatches is the sanctioned spelling: integer comparison of the
+// bit patterns. No diagnostic.
+func (a *Arena) BitwiseMatches(x []float64, envelope float64) bool {
+	return math.Float64bits(a.walk(x)) == math.Float64bits(envelope)
+}
+
+// GatherWait is timer plumbing, not a wall-clock read; the analyzer
+// must not flag duration arithmetic or timer reuse.
+func GatherWait(base time.Duration) *time.Timer {
+	t := time.NewTimer(2 * base)
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	return t
+}

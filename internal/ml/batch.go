@@ -136,3 +136,35 @@ func NewMatrix(rows, cols int) [][]float64 {
 	}
 	return out
 }
+
+// MatrixArena is a reusable NewMatrix: Rows returns a rows x cols
+// matrix view over grown-once storage, so a steady-state caller (the
+// serve coalescer) allocates nothing per batch. The returned matrix
+// holds stale values from earlier batches — callers must fully
+// overwrite every row — and is INVALIDATED by the next Rows call, so
+// data that outlives the batch must be copied out (the coalescer's
+// fan-back ownership rule). Not safe for concurrent use; each arena
+// belongs to one goroutine.
+type MatrixArena struct {
+	backing []float64
+	rows    [][]float64
+}
+
+// Rows returns a rows x cols matrix backed by the arena, growing the
+// arena when the request exceeds its capacity. Row headers are
+// re-sliced on every call (cap-limited, contiguous backing), so the
+// matrix shape is exact even as dimensions change between calls.
+func (a *MatrixArena) Rows(rows, cols int) [][]float64 {
+	if need := rows * cols; cap(a.backing) < need {
+		a.backing = make([]float64, need)
+	}
+	if cap(a.rows) < rows {
+		a.rows = make([][]float64, rows)
+	}
+	out := a.rows[:rows]
+	backing := a.backing[:cap(a.backing)]
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VectorTarget marks a compiled tree whose leaves carry a full
+// NumOutputs-wide vector accumulated into every output component, as
+// opposed to a single-output tree that contributes to one component.
+const VectorTarget = int32(-1)
+
+// CompiledEnsemble is every tree of every output of a fitted tree
+// ensemble flattened into one contiguous struct-of-arrays node arena.
+// The per-tree FlatTree layout (internal/ml/tree) already makes a
+// single traversal branch-lean; the compiled form goes one step
+// further and concatenates all trees into a single Feature/Threshold/
+// Index/Values block, so a row's full ensemble walk streams through
+// one cache-resident arena instead of chasing one heap object per
+// tree per round.
+//
+// Encoding, shared with FlatTree but with arena-absolute indices:
+//
+//   - Feature[n] >= 0: node n splits on Feature[n] at Threshold[n];
+//     Index[n] is the arena index of the left child and the right
+//     child is Index[n]+1 (breadth-first sibling adjacency).
+//   - Feature[n] < 0: node n is a leaf and Index[n] is the absolute
+//     offset of its value vector in Values.
+//   - Root[t] is the arena index of tree t's root; Target[t] selects
+//     the accumulation rule: VectorTarget adds Scale*leaf[k] into
+//     every out[k], a value k >= 0 adds Scale*leaf[0] into out[k]
+//     only (xgboost's one-output-per-tree strategy).
+//
+// Prediction starts from Base (the boosting base score, or zeros for
+// averaged forests) and accumulates every tree with the single shared
+// Scale (learning rate, or 1/len(ensemble)) — the same floating-point
+// operations in the same order as the source envelope's Predict, so
+// compiled output is bitwise identical to the envelope path.
+//
+// A CompiledEnsemble is immutable after compilation and safe for
+// concurrent use; Fit always fails. Build one via a learner's
+// CompileEnsemble method (see Compile), or AddTree for tests.
+type CompiledEnsemble struct {
+	Feature   []int32
+	Threshold []float64
+	Index     []int32
+	Values    []float64
+	Root      []int32
+	Target    []int32
+
+	// Scale multiplies every accumulated leaf value; Base seeds the
+	// output vector before accumulation (length Outputs).
+	Scale float64
+	Base  []float64
+
+	// Outputs is the prediction width; Features, when positive, is the
+	// expected input width (0 = not enforced).
+	Outputs  int
+	Features int
+
+	// Source is the compiling learner's Name(); the compiled form
+	// reports it unchanged so ladder and /v1/modelz labels are stable
+	// whether or not serving compiled.
+	Source string
+}
+
+// errCompiledFrozen is returned by Fit: a compiled arena has no
+// training path by design.
+var errCompiledFrozen = errors.New("ml: compiled ensemble is frozen; refit the source model and recompile")
+
+// Name returns the source learner's name, so wrapping a ladder around
+// the compiled form labels identically to the envelope.
+func (c *CompiledEnsemble) Name() string {
+	if c.Source == "" {
+		return "compiled"
+	}
+	return c.Source
+}
+
+// NumOutputs implements OutputSizer.
+func (c *CompiledEnsemble) NumOutputs() int { return c.Outputs }
+
+// NumTrees returns the number of compiled trees.
+func (c *CompiledEnsemble) NumTrees() int { return len(c.Root) }
+
+// NumNodes returns the total node count across all compiled trees.
+func (c *CompiledEnsemble) NumNodes() int { return len(c.Feature) }
+
+// Fit fails: compiled ensembles are immutable snapshots of a fitted
+// source model.
+func (c *CompiledEnsemble) Fit(X, Y [][]float64) error { return errCompiledFrozen }
+
+// AddTree appends one tree in FlatTree encoding (tree-local indices:
+// Index is the left child for splits, the Values offset for leaves)
+// to the arena, rebasing indices to arena-absolute positions. target
+// is the output component the tree contributes to, or a negative
+// value for a vector-leaf tree whose leaves are Outputs wide.
+// Slices are copied; the caller keeps ownership of its arguments.
+func (c *CompiledEnsemble) AddTree(feature []int32, threshold []float64, index []int32, values []float64, target int) {
+	n := len(feature)
+	if len(threshold) != n || len(index) != n {
+		panic(fmt.Sprintf("ml: compiled tree arrays disagree: %d features, %d thresholds, %d indices",
+			n, len(threshold), len(index)))
+	}
+	nodeBase := int32(len(c.Feature))
+	valBase := int32(len(c.Values))
+	c.Root = append(c.Root, nodeBase)
+	if target < 0 {
+		c.Target = append(c.Target, VectorTarget)
+	} else {
+		c.Target = append(c.Target, int32(target))
+	}
+	c.Threshold = append(c.Threshold, threshold...)
+	c.Values = append(c.Values, values...)
+	for i := 0; i < n; i++ {
+		f := feature[i]
+		c.Feature = append(c.Feature, f)
+		if f < 0 {
+			c.Index = append(c.Index, valBase+index[i])
+		} else {
+			c.Index = append(c.Index, nodeBase+index[i])
+		}
+	}
+}
+
+// Grow preallocates arena capacity for nodes more nodes, leafValues
+// more leaf floats, and trees more trees, so compilers can size the
+// arena once and AddTree never reallocates mid-build.
+func (c *CompiledEnsemble) Grow(nodes, leafValues, trees int) {
+	grow32 := func(s []int32, n int) []int32 {
+		out := make([]int32, len(s), len(s)+n)
+		copy(out, s)
+		return out
+	}
+	grow64 := func(s []float64, n int) []float64 {
+		out := make([]float64, len(s), len(s)+n)
+		copy(out, s)
+		return out
+	}
+	c.Feature = grow32(c.Feature, nodes)
+	c.Index = grow32(c.Index, nodes)
+	c.Threshold = grow64(c.Threshold, nodes)
+	c.Values = grow64(c.Values, leafValues)
+	c.Root = grow32(c.Root, trees)
+	c.Target = grow32(c.Target, trees)
+}
+
+// Validate bounds-checks the arena encoding: every split's children
+// and every leaf's value vector must stay inside the arena, and every
+// tree needs a root and a target inside the output width. Prediction
+// assumes a valid arena and elides these checks on the hot path.
+func (c *CompiledEnsemble) Validate() error {
+	n := int32(len(c.Feature))
+	if len(c.Threshold) != int(n) || len(c.Index) != int(n) {
+		return fmt.Errorf("ml: compiled arena arrays disagree: %d features, %d thresholds, %d indices",
+			n, len(c.Threshold), len(c.Index))
+	}
+	if len(c.Root) != len(c.Target) {
+		return fmt.Errorf("ml: compiled arena has %d roots but %d targets", len(c.Root), len(c.Target))
+	}
+	if c.Outputs <= 0 {
+		return fmt.Errorf("ml: compiled arena output width %d", c.Outputs)
+	}
+	if len(c.Base) != c.Outputs {
+		return fmt.Errorf("ml: compiled base has %d entries, want %d", len(c.Base), c.Outputs)
+	}
+	// AddTree appends contiguously, so tree t owns nodes
+	// [Root[t], Root[t+1]) and its leaf width follows from Target[t].
+	for t, root := range c.Root {
+		if root < 0 || root >= n {
+			return fmt.Errorf("ml: tree %d root %d outside arena of %d nodes", t, root, n)
+		}
+		if t > 0 && root <= c.Root[t-1] {
+			return fmt.Errorf("ml: tree %d root %d not after tree %d root %d", t, root, t-1, c.Root[t-1])
+		}
+		width := c.Outputs
+		if tg := c.Target[t]; tg != VectorTarget {
+			if tg < 0 || int(tg) >= c.Outputs {
+				return fmt.Errorf("ml: tree %d targets output %d of %d", t, tg, c.Outputs)
+			}
+			width = 1
+		}
+		end := n
+		if t+1 < len(c.Root) {
+			end = c.Root[t+1]
+		}
+		for i := root; i < end; i++ {
+			if c.Feature[i] < 0 {
+				if off := c.Index[i]; off < 0 || int(off)+width > len(c.Values) {
+					return fmt.Errorf("ml: leaf %d values [%d:%d) outside %d values", i, off, int(off)+width, len(c.Values))
+				}
+				continue
+			}
+			// Children must sit strictly after their parent (BFS order) —
+			// this also rules out traversal cycles — and inside the tree.
+			if left := c.Index[i]; left <= i || left+1 >= end {
+				return fmt.Errorf("ml: split %d children %d,%d outside tree range (%d,%d)", i, left, left+1, i, end)
+			}
+		}
+	}
+	return nil
+}
+
+// accumulateTree walks tree t for x through the arena and adds its
+// scaled leaf into out under the tree's target rule. The branch
+// mirrors Tree.Predict exactly (x < threshold goes left, everything
+// else — including NaN — goes right).
+func (c *CompiledEnsemble) accumulateTree(t int, x, out []float64) {
+	feature, threshold, index := c.Feature, c.Threshold, c.Index
+	node := int(c.Root[t])
+	for {
+		f := feature[node]
+		if f < 0 {
+			break
+		}
+		next := int(index[node]) + 1
+		if x[f] < threshold[node] {
+			next--
+		}
+		node = next
+	}
+	off := int(index[node])
+	if k := c.Target[t]; k >= 0 {
+		out[k] += c.Scale * c.Values[off]
+	} else {
+		v := c.Values[off : off+len(out)]
+		for j := range out {
+			out[j] += c.Scale * v[j]
+		}
+	}
+}
+
+// PredictInto resolves x through every compiled tree into out (length
+// Outputs), allocation-free: out is seeded from Base, then each tree
+// is walked from its root through the shared arena and its leaf is
+// accumulated under the tree's target rule.
+func (c *CompiledEnsemble) PredictInto(x []float64, out []float64) {
+	copy(out, c.Base)
+	for t := range c.Root {
+		c.accumulateTree(t, x, out)
+	}
+}
+
+// Predict implements Regressor, allocating the output row. Batch
+// callers should prefer PredictInto or PredictBatch.
+func (c *CompiledEnsemble) Predict(x []float64) []float64 {
+	out := make([]float64, c.Outputs)
+	c.PredictInto(x, out)
+	return out
+}
+
+// compiledTile is the row-block size of the batch kernel's tree-outer
+// walk: within a tile every row walks tree t before any row moves to
+// tree t+1, so one tree's nodes stay L1-hot across the tile instead
+// of every row streaming the whole arena. Per-row accumulation order
+// is untouched (base first, then trees in order), so tiling cannot
+// change a single bit.
+const compiledTile = 64
+
+// predictRange is the batch kernel over rows [lo, hi).
+func (c *CompiledEnsemble) predictRange(X, out [][]float64, lo, hi int) {
+	for blockLo := lo; blockLo < hi; blockLo += compiledTile {
+		blockHi := blockLo + compiledTile
+		if blockHi > hi {
+			blockHi = hi
+		}
+		for i := blockLo; i < blockHi; i++ {
+			copy(out[i], c.Base)
+		}
+		for t := range c.Root {
+			for i := blockLo; i < blockHi; i++ {
+				c.accumulateTree(t, X[i], out[i])
+			}
+		}
+	}
+}
+
+// PredictBatch implements BatchRegressor. Small batches (under the
+// shared pool's inline threshold) run the tiled kernel inline with
+// zero allocations — the serving steady state; large offline batches
+// chunk rows across cores, bitwise identical either way because rows
+// are independent.
+func (c *CompiledEnsemble) PredictBatch(X, out [][]float64) {
+	if len(X) < 2*minChunk {
+		c.predictRange(X, out, 0, len(X))
+		return
+	}
+	ParallelRows(len(X), func(lo, hi int) {
+		c.predictRange(X, out, lo, hi)
+	})
+}
+
+// EnsembleCompiler is implemented by learners whose fitted form can
+// be flattened into a CompiledEnsemble. CompileEnsemble must return a
+// snapshot whose predictions are bitwise identical to the learner's
+// own Predict, or nil when the learner is not fitted yet.
+type EnsembleCompiler interface {
+	CompileEnsemble() *CompiledEnsemble
+}
+
+// Compile flattens m into a CompiledEnsemble when the learner
+// supports it, reporting false for unfitted models and learners with
+// no compiled form (baseline, linear). Callers keep serving the
+// envelope in the false case — compilation is an optimization, never
+// a requirement.
+func Compile(m Regressor) (*CompiledEnsemble, bool) {
+	ec, ok := m.(EnsembleCompiler)
+	if !ok {
+		return nil, false
+	}
+	ce := ec.CompileEnsemble()
+	if ce == nil {
+		return nil, false
+	}
+	return ce, true
+}

@@ -1,0 +1,83 @@
+// Inference benchmarks for the compiled-ensemble hot path, tracked by
+// the BENCH_predict.json trajectory (make bench writes it, make
+// bench-gate enforces it). The model is serving-scale — deep enough
+// that per-tree pointer-chasing dominates the envelope path — so the
+// compiled/envelope pair quantifies exactly the win the serve stack
+// inherits.
+package ml_test
+
+import (
+	"sync"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/stats"
+)
+
+var benchEnsemble struct {
+	once    sync.Once
+	model   *xgboost.Model
+	ce      *ml.CompiledEnsemble
+	queries [][]float64
+}
+
+func benchSetup(b *testing.B) (*xgboost.Model, *ml.CompiledEnsemble, [][]float64) {
+	benchEnsemble.once.Do(func() {
+		rng := stats.NewRNG(2024)
+		X, Y := randomDataset(rng, 400, 12, 4)
+		m := xgboost.New(xgboost.Params{Rounds: 60, MaxDepth: 5, Seed: 13})
+		if err := m.Fit(X, Y); err != nil {
+			panic(err)
+		}
+		ce, ok := ml.Compile(m)
+		if !ok {
+			panic("xgboost did not compile")
+		}
+		benchEnsemble.model = m
+		benchEnsemble.ce = ce
+		benchEnsemble.queries = queryRows(stats.NewRNG(7), 64, 12)
+	})
+	return benchEnsemble.model, benchEnsemble.ce, benchEnsemble.queries
+}
+
+// BenchmarkCompiledPredict measures the flattened arena kernel: the
+// steady-state serving unit (single row and the 64-row coalesced
+// batch), both required to run allocation-free.
+func BenchmarkCompiledPredict(b *testing.B) {
+	_, ce, queries := benchSetup(b)
+	b.Run("row", func(b *testing.B) {
+		x := queries[0]
+		out := make([]float64, ce.NumOutputs())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ce.PredictInto(x, out)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("batch64", func(b *testing.B) {
+		out := ml.NewMatrix(len(queries), ce.NumOutputs())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ce.PredictBatch(queries, out)
+		}
+		b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkEnvelopePredict is the same model through the envelope's
+// own batch path — the compiled kernel's reference point.
+func BenchmarkEnvelopePredict(b *testing.B) {
+	m, ce, queries := benchSetup(b)
+	b.Run("batch64", func(b *testing.B) {
+		out := ml.NewMatrix(len(queries), ce.NumOutputs())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictBatch(queries, out)
+		}
+		b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}

@@ -1,0 +1,222 @@
+// Compiled-ensemble equivalence and steady-state allocation guards
+// (ISSUE PR 6): the flattened arena must be bitwise identical to the
+// envelope path on every learner that compiles, and the hot predict
+// kernels must not allocate. Lives in package ml_test because it
+// exercises the concrete learners, which import ml.
+package ml_test
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/baseline"
+	"crossarch/internal/ml/forest"
+	"crossarch/internal/ml/linear"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/stats"
+)
+
+// compilingLearners enumerates every fitted configuration with a
+// compiled form: both xgboost leaf strategies and the forest. The
+// third tree learner, the bare CART/Newton tree, is covered by the
+// arena fuzz target in internal/ml/tree.
+func compilingLearners() []ml.Regressor {
+	return []ml.Regressor{
+		xgboost.New(xgboost.Params{Rounds: 12, MaxDepth: 3, Seed: 9}),
+		xgboost.New(xgboost.Params{Rounds: 10, MaxDepth: 4, Seed: 5,
+			TreeMethod: "exact", MultiStrategy: "one_output_per_tree"}),
+		forest.New(forest.Params{Trees: 9, MaxDepth: 5, Seed: 7, Workers: 2}),
+	}
+}
+
+// queryRows builds prediction queries that stress routing: in-range
+// rows, extreme magnitudes, and NaN features (which every tree layout
+// must route right at each split).
+func queryRows(rng *stats.RNG, n, features int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.Range(-12, 12)
+		}
+		switch i % 7 {
+		case 3:
+			x[i%features] = math.NaN()
+		case 5:
+			x[i%features] = 1e300
+		case 6:
+			x[i%features] = -1e300
+		}
+		X[i] = x
+	}
+	return X
+}
+
+// TestCompiledMatchesEnvelope is the compiled-vs-envelope golden: for
+// every compiling learner, Predict, PredictInto, and PredictBatch on
+// the arena must reproduce the envelope's Predict bit for bit.
+func TestCompiledMatchesEnvelope(t *testing.T) {
+	for _, seed := range propSeeds {
+		rng := stats.NewRNG(seed)
+		X, Y := randomDataset(rng, 160, 6, 4)
+		queries := queryRows(rng, 64, 6)
+		for _, m := range compilingLearners() {
+			if err := m.Fit(X, Y); err != nil {
+				t.Fatalf("seed %d %s: Fit: %v", seed, m.Name(), err)
+			}
+			ce, ok := ml.Compile(m)
+			if !ok {
+				t.Fatalf("seed %d %s: Compile reported unsupported", seed, m.Name())
+			}
+			if err := ce.Validate(); err != nil {
+				t.Fatalf("seed %d %s: invalid arena: %v", seed, m.Name(), err)
+			}
+			if ce.Name() != m.Name() {
+				t.Fatalf("seed %d: compiled name %q, want %q", seed, ce.Name(), m.Name())
+			}
+			if ce.NumOutputs() != 4 {
+				t.Fatalf("seed %d %s: compiled outputs %d, want 4", seed, m.Name(), ce.NumOutputs())
+			}
+			out := make([]float64, 4)
+			batchOut := ml.NewMatrix(len(queries), 4)
+			ce.PredictBatch(queries, batchOut)
+			for i, x := range queries {
+				want := m.Predict(x)
+				ce.PredictInto(x, out)
+				mustBitwiseRow(t, m.Name(), "PredictInto", i, out, want)
+				mustBitwiseRow(t, m.Name(), "Predict", i, ce.Predict(x), want)
+				mustBitwiseRow(t, m.Name(), "PredictBatch", i, batchOut[i], want)
+			}
+		}
+	}
+}
+
+func mustBitwiseRow(t *testing.T, model, path string, row int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %s row %d: width %d, want %d", model, path, row, len(got), len(want))
+	}
+	for k := range got {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("%s %s row %d out %d: %x (%v), want %x (%v)",
+				model, path, row, k,
+				math.Float64bits(got[k]), got[k], math.Float64bits(want[k]), want[k])
+		}
+	}
+}
+
+// TestCompileUnsupported: learners without a flattened form — and
+// unfitted ensembles — report false, so serving falls back to the
+// envelope instead of failing.
+func TestCompileUnsupported(t *testing.T) {
+	for _, m := range []ml.Regressor{
+		baseline.New(),
+		linear.New(0.1),
+		xgboost.New(xgboost.Params{Rounds: 4}),
+		forest.New(forest.Params{Trees: 4}),
+	} {
+		if ce, ok := ml.Compile(m); ok || ce != nil {
+			t.Fatalf("%s: Compile = (%v, %v), want (nil, false)", m.Name(), ce, ok)
+		}
+	}
+}
+
+// TestCompiledFrozen: the arena is an immutable snapshot — Fit must
+// refuse, and a post-compile refit of the source must not change the
+// snapshot's predictions.
+func TestCompiledFrozen(t *testing.T) {
+	rng := stats.NewRNG(3)
+	X, Y := randomDataset(rng, 120, 6, 4)
+	m := xgboost.New(xgboost.Params{Rounds: 6, MaxDepth: 3, Seed: 1})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	ce, ok := ml.Compile(m)
+	if !ok {
+		t.Fatal("Compile reported unsupported")
+	}
+	if err := ce.Fit(X, Y); err == nil {
+		t.Fatal("compiled Fit succeeded, want error")
+	}
+	x := X[7]
+	before := ce.Predict(x)
+	X2, Y2 := randomDataset(rng, 120, 6, 4)
+	if err := m.Fit(X2, Y2); err != nil {
+		t.Fatal(err)
+	}
+	mustBitwiseRow(t, "xgboost", "post-refit snapshot", 0, ce.Predict(x), before)
+}
+
+// TestCompiledAllocs pins the steady-state allocation contract the
+// serve dispatch path depends on: the compiled kernel allocates
+// nothing for single-row or 64-row batch predict, and neither does a
+// fault-free degradation ladder wrapped around it.
+func TestCompiledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc contract is enforced on non-race runs and by the bench gate")
+	}
+	rng := stats.NewRNG(42)
+	X, Y := randomDataset(rng, 160, 6, 4)
+	m := xgboost.New(xgboost.Params{Rounds: 12, MaxDepth: 3, Seed: 9})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	ce, ok := ml.Compile(m)
+	if !ok {
+		t.Fatal("Compile reported unsupported")
+	}
+	x := X[3]
+	out := make([]float64, 4)
+	if n := testing.AllocsPerRun(200, func() { ce.PredictInto(x, out) }); n != 0 {
+		t.Fatalf("PredictInto allocates %.1f per run, want 0", n)
+	}
+	batch := X[:64]
+	batchOut := ml.NewMatrix(64, 4)
+	if n := testing.AllocsPerRun(100, func() { ce.PredictBatch(batch, batchOut) }); n != 0 {
+		t.Fatalf("PredictBatch(64) allocates %.1f per run, want 0", n)
+	}
+	ladder, err := ml.NewDegradingPredictor(ce, nil, 4, ml.DegradeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() { ladder.PredictBatch(batch, batchOut) }); n != 0 {
+		t.Fatalf("fault-free ladder PredictBatch(64) allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestMatrixArena covers the coalescer's reuse contract: shape-exact
+// views, growth, and backing reuse at steady state.
+func TestMatrixArena(t *testing.T) {
+	var a ml.MatrixArena
+	m1 := a.Rows(3, 4)
+	if len(m1) != 3 || len(m1[0]) != 4 || cap(m1[0]) != 4 {
+		t.Fatalf("Rows(3,4) shape = %dx%d cap %d", len(m1), len(m1[0]), cap(m1[0]))
+	}
+	m1[2][3] = 7
+	// Shrinking and regrowing within capacity must not allocate.
+	if n := testing.AllocsPerRun(100, func() {
+		_ = a.Rows(2, 3)
+		_ = a.Rows(3, 4)
+	}); n != 0 {
+		t.Fatalf("steady-state Rows allocates %.1f per run, want 0", n)
+	}
+	// The next view aliases the same backing: stale data is visible,
+	// which is exactly why the coalescer copies before fan-back.
+	m2 := a.Rows(3, 4)
+	if m2[2][3] != 7 {
+		t.Fatalf("arena backing not reused: m2[2][3] = %v, want 7", m2[2][3])
+	}
+	big := a.Rows(100, 5)
+	if len(big) != 100 || len(big[99]) != 5 {
+		t.Fatalf("grown shape = %dx%d", len(big), len(big[99]))
+	}
+	for i, row := range big {
+		for j := range row {
+			row[j] = float64(i*5 + j)
+		}
+	}
+	if big[99][4] != 499 {
+		t.Fatalf("grown arena write lost: %v", big[99][4])
+	}
+}

@@ -161,6 +161,18 @@ type rowPlan struct {
 	impute int
 }
 
+// ladderScratch holds PredictBatch's per-call working slices. Pooling
+// them keeps the fault-free serving path allocation-free in steady
+// state; the scratch carries no model state, so one pool serves every
+// predictor.
+type ladderScratch struct {
+	plans      []rowPlan
+	levels     []int
+	primaryIdx []int
+}
+
+var ladderScratchPool = sync.Pool{New: func() any { return new(ladderScratch) }}
+
 // PredictBatch resolves every row of X through the ladder into out
 // (len(X) rows of width NumOutputs). It never panics on model
 // failure: a panicking primary row degrades that row, not the batch.
@@ -169,12 +181,21 @@ func (d *DegradingPredictor) PredictBatch(X, out [][]float64) {
 	if len(X) == 0 {
 		return
 	}
-	plans := d.plan(X)
+	sc := ladderScratchPool.Get().(*ladderScratch)
+	n := len(X)
+	if cap(sc.plans) < n {
+		sc.plans = make([]rowPlan, n)
+	}
+	if cap(sc.levels) < n {
+		sc.levels = make([]int, n)
+	}
+	plans := sc.plans[:n]
+	d.plan(X, plans)
 
 	// Resolved level per row. Rows are written by at most one goroutine
 	// (disjoint blocks) and read only after the pool's barrier.
-	levels := make([]int, len(X))
-	var primaryIdx []int
+	levels := sc.levels[:n]
+	primaryIdx := sc.primaryIdx[:0]
 	pure := true // every row primary, nothing imputed: the fault-free fast path
 	for i, p := range plans {
 		levels[i] = p.level
@@ -222,19 +243,24 @@ func (d *DegradingPredictor) PredictBatch(X, out [][]float64) {
 		}
 	}
 	obs.Set("ml.ladder.level", float64(worst))
+
+	// Pool the scratch on the way out (keeping any primaryIdx growth).
+	// No defer: if a panic ever escaped the containment above, dropping
+	// the scratch on the floor is the correct response anyway.
+	sc.primaryIdx = primaryIdx
+	ladderScratchPool.Put(sc)
 }
 
-// plan assigns a ladder level to every row of the batch. It runs
-// sequentially under the mutex so breaker transitions and fault-draw
-// keys depend only on row order, never on goroutine scheduling.
-func (d *DegradingPredictor) plan(X [][]float64) []rowPlan {
+// plan assigns a ladder level to every row of the batch, filling the
+// caller-owned plans slice (len(X) entries). It runs sequentially
+// under the mutex so breaker transitions and fault-draw keys depend
+// only on row order, never on goroutine scheduling.
+func (d *DegradingPredictor) plan(X [][]float64, plans []rowPlan) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	plans := make([]rowPlan, len(X))
 	for i := range X {
 		plans[i] = d.planRow(X[i])
 	}
-	return plans
 }
 
 // planRow decides one row's starting level, consuming the next

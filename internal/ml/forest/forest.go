@@ -63,6 +63,7 @@ type Forest struct {
 var _ ml.Regressor = (*Forest)(nil)
 var _ ml.BatchRegressor = (*Forest)(nil)
 var _ ml.FeatureImporter = (*Forest)(nil)
+var _ ml.EnsembleCompiler = (*Forest)(nil)
 
 // New returns an unfitted forest with the given parameters.
 func New(p Params) *Forest { return &Forest{Params: p} }
@@ -199,6 +200,35 @@ func (f *Forest) PredictBatch(X, out [][]float64) {
 			}
 		}
 	})
+}
+
+// CompileEnsemble implements ml.EnsembleCompiler: every tree of the
+// fitted forest flattened into one contiguous node arena with vector
+// leaves, zero base, and Scale = 1/len(Ensemble) — the same averaging
+// Predict performs, in the same tree order, so compiled output is
+// bitwise identical. Returns nil before Fit.
+func (f *Forest) CompileEnsemble() *ml.CompiledEnsemble {
+	if len(f.Ensemble) == 0 {
+		return nil
+	}
+	flat := f.flatEnsemble()
+	nodes, leafValues := 0, 0
+	for _, ft := range flat {
+		nodes += ft.NumNodes()
+		leafValues += len(ft.Values)
+	}
+	ce := &ml.CompiledEnsemble{
+		Scale:    1 / float64(len(f.Ensemble)),
+		Base:     make([]float64, f.Outputs),
+		Outputs:  f.Outputs,
+		Features: f.Features,
+		Source:   f.Name(),
+	}
+	ce.Grow(nodes, leafValues, len(flat))
+	for _, ft := range flat {
+		ft.AppendTo(ce, -1)
+	}
+	return ce
 }
 
 // FeatureImportances returns per-feature importances as each feature's

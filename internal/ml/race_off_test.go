@@ -1,0 +1,5 @@
+//go:build !race
+
+package ml_test
+
+const raceEnabled = false

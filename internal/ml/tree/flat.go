@@ -109,6 +109,16 @@ func (ft *FlatTree) PredictRange(X, out [][]float64, lo, hi int) {
 	}
 }
 
+// AppendTo appends the flattened tree to a compiled-ensemble arena,
+// rebasing its node and value indices to arena-absolute positions.
+// target is the output component the tree contributes to (xgboost's
+// one-output-per-tree strategy, leaf width 1), or negative for a
+// vector-leaf tree whose leaves span the ensemble's full output
+// width. The arena copies the arrays; ft stays usable.
+func (ft *FlatTree) AppendTo(ens *ml.CompiledEnsemble, target int) {
+	ens.AddTree(ft.Feature, ft.Threshold, ft.Index, ft.Values, target)
+}
+
 // Flatten compiles the tree for batched prediction; see FlatTree.
 func (t *Tree) Flatten() *FlatTree { return Flatten(t) }
 

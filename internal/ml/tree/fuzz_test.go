@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"crossarch/internal/ml"
 	"crossarch/internal/stats"
 )
 
@@ -93,6 +94,57 @@ func FuzzFlatTreePredict(f *testing.F) {
 		for k := 0; k < outputs; k++ {
 			if math.Float64bits(batch[0][k]) != math.Float64bits(want[k]) {
 				t.Fatalf("seed %d x=%v: batch %v != walk %v", seed, x, batch[0], want)
+			}
+		}
+	})
+}
+
+// FuzzCompiledPredict drives the compiled-ensemble kernel: random
+// valid trees are appended to one shared arena — a vector-leaf tree,
+// plus per-output single-target trees built width-1, mirroring both
+// xgboost leaf strategies — and the arena walk must agree bitwise
+// with the per-tree pointer walk under the same base/scale
+// accumulation, for arbitrary (NaN, ±Inf) query points.
+func FuzzCompiledPredict(f *testing.F) {
+	f.Add(uint64(1), 0.5, -1.0, 3.0, uint64(4))
+	f.Add(uint64(42), 0.0, 0.0, 0.0, uint64(1))
+	f.Add(uint64(7), math.Inf(1), math.Inf(-1), 1e308, uint64(6))
+	f.Add(uint64(99), -0.0, 1e-308, -42.5, uint64(3))
+	f.Fuzz(func(t *testing.T, seed uint64, x0, x1, x2 float64, depth uint64) {
+		rng := stats.NewRNG(seed)
+		const outputs = 2
+		ce := &ml.CompiledEnsemble{
+			Scale:   rng.Range(-2, 2),
+			Base:    []float64{rng.Range(-10, 10), rng.Range(-10, 10)},
+			Outputs: outputs,
+			Source:  "fuzz",
+		}
+		vec := buildFuzzTree(rng, 3, outputs, int(depth%7))
+		vec.Flatten().AppendTo(ce, -1)
+		narrow := make([]*Tree, outputs)
+		for k := range narrow {
+			narrow[k] = buildFuzzTree(rng, 3, 1, int(depth%5))
+			narrow[k].Flatten().AppendTo(ce, k)
+		}
+		if err := ce.Validate(); err != nil {
+			t.Fatalf("seed %d: compiled arena fails Validate: %v", seed, err)
+		}
+		x := []float64{x0, x1, x2}
+
+		want := append([]float64(nil), ce.Base...)
+		leaf := vec.Predict(x)
+		for k := range want {
+			want[k] += ce.Scale * leaf[k]
+		}
+		for k, tr := range narrow {
+			want[k] += ce.Scale * tr.Predict(x)[0]
+		}
+
+		got := make([]float64, outputs)
+		ce.PredictInto(x, got)
+		for k := 0; k < outputs; k++ {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("seed %d x=%v: compiled %v != envelope walk %v", seed, x, got, want)
 			}
 		}
 	})

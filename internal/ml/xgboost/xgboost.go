@@ -172,6 +172,7 @@ type Model struct {
 var _ ml.Regressor = (*Model)(nil)
 var _ ml.BatchRegressor = (*Model)(nil)
 var _ ml.FeatureImporter = (*Model)(nil)
+var _ ml.EnsembleCompiler = (*Model)(nil)
 
 // New returns an unfitted model with the given parameters.
 func New(p Params) *Model { return &Model{Params: p} }
@@ -666,6 +667,52 @@ func (m *Model) FeatureImportances() []float64 {
 		}
 	}
 	return imp
+}
+
+// CompileEnsemble implements ml.EnsembleCompiler: the whole retained
+// ensemble — every round, both leaf strategies — flattened into one
+// contiguous node arena. The per-round accumulation rule (vector leaf
+// vs one tree per output component) is encoded in the arena's Target
+// array using exactly Predict's round classification, so the compiled
+// kernel replays the same floating-point operations in the same order
+// and its output is bitwise identical to Predict. Returns nil before
+// Fit. The arena snapshots the fitted trees; a later Fit does not
+// invalidate it.
+func (m *Model) CompileEnsemble() *ml.CompiledEnsemble {
+	if m.Trees == nil {
+		return nil
+	}
+	lr := m.Params.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	flat := m.flatTrees()
+	nodes, leafValues, trees := 0, 0, 0
+	for _, round := range flat {
+		for _, ft := range round {
+			nodes += ft.NumNodes()
+			leafValues += len(ft.Values)
+			trees++
+		}
+	}
+	ce := &ml.CompiledEnsemble{
+		Scale:    lr,
+		Base:     append([]float64(nil), m.BaseScore...),
+		Outputs:  m.Outputs,
+		Features: m.Features,
+		Source:   m.Name(),
+	}
+	ce.Grow(nodes, leafValues, trees)
+	for r, round := range m.Trees {
+		if len(round) == 1 && round[0].Outputs == m.Outputs {
+			flat[r][0].AppendTo(ce, -1)
+			continue
+		}
+		for k := range round {
+			flat[r][k].AppendTo(ce, k)
+		}
+	}
+	return ce
 }
 
 // NumTrees returns the total number of individual trees retained.

@@ -12,17 +12,20 @@ import (
 // through the full stack — HTTP transport, JSON codec, admission,
 // micro-batch coalescing, ladder inference, fan-back — for the two
 // canonical shapes: the interactive 1-row request and the scheduler's
-// 64-row workload batch. b.RunParallel supplies the concurrency the
-// coalescer exists for; single-row requests amortize best (they share
-// batches with other clients), so rows/s at 1 row is the coalescing
-// win and rows/s at 64 is the transport+codec overhead on top of the
-// offline batch path. Baselines live in EXPERIMENTS.md.
+// 64-row workload batch, against the production MaxBatch default (64).
+// Both shapes dispatch without arming the gather timer — rows=1 takes
+// the idle-queue fast path and rows=64 fills the batch — so the
+// benchmark tracks the hot serving path (codec, admission, compiled
+// inference, fan-back), not the deliberate MaxWait wait, whose floor
+// is the netpoller's ~1ms timer granularity on an idle box anyway.
+// Baselines live in EXPERIMENTS.md; make bench records the trajectory
+// in BENCH_predict.json and make bench-gate enforces it.
 func BenchmarkServePredict(b *testing.B) {
 	model := trainModel(b, 90)
 	for _, nrows := range []int{1, 64} {
 		b.Run(fmt.Sprintf("rows=%d", nrows), func(b *testing.B) {
 			_, client := newTestServer(b, model, serve.Config{
-				MaxBatch: 256,
+				MaxBatch: 64,
 				MaxWait:  200 * time.Microsecond,
 				QueueCap: 4096,
 			})

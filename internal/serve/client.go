@@ -29,21 +29,51 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("serve: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 
+// pooledClient is the default transport: http.DefaultTransport keeps
+// only two idle connections per host, which forces a reconnect storm
+// the moment more than two callers hammer one server. The scheduler
+// integration path is exactly that shape, so the default client gets
+// a deeper idle pool.
+var pooledClient = func() *http.Client {
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return http.DefaultClient
+	}
+	t := tr.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: t}
+}()
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return pooledClient
 }
 
 // PredictBatch posts rows to /v1/predict and returns the predictions
-// in row order — the remote twin of ml.PredictBatch.
+// in row order — the remote twin of ml.PredictBatch. Request encoding
+// and response decoding run through the same fast codec as the
+// server, with the stdlib fallback preserving semantics for anything
+// off the canonical shape.
 func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
-	body, err := json.Marshal(PredictRequest{Rows: rows})
-	if err != nil {
-		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	reqBuf := getJSONBuf()
+	body, ok := appendPredictRequest((*reqBuf)[:0], rows)
+	*reqBuf = body[:0]
+	if !ok {
+		putJSONBuf(reqBuf)
+		var err error
+		if body, err = json.Marshal(PredictRequest{Rows: rows}); err != nil {
+			return nil, fmt.Errorf("serve: encoding request: %w", err)
+		}
+		reqBuf = nil
 	}
 	resp, err := c.httpClient().Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if reqBuf != nil {
+		// Post has fully consumed (or abandoned) the body by now.
+		putJSONBuf(reqBuf)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -51,14 +81,29 @@ func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, readStatusError(resp)
 	}
-	var pr PredictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+	respBuf := getJSONBuf()
+	data, err := readAll((*respBuf)[:0], resp.Body)
+	*respBuf = data[:0]
+	if err != nil {
+		putJSONBuf(respBuf)
 		return nil, fmt.Errorf("serve: decoding response: %w", err)
 	}
-	if len(pr.Predictions) != len(rows) {
-		return nil, fmt.Errorf("serve: got %d predictions for %d rows", len(pr.Predictions), len(rows))
+	var preds [][]float64
+	if _, p, ok := fastDecodePredictResponse(data); ok {
+		preds = p
+	} else {
+		var pr PredictResponse
+		if err := json.NewDecoder(bytes.NewReader(data)).Decode(&pr); err != nil {
+			putJSONBuf(respBuf)
+			return nil, fmt.Errorf("serve: decoding response: %w", err)
+		}
+		preds = pr.Predictions
 	}
-	return pr.Predictions, nil
+	putJSONBuf(respBuf)
+	if len(preds) != len(rows) {
+		return nil, fmt.Errorf("serve: got %d predictions for %d rows", len(preds), len(rows))
+	}
+	return preds, nil
 }
 
 // Modelz fetches the served model's metadata.

@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"time"
-
 	"crossarch/internal/ml"
 	"crossarch/internal/obs"
 )
@@ -15,52 +13,93 @@ type pending struct {
 	resp chan result
 }
 
-// result is the fan-back payload for one request: the request's rows
-// of the batch output matrix, in request order.
+// result is the fan-back payload for one request.
+//
+// Ownership protocol: preds is freshly allocated per request — the
+// coalescer copies the request's rows OUT of the shared batch matrix
+// before sending, because that matrix is arena memory reused by the
+// very next batch. A handler may therefore hold its result for as
+// long as it likes; nothing it received aliases dispatcher state.
 type result struct {
 	preds [][]float64
 	model string
 }
 
 // run is the coalescer loop, one goroutine per server: pull the first
-// pending request, top the batch up until MaxBatch rows or MaxWait
-// elapse, resolve it through the ladder, fan the rows back. After quit
-// closes, whatever is still queued is answered before the loop exits,
-// so a drain never strands an admitted request.
+// pending request (preferring a request carried over from the previous
+// batch), top the batch up until MaxBatch rows or MaxWait elapse,
+// resolve it through the ladder, fan the rows back. After quit closes,
+// whatever was carried or queued is answered before the loop exits, so
+// a drain never strands an admitted request.
 func (s *Server) run() {
 	defer close(s.done)
 	for {
-		select {
-		case p := <-s.queue:
-			s.serveBatch(p)
-		case <-s.quit:
-			for {
-				select {
-				case p := <-s.queue:
-					s.serveBatch(p)
-				default:
-					return
+		var p *pending
+		if s.carry != nil {
+			p, s.carry = s.carry, nil
+		} else {
+			select {
+			case p = <-s.queue:
+			case <-s.quit:
+				for {
+					if s.carry != nil {
+						p, s.carry = s.carry, nil
+						s.serveBatch(p)
+						continue
+					}
+					select {
+					case p := <-s.queue:
+						s.serveBatch(p)
+					default:
+						return
+					}
 				}
 			}
 		}
+		s.serveBatch(p)
 	}
 }
 
 // serveBatch coalesces one micro-batch starting from first and
 // resolves it. Gathering stops at MaxBatch rows, after MaxWait, or as
-// soon as the queue is empty during a drain.
+// soon as the queue is empty during a drain; a pulled request that
+// would push the batch past MaxBatch is carried into the next batch
+// instead, so a multi-request batch never exceeds MaxBatch rows. (A
+// single request larger than MaxBatch still forms one batch of its
+// own: it arrives as first and the gather loop is skipped.)
 func (s *Server) serveBatch(first *pending) {
-	batch := []*pending{first}
+	batch := append(s.batch[:0], first)
 	rows := len(first.rows)
-	if rows < s.cfg.MaxBatch {
-		timer := time.NewTimer(s.cfg.MaxWait)
+	// Fast path: a lone single-row request with an idle queue dispatches
+	// immediately. Nothing can join the batch except a request that has
+	// not arrived yet, so waiting out MaxWait would buy occupancy only
+	// by taxing exactly the latency-sensitive caller; concurrent bursts
+	// still coalesce because they make the queue non-empty.
+	if !(rows == 1 && len(s.queue) == 0) && rows < s.cfg.MaxBatch {
+		// One dispatcher-owned timer serves every batch. Stop+drain
+		// before Reset clears any fire left over from a previous gather
+		// (Go's pre-1.23 timers deliver asynchronously, so a Stop that
+		// lost the race leaves the value in C until collected here).
+		if !s.timer.Stop() {
+			select {
+			case <-s.timer.C:
+			default:
+			}
+		}
+		s.timer.Reset(s.cfg.MaxWait)
+		fired := false
 	gather:
 		for rows < s.cfg.MaxBatch {
 			select {
 			case p := <-s.queue:
+				if rows+len(p.rows) > s.cfg.MaxBatch {
+					s.carry = p
+					break gather
+				}
 				batch = append(batch, p)
 				rows += len(p.rows)
-			case <-timer.C:
+			case <-s.timer.C:
+				fired = true
 				break gather
 			case <-s.quit:
 				// Draining: flush immediately with whatever is here; the
@@ -68,16 +107,23 @@ func (s *Server) serveBatch(first *pending) {
 				break gather
 			}
 		}
-		timer.Stop()
+		if !fired && !s.timer.Stop() {
+			select {
+			case <-s.timer.C:
+			default:
+			}
+		}
 	}
 	obs.Set("serve.queue.depth", float64(len(s.queue)))
 
 	st := s.state()
-	X := make([][]float64, 0, rows)
+	X := s.gatherX[:0]
 	for _, p := range batch {
 		X = append(X, p.rows...)
 	}
-	out := ml.NewMatrix(len(X), st.outputs)
+	// out is arena memory: valid only until the next batch, fully
+	// overwritten below (every ladder level writes every row).
+	out := s.arena.Rows(len(X), st.outputs)
 	start := obs.Now()
 	st.ladder.PredictBatch(X, out)
 	obs.Observe("serve.batch.seconds", obs.SinceSeconds(start))
@@ -86,10 +132,28 @@ func (s *Server) serveBatch(first *pending) {
 	obs.Add("serve.batch.total", 1)
 	obs.Add("serve.rows.total", float64(len(X)))
 
+	// Fan-back: copy each request's slice of the batch output into a
+	// matrix the request owns (see result). The copy is what makes the
+	// arena reusable — and it is cheap next to the traversal work.
 	lo := 0
 	for _, p := range batch {
 		hi := lo + len(p.rows)
-		p.resp <- result{preds: out[lo:hi], model: st.info.Name}
+		preds := ml.NewMatrix(hi-lo, st.outputs)
+		for i := range preds {
+			copy(preds[i], out[lo+i])
+		}
+		p.resp <- result{preds: preds, model: st.info.Name}
 		lo = hi
 	}
+
+	// Recycle the gather scratch, dropping pointers to request data so
+	// the reused headers don't pin finished requests in memory.
+	for i := range X {
+		X[i] = nil
+	}
+	s.gatherX = X[:0]
+	for i := range batch {
+		batch[i] = nil
+	}
+	s.batch = batch[:0]
 }

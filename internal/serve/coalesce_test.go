@@ -1,0 +1,345 @@
+// White-box coalescer regression tests (ISSUE PR 6): the MaxBatch
+// overshoot fix (an overflowing request is carried into the next batch,
+// never appended past the cap), the oversize-single-request exception,
+// the carry-drain guarantee on shutdown, the fan-back ownership
+// protocol (responses never alias the reused output arena), and the
+// idle-queue single-row fast path. These drive serveBatch/run directly
+// on a bare Server so batch composition is deterministic instead of
+// scheduler-dependent.
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/stats"
+)
+
+// recordingModel is a deterministic BatchRegressor that records the row
+// count of every batch it is asked to predict. Row i's prediction is a
+// pure function of its first feature, so fan-back slicing errors are
+// visible as value mismatches, not just length mismatches.
+type recordingModel struct {
+	mu      sync.Mutex
+	batches []int
+	outputs int
+}
+
+func (r *recordingModel) Name() string              { return "recording" }
+func (r *recordingModel) Fit(X, Y [][]float64) error { return nil }
+func (r *recordingModel) NumOutputs() int           { return r.outputs }
+
+func (r *recordingModel) fill(x, out []float64) {
+	for k := range out {
+		out[k] = x[0]*10 + float64(k)
+	}
+}
+
+func (r *recordingModel) Predict(x []float64) []float64 {
+	out := make([]float64, r.outputs)
+	r.fill(x, out)
+	return out
+}
+
+func (r *recordingModel) PredictBatch(X, out [][]float64) {
+	r.mu.Lock()
+	r.batches = append(r.batches, len(X))
+	r.mu.Unlock()
+	for i := range X {
+		r.fill(X[i], out[i])
+	}
+}
+
+func (r *recordingModel) recorded() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.batches...)
+}
+
+// newDispatcher builds a Server exactly as New does — defaults, queue,
+// disarmed timer, installed model — but without starting the run
+// goroutine, so tests drive serveBatch and the carry state directly.
+func newDispatcher(t testing.TB, cfg Config, m ml.Regressor) *Server {
+	t.Helper()
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *pending, cfg.QueueCap),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.timer = time.NewTimer(time.Hour)
+	if !s.timer.Stop() {
+		select {
+		case <-s.timer.C:
+		default:
+		}
+	}
+	if err := s.Install(m, ml.ModelInfo{}); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	return s
+}
+
+// mkPending builds an admitted request of n rows whose first features
+// encode (tag, row index) so every response row is attributable.
+func mkPending(tag, n int) *pending {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{float64(tag*1000 + i), 0, 0}
+	}
+	return &pending{rows: rows, resp: make(chan result, 1)}
+}
+
+// checkResult asserts p's response has one prediction per row, each
+// matching the recording model's pure function of that row.
+func checkResult(t *testing.T, p *pending, outputs int) {
+	t.Helper()
+	select {
+	case res := <-p.resp:
+		if len(res.preds) != len(p.rows) {
+			t.Fatalf("fan-back rows = %d, want %d", len(res.preds), len(p.rows))
+		}
+		for i, pred := range res.preds {
+			if len(pred) != outputs {
+				t.Fatalf("row %d width = %d, want %d", i, len(pred), outputs)
+			}
+			for k := range pred {
+				want := p.rows[i][0]*10 + float64(k)
+				if pred[k] != want {
+					t.Fatalf("row %d out %d = %v, want %v", i, k, pred[k], want)
+				}
+			}
+		}
+	default:
+		t.Fatal("no response fanned back")
+	}
+}
+
+// TestServeBatchCarriesOverflow is the MaxBatch-overshoot regression
+// test: a pulled request whose rows would push the batch past MaxBatch
+// must be carried into the next batch, so no multi-request batch ever
+// exceeds MaxBatch rows. (The seed behavior appended it anyway,
+// overshooting the cap the admission layer promises the model.)
+func TestServeBatchCarriesOverflow(t *testing.T) {
+	rec := &recordingModel{outputs: 2}
+	s := newDispatcher(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, Outputs: 2}, rec)
+
+	first := mkPending(1, 3)
+	second := mkPending(2, 3)
+	overflow := mkPending(3, 3)
+	s.queue <- second
+	s.queue <- overflow
+
+	s.serveBatch(first)
+	if s.carry != overflow {
+		t.Fatalf("overflowing request not carried: carry = %v", s.carry)
+	}
+	checkResult(t, first, 2)
+	checkResult(t, second, 2)
+	select {
+	case <-overflow.resp:
+		t.Fatal("carried request answered in the overshooting batch")
+	default:
+	}
+
+	// The next cycle starts from the carry, exactly as run() does.
+	p := s.carry
+	s.carry = nil
+	s.serveBatch(p)
+	checkResult(t, overflow, 2)
+
+	if got := rec.recorded(); len(got) != 2 || got[0] != 6 || got[1] != 3 {
+		t.Fatalf("batch sizes = %v, want [6 3]", got)
+	}
+}
+
+// TestServeBatchOversizeSingleRequest preserves the documented
+// exception: one request larger than MaxBatch forms a batch of its own
+// rather than being rejected or split.
+func TestServeBatchOversizeSingleRequest(t *testing.T) {
+	rec := &recordingModel{outputs: 2}
+	s := newDispatcher(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, Outputs: 2}, rec)
+
+	big := mkPending(1, 20)
+	s.serveBatch(big)
+	checkResult(t, big, 2)
+	if got := rec.recorded(); len(got) != 1 || got[0] != 20 {
+		t.Fatalf("batch sizes = %v, want [20]", got)
+	}
+	if s.carry != nil {
+		t.Fatalf("oversize single request left a carry: %v", s.carry)
+	}
+}
+
+// TestServeBatchNeverExceedsMaxBatch sweeps randomized request sizes
+// through the dispatch loop and asserts the invariant directly: since
+// every request here is at most MaxBatch rows, every batch handed to
+// the model must be too — only an oversize single request may exceed
+// the cap, and none exist in this sweep.
+func TestServeBatchNeverExceedsMaxBatch(t *testing.T) {
+	const maxBatch = 8
+	rec := &recordingModel{outputs: 2}
+	s := newDispatcher(t, Config{MaxBatch: maxBatch, MaxWait: time.Millisecond, Outputs: 2, QueueCap: 256}, rec)
+
+	rng := stats.NewRNG(66)
+	var reqs []*pending
+	for i := 0; i < 60; i++ {
+		reqs = append(reqs, mkPending(i, 1+rng.Intn(maxBatch)))
+	}
+	for _, p := range reqs {
+		s.queue <- p
+	}
+	// Drive the run loop's dispatch cycle synchronously until the queue
+	// and carry are exhausted.
+	for s.carry != nil || len(s.queue) > 0 {
+		var p *pending
+		if s.carry != nil {
+			p, s.carry = s.carry, nil
+		} else {
+			p = <-s.queue
+		}
+		s.serveBatch(p)
+	}
+	for _, p := range reqs {
+		checkResult(t, p, 2)
+	}
+	total := 0
+	for _, n := range rec.recorded() {
+		if n > maxBatch {
+			t.Fatalf("multi-request batch of %d rows exceeds MaxBatch %d", n, maxBatch)
+		}
+		total += n
+	}
+	want := 0
+	for _, p := range reqs {
+		want += len(p.rows)
+	}
+	if total != want {
+		t.Fatalf("batches covered %d rows, want %d", total, want)
+	}
+}
+
+// TestDrainAnswersCarryAndQueue: after quit closes, the run loop must
+// answer the carried request and everything still queued before it
+// exits — a drain never strands an admitted request.
+func TestDrainAnswersCarryAndQueue(t *testing.T) {
+	rec := &recordingModel{outputs: 2}
+	s := newDispatcher(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, Outputs: 2, QueueCap: 64}, rec)
+
+	// Seed the dispatcher state a drain must flush: a carried request
+	// plus queued requests, with quit already closed before run starts.
+	carried := mkPending(0, 5)
+	s.carry = carried
+	var queued []*pending
+	for i := 1; i <= 4; i++ {
+		p := mkPending(i, 5)
+		queued = append(queued, p)
+		s.queue <- p
+	}
+	close(s.quit)
+	s.run() // returns once carry and queue are drained
+
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("run returned without closing done")
+	}
+	checkResult(t, carried, 2)
+	for _, p := range queued {
+		checkResult(t, p, 2)
+	}
+	if s.carry != nil {
+		t.Fatalf("drain exited with a live carry: %v", s.carry)
+	}
+}
+
+// TestFanBackDoesNotAliasArena is the ownership-protocol test: results
+// must be copies, so reusing the output arena for the next batch (or
+// scribbling over it outright) cannot retroactively change a response a
+// handler already holds. Run under -race this also proves no write to
+// dispatcher scratch races a reader of a delivered result.
+func TestFanBackDoesNotAliasArena(t *testing.T) {
+	rec := &recordingModel{outputs: 3}
+	s := newDispatcher(t, Config{MaxBatch: 4, MaxWait: time.Millisecond, Outputs: 3}, rec)
+
+	p1 := mkPending(1, 2)
+	s.serveBatch(p1)
+	res1 := <-p1.resp
+	want := make([][]float64, len(res1.preds))
+	for i, row := range res1.preds {
+		want[i] = append([]float64(nil), row...)
+	}
+
+	// Reader goroutine continuously consuming the delivered result while
+	// the dispatcher reuses its arena: any aliasing is a data race.
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, row := range res1.preds {
+				for _, v := range row {
+					_ = v
+				}
+			}
+		}
+	}()
+
+	// Serve more batches through the same arena, then scribble directly
+	// over every arena row the way a hostile next batch would.
+	for i := 0; i < 8; i++ {
+		p := mkPending(10+i, 2)
+		s.serveBatch(p)
+		<-p.resp
+	}
+	scr := s.arena.Rows(2, 3)
+	for _, row := range scr {
+		for j := range row {
+			row[j] = math.NaN()
+		}
+	}
+	close(stop)
+	<-readerDone
+
+	for i, row := range res1.preds {
+		for k, v := range row {
+			if math.Float64bits(v) != math.Float64bits(want[i][k]) {
+				t.Fatalf("held response mutated: row %d out %d = %v, want %v", i, k, v, want[i][k])
+			}
+		}
+	}
+}
+
+// TestSingleRowFastPath: a lone single-row request with an idle queue
+// must dispatch immediately instead of waiting out MaxWait. The huge
+// MaxWait makes a regression unmissable: if the fast path is lost, the
+// gather timer stalls this test for minutes.
+func TestSingleRowFastPath(t *testing.T) {
+	rec := &recordingModel{outputs: 2}
+	s := newDispatcher(t, Config{MaxBatch: 64, MaxWait: 5 * time.Minute, Outputs: 2}, rec)
+
+	p := mkPending(1, 1)
+	done := make(chan struct{})
+	go func() {
+		s.serveBatch(p)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single-row request with idle queue waited on the gather timer")
+	}
+	checkResult(t, p, 2)
+	if got := rec.recorded(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", got)
+	}
+}

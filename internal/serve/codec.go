@@ -1,0 +1,363 @@
+// Fast-path JSON codec for the two hot wire shapes — the predict
+// request `{"rows":[[...]]}` and the predict response
+// `{"model":"...","predictions":[[...]]}`. The serving profile is
+// dominated by encoding/json's reflection machinery, not by model
+// arithmetic, so both handler and client first try a strict
+// hand-rolled scanner over the canonical shape and fall back to
+// encoding/json on ANY deviation: unknown keys, reordered keys,
+// escapes, malformed numbers, anything. The fallback keeps error
+// messages and acceptance semantics bit-for-bit with the stdlib path;
+// the fast path accepts only payloads the stdlib would decode to the
+// same values (numbers go through strconv.ParseFloat exactly as
+// encoding/json's float64 decoding does).
+package serve
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unsafe"
+)
+
+// jsonBufPool recycles scratch byte buffers for request bodies and
+// encoded responses across requests.
+var jsonBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getJSONBuf() *[]byte  { return jsonBufPool.Get().(*[]byte) }
+func putJSONBuf(b *[]byte) { jsonBufPool.Put(b) }
+
+// floatScanner is a strict cursor over a JSON payload.
+type floatScanner struct {
+	data []byte
+	pos  int
+}
+
+func (s *floatScanner) ws() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+// lit consumes exactly b, reporting whether it was there.
+func (s *floatScanner) lit(b byte) bool {
+	if s.pos < len(s.data) && s.data[s.pos] == b {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+func (s *floatScanner) peek() byte {
+	if s.pos < len(s.data) {
+		return s.data[s.pos]
+	}
+	return 0
+}
+
+// key consumes `"name"` exactly (no escapes — the canonical shapes
+// never need them).
+func (s *floatScanner) key(name string) bool {
+	if !s.lit('"') {
+		return false
+	}
+	if s.pos+len(name) > len(s.data) || string(s.data[s.pos:s.pos+len(name)]) != name {
+		return false
+	}
+	s.pos += len(name)
+	return s.lit('"')
+}
+
+// number consumes one strict JSON number (RFC 8259 grammar — no hex,
+// no leading '+', no Inf/NaN) and converts it with the same
+// strconv.ParseFloat call encoding/json uses, so the fast path never
+// accepts a token or produces a bit pattern the stdlib would not.
+func (s *floatScanner) number() (float64, bool) {
+	start := s.pos
+	d := s.data
+	if s.pos < len(d) && d[s.pos] == '-' {
+		s.pos++
+	}
+	switch {
+	case s.pos < len(d) && d[s.pos] == '0':
+		s.pos++
+	case s.pos < len(d) && d[s.pos] >= '1' && d[s.pos] <= '9':
+		s.pos++
+		for s.pos < len(d) && d[s.pos] >= '0' && d[s.pos] <= '9' {
+			s.pos++
+		}
+	default:
+		return 0, false
+	}
+	if s.pos < len(d) && d[s.pos] == '.' {
+		s.pos++
+		if s.pos >= len(d) || d[s.pos] < '0' || d[s.pos] > '9' {
+			return 0, false
+		}
+		for s.pos < len(d) && d[s.pos] >= '0' && d[s.pos] <= '9' {
+			s.pos++
+		}
+	}
+	if s.pos < len(d) && (d[s.pos] == 'e' || d[s.pos] == 'E') {
+		s.pos++
+		if s.pos < len(d) && (d[s.pos] == '+' || d[s.pos] == '-') {
+			s.pos++
+		}
+		if s.pos >= len(d) || d[s.pos] < '0' || d[s.pos] > '9' {
+			return 0, false
+		}
+		for s.pos < len(d) && d[s.pos] >= '0' && d[s.pos] <= '9' {
+			s.pos++
+		}
+	}
+	tok := d[start:s.pos]
+	// The token is not retained past the call, so the no-copy string
+	// view is safe and avoids one allocation per number.
+	v, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(tok), len(tok)), 64)
+	if err != nil {
+		// Out-of-range exponents et al: let the stdlib path produce its
+		// canonical error.
+		return 0, false
+	}
+	return v, true
+}
+
+// rows consumes `[[...],[...]]`. All floats land in one backing slice
+// so a decoded batch costs three allocations regardless of row count.
+func (s *floatScanner) rows() ([][]float64, bool) {
+	if !s.lit('[') {
+		return nil, false
+	}
+	var vals []float64
+	var lens []int
+	s.ws()
+	if s.lit(']') {
+		return [][]float64{}, true
+	}
+	for {
+		s.ws()
+		if !s.lit('[') {
+			return nil, false
+		}
+		n0 := len(vals)
+		s.ws()
+		if !s.lit(']') {
+			for {
+				s.ws()
+				v, ok := s.number()
+				if !ok {
+					return nil, false
+				}
+				vals = append(vals, v)
+				s.ws()
+				if s.lit(']') {
+					break
+				}
+				if !s.lit(',') {
+					return nil, false
+				}
+			}
+		}
+		lens = append(lens, len(vals)-n0)
+		s.ws()
+		if s.lit(']') {
+			break
+		}
+		if !s.lit(',') {
+			return nil, false
+		}
+	}
+	rows := make([][]float64, len(lens))
+	off := 0
+	for i, n := range lens {
+		rows[i] = vals[off : off+n : off+n]
+		off += n
+	}
+	return rows, true
+}
+
+// eof reports whether only whitespace remains. The stdlib request
+// path uses a json.Decoder, which ignores trailing bytes after the
+// first value; payloads with trailing content simply take the
+// fallback, so behavior is unchanged.
+func (s *floatScanner) eof() bool {
+	s.ws()
+	return s.pos == len(s.data)
+}
+
+// fastDecodePredictRequest parses the canonical predict request.
+// ok=false means "use encoding/json", not "invalid".
+func fastDecodePredictRequest(data []byte) (rows [][]float64, ok bool) {
+	s := floatScanner{data: data}
+	s.ws()
+	if !s.lit('{') {
+		return nil, false
+	}
+	s.ws()
+	if !s.key("rows") {
+		return nil, false
+	}
+	s.ws()
+	if !s.lit(':') {
+		return nil, false
+	}
+	s.ws()
+	rows, ok = s.rows()
+	if !ok {
+		return nil, false
+	}
+	s.ws()
+	if !s.lit('}') || !s.eof() {
+		return nil, false
+	}
+	return rows, true
+}
+
+// fastDecodePredictResponse parses the response shape the server's
+// fast encoder emits (model first, then predictions).
+func fastDecodePredictResponse(data []byte) (model string, preds [][]float64, ok bool) {
+	s := floatScanner{data: data}
+	s.ws()
+	if !s.lit('{') {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.key("model") {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.lit(':') {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.lit('"') {
+		return "", nil, false
+	}
+	nameStart := s.pos
+	for s.pos < len(s.data) && plainStringByte(s.data[s.pos]) {
+		s.pos++
+	}
+	model = string(s.data[nameStart:s.pos])
+	if !s.lit('"') {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.lit(',') {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.key("predictions") {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.lit(':') {
+		return "", nil, false
+	}
+	s.ws()
+	preds, ok = s.rows()
+	if !ok {
+		return "", nil, false
+	}
+	s.ws()
+	if !s.lit('}') || !s.eof() {
+		return "", nil, false
+	}
+	return model, preds, true
+}
+
+// plainStringByte reports whether b can sit in a JSON string with no
+// escaping on either side (printable ASCII minus quote and backslash).
+func plainStringByte(b byte) bool {
+	return b >= 0x20 && b < 0x7f && b != '"' && b != '\\'
+}
+
+func plainString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !plainStringByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONFloat formats v exactly as encoding/json does (ES6-style
+// shortest representation, 'e' form outside [1e-6, 1e21) with the
+// exponent's leading zero trimmed), so fast-path response bytes are
+// identical to the stdlib encoder's.
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendRows appends `[[...],[...]]`. Nil matrices and nil rows take
+// the fallback: encoding/json spells those "null".
+func appendRows(b []byte, rows [][]float64) ([]byte, bool) {
+	if rows == nil {
+		return b, false
+	}
+	b = append(b, '[')
+	for i, row := range rows {
+		if row == nil {
+			return b, false
+		}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		for j, v := range row {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Not representable in JSON; the stdlib path owns the error.
+				return b, false
+			}
+			b = appendJSONFloat(b, v)
+		}
+		b = append(b, ']')
+	}
+	return append(b, ']'), true
+}
+
+// appendPredictRequest encodes the predict request; ok=false (a
+// non-finite value) means "use encoding/json for its error".
+func appendPredictRequest(b []byte, rows [][]float64) ([]byte, bool) {
+	b = append(b, `{"rows":`...)
+	b, ok := appendRows(b, rows)
+	if !ok {
+		return b, false
+	}
+	return append(b, '}'), true
+}
+
+// appendPredictResponse encodes the predict response, including the
+// trailing newline json.Encoder emits, so fast and fallback bodies
+// are byte-identical.
+func appendPredictResponse(b []byte, model string, preds [][]float64) ([]byte, bool) {
+	if !plainString(model) {
+		return b, false
+	}
+	b = append(b, `{"model":"`...)
+	b = append(b, model...)
+	b = append(b, `","predictions":`...)
+	b, ok := appendRows(b, preds)
+	if !ok {
+		return b, false
+	}
+	return append(b, '}', '\n'), true
+}

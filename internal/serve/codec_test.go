@@ -1,0 +1,311 @@
+// Fast-codec agreement tests (ISSUE PR 6): the hand-rolled scanner and
+// encoder are only allowed to exist because they are observationally
+// identical to encoding/json on every payload they accept — wherever
+// the fast path reports ok, its values must match the stdlib bit for
+// bit, and everything else must be declined so the stdlib fallback
+// keeps its error semantics.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// stdlibRows decodes data the way handlePredict's fallback does and
+// reports whether the stdlib accepts it.
+func stdlibRows(t *testing.T, data []byte) ([][]float64, bool) {
+	t.Helper()
+	var req struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+		return nil, false
+	}
+	return req.Rows, true
+}
+
+func bitwiseEqualRows(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFastDecodeAgreesWithStdlib drives canonical and near-canonical
+// request payloads through both decoders. Three legal outcomes per
+// payload: fast accepts with bitwise-identical values, or fast declines
+// and the stdlib accepts (fallback), or both reject. Fast accepting
+// anything the stdlib rejects — or disagreeing on a value — is a bug.
+func TestFastDecodeAgreesWithStdlib(t *testing.T) {
+	cases := []struct {
+		name     string
+		payload  string
+		wantFast bool // fast path must accept (canonical shapes)
+	}{
+		{"canonical", `{"rows":[[1,2.5,-3],[4,5,6]]}`, true},
+		{"whitespace", " \t\n{ \"rows\" : [ [ 1 , 2 ] , [ 3 , 4 ] ] }\r\n", true},
+		{"scientific", `{"rows":[[1e3,-2.5E-4,6.02e23,1E+2]]}`, true},
+		{"zero-forms", `{"rows":[[0,-0,0.0,-0.0,0e0]]}`, true},
+		{"empty-rows", `{"rows":[]}`, true},
+		{"empty-row", `{"rows":[[]]}`, true},
+		{"ragged", `{"rows":[[1],[2,3]]}`, true},
+		{"subnormal", `{"rows":[[5e-324,2.2250738585072014e-308]]}`, true},
+		{"huge", `{"rows":[[1.7976931348623157e308]]}`, true},
+		{"long-mantissa", `{"rows":[[0.1234567890123456789012345678901234567890]]}`, true},
+
+		// Payloads the stdlib accepts but the fast path must decline
+		// (fallback territory, never wrong answers).
+		{"trailing-garbage", `{"rows":[[1]]} extra`, false},
+		{"unknown-key", `{"rows":[[1]],"other":2}`, false},
+		{"reordered-keys", `{"other":2,"rows":[[1]]}`, false},
+		{"overflow-1e400", `{"rows":[[1e400]]}`, false},
+		{"null-rows", `{"rows":null}`, false},
+		{"escaped-key", `{"\u0072ows":[[1]]}`, false},
+		{"int-row", `{"rows":[1,2]}`, false},
+
+		// Payloads both must reject (fast declines, stdlib errors).
+		{"hex-float", `{"rows":[[0x1p3]]}`, false},
+		{"leading-plus", `{"rows":[[+5]]}`, false},
+		{"inf-literal", `{"rows":[[Inf]]}`, false},
+		{"nan-literal", `{"rows":[[NaN]]}`, false},
+		{"trailing-dot", `{"rows":[[1.]]}`, false},
+		{"leading-dot", `{"rows":[[.5]]}`, false},
+		{"leading-zero", `{"rows":[[01]]}`, false},
+		{"bare-exponent", `{"rows":[[1e]]}`, false},
+		{"trailing-comma", `{"rows":[[1,]]}`, false},
+		{"unclosed", `{"rows":[[1`, false},
+		{"not-object", `[[1]]`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := []byte(tc.payload)
+			fast, fastOK := fastDecodePredictRequest(data)
+			std, stdOK := stdlibRows(t, data)
+			if fastOK != tc.wantFast {
+				t.Fatalf("fast ok = %v, want %v", fastOK, tc.wantFast)
+			}
+			if fastOK && !stdOK {
+				t.Fatalf("fast path accepted a payload the stdlib rejects")
+			}
+			if fastOK && !bitwiseEqualRows(fast, std) {
+				t.Fatalf("fast = %v, stdlib = %v", fast, std)
+			}
+		})
+	}
+}
+
+// TestFastDecodeRandomAgreement cross-checks the decoders on random
+// matrices round-tripped through the stdlib encoder, including values
+// near every formatting boundary the encoder can emit.
+func TestFastDecodeRandomAgreement(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	for trial := 0; trial < 200; trial++ {
+		rows := randomMatrix(rng, 1+rng.Intn(5), 1+rng.Intn(8))
+		data, err := json.Marshal(struct {
+			Rows [][]float64 `json:"rows"`
+		}{rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, ok := fastDecodePredictRequest(data)
+		if !ok {
+			t.Fatalf("trial %d: fast path declined canonical payload %s", trial, data)
+		}
+		std, ok := stdlibRows(t, data)
+		if !ok {
+			t.Fatalf("trial %d: stdlib declined its own output", trial)
+		}
+		if !bitwiseEqualRows(fast, std) {
+			t.Fatalf("trial %d: fast %v != stdlib %v for %s", trial, fast, std, data)
+		}
+	}
+}
+
+// randomMatrix mixes ordinary magnitudes with the encoder's edge cases:
+// negative zero, values straddling the 'f'/'e' format boundaries,
+// subnormals, and exact integers.
+func randomMatrix(rng *stats.RNG, n, m int) [][]float64 {
+	specials := []float64{
+		0, math.Copysign(0, -1), 1e21, 9.999999e20, 1e-6, 9.9e-7, 1e-7,
+		5e-324, 2.2250738585072014e-308, 1.7976931348623157e308,
+		-1e21, -1e-7, 42, -13, 0.1, 1.0 / 3.0,
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, m)
+		for j := range row {
+			if rng.Intn(3) == 0 {
+				row[j] = specials[rng.Intn(len(specials))]
+			} else {
+				row[j] = rng.Range(-1e6, 1e6) * math.Pow(10, float64(rng.Intn(30)-15))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestAppendRowsMatchesMarshal: wherever the fast encoder reports ok,
+// its bytes must equal json.Marshal's exactly — same float formatting,
+// same separators — because clients and tests compare served bodies
+// byte-for-byte against stdlib-encoded goldens.
+func TestAppendRowsMatchesMarshal(t *testing.T) {
+	rng := stats.NewRNG(777)
+	for trial := 0; trial < 200; trial++ {
+		rows := randomMatrix(rng, rng.Intn(4), rng.Intn(6))
+		for i := range rows {
+			if len(rows[i]) == 0 {
+				rows[i] = []float64{} // nil row forces fallback; empty is canonical
+			}
+		}
+		got, ok := appendRows(nil, rows)
+		if !ok {
+			t.Fatalf("trial %d: fast encoder declined finite matrix %v", trial, rows)
+		}
+		want, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d:\nfast   %s\nstdlib %s", trial, got, want)
+		}
+	}
+}
+
+// TestAppendRowsDeclines: nil matrices, nil rows, and non-finite
+// values are the stdlib's business ("null" spelling, canonical error),
+// so the fast encoder must hand them over rather than improvise.
+func TestAppendRowsDeclines(t *testing.T) {
+	for name, rows := range map[string][][]float64{
+		"nil-matrix": nil,
+		"nil-row":    {nil},
+		"nan":        {{math.NaN()}},
+		"pos-inf":    {{math.Inf(1)}},
+		"neg-inf":    {{1, math.Inf(-1)}},
+	} {
+		if _, ok := appendRows(nil, rows); ok {
+			t.Fatalf("%s: fast encoder accepted, want fallback", name)
+		}
+	}
+}
+
+// TestAppendPredictResponseMatchesEncoder pins the full response body
+// — keys, model string, predictions, trailing newline — against
+// json.Encoder, which is what writeJSON uses on the fallback path.
+func TestAppendPredictResponseMatchesEncoder(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		preds := randomMatrix(rng, 1+rng.Intn(4), 1+rng.Intn(5))
+		got, ok := appendPredictResponse(nil, "xgboost", preds)
+		if !ok {
+			t.Fatalf("trial %d: fast encoder declined", trial)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(PredictResponse{
+			Model:       "xgboost",
+			Predictions: preds,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("trial %d:\nfast   %q\nstdlib %q", trial, got, buf.Bytes())
+		}
+	}
+	// Non-plain model strings (escapes needed) must take the fallback.
+	if _, ok := appendPredictResponse(nil, "a\"b", nil); ok {
+		t.Fatal(`model with '"' accepted, want fallback`)
+	}
+	if _, ok := appendPredictResponse(nil, "tab\there", nil); ok {
+		t.Fatal("model with control byte accepted, want fallback")
+	}
+}
+
+// TestResponseRoundTrip: the client's fast decoder must recover
+// exactly what the server's fast encoder produced.
+func TestResponseRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 100; trial++ {
+		preds := randomMatrix(rng, 1+rng.Intn(4), 1+rng.Intn(5))
+		body, ok := appendPredictResponse(nil, "forest", preds)
+		if !ok {
+			t.Fatalf("trial %d: encoder declined", trial)
+		}
+		model, got, ok := fastDecodePredictResponse(body)
+		if !ok {
+			t.Fatalf("trial %d: decoder declined encoder output %s", trial, body)
+		}
+		if model != "forest" {
+			t.Fatalf("trial %d: model = %q", trial, model)
+		}
+		if !bitwiseEqualRows(got, preds) {
+			t.Fatalf("trial %d: round trip %v != %v", trial, got, preds)
+		}
+	}
+	// And it must decline shapes it does not own.
+	for name, body := range map[string]string{
+		"reordered":    `{"predictions":[[1]],"model":"m"}`,
+		"escaped-name": `{"model":"a\"b","predictions":[[1]]}`,
+		"trailing":     "{\"model\":\"m\",\"predictions\":[[1]]}\nx",
+	} {
+		if _, _, ok := fastDecodePredictResponse([]byte(body)); ok {
+			t.Fatalf("%s: fast decoder accepted %q, want fallback", name, body)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesStdlib sweeps the float formatter across
+// the format-switch boundaries and random magnitudes; every output
+// must match how encoding/json renders the same value.
+func TestAppendJSONFloatMatchesStdlib(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1e-6, 9.999999999999999e-7,
+		1e-7, 1e21, 9.999999999999999e20, -1e21, 1e-305, 5e-324,
+		1.7976931348623157e308, 123456789.123456789, 1e100, -2.5e-100,
+	}
+	rng := stats.NewRNG(8)
+	for i := 0; i < 500; i++ {
+		v := rng.Range(-1, 1) * math.Pow(10, float64(rng.Intn(620)-310))
+		if math.IsInf(v, 0) { // overflow: not JSON-encodable, fallback territory
+			continue
+		}
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		got := string(appendJSONFloat(nil, v))
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Fatalf("%g (bits %x): fast %q, stdlib %q", v, math.Float64bits(v), got, want)
+		}
+	}
+}
+
+// TestReadAll exercises the pooled body reader against chunked input
+// larger than one internal read.
+func TestReadAll(t *testing.T) {
+	payload := strings.Repeat("abc123", 4096)
+	got, err := readAll(nil, strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("readAll lost data: %d bytes, want %d", len(got), len(payload))
+	}
+}

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -44,6 +46,9 @@ type ModelzResponse struct {
 	Generation   uint64       `json:"generation"`
 	LoadedUnixMs int64        `json:"loaded_unix_ms"`
 	Path         string       `json:"path,omitempty"`
+	// Compiled reports whether the served generation runs the flattened
+	// ml.CompiledEnsemble arena instead of the source envelope.
+	Compiled bool `json:"compiled"`
 }
 
 // HealthzResponse is the GET /v1/healthz body.
@@ -64,6 +69,44 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	// An encode failure here means the client is gone; there is no
 	// channel left to report it on.
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writePredictResponse writes the 200 predict body through the fast
+// encoder (pooled buffer, explicit Content-Length, no reflection),
+// falling back to writeJSON for anything it cannot represent. The
+// bodies are byte-identical either way.
+func writePredictResponse(w http.ResponseWriter, model string, preds [][]float64) {
+	buf := getJSONBuf()
+	b, ok := appendPredictResponse((*buf)[:0], model, preds)
+	*buf = b[:0]
+	if !ok {
+		putJSONBuf(buf)
+		writeJSON(w, http.StatusOK, PredictResponse{Model: model, Predictions: preds})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	putJSONBuf(buf)
+}
+
+// readAll reads r to EOF into buf's spare capacity — io.ReadAll with
+// a caller-pooled buffer.
+func readAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -97,8 +140,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Chunked bodies carry no Content-Length; the reader enforces the
 	// same cap mid-stream.
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	bodyBuf := getJSONBuf()
+	body, err := readAll((*bodyBuf)[:0], r.Body)
+	*bodyBuf = body[:0]
+	if err != nil {
+		putJSONBuf(bodyBuf)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			obs.Inc("serve.reject.too_large.total")
@@ -109,6 +155,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	var req PredictRequest
+	if rows, ok := fastDecodePredictRequest(body); ok {
+		req.Rows = rows
+	} else if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		putJSONBuf(bodyBuf)
+		obs.Inc("serve.reject.bad_request.total")
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	putJSONBuf(bodyBuf)
 	if len(req.Rows) == 0 {
 		obs.Inc("serve.reject.bad_request.total")
 		writeError(w, http.StatusBadRequest, "request has no rows")
@@ -142,7 +198,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	select {
 	case res := <-p.resp:
-		writeJSON(w, http.StatusOK, PredictResponse{Model: res.model, Predictions: res.preds})
+		writePredictResponse(w, res.model, res.preds)
 		obs.Observe("serve.request.seconds", obs.SinceSeconds(start))
 	case <-ctx.Done():
 		// The request stays in its batch — the coalescer computes it and
@@ -188,6 +244,7 @@ func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
 		Generation:   st.generation,
 		LoadedUnixMs: st.loadedUnixMs,
 		Path:         s.cfg.ModelPath,
+		Compiled:     st.compiled,
 	})
 }
 

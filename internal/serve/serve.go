@@ -117,6 +117,11 @@ type modelState struct {
 	outputs      int
 	generation   uint64
 	loadedUnixMs int64
+	// compiled records whether the ladder's primary is the flattened
+	// ml.CompiledEnsemble arena rather than the source envelope
+	// (surfaced in /v1/modelz). Either way predictions are bitwise
+	// identical; compilation only changes speed.
+	compiled bool
 }
 
 // Server is the batched prediction service. Construct with New, serve
@@ -136,6 +141,17 @@ type Server struct {
 	quit      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// Dispatcher-owned steady-state scratch, touched only by the run
+	// goroutine: the reused gather timer, a request carried over when it
+	// would overflow the batch, the gather slices, and the arena backing
+	// every batch's output matrix (see coalesce.go for the ownership
+	// protocol that makes arena reuse safe).
+	timer   *time.Timer
+	carry   *pending
+	batch   []*pending
+	gatherX [][]float64
+	arena   ml.MatrixArena
 }
 
 // New builds the server and starts its coalescer. When cfg.ModelPath
@@ -149,6 +165,16 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *pending, cfg.QueueCap),
 		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
+	}
+	// The dispatcher timer starts disarmed; serveBatch Stop+drains
+	// before every Reset, so the initial state just needs an allocated
+	// timer that is not running.
+	s.timer = time.NewTimer(time.Hour)
+	if !s.timer.Stop() {
+		select {
+		case <-s.timer.C:
+		default:
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
@@ -179,8 +205,17 @@ func (s *Server) Install(m ml.Regressor, info ml.ModelInfo) error {
 }
 
 // install builds and swaps a model state. Caller holds reloadMu.
+// Tree-ensemble learners are flattened into the compiled arena here,
+// once per generation, so every batch runs the cache-resident kernel;
+// learners with no compiled form (baseline, linear, test doubles)
+// serve their envelope unchanged.
 func (s *Server) install(m ml.Regressor, info ml.ModelInfo) error {
-	ladder, err := ml.NewDegradingPredictor(m, nil, s.cfg.Outputs, s.cfg.Degrade)
+	primary := m
+	compiled := false
+	if ce, ok := ml.Compile(m); ok {
+		primary, compiled = ce, true
+	}
+	ladder, err := ml.NewDegradingPredictor(primary, nil, s.cfg.Outputs, s.cfg.Degrade)
 	if err != nil {
 		return err
 	}
@@ -193,6 +228,7 @@ func (s *Server) install(m ml.Regressor, info ml.ModelInfo) error {
 		outputs:      s.cfg.Outputs,
 		generation:   s.generation.Add(1),
 		loadedUnixMs: obs.Now().UnixMilli(),
+		compiled:     compiled,
 	}
 	s.model.Store(st)
 	obs.Set("serve.model.generation", float64(st.generation))

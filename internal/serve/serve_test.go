@@ -241,6 +241,9 @@ func TestHealthzModelzMetrics(t *testing.T) {
 	if !strings.Contains(mz.Ladder, "degrading(xgboost->") {
 		t.Fatalf("modelz ladder = %q", mz.Ladder)
 	}
+	if !mz.Compiled {
+		t.Fatal("modelz reports the xgboost envelope uncompiled; tree ensembles must serve the compiled arena")
+	}
 
 	// One request so the serving metrics exist, then snapshot.
 	if _, err := client.PredictBatch(testRows(3, 4)); err != nil {

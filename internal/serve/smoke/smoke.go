@@ -226,6 +226,15 @@ func Run() error {
 	if want := ml.PredictBatch(modelA, rows); !bitwiseEqual(got, want) {
 		return errors.New("served predictions differ from offline PredictBatch")
 	}
+	// The file-loaded xgboost envelope must be serving its compiled
+	// arena (and, per the check above, bitwise identically to it).
+	mz, err := client.Modelz()
+	if err != nil {
+		return err
+	}
+	if !mz.Compiled {
+		return errors.New("file-loaded tree ensemble is not serving compiled")
+	}
 
 	// Stage 2: malformed, oversized, and invalid payloads.
 	if code, _, err := postRaw(base, []byte(`{"rows": [[1,`)); err != nil || code != http.StatusBadRequest {
