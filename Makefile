@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint vet build test race cover fuzz faults serve-smoke bench-predict bench bench-gate bench-all
+.PHONY: check lint vet build test race cover fuzz faults serve-smoke cluster-smoke bench-predict bench bench-gate bench-all
 
-check: lint build race cover faults serve-smoke bench-gate
+check: lint build race cover faults serve-smoke cluster-smoke bench-gate
 
 # Static analysis: go vet, then the repository's own analyzer suite
 # (cmd/mphpc-lint; see DESIGN.md §8). `go run ./cmd/mphpc-lint -json
@@ -80,17 +80,27 @@ faults:
 serve-smoke:
 	$(GO) run ./cmd/mphpc-serve -smoke
 
+# Cluster smoke gate (DESIGN.md §12): an in-process replica fleet is
+# driven through every routing strategy (bitwise-checked against the
+# offline batch path), a replica-kill degradation drill with eviction
+# and re-admission, and the virtual-time strategy sweep — RPV-aware
+# routing must beat the load-only baselines and throughput must fall
+# roughly linearly with killed replicas, never to zero.
+cluster-smoke:
+	$(GO) run ./cmd/mphpc-cluster -smoke
+
 # The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
 # a laptop while still printing the rows/s comparison.
 bench-predict:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Row|Batch)' -benchtime 2x .
 
 # The gated inference benchmarks (DESIGN.md §11): the compiled-arena
-# kernel, its envelope reference, and the end-to-end serve path. A
-# fixed iteration count plus -count 3 repeats (mphpc-bench keeps the
-# per-metric best) makes the record reproducible on noisy boxes.
-BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict' \
-	-benchmem -benchtime 5000x -count 3 ./internal/ml/ ./internal/serve/
+# kernel, its envelope reference, the end-to-end serve path, and the
+# routed fleet path. A fixed iteration count plus -count 3 repeats
+# (mphpc-bench keeps the per-metric best) makes the record reproducible
+# on noisy boxes.
+BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict|BenchmarkClusterRoute' \
+	-benchmem -benchtime 5000x -count 3 ./internal/ml/ ./internal/serve/ ./internal/cluster/
 
 # Refresh the checked-in trajectory after a deliberate perf change;
 # commit the updated BENCH_predict.json alongside the change.

@@ -1,0 +1,187 @@
+// Command mphpc-cluster fronts a fleet of mphpc-serve replicas with a
+// deterministic router: requests to its /v1/predict are placed on a
+// replica by a pluggable strategy — round-robin, least-loaded,
+// consistent-hash by application signature, or RPV-aware placement
+// reusing the scheduler's Algorithm 2 scan — with 429-aware failover,
+// bounded-failure eviction, and health-probe re-admission. Routed
+// responses are bitwise identical to a direct single-replica call; the
+// router only ever decides *where* a batch runs.
+//
+// Usage:
+//
+//	mphpc-cluster -replicas http://h1:8080,http://h2:8080 [-addr :8090]
+//	              [-strategy round-robin|least-loaded|consistent-hash]
+//	              [-retries N] [-evict-after N] [-probe-every 5s]
+//	              [-metrics out.json]
+//
+// Endpoints: POST /v1/predict (the serve dialect — a serve.Client
+// cannot tell a router from a replica), GET /v1/healthz, GET
+// /v1/fleetz (per-replica status plus routing accounting), GET
+// /v1/metrics.
+//
+// The -smoke flag runs the cluster smoke gate instead: an in-process
+// fleet is driven through every strategy (bitwise-checked against the
+// offline batch path), a replica-kill degradation drill, and the
+// virtual-time strategy sweep, exiting non-zero unless every invariant
+// holds; `make cluster-smoke` wires it into `make check`. The -sweep
+// flag prints the virtual-time strategy comparison and degradation
+// ladder (EXPERIMENTS.md's cluster tables).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/cluster/smoke"
+	"crossarch/internal/experiments"
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-cluster: ")
+	replicasFlag := flag.String("replicas", "", "comma-separated replica base URLs (required unless -smoke/-sweep)")
+	addr := flag.String("addr", ":8090", "listen address")
+	strategyName := flag.String("strategy", "round-robin", "routing strategy: round-robin, least-loaded, or consistent-hash")
+	retries := flag.Int("retries", 3, "failover budget per request (re-attempts after the first)")
+	evictAfter := flag.Int("evict-after", 3, "consecutive failures that evict a replica until a probe re-admits it")
+	probeEvery := flag.Duration("probe-every", 5*time.Second, "health-probe cadence for eviction and re-admission")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
+	smokeFlag := flag.Bool("smoke", false, "run the cluster smoke gate and exit (non-zero on any violated invariant)")
+	sweepFlag := flag.Bool("sweep", false, "run the virtual-time strategy sweep, print its tables, and exit")
+	sweepSeed := flag.Uint64("sweep-seed", 42, "workload seed for -sweep")
+	sweepRequests := flag.Int("sweep-requests", 0, "workload size for -sweep (0 = default)")
+	flag.Parse()
+
+	if *smokeFlag {
+		if err := smoke.Run(); err != nil {
+			log.Fatalf("SMOKE FAIL: %v", err)
+		}
+		log.Print("smoke: all cluster invariants hold")
+		return
+	}
+	if *sweepFlag {
+		res, err := experiments.RunClusterSweep(experiments.ClusterConfig{
+			Seed:     *sweepSeed,
+			Requests: *sweepRequests,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatClusterSweep(res))
+		if err := res.CheckInvariants(); err != nil {
+			log.Fatalf("SWEEP FAIL: %v", err)
+		}
+		log.Print("sweep: all routing invariants hold")
+		return
+	}
+
+	urls := splitNonEmpty(*replicasFlag)
+	if len(urls) == 0 {
+		log.Fatal("-replicas is required (start replicas with: mphpc-serve -model model.json)")
+	}
+	specs := make([]cluster.Spec, len(urls))
+	for i, u := range urls {
+		// Architecture affinity follows listing order; HTTP-fronted
+		// routing uses the load and signature strategies, which ignore it.
+		specs[i] = cluster.Spec{Replica: cluster.NewHTTPReplica(u, u, nil), Arch: i}
+	}
+	fleet, err := cluster.NewFleet(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategy, err := strategyByName(*strategyName, fleet.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	router := cluster.NewRouter(fleet, cluster.Config{
+		Strategy:   strategy,
+		Retry:      fault.Backoff{Retries: *retries},
+		Sleep:      func(seconds float64) { time.Sleep(time.Duration(seconds * float64(time.Second))) },
+		EvictAfter: *evictAfter,
+	})
+	if n := router.CheckHealth(); n < len(urls) {
+		log.Printf("warning: %d of %d replicas healthy at startup", n, len(urls))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: router}
+	log.Printf("routing %d replicas (%s) on http://%s", len(urls), strategy.Name(), ln.Addr())
+
+	stopProbe := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*probeEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				router.CheckHealth()
+			case <-stopProbe:
+				return
+			}
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("%v: shutting down", sig)
+		close(stopProbe)
+		_ = httpSrv.Close()
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	st := router.Stats()
+	log.Printf("accounting: accepted=%d completed=%d degraded=%d dropped=%d rejected=%d",
+		st.Accepted, st.Completed, st.Degraded, st.Dropped, st.Rejected)
+	if *metricsOut != "" {
+		if err := obs.DumpCLI(*metricsOut, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// strategyByName resolves the CLI strategy flag. RPV-aware routing is
+// deliberately absent here: the HTTP dialect carries no prediction
+// vector, so it is only reachable through the in-process Do API (the
+// scheduler integration), the sweep, and the smoke gate.
+func strategyByName(name string, replicaNames []string) (cluster.Strategy, error) {
+	switch name {
+	case "round-robin", "":
+		return cluster.NewRoundRobin(), nil
+	case "least-loaded":
+		return cluster.NewLeastLoaded(), nil
+	case "consistent-hash":
+		return cluster.NewConsistentHash(replicaNames), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (round-robin, least-loaded, consistent-hash)", name)
+	}
+}
+
+// splitNonEmpty splits a comma list, dropping empty entries.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

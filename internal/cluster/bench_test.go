@@ -1,0 +1,61 @@
+// BenchmarkClusterRoute measures the routed hot path end to end —
+// strategy pick, dispatch through an in-process replica's full serving
+// stack, accounting — per strategy. It feeds the BENCH_predict.json
+// regression gate, so routing overhead regressions fail `make check`.
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/serve"
+)
+
+func BenchmarkClusterRoute(b *testing.B) {
+	model := trainModel(b, 90)
+	const nrows = 16
+	for _, stratName := range []string{"round-robin", "least-loaded", "consistent-hash", "rpv-aware"} {
+		b.Run(stratName, func(b *testing.B) {
+			specs := make([]cluster.Spec, 4)
+			for i := range specs {
+				name := "replica-" + string(rune('a'+i))
+				specs[i] = cluster.Spec{
+					Replica: newServeReplica(b, name, model, serve.Config{
+						MaxBatch: 64,
+						MaxWait:  200 * time.Microsecond,
+						QueueCap: 4096,
+					}, false),
+					Arch: i % testOutputs,
+				}
+			}
+			fleet, err := cluster.NewFleet(specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var strat cluster.Strategy
+			for _, cand := range cluster.Strategies(fleet.Names()) {
+				if cand.Name() == stratName {
+					strat = cand
+				}
+			}
+			router := cluster.NewRouter(fleet, cluster.Config{Strategy: strat})
+			reqs := loadRequests(64, 90)
+			for i := range reqs {
+				reqs[i].Rows = testRows(nrows, uint64(i))
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					if _, err := router.Do(reqs[k%len(reqs)]); err != nil {
+						b.Fatal(err)
+					}
+					k++
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(nrows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

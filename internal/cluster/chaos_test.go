@@ -1,0 +1,303 @@
+// Failure-injection suite: table-driven replica-kill and transient-
+// failure scenarios through FaultyReplica and fault.Injector, the
+// eviction / re-admission lifecycle, overload failover, and the
+// 32-goroutine race hammer. Every scenario re-checks the accounting
+// invariant and the bitwise contract on whatever was served.
+package cluster_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/fault"
+	"crossarch/internal/ml"
+	"crossarch/internal/serve"
+)
+
+// newFaultyFleet builds n replicas over the model, each wrapped in a
+// FaultyReplica, and returns both the fleet and the wrappers for kill
+// control.
+func newFaultyFleet(t testing.TB, m ml.Regressor, n int, inj *fault.Injector) (*cluster.Fleet, []*cluster.FaultyReplica) {
+	t.Helper()
+	specs := make([]cluster.Spec, n)
+	wrapped := make([]*cluster.FaultyReplica, n)
+	for i := range specs {
+		inner := newServeReplica(t, "replica-"+string(rune('a'+i)), m, serve.Config{}, false)
+		wrapped[i] = cluster.NewFaultyReplica(inner, inj)
+		specs[i] = cluster.Spec{Replica: wrapped[i], Arch: i % testOutputs}
+	}
+	f, err := cluster.NewFleet(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, wrapped
+}
+
+// TestFailoverServesThroughKills is the kill table: with k of 4
+// replicas dead, every request must still be answered bitwise-correct
+// (degraded when the strategy's first choice was dead), with zero
+// drops — the fleet-level degradation contract.
+func TestFailoverServesThroughKills(t *testing.T) {
+	model := trainModel(t, 11)
+	for _, kills := range []int{0, 1, 2, 3} {
+		for _, strat := range []string{"round-robin", "least-loaded", "consistent-hash"} {
+			t.Run(strat+"/kills="+string(rune('0'+kills)), func(t *testing.T) {
+				fleet, wrapped := newFaultyFleet(t, model, 4, nil)
+				var s cluster.Strategy
+				for _, cand := range cluster.Strategies(fleet.Names()) {
+					if cand.Name() == strat {
+						s = cand
+					}
+				}
+				router := cluster.NewRouter(fleet, cluster.Config{
+					Strategy: s,
+					Retry:    fault.Backoff{Retries: 5},
+				})
+				for i := 0; i < kills; i++ {
+					wrapped[i].Kill()
+				}
+				reqs := loadRequests(30, 23)
+				for k, req := range reqs {
+					got, err := router.Do(req)
+					if err != nil {
+						t.Fatalf("request %d with %d kills: %v", k, kills, err)
+					}
+					mustEqualBitwise(t, got, ml.PredictBatch(model, req.Rows), "failover vs offline")
+				}
+				st := router.Stats()
+				if st.Accepted != int64(len(reqs)) || st.Dropped != 0 {
+					t.Fatalf("accounting: %+v", st)
+				}
+				if st.Accepted != st.Completed+st.Degraded {
+					t.Fatalf("accepted %d != completed %d + degraded %d", st.Accepted, st.Completed, st.Degraded)
+				}
+			})
+		}
+	}
+}
+
+// TestInjectedTransientFailures drives a fleet whose replicas fail
+// sporadically under a deterministic injector: everything is still
+// served, and the per-seed failure pattern is reproducible.
+func TestInjectedTransientFailures(t *testing.T) {
+	model := trainModel(t, 12)
+	run := func(seed uint64) cluster.Stats {
+		inj, err := fault.NewInjector(seed, fault.Plan{PredictError: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet, _ := newFaultyFleet(t, model, 3, inj)
+		router := cluster.NewRouter(fleet, cluster.Config{
+			Retry:      fault.Backoff{Retries: 6},
+			EvictAfter: 100, // keep transient failures from evicting here
+		})
+		for k, req := range loadRequests(40, 31) {
+			got, err := router.Do(req)
+			if err != nil {
+				t.Fatalf("request %d: %v", k, err)
+			}
+			mustEqualBitwise(t, got, ml.PredictBatch(model, req.Rows), "transient-fault vs offline")
+		}
+		return router.Stats()
+	}
+	a := run(7)
+	if a.Degraded == 0 {
+		t.Fatal("0.3 failure rate never forced a failover — injector not wired through")
+	}
+	if a.Dropped != 0 || a.Accepted != a.Completed+a.Degraded {
+		t.Fatalf("accounting: %+v", a)
+	}
+	if b := run(7); a != b {
+		t.Fatalf("same injector seed gave different accounting: %+v vs %+v", a, b)
+	}
+}
+
+// TestEvictionAndReadmission walks the replica lifecycle: consecutive
+// failures evict, the health probe keeps the replica out while dead,
+// and recovery re-admits it with its failure count cleared.
+func TestEvictionAndReadmission(t *testing.T) {
+	model := trainModel(t, 13)
+	fleet, wrapped := newFaultyFleet(t, model, 2, nil)
+	router := cluster.NewRouter(fleet, cluster.Config{
+		Strategy:   cluster.NewRoundRobin(),
+		Retry:      fault.Backoff{Retries: 4},
+		EvictAfter: 3,
+	})
+	wrapped[0].Kill()
+	for k, req := range loadRequests(8, 41) {
+		if _, err := router.Do(req); err != nil {
+			t.Fatalf("request %d: %v", k, err)
+		}
+	}
+	if fleet.Healthy(0) {
+		t.Fatal("replica 0 not evicted after repeated failures")
+	}
+	if !fleet.Healthy(1) {
+		t.Fatal("healthy replica 1 wrongly evicted")
+	}
+	if n := router.CheckHealth(); n != 1 {
+		t.Fatalf("CheckHealth on a half-dead fleet = %d, want 1", n)
+	}
+	wrapped[0].Revive()
+	if n := router.CheckHealth(); n != 2 {
+		t.Fatalf("CheckHealth after revival = %d, want 2", n)
+	}
+	if !fleet.Healthy(0) {
+		t.Fatal("revived replica 0 not re-admitted")
+	}
+	// The re-admitted replica serves again.
+	st := router.Stats()
+	for k, req := range loadRequests(8, 43) {
+		if _, err := router.Do(req); err != nil {
+			t.Fatalf("post-revival request %d: %v", k, err)
+		}
+	}
+	st2 := router.Stats()
+	if st2.Degraded != st.Degraded {
+		t.Fatalf("post-revival traffic degraded: %+v -> %+v", st, st2)
+	}
+}
+
+// TestWholeFleetDownRejects pins the rejection path: with every
+// replica dead and evicted, Do refuses with ErrNoReplicas and counts
+// the request as rejected, never accepted.
+func TestWholeFleetDownRejects(t *testing.T) {
+	model := trainModel(t, 14)
+	fleet, wrapped := newFaultyFleet(t, model, 2, nil)
+	router := cluster.NewRouter(fleet, cluster.Config{Retry: fault.Backoff{Retries: 3}})
+	for _, w := range wrapped {
+		w.Kill()
+	}
+	router.CheckHealth() // evict both
+	req := loadRequests(1, 51)[0]
+	_, err := router.Do(req)
+	if !errors.Is(err, cluster.ErrNoReplicas) {
+		t.Fatalf("whole fleet down: %v", err)
+	}
+	st := router.Stats()
+	if st.Rejected != 1 || st.Accepted != 0 {
+		t.Fatalf("accounting after rejection: %+v", st)
+	}
+}
+
+// TestOverloadFailsOverWithoutEviction pins the 429 path: a replica
+// whose queue is full answers 429, the router fails over to the next
+// replica, and the overloaded replica is never evicted (overloaded is
+// healthy, just busy).
+func TestOverloadFailsOverWithoutEviction(t *testing.T) {
+	model := trainModel(t, 15)
+	// Replica a: an always-overloaded stub. Replica b: a real server.
+	overloaded := &overloadStub{name: "replica-a"}
+	specs := []cluster.Spec{
+		{Replica: overloaded, Arch: 0},
+		{Replica: newServeReplica(t, "replica-b", model, serve.Config{}, false), Arch: 1},
+	}
+	fleet, err := cluster.NewFleet(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := cluster.NewRouter(fleet, cluster.Config{
+		Strategy: cluster.NewRoundRobin(),
+		Retry:    fault.Backoff{Retries: 4},
+	})
+	reqs := loadRequests(10, 61)
+	for k, req := range reqs {
+		got, err := router.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", k, err)
+		}
+		mustEqualBitwise(t, got, ml.PredictBatch(model, req.Rows), "overload failover vs offline")
+	}
+	if !fleet.Healthy(0) {
+		t.Fatal("overloaded replica was evicted — 429 must never count toward eviction")
+	}
+	st := router.Stats()
+	if st.Dropped != 0 || st.Accepted != int64(len(reqs)) {
+		t.Fatalf("accounting: %+v", st)
+	}
+	if st.Degraded == 0 {
+		t.Fatal("round-robin across an overloaded replica never failed over")
+	}
+	if overloaded.calls == 0 {
+		t.Fatal("overloaded replica was never tried")
+	}
+}
+
+// overloadStub always answers 429 with a Retry-After hint.
+type overloadStub struct {
+	name  string
+	calls int
+}
+
+func (s *overloadStub) Name() string { return s.name }
+func (s *overloadStub) PredictBatch(rows [][]float64) ([][]float64, error) {
+	s.calls++
+	return nil, &serve.StatusError{Code: 429, Message: "queue full", RetryAfterSec: 0.01}
+}
+func (s *overloadStub) Healthy() bool { return true }
+
+// TestConcurrentHammerWithKill is the race hammer: 32 goroutines
+// stream requests through one router while a replica dies and later
+// revives mid-flight. Run under -race. At the end the accounting
+// invariant must hold exactly and every successful response must have
+// been bitwise-correct.
+func TestConcurrentHammerWithKill(t *testing.T) {
+	model := trainModel(t, 16)
+	fleet, wrapped := newFaultyFleet(t, model, 4, nil)
+	router := cluster.NewRouter(fleet, cluster.Config{
+		Strategy: cluster.NewLeastLoaded(),
+		Retry:    fault.Backoff{Retries: 6},
+	})
+	const (
+		workers = 32
+		perG    = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perG)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reqs := loadRequests(perG, 100+uint64(g))
+			for k, req := range reqs {
+				if g == 0 && k == perG/2 {
+					wrapped[1].Kill()
+				}
+				if g == workers-1 && k == perG-1 {
+					wrapped[1].Revive()
+				}
+				got, err := router.Do(req)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				want := ml.PredictBatch(model, req.Rows)
+				for i := range got {
+					for j := range got[i] {
+						//lint:ignore floateq bitwise identity is the routing contract being asserted
+						if got[i][j] != want[i][j] {
+							errs <- errors.New("bitwise mismatch under concurrency")
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !strings.Contains(err.Error(), "attempts exhausted") {
+			t.Fatalf("hammer: %v", err)
+		}
+	}
+	st := router.Stats()
+	if st.Accepted != st.Completed+st.Degraded+st.Dropped {
+		t.Fatalf("accounting after hammer: %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Fatal("hammer completed nothing")
+	}
+}

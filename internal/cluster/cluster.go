@@ -1,0 +1,199 @@
+// Package cluster promotes the single-process prediction service to a
+// fleet: a deterministic router fronting N mphpc-serve replicas behind
+// one Replica interface — in-process serve.Server instances and real
+// HTTP listeners look identical to the router — with pluggable routing
+// strategies mirroring the paper's Algorithm 2 placement policies one
+// level up. Where the scheduler places jobs on machines by predicted
+// relative performance, the router places requests on replicas:
+// round-robin, least-loaded (live in-flight counts), consistent-hash
+// by application signature (warm per-architecture caches stay warm),
+// and RPV-aware placement that reuses the exact sched.PickRanked scan
+// the Model-based strategy runs.
+//
+// The routing contract extends the serving contract (DESIGN.md §10):
+// for the same feature rows, a routed prediction is bitwise identical
+// to a direct single-server prediction, no matter which strategy chose
+// the replica — routing only ever changes *where* a batch runs, never
+// what it computes. The fleet also carries the degradation story up a
+// level: replicas that fail are evicted after a bounded number of
+// consecutive errors and re-admitted when their health probe recovers,
+// 429 overload answers fail over to the next replica on the strategy's
+// order, and killing replicas degrades throughput roughly linearly —
+// never to zero — while every accepted request still gets a response.
+//
+// Everything is deterministic by construction: the router never reads
+// the wall clock (backoff sleeps go on a simulated fault.Clock unless
+// the caller supplies a wall sleeper), strategies are pure functions of
+// the request, the admission sequence number, and the fleet view, and
+// the consistent-hash ring is a fixed FNV-1a vnode ring over replica
+// names.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync/atomic"
+
+	"crossarch/internal/rpv"
+)
+
+// MaxReplicas bounds a fleet. Failover tracks attempted replicas in a
+// 64-bit set, and a prediction-serving tier past 64 replicas per
+// router cell should shard routers instead.
+const MaxReplicas = 64
+
+// Replica is the router's view of one backend: a named prediction
+// server that can answer a batch and a health probe. Both the HTTP
+// adapter (NewHTTPReplica) and the in-process adapter (NewLocalReplica)
+// implement it, as do the simulated replicas in the experiments sweep.
+type Replica interface {
+	// Name identifies the replica; names must be unique within a fleet
+	// and stable across restarts (the consistent-hash ring is built
+	// from them).
+	Name() string
+	// PredictBatch answers one request's rows, bitwise identical to
+	// ml.PredictBatch on the replica's model. A *serve.StatusError with
+	// code 429 marks a retryable overload; any other error is a replica
+	// failure.
+	PredictBatch(rows [][]float64) ([][]float64, error)
+	// Healthy is the router's probe for eviction and re-admission.
+	Healthy() bool
+}
+
+// Spec binds a replica to its architecture affinity: the index into
+// the canonical architecture order whose requests this replica serves
+// fastest (its accelerator type, its warm per-arch cache). RPV-aware
+// routing ranks replicas through it; the other strategies ignore it.
+type Spec struct {
+	Replica Replica
+	Arch    int
+}
+
+// replicaState is the router-side record for one replica: the live
+// in-flight count (maintained by the router around every dispatch),
+// eviction state, and accounting.
+type replicaState struct {
+	replica Replica
+	arch    int
+
+	inflight atomic.Int64
+	evicted  atomic.Bool
+	// fails counts consecutive non-overload failures; EvictAfter of
+	// them evicts the replica until a health probe re-admits it.
+	fails  atomic.Int64
+	served atomic.Int64
+}
+
+// Fleet is an immutable set of replicas plus the router's live view of
+// them. Construct with NewFleet; membership never changes after that
+// (eviction toggles health, it does not remove the replica — the
+// consistent-hash ring stays stable).
+type Fleet struct {
+	states []*replicaState
+	names  []string
+}
+
+// NewFleet validates and assembles a fleet: 1..MaxReplicas replicas,
+// unique non-empty names, non-negative arch affinities.
+func NewFleet(specs []Spec) (*Fleet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: empty fleet")
+	}
+	if len(specs) > MaxReplicas {
+		return nil, fmt.Errorf("cluster: %d replicas exceed the %d-replica fleet cap", len(specs), MaxReplicas)
+	}
+	f := &Fleet{}
+	seen := map[string]bool{}
+	for i, sp := range specs {
+		if sp.Replica == nil {
+			return nil, fmt.Errorf("cluster: replica %d is nil", i)
+		}
+		name := sp.Replica.Name()
+		if name == "" {
+			return nil, fmt.Errorf("cluster: replica %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", name)
+		}
+		if sp.Arch < 0 {
+			return nil, fmt.Errorf("cluster: replica %q arch %d is negative", name, sp.Arch)
+		}
+		seen[name] = true
+		f.states = append(f.states, &replicaState{replica: sp.Replica, arch: sp.Arch})
+		f.names = append(f.names, name)
+	}
+	return f, nil
+}
+
+// NumReplicas implements View.
+func (f *Fleet) NumReplicas() int { return len(f.states) }
+
+// Healthy implements View: a replica is routable unless evicted.
+func (f *Fleet) Healthy(i int) bool { return !f.states[i].evicted.Load() }
+
+// InFlight implements View: requests the router has dispatched to
+// replica i and not yet seen answered.
+func (f *Fleet) InFlight(i int) int { return int(f.states[i].inflight.Load()) }
+
+// Arch implements View.
+func (f *Fleet) Arch(i int) int { return f.states[i].arch }
+
+// Names returns the replica names in index order (the consistent-hash
+// ring's construction input).
+func (f *Fleet) Names() []string { return append([]string(nil), f.names...) }
+
+// View is the read-only fleet state a routing strategy may consult.
+// The router's Fleet implements it for live traffic; the experiments
+// sweep implements it over a virtual-time simulation, so the same
+// strategy code is measured in both worlds.
+type View interface {
+	NumReplicas() int
+	Healthy(i int) bool
+	InFlight(i int) int
+	Arch(i int) int
+}
+
+// Request is one routable prediction request.
+type Request struct {
+	// Rows are the feature rows, exactly as POST /v1/predict takes them.
+	Rows [][]float64
+	// Signature identifies the application behind the rows for
+	// cache-affinity routing; empty derives a deterministic signature
+	// from the first row's bits.
+	Signature string
+	// Predicted is the application's relative-performance vector over
+	// architectures (lower is faster, as in package rpv). RPV-aware
+	// routing ranks replicas by it; nil falls back to least-loaded.
+	Predicted rpv.RPV
+}
+
+// signature returns the request's routing signature, deriving one from
+// the rows when the caller supplied none.
+func (r *Request) signature() string {
+	if r.Signature != "" {
+		return r.Signature
+	}
+	return SignatureOf(r.Rows)
+}
+
+// SignatureOf derives a deterministic application signature from
+// feature rows: FNV-1a over the bit patterns of the first row. Two
+// requests carrying the same leading feature row always route to the
+// same replica under consistent hashing, which is what keeps that
+// replica's per-application caches warm.
+func SignatureOf(rows [][]float64) string {
+	h := fnv.New64a()
+	if len(rows) > 0 {
+		var buf [8]byte
+		for _, x := range rows[0] {
+			bits := math.Float64bits(x)
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(bits >> (8 * b))
+			}
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return "sig-" + strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,379 @@
+// The cluster harness's verification spine: an e2e equivalence suite
+// proving that routed predictions are bitwise identical to direct
+// single-server predictions under every routing strategy, with the
+// router's accounting invariant (accepted == completed + degraded,
+// zero dropped) checked after every run. Fleet fixtures mix in-process
+// replicas with real httptest listeners so both Replica adapters face
+// the same contract. Strategy unit tables live in strategy_test.go,
+// failure injection in chaos_test.go.
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/rpv"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+const (
+	testFeatures = 6
+	testOutputs  = 4
+)
+
+// trainModel fits the shared small XGBoost model. Every replica in a
+// test fleet installs the same fitted model, so bitwise equality of
+// routed and direct answers is well-defined regardless of which
+// replica a strategy picks.
+func trainModel(t testing.TB, seed uint64) *xgboost.Model {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	const n = 120
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, testFeatures)
+		for j := range x {
+			x[j] = rng.Range(-3, 3)
+		}
+		y := make([]float64, testOutputs)
+		for k := range y {
+			y[k] = x[k%testFeatures] * float64(k+1)
+			if x[(k+1)%testFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		X[i], Y[i] = x, y
+	}
+	m := xgboost.New(xgboost.Params{Rounds: 8, MaxDepth: 3, LearningRate: 0.3, Seed: seed})
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testRows draws n valid feature rows.
+func testRows(n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, testFeatures)
+		for j := range r {
+			r[j] = rng.Range(-3, 3)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// mustEqualBitwise fails unless two prediction matrices are exactly
+// equal, bit for bit.
+func mustEqualBitwise(t testing.TB, got, want [][]float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", msg, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			// Exact float comparison is the contract under test.
+			//lint:ignore floateq bitwise identity is the routing contract being asserted
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d col %d: %v != %v", msg, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// newServeReplica stands up one serve.Server with the model installed
+// and wraps it as a Replica — in-process when overHTTP is false, behind
+// a real httptest listener when true.
+func newServeReplica(t testing.TB, name string, m ml.Regressor, cfg serve.Config, overHTTP bool) cluster.Replica {
+	t.Helper()
+	if cfg.Outputs == 0 {
+		cfg.Outputs = testOutputs
+	}
+	if cfg.Features == 0 {
+		cfg.Features = testFeatures
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		if err := srv.Install(m, ml.ModelInfo{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !overHTTP {
+		t.Cleanup(func() {
+			srv.BeginDrain()
+			srv.Close()
+		})
+		return cluster.NewLocalReplica(name, srv)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.BeginDrain()
+		ts.Close()
+		srv.Close()
+	})
+	return cluster.NewHTTPReplica(name, ts.URL, ts.Client())
+}
+
+// newTestFleet builds an n-replica fleet over one shared model,
+// alternating in-process and httptest-backed replicas, with
+// architecture affinities i % testOutputs.
+func newTestFleet(t testing.TB, m ml.Regressor, n int) *cluster.Fleet {
+	t.Helper()
+	specs := make([]cluster.Spec, n)
+	for i := range specs {
+		name := "replica-" + string(rune('a'+i))
+		specs[i] = cluster.Spec{
+			Replica: newServeReplica(t, name, m, serve.Config{}, i%2 == 1),
+			Arch:    i % testOutputs,
+		}
+	}
+	f, err := cluster.NewFleet(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// loadRequests is the deterministic request stream every equivalence
+// test replays: varying batch sizes, per-request signatures, and a
+// synthetic prediction vector so the RPV-aware strategy exercises its
+// ranking path.
+func loadRequests(n int, seed uint64) []*cluster.Request {
+	rng := stats.NewRNG(seed)
+	reqs := make([]*cluster.Request, n)
+	for k := range reqs {
+		rows := testRows(1+k%5, seed+uint64(k))
+		v := make(rpv.RPV, testOutputs)
+		for i := range v {
+			v[i] = rng.Range(1, 8)
+		}
+		reqs[k] = &cluster.Request{
+			Rows:      rows,
+			Signature: "app-" + string(rune('a'+k%7)),
+			Predicted: v,
+		}
+	}
+	return reqs
+}
+
+// checkAccounting asserts the router invariant after a run where the
+// fleet could serve everything.
+func checkAccounting(t testing.TB, r *cluster.Router, want int) {
+	t.Helper()
+	st := r.Stats()
+	if st.Accepted != int64(want) {
+		t.Fatalf("accepted %d, want %d", st.Accepted, want)
+	}
+	if st.Accepted != st.Completed+st.Degraded+st.Dropped {
+		t.Fatalf("accounting broken: accepted %d != completed %d + degraded %d + dropped %d",
+			st.Accepted, st.Completed, st.Degraded, st.Dropped)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d requests a healthy fleet could serve", st.Dropped)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("rejected %d requests with healthy replicas present", st.Rejected)
+	}
+}
+
+// TestRoutedBitwiseIdenticalPerStrategy is the tentpole equivalence:
+// for every routing strategy, every routed response equals the offline
+// ml.PredictBatch answer exactly — routing changes where a batch runs,
+// never what it computes.
+func TestRoutedBitwiseIdenticalPerStrategy(t *testing.T) {
+	model := trainModel(t, 1)
+	fleet := newTestFleet(t, model, 4)
+	reqs := loadRequests(60, 7)
+	for _, strat := range cluster.Strategies(fleet.Names()) {
+		t.Run(strat.Name(), func(t *testing.T) {
+			router := cluster.NewRouter(fleet, cluster.Config{Strategy: strat})
+			for k, req := range reqs {
+				got, err := router.Do(req)
+				if err != nil {
+					t.Fatalf("request %d: %v", k, err)
+				}
+				mustEqualBitwise(t, got, ml.PredictBatch(model, req.Rows), "routed vs offline")
+			}
+			checkAccounting(t, router, len(reqs))
+			st := router.Stats()
+			if st.Degraded != 0 {
+				t.Fatalf("healthy fleet degraded %d requests", st.Degraded)
+			}
+		})
+	}
+}
+
+// TestRouterHTTPEquivalence drives the router through its own HTTP
+// face: a serve.Client pointed at a router must get bitwise-offline
+// answers, and the fleet introspection endpoints must agree with the
+// router's accounting.
+func TestRouterHTTPEquivalence(t *testing.T) {
+	model := trainModel(t, 2)
+	fleet := newTestFleet(t, model, 3)
+	router := cluster.NewRouter(fleet, cluster.Config{Strategy: cluster.NewConsistentHash(fleet.Names())})
+	ts := httptest.NewServer(router)
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+
+	const n = 20
+	for k := 0; k < n; k++ {
+		rows := testRows(1+k%4, 50+uint64(k))
+		got, err := client.PredictBatch(rows)
+		if err != nil {
+			t.Fatalf("request %d: %v", k, err)
+		}
+		mustEqualBitwise(t, got, ml.PredictBatch(model, rows), "HTTP routed vs offline")
+	}
+	checkAccounting(t, router, n)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/fleetz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fz cluster.FleetzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fz); err != nil {
+		t.Fatal(err)
+	}
+	if fz.Strategy != "consistent-hash" {
+		t.Fatalf("fleetz strategy %q", fz.Strategy)
+	}
+	if len(fz.Replicas) != 3 {
+		t.Fatalf("fleetz lists %d replicas", len(fz.Replicas))
+	}
+	served := int64(0)
+	for _, rs := range fz.Replicas {
+		if !rs.Healthy {
+			t.Fatalf("replica %s unhealthy in a clean run", rs.Name)
+		}
+		served += rs.Served
+	}
+	if served != n {
+		t.Fatalf("fleetz served total %d, want %d", served, n)
+	}
+	if !client.Healthy() {
+		t.Fatal("router healthz probe failed with healthy replicas")
+	}
+}
+
+// TestRouterHTTPValidation drives the router's own admission boundary.
+func TestRouterHTTPValidation(t *testing.T) {
+	model := trainModel(t, 3)
+	fleet := newTestFleet(t, model, 2)
+	router := cluster.NewRouter(fleet, cluster.Config{})
+	ts := httptest.NewServer(router)
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", code)
+	}
+	if code := post(`{"rows": []}`); code != http.StatusBadRequest {
+		t.Fatalf("empty rows: %d", code)
+	}
+	if code := post(`{"rows": [[1, "x"]]}`); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric row: %d", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"rows": [[0, 0, 0, 0, 0, 0]]}`)
+	resp, err = ts.Client().Post(ts.URL+"/v1/predict", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid request: %d", resp.StatusCode)
+	}
+}
+
+// TestFleetValidation covers NewFleet's rejection paths.
+func TestFleetValidation(t *testing.T) {
+	model := trainModel(t, 4)
+	good := newServeReplica(t, "ok", model, serve.Config{}, false)
+	cases := []struct {
+		name  string
+		specs []cluster.Spec
+		want  string
+	}{
+		{"empty", nil, "empty fleet"},
+		{"nil replica", []cluster.Spec{{}}, "is nil"},
+		{"negative arch", []cluster.Spec{{Replica: good, Arch: -1}}, "negative"},
+		{"duplicate names", []cluster.Spec{{Replica: good}, {Replica: good}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := cluster.NewFleet(tc.specs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want %q", err, tc.want)
+			}
+		})
+	}
+	over := make([]cluster.Spec, cluster.MaxReplicas+1)
+	for i := range over {
+		over[i] = cluster.Spec{Replica: newNamedStub("s" + string(rune('0'+i%10)) + "-" + string(rune('a'+i/10)))}
+	}
+	if _, err := cluster.NewFleet(over); err == nil || !strings.Contains(err.Error(), "fleet cap") {
+		t.Fatalf("oversized fleet: %v", err)
+	}
+}
+
+// newNamedStub is a minimal Replica for validation tests.
+type namedStub struct{ name string }
+
+func newNamedStub(name string) *namedStub { return &namedStub{name: name} }
+
+func (s *namedStub) Name() string { return s.name }
+func (s *namedStub) PredictBatch(rows [][]float64) ([][]float64, error) {
+	return make([][]float64, len(rows)), nil
+}
+func (s *namedStub) Healthy() bool { return true }
+
+// TestSignatureOf pins the derived-signature determinism the
+// consistent-hash strategy depends on.
+func TestSignatureOf(t *testing.T) {
+	rows := testRows(3, 9)
+	a := cluster.SignatureOf(rows)
+	b := cluster.SignatureOf(rows)
+	if a != b {
+		t.Fatalf("signature not deterministic: %q vs %q", a, b)
+	}
+	other := cluster.SignatureOf(testRows(3, 10))
+	if a == other {
+		t.Fatal("distinct leading rows produced the same signature")
+	}
+	if cluster.SignatureOf(nil) == "" {
+		t.Fatal("empty rows must still produce a signature")
+	}
+}

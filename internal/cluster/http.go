@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+)
+
+// FleetzResponse is the GET /v1/fleetz body: the router's per-replica
+// view plus its accounting, the cluster-level sibling of /v1/loadz.
+type FleetzResponse struct {
+	Strategy string          `json:"strategy"`
+	Replicas []ReplicaStatus `json:"replicas"`
+	Stats    Stats           `json:"stats"`
+}
+
+// ReplicaStatus is one replica's row in /v1/fleetz.
+type ReplicaStatus struct {
+	Name     string `json:"name"`
+	Arch     int    `json:"arch"`
+	Healthy  bool   `json:"healthy"`
+	InFlight int    `json:"in_flight"`
+	Served   int64  `json:"served_total"`
+	Fails    int64  `json:"consecutive_fails"`
+}
+
+// ServeHTTP implements http.Handler: the router is itself a prediction
+// service, speaking the same /v1/predict dialect as one replica, so a
+// serve.Client pointed at a router cannot tell it from a single server
+// except through /v1/fleetz.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSONStatus(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST only"})
+		return
+	}
+	var pr serve.PredictRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	if len(pr.Rows) == 0 {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Error: "request has no rows"})
+		return
+	}
+	if err := ml.ValidateMatrix(pr.Rows, 0); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Error: "invalid rows: " + err.Error()})
+		return
+	}
+	// The HTTP dialect carries no prediction vector, so HTTP-fronted
+	// routing uses the signature-and-load strategies; RPV-aware routing
+	// needs the in-process Do API, where the scheduler attaches each
+	// job's predicted vector.
+	preds, err := r.Do(&Request{Rows: pr.Rows})
+	if err != nil {
+		var se *serve.StatusError
+		switch {
+		case errors.As(err, &se):
+			if se.RetryAfterSec > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfterSec+0.5)))
+			}
+			writeJSONStatus(w, se.Code, serve.ErrorResponse{Error: se.Message})
+		case errors.Is(err, ErrNoReplicas):
+			writeJSONStatus(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		default:
+			writeJSONStatus(w, http.StatusBadGateway, serve.ErrorResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, serve.PredictResponse{Model: "cluster/" + r.cfg.Strategy.Name(), Predictions: preds})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := 0
+	for i := 0; i < r.fleet.NumReplicas(); i++ {
+		if r.fleet.Healthy(i) {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		writeJSONStatus(w, http.StatusServiceUnavailable, serve.HealthzResponse{Status: "no-replicas"})
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, serve.HealthzResponse{Status: "ok"})
+}
+
+func (r *Router) handleFleetz(w http.ResponseWriter, _ *http.Request) {
+	resp := FleetzResponse{Strategy: r.cfg.Strategy.Name(), Stats: r.Stats()}
+	for i, st := range r.fleet.states {
+		resp.Replicas = append(resp.Replicas, ReplicaStatus{
+			Name:     r.fleet.names[i],
+			Arch:     st.arch,
+			Healthy:  !st.evicted.Load(),
+			InFlight: int(st.inflight.Load()),
+			Served:   st.served.Load(),
+			Fails:    st.fails.Load(),
+		})
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := obs.TakeSnapshot().WriteJSON()
+	if err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(data, '\n'))
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/serve"
+)
+
+// HTTPReplica adapts a serve.Client into a Replica: a remote (or
+// httptest-backed) mphpc-serve instance addressed by base URL. The
+// client is single-shot — failover and retry are the router's job, so
+// the replica-level client never retries on its own.
+type HTTPReplica struct {
+	name   string
+	client *serve.Client
+}
+
+// NewHTTPReplica builds the adapter. hc is the transport (nil uses the
+// pooled default client).
+func NewHTTPReplica(name, baseURL string, hc *http.Client) *HTTPReplica {
+	return &HTTPReplica{name: name, client: &serve.Client{BaseURL: baseURL, HTTP: hc}}
+}
+
+// Name implements Replica.
+func (r *HTTPReplica) Name() string { return r.name }
+
+// PredictBatch implements Replica.
+func (r *HTTPReplica) PredictBatch(rows [][]float64) ([][]float64, error) {
+	return r.client.PredictBatch(rows)
+}
+
+// Healthy implements Replica via the /v1/healthz probe.
+func (r *HTTPReplica) Healthy() bool { return r.client.Healthy() }
+
+// Loadz exposes the replica's own load introspection endpoint. The
+// router maintains its own in-flight counts for routing decisions,
+// but those only see traffic this router originated — Loadz is the
+// ground truth when several routers (or outside callers) share one
+// replica, and it is what fleet dashboards read.
+func (r *HTTPReplica) Loadz() (serve.LoadzResponse, error) { return r.client.Loadz() }
+
+// NewLocalReplica wraps an in-process serve.Server as a Replica
+// without opening a listener: requests run through the server's real
+// ServeHTTP path (admission, coalescing, codec — everything but TCP),
+// so a simulated fleet exercises exactly the code a remote one does.
+func NewLocalReplica(name string, srv *serve.Server) *HTTPReplica {
+	return NewHTTPReplica(name, "http://"+name, &http.Client{Transport: handlerTransport{h: srv}})
+}
+
+// handlerTransport dispatches an HTTP round trip straight into a
+// handler, recording the response in memory.
+type handlerTransport struct {
+	h http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:     http.StatusText(rec.code),
+		StatusCode: rec.code,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     rec.header,
+		Body:       io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter the
+// transport needs (net/http/httptest stays a test-only dependency).
+type responseRecorder struct {
+	header      http.Header
+	body        bytes.Buffer
+	code        int
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.Write(p)
+}
+
+// FaultyReplica wraps a Replica with deterministic fault injection:
+// the PredictError class fails calls (keyed on the replica's own call
+// counter, so two wrapped replicas with the same injector fault
+// independently), and a kill switch drops the replica entirely —
+// PredictBatch errors and the health probe goes dark — until Revive.
+// Chaos tests and the smoke gate drive eviction, failover, and
+// re-admission through it.
+type FaultyReplica struct {
+	inner Replica
+	inj   *fault.Injector
+	calls atomic.Uint64
+	dead  atomic.Bool
+}
+
+// NewFaultyReplica wraps inner; inj may be nil (kill switch only).
+func NewFaultyReplica(inner Replica, inj *fault.Injector) *FaultyReplica {
+	return &FaultyReplica{inner: inner, inj: inj}
+}
+
+// Name implements Replica.
+func (f *FaultyReplica) Name() string { return f.inner.Name() }
+
+// Kill drops the replica; Revive restores it.
+func (f *FaultyReplica) Kill()   { f.dead.Store(true) }
+func (f *FaultyReplica) Revive() { f.dead.Store(false) }
+
+// Dead reports the kill switch.
+func (f *FaultyReplica) Dead() bool { return f.dead.Load() }
+
+// PredictBatch implements Replica.
+func (f *FaultyReplica) PredictBatch(rows [][]float64) ([][]float64, error) {
+	if f.dead.Load() {
+		return nil, errReplicaDown{name: f.inner.Name()}
+	}
+	key := f.calls.Add(1) - 1
+	if f.inj.Hit(fault.PredictError, key) {
+		return nil, errReplicaTransient{name: f.inner.Name(), key: key}
+	}
+	return f.inner.PredictBatch(rows)
+}
+
+// Healthy implements Replica: dead replicas fail the probe.
+func (f *FaultyReplica) Healthy() bool { return !f.dead.Load() && f.inner.Healthy() }
+
+type errReplicaDown struct{ name string }
+
+func (e errReplicaDown) Error() string { return "cluster: replica " + e.name + " is down" }
+
+type errReplicaTransient struct {
+	name string
+	key  uint64
+}
+
+func (e errReplicaTransient) Error() string {
+	return "cluster: injected transient failure on replica " + e.name
+}

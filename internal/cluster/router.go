@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+)
+
+// ErrNoReplicas is returned when no healthy replica is available to
+// even attempt a request (the whole fleet evicted). The request was
+// never accepted — it does not count against the accounting invariant.
+var ErrNoReplicas = errors.New("cluster: no healthy replica available")
+
+// Config tunes the router. The zero value routes round-robin with the
+// default failover budget.
+type Config struct {
+	// Strategy picks replicas (nil = round-robin).
+	Strategy Strategy
+
+	// Retry bounds failover: how many replicas (and backoff-spaced
+	// re-attempts) one request may burn before the router gives up. The
+	// zero value takes the fault.Backoff defaults (3 attempts total).
+	Retry fault.Backoff
+
+	// Clock is the simulated clock failover backoff sleeps on when
+	// Sleep is nil. Nil is valid: delays are counted in obs and no
+	// wall time passes — the deterministic default.
+	Clock *fault.Clock
+
+	// Sleep, when set, is called with each backoff delay in seconds
+	// instead of Clock — wall-clock deployments pass a real sleep.
+	Sleep func(seconds float64)
+
+	// EvictAfter is the consecutive non-overload failure count that
+	// evicts a replica until a health probe re-admits it (default 3).
+	// 429 overload answers never count toward eviction: an overloaded
+	// replica is healthy, just busy.
+	EvictAfter int
+}
+
+func (c *Config) setDefaults() {
+	if c.Strategy == nil {
+		c.Strategy = NewRoundRobin()
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 3
+	}
+}
+
+// Stats is a snapshot of the router's accounting. The invariant the
+// cluster tests and smoke gate enforce: Accepted == Completed +
+// Degraded + Dropped, with Dropped == 0 whenever the fleet could have
+// served the request.
+type Stats struct {
+	// Accepted counts requests the router dispatched at least once.
+	Accepted int64 `json:"accepted"`
+	// Completed counts requests answered by their first-choice replica.
+	Completed int64 `json:"completed"`
+	// Degraded counts requests answered only after failover — served,
+	// but not where the strategy first wanted them.
+	Degraded int64 `json:"degraded"`
+	// Dropped counts accepted requests that exhausted the failover
+	// budget without an answer.
+	Dropped int64 `json:"dropped"`
+	// Rejected counts requests refused outright because no healthy
+	// replica existed to try.
+	Rejected int64 `json:"rejected"`
+}
+
+// Router fronts a fleet: every Do picks a replica through the
+// configured strategy, dispatches, and — on overload or failure —
+// fails over along the strategy's order under a bounded backoff
+// budget. The router is safe for concurrent use.
+type Router struct {
+	cfg   Config
+	fleet *Fleet
+	mux   *http.ServeMux
+	seq   atomic.Uint64
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	degraded  atomic.Int64
+	dropped   atomic.Int64
+	rejected  atomic.Int64
+}
+
+// NewRouter builds a router over the fleet.
+func NewRouter(f *Fleet, cfg Config) *Router {
+	cfg.setDefaults()
+	r := &Router{cfg: cfg, fleet: f}
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/v1/predict", r.handlePredict)
+	r.mux.HandleFunc("/v1/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/v1/fleetz", r.handleFleetz)
+	r.mux.HandleFunc("/v1/metrics", r.handleMetrics)
+	return r
+}
+
+// Fleet returns the routed fleet (its View side).
+func (r *Router) Fleet() *Fleet { return r.fleet }
+
+// Strategy returns the configured routing strategy.
+func (r *Router) Strategy() Strategy { return r.cfg.Strategy }
+
+// Stats snapshots the router accounting.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Accepted:  r.accepted.Load(),
+		Completed: r.completed.Load(),
+		Degraded:  r.degraded.Load(),
+		Dropped:   r.dropped.Load(),
+		Rejected:  r.rejected.Load(),
+	}
+}
+
+// sleep spends one backoff delay.
+func (r *Router) sleep(seconds float64) {
+	if r.cfg.Sleep != nil {
+		r.cfg.Sleep(seconds)
+		return
+	}
+	r.cfg.Clock.Sleep(seconds)
+}
+
+// Do routes one request: pick, dispatch, and on failure retry on the
+// next replica in the strategy's order (overloaded replicas are
+// revisited once every already-tried replica has been exhausted — by
+// then the backoff has given their queues time to turn over). The
+// returned predictions are bitwise identical to a direct single-server
+// call on whichever replica answered.
+func (r *Router) Do(req *Request) ([][]float64, error) {
+	seq := r.seq.Add(1) - 1
+	var triedMask uint64
+	tried := func(i int) bool { return triedMask&(1<<uint(i)) != 0 }
+	attempts := r.cfg.Retry.Attempts()
+	admitted := false
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		idx := r.cfg.Strategy.Pick(req, seq, r.fleet, tried)
+		if idx < 0 && triedMask != 0 {
+			// Every replica tried: clear the set so the backoff-spaced
+			// next attempt can revisit replicas that answered 429.
+			triedMask = 0
+			idx = r.cfg.Strategy.Pick(req, seq, r.fleet, tried)
+		}
+		if idx < 0 {
+			break
+		}
+		if !admitted {
+			admitted = true
+			r.accepted.Add(1)
+			obs.Inc("cluster.accepted.total")
+		}
+		st := r.fleet.states[idx]
+		st.inflight.Add(1)
+		start := obs.Now()
+		preds, err := st.replica.PredictBatch(req.Rows)
+		st.inflight.Add(-1)
+		obs.Observe("cluster.dispatch.seconds", obs.SinceSeconds(start))
+		if err == nil {
+			st.fails.Store(0)
+			st.served.Add(1)
+			if attempt == 0 {
+				r.completed.Add(1)
+				obs.Inc("cluster.completed.total")
+			} else {
+				r.degraded.Add(1)
+				obs.Inc("cluster.degraded.total")
+			}
+			return preds, nil
+		}
+		lastErr = err
+		triedMask |= 1 << uint(idx)
+		delay := r.cfg.Retry.Delay(attempt + 1)
+		var se *serve.StatusError
+		if errors.As(err, &se) && se.Retryable() {
+			// Overload: healthy replica, full queue. Honor its
+			// Retry-After hint but never count it toward eviction.
+			obs.Inc("cluster.retry.overload.total")
+			if se.RetryAfterSec > delay {
+				delay = se.RetryAfterSec
+			}
+		} else {
+			obs.Inc("cluster.replica.error.total")
+			if st.fails.Add(1) >= int64(r.cfg.EvictAfter) && !st.evicted.Swap(true) {
+				obs.Inc("cluster.evict.total")
+			}
+		}
+		if attempt+1 < attempts {
+			r.sleep(delay)
+		}
+	}
+	if !admitted {
+		r.rejected.Add(1)
+		obs.Inc("cluster.rejected.total")
+		return nil, ErrNoReplicas
+	}
+	r.dropped.Add(1)
+	obs.Inc("cluster.dropped.total")
+	return nil, fmt.Errorf("cluster: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+// CheckHealth probes every replica and reconciles eviction state:
+// unhealthy replicas are evicted, evicted replicas whose probe
+// recovered are re-admitted with their failure count cleared. It
+// returns the number of healthy replicas. Call it on whatever cadence
+// the deployment wants (the mphpc-cluster binary probes between
+// request waves; tests call it at exact points).
+func (r *Router) CheckHealth() int {
+	healthy := 0
+	for _, st := range r.fleet.states {
+		if st.replica.Healthy() {
+			healthy++
+			if st.evicted.Swap(false) {
+				st.fails.Store(0)
+				obs.Inc("cluster.readmit.total")
+			}
+		} else if !st.evicted.Swap(true) {
+			obs.Inc("cluster.evict.total")
+		}
+	}
+	obs.Set("cluster.replicas.healthy", float64(healthy))
+	return healthy
+}

@@ -1,0 +1,305 @@
+// Package smoke is the cluster smoke gate (`mphpc-cluster -smoke`,
+// `make cluster-smoke`): a self-contained end-to-end drill of the
+// fleet-routing invariants. Run hard-asserts, in order:
+//
+//  1. under every routing strategy, routed responses are bitwise
+//     identical to the offline ml.PredictBatch on the shared model,
+//     and the router accounting balances (accepted == completed,
+//     nothing dropped or rejected);
+//  2. the router's own HTTP face on a real listener serves the same
+//     bitwise contract and reports its fleet over /v1/fleetz;
+//  3. killing replicas one by one degrades service, never denies it:
+//     every request is still answered bitwise-correct (via failover),
+//     nothing is dropped, dead replicas are evicted, and a revived
+//     replica is re-admitted by the health probe;
+//  4. the virtual-time strategy sweep's invariants hold: RPV-aware
+//     routing beats the load-only baselines, and the degradation
+//     ladder's throughput falls roughly linearly with capacity,
+//     never to zero (experiments.CheckInvariants).
+//
+// The package lives inside the nondeterminism lint scope with the rest
+// of the cluster layer: no wall-clock reads, no unseeded randomness —
+// a failed run reproduces exactly.
+package smoke
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/experiments"
+	"crossarch/internal/fault"
+	"crossarch/internal/floats"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/rpv"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+const (
+	smokeFeatures = 6
+	smokeOutputs  = 4
+	smokeReplicas = 4
+)
+
+// smokeModel fits the shared small XGBoost model; every replica serves
+// the same weights so bitwise identity is well-defined fleet-wide.
+func smokeModel(seed uint64) (*xgboost.Model, error) {
+	rng := stats.NewRNG(seed)
+	const n = 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, smokeFeatures)
+		for j := range x {
+			x[j] = rng.Range(-3, 3)
+		}
+		y := make([]float64, smokeOutputs)
+		for k := range y {
+			y[k] = x[k%smokeFeatures] * float64(k+1)
+			if x[(k+1)%smokeFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		X[i], Y[i] = x, y
+	}
+	m := xgboost.New(xgboost.Params{Rounds: 10, MaxDepth: 3, LearningRate: 0.3, Seed: seed})
+	if err := m.Fit(X, Y); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// smokeRequests is the deterministic request mix: varying batch
+// shapes, stable per-app signatures, and synthetic prediction vectors
+// so the RPV-aware strategy exercises its ranking.
+func smokeRequests(n int, seed uint64) []*cluster.Request {
+	rng := stats.NewRNG(seed)
+	reqs := make([]*cluster.Request, n)
+	for k := range reqs {
+		rows := make([][]float64, 1+k%5)
+		for i := range rows {
+			r := make([]float64, smokeFeatures)
+			for j := range r {
+				r[j] = rng.Range(-3, 3)
+			}
+			rows[i] = r
+		}
+		v := make(rpv.RPV, smokeOutputs)
+		for i := range v {
+			v[i] = rng.Range(1, 8)
+		}
+		reqs[k] = &cluster.Request{
+			Rows:      rows,
+			Signature: fmt.Sprintf("app-%d", k%7),
+			Predicted: v,
+		}
+	}
+	return reqs
+}
+
+// bitwiseEqual compares prediction matrices exactly.
+func bitwiseEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			// Exact comparison is the contract under test.
+			if !floats.Eq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildFleet stands up the in-process replica fleet, each replica a
+// full serve.Server behind the local adapter, wrapped for fault
+// injection. close tears the servers down.
+func buildFleet(model ml.Regressor) (fleet *cluster.Fleet, wrapped []*cluster.FaultyReplica, close func(), err error) {
+	var servers []*serve.Server
+	closeAll := func() {
+		for _, s := range servers {
+			s.BeginDrain()
+			s.Close()
+		}
+	}
+	specs := make([]cluster.Spec, smokeReplicas)
+	wrapped = make([]*cluster.FaultyReplica, smokeReplicas)
+	for i := range specs {
+		srv, serr := serve.New(serve.Config{Outputs: smokeOutputs, Features: smokeFeatures})
+		if serr != nil {
+			closeAll()
+			return nil, nil, nil, serr
+		}
+		if serr := srv.Install(model, ml.ModelInfo{}); serr != nil {
+			closeAll()
+			return nil, nil, nil, serr
+		}
+		servers = append(servers, srv)
+		name := fmt.Sprintf("replica-%d", i)
+		wrapped[i] = cluster.NewFaultyReplica(cluster.NewLocalReplica(name, srv), nil)
+		specs[i] = cluster.Spec{Replica: wrapped[i], Arch: i % smokeOutputs}
+	}
+	fleet, err = cluster.NewFleet(specs)
+	if err != nil {
+		closeAll()
+		return nil, nil, nil, err
+	}
+	return fleet, wrapped, closeAll, nil
+}
+
+// stageStrategies drills invariant 1: bitwise identity and balanced
+// accounting under every strategy.
+func stageStrategies(model ml.Regressor, fleet *cluster.Fleet) error {
+	reqs := smokeRequests(50, 7)
+	for _, strat := range cluster.Strategies(fleet.Names()) {
+		router := cluster.NewRouter(fleet, cluster.Config{Strategy: strat})
+		for k, req := range reqs {
+			got, err := router.Do(req)
+			if err != nil {
+				return fmt.Errorf("strategy %s request %d: %w", strat.Name(), k, err)
+			}
+			if !bitwiseEqual(got, ml.PredictBatch(model, req.Rows)) {
+				return fmt.Errorf("strategy %s request %d: routed response differs from offline", strat.Name(), k)
+			}
+		}
+		st := router.Stats()
+		if st.Accepted != int64(len(reqs)) || st.Completed != st.Accepted || st.Degraded != 0 || st.Dropped != 0 || st.Rejected != 0 {
+			return fmt.Errorf("strategy %s accounting unbalanced on a healthy fleet: %+v", strat.Name(), st)
+		}
+	}
+	return nil
+}
+
+// stageHTTP drills invariant 2: the router's HTTP face on a real
+// listener.
+func stageHTTP(model ml.Regressor, fleet *cluster.Fleet) error {
+	router := cluster.NewRouter(fleet, cluster.Config{Strategy: cluster.NewConsistentHash(fleet.Names())})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: router}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() { _ = hs.Close() }()
+	base := "http://" + ln.Addr().String()
+	client := &serve.Client{BaseURL: base}
+
+	for k, req := range smokeRequests(20, 9) {
+		got, err := client.PredictBatch(req.Rows)
+		if err != nil {
+			return fmt.Errorf("HTTP request %d: %w", k, err)
+		}
+		if !bitwiseEqual(got, ml.PredictBatch(model, req.Rows)) {
+			return fmt.Errorf("HTTP request %d: routed response differs from offline", k)
+		}
+	}
+	if !client.Healthy() {
+		return fmt.Errorf("router healthz probe failed with a healthy fleet")
+	}
+	resp, err := http.Get(base + "/v1/fleetz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleetz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// stageDegradation drills invariant 3: kills degrade, never deny;
+// eviction and re-admission close the loop.
+func stageDegradation(model ml.Regressor, fleet *cluster.Fleet, wrapped []*cluster.FaultyReplica) error {
+	router := cluster.NewRouter(fleet, cluster.Config{
+		Strategy:   cluster.NewLeastLoaded(),
+		Retry:      fault.Backoff{Retries: smokeReplicas + 2},
+		EvictAfter: 2,
+	})
+	for kills := 1; kills <= smokeReplicas/2; kills++ {
+		wrapped[kills-1].Kill()
+		reqs := smokeRequests(30, 11+uint64(kills))
+		for k, req := range reqs {
+			got, err := router.Do(req)
+			if err != nil {
+				return fmt.Errorf("%d kills, request %d: %w", kills, k, err)
+			}
+			if !bitwiseEqual(got, ml.PredictBatch(model, req.Rows)) {
+				return fmt.Errorf("%d kills, request %d: response differs from offline", kills, k)
+			}
+		}
+		st := router.Stats()
+		if st.Dropped != 0 {
+			return fmt.Errorf("%d kills dropped %d requests the fleet could serve", kills, st.Dropped)
+		}
+		if st.Accepted != st.Completed+st.Degraded {
+			return fmt.Errorf("%d kills: accounting unbalanced: %+v", kills, st)
+		}
+	}
+	// The dead replicas must have been evicted by their failures.
+	if healthy := router.CheckHealth(); healthy != smokeReplicas-smokeReplicas/2 {
+		return fmt.Errorf("health probe counts %d healthy replicas, want %d", healthy, smokeReplicas-smokeReplicas/2)
+	}
+	// Revival re-admits.
+	for i := 0; i < smokeReplicas/2; i++ {
+		wrapped[i].Revive()
+	}
+	if healthy := router.CheckHealth(); healthy != smokeReplicas {
+		return fmt.Errorf("revived fleet probes %d healthy, want %d", healthy, smokeReplicas)
+	}
+	before := router.Stats()
+	for k, req := range smokeRequests(20, 17) {
+		if _, err := router.Do(req); err != nil {
+			return fmt.Errorf("post-revival request %d: %w", k, err)
+		}
+	}
+	after := router.Stats()
+	if after.Degraded != before.Degraded {
+		return fmt.Errorf("post-revival traffic still degrading: %+v -> %+v", before, after)
+	}
+	return nil
+}
+
+// stageSweep drills invariant 4: the virtual-time strategy comparison
+// and degradation ladder.
+func stageSweep() error {
+	res, err := experiments.RunClusterSweep(experiments.ClusterConfig{Seed: 42})
+	if err != nil {
+		return err
+	}
+	return res.CheckInvariants()
+}
+
+// Run executes every smoke stage in order and returns the first
+// violated invariant (nil when all hold).
+func Run() error {
+	model, err := smokeModel(11)
+	if err != nil {
+		return fmt.Errorf("training the smoke model: %w", err)
+	}
+	fleet, wrapped, closeFleet, err := buildFleet(model)
+	if err != nil {
+		return fmt.Errorf("building the fleet: %w", err)
+	}
+	defer closeFleet()
+	if err := stageStrategies(model, fleet); err != nil {
+		return fmt.Errorf("stage 1 (strategy equivalence): %w", err)
+	}
+	if err := stageHTTP(model, fleet); err != nil {
+		return fmt.Errorf("stage 2 (HTTP face): %w", err)
+	}
+	if err := stageDegradation(model, fleet, wrapped); err != nil {
+		return fmt.Errorf("stage 3 (degradation): %w", err)
+	}
+	if err := stageSweep(); err != nil {
+		return fmt.Errorf("stage 4 (virtual-time sweep): %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package smoke_test
+
+import (
+	"testing"
+
+	"crossarch/internal/cluster/smoke"
+)
+
+// TestRun executes the full cluster smoke gate in-process: the same
+// drill `mphpc-cluster -smoke` (and `make cluster-smoke`) runs, so a
+// regression in any fleet-routing invariant fails plain
+// `go test ./...` too.
+func TestRun(t *testing.T) {
+	if err := smoke.Run(); err != nil {
+		t.Fatalf("SMOKE FAIL: %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"crossarch/internal/sched"
+)
+
+// Strategy picks the replica for a request. Pick is a pure function of
+// the request, the router's admission sequence number seq, the fleet
+// view, and the set of replicas already tried for this request, so the
+// same inputs always route identically — placement sequences are
+// golden-testable. Pick returns -1 when no eligible replica exists
+// (every replica evicted or already tried).
+type Strategy interface {
+	Name() string
+	Pick(req *Request, seq uint64, v View, tried func(int) bool) int
+}
+
+// eligible reports whether replica i may serve this attempt.
+func eligible(i int, v View, tried func(int) bool) bool {
+	return v.Healthy(i) && !tried(i)
+}
+
+// --- Round-robin -----------------------------------------------------
+
+// RoundRobin rotates consecutive admissions across replicas, keyed on
+// the admission sequence number (not internal state) exactly as the
+// scheduler's Round-Robin keys on the job's submission index — so a
+// retried request resumes the rotation where its sequence number says,
+// and unhealthy replicas are skipped in rotation order.
+type RoundRobin struct{}
+
+// NewRoundRobin returns the round-robin routing strategy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Strategy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Strategy.
+func (*RoundRobin) Pick(req *Request, seq uint64, v View, tried func(int) bool) int {
+	n := v.NumReplicas()
+	if n == 0 {
+		return -1
+	}
+	start := int(seq % uint64(n))
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if eligible(i, v, tried) {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Least-loaded ----------------------------------------------------
+
+// LeastLoaded routes to the replica with the fewest in-flight
+// requests, breaking ties deterministically by the lowest replica
+// index — the load-only heuristic the paper's Algorithm 2 (and the
+// RPV-aware strategy below) is measured against.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded routing strategy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Strategy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Strategy.
+func (*LeastLoaded) Pick(req *Request, seq uint64, v View, tried func(int) bool) int {
+	best := -1
+	for i := 0; i < v.NumReplicas(); i++ {
+		if !eligible(i, v, tried) {
+			continue
+		}
+		if best < 0 || v.InFlight(i) < v.InFlight(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- Consistent hash -------------------------------------------------
+
+// ringVnodes is the number of virtual nodes per replica on the hash
+// ring. 64 vnodes keep the per-replica share of signature space within
+// a few percent of uniform for fleets up to MaxReplicas.
+const ringVnodes = 64
+
+// ringPoint is one vnode: a hash position owned by a replica index.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// ConsistentHash routes each application signature to a fixed replica
+// via an FNV-1a vnode ring over replica names, so one application's
+// requests keep landing on one replica and its per-application caches
+// (compiled model residency, feature-layout warmth) stay hot. The ring
+// is built once from the full membership: evicting a replica only
+// remaps the signatures it owned (each falls to its ring successor),
+// and re-admission restores the original map — the bounded-disruption
+// property the strategy unit tests and FuzzConsistentHash pin.
+type ConsistentHash struct {
+	ring []ringPoint
+	n    int
+}
+
+// NewConsistentHash builds the ring from the fleet's replica names in
+// index order (Fleet.Names).
+func NewConsistentHash(names []string) *ConsistentHash {
+	ch := &ConsistentHash{n: len(names)}
+	ch.ring = make([]ringPoint, 0, len(names)*ringVnodes)
+	for idx, name := range names {
+		for vn := 0; vn < ringVnodes; vn++ {
+			ch.ring = append(ch.ring, ringPoint{hash: hashString(name + "#" + strconv.Itoa(vn)), idx: idx})
+		}
+	}
+	sort.Slice(ch.ring, func(a, b int) bool {
+		if ch.ring[a].hash != ch.ring[b].hash {
+			return ch.ring[a].hash < ch.ring[b].hash
+		}
+		return ch.ring[a].idx < ch.ring[b].idx
+	})
+	return ch
+}
+
+// Name implements Strategy.
+func (*ConsistentHash) Name() string { return "consistent-hash" }
+
+// Pick implements Strategy: walk the ring clockwise from the
+// signature's hash and take the first eligible owner.
+func (ch *ConsistentHash) Pick(req *Request, seq uint64, v View, tried func(int) bool) int {
+	if len(ch.ring) == 0 || v.NumReplicas() != ch.n {
+		// A ring built for a different membership cannot answer; the
+		// router constructs strategy and fleet together so this only
+		// guards misuse.
+		return -1
+	}
+	h := hashString(req.signature())
+	start := sort.Search(len(ch.ring), func(i int) bool { return ch.ring[i].hash >= h })
+	for k := 0; k < len(ch.ring); k++ {
+		p := ch.ring[(start+k)%len(ch.ring)]
+		if eligible(p.idx, v, tried) {
+			return p.idx
+		}
+	}
+	return -1
+}
+
+// hashString is FNV-1a over the bytes of s, finished with a
+// splitmix64-style avalanche. Raw FNV-1a of near-identical short
+// strings ("replica-0#1", "replica-0#2", ...) yields near-sequential
+// values, which would collapse each replica's vnodes into one giant
+// contiguous arc and defeat the ring entirely; the finalizer spreads
+// them uniformly.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// --- RPV-aware -------------------------------------------------------
+
+// RPVAware is Algorithm 2 promoted to routing: rank architectures by
+// the request's predicted relative performance, expand the ranking to
+// the replicas serving each architecture, and run the scheduler's own
+// sched.PickRanked scan — the predicted-fastest replica that is not
+// saturated wins; if every candidate is saturated, the predicted-
+// fastest one takes the request anyway (it queues there, exactly as a
+// job waits for its predicted-fastest machine). Requests with no
+// prediction fall back to least-loaded, mirroring the degradation
+// ladder's identity rung: no model, load-only placement.
+type RPVAware struct {
+	// Saturation is the in-flight count at which a replica is treated
+	// as "full" for the PickRanked scan (default 4).
+	Saturation int
+	fallback   LeastLoaded
+}
+
+// NewRPVAware returns the prediction-aware routing strategy.
+func NewRPVAware(saturation int) *RPVAware {
+	if saturation <= 0 {
+		saturation = 4
+	}
+	return &RPVAware{Saturation: saturation}
+}
+
+// Name implements Strategy.
+func (*RPVAware) Name() string { return "rpv-aware" }
+
+// Pick implements Strategy.
+func (s *RPVAware) Pick(req *Request, seq uint64, v View, tried func(int) bool) int {
+	if len(req.Predicted) == 0 {
+		return s.fallback.Pick(req, seq, v, tried)
+	}
+	// Expand the architecture ranking to eligible replicas: for each
+	// architecture fastest-first, its replicas in index order; replicas
+	// whose arch the prediction does not cover go last, slowest of all.
+	ranked := req.Predicted.RankedByPerformance()
+	cand := make([]int, 0, v.NumReplicas())
+	for _, a := range ranked {
+		for i := 0; i < v.NumReplicas(); i++ {
+			if v.Arch(i) == a && eligible(i, v, tried) {
+				cand = append(cand, i)
+			}
+		}
+	}
+	for i := 0; i < v.NumReplicas(); i++ {
+		if v.Arch(i) >= len(req.Predicted) && eligible(i, v, tried) {
+			cand = append(cand, i)
+		}
+	}
+	// The avoid set is already folded into candidacy, so the scan's
+	// avoid predicate is empty; fullness is in-flight saturation.
+	return sched.PickRanked(cand,
+		func(int) bool { return false },
+		func(i int) bool { return v.InFlight(i) >= s.Saturation })
+}
+
+// Strategies returns one instance of every routing strategy for a
+// fleet with the given replica names — the comparison set the
+// experiments sweep and the smoke gate iterate.
+func Strategies(names []string) []Strategy {
+	return []Strategy{
+		NewRoundRobin(),
+		NewLeastLoaded(),
+		NewConsistentHash(names),
+		NewRPVAware(0),
+	}
+}

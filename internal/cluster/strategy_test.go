@@ -1,0 +1,320 @@
+// Routing-strategy unit tables: golden placement sequences from a
+// fixed workload (any change to routing order is a reviewable diff),
+// the consistent-hash bounded-disruption properties under replica
+// eviction and fleet growth, least-loaded tie-breaking, and the
+// FuzzConsistentHash property harness.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/rpv"
+)
+
+// fakeView is a hand-set fleet view for strategy unit tests.
+type fakeView struct {
+	archs    []int
+	inflight []int
+	healthy  []bool
+}
+
+func newFakeView(archs []int) *fakeView {
+	v := &fakeView{archs: archs}
+	v.inflight = make([]int, len(archs))
+	v.healthy = make([]bool, len(archs))
+	for i := range v.healthy {
+		v.healthy[i] = true
+	}
+	return v
+}
+
+func (v *fakeView) NumReplicas() int   { return len(v.archs) }
+func (v *fakeView) Healthy(i int) bool { return v.healthy[i] }
+func (v *fakeView) InFlight(i int) int { return v.inflight[i] }
+func (v *fakeView) Arch(i int) int     { return v.archs[i] }
+
+func noTried(int) bool { return false }
+
+// goldenNames is the fixed fleet behind the placement goldens: six
+// replicas over four architectures.
+func goldenNames() []string {
+	return []string{"replica-0", "replica-1", "replica-2", "replica-3", "replica-4", "replica-5"}
+}
+
+// goldenRequests is the fixed request stream: eight requests from four
+// applications, each with a distinct prediction vector (lower is
+// faster, arch order 0..3).
+func goldenRequests() []*cluster.Request {
+	vectors := []rpv.RPV{
+		{1, 2, 3, 4}, // app-0: arch 0 fastest
+		{4, 3, 2, 1}, // app-1: arch 3 fastest
+		{2, 1, 4, 3}, // app-2: arch 1 fastest
+		{3, 4, 1, 2}, // app-3: arch 2 fastest
+	}
+	reqs := make([]*cluster.Request, 8)
+	for k := range reqs {
+		reqs[k] = &cluster.Request{
+			Signature: fmt.Sprintf("app-%d", k%4),
+			Predicted: vectors[k%4],
+		}
+	}
+	return reqs
+}
+
+// runPlacement replays the golden workload through one strategy,
+// charging each pick to the view's in-flight count so load-sensitive
+// strategies see their own routing (each request "stays in flight" for
+// the rest of the run — the worst-case pileup view).
+func runPlacement(strat cluster.Strategy, v *fakeView) []int {
+	var seq []int
+	for k, req := range goldenRequests() {
+		idx := strat.Pick(req, uint64(k), v, noTried)
+		seq = append(seq, idx)
+		if idx >= 0 {
+			v.inflight[idx]++
+		}
+	}
+	return seq
+}
+
+// TestGoldenPlacementSequences pins each strategy's placement of the
+// fixed workload on the six-replica fleet, all replicas healthy.
+func TestGoldenPlacementSequences(t *testing.T) {
+	archs := []int{0, 1, 2, 3, 0, 1}
+	golden := map[string][]int{
+		"round-robin":     {0, 1, 2, 3, 4, 5, 0, 1},
+		"least-loaded":    {0, 1, 2, 3, 4, 5, 0, 1},
+		"consistent-hash": {1, 5, 2, 1, 1, 5, 2, 1},
+		"rpv-aware":       {0, 3, 1, 2, 0, 3, 1, 2},
+	}
+	for _, strat := range cluster.Strategies(goldenNames()) {
+		t.Run(strat.Name(), func(t *testing.T) {
+			got := runPlacement(strat, newFakeView(archs))
+			want, ok := golden[strat.Name()]
+			if !ok {
+				t.Fatalf("no golden for strategy %s (got %v)", strat.Name(), got)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("placement %v, golden %v", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenPlacementWithEviction pins the same workload with replica
+// 0 evicted: every strategy must keep serving, never pick 0, and the
+// consistent-hash picks for signatures replica 0 did not own must not
+// move.
+func TestGoldenPlacementWithEviction(t *testing.T) {
+	archs := []int{0, 1, 2, 3, 0, 1}
+	golden := map[string][]int{
+		"round-robin":     {1, 1, 2, 3, 4, 5, 1, 1},
+		"least-loaded":    {1, 2, 3, 4, 5, 1, 2, 3},
+		"consistent-hash": {1, 5, 2, 1, 1, 5, 2, 1}, // none owned by replica 0
+		"rpv-aware":       {4, 3, 1, 2, 4, 3, 1, 2},
+	}
+	for _, strat := range cluster.Strategies(goldenNames()) {
+		t.Run(strat.Name(), func(t *testing.T) {
+			v := newFakeView(archs)
+			v.healthy[0] = false
+			got := runPlacement(strat, v)
+			for k, idx := range got {
+				if idx == 0 {
+					t.Fatalf("request %d placed on the evicted replica", k)
+				}
+				if idx < 0 {
+					t.Fatalf("request %d unroutable with five healthy replicas", k)
+				}
+			}
+			if want := golden[strat.Name()]; fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("placement %v, golden %v", got, want)
+			}
+		})
+	}
+}
+
+// TestConsistentHashEvictionDisruption pins the bounded-disruption
+// property directly: evicting one replica only remaps the signatures
+// it owned; everything else stays put.
+func TestConsistentHashEvictionDisruption(t *testing.T) {
+	names := goldenNames()
+	strat := cluster.NewConsistentHash(names)
+	v := newFakeView(make([]int, len(names)))
+	const sigs = 200
+	before := make([]int, sigs)
+	for s := 0; s < sigs; s++ {
+		before[s] = strat.Pick(&cluster.Request{Signature: fmt.Sprintf("sig-%03d", s)}, 0, v, noTried)
+	}
+	for victim := 0; victim < len(names); victim++ {
+		v2 := newFakeView(make([]int, len(names)))
+		v2.healthy[victim] = false
+		moved := 0
+		for s := 0; s < sigs; s++ {
+			after := strat.Pick(&cluster.Request{Signature: fmt.Sprintf("sig-%03d", s)}, 0, v2, noTried)
+			if before[s] != victim {
+				if after != before[s] {
+					t.Fatalf("victim %d: sig %d moved %d -> %d though its owner stayed healthy",
+						victim, s, before[s], after)
+				}
+				continue
+			}
+			if after == victim {
+				t.Fatalf("victim %d: sig %d still routed to the evicted replica", victim, s)
+			}
+			moved++
+		}
+		if moved == 0 {
+			t.Fatalf("victim %d owned no signatures out of %d — ring badly unbalanced", victim, sigs)
+		}
+	}
+}
+
+// TestConsistentHashGrowthDisruption pins the add-a-replica property:
+// growing the fleet from n to n+1 replicas only moves signatures onto
+// the new replica — no signature moves between old replicas.
+func TestConsistentHashGrowthDisruption(t *testing.T) {
+	names := goldenNames()
+	small := cluster.NewConsistentHash(names[:5])
+	big := cluster.NewConsistentHash(names)
+	vSmall := newFakeView(make([]int, 5))
+	vBig := newFakeView(make([]int, 6))
+	moved := 0
+	const sigs = 200
+	for s := 0; s < sigs; s++ {
+		req := &cluster.Request{Signature: fmt.Sprintf("sig-%03d", s)}
+		before := small.Pick(req, 0, vSmall, noTried)
+		after := big.Pick(req, 0, vBig, noTried)
+		if after != before {
+			if after != 5 {
+				t.Fatalf("sig %d moved %d -> %d instead of onto the new replica", s, before, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new replica took no signatures — ring not redistributing")
+	}
+	if moved > sigs/2 {
+		t.Fatalf("new replica took %d of %d signatures — disruption not bounded", moved, sigs)
+	}
+}
+
+// TestConsistentHashMembershipGuard pins the misuse guard: a ring
+// built for a different fleet size refuses to route.
+func TestConsistentHashMembershipGuard(t *testing.T) {
+	strat := cluster.NewConsistentHash(goldenNames())
+	v := newFakeView(make([]int, 4))
+	if idx := strat.Pick(&cluster.Request{Signature: "x"}, 0, v, noTried); idx != -1 {
+		t.Fatalf("mismatched membership routed to %d, want -1", idx)
+	}
+}
+
+// TestLeastLoadedTieBreak pins deterministic tie-breaking: equal
+// in-flight counts resolve to the lowest replica index, and a strictly
+// lighter replica always wins.
+func TestLeastLoadedTieBreak(t *testing.T) {
+	strat := cluster.NewLeastLoaded()
+	v := newFakeView([]int{0, 0, 0, 0})
+	if idx := strat.Pick(&cluster.Request{}, 3, v, noTried); idx != 0 {
+		t.Fatalf("all-tied pick %d, want lowest index 0", idx)
+	}
+	v.inflight = []int{5, 2, 2, 7}
+	if idx := strat.Pick(&cluster.Request{}, 0, v, noTried); idx != 1 {
+		t.Fatalf("tied-minimum pick %d, want 1", idx)
+	}
+	v.inflight = []int{5, 2, 1, 7}
+	if idx := strat.Pick(&cluster.Request{}, 0, v, noTried); idx != 2 {
+		t.Fatalf("strict-minimum pick %d, want 2", idx)
+	}
+	v.healthy[2] = false
+	if idx := strat.Pick(&cluster.Request{}, 0, v, noTried); idx != 1 {
+		t.Fatalf("minimum evicted: pick %d, want 1", idx)
+	}
+}
+
+// TestRoundRobinSkipsTriedAndUnhealthy pins rotation semantics: the
+// start slot is seq mod n, tried and unhealthy replicas are skipped in
+// rotation order, and exhaustion returns -1.
+func TestRoundRobinSkipsTriedAndUnhealthy(t *testing.T) {
+	strat := cluster.NewRoundRobin()
+	v := newFakeView([]int{0, 0, 0})
+	if idx := strat.Pick(&cluster.Request{}, 7, v, noTried); idx != 1 {
+		t.Fatalf("seq 7 on 3 replicas picked %d, want 1", idx)
+	}
+	v.healthy[1] = false
+	if idx := strat.Pick(&cluster.Request{}, 7, v, noTried); idx != 2 {
+		t.Fatalf("unhealthy start slot: picked %d, want 2", idx)
+	}
+	tried := func(i int) bool { return i == 2 }
+	if idx := strat.Pick(&cluster.Request{}, 7, v, tried); idx != 0 {
+		t.Fatalf("tried next slot: picked %d, want 0", idx)
+	}
+	allTried := func(int) bool { return true }
+	if idx := strat.Pick(&cluster.Request{}, 7, v, allTried); idx != -1 {
+		t.Fatalf("everything tried: picked %d, want -1", idx)
+	}
+}
+
+// TestRPVAwarePlacement pins the prediction-ranked scan: fastest
+// predicted architecture wins, saturation spills to the next-fastest,
+// total saturation falls back to the predicted-fastest anyway, and a
+// missing prediction falls back to least-loaded.
+func TestRPVAwarePlacement(t *testing.T) {
+	strat := cluster.NewRPVAware(2)
+	v := newFakeView([]int{0, 1, 2, 3})
+	req := &cluster.Request{Predicted: rpv.RPV{3, 1, 2, 4}} // arch 1 fastest
+	if idx := strat.Pick(req, 0, v, noTried); idx != 1 {
+		t.Fatalf("fastest-arch pick %d, want 1", idx)
+	}
+	v.inflight[1] = 2 // saturate the fastest replica
+	if idx := strat.Pick(req, 0, v, noTried); idx != 2 {
+		t.Fatalf("saturated spill pick %d, want next-fastest 2", idx)
+	}
+	v.inflight = []int{9, 9, 9, 9} // everything saturated
+	if idx := strat.Pick(req, 0, v, noTried); idx != 1 {
+		t.Fatalf("all-saturated pick %d, want predicted-fastest 1", idx)
+	}
+	v.inflight = []int{3, 1, 2, 4}
+	noPred := &cluster.Request{}
+	if idx := strat.Pick(noPred, 0, v, noTried); idx != 1 {
+		t.Fatalf("no-prediction fallback pick %d, want least-loaded 1", idx)
+	}
+	// Archs past the prediction's width rank last but stay routable.
+	short := &cluster.Request{Predicted: rpv.RPV{2, 1}}
+	v.inflight = []int{0, 0, 0, 0}
+	v.healthy = []bool{false, false, true, true}
+	if idx := strat.Pick(short, 0, v, noTried); idx != 2 {
+		t.Fatalf("uncovered-arch pick %d, want 2", idx)
+	}
+}
+
+// FuzzConsistentHash fuzzes the bounded-disruption property: for any
+// signature and any single evicted replica, the pick must be a healthy
+// replica, and evicting a replica that was NOT the original owner must
+// not change the pick.
+func FuzzConsistentHash(f *testing.F) {
+	f.Add("app-0", uint8(0))
+	f.Add("", uint8(3))
+	f.Add("sig-deadbeef", uint8(5))
+	names := goldenNames()
+	strat := cluster.NewConsistentHash(names)
+	f.Fuzz(func(t *testing.T, sig string, victim uint8) {
+		v := newFakeView(make([]int, len(names)))
+		req := &cluster.Request{Signature: sig}
+		before := strat.Pick(req, 0, v, noTried)
+		if before < 0 || before >= len(names) {
+			t.Fatalf("healthy fleet pick %d out of range", before)
+		}
+		vi := int(victim) % len(names)
+		v.healthy[vi] = false
+		after := strat.Pick(req, 0, v, noTried)
+		if after == vi {
+			t.Fatalf("picked the evicted replica %d for %q", vi, sig)
+		}
+		if vi != before && after != before {
+			t.Fatalf("evicting non-owner %d moved %q from %d to %d", vi, sig, before, after)
+		}
+	})
+}

@@ -1,0 +1,429 @@
+package experiments
+
+// This file holds the cluster routing sweep behind mphpc-cluster: the
+// paper's Algorithm 2 finding (predicted-performance placement beats
+// load-only heuristics) replicated one level up, with requests routed
+// across a replica fleet instead of jobs across machines. The sweep
+// drives the real internal/cluster strategy implementations through a
+// deterministic virtual-time fleet simulation — per-replica FIFO
+// queues, heterogeneous per-architecture service costs — so strategy
+// quality is measured in simulated seconds with zero wall-clock
+// nondeterminism, exactly as the sched simulator measures makespan.
+// A second axis kills replicas to trace the degradation ladder: the
+// cluster-level invariant is that throughput falls roughly linearly
+// with fleet capacity and never to zero, with every request still
+// answered.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/rpv"
+	"crossarch/internal/stats"
+)
+
+// ClusterConfig shapes the routing sweep. The zero value takes the
+// documented defaults, so `mphpc-cluster -smoke` and tests share one
+// canonical configuration.
+type ClusterConfig struct {
+	// Requests is the workload size (default 600).
+	Requests int
+	// Apps is the number of distinct applications (default 24); each
+	// gets a per-architecture true cost vector and requests draw apps
+	// uniformly.
+	Apps int
+	// Archs is the number of architectures (default 4).
+	Archs int
+	// ReplicasPerArch populates the fleet (default 1: one replica per
+	// architecture, the Table I shape one level up).
+	ReplicasPerArch int
+	// Seed drives workload and cost generation.
+	Seed uint64
+	// LoadFactor scales arrival pressure: mean inter-arrival time is
+	// meanCost / (fleet size * LoadFactor). 1 is critically loaded;
+	// the default 1.5 keeps queues non-trivially occupied so placement
+	// quality is visible (an idle fleet serves everything instantly
+	// under any strategy).
+	LoadFactor float64
+	// Kills lists the degradation-ladder points: how many replicas to
+	// kill before replaying the workload (default 0, 1, 2 … up to half
+	// the fleet).
+	Kills []int
+	// Saturation is the RPV-aware strategy's in-flight fullness
+	// threshold (default 4).
+	Saturation int
+}
+
+func (c *ClusterConfig) setDefaults() {
+	if c.Requests <= 0 {
+		c.Requests = 600
+	}
+	if c.Apps <= 0 {
+		c.Apps = 24
+	}
+	if c.Archs <= 0 {
+		c.Archs = 4
+	}
+	if c.ReplicasPerArch <= 0 {
+		c.ReplicasPerArch = 1
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 1.5
+	}
+	if c.Kills == nil {
+		fleet := c.Archs * c.ReplicasPerArch
+		for k := 0; k <= fleet/2; k++ {
+			c.Kills = append(c.Kills, k)
+		}
+	}
+	if c.Saturation <= 0 {
+		c.Saturation = 4
+	}
+}
+
+// StrategyPoint is one routing strategy's measured outcome on the
+// shared workload.
+type StrategyPoint struct {
+	Strategy string
+	// Served counts answered requests; the accounting invariant pins
+	// Served == Requests.
+	Served int
+	// MeanLatencySec and P99LatencySec summarize request latency
+	// (queueing + service) in virtual seconds.
+	MeanLatencySec float64
+	P99LatencySec  float64
+	// MakespanSec is last completion minus first arrival.
+	MakespanSec float64
+	// PerReplica counts requests served by each replica index.
+	PerReplica []int
+}
+
+// DegradationPoint is one rung of the replica-kill ladder, measured
+// under least-loaded routing on the homogeneous projection of the
+// fleet (so capacity is the only variable).
+type DegradationPoint struct {
+	Killed int
+	Alive  int
+	Served int
+	// MakespanSec and Throughput (requests per virtual second) trace
+	// the degradation curve.
+	MakespanSec float64
+	Throughput  float64
+}
+
+// ClusterResult is the full sweep outcome.
+type ClusterResult struct {
+	Config ClusterConfig
+	Points []StrategyPoint
+	Ladder []DegradationPoint
+}
+
+// clusterWorkload is the deterministic request stream shared by every
+// strategy and ladder rung.
+type clusterWorkload struct {
+	arrivals []float64   // arrival time of request k, ascending
+	app      []int       // app index of request k
+	cost     [][]float64 // cost[app][arch] service seconds
+	rpvs     []rpv.RPV   // per-app predicted vector (perfect prediction)
+	sigs     []string    // per-app routing signature
+	meanCost float64
+}
+
+// buildClusterWorkload samples apps, per-arch costs, and Poisson
+// arrivals from the seed.
+func buildClusterWorkload(cfg ClusterConfig, rng *stats.RNG) *clusterWorkload {
+	w := &clusterWorkload{}
+	total := 0.0
+	for a := 0; a < cfg.Apps; a++ {
+		costs := make([]float64, cfg.Archs)
+		for k := range costs {
+			// Log-uniform over roughly [0.2, 1.8] seconds: the ~9x
+			// spread across architectures is what the MP-HPC dataset
+			// shows between CPU-only and accelerated systems.
+			costs[k] = 0.6 * math.Exp(rng.Range(-1.1, 1.1))
+			total += costs[k]
+		}
+		w.cost = append(w.cost, costs)
+		// Perfect prediction: the RPV relative to arch 0. Only the
+		// ordering matters to routing, as in the sched simulator.
+		v := make(rpv.RPV, cfg.Archs)
+		for k := range v {
+			v[k] = costs[k] / costs[0]
+		}
+		w.rpvs = append(w.rpvs, v)
+		w.sigs = append(w.sigs, fmt.Sprintf("app-%02d", a))
+	}
+	w.meanCost = total / float64(cfg.Apps*cfg.Archs)
+
+	fleet := cfg.Archs * cfg.ReplicasPerArch
+	meanGap := w.meanCost / (float64(fleet) * cfg.LoadFactor)
+	t := 0.0
+	for k := 0; k < cfg.Requests; k++ {
+		t += rng.Exponential(1 / meanGap)
+		w.arrivals = append(w.arrivals, t)
+		w.app = append(w.app, rng.Intn(cfg.Apps))
+	}
+	return w
+}
+
+// simFleet is the virtual-time fleet: per-replica FIFO queues of
+// completion times. It implements cluster.View at the moment of one
+// request's arrival.
+type simFleet struct {
+	arch  []int
+	alive []bool
+	queue [][]float64 // ascending completion times still pending
+	now   float64
+}
+
+func newSimFleet(archs []int, killed int) *simFleet {
+	f := &simFleet{arch: archs}
+	f.alive = make([]bool, len(archs))
+	f.queue = make([][]float64, len(archs))
+	for i := range f.alive {
+		f.alive[i] = i >= killed // kill the first `killed` replicas
+	}
+	return f
+}
+
+// advance drops completed work as virtual time moves to t.
+func (f *simFleet) advance(t float64) {
+	f.now = t
+	for i := range f.queue {
+		q := f.queue[i]
+		drop := 0
+		for drop < len(q) && q[drop] <= t {
+			drop++
+		}
+		f.queue[i] = q[drop:]
+	}
+}
+
+// dispatch runs a request with the given service cost on replica i,
+// returning its completion time.
+func (f *simFleet) dispatch(i int, cost float64) float64 {
+	start := f.now
+	if n := len(f.queue[i]); n > 0 && f.queue[i][n-1] > start {
+		start = f.queue[i][n-1]
+	}
+	done := start + cost
+	f.queue[i] = append(f.queue[i], done)
+	return done
+}
+
+// cluster.View implementation.
+func (f *simFleet) NumReplicas() int   { return len(f.arch) }
+func (f *simFleet) Healthy(i int) bool { return f.alive[i] }
+func (f *simFleet) InFlight(i int) int { return len(f.queue[i]) }
+func (f *simFleet) Arch(i int) int     { return f.arch[i] }
+
+func noTried(int) bool { return false }
+
+// replicaArchs lays out the fleet: replica i serves architecture
+// i % Archs, ReplicasPerArch times over.
+func replicaArchs(cfg ClusterConfig) []int {
+	archs := make([]int, cfg.Archs*cfg.ReplicasPerArch)
+	for i := range archs {
+		archs[i] = i % cfg.Archs
+	}
+	return archs
+}
+
+// replicaNames names the simulated fleet for the consistent-hash ring.
+func replicaNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%02d", i)
+	}
+	return names
+}
+
+// runStrategy replays the workload through one strategy on a fresh
+// fleet with the first `killed` replicas down, using homogeneous costs
+// when flatten is set (every replica serves every app at its arch-0
+// cost — the degradation ladder's capacity-only world).
+func runStrategy(cfg ClusterConfig, w *clusterWorkload, strat cluster.Strategy, killed int, flatten bool) StrategyPoint {
+	archs := replicaArchs(cfg)
+	f := newSimFleet(archs, killed)
+	pt := StrategyPoint{Strategy: strat.Name(), PerReplica: make([]int, len(archs))}
+	var latencies []float64
+	lastDone, firstArrival := 0.0, math.Inf(1)
+	for k, t := range w.arrivals {
+		f.advance(t)
+		app := w.app[k]
+		req := &cluster.Request{Signature: w.sigs[app], Predicted: w.rpvs[app]}
+		if flatten {
+			req.Predicted = nil
+		}
+		idx := strat.Pick(req, uint64(k), f, noTried)
+		if idx < 0 {
+			continue // no healthy replica: the request is not served
+		}
+		cost := w.cost[app][archs[idx]]
+		if flatten {
+			cost = w.cost[app][0]
+		}
+		done := f.dispatch(idx, cost)
+		latencies = append(latencies, done-t)
+		pt.PerReplica[idx]++
+		pt.Served++
+		if done > lastDone {
+			lastDone = done
+		}
+		if t < firstArrival {
+			firstArrival = t
+		}
+	}
+	if pt.Served > 0 {
+		sum := 0.0
+		for _, l := range latencies {
+			sum += l
+		}
+		pt.MeanLatencySec = sum / float64(len(latencies))
+		pt.P99LatencySec = stats.Quantile(latencies, 0.99)
+		pt.MakespanSec = lastDone - firstArrival
+	}
+	return pt
+}
+
+// RunClusterSweep measures every routing strategy on the shared
+// workload, then traces the replica-kill degradation ladder.
+func RunClusterSweep(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg.setDefaults()
+	fleet := cfg.Archs * cfg.ReplicasPerArch
+	if fleet > cluster.MaxReplicas {
+		return nil, fmt.Errorf("experiments: %d simulated replicas exceed the fleet cap", fleet)
+	}
+	for _, k := range cfg.Kills {
+		if k < 0 || k >= fleet {
+			return nil, fmt.Errorf("experiments: kill count %d out of range for a %d-replica fleet", k, fleet)
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	w := buildClusterWorkload(cfg, rng)
+
+	res := &ClusterResult{Config: cfg}
+	for _, strat := range cluster.Strategies(replicaNames(fleet)) {
+		if s, ok := strat.(*cluster.RPVAware); ok {
+			s.Saturation = cfg.Saturation
+		}
+		res.Points = append(res.Points, runStrategy(cfg, w, strat, 0, false))
+	}
+	for _, killed := range cfg.Kills {
+		pt := runStrategy(cfg, w, cluster.NewLeastLoaded(), killed, true)
+		dp := DegradationPoint{
+			Killed:      killed,
+			Alive:       fleet - killed,
+			Served:      pt.Served,
+			MakespanSec: pt.MakespanSec,
+		}
+		if pt.MakespanSec > 0 {
+			dp.Throughput = float64(pt.Served) / pt.MakespanSec
+		}
+		res.Ladder = append(res.Ladder, dp)
+	}
+	return res, nil
+}
+
+// point returns the named strategy's row.
+func (r *ClusterResult) point(name string) (StrategyPoint, bool) {
+	for _, p := range r.Points {
+		if p.Strategy == name {
+			return p, true
+		}
+	}
+	return StrategyPoint{}, false
+}
+
+// CheckInvariants hard-asserts the sweep's deterministic claims — the
+// cluster smoke gate's spine:
+//
+//  1. accounting: every strategy serves every request (accepted ==
+//     completed, zero dropped), and per-replica counts sum to it;
+//  2. prediction wins: RPV-aware mean latency beats (or ties, within
+//     float noise) both load-only baselines, round-robin and
+//     least-loaded — the paper's Algorithm 2 finding at routing level;
+//  3. degradation is linear-ish and never total: ladder throughput
+//     falls monotonically with kills, stays within [0.5x, 1.5x] of the
+//     linear capacity share, and every rung still serves everything.
+func (r *ClusterResult) CheckInvariants() error {
+	cfg := r.Config
+	for _, p := range r.Points {
+		if p.Served != cfg.Requests {
+			return fmt.Errorf("cluster sweep: strategy %s served %d of %d requests", p.Strategy, p.Served, cfg.Requests)
+		}
+		sum := 0
+		for _, n := range p.PerReplica {
+			sum += n
+		}
+		if sum != p.Served {
+			return fmt.Errorf("cluster sweep: strategy %s per-replica counts sum to %d, served %d", p.Strategy, sum, p.Served)
+		}
+	}
+	rpvPt, ok1 := r.point("rpv-aware")
+	llPt, ok2 := r.point("least-loaded")
+	rrPt, ok3 := r.point("round-robin")
+	if !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("cluster sweep: missing strategy points")
+	}
+	const eps = 1e-9
+	if rpvPt.MeanLatencySec > llPt.MeanLatencySec+eps {
+		return fmt.Errorf("cluster sweep: rpv-aware mean latency %.4fs does not beat least-loaded %.4fs",
+			rpvPt.MeanLatencySec, llPt.MeanLatencySec)
+	}
+	if rpvPt.MeanLatencySec > rrPt.MeanLatencySec+eps {
+		return fmt.Errorf("cluster sweep: rpv-aware mean latency %.4fs does not beat round-robin %.4fs",
+			rpvPt.MeanLatencySec, rrPt.MeanLatencySec)
+	}
+
+	if len(r.Ladder) == 0 {
+		return fmt.Errorf("cluster sweep: empty degradation ladder")
+	}
+	base := r.Ladder[0]
+	if base.Killed != 0 || base.Throughput <= 0 {
+		return fmt.Errorf("cluster sweep: ladder must start at zero kills with positive throughput")
+	}
+	fleet := cfg.Archs * cfg.ReplicasPerArch
+	prev := math.Inf(1)
+	for _, d := range r.Ladder {
+		if d.Served != cfg.Requests {
+			return fmt.Errorf("cluster sweep: %d kills dropped %d requests", d.Killed, cfg.Requests-d.Served)
+		}
+		if !(d.Throughput > 0) {
+			return fmt.Errorf("cluster sweep: throughput hit zero at %d kills", d.Killed)
+		}
+		if d.Throughput > prev*(1+1e-9) {
+			return fmt.Errorf("cluster sweep: throughput rose from %.3f to %.3f req/s at %d kills",
+				prev, d.Throughput, d.Killed)
+		}
+		prev = d.Throughput
+		linear := base.Throughput * float64(fleet-d.Killed) / float64(fleet)
+		if d.Throughput < 0.5*linear || d.Throughput > 1.5*linear+eps {
+			return fmt.Errorf("cluster sweep: throughput %.3f req/s at %d kills outside [0.5, 1.5]x the linear share %.3f",
+				d.Throughput, d.Killed, linear)
+		}
+	}
+	return nil
+}
+
+// FormatClusterSweep renders the strategy-comparison and degradation
+// tables.
+func FormatClusterSweep(r *ClusterResult) string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "Cluster routing sweep — %d requests, %d apps, %d replicas (%d archs x %d), load %.2g, seed %d\n",
+		cfg.Requests, cfg.Apps, cfg.Archs*cfg.ReplicasPerArch, cfg.Archs, cfg.ReplicasPerArch, cfg.LoadFactor, cfg.Seed)
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s  %s\n", "strategy", "served", "mean(s)", "p99(s)", "makespan(s)", "per-replica")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-16s %8d %12.3f %12.3f %12.1f  %v\n",
+			p.Strategy, p.Served, p.MeanLatencySec, p.P99LatencySec, p.MakespanSec, p.PerReplica)
+	}
+	fmt.Fprintf(&b, "\nDegradation ladder — least-loaded on the homogeneous projection\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %12s %14s\n", "killed", "alive", "served", "makespan(s)", "throughput(r/s)")
+	for _, d := range r.Ladder {
+		fmt.Fprintf(&b, "%-8d %8d %8d %12.1f %14.3f\n", d.Killed, d.Alive, d.Served, d.MakespanSec, d.Throughput)
+	}
+	return b.String()
+}

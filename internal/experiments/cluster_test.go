@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/stats"
+)
+
+// TestClusterSweepInvariants runs the default sweep — the same
+// configuration `mphpc-cluster -smoke` gates on — and hard-checks its
+// deterministic claims.
+func TestClusterSweepInvariants(t *testing.T) {
+	res, err := RunClusterSweep(ClusterConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunClusterSweep: %v", err)
+	}
+	if err := res.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v\n%s", err, FormatClusterSweep(res))
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("expected 4 strategy points, got %d", len(res.Points))
+	}
+}
+
+// TestClusterSweepDeterministic pins that the same seed replays the
+// same numbers and a different seed does not.
+func TestClusterSweepDeterministic(t *testing.T) {
+	a, err := RunClusterSweep(ClusterConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterSweep(ClusterConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatClusterSweep(a) != FormatClusterSweep(b) {
+		t.Fatal("same seed produced different sweep output")
+	}
+	c, err := RunClusterSweep(ClusterConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatClusterSweep(a) == FormatClusterSweep(c) {
+		t.Fatal("different seeds produced identical sweep output")
+	}
+}
+
+// TestClusterSweepConsistentHashAffinity pins the signature-affinity
+// property: under consistent hashing every application's requests land
+// on exactly one replica, so the number of (app, replica) pairs equals
+// the number of apps that appeared.
+func TestClusterSweepConsistentHashAffinity(t *testing.T) {
+	cfg := ClusterConfig{Seed: 42}
+	cfg.setDefaults()
+	w := buildClusterWorkload(cfg, stats.NewRNG(cfg.Seed))
+	fleet := cfg.Archs * cfg.ReplicasPerArch
+	strat := cluster.NewConsistentHash(replicaNames(fleet))
+	f := newSimFleet(replicaArchs(cfg), 0)
+	owner := map[int]int{} // app -> replica
+	for k, arr := range w.arrivals {
+		f.advance(arr)
+		app := w.app[k]
+		req := &cluster.Request{Signature: w.sigs[app], Predicted: w.rpvs[app]}
+		idx := strat.Pick(req, uint64(k), f, noTried)
+		if idx < 0 {
+			t.Fatalf("request %d unroutable", k)
+		}
+		if prev, ok := owner[app]; ok && prev != idx {
+			t.Fatalf("app %d moved from replica %d to %d under consistent hashing", app, prev, idx)
+		}
+		owner[app] = idx
+		f.dispatch(idx, w.cost[app][replicaArchs(cfg)[idx]])
+	}
+}
+
+// TestClusterSweepRejectsBadConfig covers the validation paths.
+func TestClusterSweepRejectsBadConfig(t *testing.T) {
+	if _, err := RunClusterSweep(ClusterConfig{Seed: 1, Archs: 40, ReplicasPerArch: 2}); err == nil ||
+		!strings.Contains(err.Error(), "fleet cap") {
+		t.Fatalf("oversized fleet: got %v", err)
+	}
+	if _, err := RunClusterSweep(ClusterConfig{Seed: 1, Kills: []int{9}}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad kill count: got %v", err)
+	}
+}

@@ -44,6 +44,21 @@ func TestCompiledEnsembleFixture(t *testing.T) {
 	}
 }
 
+func TestClusterFixture(t *testing.T) {
+	// The cluster routing layer (ISSUE PR 7) joins the determinism
+	// scope: placement sequences are golden-tested and routed responses
+	// are bitwise-pinned against the direct path, so wall-clock reads,
+	// global rand draws, map-order float accumulation, and hard-coded
+	// fault-injection seeds are each flagged, while the ring arithmetic
+	// and seed-threading plumbing stay silent.
+	pkg := loadFixture(t, "internal/cluster/clusterfix")
+	res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism, SeedDiscipline})
+	checkWants(t, pkg, res.Diagnostics)
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("clusterfix diagnostics = %d, want 4", len(res.Diagnostics))
+	}
+}
+
 func TestNondeterminismScope(t *testing.T) {
 	// The same hazards outside the scoped packages (internal/{ml,rpv,
 	// dataset,sched,perfmodel,fault,serve}) must produce nothing: the

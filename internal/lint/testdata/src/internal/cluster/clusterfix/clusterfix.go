@@ -1,0 +1,52 @@
+// Package clusterfix exercises the nondeterminism and seed-discipline
+// analyzers inside the cluster routing layer's scope. Its import path
+// (internal/cluster/clusterfix) deliberately falls inside the
+// nondeterminism analyzer's package scope: the router promises that
+// the same request stream routes identically on every run (placement
+// sequences are golden-tested), so wall-clock reads and global
+// randomness are banned here exactly as in the serving layer, and
+// fault-injection seeds must be threaded in rather than hard-coded.
+package clusterfix
+
+import (
+	"math/rand"
+	"time"
+
+	"internal/cluster/clusterfix/fault"
+)
+
+// StampDispatch reads the wall clock while timing a dispatch.
+func StampDispatch() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic pipeline package"
+}
+
+// JitterPick perturbs replica choice from the global rand source.
+func JitterPick(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+// SumInFlight iterates a map while accumulating floats, which Go's
+// randomized map order makes order-sensitive.
+func SumInFlight(byReplica map[string]float64) float64 {
+	total := 0.0
+	for _, v := range byReplica {
+		total += v // want "map iteration"
+	}
+	return total
+}
+
+// ChaosInjector buries a literal fault seed in library code, hiding a
+// stream callers cannot vary: flagged by seeddiscipline.
+func ChaosInjector() (*fault.Injector, error) {
+	return fault.NewInjector(1234, fault.Plan{Rate: 0.3}) // want "seeded with a literal in library code"
+}
+
+// ThreadedInjector is the contract: the seed arrives as a parameter.
+func ThreadedInjector(seed uint64) (*fault.Injector, error) {
+	return fault.NewInjector(seed, fault.Plan{Rate: 0.3})
+}
+
+// RingSlots is fine: deterministic arithmetic over a fixed slice.
+func RingSlots(names []string) int {
+	return len(names) * 64
+}

@@ -1,0 +1,16 @@
+// Package fault is a minimal stub of crossarch/internal/fault for the
+// clusterfix fixture: the seeddiscipline analyzer matches by package
+// name.
+package fault
+
+// Plan is the stub injection plan.
+type Plan struct{ Rate float64 }
+
+// Injector is the stub keyed-draw injector.
+type Injector struct{ seed uint64 }
+
+// NewInjector seeds a stub injector.
+func NewInjector(seed uint64, plan Plan) (*Injector, error) {
+	_ = plan
+	return &Injector{seed: seed}, nil
+}

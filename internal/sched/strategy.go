@@ -96,15 +96,31 @@ func (*ModelBased) Name() string { return "Model-based" }
 // room, so a requeued job is steered away from its failure site; with
 // no recorded failures the scan is exactly the fault-free Algorithm 2.
 func (*ModelBased) Assign(j *Job, _ int, c *Cluster) int {
-	ranked := j.RankedByPredicted()
+	return PickRanked(j.RankedByPredicted(),
+		func(mi int) bool { return j.FailedOn(mi) },
+		func(mi int) bool { return c.Machines[mi].Full(j.Nodes) })
+}
+
+// PickRanked is Algorithm 2's selection scan abstracted from the job
+// simulator, so other layers (the cluster router's RPV-aware routing
+// strategy) can reuse the exact placement semantics: walk the ranked
+// candidates fastest-first and return the first that is neither avoided
+// nor full; if that leaves nothing, relax the avoid set and return the
+// first non-full candidate; if every candidate is full, return the
+// predicted-fastest one (the caller then waits for it). An empty
+// ranking returns -1.
+func PickRanked(ranked []int, avoid, full func(int) bool) int {
+	if len(ranked) == 0 {
+		return -1
+	}
 	for _, mi := range ranked {
-		if j.FailedOn(mi) || c.Machines[mi].Full(j.Nodes) {
+		if avoid(mi) || full(mi) {
 			continue
 		}
 		return mi
 	}
 	for _, mi := range ranked {
-		if !c.Machines[mi].Full(j.Nodes) {
+		if !full(mi) {
 			return mi
 		}
 	}

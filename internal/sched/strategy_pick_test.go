@@ -1,0 +1,44 @@
+package sched
+
+import "testing"
+
+// TestPickRanked pins the extracted Algorithm 2 scan that both the
+// Model-based scheduling strategy and the cluster router's RPV-aware
+// routing reuse: first non-avoided non-full candidate fastest-first,
+// then the avoid set relaxes, then the predicted-fastest regardless.
+func TestPickRanked(t *testing.T) {
+	none := func(int) bool { return false }
+	in := func(set ...int) func(int) bool {
+		return func(i int) bool {
+			for _, s := range set {
+				if s == i {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	cases := []struct {
+		name   string
+		ranked []int
+		avoid  func(int) bool
+		full   func(int) bool
+		want   int
+	}{
+		{"empty ranking", nil, none, none, -1},
+		{"fastest wins", []int{2, 0, 1}, none, none, 2},
+		{"fastest full spills", []int{2, 0, 1}, none, in(2), 0},
+		{"avoided skipped", []int{2, 0, 1}, in(2), none, 0},
+		{"avoid relaxes when all avoided", []int{2, 0, 1}, in(0, 1, 2), none, 2},
+		{"avoid relaxes to non-full", []int{2, 0, 1}, in(0, 1, 2), in(2), 0},
+		{"all full returns fastest", []int{2, 0, 1}, none, in(0, 1, 2), 2},
+		{"all full and avoided returns fastest", []int{2, 0, 1}, in(0, 1, 2), in(0, 1, 2), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PickRanked(tc.ranked, tc.avoid, tc.full); got != tc.want {
+				t.Fatalf("PickRanked = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

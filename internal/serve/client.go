@@ -3,19 +3,45 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/obs"
 )
 
 // Client is a minimal typed client for the prediction service, used by
 // the scheduler integration path (predictions fetched over HTTP
-// instead of an in-process model call) and the smoke harness.
+// instead of an in-process model call), the cluster router's replica
+// adapters, and the smoke harness.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTP is the transport; nil means http.DefaultClient.
+	// HTTP is the transport; nil means a pooled default client.
 	HTTP *http.Client
+
+	// Retry, when non-nil, transparently re-attempts a request the
+	// server answered with 429, up to the backoff's attempt budget. The
+	// delay before each re-attempt is the larger of the backoff schedule
+	// and the server's Retry-After hint, so a client behind an
+	// overloaded replica waits the server-advertised turnover window
+	// instead of hammering a full queue. Any other failure (4xx, 5xx,
+	// transport error) is returned immediately — only the explicitly
+	// retryable overload answer is retried. Nil preserves the historic
+	// single-shot behaviour.
+	Retry *fault.Backoff
+	// RetryClock is the simulated clock retry delays are recorded on
+	// when RetrySleep is nil (nil-safe: delays are counted in obs and no
+	// wall time passes — the deterministic default for tests and the
+	// in-process fleets).
+	RetryClock *fault.Clock
+	// RetrySleep, when set, is called with each retry delay in seconds
+	// instead of RetryClock; a wall-clock deployment passes a real
+	// sleep here.
+	RetrySleep func(seconds float64)
 }
 
 // StatusError is a non-2xx server answer, preserving the code so
@@ -23,11 +49,19 @@ type Client struct {
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfterSec is the server's Retry-After hint in seconds
+	// (0 when the response carried none).
+	RetryAfterSec float64
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("serve: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
+
+// Retryable reports whether the error is a 429 overload answer — the
+// one status a client may safely re-attempt without changing semantics
+// (the request was never admitted).
+func (e *StatusError) Retryable() bool { return e.Code == http.StatusTooManyRequests }
 
 // pooledClient is the default transport: http.DefaultTransport keeps
 // only two idle connections per host, which forces a reconnect storm
@@ -56,8 +90,46 @@ func (c *Client) httpClient() *http.Client {
 // in row order — the remote twin of ml.PredictBatch. Request encoding
 // and response decoding run through the same fast codec as the
 // server, with the stdlib fallback preserving semantics for anything
-// off the canonical shape.
+// off the canonical shape. With Retry configured, 429 answers are
+// re-attempted on the backoff schedule (honoring Retry-After); every
+// other outcome is single-shot.
 func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
+	if c.Retry == nil {
+		return c.predictOnce(rows)
+	}
+	b := *c.Retry
+	attempts := b.Attempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		preds, err := c.predictOnce(rows)
+		if err == nil {
+			return preds, nil
+		}
+		var se *StatusError
+		if !errors.As(err, &se) || !se.Retryable() {
+			return nil, err
+		}
+		lastErr = err
+		if attempt+1 >= attempts {
+			break
+		}
+		delay := b.Delay(attempt + 1)
+		if se.RetryAfterSec > delay {
+			delay = se.RetryAfterSec
+		}
+		obs.Inc("serve.client.retry.total")
+		if c.RetrySleep != nil {
+			c.RetrySleep(delay)
+		} else {
+			c.RetryClock.Sleep(delay)
+		}
+	}
+	return nil, fmt.Errorf("serve: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+// predictOnce is the single-shot request/response cycle behind
+// PredictBatch.
+func (c *Client) predictOnce(rows [][]float64) ([][]float64, error) {
 	reqBuf := getJSONBuf()
 	body, ok := appendPredictRequest((*reqBuf)[:0], rows)
 	*reqBuf = body[:0]
@@ -123,13 +195,51 @@ func (c *Client) Modelz() (ModelzResponse, error) {
 	return mz, nil
 }
 
+// Loadz fetches the replica's own load state — in-flight count, queue
+// occupancy, drain flag — used by cluster routers and fleet dashboards
+// to tell replicas apart where the process-global metrics cannot.
+func (c *Client) Loadz() (LoadzResponse, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/loadz")
+	if err != nil {
+		return LoadzResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return LoadzResponse{}, readStatusError(resp)
+	}
+	var lz LoadzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lz); err != nil {
+		return LoadzResponse{}, fmt.Errorf("serve: decoding loadz: %w", err)
+	}
+	return lz, nil
+}
+
+// Healthy reports whether the server answers /v1/healthz with 200 —
+// the health probe cluster routers use for eviction and re-admission.
+func (c *Client) Healthy() bool {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
 // readStatusError turns a non-2xx response into a StatusError, using
-// the JSON error body when the server sent one.
+// the JSON error body when the server sent one and preserving the
+// Retry-After hint for retry policies.
 func readStatusError(resp *http.Response) error {
+	retryAfter := 0.0
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.ParseFloat(ra, 64); err == nil && sec > 0 {
+			retryAfter = sec
+		}
+	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var er ErrorResponse
 	if json.Unmarshal(data, &er) == nil && er.Error != "" {
-		return &StatusError{Code: resp.StatusCode, Message: er.Error}
+		return &StatusError{Code: resp.StatusCode, Message: er.Error, RetryAfterSec: retryAfter}
 	}
-	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(data))}
+	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(data)), RetryAfterSec: retryAfter}
 }

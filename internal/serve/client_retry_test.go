@@ -1,0 +1,201 @@
+// Client-side overload handling (the PR's bugfix satellite): bounded
+// 429 retry honoring Retry-After, the single-shot default, and the
+// /v1/loadz per-replica introspection endpoint the cluster router's
+// fleet dashboards read.
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/ml"
+	"crossarch/internal/serve"
+)
+
+// flakyOverloadHandler answers 429 (with a Retry-After hint) until
+// `fail` requests have been seen, then delegates to ok.
+type flakyOverloadHandler struct {
+	fail  int64
+	seen  atomic.Int64
+	after string
+	ok    http.Handler
+}
+
+func (h *flakyOverloadHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.seen.Add(1) <= h.fail {
+		if h.after != "" {
+			w.Header().Set("Retry-After", h.after)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "queue full"})
+		return
+	}
+	h.ok.ServeHTTP(w, r)
+}
+
+// TestClientRetriesOverload is the regression test for the client's
+// historic behaviour of failing outright on a 429 a later attempt
+// would have served: two overload answers followed by a real server
+// must succeed within the retry budget, sleeping the server's
+// Retry-After hint (not the shorter backoff step) between attempts.
+func TestClientRetriesOverload(t *testing.T) {
+	model := trainModel(t, 21)
+	// The flaky front answers 429 twice, then delegates straight into
+	// the real server's handler — the success path is the full serving
+	// stack, so the retried answer is held to the bitwise contract.
+	srv, _ := newTestServer(t, model, serve.Config{})
+	flaky := &flakyOverloadHandler{fail: 2, after: "2", ok: srv}
+	proxy := httptest.NewServer(flaky)
+	defer proxy.Close()
+
+	var slept []float64
+	client := &serve.Client{
+		BaseURL:    proxy.URL,
+		HTTP:       proxy.Client(),
+		Retry:      &fault.Backoff{Retries: 4, Base: 0.01, Factor: 2, Max: 1},
+		RetrySleep: func(s float64) { slept = append(slept, s) },
+	}
+	rows := testRows(5, 77)
+	got, err := client.PredictBatch(rows)
+	if err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	mustEqualBitwise(t, got, ml.PredictBatch(model, rows), "retried vs offline")
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (one per 429)", len(slept))
+	}
+	for i, s := range slept {
+		//lint:ignore floateq Retry-After of exactly 2s must win over the sub-second backoff step
+		if s != 2 {
+			t.Fatalf("sleep %d = %v, want the 2s Retry-After hint", i, s)
+		}
+	}
+}
+
+// TestClientRetryExhaustion pins the bounded budget: a permanently
+// overloaded server exhausts the attempts and the final error keeps
+// the 429 visible via errors.As.
+func TestClientRetryExhaustion(t *testing.T) {
+	always := &flakyOverloadHandler{fail: 1 << 30}
+	ts := httptest.NewServer(always)
+	defer ts.Close()
+	clock := &fault.Clock{}
+	client := &serve.Client{
+		BaseURL:    ts.URL,
+		HTTP:       ts.Client(),
+		Retry:      &fault.Backoff{Retries: 3, Base: 0.01, Factor: 2, Max: 1},
+		RetryClock: clock,
+	}
+	_, err := client.PredictBatch(testRows(1, 78))
+	if err == nil {
+		t.Fatal("permanently overloaded server must exhaust the budget")
+	}
+	if !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("exhaustion error: %v", err)
+	}
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("final error must unwrap to the 429: %v", err)
+	}
+	if got := always.seen.Load(); got != 4 {
+		t.Fatalf("server saw %d attempts, want 4 (Retries 3 + the first)", got)
+	}
+}
+
+// TestClientDoesNotRetryNonOverload pins the guard: a 400 is returned
+// immediately even with retry configured — only the explicitly
+// retryable overload answer is re-attempted.
+func TestClientDoesNotRetryNonOverload(t *testing.T) {
+	var seen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "bad rows"})
+	}))
+	defer ts.Close()
+	client := &serve.Client{
+		BaseURL: ts.URL,
+		HTTP:    ts.Client(),
+		Retry:   &fault.Backoff{Retries: 5},
+	}
+	_, err := client.PredictBatch(testRows(1, 79))
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want immediate 400, got %v", err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// TestRetryAfterParsing pins the header plumbing: readStatusError must
+// surface the server's numeric Retry-After on the typed error.
+func TestRetryAfterParsing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1.5")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+	_, err := client.PredictBatch(testRows(1, 80))
+	var se *serve.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StatusError, got %v", err)
+	}
+	//lint:ignore floateq header value decodes exactly
+	if se.RetryAfterSec != 1.5 || !se.Retryable() {
+		t.Fatalf("parsed %+v", se)
+	}
+}
+
+// TestLoadzEndpoint pins the per-replica introspection contract: queue
+// capacity is reported, accepted counts accumulate, and an in-flight
+// request is visible while it is pinned inside the model.
+func TestLoadzEndpoint(t *testing.T) {
+	inner := trainModel(t, 22)
+	gm := &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	_, client := newTestServer(t, gm, serve.Config{QueueCap: 17})
+
+	lz, err := client.Loadz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lz.QueueCap != 17 || lz.InFlight != 0 || lz.Accepted != 0 || lz.Draining {
+		t.Fatalf("idle loadz: %+v", lz)
+	}
+	if lz.Generation == 0 {
+		t.Fatal("loadz must report the installed model generation")
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.PredictBatch(testRows(1, 81))
+		done <- err
+	}()
+	<-gm.entered // the request is now pinned inside Predict
+	lz, err = client.Loadz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lz.InFlight != 1 || lz.Accepted != 1 {
+		t.Fatalf("pinned loadz: %+v", lz)
+	}
+	close(gm.gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lz, err = client.Loadz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lz.InFlight != 0 || lz.Accepted != 1 {
+		t.Fatalf("drained loadz: %+v", lz)
+	}
+}

@@ -57,6 +57,24 @@ type HealthzResponse struct {
 	Model  string `json:"model,omitempty"`
 }
 
+// LoadzResponse is the GET /v1/loadz body: this replica's own load
+// state, distinct from the process-global /v1/metrics snapshot so a
+// router fronting several in-process replicas can tell them apart.
+type LoadzResponse struct {
+	// InFlight counts requests admitted to the queue whose handler has
+	// not yet written a response.
+	InFlight int64 `json:"in_flight"`
+	// QueueDepth and QueueCap describe the admission queue right now.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Accepted counts every admission since startup.
+	Accepted int64 `json:"accepted_total"`
+	// Draining reports whether BeginDrain has been called.
+	Draining bool `json:"draining"`
+	// Generation is the served model generation (0 before a load).
+	Generation uint64 `json:"generation"`
+}
+
 // retryAfterSeconds is the Retry-After hint on 429/503 responses: by
 // the time it elapses the queue has turned over several MaxWait
 // windows, so an immediate retry storm is spread out instead of
@@ -184,6 +202,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	p := &pending{rows: req.Rows, resp: make(chan result, 1)}
 	select {
 	case s.queue <- p:
+		s.accepted.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		depth := float64(len(s.queue))
 		obs.Set("serve.queue.depth", depth)
 		obs.SetMax("serve.queue.peak", depth)
@@ -219,6 +240,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Model: st.info.Name})
 	}
+}
+
+func (s *Server) handleLoadz(w http.ResponseWriter, r *http.Request) {
+	var gen uint64
+	if st := s.state(); st != nil {
+		gen = st.generation
+	}
+	writeJSON(w, http.StatusOK, LoadzResponse{
+		InFlight:   s.inflight.Load(),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueCap,
+		Accepted:   s.accepted.Load(),
+		Draining:   s.Draining(),
+		Generation: gen,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

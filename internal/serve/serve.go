@@ -137,6 +137,15 @@ type Server struct {
 	generation atomic.Uint64
 	draining   atomic.Bool
 
+	// Per-server load accounting for the /v1/loadz introspection
+	// endpoint. The obs gauges are process-global, so a multi-replica
+	// process (internal/cluster fleets) needs these to tell replicas
+	// apart: inflight counts requests admitted to the queue whose
+	// handler has not yet written a response, accepted counts every
+	// admission since startup.
+	inflight atomic.Int64
+	accepted atomic.Int64
+
 	reloadMu  sync.Mutex // serializes Reload/Install swaps
 	quit      chan struct{}
 	done      chan struct{}
@@ -179,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/loadz", s.handleLoadz)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/modelz", s.handleModelz)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
