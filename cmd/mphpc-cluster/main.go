@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *smokeFlag {
-		if err := smoke.Run(); err != nil {
+		if err := smoke.Run(context.Background()); err != nil {
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		log.Print("smoke: all cluster invariants hold")
@@ -111,7 +112,7 @@ func main() {
 		Sleep:      func(seconds float64) { time.Sleep(time.Duration(seconds * float64(time.Second))) },
 		EvictAfter: *evictAfter,
 	})
-	if n := router.CheckHealth(); n < len(urls) {
+	if n := router.CheckHealth(context.Background()); n < len(urls) {
 		log.Printf("warning: %d of %d replicas healthy at startup", n, len(urls))
 	}
 
@@ -129,7 +130,11 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				router.CheckHealth()
+				// Each probe sweep gets its own deadline so one wedged
+				// replica cannot wedge the prober past a cadence tick.
+				probeCtx, cancel := context.WithTimeout(context.Background(), *probeEvery)
+				router.CheckHealth(probeCtx)
+				cancel()
 			case <-stopProbe:
 				return
 			}

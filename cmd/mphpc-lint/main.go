@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	mphpc-lint [-json] [-list] [patterns ...]
+//	mphpc-lint [-json] [-list] [-baseline file] [-write-baseline file] [patterns ...]
 //
 // Patterns default to ./... resolved from the current directory. Exit
 // status is 0 when clean, 1 when findings are reported, 2 on driver
-// errors. Suppress a justified finding with a directive on the same
-// line or the line above:
+// errors. With -baseline, only findings NOT covered by the accepted
+// baseline file fail the run — adopt the lint tier on a dirty tree by
+// freezing today's findings with -write-baseline and ratcheting the
+// file down over time. Suppress a justified finding with a directive
+// on the same line or the line above:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
@@ -28,6 +31,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the schema-versioned JSON report instead of the table")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	dir := flag.String("C", ".", "directory to resolve package patterns from")
+	baselinePath := flag.String("baseline", "", "fail only on findings not covered by this accepted-baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings as an accepted baseline to this file and exit 0")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +58,34 @@ func main() {
 	if err != nil {
 		root = ""
 	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(root, res)
+		if err := lint.WriteBaselineFile(*writeBaseline, b); err != nil {
+			fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("mphpc-lint: wrote baseline %s (%d entr%s covering %d finding(s))\n",
+			*writeBaseline, len(b.Entries), plural(len(b.Entries), "y", "ies"), len(res.Diagnostics))
+		return
+	}
+
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
+			os.Exit(2)
+		}
+		accepted := len(res.Diagnostics)
+		res.Diagnostics = lint.DiffBaseline(root, res, b)
+		accepted -= len(res.Diagnostics)
+		if accepted > 0 && !*jsonOut {
+			// Table mode only: stdout must stay a single JSON document
+			// under -json.
+			fmt.Printf("mphpc-lint: %d finding(s) covered by baseline %s\n", accepted, *baselinePath)
+		}
+	}
+
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, root, res); err != nil {
 			fmt.Fprintln(os.Stderr, "mphpc-lint:", err)
@@ -65,4 +98,12 @@ func main() {
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

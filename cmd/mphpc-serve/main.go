@@ -64,7 +64,7 @@ func main() {
 	flag.Parse()
 
 	if *smokeFlag {
-		if err := smoke.Run(); err != nil {
+		if err := smoke.Run(context.Background()); err != nil {
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		log.Print("smoke: all serving invariants hold")

@@ -5,6 +5,7 @@
 package cluster_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -48,7 +49,7 @@ func BenchmarkClusterRoute(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				k := 0
 				for pb.Next() {
-					if _, err := router.Do(reqs[k%len(reqs)]); err != nil {
+					if _, err := router.Do(context.Background(), reqs[k%len(reqs)]); err != nil {
 						b.Fatal(err)
 					}
 					k++

@@ -6,6 +6,7 @@
 package cluster_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -61,7 +62,7 @@ func TestFailoverServesThroughKills(t *testing.T) {
 				}
 				reqs := loadRequests(30, 23)
 				for k, req := range reqs {
-					got, err := router.Do(req)
+					got, err := router.Do(context.Background(), req)
 					if err != nil {
 						t.Fatalf("request %d with %d kills: %v", k, kills, err)
 					}
@@ -95,7 +96,7 @@ func TestInjectedTransientFailures(t *testing.T) {
 			EvictAfter: 100, // keep transient failures from evicting here
 		})
 		for k, req := range loadRequests(40, 31) {
-			got, err := router.Do(req)
+			got, err := router.Do(context.Background(), req)
 			if err != nil {
 				t.Fatalf("request %d: %v", k, err)
 			}
@@ -128,7 +129,7 @@ func TestEvictionAndReadmission(t *testing.T) {
 	})
 	wrapped[0].Kill()
 	for k, req := range loadRequests(8, 41) {
-		if _, err := router.Do(req); err != nil {
+		if _, err := router.Do(context.Background(), req); err != nil {
 			t.Fatalf("request %d: %v", k, err)
 		}
 	}
@@ -138,11 +139,11 @@ func TestEvictionAndReadmission(t *testing.T) {
 	if !fleet.Healthy(1) {
 		t.Fatal("healthy replica 1 wrongly evicted")
 	}
-	if n := router.CheckHealth(); n != 1 {
+	if n := router.CheckHealth(context.Background()); n != 1 {
 		t.Fatalf("CheckHealth on a half-dead fleet = %d, want 1", n)
 	}
 	wrapped[0].Revive()
-	if n := router.CheckHealth(); n != 2 {
+	if n := router.CheckHealth(context.Background()); n != 2 {
 		t.Fatalf("CheckHealth after revival = %d, want 2", n)
 	}
 	if !fleet.Healthy(0) {
@@ -151,7 +152,7 @@ func TestEvictionAndReadmission(t *testing.T) {
 	// The re-admitted replica serves again.
 	st := router.Stats()
 	for k, req := range loadRequests(8, 43) {
-		if _, err := router.Do(req); err != nil {
+		if _, err := router.Do(context.Background(), req); err != nil {
 			t.Fatalf("post-revival request %d: %v", k, err)
 		}
 	}
@@ -171,9 +172,9 @@ func TestWholeFleetDownRejects(t *testing.T) {
 	for _, w := range wrapped {
 		w.Kill()
 	}
-	router.CheckHealth() // evict both
+	router.CheckHealth(context.Background()) // evict both
 	req := loadRequests(1, 51)[0]
-	_, err := router.Do(req)
+	_, err := router.Do(context.Background(), req)
 	if !errors.Is(err, cluster.ErrNoReplicas) {
 		t.Fatalf("whole fleet down: %v", err)
 	}
@@ -205,7 +206,7 @@ func TestOverloadFailsOverWithoutEviction(t *testing.T) {
 	})
 	reqs := loadRequests(10, 61)
 	for k, req := range reqs {
-		got, err := router.Do(req)
+		got, err := router.Do(context.Background(), req)
 		if err != nil {
 			t.Fatalf("request %d: %v", k, err)
 		}
@@ -233,11 +234,11 @@ type overloadStub struct {
 }
 
 func (s *overloadStub) Name() string { return s.name }
-func (s *overloadStub) PredictBatch(rows [][]float64) ([][]float64, error) {
+func (s *overloadStub) PredictBatch(_ context.Context, rows [][]float64) ([][]float64, error) {
 	s.calls++
 	return nil, &serve.StatusError{Code: 429, Message: "queue full", RetryAfterSec: 0.01}
 }
-func (s *overloadStub) Healthy() bool { return true }
+func (s *overloadStub) Healthy(context.Context) bool { return true }
 
 // TestConcurrentHammerWithKill is the race hammer: 32 goroutines
 // stream requests through one router while a replica dies and later
@@ -269,7 +270,7 @@ func TestConcurrentHammerWithKill(t *testing.T) {
 				if g == workers-1 && k == perG-1 {
 					wrapped[1].Revive()
 				}
-				got, err := router.Do(req)
+				got, err := router.Do(context.Background(), req)
 				if err != nil {
 					errs <- err
 					continue

@@ -30,6 +30,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -48,6 +49,9 @@ const MaxReplicas = 64
 // server that can answer a batch and a health probe. Both the HTTP
 // adapter (NewHTTPReplica) and the in-process adapter (NewLocalReplica)
 // implement it, as do the simulated replicas in the experiments sweep.
+// Both calls take the caller's context so a deadline set at the edge
+// (the cluster HTTP front end, the process entrypoint) bounds every
+// hop down to the replica's wire call.
 type Replica interface {
 	// Name identifies the replica; names must be unique within a fleet
 	// and stable across restarts (the consistent-hash ring is built
@@ -57,9 +61,9 @@ type Replica interface {
 	// ml.PredictBatch on the replica's model. A *serve.StatusError with
 	// code 429 marks a retryable overload; any other error is a replica
 	// failure.
-	PredictBatch(rows [][]float64) ([][]float64, error)
+	PredictBatch(ctx context.Context, rows [][]float64) ([][]float64, error)
 	// Healthy is the router's probe for eviction and re-admission.
-	Healthy() bool
+	Healthy(ctx context.Context) bool
 }
 
 // Spec binds a replica to its architecture affinity: the index into

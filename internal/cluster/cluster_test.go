@@ -10,6 +10,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -205,7 +206,7 @@ func TestRoutedBitwiseIdenticalPerStrategy(t *testing.T) {
 		t.Run(strat.Name(), func(t *testing.T) {
 			router := cluster.NewRouter(fleet, cluster.Config{Strategy: strat})
 			for k, req := range reqs {
-				got, err := router.Do(req)
+				got, err := router.Do(context.Background(), req)
 				if err != nil {
 					t.Fatalf("request %d: %v", k, err)
 				}
@@ -235,7 +236,7 @@ func TestRouterHTTPEquivalence(t *testing.T) {
 	const n = 20
 	for k := 0; k < n; k++ {
 		rows := testRows(1+k%4, 50+uint64(k))
-		got, err := client.PredictBatch(rows)
+		got, err := client.PredictBatch(context.Background(), rows)
 		if err != nil {
 			t.Fatalf("request %d: %v", k, err)
 		}
@@ -268,7 +269,7 @@ func TestRouterHTTPEquivalence(t *testing.T) {
 	if served != n {
 		t.Fatalf("fleetz served total %d, want %d", served, n)
 	}
-	if !client.Healthy() {
+	if !client.Healthy(context.Background()) {
 		t.Fatal("router healthz probe failed with healthy replicas")
 	}
 }
@@ -355,10 +356,10 @@ type namedStub struct{ name string }
 func newNamedStub(name string) *namedStub { return &namedStub{name: name} }
 
 func (s *namedStub) Name() string { return s.name }
-func (s *namedStub) PredictBatch(rows [][]float64) ([][]float64, error) {
+func (s *namedStub) PredictBatch(_ context.Context, rows [][]float64) ([][]float64, error) {
 	return make([][]float64, len(rows)), nil
 }
-func (s *namedStub) Healthy() bool { return true }
+func (s *namedStub) Healthy(context.Context) bool { return true }
 
 // TestSignatureOf pins the derived-signature determinism the
 // consistent-hash strategy depends on.

@@ -63,7 +63,7 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	// routing uses the signature-and-load strategies; RPV-aware routing
 	// needs the in-process Do API, where the scheduler attaches each
 	// job's predicted vector.
-	preds, err := r.Do(&Request{Rows: pr.Rows})
+	preds, err := r.Do(req.Context(), &Request{Rows: pr.Rows})
 	if err != nil {
 		var se *serve.StatusError
 		switch {

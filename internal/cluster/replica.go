@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"sync/atomic"
@@ -29,19 +30,21 @@ func NewHTTPReplica(name, baseURL string, hc *http.Client) *HTTPReplica {
 func (r *HTTPReplica) Name() string { return r.name }
 
 // PredictBatch implements Replica.
-func (r *HTTPReplica) PredictBatch(rows [][]float64) ([][]float64, error) {
-	return r.client.PredictBatch(rows)
+func (r *HTTPReplica) PredictBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
+	return r.client.PredictBatch(ctx, rows)
 }
 
 // Healthy implements Replica via the /v1/healthz probe.
-func (r *HTTPReplica) Healthy() bool { return r.client.Healthy() }
+func (r *HTTPReplica) Healthy(ctx context.Context) bool { return r.client.Healthy(ctx) }
 
 // Loadz exposes the replica's own load introspection endpoint. The
 // router maintains its own in-flight counts for routing decisions,
 // but those only see traffic this router originated — Loadz is the
 // ground truth when several routers (or outside callers) share one
 // replica, and it is what fleet dashboards read.
-func (r *HTTPReplica) Loadz() (serve.LoadzResponse, error) { return r.client.Loadz() }
+func (r *HTTPReplica) Loadz(ctx context.Context) (serve.LoadzResponse, error) {
+	return r.client.Loadz(ctx)
+}
 
 // NewLocalReplica wraps an in-process serve.Server as a Replica
 // without opening a listener: requests run through the server's real
@@ -126,7 +129,7 @@ func (f *FaultyReplica) Revive() { f.dead.Store(false) }
 func (f *FaultyReplica) Dead() bool { return f.dead.Load() }
 
 // PredictBatch implements Replica.
-func (f *FaultyReplica) PredictBatch(rows [][]float64) ([][]float64, error) {
+func (f *FaultyReplica) PredictBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
 	if f.dead.Load() {
 		return nil, errReplicaDown{name: f.inner.Name()}
 	}
@@ -134,11 +137,13 @@ func (f *FaultyReplica) PredictBatch(rows [][]float64) ([][]float64, error) {
 	if f.inj.Hit(fault.PredictError, key) {
 		return nil, errReplicaTransient{name: f.inner.Name(), key: key}
 	}
-	return f.inner.PredictBatch(rows)
+	return f.inner.PredictBatch(ctx, rows)
 }
 
 // Healthy implements Replica: dead replicas fail the probe.
-func (f *FaultyReplica) Healthy() bool { return !f.dead.Load() && f.inner.Healthy() }
+func (f *FaultyReplica) Healthy(ctx context.Context) bool {
+	return !f.dead.Load() && f.inner.Healthy(ctx)
+}
 
 type errReplicaDown struct{ name string }
 

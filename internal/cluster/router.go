@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -121,6 +122,7 @@ func (r *Router) Stats() Stats {
 // sleep spends one backoff delay.
 func (r *Router) sleep(seconds float64) {
 	if r.cfg.Sleep != nil {
+		//lint:ignore hotpathalloc backoff only runs on failover after a replica already failed; the success path never reaches it
 		r.cfg.Sleep(seconds)
 		return
 	}
@@ -131,21 +133,43 @@ func (r *Router) sleep(seconds float64) {
 // next replica in the strategy's order (overloaded replicas are
 // revisited once every already-tried replica has been exhausted — by
 // then the backoff has given their queues time to turn over). The
-// returned predictions are bitwise identical to a direct single-server
-// call on whichever replica answered.
-func (r *Router) Do(req *Request) ([][]float64, error) {
+// context flows through to the chosen replica's wire call and bounds
+// the failover loop: once the caller's deadline expires, no further
+// replicas are attempted on its behalf. The returned predictions are
+// bitwise identical to a direct single-server call on whichever
+// replica answered.
+//
+//lint:hotpath
+func (r *Router) Do(ctx context.Context, req *Request) ([][]float64, error) {
 	seq := r.seq.Add(1) - 1
 	var triedMask uint64
+	//lint:ignore hotpathalloc routing bookkeeping: one closure per request, escaping into Pick; dwarfed by the replica round-trip it fronts (pinned by BenchmarkClusterRoute)
 	tried := func(i int) bool { return triedMask&(1<<uint(i)) != 0 }
 	attempts := r.cfg.Retry.Attempts()
 	admitted := false
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			// Caller gone: stop failing over on its behalf. A request
+			// cancelled after admission counts as dropped so the
+			// conservation invariant (accepted == completed +
+			// degraded + dropped) still holds.
+			if !admitted {
+				r.rejected.Add(1)
+				obs.Inc("cluster.rejected.total")
+				return nil, err
+			}
+			r.dropped.Add(1)
+			obs.Inc("cluster.dropped.total")
+			return nil, err
+		}
+		//lint:ignore hotpathalloc strategy implementations are shared with the virtual-time sweep; their allocation behavior is pinned by BenchmarkClusterRoute
 		idx := r.cfg.Strategy.Pick(req, seq, r.fleet, tried)
 		if idx < 0 && triedMask != 0 {
 			// Every replica tried: clear the set so the backoff-spaced
 			// next attempt can revisit replicas that answered 429.
 			triedMask = 0
+			//lint:ignore hotpathalloc strategy implementations are shared with the virtual-time sweep; their allocation behavior is pinned by BenchmarkClusterRoute
 			idx = r.cfg.Strategy.Pick(req, seq, r.fleet, tried)
 		}
 		if idx < 0 {
@@ -159,7 +183,8 @@ func (r *Router) Do(req *Request) ([][]float64, error) {
 		st := r.fleet.states[idx]
 		st.inflight.Add(1)
 		start := obs.Now()
-		preds, err := st.replica.PredictBatch(req.Rows)
+		//lint:ignore hotpathalloc replica transport owns its allocations (HTTP encode/decode); the router itself stays allocation-lean
+		preds, err := st.replica.PredictBatch(ctx, req.Rows)
 		st.inflight.Add(-1)
 		obs.Observe("cluster.dispatch.seconds", obs.SinceSeconds(start))
 		if err == nil {
@@ -202,19 +227,22 @@ func (r *Router) Do(req *Request) ([][]float64, error) {
 	}
 	r.dropped.Add(1)
 	obs.Inc("cluster.dropped.total")
+	//lint:ignore hotpathalloc give-up path after the whole failover budget burned; formatting one error here is noise against the attempts behind it
 	return nil, fmt.Errorf("cluster: %d attempts exhausted: %w", attempts, lastErr)
 }
 
 // CheckHealth probes every replica and reconciles eviction state:
 // unhealthy replicas are evicted, evicted replicas whose probe
-// recovered are re-admitted with their failure count cleared. It
-// returns the number of healthy replicas. Call it on whatever cadence
-// the deployment wants (the mphpc-cluster binary probes between
-// request waves; tests call it at exact points).
-func (r *Router) CheckHealth() int {
+// recovered are re-admitted with their failure count cleared. The
+// context bounds every probe, so one wedged replica cannot stall the
+// sweep past the caller's deadline. It returns the number of healthy
+// replicas. Call it on whatever cadence the deployment wants (the
+// mphpc-cluster binary probes between request waves; tests call it at
+// exact points).
+func (r *Router) CheckHealth(ctx context.Context) int {
 	healthy := 0
 	for _, st := range r.fleet.states {
-		if st.replica.Healthy() {
+		if st.replica.Healthy(ctx) {
 			healthy++
 			if st.evicted.Swap(false) {
 				st.fails.Store(0)

@@ -23,6 +23,7 @@
 package smoke
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -157,12 +158,12 @@ func buildFleet(model ml.Regressor) (fleet *cluster.Fleet, wrapped []*cluster.Fa
 
 // stageStrategies drills invariant 1: bitwise identity and balanced
 // accounting under every strategy.
-func stageStrategies(model ml.Regressor, fleet *cluster.Fleet) error {
+func stageStrategies(ctx context.Context, model ml.Regressor, fleet *cluster.Fleet) error {
 	reqs := smokeRequests(50, 7)
 	for _, strat := range cluster.Strategies(fleet.Names()) {
 		router := cluster.NewRouter(fleet, cluster.Config{Strategy: strat})
 		for k, req := range reqs {
-			got, err := router.Do(req)
+			got, err := router.Do(ctx, req)
 			if err != nil {
 				return fmt.Errorf("strategy %s request %d: %w", strat.Name(), k, err)
 			}
@@ -180,7 +181,7 @@ func stageStrategies(model ml.Regressor, fleet *cluster.Fleet) error {
 
 // stageHTTP drills invariant 2: the router's HTTP face on a real
 // listener.
-func stageHTTP(model ml.Regressor, fleet *cluster.Fleet) error {
+func stageHTTP(ctx context.Context, model ml.Regressor, fleet *cluster.Fleet) error {
 	router := cluster.NewRouter(fleet, cluster.Config{Strategy: cluster.NewConsistentHash(fleet.Names())})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -193,7 +194,7 @@ func stageHTTP(model ml.Regressor, fleet *cluster.Fleet) error {
 	client := &serve.Client{BaseURL: base}
 
 	for k, req := range smokeRequests(20, 9) {
-		got, err := client.PredictBatch(req.Rows)
+		got, err := client.PredictBatch(ctx, req.Rows)
 		if err != nil {
 			return fmt.Errorf("HTTP request %d: %w", k, err)
 		}
@@ -201,7 +202,7 @@ func stageHTTP(model ml.Regressor, fleet *cluster.Fleet) error {
 			return fmt.Errorf("HTTP request %d: routed response differs from offline", k)
 		}
 	}
-	if !client.Healthy() {
+	if !client.Healthy(ctx) {
 		return fmt.Errorf("router healthz probe failed with a healthy fleet")
 	}
 	resp, err := http.Get(base + "/v1/fleetz")
@@ -217,7 +218,7 @@ func stageHTTP(model ml.Regressor, fleet *cluster.Fleet) error {
 
 // stageDegradation drills invariant 3: kills degrade, never deny;
 // eviction and re-admission close the loop.
-func stageDegradation(model ml.Regressor, fleet *cluster.Fleet, wrapped []*cluster.FaultyReplica) error {
+func stageDegradation(ctx context.Context, model ml.Regressor, fleet *cluster.Fleet, wrapped []*cluster.FaultyReplica) error {
 	router := cluster.NewRouter(fleet, cluster.Config{
 		Strategy:   cluster.NewLeastLoaded(),
 		Retry:      fault.Backoff{Retries: smokeReplicas + 2},
@@ -227,7 +228,7 @@ func stageDegradation(model ml.Regressor, fleet *cluster.Fleet, wrapped []*clust
 		wrapped[kills-1].Kill()
 		reqs := smokeRequests(30, 11+uint64(kills))
 		for k, req := range reqs {
-			got, err := router.Do(req)
+			got, err := router.Do(ctx, req)
 			if err != nil {
 				return fmt.Errorf("%d kills, request %d: %w", kills, k, err)
 			}
@@ -244,19 +245,19 @@ func stageDegradation(model ml.Regressor, fleet *cluster.Fleet, wrapped []*clust
 		}
 	}
 	// The dead replicas must have been evicted by their failures.
-	if healthy := router.CheckHealth(); healthy != smokeReplicas-smokeReplicas/2 {
+	if healthy := router.CheckHealth(ctx); healthy != smokeReplicas-smokeReplicas/2 {
 		return fmt.Errorf("health probe counts %d healthy replicas, want %d", healthy, smokeReplicas-smokeReplicas/2)
 	}
 	// Revival re-admits.
 	for i := 0; i < smokeReplicas/2; i++ {
 		wrapped[i].Revive()
 	}
-	if healthy := router.CheckHealth(); healthy != smokeReplicas {
+	if healthy := router.CheckHealth(ctx); healthy != smokeReplicas {
 		return fmt.Errorf("revived fleet probes %d healthy, want %d", healthy, smokeReplicas)
 	}
 	before := router.Stats()
 	for k, req := range smokeRequests(20, 17) {
-		if _, err := router.Do(req); err != nil {
+		if _, err := router.Do(ctx, req); err != nil {
 			return fmt.Errorf("post-revival request %d: %w", k, err)
 		}
 	}
@@ -278,8 +279,10 @@ func stageSweep() error {
 }
 
 // Run executes every smoke stage in order and returns the first
-// violated invariant (nil when all hold).
-func Run() error {
+// violated invariant (nil when all hold). The context flows through
+// every routed request and health probe, so the caller's deadline
+// bounds the whole drill.
+func Run(ctx context.Context) error {
 	model, err := smokeModel(11)
 	if err != nil {
 		return fmt.Errorf("training the smoke model: %w", err)
@@ -289,13 +292,13 @@ func Run() error {
 		return fmt.Errorf("building the fleet: %w", err)
 	}
 	defer closeFleet()
-	if err := stageStrategies(model, fleet); err != nil {
+	if err := stageStrategies(ctx, model, fleet); err != nil {
 		return fmt.Errorf("stage 1 (strategy equivalence): %w", err)
 	}
-	if err := stageHTTP(model, fleet); err != nil {
+	if err := stageHTTP(ctx, model, fleet); err != nil {
 		return fmt.Errorf("stage 2 (HTTP face): %w", err)
 	}
-	if err := stageDegradation(model, fleet, wrapped); err != nil {
+	if err := stageDegradation(ctx, model, fleet, wrapped); err != nil {
 		return fmt.Errorf("stage 3 (degradation): %w", err)
 	}
 	if err := stageSweep(); err != nil {

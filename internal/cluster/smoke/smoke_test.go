@@ -1,6 +1,7 @@
 package smoke_test
 
 import (
+	"context"
 	"testing"
 
 	"crossarch/internal/cluster/smoke"
@@ -11,7 +12,7 @@ import (
 // regression in any fleet-routing invariant fails plain
 // `go test ./...` too.
 func TestRun(t *testing.T) {
-	if err := smoke.Run(); err != nil {
+	if err := smoke.Run(context.Background()); err != nil {
 		t.Fatalf("SMOKE FAIL: %v", err)
 	}
 }

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BaselineSchemaVersion identifies the -baseline file layout; bump on
+// breaking changes, mirroring ReportSchemaVersion.
+const BaselineSchemaVersion = 1
+
+// BaselineEntry aggregates accepted findings by analyzer, file, and
+// message. Line numbers are deliberately excluded from the key: a
+// baseline must survive unrelated edits that shift a known finding a
+// few lines, and must still fire when a second instance of the same
+// finding appears (Count grows past the accepted number).
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the accepted-findings inventory for -baseline diff mode.
+type Baseline struct {
+	SchemaVersion int             `json:"schema_version"`
+	Entries       []BaselineEntry `json:"entries"`
+}
+
+// baselineKey identifies one aggregation bucket.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// NewBaseline aggregates a result's diagnostics into a baseline, with
+// file paths relativized to root and entries sorted for stable diffs.
+func NewBaseline(root string, res Result) Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range res.Diagnostics {
+		counts[baselineKey{d.Analyzer, relPath(root, d.Position.Filename), d.Message}]++
+	}
+	b := Baseline{SchemaVersion: BaselineSchemaVersion, Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline renders the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteBaselineFile writes the baseline to path.
+func WriteBaselineFile(path string, b Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBaseline(f, b); err != nil {
+		_ = f.Close() // the encode error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBaseline reads a baseline file and validates its schema version.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.SchemaVersion != BaselineSchemaVersion {
+		return b, fmt.Errorf("baseline %s has schema_version %d, want %d (regenerate with -write-baseline)",
+			path, b.SchemaVersion, BaselineSchemaVersion)
+	}
+	return b, nil
+}
+
+// DiffBaseline returns the diagnostics NOT covered by the baseline:
+// findings whose (analyzer, file, message) bucket either does not
+// appear in the baseline or has grown past its accepted count. Within
+// a bucket the surviving findings are the trailing ones in diagnostic
+// sort order, so the report points at the most recently shifted sites.
+func DiffBaseline(root string, res Result, b Baseline) []Diagnostic {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var fresh []Diagnostic
+	for _, d := range res.Diagnostics {
+		k := baselineKey{d.Analyzer, relPath(root, d.Position.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

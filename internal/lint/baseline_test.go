@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	res := Result{Diagnostics: []Diagnostic{
+		diag("floateq", "/mod/a.go", 10, "float comparison"),
+		diag("floateq", "/mod/a.go", 20, "float comparison"),
+		diag("goroleak", "/mod/b.go", 5, "goroutine loops forever with no return"),
+	}}
+	b := NewBaseline("/mod", res)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (findings aggregate by analyzer+file+message): %+v", len(b.Entries), b.Entries)
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[0].Count != 2 {
+		t.Errorf("first entry = %+v, want a.go with count 2", b.Entries[0])
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaselineFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(b.Entries) || got.SchemaVersion != BaselineSchemaVersion {
+		t.Errorf("round trip mismatch: wrote %+v, read %+v", b, got)
+	}
+}
+
+func TestBaselineSchemaVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("want schema_version error, got %v", err)
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	baselineRes := Result{Diagnostics: []Diagnostic{
+		diag("floateq", "/mod/a.go", 10, "float comparison"),
+		diag("lockorder", "/mod/c.go", 7, "mutex held across channel send"),
+	}}
+	b := NewBaseline("/mod", baselineRes)
+
+	for _, tc := range []struct {
+		name  string
+		now   []Diagnostic
+		fresh int
+	}{
+		{
+			// Identical findings: fully covered.
+			name: "unchanged",
+			now: []Diagnostic{
+				diag("floateq", "/mod/a.go", 10, "float comparison"),
+				diag("lockorder", "/mod/c.go", 7, "mutex held across channel send"),
+			},
+			fresh: 0,
+		},
+		{
+			// The same finding drifted lines after an unrelated edit:
+			// still covered, because the key excludes line numbers.
+			name: "line drift",
+			now: []Diagnostic{
+				diag("floateq", "/mod/a.go", 42, "float comparison"),
+			},
+			fresh: 0,
+		},
+		{
+			// A second instance of an accepted finding exceeds the
+			// bucket's count and must fail.
+			name: "count growth",
+			now: []Diagnostic{
+				diag("floateq", "/mod/a.go", 10, "float comparison"),
+				diag("floateq", "/mod/a.go", 50, "float comparison"),
+			},
+			fresh: 1,
+		},
+		{
+			// A brand-new analyzer/file/message bucket must fail.
+			name: "new finding",
+			now: []Diagnostic{
+				diag("goroleak", "/mod/d.go", 3, "goroutine parks forever on an empty select"),
+			},
+			fresh: 1,
+		},
+		{
+			// Fixed findings just shrink coverage; nothing fresh.
+			name:  "all fixed",
+			now:   nil,
+			fresh: 0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DiffBaseline("/mod", Result{Diagnostics: tc.now}, b)
+			if len(got) != tc.fresh {
+				t.Errorf("fresh findings = %d, want %d: %+v", len(got), tc.fresh, got)
+			}
+		})
+	}
+}
+
+// TestBaselineGate drives the built binary through the adoption
+// workflow: a dirty module fails plain, -write-baseline freezes it,
+// -baseline passes on the frozen tree, and a NEW violation still
+// fails against the baseline.
+func TestBaselineGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the lint binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mphpc-lint")
+	build := exec.Command("go", "build", "-o", bin, "crossarch/cmd/mphpc-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mphpc-lint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module basecheck\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirty := `package basecheck
+
+// Converged compares computed floats bitwise: the accepted legacy debt.
+func Converged(prev, next float64) bool {
+	return prev == next
+}
+`
+	if err := os.WriteFile(filepath.Join(mod, "basecheck.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain run fails on the legacy finding.
+	if err := exec.Command(bin, "-C", mod, "./...").Run(); err == nil {
+		t.Fatal("plain run passed on a dirty module")
+	}
+
+	// Freeze the debt.
+	basefile := filepath.Join(mod, "lint_baseline.json")
+	if out, err := exec.Command(bin, "-C", mod, "-write-baseline", basefile, "./...").CombinedOutput(); err != nil {
+		t.Fatalf("-write-baseline failed: %v\n%s", err, out)
+	}
+
+	// The frozen tree now passes against its baseline.
+	if out, err := exec.Command(bin, "-C", mod, "-baseline", basefile, "./...").CombinedOutput(); err != nil {
+		t.Fatalf("baselined run failed on the frozen tree: %v\n%s", err, out)
+	}
+
+	// A NEW violation is not covered and must fail.
+	fresh := `package basecheck
+
+// Stalled introduces a second, uncovered bitwise comparison in a new
+// file: the ratchet must catch it.
+func Stalled(a, b float64) bool {
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(mod, "fresh.go"), []byte(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-C", mod, "-baseline", basefile, "./...").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on a new finding beyond the baseline, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fresh.go") {
+		t.Errorf("report does not point at the new finding:\n%s", out)
+	}
+	if strings.Contains(string(out), "basecheck.go:") {
+		t.Errorf("report re-lists the baselined finding:\n%s", out)
+	}
+}

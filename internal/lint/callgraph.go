@@ -1,0 +1,620 @@
+// Call-graph substrate for the tier-2 analyzers (DESIGN.md §13).
+//
+// The module driver type-checks every target package independently, so
+// the *types.Func for crossarch/internal/ml.NewMatrix seen from the
+// serve package (via export data) is a different object from the one
+// produced by type-checking ml's own sources. The graph therefore keys
+// functions by a stable textual ID — import path + receiver + name —
+// which unifies the two views, and every edge records whether it could
+// be resolved to loaded source (static), goes through an interface
+// method (iface, with best-effort fan-out to loaded implementations),
+// or calls a function value (dynamic, opaque to this tier).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how a call site resolves.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call of a declared function or concrete
+	// method; Callee is non-nil when its source is loaded.
+	EdgeStatic EdgeKind = iota
+	// EdgeIface is a call through an interface method; Impls holds
+	// the loaded concrete implementations (best effort).
+	EdgeIface
+	// EdgeDynamic is a call of a function-typed value (closures,
+	// method values, fields); the callee is unknowable statically.
+	EdgeDynamic
+)
+
+// CallEdge is one call site inside a node's body.
+type CallEdge struct {
+	Kind EdgeKind
+	// Spawned marks the immediate call of a go statement: the callee
+	// runs on another goroutine, so its blocking behavior does not
+	// propagate to the caller.
+	Spawned bool
+	// Pos is the call position (in the caller's package Fset).
+	Pos token.Pos
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// Fn is the called function object from the caller's view; nil
+	// for dynamic edges.
+	Fn *types.Func
+	// Callee is the loaded-source node for static edges, nil when
+	// the callee is outside the loaded set (std, export-data only).
+	Callee *CallNode
+	// Impls are the loaded implementations for iface edges.
+	Impls []*CallNode
+}
+
+// CallNode is one function (or function literal) with loaded source.
+type CallNode struct {
+	// Key is the stable cross-package ID, e.g.
+	// "crossarch/internal/ml.(CompiledEnsemble).PredictInto" or
+	// "lit@/path/file.go:120:9" for literals.
+	Key string
+	// Fn is the declared function object (nil for literals).
+	Fn *types.Func
+	// Pkg is the loaded package owning the body.
+	Pkg *Package
+	// Decl / Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Edges are the call sites in the body, in source order,
+	// excluding those inside nested function literals (each literal
+	// is its own node).
+	Edges []CallEdge
+}
+
+// Body returns the function body (may be nil for bodyless decls).
+func (n *CallNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns a short human-readable name for diagnostics.
+func (n *CallNode) Name() string {
+	if n.Fn != nil {
+		return funcDisplayName(n.Fn)
+	}
+	p := n.Pkg.Fset.Position(n.Lit.Pos())
+	return "func literal at line " + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// CallGraph indexes every loaded function body and its outgoing calls.
+type CallGraph struct {
+	// Nodes maps function key to node, declared functions and
+	// literals alike.
+	Nodes map[string]*CallNode
+
+	blocking map[string]bool // memoized transitive-blocking fact
+}
+
+// funcKey builds the stable cross-package ID for a function object.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkgPath + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		// Unnamed interface or other receiver shapes: fall through
+		// to a positionless catch-all; these never unify with a
+		// loaded declaration anyway.
+		return pkgPath + ".(?)." + fn.Name()
+	}
+	return pkgPath + "." + fn.Name()
+}
+
+// funcDisplayName renders a short diagnostic-friendly name like
+// "ml.(*CompiledEnsemble).PredictInto" or "serve.NewServer".
+func funcDisplayName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkgName + "(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkgName + fn.Name()
+}
+
+// BuildCallGraph indexes every function declaration and literal in the
+// loaded packages and resolves their call sites.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*CallNode{}}
+
+	// Pass 1: index declared functions so cross-package static edges
+	// resolve regardless of package order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				g.Nodes[key] = &CallNode{Key: key, Fn: fn, Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+
+	// Pass 2: collect edges; nested literals become their own nodes.
+	var litNodes []*CallNode
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := g.Nodes[funcKey(fn)]
+				if node == nil {
+					continue
+				}
+				litNodes = append(litNodes, g.collectEdges(node, fd.Body, pkg)...)
+			}
+		}
+	}
+	for _, ln := range litNodes {
+		g.Nodes[ln.Key] = ln
+	}
+
+	g.resolveIfaceImpls(pkgs)
+	return g
+}
+
+// collectEdges walks body recording call edges on owner, spinning off a
+// new node for every function literal encountered. Returns the literal
+// nodes created (transitively).
+func (g *CallGraph) collectEdges(owner *CallNode, body ast.Node, pkg *Package) []*CallNode {
+	spawned := map[*ast.CallExpr]bool{}
+	var lits []*CallNode
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p := pkg.Fset.Position(n.Pos())
+			ln := &CallNode{
+				Key: "lit@" + p.Filename + ":" + itoa(p.Line) + ":" + itoa(p.Column),
+				Pkg: pkg,
+				Lit: n,
+			}
+			lits = append(lits, ln)
+			lits = append(lits, g.collectEdges(ln, n.Body, pkg)...)
+			return false // literal body belongs to the literal node
+		case *ast.GoStmt:
+			spawned[n.Call] = true
+		case *ast.CallExpr:
+			if e, ok := g.resolveCall(pkg, n); ok {
+				e.Spawned = spawned[n]
+				owner.Edges = append(owner.Edges, e)
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// resolveCall classifies one call expression. Conversions and builtins
+// are not edges.
+func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr) (CallEdge, bool) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return CallEdge{}, false // conversion
+	}
+	fn := funcObject(pkg.Info, call)
+	if fn == nil {
+		// Builtin (append, make, len, ...) or function-typed value.
+		if id, ok := fun.(*ast.Ident); ok {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return CallEdge{}, false
+			}
+		}
+		return CallEdge{Kind: EdgeDynamic, Pos: call.Pos(), Call: call}, true
+	}
+	if isIfaceMethod(fn) {
+		return CallEdge{Kind: EdgeIface, Pos: call.Pos(), Call: call, Fn: fn}, true
+	}
+	return CallEdge{
+		Kind:   EdgeStatic,
+		Pos:    call.Pos(),
+		Call:   call,
+		Fn:     fn,
+		Callee: g.Nodes[funcKey(fn)],
+	}, true
+}
+
+// isIfaceMethod reports whether fn is declared on an interface type.
+func isIfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// resolveIfaceImpls attaches, to every iface edge, the loaded concrete
+// methods that implement the called interface method. Best effort: the
+// implements check is structural, so cross-package matches whose method
+// signatures mention module-internal named types may be missed (the
+// export-data and source views of such a type are distinct objects).
+func (g *CallGraph) resolveIfaceImpls(pkgs []*Package) {
+	// Gather candidate named types once.
+	type candidate struct {
+		typ types.Type
+		pkg *Package
+	}
+	var cands []candidate
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			cands = append(cands, candidate{typ: named, pkg: pkg})
+		}
+	}
+	for _, node := range g.sortedNodes() {
+		for i := range node.Edges {
+			e := &node.Edges[i]
+			if e.Kind != EdgeIface {
+				continue
+			}
+			iface, ok := e.Fn.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for _, c := range cands {
+				impl := types.NewPointer(c.typ)
+				var recv types.Type
+				switch {
+				case types.Implements(c.typ, iface):
+					recv = c.typ
+				case types.Implements(impl, iface):
+					recv = impl
+				default:
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, e.Fn.Pkg(), e.Fn.Name())
+				m, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				if impl := g.Nodes[funcKey(m)]; impl != nil {
+					e.Impls = append(e.Impls, impl)
+				}
+			}
+			sort.Slice(e.Impls, func(a, b int) bool { return e.Impls[a].Key < e.Impls[b].Key })
+		}
+	}
+}
+
+// sortedNodes returns all nodes ordered by key, for deterministic
+// iteration (the node index is a map).
+func (g *CallGraph) sortedNodes() []*CallNode {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*CallNode, len(keys))
+	for i, k := range keys {
+		out[i] = g.Nodes[k]
+	}
+	return out
+}
+
+// NodeFor returns the loaded node for a function object (unifying the
+// export-data and source views), or nil.
+func (g *CallGraph) NodeFor(fn *types.Func) *CallNode {
+	return g.Nodes[funcKey(fn)]
+}
+
+// Reachable returns every node reachable from start over static edges
+// (including start), sorted by key. Cycles are handled by the visited
+// set.
+func (g *CallGraph) Reachable(start *CallNode) []*CallNode {
+	seen := map[*CallNode]bool{start: true}
+	stack := []*CallNode{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Edges {
+			if e.Kind == EdgeStatic && e.Callee != nil && !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	out := make([]*CallNode, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// --- blocking facts -------------------------------------------------
+
+// blockingExternal classifies calls to functions outside the loaded
+// set that block the calling goroutine: sleeps, waits, network and
+// subprocess round-trips. Mutex Lock is deliberately excluded — nested
+// lock acquisition is the lockorder analyzer's ordering check, not a
+// hold-across-blocking hazard.
+func blockingExternal(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	switch path {
+	case "sync":
+		if (recv == "WaitGroup" || recv == "Cond") && name == "Wait" {
+			return "sync." + recv + ".Wait", true
+		}
+	case "time":
+		if recv == "" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net/http":
+		if recv == "Client" || recv == "Server" {
+			return "net/http round-trip", true
+		}
+		switch name {
+		case "Get", "Post", "PostForm", "Head", "Serve", "ListenAndServe", "ListenAndServeTLS":
+			return "net/http round-trip", true
+		}
+	case "os/exec":
+		if recv == "Cmd" {
+			switch name {
+			case "Run", "Output", "CombinedOutput", "Wait", "Start":
+				if name != "Start" {
+					return "os/exec." + name, true
+				}
+			}
+		}
+	case "net":
+		if recv == "Listener" || recv == "TCPListener" {
+			if name == "Accept" || name == "AcceptTCP" {
+				return "net.Accept", true
+			}
+		}
+	}
+	return "", false
+}
+
+// directlyBlocks scans a node's body (excluding nested literals) for a
+// blocking operation, returning a description of the first one found
+// in source order.
+func directlyBlocks(n *CallNode) (string, bool) {
+	body := n.Body()
+	if body == nil {
+		return "", false
+	}
+	return directlyBlocksIn(n, body)
+}
+
+// directlyBlocksIn is directlyBlocks over an arbitrary subtree of n's
+// body.
+func directlyBlocksIn(n *CallNode, root ast.Node) (string, bool) {
+	found := ""
+	ast.Inspect(root, func(nd ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false // runs on another goroutine
+		case *ast.SendStmt:
+			found = "channel send"
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				found = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(nd) {
+				found = "select"
+				return false
+			}
+			// Non-blocking select: the comm receives/sends cannot
+			// block, so only the clause bodies are scanned.
+			for _, c := range nd.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if what, ok := directlyBlocksIn(n, s); ok {
+							found = what
+						}
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := n.Pkg.Info.Types[nd.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = "range over channel"
+				}
+			}
+		case *ast.CallExpr:
+			if fn := funcObject(n.Pkg.Info, nd); fn != nil {
+				if what, ok := blockingExternal(fn); ok {
+					found = what
+				}
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Blocking returns the set of node keys that may block, propagated
+// transitively over static edges and — conservatively — iface edges
+// whose loaded implementations include a blocking one. Dynamic edges
+// are opaque and assumed non-blocking (documented tier-2 limitation).
+func (g *CallGraph) Blocking() map[string]bool {
+	if g.blocking != nil {
+		return g.blocking
+	}
+	blocking := map[string]bool{}
+	for _, n := range g.sortedNodes() {
+		if _, ok := directlyBlocks(n); ok {
+			blocking[n.Key] = true
+		}
+	}
+	// Fixpoint over call edges.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.sortedNodes() {
+			if blocking[n.Key] {
+				continue
+			}
+			for _, e := range n.Edges {
+				if e.Spawned {
+					continue
+				}
+				hit := false
+				switch e.Kind {
+				case EdgeStatic:
+					if e.Callee != nil && blocking[e.Callee.Key] {
+						hit = true
+					} else if e.Callee == nil && e.Fn != nil {
+						if _, ok := blockingExternal(e.Fn); ok {
+							hit = true
+						}
+					}
+				case EdgeIface:
+					for _, impl := range e.Impls {
+						if blocking[impl.Key] {
+							hit = true
+							break
+						}
+					}
+				}
+				if hit {
+					blocking[n.Key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.blocking = blocking
+	return blocking
+}
+
+// hotpathMarker is the annotation that roots the hotpathalloc
+// analyzer's traversal.
+const hotpathMarker = "//lint:hotpath"
+
+// hotpathRoots returns the declared functions in pkg annotated
+// //lint:hotpath (in the doc comment or on the line directly above).
+func hotpathRoots(g *CallGraph, pkg *Package) []*CallNode {
+	var roots []*CallNode
+	for _, f := range pkg.Files {
+		// Index comment lines so a bare marker above the decl (not
+		// attached as doc) still counts.
+		markerLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, hotpathMarker) {
+					markerLines[pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annotated := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(c.Text, hotpathMarker) {
+						annotated = true
+					}
+				}
+			}
+			if markerLines[pkg.Fset.Position(fd.Pos()).Line-1] {
+				annotated = true
+			}
+			if !annotated {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if node := g.NodeFor(fn); node != nil {
+				roots = append(roots, node)
+			}
+		}
+	}
+	return roots
+}

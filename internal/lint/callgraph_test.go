@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadGraphFixture writes one synthetic package into a temp module,
+// loads it through the fixture loader, and builds its call graph.
+func loadGraphFixture(t *testing.T, src string) (*Package, *CallGraph) {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "graphfix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "graphfix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loadFixtureTree(root, "graphfix")
+	if err != nil {
+		t.Fatalf("loading graph fixture: %v", err)
+	}
+	return pkg, BuildCallGraph([]*Package{pkg})
+}
+
+// node fetches a graph node by key suffix (the fixture package path
+// varies with the temp dir, the key shape does not).
+func node(t *testing.T, g *CallGraph, key string) *CallNode {
+	t.Helper()
+	n, ok := g.Nodes[key]
+	if !ok {
+		keys := make([]string, 0, len(g.Nodes))
+		for k := range g.Nodes {
+			keys = append(keys, k)
+		}
+		t.Fatalf("no node %q in graph; have %v", key, keys)
+	}
+	return n
+}
+
+// TestCallGraphSubstrate drives the shared substrate through the
+// shapes the tier-2 analyzers rely on: recursion cycles, method
+// values, interface dispatch fan-out, spawned-edge marking, and the
+// transitive blocking fixpoint.
+func TestCallGraphSubstrate(t *testing.T) {
+	t.Run("cycle", func(t *testing.T) {
+		// Mutual recursion must not hang Reachable, and both nodes must
+		// appear exactly once.
+		_, g := loadGraphFixture(t, `package graphfix
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+`)
+		reach := g.Reachable(node(t, g, "graphfix.Even"))
+		names := map[string]int{}
+		for _, n := range reach {
+			names[n.Key]++
+		}
+		if names["graphfix.Even"] != 1 || names["graphfix.Odd"] != 1 || len(reach) != 2 {
+			t.Errorf("Reachable(Even) = %v, want exactly {Even, Odd}", names)
+		}
+	})
+
+	t.Run("method value", func(t *testing.T) {
+		// Calling through a bound method value is a dynamic edge: the
+		// static resolver must not pretend to know the target.
+		_, g := loadGraphFixture(t, `package graphfix
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func Drive(c *Counter) {
+	f := c.Inc
+	f()
+}
+`)
+		drive := node(t, g, "graphfix.Drive")
+		var kinds []EdgeKind
+		for _, e := range drive.Edges {
+			kinds = append(kinds, e.Kind)
+		}
+		if len(drive.Edges) != 1 || drive.Edges[0].Kind != EdgeDynamic {
+			t.Errorf("Drive edges = %v, want one EdgeDynamic", kinds)
+		}
+	})
+
+	t.Run("interface fan-out", func(t *testing.T) {
+		// An interface call must list every loaded implementation, in
+		// sorted order, so analyzers can reason over the full fan-out.
+		_, g := loadGraphFixture(t, `package graphfix
+
+type Worker interface{ Work() }
+
+type fast struct{}
+
+func (fast) Work() {}
+
+type slow struct{ done chan struct{} }
+
+func (s slow) Work() { <-s.done }
+
+func Dispatch(w Worker) { w.Work() }
+`)
+		dispatch := node(t, g, "graphfix.Dispatch")
+		if len(dispatch.Edges) != 1 || dispatch.Edges[0].Kind != EdgeIface {
+			t.Fatalf("Dispatch edges = %+v, want one EdgeIface", dispatch.Edges)
+		}
+		impls := dispatch.Edges[0].Impls
+		if len(impls) != 2 {
+			t.Fatalf("iface fan-out = %d impls, want 2 (fast, slow)", len(impls))
+		}
+		if impls[0].Key >= impls[1].Key {
+			t.Errorf("impls not sorted: %s, %s", impls[0].Key, impls[1].Key)
+		}
+		// The blocking fact must flow through the fan-out: slow.Work
+		// receives, so dispatching through the interface may block.
+		blocking := g.Blocking()
+		if !blocking["graphfix.(slow).Work"] {
+			t.Error("slow.Work not marked blocking")
+		}
+		if !blocking["graphfix.Dispatch"] {
+			t.Error("Dispatch not marked blocking despite a blocking implementation in the fan-out")
+		}
+	})
+
+	t.Run("spawned edges", func(t *testing.T) {
+		// A go statement's call edge carries Spawned, and blocking must
+		// NOT propagate across it: the spawner returns immediately.
+		_, g := loadGraphFixture(t, `package graphfix
+
+var done = make(chan struct{})
+
+func wait() { <-done }
+
+func Spawn() { go wait() }
+
+func Call() { wait() }
+`)
+		spawn := node(t, g, "graphfix.Spawn")
+		if len(spawn.Edges) != 1 || !spawn.Edges[0].Spawned {
+			t.Fatalf("Spawn edges = %+v, want one spawned edge", spawn.Edges)
+		}
+		blocking := g.Blocking()
+		if !blocking["graphfix.wait"] {
+			t.Error("wait not marked blocking")
+		}
+		if blocking["graphfix.Spawn"] {
+			t.Error("Spawn marked blocking: the spawned edge must not propagate the fact")
+		}
+		if !blocking["graphfix.Call"] {
+			t.Error("Call not marked blocking despite its static edge to wait")
+		}
+	})
+
+	t.Run("blocking fixpoint depth", func(t *testing.T) {
+		// The fact must propagate through a chain of static calls, not
+		// just one hop.
+		_, g := loadGraphFixture(t, `package graphfix
+
+var done = make(chan struct{})
+
+func a() { <-done }
+func b() { a() }
+func c() { b() }
+func Pure(x int) int { return x * 2 }
+`)
+		blocking := g.Blocking()
+		for _, key := range []string{"graphfix.a", "graphfix.b", "graphfix.c"} {
+			if !blocking[key] {
+				t.Errorf("%s not marked blocking", key)
+			}
+		}
+		if blocking["graphfix.Pure"] {
+			t.Error("Pure marked blocking")
+		}
+	})
+
+	t.Run("select with default is non-blocking", func(t *testing.T) {
+		// A select carrying a default never parks; only the defaultless
+		// form is a blocking fact (the serve timer-drain idiom).
+		_, g := loadGraphFixture(t, `package graphfix
+
+var ch = make(chan int, 1)
+
+func TryDrain() {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func Park() {
+	select {
+	case <-ch:
+	}
+}
+`)
+		blocking := g.Blocking()
+		if blocking["graphfix.TryDrain"] {
+			t.Error("TryDrain marked blocking despite its default clause")
+		}
+		if !blocking["graphfix.Park"] {
+			t.Error("Park not marked blocking")
+		}
+	})
+}

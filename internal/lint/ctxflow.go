@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// CtxFlow enforces the deadline-propagation contract on the serving
+// stack: an exported function or method in serve/cluster that may
+// block (directly or through the call graph) must accept a
+// context.Context and actually use it, and nothing below cmd/ may mint
+// its own root context with context.Background()/TODO() — the deadline
+// must flow down from the caller (ultimately the HTTP request or the
+// process entrypoint), or a retry loop keeps hammering a replica whose
+// client already hung up.
+//
+// Conventional escape hatches: Close/Shutdown (teardown is the one
+// blocking API Go convention leaves contextless), ServeHTTP/RoundTrip
+// (the request carries the context), and test files.
+var CtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "exported blocking APIs in serve/cluster must accept and forward a context.Context; no context.Background below cmd/",
+	Scope:     regexp.MustCompile(`(^|/)internal/(serve|cluster)(/|$)`),
+	RunModule: runCtxFlow,
+}
+
+// ctxExemptNames are method names conventionally allowed to block
+// without a context parameter.
+var ctxExemptNames = map[string]bool{
+	"Close":     true,
+	"Shutdown":  true,
+	"ServeHTTP": true, // *http.Request carries the context
+	"RoundTrip": true,
+}
+
+func runCtxFlow(mp *ModulePass) {
+	g := mp.Graph()
+	blocking := g.Blocking()
+
+	for _, pkg := range mp.Scoped() {
+		for _, f := range pkg.Files {
+			checkCtxRoots(mp, pkg, f)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() || ctxExemptNames[fd.Name.Name] {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ctxParam := contextParam(pkg, fd)
+				if ctxParam == nil {
+					node := g.NodeFor(fn)
+					if node != nil && blocking[node.Key] {
+						mp.Reportf(pkg, fd.Name.Pos(), "exported %s may block but takes no context.Context; accept a deadline and forward it", funcDisplayName(fn))
+					}
+					continue
+				}
+				if !paramUsed(pkg, fd, ctxParam) {
+					mp.Reportf(pkg, fd.Name.Pos(), "exported %s accepts a context.Context but never forwards it; thread it into the blocking calls or drop the parameter", funcDisplayName(fn))
+				}
+			}
+		}
+	}
+}
+
+// checkCtxRoots flags context.Background()/context.TODO() — below
+// cmd/, deadlines flow down from callers rather than being minted.
+func checkCtxRoots(mp *ModulePass, pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObject(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			mp.Reportf(pkg, call.Pos(), "context.%s below cmd/; accept a context from the caller so deadlines propagate", fn.Name())
+		}
+		return true
+	})
+}
+
+// contextParam returns the first parameter object whose type is
+// context.Context, or nil.
+func contextParam(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// paramUsed reports whether the parameter object is referenced in the
+// function body.
+func paramUsed(pkg *Package, fd *ast.FuncDecl, param types.Object) bool {
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == param {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every go statement to have a provable exit. The
+// serving stack leans on long-lived goroutines — the coalescer
+// dispatcher, health probes, worker pools — and a leaked one holds its
+// whole capture set forever and survives graceful drain. The rule: a
+// spawned body may loop forever only if the loop both receives from a
+// channel (so shutdown can reach it: quit/done/context.Done) and
+// contains a return (or equivalent exit) to act on it. Bounded loops
+// (with a condition or ranging over data), range-over-channel (exits
+// when the producer closes), and straight-line bodies pass. Spawns of
+// functions whose source is not resolvable in the same package are
+// outside this tier's reach — cross-package spawn targets should be
+// annotated or wrapped locally.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement must have a provable exit: a shutdown channel receive plus return, a bounded loop, or a lint:ignore with justification",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, decls, gs.Call)
+			if body == nil {
+				return true
+			}
+			checkGoroutineBody(pass, gs, body)
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the body the go statement runs: a literal's own
+// body, or the declaration of a same-package function or method.
+func spawnedBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := funcObject(pass.Info, call); fn != nil {
+		if fd := decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// checkGoroutineBody flags unbounded loops with no reachable exit in
+// the spawned body. Nested literals are skipped: a goroutine that
+// spawns more goroutines trips on its own go statements.
+func checkGoroutineBody(pass *Pass, gs *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				pass.Reportf(gs.Pos(), "goroutine parks forever on an empty select; give it a shutdown channel or suppress with justification")
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true // bounded by its condition
+			}
+			if exit, wake := loopExitFacts(pass, n); !exit || !wake {
+				switch {
+				case !wake:
+					pass.Reportf(gs.Pos(), "goroutine loops forever with no channel receive; it cannot observe shutdown — add a quit/done/context.Done case or suppress with justification")
+				default:
+					pass.Reportf(gs.Pos(), "goroutine loops forever with no return; a shutdown signal is received but never acted on — return from the loop or suppress with justification")
+				}
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// loopExitFacts reports whether an infinite for loop contains (exit) a
+// return/terminal call and (wake) a channel receive that could deliver
+// a shutdown signal. An unlabeled break only counts as an exit when no
+// inner for/switch/select would capture it — `case <-done: break`
+// inside `for { select { ... } }` exits the select, not the loop, and
+// is exactly the leak this analyzer exists to catch.
+func loopExitFacts(pass *Pass, loop *ast.ForStmt) (exit, wake bool) {
+	var stack []ast.Node
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.GOTO:
+				exit = true // assume the label leaves the loop
+			case token.BREAK:
+				if n.Label != nil || !insideBreakable(stack[:len(stack)-1]) {
+					exit = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				wake = true
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					wake = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					wake = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := funcObject(pass.Info, n); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "os" && fn.Name() == "Exit" {
+					exit = true
+				}
+				if fn.Pkg().Path() == "runtime" && fn.Name() == "Goexit" {
+					exit = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					exit = true
+				}
+			}
+		}
+		return true
+	})
+	return exit, wake
+}
+
+// insideBreakable reports whether the ancestor stack (rooted at the
+// loop body, innermost last) contains a statement an unlabeled break
+// would bind to before reaching the loop itself.
+func insideBreakable(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return true
+		}
+	}
+	return false
+}

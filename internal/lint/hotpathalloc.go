@@ -1,0 +1,500 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc turns the zero-alloc AllocsPerRun benchmarks into a
+// static guarantee: a function annotated //lint:hotpath, and everything
+// it transitively calls through static edges, must not allocate. The
+// analyzer recognizes the repository's blessed reuse idioms — cap-
+// guarded grow-once `make`, appends into a [:0]-resliced buffer — and
+// treats calls into the obs telemetry package as a trusted boundary
+// (first-use registration allocates once per metric name; steady state
+// is atomic-only, pinned by the serve AllocsPerRun test). Dynamic
+// dispatch (interface methods, function values) cannot be proven
+// allocation-free and is flagged at the call site; a //lint:ignore
+// hotpathalloc directive there both silences the finding and prunes
+// traversal into that subtree, so one audible suppression covers a
+// whole cold path.
+var HotPathAlloc = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "functions marked //lint:hotpath and their static callees must not allocate (make/new/append-growth/closures/boxing/fmt)",
+	RunModule: runHotPathAlloc,
+}
+
+// hotTrustedPkgs are loaded packages (by package name, so fixture
+// stubs match) whose calls the hot-path traversal does not descend
+// into.
+var hotTrustedPkgs = map[string]string{
+	"obs": "telemetry boundary: allocates only at first-use metric registration",
+}
+
+// hotAllowedIface are interface methods every implementation the
+// runtime ships answers without allocating: the stdlib context kinds
+// return cached sentinels from Err/Done/Deadline, and hot loops
+// legitimately poll them for cancellation.
+var hotAllowedIface = map[string]bool{
+	"context.(Context).Err":      true,
+	"context.(Context).Done":     true,
+	"context.(Context).Deadline": true,
+}
+
+func runHotPathAlloc(mp *ModulePass) {
+	g := mp.Graph()
+
+	type work struct {
+		node *CallNode
+		root string
+	}
+	var queue []work
+	for _, pkg := range mp.Scoped() {
+		for _, root := range hotpathRoots(g, pkg) {
+			queue = append(queue, work{root, root.Name()})
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].node.Key < queue[j].node.Key })
+
+	visited := map[*CallNode]bool{}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if visited[w.node] {
+			continue
+		}
+		visited[w.node] = true
+
+		checkHotBody(mp, w.node, w.root)
+
+		for _, e := range w.node.Edges {
+			if e.Spawned {
+				continue // the go statement itself is flagged by checkHotBody
+			}
+			prefix := "hot path (root " + w.root + "): "
+			switch e.Kind {
+			case EdgeStatic:
+				if e.Callee != nil {
+					if reason, ok := hotTrustedPkgs[e.Callee.Pkg.Types.Name()]; ok {
+						_ = reason // trusted boundary, not traversed
+						continue
+					}
+					if mp.HasIgnore(w.node.Pkg, e.Pos) {
+						// Audible prune: the finding is emitted so the
+						// directive stays used and counted, but the
+						// subtree behind the edge is not descended.
+						mp.Reportf(w.node.Pkg, e.Pos, "%scall into %s pruned by suppression; callee not proven allocation-free", prefix, funcDisplayName(e.Fn))
+						continue
+					}
+					queue = append(queue, work{e.Callee, w.root})
+					continue
+				}
+				if hotAllowedExternal(e.Fn) {
+					continue
+				}
+				if e.Fn != nil && e.Fn.Pkg() != nil && e.Fn.Pkg().Path() == "fmt" {
+					continue // checkHotBody already flags the fmt call site
+				}
+				mp.Reportf(w.node.Pkg, e.Pos, "%scall to %s is outside the loaded and allowlisted set; not proven allocation-free", prefix, funcDisplayName(e.Fn))
+			case EdgeIface:
+				if hotAllowedIface[funcKey(e.Fn)] {
+					continue
+				}
+				mp.Reportf(w.node.Pkg, e.Pos, "%sdynamic dispatch via %s cannot be proven allocation-free; devirtualize or suppress with justification", prefix, funcDisplayName(e.Fn))
+			case EdgeDynamic:
+				mp.Reportf(w.node.Pkg, e.Pos, "%scall through a function value cannot be proven allocation-free; call a declared function or suppress with justification", prefix)
+			}
+		}
+	}
+}
+
+// hotAllowedExternal is the allowlist of unloaded (std) functions known
+// not to allocate on the paths the repository's hot code exercises.
+func hotAllowedExternal(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	switch path {
+	case "sync/atomic", "math", "math/bits":
+		return true
+	case "errors":
+		return name == "Is" || name == "As" || name == "Unwrap"
+	case "sync":
+		switch recv {
+		case "Mutex", "RWMutex":
+			return true // Lock/Unlock/RLock/RUnlock/TryLock
+		case "Pool":
+			return name == "Get" || name == "Put" // amortized by design
+		case "WaitGroup":
+			return name == "Add" || name == "Done"
+		case "Once":
+			return name == "Do"
+		}
+	case "time":
+		if recv == "Timer" && (name == "Stop" || name == "Reset") {
+			return true
+		}
+		if recv == "Duration" && name != "String" {
+			return true // pure arithmetic accessors
+		}
+	}
+	return false
+}
+
+// checkHotBody flags allocation sites in one node's body. Nested
+// function literals are skipped (flagged at creation if they capture;
+// their bodies are only analyzed if separately annotated).
+func checkHotBody(mp *ModulePass, node *CallNode, root string) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	pkg := node.Pkg
+	prefix := "hot path (root " + root + "): "
+	reused := reusedBuffers(pkg.Info, body)
+
+	// Ancestor stack so make/new sites can see their guarding if.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pkg.Info, n); len(caps) > 0 {
+				mp.Reportf(pkg, n.Pos(), "%sclosure captures %s; the capture allocates — pass parameters explicitly or hoist the closure", prefix, strings.Join(caps, ", "))
+			}
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.GoStmt:
+			mp.Reportf(pkg, n.Pos(), "%sgo statement spawns a goroutine per call; move spawning off the hot path", prefix)
+		case *ast.CompositeLit:
+			checkHotComposite(mp, pkg, prefix, n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringConcat(pkg.Info, n) {
+				mp.Reportf(pkg, n.Pos(), "%sstring concatenation allocates; precompute or reuse a byte buffer", prefix)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := typeOfInfo(pkg.Info, ix.X).Underlying().(*types.Map); isMap {
+						mp.Reportf(pkg, lhs.Pos(), "%smap assignment may allocate buckets; precompute the map off the hot path", prefix)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(mp, pkg, prefix, n, stack, reused)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, conversions, fmt, and
+// interface boxing at one call site.
+func checkHotCall(mp *ModulePass, pkg *Package, prefix string, call *ast.CallExpr, stack []ast.Node, reused map[types.Object]bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		if conversionAllocates(tv.Type, call, pkg.Info) {
+			mp.Reportf(pkg, call.Pos(), "%sstring/byte-slice conversion copies and allocates", prefix)
+		}
+		return
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				if !capGuarded(stack) {
+					mp.Reportf(pkg, call.Pos(), "%smake allocates on every call; hoist into a reused buffer or guard with a cap/len check (grow-once idiom)", prefix)
+				}
+			case "new":
+				if !capGuarded(stack) {
+					mp.Reportf(pkg, call.Pos(), "%snew allocates; reuse a preallocated value", prefix)
+				}
+			case "append":
+				if !appendReuses(pkg.Info, call, reused) {
+					mp.Reportf(pkg, call.Pos(), "%sappend may grow its backing array; append into a [:0]-resliced reused buffer", prefix)
+				}
+			}
+			return
+		}
+	}
+
+	if fn := funcObject(pkg.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		mp.Reportf(pkg, call.Pos(), "%sfmt.%s formats through reflection and allocates; keep formatting off the hot path", prefix, fn.Name())
+		return
+	}
+
+	checkBoxing(mp, pkg, prefix, call)
+}
+
+// checkHotComposite flags heap-bound composite literals: slice/map
+// literals and address-of struct literals. Plain struct values stay on
+// the stack.
+func checkHotComposite(mp *ModulePass, pkg *Package, prefix string, lit *ast.CompositeLit, stack []ast.Node) {
+	t := typeOfInfo(pkg.Info, lit)
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		mp.Reportf(pkg, lit.Pos(), "%sslice literal allocates; hoist to a package-level table or reuse a buffer", prefix)
+		return
+	case *types.Map:
+		mp.Reportf(pkg, lit.Pos(), "%smap literal allocates; hoist to a package-level table", prefix)
+		return
+	}
+	if len(stack) >= 2 {
+		if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND && ast.Unparen(u.X) == lit {
+			mp.Reportf(pkg, lit.Pos(), "%saddress of composite literal escapes and allocates; reuse a preallocated value", prefix)
+		}
+	}
+}
+
+// capGuarded reports whether the innermost enclosing if statement's
+// condition consults cap() or len() — the grow-once idiom:
+//
+//	if cap(buf) < need { buf = make([]T, need) }
+//
+// which allocates only until the high-water mark and is the blessed
+// arena pattern (ml.MatrixArena, the degradation ladder scratch).
+func capGuarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// reusedBuffers collects, in source order, local variables data-flow-
+// initialized from a [:0] reslice (directly or through append), e.g.
+//
+//	batch := append(s.batch[:0], first)   // batch reuses s.batch
+//	X := s.gatherX[:0]                    // X reuses s.gatherX
+//
+// Appends into such variables reuse capacity rather than allocating
+// per call (growth only until the high-water mark).
+func reusedBuffers(info *types.Info, body ast.Node) map[types.Object]bool {
+	reused := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			rhs := ast.Unparen(asg.Rhs[i])
+			ok := isZeroReslice(info, rhs)
+			if !ok {
+				if call, isCall := rhs.(*ast.CallExpr); isCall {
+					ok = isAppendCall(info, call) && appendReuses(info, call, reused)
+				}
+			}
+			if !ok {
+				continue
+			}
+			if id, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil {
+					reused[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return reused
+}
+
+// isZeroReslice matches x[:0] (and x[0:0]).
+func isZeroReslice(info *types.Info, e ast.Expr) bool {
+	sl, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || sl.Slice3 || sl.High == nil {
+		return false
+	}
+	tv, ok := info.Types[sl.High]
+	return ok && tv.Value != nil && constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendReuses reports whether the append's first argument is a [:0]
+// reslice or a tracked reused buffer.
+func appendReuses(info *types.Info, call *ast.CallExpr, reused map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	first := ast.Unparen(call.Args[0])
+	if isZeroReslice(info, first) {
+		return true
+	}
+	if id, ok := first.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		return obj != nil && reused[obj]
+	}
+	return false
+}
+
+// capturedVars returns the names of function-local variables from the
+// enclosing function that the literal closes over. Capturing is what
+// forces the closure header (and often the variables) onto the heap;
+// literals that reference only globals compile to static functions.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared outside the literal…
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		// …but not at package scope.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+func isStringConcat(info *types.Info, bin *ast.BinaryExpr) bool {
+	tv, ok := info.Types[bin]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// conversionAllocates reports whether a conversion T(x) copies: the
+// string <-> []byte/[]rune pairs (constant inputs fold away).
+func conversionAllocates(to types.Type, call *ast.CallExpr, info *types.Info) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+		return false
+	}
+	from := typeOfInfo(info, call.Args[0])
+	return (isStringType(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// checkBoxing flags call arguments where a non-pointer-shaped concrete
+// value meets an interface parameter: the conversion heap-allocates the
+// box. Pointer-shaped values (pointers, channels, maps, funcs) and
+// values already held in interfaces convert for free.
+func checkBoxing(mp *ModulePass, pkg *Package, prefix string, call *ast.CallExpr) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	nParams := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= nParams-1:
+			param = sig.Params().At(nParams - 1).Type().(*types.Slice).Elem()
+		case i < nParams:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := typeOfInfo(pkg.Info, arg)
+		if at == types.Typ[types.Invalid] || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if atv, ok := pkg.Info.Types[arg]; ok && (atv.Value != nil || atv.IsNil()) {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue
+		}
+		mp.Reportf(pkg, arg.Pos(), "%sargument boxes a non-pointer %s into an interface parameter; boxing allocates", prefix, at.String())
+	}
+}
+
+func typeOfInfo(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

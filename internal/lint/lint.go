@@ -32,9 +32,11 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check. Run inspects a single
-// type-checked package through the Pass and reports findings via
-// Pass.Reportf.
+// Analyzer is one named invariant check. Tier-1 analyzers set Run and
+// inspect one type-checked package at a time through the Pass; tier-2
+// (call-graph-aware) analyzers set RunModule instead and see every
+// loaded package at once through a ModulePass, so facts can flow
+// across package boundaries (DESIGN.md §13).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// lint:ignore directives. Lower-case, no spaces.
@@ -43,10 +45,16 @@ type Analyzer struct {
 	// quoted in DESIGN.md §8.
 	Doc string
 	// Scope, when non-nil, restricts the analyzer to packages whose
-	// import path matches. A nil Scope means every package.
+	// import path matches. A nil Scope means every package. Tier-2
+	// analyzers apply Scope to where findings may be *rooted*; their
+	// analysis may still traverse out-of-scope packages.
 	Scope *regexp.Regexp
-	// Run performs the check.
+	// Run performs a per-package check. Exactly one of Run and
+	// RunModule must be set.
 	Run func(*Pass)
+	// RunModule performs a whole-module check over every loaded
+	// package (the call-graph tier).
+	RunModule func(*ModulePass)
 }
 
 // AppliesTo reports whether the analyzer runs on the given import path.
@@ -72,6 +80,66 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ModulePass carries every loaded package through one tier-2 analyzer.
+// Unlike Pass, findings can land in any package, wherever the hazard
+// is, even when the analysis was rooted elsewhere.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	dirs  directiveIndex
+	diags *[]Diagnostic
+	graph func() *CallGraph
+}
+
+// Graph returns the module call graph, built once and shared by every
+// tier-2 analyzer in the run.
+func (mp *ModulePass) Graph() *CallGraph {
+	return mp.graph()
+}
+
+// Reportf records a diagnostic at pos inside pkg.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Position: pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Scoped returns the packages the analyzer's Scope admits — for tier-2
+// analyzers this bounds where analysis is *rooted*; traversal may still
+// leave the scope.
+func (mp *ModulePass) Scoped() []*Package {
+	var out []*Package
+	for _, pkg := range mp.Pkgs {
+		if mp.Analyzer.AppliesTo(pkg.PkgPath) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// HasIgnore reports whether a lint:ignore directive for this analyzer
+// covers pos (same line or the line above). Tier-2 analyzers use it to
+// prune traversal at an audibly-suppressed call edge: the finding is
+// still reported (so the directive is counted and kept honest), but the
+// subtree behind the edge is not descended into.
+func (mp *ModulePass) HasIgnore(pkg *Package, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	byLine := mp.dirs[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if dir := byLine[line]; dir != nil && !dir.bad &&
+			(dir.analyzer == "all" || dir.analyzer == mp.Analyzer.Name) {
+			return true
+		}
+	}
+	return false
 }
 
 // InTestFile reports whether pos falls in a _test.go file. The module
@@ -124,10 +192,13 @@ type Result struct {
 	Analyzers []string
 }
 
-// Run applies every analyzer to every package it is scoped to, applies
-// lint:ignore suppressions, and reports directive hygiene problems
-// (missing reason, suppressing nothing) under the reserved analyzer
-// name "lint".
+// Run applies every analyzer to every package it is scoped to — tier-1
+// (Run) per package, then tier-2 (RunModule) once over the whole set —
+// applies lint:ignore suppressions, and reports directive hygiene
+// problems (missing reason, suppressing nothing) under the reserved
+// analyzer name "lint". Directives are collected across all packages
+// before suppression so a tier-2 finding rooted in one package but
+// landing in another is still silenced at the finding site.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	res := Result{Packages: len(pkgs)}
 	for _, a := range analyzers {
@@ -135,10 +206,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	}
 	sort.Strings(res.Analyzers)
 
+	dirs := directiveIndex{}
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
+		collectDirectives(pkg, dirs)
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.PkgPath) {
+			if a.Run == nil || !a.AppliesTo(pkg.PkgPath) {
 				continue
 			}
 			pass := &Pass{
@@ -151,11 +227,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 			}
 			a.Run(pass)
 		}
-		kept, suppressed, hygiene := applySuppressions(pkg, raw)
-		res.Diagnostics = append(res.Diagnostics, kept...)
-		res.Diagnostics = append(res.Diagnostics, hygiene...)
-		res.Suppressed += suppressed
 	}
+	var cg *CallGraph
+	sharedGraph := func() *CallGraph {
+		if cg == nil {
+			cg = BuildCallGraph(pkgs)
+		}
+		return cg
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, dirs: dirs, diags: &raw, graph: sharedGraph})
+	}
+
+	kept, suppressed, hygiene := applySuppressions(dirs, raw)
+	res.Diagnostics = append(res.Diagnostics, kept...)
+	res.Diagnostics = append(res.Diagnostics, hygiene...)
+	res.Suppressed = suppressed
 	sortDiagnostics(res.Diagnostics)
 	return res
 }
@@ -171,10 +261,13 @@ type ignoreDirective struct {
 
 var ignoreRE = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(.*\S))?\s*$`)
 
-// collectDirectives parses every lint:ignore comment in the package,
-// keyed by file name then line number.
-func collectDirectives(pkg *Package) map[string]map[int]*ignoreDirective {
-	out := map[string]map[int]*ignoreDirective{}
+// directiveIndex maps file name then line number to the lint:ignore
+// directive at that position.
+type directiveIndex map[string]map[int]*ignoreDirective
+
+// collectDirectives parses every lint:ignore comment in the package
+// into the shared index.
+func collectDirectives(pkg *Package, out directiveIndex) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -198,14 +291,16 @@ func collectDirectives(pkg *Package) map[string]map[int]*ignoreDirective {
 			}
 		}
 	}
-	return out
 }
 
 // applySuppressions partitions raw findings into kept and suppressed
-// using the package's lint:ignore directives, and emits framework
-// hygiene diagnostics for malformed or unused directives.
-func applySuppressions(pkg *Package, raw []Diagnostic) (kept []Diagnostic, suppressed int, hygiene []Diagnostic) {
-	dirs := collectDirectives(pkg)
+// using the module-wide lint:ignore directives, and emits framework
+// hygiene diagnostics for malformed or unused directives. Hygiene
+// output iterates the index in sorted order: the directive maps are
+// keyed by file and line, and appending to the result under Go's
+// randomized map order would make successive runs disagree — exactly
+// the hazard the nondeterminism analyzer flags.
+func applySuppressions(dirs directiveIndex, raw []Diagnostic) (kept []Diagnostic, suppressed int, hygiene []Diagnostic) {
 	match := func(d Diagnostic) *ignoreDirective {
 		byLine := dirs[d.Position.Filename]
 		if byLine == nil {
@@ -227,8 +322,20 @@ func applySuppressions(pkg *Package, raw []Diagnostic) (kept []Diagnostic, suppr
 		}
 		kept = append(kept, d)
 	}
-	for _, byLine := range dirs {
-		for _, dir := range byLine {
+	files := make([]string, 0, len(dirs))
+	for name := range dirs {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		byLine := dirs[name]
+		lines := make([]int, 0, len(byLine))
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			dir := byLine[line]
 			switch {
 			case dir.bad:
 				hygiene = append(hygiene, Diagnostic{

@@ -90,6 +90,50 @@ func TestSeedDisciplineFixture(t *testing.T) {
 	runFixture(t, SeedDiscipline, "seeddisciplinefix")
 }
 
+// --- Tier-2 (call-graph-aware) fixtures -------------------------------
+
+func TestHotPathAllocFixture(t *testing.T) {
+	// The suppressed prune edge in Transitive must count toward the
+	// suppression inventory, not vanish.
+	res := runFixture(t, HotPathAlloc, "hotpathfix")
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the audible coldPath prune)", res.Suppressed)
+	}
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	res := runFixture(t, GoroLeak, "goroleakfix")
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the justified spin loop)", res.Suppressed)
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	res := runFixture(t, LockOrder, "lockorderfix")
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the justified publish-under-lock)", res.Suppressed)
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	// The fixture lives at internal/serve/ctxflowfix so the analyzer's
+	// package Scope matches it the same way it matches the real tree.
+	res := runFixture(t, CtxFlow, "internal/serve/ctxflowfix")
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the justified lifecycle wait)", res.Suppressed)
+	}
+}
+
+func TestCtxFlowScope(t *testing.T) {
+	// The same hazards outside internal/{serve,cluster} must produce
+	// nothing: the deadline contract is scoped to the serving stack.
+	pkg := loadFixture(t, "ctxscope")
+	res := Run([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("ctxflow fired outside its scope: %+v", res.Diagnostics)
+	}
+}
+
 // --- Suppression directives ------------------------------------------
 
 // TestSuppression pins the //lint:ignore contract on the suppressfix
@@ -253,6 +297,197 @@ func TestMutationProperty(t *testing.T) {
 	}
 }
 
+// TestTierTwoMutation pins the hazard/clean boundary for each
+// call-graph-aware analyzer: one mutated statement separates the
+// flagged variant from the silent one, so a regression that widens or
+// narrows a check trips exactly one side of the pair.
+func TestTierTwoMutation(t *testing.T) {
+	type variant struct {
+		src      string
+		findings int
+	}
+	for _, tc := range []struct {
+		name     string
+		analyzer *Analyzer
+		pkgpath  string
+		wantMsg  string
+		hazard   string
+		clean    string
+	}{
+		{
+			name:     "hotpathalloc",
+			analyzer: HotPathAlloc,
+			pkgpath:  "mutant",
+			wantMsg:  "make allocates",
+			// The mutation is the capacity guard: sizing a fresh buffer
+			// on every call allocates, reusing a capacity-checked one
+			// does not.
+			hazard: `package mutant
+
+//lint:hotpath
+func Fill(out []int, n int) []int {
+	out = make([]int, n)
+	return out
+}
+`,
+			clean: `package mutant
+
+//lint:hotpath
+func Fill(out []int, n int) []int {
+	if cap(out) < n {
+		out = make([]int, n)
+	}
+	return out[:n]
+}
+`,
+		},
+		{
+			name:     "goroleak",
+			analyzer: GoroLeak,
+			pkgpath:  "mutant",
+			wantMsg:  "no return",
+			// The mutation is the select-break trap: break leaves the
+			// select, not the for, so only the return variant can exit.
+			hazard: `package mutant
+
+func Pump(ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					break
+				}
+			}
+		}
+	}()
+}
+`,
+			clean: `package mutant
+
+func Pump(ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					return
+				}
+			}
+		}
+	}()
+}
+`,
+		},
+		{
+			name:     "lockorder",
+			analyzer: LockOrder,
+			pkgpath:  "mutant",
+			wantMsg:  "held across channel send",
+			// The mutation is the unlock position: releasing before the
+			// send keeps the lock off the blocking operation.
+			hazard: `package mutant
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (b *Box) Bump() {
+	b.mu.Lock()
+	b.n++
+	b.ch <- b.n
+	b.mu.Unlock()
+}
+`,
+			clean: `package mutant
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (b *Box) Bump() {
+	b.mu.Lock()
+	b.n++
+	v := b.n
+	b.mu.Unlock()
+	b.ch <- v
+}
+`,
+		},
+		{
+			name:     "ctxflow",
+			analyzer: CtxFlow,
+			pkgpath:  "internal/serve/mutant",
+			wantMsg:  "takes no context",
+			// The mutation is the context parameter: the serving-stack
+			// contract requires every exported blocking API to offer its
+			// caller a deadline.
+			hazard: `package mutant
+
+var queue = make(chan int)
+
+func Fetch() int {
+	return <-queue
+}
+`,
+			clean: `package mutant
+
+import "context"
+
+var queue = make(chan int)
+
+func Fetch(ctx context.Context) int {
+	select {
+	case v := <-queue:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+`,
+		},
+	} {
+		for _, v := range []variant{{tc.hazard, 1}, {tc.clean, 0}} {
+			name := tc.name + "/hazard"
+			if v.findings == 0 {
+				name = tc.name + "/clean"
+			}
+			t.Run(name, func(t *testing.T) {
+				root := t.TempDir()
+				if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				dir := filepath.Join(root, filepath.FromSlash(tc.pkgpath))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "mutant.go"), []byte(v.src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				pkg, err := loadFixtureTree(root, tc.pkgpath)
+				if err != nil {
+					t.Fatalf("loading mutant fixture: %v", err)
+				}
+				res := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+				if len(res.Diagnostics) != v.findings {
+					t.Fatalf("%d finding(s), want %d: %+v", len(res.Diagnostics), v.findings, res.Diagnostics)
+				}
+				if v.findings > 0 && !strings.Contains(res.Diagnostics[0].Message, tc.wantMsg) {
+					t.Errorf("message %q does not contain %q", res.Diagnostics[0].Message, tc.wantMsg)
+				}
+			})
+		}
+	}
+}
+
 // --- The gate: the built binary catches a deliberate violation --------
 
 // TestDeliberateViolationGate builds cmd/mphpc-lint and points it at a
@@ -309,6 +544,108 @@ func Converged(prev, next float64) bool {
 	}
 }
 
+// TestTierTwoViolationGate proves the binary gates on every
+// call-graph-aware analyzer: a throwaway module plants exactly one
+// violation per tier-2 check, and the JSON report must name all four
+// with no cross-contamination.
+func TestTierTwoViolationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the lint binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mphpc-lint")
+	build := exec.Command("go", "build", "-o", bin, "crossarch/cmd/mphpc-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mphpc-lint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module gatecheck\n\ngo 1.22\n",
+		// ctxflow: an exported blocking API inside the serve scope with
+		// no context parameter.
+		"internal/serve/api.go": `package serve
+
+var queue = make(chan int)
+
+func Fetch() int {
+	return <-queue
+}
+`,
+		// hotpathalloc: an unguarded make on a declared hot path.
+		"hot/hot.go": `package hot
+
+//lint:hotpath
+func Fill(n int) []int {
+	return make([]int, n)
+}
+`,
+		// goroleak: a goroutine with no provable exit.
+		"leak/leak.go": `package leak
+
+func Start() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+		// lockorder: a channel send while the mutex is held.
+		"locks/locks.go": `package locks
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *Box) Send(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(mod, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command(bin, "-json", "-C", mod, "./...")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1 on a violating module, got err=%v\nstdout:\n%s", err, out)
+	}
+	var rep struct {
+		Findings    int `json:"findings"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("gate output is not valid JSON: %v\n%s", err, out)
+	}
+	perAnalyzer := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		perAnalyzer[d.Analyzer]++
+	}
+	for _, want := range []string{"ctxflow", "hotpathalloc", "goroleak", "lockorder"} {
+		if perAnalyzer[want] != 1 {
+			t.Errorf("analyzer %s: %d finding(s), want exactly 1\nreport:\n%s", want, perAnalyzer[want], out)
+		}
+	}
+	if rep.Findings != 4 {
+		t.Errorf("findings = %d, want 4 (one per tier-2 analyzer)\nreport:\n%s", rep.Findings, out)
+	}
+}
+
 // --- Module driver ----------------------------------------------------
 
 // TestLoadModule runs the real driver over two in-repo packages and
@@ -340,8 +677,8 @@ func TestLoadModule(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing Name, Doc, or Run", a)
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunModule == nil) {
+			t.Errorf("analyzer %+v is missing Name, Doc, or a Run/RunModule hook", a)
 		}
 		if names[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

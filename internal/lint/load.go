@@ -144,6 +144,7 @@ func (ei *exportImporter) ensure(path string) error {
 func (ei *exportImporter) Import(path string) (*types.Package, error) {
 	ei.mu.Lock()
 	defer ei.mu.Unlock()
+	//lint:ignore lockorder the importer cache lock deliberately serializes the one-shot `go list` refresh; concurrent importers must wait for it, and no second lock exists to order against
 	if err := ei.ensure(path); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder flags two latency-and-deadlock hazards the -race hammers
+// cannot see:
+//
+//  1. A mutex held across a blocking operation — a channel send or
+//     receive, a select without default, sync.WaitGroup/Cond.Wait,
+//     time.Sleep, a network or subprocess round-trip, or a call that
+//     transitively reaches one (the call-graph blocking fact). Every
+//     other goroutine contending on the lock then stalls behind the
+//     slow operation, and if the blocked operation is itself resolved
+//     by a goroutine that needs the lock, the program deadlocks.
+//
+//  2. Inconsistent acquisition order: mutex A taken while holding B in
+//     one function and B while holding A in another — the textbook
+//     deadlock pair.
+//
+// The hold-region tracking is intraprocedural and branch-insensitive
+// in the safe direction: locks taken inside a branch are not assumed
+// held after it. Locks released by defer are held to the end of the
+// function. Blocking through function values and interface methods is
+// outside this tier's reach.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "forbids holding a mutex across blocking operations and inconsistent lock acquisition order within a package",
+	RunModule: runLockOrder,
+}
+
+// heldLock is one acquisition in the current hold region.
+type heldLock struct {
+	key string
+	pos token.Pos
+}
+
+// lockPairSite records where a second lock was taken under a first.
+type lockPairSite struct {
+	outer, inner string
+	pos          token.Pos
+}
+
+func runLockOrder(mp *ModulePass) {
+	g := mp.Graph()
+	blocking := g.Blocking()
+
+	for _, pkg := range mp.Scoped() {
+		lo := &lockOrderScan{mp: mp, g: g, blocking: blocking, pkg: pkg}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					lo.walkStmts(fd.Body.List, nil)
+				}
+			}
+		}
+		lo.reportInversions()
+	}
+}
+
+type lockOrderScan struct {
+	mp       *ModulePass
+	g        *CallGraph
+	blocking map[string]bool
+	pkg      *Package
+	pairs    []lockPairSite
+}
+
+// walkStmts scans a statement list in order, threading the held-lock
+// set. Branch bodies get a copy: acquisitions inside a branch are not
+// assumed to survive it (safe under-approximation for ordering, safe
+// over-approximation would be wrong for hold-across-blocking).
+func (lo *lockOrderScan) walkStmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = lo.walkStmt(s, held)
+	}
+	return held
+}
+
+func (lo *lockOrderScan) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, kind := lo.lockCall(call); kind == lockAcquire {
+				for _, h := range held {
+					if h.key != key {
+						lo.pairs = append(lo.pairs, lockPairSite{outer: h.key, inner: key, pos: call.Pos()})
+					}
+				}
+				return append(held, heldLock{key: key, pos: call.Pos()})
+			} else if kind == lockRelease {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].key == key {
+						return append(held[:i:i], held[i+1:]...)
+					}
+				}
+				return held
+			}
+		}
+		lo.checkBlocking(s, held)
+	case *ast.DeferStmt:
+		if _, kind := lo.lockCall(s.Call); kind == lockRelease {
+			return held // deferred unlock: held until function exit
+		}
+		// The deferred call runs at exit; its blocking behavior is
+		// outside the hold region being tracked here.
+	case *ast.BlockStmt:
+		return lo.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return lo.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = lo.walkStmt(s.Init, held)
+		}
+		lo.checkBlocking(s.Cond, held)
+		lo.walkStmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			lo.walkStmt(s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = lo.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lo.checkBlocking(s.Cond, held)
+		}
+		lo.walkStmts(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		if tv, ok := lo.pkg.Info.Types[s.X]; ok && len(held) > 0 {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				lo.reportHeld(s.Pos(), held, "range over channel")
+			}
+		}
+		lo.walkStmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = lo.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lo.checkBlocking(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lo.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lo.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lo.reportHeld(s.Pos(), held, "select")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lo.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the caller's locks;
+		// its body is scanned when its declaration is walked (named
+		// functions) and is out of scope for literals here.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lo.reportHeld(s.Pos(), held, "channel send")
+		}
+		lo.checkBlocking(s.Value, held)
+	default:
+		lo.checkBlocking(s, held)
+	}
+	return held
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// checkBlocking inspects an expression tree (or simple statement) for
+// blocking operations while locks are held. Nested function literals
+// are skipped — they run later, under whatever locks their caller
+// holds then.
+func (lo *lockOrderScan) checkBlocking(n ast.Node, held []heldLock) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				lo.reportHeld(nd.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			fn := funcObject(lo.pkg.Info, nd)
+			if fn == nil {
+				return true
+			}
+			if what, ok := blockingExternal(fn); ok {
+				lo.reportHeld(nd.Pos(), held, what)
+				return true
+			}
+			if isIfaceMethod(fn) {
+				return true // dynamic: outside this tier's reach
+			}
+			if node := lo.g.NodeFor(fn); node != nil && lo.blocking[node.Key] {
+				lo.reportHeld(nd.Pos(), held, "call to "+funcDisplayName(fn)+" which transitively blocks")
+			}
+		}
+		return true
+	})
+}
+
+func (lo *lockOrderScan) reportHeld(pos token.Pos, held []heldLock, what string) {
+	lo.mp.Reportf(lo.pkg, pos, "mutex %s held across %s; release the lock first or hand the work to a goroutine that does not hold it", held[len(held)-1].key, what)
+}
+
+// reportInversions finds (A then B) and (B then A) acquisition pairs
+// recorded anywhere in the package and reports both sites.
+func (lo *lockOrderScan) reportInversions() {
+	first := map[[2]string]lockPairSite{}
+	for _, p := range lo.pairs {
+		k := [2]string{p.outer, p.inner}
+		if _, ok := first[k]; !ok {
+			first[k] = p
+		}
+	}
+	reported := map[[2]string]bool{}
+	sorted := make([]lockPairSite, 0, len(lo.pairs))
+	sorted = append(sorted, lo.pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].pos < sorted[j].pos })
+	for _, p := range sorted {
+		rev, ok := first[[2]string{p.inner, p.outer}]
+		if !ok {
+			continue
+		}
+		k := [2]string{p.outer, p.inner}
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		revPos := lo.pkg.Fset.Position(rev.pos)
+		lo.mp.Reportf(lo.pkg, p.pos, "inconsistent lock order: %s acquired while holding %s here, but the opposite order at %s:%d; pick one order for the package", p.inner, p.outer, relBase(revPos.Filename), revPos.Line)
+	}
+}
+
+// lockCallKind classifies a call as mutex acquire/release/neither.
+type lockCallKind int
+
+const (
+	lockNone lockCallKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall recognizes sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock
+// calls and returns a stable key for the mutex operand: the field
+// object for selector targets (so r.mu in two functions is the same
+// lock) or the variable object for plain identifiers.
+func (lo *lockOrderScan) lockCall(call *ast.CallExpr) (string, lockCallKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn, ok := lo.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", lockNone
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", lockNone
+	}
+	var kind lockCallKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	return lo.mutexKey(sel.X), kind
+}
+
+// mutexKey renders a stable identity for the mutex expression.
+func (lo *lockOrderScan) mutexKey(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := lo.pkg.Info.Selections[e]; ok {
+			if owner := s.Obj().Pkg(); owner != nil {
+				return "(" + recvTypeName(s.Recv()) + ")." + s.Obj().Name()
+			}
+		}
+		return e.Sel.Name
+	case *ast.Ident:
+		obj := lo.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = lo.pkg.Info.Defs[e]
+		}
+		if obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return e.Name
+	case *ast.IndexExpr:
+		return lo.mutexKey(e.X) + "[i]"
+	case *ast.StarExpr:
+		return lo.mutexKey(e.X)
+	}
+	return "<mutex>"
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// relBase trims a path to its final two elements for compact cross-
+// reference messages.
+func relBase(path string) string {
+	slash := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

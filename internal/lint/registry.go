@@ -4,8 +4,12 @@ package lint
 // runs every one of these; each applies its own package Scope.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		ErrCheck,
 		FloatEq,
+		GoroLeak,
+		HotPathAlloc,
+		LockOrder,
 		MutexCopy,
 		Nondeterminism,
 		ObsNames,

@@ -1,0 +1,18 @@
+// Package ctxscope holds ctxflow hazards outside the serve/cluster
+// scope: none of these may produce findings, because the deadline-
+// propagation contract is scoped to the serving stack.
+package ctxscope
+
+import "context"
+
+var queue = make(chan int)
+
+// Fetch blocks without a context — but this package is out of scope.
+func Fetch() int {
+	return <-queue
+}
+
+// Mint roots a context — out of scope, so unreported.
+func Mint() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,89 @@
+// Package goroleakfix exercises the goroleak analyzer: every go
+// statement needs a provable exit — a shutdown-channel receive the
+// loop acts on, a bounded loop, a closing producer, or an audible
+// suppression.
+package goroleakfix
+
+// Forever leaks: the spawned loop can never observe shutdown.
+func Forever() {
+	go func() { // want "goroutine loops forever with no channel receive"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// SelectBreak is the classic trap this analyzer exists to catch: the
+// unlabeled break exits the select, not the loop, so the goroutine
+// receives the shutdown signal and keeps spinning anyway.
+func SelectBreak(done chan struct{}, work chan int) {
+	go func() { // want "goroutine loops forever with no return"
+		for {
+			select {
+			case <-done:
+				break
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Clean shuts down properly: the done receive is acted on by a return.
+func Clean(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Bounded loops terminate on their condition.
+func Bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Drain exits when the producer closes the channel.
+func Drain(work chan int) {
+	go func() {
+		for w := range work {
+			_ = w
+		}
+	}()
+}
+
+// Parked can never be woken at all.
+func Parked() {
+	go func() { // want "goroutine parks forever on an empty select"
+		select {}
+	}()
+}
+
+// spin is a named spawn target: same-package declarations are resolved
+// and checked just like literals.
+func spin() {
+	for {
+	}
+}
+
+// Named leaks through the declared function it spawns.
+func Named() {
+	go spin() // want "goroutine loops forever with no channel receive"
+}
+
+// Justified keeps a documented forever-goroutine behind a directive;
+// the suppression is counted, not silent.
+func Justified() {
+	//lint:ignore goroleak fixture: documented spin loop standing in for a busy-wait with external teardown
+	go spin()
+}

@@ -1,0 +1,99 @@
+// Package hotpathfix exercises the hotpathalloc analyzer: a function
+// annotated //lint:hotpath — and everything it reaches through static
+// call edges — must not allocate, with the repository's reuse idioms
+// (cap-guarded grow-once make, appends into a [:0] reslice) recognized
+// as clean.
+package hotpathfix
+
+import "fmt"
+
+// Sink is an interface a hot function must not dispatch through.
+type Sink interface {
+	Emit(v float64)
+}
+
+// drop is the loaded Sink implementation.
+type drop struct{ last float64 }
+
+// Emit implements Sink.
+func (d *drop) Emit(v float64) { d.last = v }
+
+// scratch is the buffer Scale grows once and then reuses.
+var scratch []float64
+
+// Scale is hot and clean: the make is cap-guarded (grow-once idiom)
+// and the appends go into a [:0] reslice of the reused buffer.
+//
+//lint:hotpath
+func Scale(xs []float64, k float64) []float64 {
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, 0, len(xs))
+	}
+	out := scratch[:0]
+	for _, x := range xs {
+		out = append(out, x*k)
+	}
+	scratch = out
+	return out
+}
+
+// Leaky trips every in-body allocation check plus the dynamic-dispatch
+// edge rules.
+//
+//lint:hotpath
+func Leaky(xs []float64, s Sink, name string) float64 {
+	out := make([]float64, len(xs)) // want "make allocates on every call"
+	copy(out, xs)
+	var grown []float64
+	for _, x := range out {
+		grown = append(grown, x) // want "append may grow its backing array"
+	}
+	total := 0.0
+	add := func() { total += grown[0] } // want "closure captures grown, total"
+	add()                               // want "call through a function value cannot be proven allocation-free"
+	s.Emit(total)                       // want "dynamic dispatch via hotpathfix\.\(Sink\)\.Emit cannot be proven allocation-free"
+	label := name + "!"                 // want "string concatenation allocates"
+	fmt.Println(label)                  // want "fmt.Println formats through reflection and allocates"
+	return total
+}
+
+// record takes an interface, forcing callers to box value arguments.
+func record(v interface{}) { _ = v }
+
+// Box allocates nothing itself, but boxing its float argument into
+// record's interface parameter does.
+//
+//lint:hotpath
+func Box(v float64) {
+	record(v) // want "argument boxes a non-pointer float64 into an interface parameter"
+}
+
+// helper allocates; it is flagged only because a hot root reaches it,
+// and the diagnostic names that root.
+func helper(n int) []float64 {
+	return make([]float64, n) // want "hot path \(root hotpathfix\.Transitive\): make allocates"
+}
+
+// coldPath allocates too, but its only call edge is audibly pruned.
+func coldPath(n int) []int { return make([]int, n) }
+
+// Transitive reaches helper through a static edge; the coldPath edge
+// is suppressed with justification, which prunes the whole subtree
+// behind it without silencing the directive inventory.
+//
+//lint:hotpath
+func Transitive(n int) []float64 {
+	//lint:ignore hotpathalloc cold slow-path: taken once at warm-up, pinned by its own benchmark
+	_ = coldPath(n)
+	return helper(n)
+}
+
+// wait is a spawn target; the spawned edge itself is not traversed.
+func wait(done chan struct{}) { <-done }
+
+// Spawn trips the goroutine-per-call rule.
+//
+//lint:hotpath
+func Spawn(done chan struct{}) {
+	go wait(done) // want "go statement spawns a goroutine per call"
+}

@@ -1,0 +1,54 @@
+// Package ctxflowfix exercises the ctxflow analyzer inside its
+// serve/cluster scope: exported blocking APIs must accept and forward
+// a context, and nothing below cmd/ may mint its own root context.
+package ctxflowfix
+
+import "context"
+
+var queue = make(chan int)
+
+// Fetch blocks on the queue but offers callers no deadline.
+func Fetch() int { // want "exported ctxflowfix\.Fetch may block but takes no context\.Context"
+	return <-queue
+}
+
+// FetchCtx accepts a context and then ignores it — the deadline dies
+// here instead of propagating.
+func FetchCtx(ctx context.Context) int { // want "accepts a context\.Context but never forwards it"
+	return <-queue
+}
+
+// Wait threads its context into the blocking select: the clean shape.
+func Wait(ctx context.Context) int {
+	select {
+	case v := <-queue:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Mint roots a fresh context below cmd/, cutting the caller's deadline
+// out of the chain.
+func Mint() int {
+	ctx := context.Background() // want "context\.Background below cmd/"
+	_ = ctx
+	return 0
+}
+
+// Close is conventionally exempt: teardown is the one blocking API Go
+// convention leaves contextless.
+func Close() {
+	<-queue
+}
+
+// helper is unexported; the exported-API rule does not reach it.
+func helper() int { return <-queue }
+
+// Park blocks by design; the directive records why instead of widening
+// the exemption table.
+//
+//lint:ignore ctxflow fixture: lifecycle wait bounded by process shutdown, not by any per-request deadline
+func Park() {
+	<-queue
+}

@@ -1,0 +1,86 @@
+// Package lockorderfix exercises the lockorder analyzer: no blocking
+// operation while a mutex is held, and one acquisition order per
+// package.
+package lockorderfix
+
+import "sync"
+
+// signal makes waitForever transitively blocking through the package
+// call graph.
+var signal = make(chan struct{})
+
+func waitForever() { <-signal }
+
+// Box couples a mutex with a channel — the shape every hold-across-
+// blocking bug starts from.
+type Box struct {
+	mu   sync.Mutex
+	vals []int
+	ch   chan int
+}
+
+// SendHeld blocks on a channel send while holding mu.
+func (b *Box) SendHeld(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "mutex \(Box\)\.mu held across channel send"
+	b.mu.Unlock()
+}
+
+// RecvHeld blocks on a receive under a deferred unlock: the lock is
+// held to function exit.
+func (b *Box) RecvHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "mutex \(Box\)\.mu held across channel receive"
+}
+
+// CallHeld reaches a blocking function through a static call edge
+// while holding the lock.
+func (b *Box) CallHeld() {
+	b.mu.Lock()
+	waitForever() // want "held across call to lockorderfix\.waitForever which transitively blocks"
+	b.mu.Unlock()
+}
+
+// Snapshot is the clean shape: the lock guards only the copy, and the
+// send happens after release.
+func (b *Box) Snapshot() []int {
+	b.mu.Lock()
+	out := append([]int(nil), b.vals...)
+	b.mu.Unlock()
+	b.ch <- len(out)
+	return out
+}
+
+// Publish holds the lock across the send deliberately; the directive
+// keeps the decision audible instead of silent.
+func (b *Box) Publish(v int) {
+	b.mu.Lock()
+	//lint:ignore lockorder fixture: the buffered channel never blocks and the lock scopes the publish order
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// Pair holds two mutexes whose acquisition order the package must
+// agree on.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// LockAB takes a then b.
+func (p *Pair) LockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "inconsistent lock order"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// LockBA takes b then a: the inversion partner, reported at both
+// sites with a cross-reference.
+func (p *Pair) LockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "inconsistent lock order"
+	p.a.Unlock()
+	p.b.Unlock()
+}

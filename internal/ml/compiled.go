@@ -234,6 +234,8 @@ func (c *CompiledEnsemble) accumulateTree(t int, x, out []float64) {
 // Outputs), allocation-free: out is seeded from Base, then each tree
 // is walked from its root through the shared arena and its leaf is
 // accumulated under the tree's target rule.
+//
+//lint:hotpath
 func (c *CompiledEnsemble) PredictInto(x []float64, out []float64) {
 	copy(out, c.Base)
 	for t := range c.Root {
@@ -280,11 +282,14 @@ func (c *CompiledEnsemble) predictRange(X, out [][]float64, lo, hi int) {
 // zero allocations — the serving steady state; large offline batches
 // chunk rows across cores, bitwise identical either way because rows
 // are independent.
+//
+//lint:hotpath
 func (c *CompiledEnsemble) PredictBatch(X, out [][]float64) {
 	if len(X) < 2*minChunk {
 		c.predictRange(X, out, 0, len(X))
 		return
 	}
+	//lint:ignore hotpathalloc the parallel split only engages for large offline batches (>= 2*minChunk rows); the serving steady state takes the inline kernel above, pinned zero-alloc by BenchmarkCompiledPredict
 	ParallelRows(len(X), func(lo, hi int) {
 		c.predictRange(X, out, lo, hi)
 	})

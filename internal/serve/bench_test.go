@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -33,7 +34,7 @@ func BenchmarkServePredict(b *testing.B) {
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := client.PredictBatch(rows); err != nil {
+					if _, err := client.PredictBatch(context.Background(), rows); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,21 +88,24 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // PredictBatch posts rows to /v1/predict and returns the predictions
-// in row order — the remote twin of ml.PredictBatch. Request encoding
-// and response decoding run through the same fast codec as the
-// server, with the stdlib fallback preserving semantics for anything
-// off the canonical shape. With Retry configured, 429 answers are
-// re-attempted on the backoff schedule (honoring Retry-After); every
-// other outcome is single-shot.
-func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
+// in row order — the remote twin of ml.PredictBatch. The context
+// bounds the whole call including retries: cancellation or deadline
+// expiry aborts the in-flight request and stops the backoff loop, so a
+// caller that hung up is never retried on behalf of. Request encoding
+// and response decoding run through the same fast codec as the server,
+// with the stdlib fallback preserving semantics for anything off the
+// canonical shape. With Retry configured, 429 answers are re-attempted
+// on the backoff schedule (honoring Retry-After); every other outcome
+// is single-shot.
+func (c *Client) PredictBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
 	if c.Retry == nil {
-		return c.predictOnce(rows)
+		return c.predictOnce(ctx, rows)
 	}
 	b := *c.Retry
 	attempts := b.Attempts()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		preds, err := c.predictOnce(rows)
+		preds, err := c.predictOnce(ctx, rows)
 		if err == nil {
 			return preds, nil
 		}
@@ -112,6 +116,9 @@ func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
 		lastErr = err
 		if attempt+1 >= attempts {
 			break
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("serve: retry abandoned: %w", ctx.Err())
 		}
 		delay := b.Delay(attempt + 1)
 		if se.RetryAfterSec > delay {
@@ -129,7 +136,7 @@ func (c *Client) PredictBatch(rows [][]float64) ([][]float64, error) {
 
 // predictOnce is the single-shot request/response cycle behind
 // PredictBatch.
-func (c *Client) predictOnce(rows [][]float64) ([][]float64, error) {
+func (c *Client) predictOnce(ctx context.Context, rows [][]float64) ([][]float64, error) {
 	reqBuf := getJSONBuf()
 	body, ok := appendPredictRequest((*reqBuf)[:0], rows)
 	*reqBuf = body[:0]
@@ -141,9 +148,17 @@ func (c *Client) predictOnce(rows [][]float64) ([][]float64, error) {
 		}
 		reqBuf = nil
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		if reqBuf != nil {
+			putJSONBuf(reqBuf)
+		}
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if reqBuf != nil {
-		// Post has fully consumed (or abandoned) the body by now.
+		// Do has fully consumed (or abandoned) the body by now.
 		putJSONBuf(reqBuf)
 	}
 	if err != nil {
@@ -178,9 +193,18 @@ func (c *Client) predictOnce(rows [][]float64) ([][]float64, error) {
 	return preds, nil
 }
 
+// get issues a context-bound GET against a server endpoint.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.httpClient().Do(req)
+}
+
 // Modelz fetches the served model's metadata.
-func (c *Client) Modelz() (ModelzResponse, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/modelz")
+func (c *Client) Modelz(ctx context.Context) (ModelzResponse, error) {
+	resp, err := c.get(ctx, "/v1/modelz")
 	if err != nil {
 		return ModelzResponse{}, err
 	}
@@ -198,8 +222,8 @@ func (c *Client) Modelz() (ModelzResponse, error) {
 // Loadz fetches the replica's own load state — in-flight count, queue
 // occupancy, drain flag — used by cluster routers and fleet dashboards
 // to tell replicas apart where the process-global metrics cannot.
-func (c *Client) Loadz() (LoadzResponse, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/loadz")
+func (c *Client) Loadz(ctx context.Context) (LoadzResponse, error) {
+	resp, err := c.get(ctx, "/v1/loadz")
 	if err != nil {
 		return LoadzResponse{}, err
 	}
@@ -216,8 +240,8 @@ func (c *Client) Loadz() (LoadzResponse, error) {
 
 // Healthy reports whether the server answers /v1/healthz with 200 —
 // the health probe cluster routers use for eviction and re-admission.
-func (c *Client) Healthy() bool {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/healthz")
+func (c *Client) Healthy(ctx context.Context) bool {
+	resp, err := c.get(ctx, "/v1/healthz")
 	if err != nil {
 		return false
 	}

@@ -5,6 +5,7 @@
 package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -63,7 +64,7 @@ func TestClientRetriesOverload(t *testing.T) {
 		RetrySleep: func(s float64) { slept = append(slept, s) },
 	}
 	rows := testRows(5, 77)
-	got, err := client.PredictBatch(rows)
+	got, err := client.PredictBatch(context.Background(), rows)
 	if err != nil {
 		t.Fatalf("retrying client failed: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestClientRetryExhaustion(t *testing.T) {
 		Retry:      &fault.Backoff{Retries: 3, Base: 0.01, Factor: 2, Max: 1},
 		RetryClock: clock,
 	}
-	_, err := client.PredictBatch(testRows(1, 78))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 78))
 	if err == nil {
 		t.Fatal("permanently overloaded server must exhaust the budget")
 	}
@@ -125,7 +126,7 @@ func TestClientDoesNotRetryNonOverload(t *testing.T) {
 		HTTP:    ts.Client(),
 		Retry:   &fault.Backoff{Retries: 5},
 	}
-	_, err := client.PredictBatch(testRows(1, 79))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 79))
 	var se *serve.StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
 		t.Fatalf("want immediate 400, got %v", err)
@@ -144,7 +145,7 @@ func TestRetryAfterParsing(t *testing.T) {
 	}))
 	defer ts.Close()
 	client := &serve.Client{BaseURL: ts.URL, HTTP: ts.Client()}
-	_, err := client.PredictBatch(testRows(1, 80))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 80))
 	var se *serve.StatusError
 	if !errors.As(err, &se) {
 		t.Fatalf("want StatusError, got %v", err)
@@ -163,7 +164,7 @@ func TestLoadzEndpoint(t *testing.T) {
 	gm := &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
 	_, client := newTestServer(t, gm, serve.Config{QueueCap: 17})
 
-	lz, err := client.Loadz()
+	lz, err := client.Loadz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +177,11 @@ func TestLoadzEndpoint(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := client.PredictBatch(testRows(1, 81))
+		_, err := client.PredictBatch(context.Background(), testRows(1, 81))
 		done <- err
 	}()
 	<-gm.entered // the request is now pinned inside Predict
-	lz, err = client.Loadz()
+	lz, err = client.Loadz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestLoadzEndpoint(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	lz, err = client.Loadz()
+	lz, err = client.Loadz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

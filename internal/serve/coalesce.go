@@ -67,6 +67,8 @@ func (s *Server) run() {
 // instead, so a multi-request batch never exceeds MaxBatch rows. (A
 // single request larger than MaxBatch still forms one batch of its
 // own: it arrives as first and the gather loop is skipped.)
+//
+//lint:hotpath
 func (s *Server) serveBatch(first *pending) {
 	batch := append(s.batch[:0], first)
 	rows := len(first.rows)
@@ -125,6 +127,7 @@ func (s *Server) serveBatch(first *pending) {
 	// overwritten below (every ladder level writes every row).
 	out := s.arena.Rows(len(X), st.outputs)
 	start := obs.Now()
+	//lint:ignore hotpathalloc the ladder owns degradation bookkeeping (panic shields, level scratch); its inner compiled kernel is its own //lint:hotpath root and the whole dispatch is pinned by the serve AllocsPerRun gate
 	st.ladder.PredictBatch(X, out)
 	obs.Observe("serve.batch.seconds", obs.SinceSeconds(start))
 	obs.Observe("serve.batch.rows", float64(len(X)))
@@ -138,6 +141,7 @@ func (s *Server) serveBatch(first *pending) {
 	lo := 0
 	for _, p := range batch {
 		hi := lo + len(p.rows)
+		//lint:ignore hotpathalloc fan-back matrix is the response the request owns (see result's ownership protocol); the copy out of arena memory is the allocation, one per request
 		preds := ml.NewMatrix(hi-lo, st.outputs)
 		for i := range preds {
 			copy(preds[i], out[lo+i])

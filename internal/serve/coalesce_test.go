@@ -28,9 +28,9 @@ type recordingModel struct {
 	outputs int
 }
 
-func (r *recordingModel) Name() string              { return "recording" }
+func (r *recordingModel) Name() string               { return "recording" }
 func (r *recordingModel) Fit(X, Y [][]float64) error { return nil }
-func (r *recordingModel) NumOutputs() int           { return r.outputs }
+func (r *recordingModel) NumOutputs() int            { return r.outputs }
 
 func (r *recordingModel) fill(x, out []float64) {
 	for k := range out {

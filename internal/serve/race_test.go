@@ -9,6 +9,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -87,7 +88,7 @@ func TestConcurrentHammerBitwise(t *testing.T) {
 				n := 1 + (g+i)%9
 				rows := testRows(n, uint64(1000+g*perG+i))
 				want := ml.PredictBatch(model, rows)
-				got, err := client.PredictBatch(rows)
+				got, err := client.PredictBatch(context.Background(), rows)
 				if err != nil {
 					errCh <- err
 					return
@@ -132,7 +133,7 @@ func TestQueueOverflow429(t *testing.T) {
 	fire := func(rows [][]float64) chan answer {
 		ch := make(chan answer, 1)
 		go func() {
-			preds, err := client.PredictBatch(rows)
+			preds, err := client.PredictBatch(context.Background(), rows)
 			ch <- answer{preds, err}
 		}()
 		return ch
@@ -206,7 +207,7 @@ func TestDrainUnderLoad(t *testing.T) {
 	fire := func(rows [][]float64) chan answer {
 		ch := make(chan answer, 1)
 		go func() {
-			preds, err := client.PredictBatch(rows)
+			preds, err := client.PredictBatch(context.Background(), rows)
 			ch <- answer{preds, err}
 		}()
 		return ch
@@ -223,7 +224,7 @@ func TestDrainUnderLoad(t *testing.T) {
 
 	srv.BeginDrain()
 
-	_, err := client.PredictBatch(testRows(1, 42))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 42))
 	var se *serve.StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain request err = %v, want 503", err)
@@ -292,7 +293,7 @@ func TestReloadUnderLoad(t *testing.T) {
 	}
 	ch := make(chan answer, 1)
 	go func() {
-		preds, err := client.PredictBatch(rowsA)
+		preds, err := client.PredictBatch(context.Background(), rowsA)
 		ch <- answer{preds, err}
 	}()
 	select {
@@ -321,7 +322,7 @@ func TestReloadUnderLoad(t *testing.T) {
 	}
 
 	rowsB := testRows(3, 51)
-	got, err := client.PredictBatch(rowsB)
+	got, err := client.PredictBatch(context.Background(), rowsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestLoadGeneratorAccounting(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				rows := testRows(1+(g+i)%4, uint64(2000+g*perG+i))
-				got, err := client.PredictBatch(rows)
+				got, err := client.PredictBatch(context.Background(), rows)
 				if err != nil {
 					var se *serve.StatusError
 					if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {

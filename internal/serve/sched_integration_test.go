@@ -8,6 +8,7 @@
 package serve_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestModelBasedSchedulingViaService(t *testing.T) {
 	jobs, features := buildWorkload(numJobs, 61)
 
 	direct := ml.PredictBatch(model, features)
-	served, err := client.PredictBatch(features)
+	served, err := client.PredictBatch(context.Background(), features)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -131,7 +132,7 @@ func TestServedBitwiseIdenticalToOffline(t *testing.T) {
 	_, client := newTestServer(t, model, serve.Config{})
 	for _, n := range []int{1, 2, 7, 64, 200} {
 		rows := testRows(n, uint64(n)+100)
-		got, err := client.PredictBatch(rows)
+		got, err := client.PredictBatch(context.Background(), rows)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -228,7 +229,7 @@ func TestHealthzModelzMetrics(t *testing.T) {
 		t.Fatalf("healthz = %d %+v, want 200 ok/xgboost", resp.StatusCode, hz)
 	}
 
-	mz, err := client.Modelz()
+	mz, err := client.Modelz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestHealthzModelzMetrics(t *testing.T) {
 	}
 
 	// One request so the serving metrics exist, then snapshot.
-	if _, err := client.PredictBatch(testRows(3, 4)); err != nil {
+	if _, err := client.PredictBatch(context.Background(), testRows(3, 4)); err != nil {
 		t.Fatal(err)
 	}
 	mresp, err := http.Get(client.BaseURL + "/v1/metrics")
@@ -334,7 +335,7 @@ func TestReloadErrorKinds(t *testing.T) {
 			}
 
 			// The old generation keeps serving, bitwise unchanged.
-			got, err := client.PredictBatch(rows)
+			got, err := client.PredictBatch(context.Background(), rows)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -357,12 +358,12 @@ func TestHotReloadSwapsAtomically(t *testing.T) {
 	srv, client := newTestServer(t, nil, serve.Config{ModelPath: path})
 	rows := testRows(9, 9)
 
-	got, err := client.PredictBatch(rows)
+	got, err := client.PredictBatch(context.Background(), rows)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mustEqualBitwise(t, got, ml.PredictBatch(modelA, rows), "pre-reload")
-	before, err := client.Modelz()
+	before, err := client.Modelz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,12 +374,12 @@ func TestHotReloadSwapsAtomically(t *testing.T) {
 	if err := srv.Reload(); err != nil {
 		t.Fatal(err)
 	}
-	got, err = client.PredictBatch(rows)
+	got, err = client.PredictBatch(context.Background(), rows)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mustEqualBitwise(t, got, ml.PredictBatch(modelB, rows), "post-reload")
-	after, err := client.Modelz()
+	after, err := client.Modelz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func (panicModel) Name() string { return "panic-model" }
 func TestPanickingModelDegradesInsteadOf500(t *testing.T) {
 	_, client := newTestServer(t, panicModel{}, serve.Config{})
 	rows := testRows(4, 10)
-	got, err := client.PredictBatch(rows)
+	got, err := client.PredictBatch(context.Background(), rows)
 	if err != nil {
 		t.Fatalf("panicking model must still answer: %v", err)
 	}
@@ -426,7 +427,7 @@ func TestRequestDeadline(t *testing.T) {
 	_, client := newTestServer(t, &blockingModel{gate: gate}, serve.Config{
 		RequestTimeout: 50 * time.Millisecond,
 	})
-	_, err := client.PredictBatch(testRows(1, 11))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 11))
 	var se *serve.StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("deadline request err = %v, want 503 StatusError", err)
@@ -450,12 +451,12 @@ func (b *blockingModel) Predict(x []float64) []float64 {
 // TestNoModel503 covers the not-yet-ready states.
 func TestNoModel503(t *testing.T) {
 	_, client := newTestServer(t, nil, serve.Config{})
-	_, err := client.PredictBatch(testRows(1, 12))
+	_, err := client.PredictBatch(context.Background(), testRows(1, 12))
 	var se *serve.StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("no-model predict err = %v, want 503", err)
 	}
-	if _, err := client.Modelz(); err == nil {
+	if _, err := client.Modelz(context.Background()); err == nil {
 		t.Fatal("no-model modelz should 503")
 	}
 }

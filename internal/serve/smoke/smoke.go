@@ -26,6 +26,7 @@ package smoke
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,9 +94,11 @@ func newGated(inner ml.Regressor) *gatedModel {
 	return &gatedModel{inner: inner, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
 }
 
+//lint:ignore ctxflow test instrument: Fit mirrors the ml.Regressor interface, which is context-free by design (training is offline)
 func (g *gatedModel) Fit(X, Y [][]float64) error { return g.inner.Fit(X, Y) }
 func (g *gatedModel) Name() string               { return g.inner.Name() }
 
+//lint:ignore ctxflow test instrument: Predict must block unconditionally until the gate opens — a context escape hatch would defeat the pin
 func (g *gatedModel) Predict(x []float64) []float64 {
 	select {
 	case g.entered <- struct{}{}:
@@ -172,8 +175,9 @@ type reply struct {
 }
 
 // Run executes every smoke stage in order and returns the first
-// violated invariant (nil when all hold).
-func Run() error {
+// violated invariant (nil when all hold). The context bounds every
+// typed-client call the drill issues.
+func Run(ctx context.Context) error {
 	dir, err := os.MkdirTemp("", "mphpc-serve-smoke")
 	if err != nil {
 		return err
@@ -219,7 +223,7 @@ func Run() error {
 
 	// Stage 1: served == offline, bitwise.
 	rows := smokeRows(12, 7)
-	got, err := client.PredictBatch(rows)
+	got, err := client.PredictBatch(ctx, rows)
 	if err != nil {
 		return fmt.Errorf("valid request: %w", err)
 	}
@@ -228,7 +232,7 @@ func Run() error {
 	}
 	// The file-loaded xgboost envelope must be serving its compiled
 	// arena (and, per the check above, bitwise identically to it).
-	mz, err := client.Modelz()
+	mz, err := client.Modelz(ctx)
 	if err != nil {
 		return err
 	}
@@ -265,7 +269,7 @@ func Run() error {
 	inflightRows := smokeRows(2, 9)
 	inflight := make(chan reply, 1)
 	go func() {
-		p, perr := client.PredictBatch(inflightRows)
+		p, perr := client.PredictBatch(ctx, inflightRows)
 		inflight <- reply{p, perr}
 	}()
 	select {
@@ -276,7 +280,7 @@ func Run() error {
 	queuedRows := smokeRows(1, 10)
 	queued := make(chan reply, 1)
 	go func() {
-		p, perr := client.PredictBatch(queuedRows)
+		p, perr := client.PredictBatch(ctx, queuedRows)
 		queued <- reply{p, perr}
 	}()
 	// Attempt-counted poll (5ms × 2000 = the same 10s budget as
@@ -327,7 +331,7 @@ func Run() error {
 	// Stage 4: hot reload under load. Pin a batch on the old weights,
 	// swap the file to model B, reload, then release: the pinned
 	// request must answer with A's predictions, the next with B's.
-	before, err := client.Modelz()
+	before, err := client.Modelz(ctx)
 	if err != nil {
 		return err
 	}
@@ -336,7 +340,7 @@ func Run() error {
 		return err
 	}
 	go func() {
-		p, perr := client.PredictBatch(inflightRows)
+		p, perr := client.PredictBatch(ctx, inflightRows)
 		inflight <- reply{p, perr}
 	}()
 	select {
@@ -366,7 +370,7 @@ func Run() error {
 	if want := ml.PredictBatch(modelA, inflightRows); !bitwiseEqual(in.preds, want) {
 		return errors.New("request in flight across reload must finish on the old weights")
 	}
-	after, err := client.Modelz()
+	after, err := client.Modelz(ctx)
 	if err != nil {
 		return err
 	}
@@ -374,7 +378,7 @@ func Run() error {
 		return fmt.Errorf("reload did not swap the model (checksum %q -> %q, generation %d -> %d)",
 			before.Model.Checksum, after.Model.Checksum, before.Generation, after.Generation)
 	}
-	got, err = client.PredictBatch(rows)
+	got, err = client.PredictBatch(ctx, rows)
 	if err != nil {
 		return fmt.Errorf("post-reload request: %w", err)
 	}

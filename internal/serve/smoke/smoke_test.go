@@ -1,6 +1,7 @@
 package smoke_test
 
 import (
+	"context"
 	"testing"
 
 	"crossarch/internal/serve/smoke"
@@ -10,7 +11,7 @@ import (
 // `mphpc-serve -smoke` (and `make serve-smoke`) runs, so a regression
 // in any serving invariant fails plain `go test ./...` too.
 func TestRun(t *testing.T) {
-	if err := smoke.Run(); err != nil {
+	if err := smoke.Run(context.Background()); err != nil {
 		t.Fatalf("SMOKE FAIL: %v", err)
 	}
 }
