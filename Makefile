@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint lint-self lint-baseline vet build test race cover fuzz faults serve-smoke cluster-smoke bench-predict bench bench-gate bench-all
+.PHONY: check lint lint-self lint-baseline vet build test race cover fuzz faults serve-smoke cluster-smoke registry-smoke bench-predict bench bench-gate bench-all
 
-check: lint lint-self build race cover faults serve-smoke cluster-smoke bench-gate
+check: lint lint-self build race cover faults serve-smoke cluster-smoke registry-smoke bench-gate
 
 # Static analysis: go vet, then the repository's own two-tier analyzer
 # suite (cmd/mphpc-lint; see DESIGN.md §8 and §13). The diff runs
@@ -86,6 +86,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCompiledPredict -fuzztime $(FUZZTIME) ./internal/ml/tree/
 	$(GO) test -fuzz FuzzSpeedup -fuzztime $(FUZZTIME) ./internal/rpv/
 	$(GO) test -fuzz FuzzPredictInput -fuzztime $(FUZZTIME) ./internal/ml/
+	$(GO) test -fuzz FuzzLoadModel -fuzztime $(FUZZTIME) ./internal/ml/
 
 # Fault-injection smoke sweep (DESIGN.md §9): a tiny rate sweep through
 # the degradation ladder and failure-aware scheduler that exits non-zero
@@ -111,17 +112,25 @@ serve-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/mphpc-cluster -smoke
 
+# Registry smoke gate (DESIGN.md §14): crash-safe registry recovery
+# under a fault-injected torn write, the HTTP shadow→promote release
+# path loaded straight from a registry blob, and the poisoned-model
+# drill — every poison caught at its gate, no poisoned prediction
+# served, and a genuinely better model promoted.
+registry-smoke:
+	$(GO) run ./cmd/mphpc-registry -smoke
+
 # The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
 # a laptop while still printing the rows/s comparison.
 bench-predict:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Row|Batch)' -benchtime 2x .
 
 # The gated inference benchmarks (DESIGN.md §11): the compiled-arena
-# kernel, its envelope reference, the end-to-end serve path, and the
-# routed fleet path. A fixed iteration count plus -count 3 repeats
-# (mphpc-bench keeps the per-metric best) makes the record reproducible
-# on noisy boxes.
-BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict|BenchmarkClusterRoute' \
+# kernel, its envelope reference, the end-to-end serve path (with and
+# without a shadow candidate installed), and the routed fleet path. A
+# fixed iteration count plus -count 3 repeats (mphpc-bench keeps the
+# per-metric best) makes the record reproducible on noisy boxes.
+BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict|BenchmarkShadowDispatch|BenchmarkClusterRoute' \
 	-benchmem -benchtime 5000x -count 3 ./internal/ml/ ./internal/serve/ ./internal/cluster/
 
 # Refresh the checked-in trajectory after a deliberate perf change;

@@ -1,0 +1,160 @@
+// Command mphpc-registry manages the crash-safe model registry behind
+// the serving release path: content-addressed envelope blobs, a
+// versioned manifest with lineage and metrics, atomic commits, and a
+// recovery pass that quarantines torn or corrupt entries at open.
+// Alongside the store it fronts the rollout story's operator verbs —
+// add a candidate, promote it once the shadow gate clears it, reject
+// it when it fails, roll the fleet's active pointer back to
+// last-known-good.
+//
+// Usage:
+//
+//	mphpc-registry -dir models/ -add model.json [-note "retrained w12"] [-parent v0003]
+//	mphpc-registry -dir models/ -list
+//	mphpc-registry -dir models/ -promote v0004
+//	mphpc-registry -dir models/ -reject v0004 [-reason "shadow gate"]
+//	mphpc-registry -dir models/ -rollback [-reason "fleet regression"]
+//	mphpc-registry -dir models/ -verify
+//
+// Every mutating verb commits through temp-write→fsync→rename, so a
+// crash at any instruction leaves either the old state or the new —
+// never a torn manifest a later open would trust.
+//
+// The -smoke flag runs the registry smoke gate instead: crash-safety
+// recovery under fault-injected torn writes, the HTTP shadow/promote
+// release path, and the seeded poisoned-model drill (corrupt blob
+// quarantined, worse model refused in shadow, regressing model rolled
+// back fleet-wide, better model promoted), exiting non-zero unless
+// every invariant holds; `make registry-smoke` wires it into
+// `make check`. The -drill flag prints the poisoned-model sweep table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crossarch/internal/experiments"
+	"crossarch/internal/registry"
+	"crossarch/internal/registry/smoke"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mphpc-registry: ")
+	dir := flag.String("dir", "", "registry directory (required for store verbs)")
+	addPath := flag.String("add", "", "add the model envelope at this path as a new candidate version")
+	note := flag.String("note", "", "operator annotation recorded with -add")
+	parent := flag.String("parent", "", "lineage parent version ID for -add (default: the active version)")
+	promote := flag.String("promote", "", "promote this version ID to active")
+	reject := flag.String("reject", "", "reject this candidate version ID")
+	reason := flag.String("reason", "", "reason recorded with -reject / -rollback")
+	rollback := flag.Bool("rollback", false, "roll the active pointer back to last-known-good")
+	list := flag.Bool("list", false, "print every version in commit order")
+	verify := flag.Bool("verify", false, "re-verify every blob against its recorded checksum")
+	smokeFlag := flag.Bool("smoke", false, "run the registry smoke gate and exit (non-zero on any violated invariant)")
+	drillFlag := flag.Bool("drill", false, "run the seeded poisoned-model drill, print its table, and exit")
+	drillSeed := flag.Uint64("drill-seed", 0, "base seed for -drill (0 = default)")
+	drillCases := flag.Int("drill-cases", 0, "seeds per poison shape for -drill (0 = default)")
+	flag.Parse()
+
+	if *smokeFlag {
+		if err := smoke.Run(context.Background()); err != nil {
+			log.Fatalf("SMOKE FAIL: %v", err)
+		}
+		log.Print("smoke: all registry invariants hold")
+		return
+	}
+	if *drillFlag {
+		res, err := experiments.RunRegistryDrill(experiments.RegistryDrillConfig{
+			Seed:  *drillSeed,
+			Cases: *drillCases,
+		})
+		if err != nil {
+			log.Fatalf("drill: %v", err)
+		}
+		fmt.Print(res.Table())
+		if err := res.CheckInvariants(); err != nil {
+			log.Fatalf("DRILL FAIL: %v", err)
+		}
+		log.Print("drill: every poison caught, control promoted")
+		return
+	}
+
+	if *dir == "" {
+		log.Fatal("-dir is required (or use -smoke / -drill)")
+	}
+	reg, rep, err := registry.Open(*dir, registry.Options{})
+	if err != nil {
+		log.Fatalf("opening %s: %v", *dir, err)
+	}
+	for _, a := range rep.Actions {
+		log.Printf("recovery: %s %s: %s", a.Kind, a.Subject, a.Detail)
+	}
+	for _, orphan := range rep.Orphans {
+		log.Printf("recovery: orphan blob kept: %s", orphan)
+	}
+
+	switch {
+	case *addPath != "":
+		v, err := reg.AddFile(*addPath, registry.Meta{Note: *note, Parent: *parent})
+		if err != nil {
+			log.Fatalf("add %s: %v", *addPath, err)
+		}
+		fmt.Printf("%s\t%s\t%s\t%d bytes\n", v.ID, v.Model, v.Checksum, v.PayloadBytes)
+	case *promote != "":
+		v, err := reg.Promote(*promote, nil)
+		if err != nil {
+			log.Fatalf("promote %s: %v", *promote, err)
+		}
+		fmt.Printf("%s\tactive\n", v.ID)
+	case *reject != "":
+		v, err := reg.Reject(*reject, *reason)
+		if err != nil {
+			log.Fatalf("reject %s: %v", *reject, err)
+		}
+		fmt.Printf("%s\trejected\n", v.ID)
+	case *rollback:
+		v, err := reg.Rollback(*reason)
+		if err != nil {
+			log.Fatalf("rollback: %v", err)
+		}
+		fmt.Printf("%s\tactive (rolled back)\n", v.ID)
+	case *verify:
+		actions := reg.Verify()
+		for _, a := range actions {
+			fmt.Printf("%s\t%s\t%s\n", a.Kind, a.Subject, a.Detail)
+		}
+		if len(actions) > 0 {
+			os.Exit(1)
+		}
+		log.Print("verify: every blob matches its checksum")
+	case *list:
+		printList(reg)
+	default:
+		printList(reg)
+	}
+}
+
+// printList renders the version table, flagging the active and
+// last-known-good pointers.
+func printList(reg *registry.Registry) {
+	active, _ := reg.Active()
+	lkg, _ := reg.LastKnownGood()
+	fmt.Printf("%-6s %-12s %-8s %-18s %-7s %s\n", "id", "status", "model", "checksum", "parent", "note")
+	for _, v := range reg.List() {
+		mark := ""
+		if v.ID == active.ID {
+			mark = " *active"
+		} else if v.ID == lkg.ID {
+			mark = " *lkg"
+		}
+		note := v.Note
+		if v.Quarantine != "" {
+			note = "quarantined: " + v.Quarantine
+		}
+		fmt.Printf("%-6s %-12s %-8s %-18s %-7s %s%s\n", v.ID, v.Status, v.Model, v.Checksum, v.Parent, note, mark)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"crossarch/internal/obs"
 	"crossarch/internal/rpv"
 )
 
@@ -84,6 +85,13 @@ type replicaState struct {
 
 	inflight atomic.Int64
 	evicted  atomic.Bool
+	// maintenance takes the replica out of rotation without touching
+	// its eviction state: the rollout driver parks a replica here while
+	// swapping its model, so live traffic never reaches a generation
+	// that has not passed its canary probe. Maintenance is operator
+	// intent, eviction is observed failure — CheckHealth reconciles the
+	// latter and must never clear the former.
+	maintenance atomic.Bool
 	// fails counts consecutive non-overload failures; EvictAfter of
 	// them evicts the replica until a health probe re-admits it.
 	fails  atomic.Int64
@@ -134,8 +142,39 @@ func NewFleet(specs []Spec) (*Fleet, error) {
 // NumReplicas implements View.
 func (f *Fleet) NumReplicas() int { return len(f.states) }
 
-// Healthy implements View: a replica is routable unless evicted.
-func (f *Fleet) Healthy(i int) bool { return !f.states[i].evicted.Load() }
+// Healthy implements View: a replica is routable unless evicted or
+// parked in maintenance.
+func (f *Fleet) Healthy(i int) bool {
+	return !f.states[i].evicted.Load() && !f.states[i].maintenance.Load()
+}
+
+// SetMaintenance parks (or returns) the named replica; a parked
+// replica is unroutable but keeps its eviction state. Reports whether
+// the name exists in the fleet.
+func (f *Fleet) SetMaintenance(name string, on bool) bool {
+	for i, n := range f.names {
+		if n == name {
+			f.states[i].maintenance.Store(on)
+			if on {
+				obs.Inc("cluster.maintenance.begin.total")
+			} else {
+				obs.Inc("cluster.maintenance.end.total")
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// InMaintenance reports whether the named replica is parked.
+func (f *Fleet) InMaintenance(name string) bool {
+	for i, n := range f.names {
+		if n == name {
+			return f.states[i].maintenance.Load()
+		}
+	}
+	return false
+}
 
 // InFlight implements View: requests the router has dispatched to
 // replica i and not yet seen answered.

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+	"crossarch/internal/serve"
+)
+
+// Rolling rollout: replicas are updated to a candidate model one at a
+// time, each behind a maintenance park and a canary probe, with
+// automatic fleet-wide rollback to the incumbent the moment any
+// replica's probe regresses. The driver's contract is the one the
+// registry drill asserts end to end: live traffic routed through the
+// fleet during a rollout only ever reaches replicas serving a
+// generation that passed its probe, so served responses stay bitwise
+// identical to the incumbent until the whole fleet has converted — and
+// if the rollout aborts, they simply stay that way.
+
+// ErrRollback is the typed cause of an aborted rollout: wraps the
+// per-replica gate failure that triggered it.
+var ErrRollback = errors.New("cluster: rollout rolled back")
+
+// ManagedReplica pairs an in-process serve.Server with its fleet-side
+// Replica adapter, giving the rollout driver the two handles it needs:
+// the wire path live traffic uses, and the management path that swaps
+// models and reads the degradation ladder.
+type ManagedReplica struct {
+	name string
+	srv  *serve.Server
+	rep  *HTTPReplica
+}
+
+// NewManagedReplica wraps srv; the returned value's Replica side goes
+// into the fleet spec and the whole value goes to RunRollout.
+func NewManagedReplica(name string, srv *serve.Server) *ManagedReplica {
+	return &ManagedReplica{name: name, srv: srv, rep: NewLocalReplica(name, srv)}
+}
+
+// Name returns the fleet name.
+func (m *ManagedReplica) Name() string { return m.name }
+
+// Replica returns the routable side for the fleet spec.
+func (m *ManagedReplica) Replica() Replica { return m.rep }
+
+// Server returns the managed server.
+func (m *ManagedReplica) Server() *serve.Server { return m.srv }
+
+// RolloutConfig tunes the per-replica canary gate.
+type RolloutConfig struct {
+	// ProbeRows are the canary feature rows sent to each replica while
+	// it is parked; ProbeTargets are their true outputs. Both are
+	// required — a rollout with no probe evidence is a blind swap.
+	ProbeRows    [][]float64
+	ProbeTargets [][]float64
+
+	// ProbePasses is how many times the probe batch is sent per gate
+	// (default 3): repeated passes catch flaky generations, and they
+	// drive the degradation ladder enough for its high-water mark to
+	// mean something.
+	ProbePasses int
+
+	// MaxMAERatio caps candidate probe MAE relative to the incumbent's
+	// own probe MAE on the same replica (default 1.05): the candidate
+	// may be up to 5% worse on the canary before the gate trips.
+	MaxMAERatio float64
+
+	// MaxFailures is the probe-call failure budget per replica
+	// (default 0: any failed or erroring probe call trips the gate).
+	MaxFailures int
+
+	// MaxLadderLevel is the deepest degradation rung the candidate may
+	// touch during its probe (default ml.LevelPrimary: any degradation
+	// at all trips the gate).
+	MaxLadderLevel int
+}
+
+func (c *RolloutConfig) setDefaults() {
+	if c.ProbePasses <= 0 {
+		c.ProbePasses = 3
+	}
+	if c.MaxMAERatio <= 0 {
+		c.MaxMAERatio = 1.05
+	}
+	// MaxFailures and MaxLadderLevel default to zero (= ml.LevelPrimary)
+	// deliberately: the strictest gate is the default.
+}
+
+// ReplicaRollout is the per-replica record in a RolloutResult.
+type ReplicaRollout struct {
+	Name string `json:"name"`
+	// IncumbentMAE / CandidateMAE are the canary MAEs measured on this
+	// replica, incumbent first (before the swap), candidate after.
+	IncumbentMAE float64 `json:"incumbent_mae"`
+	CandidateMAE float64 `json:"candidate_mae"`
+	// Failures counts probe calls that errored; LadderLevel is the
+	// candidate's degradation high-water during the probe.
+	Failures    int  `json:"failures"`
+	LadderLevel int  `json:"ladder_level"`
+	Updated     bool `json:"updated"`
+	// Reason explains a gate trip ("" when the replica passed).
+	Reason string `json:"reason,omitempty"`
+}
+
+// RolloutResult is what RunRollout did.
+type RolloutResult struct {
+	// Updated names the replicas serving the candidate when the
+	// rollout finished (all of them on success, none after rollback).
+	Updated []string `json:"updated"`
+	// RolledBack reports the automatic fleet rollback; FailedReplica
+	// and Reason identify the gate trip that triggered it.
+	RolledBack    bool             `json:"rolled_back"`
+	FailedReplica string           `json:"failed_replica,omitempty"`
+	Reason        string           `json:"reason,omitempty"`
+	Replicas      []ReplicaRollout `json:"replicas"`
+}
+
+// park takes the named replica out of rotation and waits for its
+// router-tracked in-flight count to drain to zero. Pairing the park
+// with the router's post-pick maintenance re-check makes the barrier
+// airtight: once this returns, no live request can land on the replica
+// until it is unparked, so the model swap happens against dead air.
+func park(ctx context.Context, fleet *Fleet, idx int) error {
+	fleet.states[idx].maintenance.Store(true)
+	obs.Inc("cluster.maintenance.begin.total")
+	for fleet.InFlight(idx) > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: draining %s for rollout: %w", fleet.names[idx], err)
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// unpark returns the replica to rotation.
+func unpark(fleet *Fleet, idx int) {
+	fleet.states[idx].maintenance.Store(false)
+	obs.Inc("cluster.maintenance.end.total")
+}
+
+// probe sends the canary batch ProbePasses times straight at a parked
+// replica and returns its mean absolute error over the targets plus
+// the failure count. Probing out of rotation is the point: the model
+// under test answers only the probe, never live traffic.
+func probe(ctx context.Context, m *ManagedReplica, cfg *RolloutConfig) (mae float64, failures int) {
+	var absSum float64
+	var rows int
+	for pass := 0; pass < cfg.ProbePasses; pass++ {
+		preds, err := m.rep.PredictBatch(ctx, cfg.ProbeRows)
+		if err != nil || len(preds) != len(cfg.ProbeTargets) {
+			failures++
+			continue
+		}
+		for i := range preds {
+			for j := range cfg.ProbeTargets[i] {
+				d := preds[i][j] - cfg.ProbeTargets[i][j]
+				if d < 0 {
+					d = -d
+				}
+				absSum += d
+			}
+			rows++
+		}
+	}
+	if rows > 0 {
+		mae = absSum / float64(rows)
+	}
+	return mae, failures
+}
+
+// RunRollout converts the fleet to the candidate model one replica at
+// a time. For each replica: park it (maintenance, out of rotation),
+// measure the incumbent's canary MAE, install the candidate, reset the
+// degradation high-water, probe, and gate on failures, ladder depth,
+// and MAE ratio. A replica that passes returns to rotation serving the
+// candidate; a replica that fails triggers automatic rollback — the
+// incumbent is reinstalled on it and on every replica already
+// converted, everything returns to rotation, and the error wraps
+// ErrRollback. Either way the fleet ends with no replica parked and
+// every replica serving a probed generation.
+//
+// The incumbent arguments are the rollback target — last-known-good,
+// exactly as the registry records it.
+func RunRollout(ctx context.Context, fleet *Fleet, managed []*ManagedReplica, candidate ml.Regressor, candInfo ml.ModelInfo, incumbent ml.Regressor, incInfo ml.ModelInfo, cfg RolloutConfig) (*RolloutResult, error) {
+	cfg.setDefaults()
+	if len(cfg.ProbeRows) == 0 || len(cfg.ProbeTargets) != len(cfg.ProbeRows) {
+		return nil, fmt.Errorf("cluster: rollout needs probe rows with matching targets")
+	}
+	if candidate == nil || incumbent == nil {
+		return nil, fmt.Errorf("cluster: rollout needs both candidate and incumbent models")
+	}
+	idxOf := make(map[string]int, len(fleet.names))
+	for i, n := range fleet.names {
+		idxOf[n] = i
+	}
+	for _, m := range managed {
+		if _, ok := idxOf[m.name]; !ok {
+			return nil, fmt.Errorf("cluster: rollout replica %q is not in the fleet", m.name)
+		}
+	}
+	obs.Inc("cluster.rollout.total")
+	res := &RolloutResult{}
+
+	rollback := func(failed *ManagedReplica, reason string) (*RolloutResult, error) {
+		obs.Inc("cluster.rollout.rollback.total")
+		res.RolledBack = true
+		res.FailedReplica = failed.name
+		res.Reason = reason
+		// Reinstall last-known-good everywhere the candidate landed —
+		// including the replica that just failed its gate — then return
+		// everything to rotation. Reinstalling a model that was serving
+		// the whole time is deliberate waste: the uniform end state is
+		// worth more than the skipped work. The drain context drops the
+		// caller's cancellation: rollback must complete even when the
+		// rollout's own context is what aborted it.
+		rbctx := context.WithoutCancel(ctx)
+		for _, m := range managed {
+			if err := park(rbctx, fleet, idxOf[m.name]); err != nil {
+				obs.Inc("cluster.rollout.rollback_fail.total")
+				return res, fmt.Errorf("%w: %s failed gate (%s) and %s failed drain: %v", ErrRollback, failed.name, reason, m.name, err)
+			}
+			if err := m.srv.Install(incumbent, incInfo); err != nil {
+				// A replica that cannot even take the incumbent back is
+				// left parked — unroutable is the only safe state for it.
+				obs.Inc("cluster.rollout.rollback_fail.total")
+				return res, fmt.Errorf("%w: %s failed gate (%s) and %s failed reinstall: %v", ErrRollback, failed.name, reason, m.name, err)
+			}
+			unpark(fleet, idxOf[m.name])
+		}
+		// After rollback no replica serves the candidate, whatever its
+		// probe said mid-flight.
+		for i := range res.Replicas {
+			res.Replicas[i].Updated = false
+		}
+		res.Updated = nil
+		return res, fmt.Errorf("%w: replica %s: %s", ErrRollback, failed.name, reason)
+	}
+
+	for _, m := range managed {
+		if err := ctx.Err(); err != nil {
+			return rollback(m, fmt.Sprintf("rollout context cancelled: %v", err))
+		}
+		if err := park(ctx, fleet, idxOf[m.name]); err != nil {
+			return rollback(m, err.Error())
+		}
+		rec := ReplicaRollout{Name: m.name}
+
+		// Baseline: the incumbent's own canary numbers on this replica.
+		incMAE, incFails := probe(ctx, m, &cfg)
+		rec.IncumbentMAE = incMAE
+		if incFails > cfg.MaxFailures {
+			// The replica cannot even answer for the incumbent — this is
+			// a sick replica, not a bad candidate. Converting it blind
+			// would hide that, so the rollout aborts.
+			rec.Reason = fmt.Sprintf("incumbent baseline probe failed %d/%d calls", incFails, cfg.ProbePasses)
+			res.Replicas = append(res.Replicas, rec)
+			return rollback(m, rec.Reason)
+		}
+
+		if err := m.srv.Install(candidate, candInfo); err != nil {
+			rec.Reason = fmt.Sprintf("candidate install: %v", err)
+			res.Replicas = append(res.Replicas, rec)
+			return rollback(m, rec.Reason)
+		}
+		m.srv.ResetLadderMaxLevel()
+		candMAE, candFails := probe(ctx, m, &cfg)
+		rec.CandidateMAE = candMAE
+		rec.Failures = candFails
+		rec.LadderLevel = m.srv.LadderMaxLevel()
+
+		switch {
+		case candFails > cfg.MaxFailures:
+			rec.Reason = fmt.Sprintf("probe failures %d exceed budget %d", candFails, cfg.MaxFailures)
+		case rec.LadderLevel > cfg.MaxLadderLevel:
+			rec.Reason = fmt.Sprintf("degradation ladder reached level %d during probe (budget %d)", rec.LadderLevel, cfg.MaxLadderLevel)
+		case candMAE > incMAE*cfg.MaxMAERatio:
+			rec.Reason = fmt.Sprintf("candidate canary MAE %.6g exceeds incumbent %.6g x %.2f", candMAE, incMAE, cfg.MaxMAERatio)
+		}
+		if rec.Reason != "" {
+			res.Replicas = append(res.Replicas, rec)
+			return rollback(m, rec.Reason)
+		}
+
+		rec.Updated = true
+		res.Replicas = append(res.Replicas, rec)
+		res.Updated = append(res.Updated, m.name)
+		unpark(fleet, idxOf[m.name])
+		obs.Inc("cluster.rollout.replica.updated.total")
+	}
+	return res, nil
+}

@@ -1,0 +1,387 @@
+// Rollout driver tests: the maintenance park, the per-replica canary
+// gate, and the automatic fleet rollback — with live traffic routed
+// through the fleet while a rollout runs, asserting the contract the
+// registry drill depends on: served responses stay bitwise identical
+// to the incumbent until a candidate generation has passed its probe,
+// and after a rollback they simply stay that way.
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/ml"
+	"crossarch/internal/serve"
+)
+
+// probeTargets applies the synthetic truth trainModel fits to the
+// probe rows, so probe MAE measures real fit quality.
+func probeTargets(rows [][]float64) [][]float64 {
+	targets := make([][]float64, len(rows))
+	for i, x := range rows {
+		y := make([]float64, testOutputs)
+		for k := range y {
+			y[k] = x[k%testFeatures] * float64(k+1)
+			if x[(k+1)%testFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		targets[i] = y
+	}
+	return targets
+}
+
+// newManagedFleet stands up n in-process serve.Servers with the
+// incumbent installed, wrapped as managed replicas, plus the fleet
+// over them. Replica names follow the replica-a, replica-b... pattern.
+func newManagedFleet(t testing.TB, incumbent ml.Regressor, n int) ([]*cluster.ManagedReplica, *cluster.Fleet) {
+	t.Helper()
+	managed := make([]*cluster.ManagedReplica, n)
+	specs := make([]cluster.Spec, n)
+	for i := range managed {
+		srv, err := serve.New(serve.Config{Features: testFeatures, Outputs: testOutputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Install(incumbent, ml.ModelInfo{}); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.BeginDrain()
+			srv.Close()
+		})
+		managed[i] = cluster.NewManagedReplica("replica-"+string(rune('a'+i)), srv)
+		specs[i] = cluster.Spec{Replica: managed[i].Replica(), Arch: i % testOutputs}
+	}
+	fleet, err := cluster.NewFleet(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return managed, fleet
+}
+
+// directPredict answers rows on a standalone server running m — the
+// bitwise reference the routed answers are compared against.
+func directPredict(t testing.TB, m ml.Regressor, rows [][]float64) [][]float64 {
+	t.Helper()
+	ref := newServeReplica(t, "reference", m, serve.Config{}, false)
+	preds, err := ref.PredictBatch(context.Background(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preds
+}
+
+// constModel predicts a fixed value everywhere: a deliberately awful
+// candidate the MAE ratio gate must refuse.
+type constModel struct{ v float64 }
+
+func (c *constModel) Fit([][]float64, [][]float64) error { return nil }
+func (c *constModel) Name() string                       { return "const-candidate" }
+func (c *constModel) Predict(x []float64) []float64 {
+	y := make([]float64, testOutputs)
+	for i := range y {
+		y[i] = c.v
+	}
+	return y
+}
+
+// sentinelValue marks probe canary rows for flakyModel: live traffic
+// rows are drawn from an RNG and never hit it exactly.
+const sentinelValue = 2.25
+
+// flakyModel wraps the incumbent and answers identically — until it
+// has seen the probe sentinel row `after` times, after which sentinel
+// rows panic forever. Keying the failure on the canary sentinel makes
+// the regression fire at an exact replica mid-rollout (each replica's
+// gate sends the sentinel ProbePasses times) while live traffic, which
+// never carries the sentinel, keeps getting bitwise-incumbent answers
+// from any replica the candidate already converted.
+type flakyModel struct {
+	inner     ml.Regressor
+	after     int64
+	sentinels atomic.Int64
+}
+
+func (f *flakyModel) Fit([][]float64, [][]float64) error { return nil }
+func (f *flakyModel) Name() string                       { return "flaky-candidate" }
+func (f *flakyModel) Predict(x []float64) []float64 {
+	isSentinel := len(x) > 0
+	for _, v := range x {
+		if v != sentinelValue {
+			isSentinel = false
+			break
+		}
+	}
+	if isSentinel && f.sentinels.Add(1) > f.after {
+		panic("flaky candidate: sentinel regression")
+	}
+	return f.inner.Predict(x)
+}
+
+// TestMaintenanceParking pins the park semantics the rollout driver
+// builds on: a parked replica is unroutable and invisible to health
+// sweeps, but keeps its eviction state and returns on unpark.
+func TestMaintenanceParking(t *testing.T) {
+	model := trainModel(t, 11)
+	managed, fleet := newManagedFleet(t, model, 2)
+	_ = managed
+	router := cluster.NewRouter(fleet, cluster.Config{})
+	ctx := context.Background()
+
+	if fleet.SetMaintenance("no-such-replica", true) {
+		t.Fatal("SetMaintenance accepted an unknown name")
+	}
+	if !fleet.SetMaintenance("replica-a", true) {
+		t.Fatal("SetMaintenance rejected replica-a")
+	}
+	if !fleet.InMaintenance("replica-a") {
+		t.Fatal("replica-a not reported in maintenance")
+	}
+	if fleet.Healthy(0) {
+		t.Fatal("parked replica still routable")
+	}
+	if got := router.CheckHealth(ctx); got != 1 {
+		t.Fatalf("CheckHealth counted %d healthy, want 1 (parked replica skipped)", got)
+	}
+	if !fleet.InMaintenance("replica-a") {
+		t.Fatal("health sweep cleared the maintenance park")
+	}
+	// Traffic still flows through the remaining replica.
+	rows := testRows(4, 21)
+	for k := 0; k < 6; k++ {
+		if _, err := router.Do(ctx, &cluster.Request{Rows: rows}); err != nil {
+			t.Fatalf("request %d with one parked replica: %v", k, err)
+		}
+	}
+	if !fleet.SetMaintenance("replica-a", false) {
+		t.Fatal("unpark rejected replica-a")
+	}
+	if !fleet.Healthy(0) {
+		t.Fatal("unparked replica not routable")
+	}
+	if got := router.CheckHealth(ctx); got != 2 {
+		t.Fatalf("CheckHealth counted %d healthy after unpark, want 2", got)
+	}
+	checkAccounting(t, router, 6)
+}
+
+// TestRolloutConvertsFleet drives a healthy candidate through the full
+// rolling update: every replica probes, passes, and returns to
+// rotation serving the candidate, after which routed answers are
+// bitwise identical to a direct single-server run of the candidate.
+func TestRolloutConvertsFleet(t *testing.T) {
+	incumbent := trainModel(t, 1)
+	candidate := trainModel(t, 2)
+	managed, fleet := newManagedFleet(t, incumbent, 3)
+	router := cluster.NewRouter(fleet, cluster.Config{})
+
+	probeRows := testRows(16, 31)
+	cfg := cluster.RolloutConfig{
+		ProbeRows:    probeRows,
+		ProbeTargets: probeTargets(probeRows),
+		// Both models fit the same truth; the gate here checks "not
+		// wildly worse", not "strictly better" — seed-to-seed fit noise
+		// must not fail a healthy rollout.
+		MaxMAERatio: 50,
+	}
+	res, err := cluster.RunRollout(context.Background(), fleet, managed, candidate, ml.ModelInfo{}, incumbent, ml.ModelInfo{}, cfg)
+	if err != nil {
+		t.Fatalf("rollout: %v", err)
+	}
+	if res.RolledBack {
+		t.Fatalf("healthy rollout rolled back: %s", res.Reason)
+	}
+	if len(res.Updated) != 3 {
+		t.Fatalf("updated %v, want all 3 replicas", res.Updated)
+	}
+	for _, rec := range res.Replicas {
+		if !rec.Updated || rec.Reason != "" {
+			t.Fatalf("replica %s: updated=%v reason=%q", rec.Name, rec.Updated, rec.Reason)
+		}
+		if rec.LadderLevel != ml.LevelPrimary {
+			t.Fatalf("replica %s probe degraded to level %d", rec.Name, rec.LadderLevel)
+		}
+	}
+	for _, m := range managed {
+		if fleet.InMaintenance(m.Name()) {
+			t.Fatalf("replica %s still parked after rollout", m.Name())
+		}
+	}
+
+	rows := testRows(8, 41)
+	want := directPredict(t, candidate, rows)
+	const reqs = 12
+	for k := 0; k < reqs; k++ {
+		got, err := router.Do(context.Background(), &cluster.Request{Rows: rows})
+		if err != nil {
+			t.Fatalf("routed request %d after rollout: %v", k, err)
+		}
+		mustEqualBitwise(t, got, want, "post-rollout routed vs direct candidate")
+	}
+	checkAccounting(t, router, reqs)
+}
+
+// TestRolloutRejectsWorseCandidate feeds the rollout a candidate whose
+// canary MAE is far past the ratio gate: the first replica's probe
+// must trip, the fleet must roll back to the incumbent, and no served
+// answer may ever differ from it.
+func TestRolloutRejectsWorseCandidate(t *testing.T) {
+	incumbent := trainModel(t, 3)
+	managed, fleet := newManagedFleet(t, incumbent, 3)
+	router := cluster.NewRouter(fleet, cluster.Config{})
+
+	probeRows := testRows(16, 51)
+	cfg := cluster.RolloutConfig{
+		ProbeRows:    probeRows,
+		ProbeTargets: probeTargets(probeRows),
+	}
+	res, err := cluster.RunRollout(context.Background(), fleet, managed, &constModel{v: 1e3}, ml.ModelInfo{}, incumbent, ml.ModelInfo{}, cfg)
+	if !errors.Is(err, cluster.ErrRollback) {
+		t.Fatalf("rollout error = %v, want ErrRollback", err)
+	}
+	if !res.RolledBack || res.FailedReplica != "replica-a" {
+		t.Fatalf("rolled_back=%v failed=%q, want rollback at replica-a", res.RolledBack, res.FailedReplica)
+	}
+	if len(res.Updated) != 0 {
+		t.Fatalf("updated %v after rollback, want none", res.Updated)
+	}
+	if !strings.Contains(res.Reason, "MAE") {
+		t.Fatalf("rollback reason %q does not name the MAE gate", res.Reason)
+	}
+	for _, m := range managed {
+		if fleet.InMaintenance(m.Name()) {
+			t.Fatalf("replica %s left parked after rollback", m.Name())
+		}
+	}
+
+	rows := testRows(8, 61)
+	want := directPredict(t, incumbent, rows)
+	const reqs = 9
+	for k := 0; k < reqs; k++ {
+		got, err := router.Do(context.Background(), &cluster.Request{Rows: rows})
+		if err != nil {
+			t.Fatalf("routed request %d after rollback: %v", k, err)
+		}
+		mustEqualBitwise(t, got, want, "post-rollback routed vs incumbent")
+	}
+	checkAccounting(t, router, reqs)
+}
+
+// TestRolloutMidFleetRegressionUnderTraffic is the poisoned-model
+// drill's cluster leg: a candidate that behaves until the third
+// replica's canary probe, where its sentinel regression fires — while
+// live traffic hammers the router the whole time. The rollout must
+// roll the already-converted replicas back to the incumbent, every
+// served response during and after the rollout must be bitwise
+// identical to the incumbent, and the router's conservation invariant
+// must survive the churn.
+func TestRolloutMidFleetRegressionUnderTraffic(t *testing.T) {
+	incumbent := trainModel(t, 5)
+	// The candidate answers with the incumbent's own predictions, so a
+	// converted replica stays bitwise-incumbent for traffic; only the
+	// probe sentinel regresses, and only from the third replica's gate
+	// on (2 replicas x 3 probe passes = 6 sentinel draws pass first).
+	candidate := &flakyModel{inner: incumbent, after: 6}
+	managed, fleet := newManagedFleet(t, incumbent, 3)
+	router := cluster.NewRouter(fleet, cluster.Config{})
+
+	probeRows := testRows(15, 71)
+	sentinel := make([]float64, testFeatures)
+	for i := range sentinel {
+		sentinel[i] = sentinelValue
+	}
+	probeRows = append(probeRows, sentinel)
+	cfg := cluster.RolloutConfig{
+		ProbeRows:    probeRows,
+		ProbeTargets: probeTargets(probeRows),
+		MaxMAERatio:  50,
+	}
+
+	trafficRows := testRows(4, 81)
+	want := directPredict(t, incumbent, trafficRows)
+	var (
+		wg    sync.WaitGroup
+		stop  = make(chan struct{})
+		total atomic.Int64
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := router.Do(context.Background(), &cluster.Request{Rows: trafficRows})
+				total.Add(1)
+				if err != nil {
+					t.Errorf("traffic during rollout: %v", err)
+					return
+				}
+				mustEqualBitwise(t, got, want, "traffic during rollout vs incumbent")
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := cluster.RunRollout(ctx, fleet, managed, candidate, ml.ModelInfo{}, incumbent, ml.ModelInfo{}, cfg)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if !errors.Is(err, cluster.ErrRollback) {
+		t.Fatalf("rollout error = %v, want ErrRollback", err)
+	}
+	if !res.RolledBack || res.FailedReplica != "replica-c" {
+		t.Fatalf("rolled_back=%v failed=%q, want mid-fleet rollback at replica-c", res.RolledBack, res.FailedReplica)
+	}
+	if len(res.Updated) != 0 {
+		t.Fatalf("updated %v after rollback, want none", res.Updated)
+	}
+	if !strings.Contains(res.Reason, "ladder") {
+		t.Fatalf("rollback reason %q does not name the degradation ladder gate", res.Reason)
+	}
+	if len(res.Replicas) != 3 {
+		t.Fatalf("recorded %d replica gates, want 3", len(res.Replicas))
+	}
+	for _, rec := range res.Replicas {
+		if rec.Updated {
+			t.Fatalf("replica %s still marked updated after rollback", rec.Name)
+		}
+	}
+	for _, m := range managed {
+		if fleet.InMaintenance(m.Name()) {
+			t.Fatalf("replica %s left parked after rollback", m.Name())
+		}
+	}
+
+	// Every replica answers bitwise-incumbent again, directly and routed.
+	for _, m := range managed {
+		got, err := m.Replica().PredictBatch(context.Background(), trafficRows)
+		if err != nil {
+			t.Fatalf("direct predict on %s after rollback: %v", m.Name(), err)
+		}
+		mustEqualBitwise(t, got, want, "post-rollback "+m.Name())
+	}
+	const tail = 9
+	for k := 0; k < tail; k++ {
+		got, err := router.Do(context.Background(), &cluster.Request{Rows: trafficRows})
+		if err != nil {
+			t.Fatalf("routed request %d after rollback: %v", k, err)
+		}
+		mustEqualBitwise(t, got, want, "post-rollback routed")
+	}
+	checkAccounting(t, router, int(total.Load())+tail)
+}

@@ -182,6 +182,18 @@ func (r *Router) Do(ctx context.Context, req *Request) ([][]float64, error) {
 		}
 		st := r.fleet.states[idx]
 		st.inflight.Add(1)
+		if st.maintenance.Load() {
+			// Parked between Pick and dispatch: the rollout driver is
+			// swapping this replica's model. The driver parks first and
+			// then waits for in-flight to hit zero, so re-checking after
+			// our own inflight increment (both seq-cst atomics) guarantees
+			// either the driver sees us and waits, or we see the park and
+			// back out here — a request can never land on a mid-swap
+			// generation. Fail over without charging the replica a fault.
+			st.inflight.Add(-1)
+			triedMask |= 1 << uint(idx)
+			continue
+		}
 		start := obs.Now()
 		//lint:ignore hotpathalloc replica transport owns its allocations (HTTP encode/decode); the router itself stays allocation-lean
 		preds, err := st.replica.PredictBatch(ctx, req.Rows)
@@ -242,6 +254,13 @@ func (r *Router) Do(ctx context.Context, req *Request) ([][]float64, error) {
 func (r *Router) CheckHealth(ctx context.Context) int {
 	healthy := 0
 	for _, st := range r.fleet.states {
+		if st.maintenance.Load() {
+			// Parked by the rollout driver: neither probed, counted, nor
+			// re-admitted — maintenance is operator intent, and a healthy
+			// probe mid-model-swap must not put the replica back in
+			// rotation early.
+			continue
+		}
 		if st.replica.Healthy(ctx) {
 			healthy++
 			if st.evicted.Swap(false) {

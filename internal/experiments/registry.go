@@ -1,0 +1,543 @@
+package experiments
+
+// This file holds the poisoned-model drill behind mphpc-registry: a
+// seeded sweep proving the release path's defense-in-depth — a
+// poisoned model is always caught at one of the three gates (registry
+// quarantine at open, shadow promotion gate, rollout canary with
+// automatic rollback) and a poisoned prediction is never served at
+// fleet scale. Each seed runs three poison shapes and one healthy
+// control through the real internal/registry, internal/serve, and
+// internal/cluster implementations; the control proves the gates admit
+// a genuinely better model, so the sweep cannot pass vacuously by
+// rejecting everything.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crossarch/internal/cluster"
+	"crossarch/internal/floats"
+	"crossarch/internal/ml"
+	"crossarch/internal/ml/xgboost"
+	"crossarch/internal/registry"
+	"crossarch/internal/serve"
+	"crossarch/internal/stats"
+)
+
+const (
+	drillFeatures = 6
+	drillOutputs  = 4
+)
+
+// RegistryDrillConfig shapes the poisoned-model drill. The zero value
+// takes the documented defaults, so `mphpc-registry -smoke` and tests
+// share one canonical configuration.
+type RegistryDrillConfig struct {
+	// Seed is the base workload seed (default 29); case k drills seed
+	// Seed+k.
+	Seed uint64
+	// Cases is how many seeds to drill (default 2).
+	Cases int
+}
+
+func (c *RegistryDrillConfig) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 29
+	}
+	if c.Cases <= 0 {
+		c.Cases = 2
+	}
+}
+
+// RegistryDrillCase records one poison (or control) pass.
+type RegistryDrillCase struct {
+	// Kind is the scenario: "corrupt-blob", "shadow-worse",
+	// "rollout-regress", or the healthy control "shadow-better".
+	Kind string `json:"kind"`
+	Seed uint64 `json:"seed"`
+	// CaughtBy names the gate that stopped a poisoned model:
+	// "quarantine", "shadow-gate", or "rollback" ("" for the control).
+	CaughtBy string `json:"caught_by,omitempty"`
+	// Detail is the gate's own reason string.
+	Detail string `json:"detail,omitempty"`
+	// PoisonServed reports whether any served response deviated from
+	// the incumbent bitwise while the poison was in play — the drill's
+	// central invariant is that this is always false.
+	PoisonServed bool `json:"poison_served"`
+	// Promoted reports whether the control candidate made it through
+	// the shadow gate (must be true for "shadow-better").
+	Promoted bool `json:"promoted"`
+}
+
+// RegistryDrillResult is the full sweep.
+type RegistryDrillResult struct {
+	Cases []RegistryDrillCase `json:"cases"`
+}
+
+// CheckInvariants returns the first violated drill invariant: every
+// poison caught at its gate, no poisoned prediction served, and the
+// healthy control promoted.
+func (r *RegistryDrillResult) CheckInvariants() error {
+	if len(r.Cases) == 0 {
+		return fmt.Errorf("registry drill: no cases ran")
+	}
+	for _, c := range r.Cases {
+		if c.PoisonServed {
+			return fmt.Errorf("registry drill: %s seed %d served a poisoned prediction", c.Kind, c.Seed)
+		}
+		switch c.Kind {
+		case "corrupt-blob":
+			if c.CaughtBy != "quarantine" {
+				return fmt.Errorf("registry drill: %s seed %d caught by %q, want quarantine", c.Kind, c.Seed, c.CaughtBy)
+			}
+		case "shadow-worse":
+			if c.CaughtBy != "shadow-gate" {
+				return fmt.Errorf("registry drill: %s seed %d caught by %q, want shadow-gate", c.Kind, c.Seed, c.CaughtBy)
+			}
+		case "rollout-regress":
+			if c.CaughtBy != "rollback" {
+				return fmt.Errorf("registry drill: %s seed %d caught by %q, want rollback", c.Kind, c.Seed, c.CaughtBy)
+			}
+		case "shadow-better":
+			if !c.Promoted {
+				return fmt.Errorf("registry drill: control candidate at seed %d was not promoted: %s", c.Seed, c.Detail)
+			}
+		default:
+			return fmt.Errorf("registry drill: unknown case kind %q", c.Kind)
+		}
+	}
+	return nil
+}
+
+// Table renders the drill as the aligned text table the cmd prints.
+func (r *RegistryDrillResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-6s %-12s %-8s %s\n", "kind", "seed", "caught-by", "served", "detail")
+	for _, c := range r.Cases {
+		caught := c.CaughtBy
+		if c.Kind == "shadow-better" {
+			caught = "promoted"
+		}
+		detail := c.Detail
+		if len(detail) > 60 {
+			detail = detail[:57] + "..."
+		}
+		fmt.Fprintf(&b, "%-16s %-6d %-12s %-8v %s\n", c.Kind, c.Seed, caught, c.PoisonServed, detail)
+	}
+	return b.String()
+}
+
+// drillData draws the synthetic truth every drill model trains on.
+func drillData(seed uint64, n int) (X, Y [][]float64) {
+	rng := stats.NewRNG(seed)
+	X = make([][]float64, n)
+	Y = make([][]float64, n)
+	for i := range X {
+		x := make([]float64, drillFeatures)
+		for j := range x {
+			x[j] = rng.Range(-3, 3)
+		}
+		y := make([]float64, drillOutputs)
+		for k := range y {
+			y[k] = x[k%drillFeatures] * float64(k+1)
+			if x[(k+1)%drillFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		X[i], Y[i] = x, y
+	}
+	return X, Y
+}
+
+// drillModel fits the reference model; poisoned negates every target
+// before fitting, producing a well-formed envelope whose predictions
+// are systematically wrong — the drift-decayed model the gates exist
+// to catch. rounds tunes fit quality (the weak control incumbent uses
+// a single round).
+func drillModel(seed uint64, rounds int, poisoned bool) (*xgboost.Model, error) {
+	X, Y := drillData(seed, 200)
+	if poisoned {
+		for _, y := range Y {
+			for k := range y {
+				y[k] = -y[k]
+			}
+		}
+	}
+	m := xgboost.New(xgboost.Params{Rounds: rounds, MaxDepth: 3, LearningRate: 0.3, Seed: seed})
+	if err := m.Fit(X, Y); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// drillRows draws labeled evaluation rows off the same truth.
+func drillRows(seed uint64, n int) (rows, targets [][]float64) {
+	return drillData(seed, n)
+}
+
+// bitwiseSame compares prediction matrices exactly.
+func bitwiseSame(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			// Exact comparison is the contract under test.
+			if !floats.Eq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// drillCorruptBlob drills gate 1: a candidate whose blob is bit-flipped
+// on disk must be quarantined by the recovery pass at open, leaving the
+// promoted incumbent active and loadable.
+func drillCorruptBlob(seed uint64) (RegistryDrillCase, error) {
+	c := RegistryDrillCase{Kind: "corrupt-blob", Seed: seed}
+	dir, err := os.MkdirTemp("", "mphpc-registry-drill-")
+	if err != nil {
+		return c, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	reg, _, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		return c, err
+	}
+	incumbent, err := drillModel(seed, 10, false)
+	if err != nil {
+		return c, err
+	}
+	inc, err := reg.Add(incumbent, registry.Meta{Note: "drill incumbent"})
+	if err != nil {
+		return c, err
+	}
+	if _, err := reg.Promote(inc.ID, nil); err != nil {
+		return c, err
+	}
+	candidate, err := drillModel(seed+1000, 10, false)
+	if err != nil {
+		return c, err
+	}
+	cand, err := reg.Add(candidate, registry.Meta{Note: "drill candidate"})
+	if err != nil {
+		return c, err
+	}
+
+	// Poison: flip one bit in the candidate blob, as a failing disk or a
+	// torn copy would.
+	blob, err := reg.BlobPath(cand.ID)
+	if err != nil {
+		return c, err
+	}
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		return c, err
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		return c, err
+	}
+
+	reopened, rep, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		return c, err
+	}
+	got, err := reopened.Get(cand.ID)
+	if err != nil {
+		return c, err
+	}
+	if got.Status != registry.StatusQuarantined {
+		return c, fmt.Errorf("corrupt candidate status %q after reopen, want quarantined", got.Status)
+	}
+	active, ok := reopened.Active()
+	if !ok || active.ID != inc.ID {
+		return c, fmt.Errorf("active version %+v after quarantine, want incumbent %s", active, inc.ID)
+	}
+	if _, _, err := reopened.LoadVersion(active.ID); err != nil {
+		return c, fmt.Errorf("incumbent unloadable after quarantine: %w", err)
+	}
+	c.CaughtBy = "quarantine"
+	c.Detail = got.Quarantine
+	if len(rep.Actions) == 0 {
+		return c, fmt.Errorf("recovery pass reported no actions for a corrupt blob")
+	}
+	return c, nil
+}
+
+// shadowServer stands up one serve.Server on a real listener with the
+// incumbent installed, returning its client and a teardown.
+func shadowServer(incumbent ml.Regressor) (*serve.Server, *serve.Client, func(), error) {
+	srv, err := serve.New(serve.Config{Features: drillFeatures, Outputs: drillOutputs})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := srv.Install(incumbent, ml.ModelInfo{}); err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	teardown := func() {
+		_ = hs.Close()
+		srv.BeginDrain()
+		srv.Close()
+	}
+	return srv, &serve.Client{BaseURL: "http://" + ln.Addr().String()}, teardown, nil
+}
+
+// drillShadow drills gate 2 (and, with poisoned=false, the healthy
+// control): the candidate shadows labeled traffic on a live server and
+// the promotion gate decides. Served responses must stay bitwise
+// incumbent throughout shadow evaluation either way.
+func drillShadow(seed uint64, poisoned bool) (RegistryDrillCase, error) {
+	kind := "shadow-better"
+	if poisoned {
+		kind = "shadow-worse"
+	}
+	c := RegistryDrillCase{Kind: kind, Seed: seed}
+
+	// The control's incumbent is deliberately weak (one boosting round)
+	// so a well-trained candidate can clear the promotion margin; the
+	// poison case defends a fully-trained incumbent.
+	incRounds := 10
+	if !poisoned {
+		incRounds = 1
+	}
+	incumbent, err := drillModel(seed, incRounds, false)
+	if err != nil {
+		return c, err
+	}
+	candidate, err := drillModel(seed+2000, 10, poisoned)
+	if err != nil {
+		return c, err
+	}
+	srv, client, teardown, err := shadowServer(incumbent)
+	if err != nil {
+		return c, err
+	}
+	defer teardown()
+	if err := srv.InstallShadow(candidate, ml.ModelInfo{}, "drill-candidate"); err != nil {
+		return c, err
+	}
+
+	ctx := context.Background()
+	for batch := 0; batch < 8; batch++ {
+		rows, targets := drillRows(seed+uint64(100+batch), 16)
+		preds, err := client.PredictLabeled(ctx, rows, targets)
+		if err != nil {
+			return c, err
+		}
+		if !bitwiseSame(preds, ml.PredictBatch(incumbent, rows)) {
+			c.PoisonServed = poisoned
+			return c, fmt.Errorf("%s: served response deviated from the incumbent during shadow evaluation", kind)
+		}
+	}
+
+	status, err := srv.PromoteShadow()
+	if poisoned {
+		if !errors.Is(err, serve.ErrPromoteGate) {
+			return c, fmt.Errorf("promoting a poisoned candidate: err=%v, want ErrPromoteGate", err)
+		}
+		c.CaughtBy = "shadow-gate"
+		c.Detail = status.Reason
+		// The refused candidate must still be nowhere near the served
+		// path: the incumbent answers bitwise.
+		rows, _ := drillRows(seed+500, 8)
+		preds, perr := client.PredictBatch(ctx, rows)
+		if perr != nil {
+			return c, perr
+		}
+		if !bitwiseSame(preds, ml.PredictBatch(incumbent, rows)) {
+			c.PoisonServed = true
+			return c, fmt.Errorf("shadow-worse: served response deviated after the gate refused the candidate")
+		}
+		return c, nil
+	}
+	if err != nil {
+		c.Detail = status.Reason
+		return c, nil // control not promoted: CheckInvariants flags it
+	}
+	c.Promoted = true
+	rows, _ := drillRows(seed+500, 8)
+	preds, perr := client.PredictBatch(ctx, rows)
+	if perr != nil {
+		return c, perr
+	}
+	if !bitwiseSame(preds, ml.PredictBatch(candidate, rows)) {
+		return c, fmt.Errorf("shadow-better: served response is not the promoted candidate's")
+	}
+	return c, nil
+}
+
+// drillRollout drills gate 3: the poisoned candidate reaches a
+// registry-backed fleet rollout, whose canary probe must refuse it and
+// roll every replica back to last-known-good, with routed traffic
+// bitwise incumbent before, during, and after.
+func drillRollout(seed uint64) (RegistryDrillCase, error) {
+	c := RegistryDrillCase{Kind: "rollout-regress", Seed: seed}
+	dir, err := os.MkdirTemp("", "mphpc-registry-drill-")
+	if err != nil {
+		return c, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	// The incumbent comes out of the registry, exactly as a deployment
+	// would load it; the poisoned candidate is registered as the next
+	// version and rejected after the rollout fails.
+	reg, _, err := registry.Open(filepath.Join(dir, "reg"), registry.Options{})
+	if err != nil {
+		return c, err
+	}
+	trained, err := drillModel(seed, 10, false)
+	if err != nil {
+		return c, err
+	}
+	inc, err := reg.Add(trained, registry.Meta{Note: "drill incumbent"})
+	if err != nil {
+		return c, err
+	}
+	if _, err := reg.Promote(inc.ID, nil); err != nil {
+		return c, err
+	}
+	incumbent, incInfo, err := reg.LoadVersion(inc.ID)
+	if err != nil {
+		return c, err
+	}
+	poisonModel, err := drillModel(seed+3000, 10, true)
+	if err != nil {
+		return c, err
+	}
+	cand, err := reg.Add(poisonModel, registry.Meta{Note: "drill poisoned candidate"})
+	if err != nil {
+		return c, err
+	}
+	candidate, candInfo, err := reg.LoadVersion(cand.ID)
+	if err != nil {
+		return c, err
+	}
+
+	const replicas = 3
+	managed := make([]*cluster.ManagedReplica, replicas)
+	specs := make([]cluster.Spec, replicas)
+	var servers []*serve.Server
+	defer func() {
+		for _, s := range servers {
+			s.BeginDrain()
+			s.Close()
+		}
+	}()
+	for i := range managed {
+		srv, serr := serve.New(serve.Config{Features: drillFeatures, Outputs: drillOutputs})
+		if serr != nil {
+			return c, serr
+		}
+		if serr := srv.Install(incumbent, incInfo); serr != nil {
+			srv.Close()
+			return c, serr
+		}
+		servers = append(servers, srv)
+		managed[i] = cluster.NewManagedReplica(fmt.Sprintf("replica-%d", i), srv)
+		specs[i] = cluster.Spec{Replica: managed[i].Replica(), Arch: i % drillOutputs}
+	}
+	fleet, err := cluster.NewFleet(specs)
+	if err != nil {
+		return c, err
+	}
+	router := cluster.NewRouter(fleet, cluster.Config{})
+
+	probeRows, probeTargets := drillRows(seed+4000, 16)
+	trafficRows, _ := drillRows(seed+5000, 6)
+	wantTraffic := ml.PredictBatch(incumbent, trafficRows)
+	ctx := context.Background()
+
+	checkTraffic := func(stage string) error {
+		got, terr := router.Do(ctx, &cluster.Request{Rows: trafficRows})
+		if terr != nil {
+			return fmt.Errorf("routed traffic %s rollout: %w", stage, terr)
+		}
+		if !bitwiseSame(got, wantTraffic) {
+			c.PoisonServed = true
+			return fmt.Errorf("routed traffic %s rollout deviated from the incumbent", stage)
+		}
+		return nil
+	}
+	if err := checkTraffic("before"); err != nil {
+		return c, err
+	}
+
+	res, err := cluster.RunRollout(ctx, fleet, managed, candidate, candInfo, incumbent, incInfo, cluster.RolloutConfig{
+		ProbeRows:    probeRows,
+		ProbeTargets: probeTargets,
+	})
+	if !errors.Is(err, cluster.ErrRollback) {
+		return c, fmt.Errorf("rollout of a poisoned candidate: err=%v, want ErrRollback", err)
+	}
+	if !res.RolledBack || len(res.Updated) != 0 {
+		return c, fmt.Errorf("rollout result %+v, want full rollback with no replica updated", res)
+	}
+	c.CaughtBy = "rollback"
+	c.Detail = res.Reason
+	if err := checkTraffic("after"); err != nil {
+		return c, err
+	}
+	for _, m := range managed {
+		got, perr := m.Replica().PredictBatch(ctx, trafficRows)
+		if perr != nil {
+			return c, perr
+		}
+		if !bitwiseSame(got, wantTraffic) {
+			c.PoisonServed = true
+			return c, fmt.Errorf("replica %s serves non-incumbent predictions after rollback", m.Name())
+		}
+	}
+
+	// Close the registry loop: the refused candidate is recorded
+	// rejected, the incumbent stays active.
+	if _, err := reg.Reject(cand.ID, res.Reason); err != nil {
+		return c, err
+	}
+	active, ok := reg.Active()
+	if !ok || active.ID != inc.ID {
+		return c, fmt.Errorf("registry active %+v after rejection, want incumbent %s", active, inc.ID)
+	}
+	return c, nil
+}
+
+// RunRegistryDrill runs the poisoned-model sweep.
+func RunRegistryDrill(cfg RegistryDrillConfig) (*RegistryDrillResult, error) {
+	cfg.setDefaults()
+	res := &RegistryDrillResult{}
+	for k := 0; k < cfg.Cases; k++ {
+		seed := cfg.Seed + uint64(k)
+		for _, run := range []func(uint64) (RegistryDrillCase, error){
+			drillCorruptBlob,
+			func(s uint64) (RegistryDrillCase, error) { return drillShadow(s, true) },
+			drillRollout,
+			func(s uint64) (RegistryDrillCase, error) { return drillShadow(s, false) },
+		} {
+			c, err := run(seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", c.Kind, seed, err)
+			}
+			res.Cases = append(res.Cases, c)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryDrillInvariants is the poisoned-model drill at its
+// canonical configuration: every poison shape caught at its gate, no
+// poisoned prediction served, the healthy control promoted.
+func TestRegistryDrillInvariants(t *testing.T) {
+	res, err := RunRegistryDrill(RegistryDrillConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, c := range res.Cases {
+		kinds[c.Kind]++
+	}
+	for _, kind := range []string{"corrupt-blob", "shadow-worse", "rollout-regress", "shadow-better"} {
+		if kinds[kind] != 2 {
+			t.Fatalf("kind %s ran %d cases, want 2 (default config)", kind, kinds[kind])
+		}
+	}
+}
+
+// TestRegistryDrillDeterministic pins seeded reproducibility: the same
+// configuration yields the same gates and reasons.
+func TestRegistryDrillDeterministic(t *testing.T) {
+	cfg := RegistryDrillConfig{Seed: 31, Cases: 1}
+	a, err := RunRegistryDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRegistryDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		x, y := a.Cases[i], b.Cases[i]
+		if x.Kind != y.Kind || x.CaughtBy != y.CaughtBy || x.Detail != y.Detail || x.Promoted != y.Promoted {
+			t.Fatalf("case %d differs between runs:\n  %+v\n  %+v", i, x, y)
+		}
+	}
+}
+
+// TestRegistryDrillCheckInvariants exercises the checker's refusals.
+func TestRegistryDrillCheckInvariants(t *testing.T) {
+	empty := &RegistryDrillResult{}
+	if err := empty.CheckInvariants(); err == nil {
+		t.Fatal("empty drill passed CheckInvariants")
+	}
+	served := &RegistryDrillResult{Cases: []RegistryDrillCase{
+		{Kind: "shadow-worse", CaughtBy: "shadow-gate", PoisonServed: true},
+	}}
+	if err := served.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "served") {
+		t.Fatalf("served poison not flagged: %v", err)
+	}
+	missed := &RegistryDrillResult{Cases: []RegistryDrillCase{
+		{Kind: "corrupt-blob", CaughtBy: ""},
+	}}
+	if err := missed.CheckInvariants(); err == nil {
+		t.Fatal("uncaught corrupt blob passed CheckInvariants")
+	}
+	unpromoted := &RegistryDrillResult{Cases: []RegistryDrillCase{
+		{Kind: "shadow-better", Promoted: false},
+	}}
+	if err := unpromoted.CheckInvariants(); err == nil {
+		t.Fatal("rejected control passed CheckInvariants")
+	}
+}

@@ -7,8 +7,8 @@ import (
 )
 
 // CtxFlow enforces the deadline-propagation contract on the serving
-// stack: an exported function or method in serve/cluster that may
-// block (directly or through the call graph) must accept a
+// stack: an exported function or method in serve/cluster/registry that
+// may block (directly or through the call graph) must accept a
 // context.Context and actually use it, and nothing below cmd/ may mint
 // its own root context with context.Background()/TODO() — the deadline
 // must flow down from the caller (ultimately the HTTP request or the
@@ -20,8 +20,8 @@ import (
 // (the request carries the context), and test files.
 var CtxFlow = &Analyzer{
 	Name:      "ctxflow",
-	Doc:       "exported blocking APIs in serve/cluster must accept and forward a context.Context; no context.Background below cmd/",
-	Scope:     regexp.MustCompile(`(^|/)internal/(serve|cluster)(/|$)`),
+	Doc:       "exported blocking APIs in serve/cluster/registry must accept and forward a context.Context; no context.Background below cmd/",
+	Scope:     regexp.MustCompile(`(^|/)internal/(serve|cluster|registry)(/|$)`),
 	RunModule: runCtxFlow,
 }
 

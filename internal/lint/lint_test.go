@@ -59,6 +59,21 @@ func TestClusterFixture(t *testing.T) {
 	}
 }
 
+func TestRegistryFixture(t *testing.T) {
+	// The model registry (ISSUE PR 9) joins the determinism and
+	// deadline scopes: recovery from the same directory and fault seed
+	// must replay identically, so wall-clock stamps, global rand draws,
+	// and map-order float accumulation are flagged, and a registry-side
+	// wait may not mint its own root context — while checksum
+	// arithmetic and context-threading plumbing stay silent.
+	pkg := loadFixture(t, "internal/registry/registryfix")
+	res := Run([]*Package{pkg}, []*Analyzer{Nondeterminism, CtxFlow})
+	checkWants(t, pkg, res.Diagnostics)
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("registryfix diagnostics = %d, want 4", len(res.Diagnostics))
+	}
+}
+
 func TestNondeterminismScope(t *testing.T) {
 	// The same hazards outside the scoped packages (internal/{ml,rpv,
 	// dataset,sched,perfmodel,fault,serve}) must produce nothing: the

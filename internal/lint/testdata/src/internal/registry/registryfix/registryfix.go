@@ -1,0 +1,59 @@
+// Package registryfix exercises the nondeterminism and ctxflow
+// analyzers inside the model-registry scope. Its import path
+// (internal/registry/registryfix) deliberately falls inside both
+// analyzers' package scopes: the registry's recovery pass must behave
+// identically on every reopen of the same directory (crash tests
+// replay exact fault seeds), so wall-clock stamps and global
+// randomness are banned exactly as in the serving layer, and nothing
+// below cmd/ may mint its own root context — a registry helper that
+// waits must inherit the caller's deadline.
+package registryfix
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// StampCommit stamps a manifest entry from the wall clock instead of
+// the telemetry clock.
+func StampCommit() int64 {
+	return time.Now().UnixMilli() // want "time.Now in a deterministic pipeline package"
+}
+
+// TempSuffix derives a temp-file suffix from the global rand source,
+// so two runs of the same recovery scenario write different paths.
+func TempSuffix() int {
+	return rand.Intn(1 << 20) // want "global math/rand.Intn"
+}
+
+// SumMetrics folds a metrics map in Go's randomized iteration order.
+func SumMetrics(metrics map[string]float64) float64 {
+	total := 0.0
+	for _, v := range metrics {
+		total += v // want "map iteration"
+	}
+	return total
+}
+
+// MintWait roots a fresh context below cmd/, cutting the caller's
+// deadline out of a registry-side wait.
+func MintWait() error {
+	ctx := context.Background() // want "context\.Background below cmd/"
+	return ctx.Err()
+}
+
+// BlobName is fine: deterministic string arithmetic over the checksum.
+func BlobName(checksum string) string {
+	return checksum + ".json"
+}
+
+// VerifyAll threads the caller's context into its wait: the clean shape.
+func VerifyAll(ctx context.Context, checksums []string) error {
+	for range checksums {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"crossarch/internal/fault"
 	"crossarch/internal/obs"
@@ -82,6 +83,13 @@ type DegradingPredictor struct {
 	consec   int    // consecutive primary failures
 	cooldown int    // rows remaining with the breaker open
 	halfOpen bool   // next primary row is a probe after cooldown
+
+	// maxLevel is the deepest ladder level any row has resolved to
+	// since construction or the last ResetMaxLevel — the degradation
+	// high-water the rollout driver's health gate reads (a replica
+	// whose candidate model pushes rows off the primary rung is
+	// regressing even when every request still answers 200).
+	maxLevel atomic.Int64
 }
 
 var (
@@ -121,6 +129,17 @@ func (d *DegradingPredictor) Name() string {
 
 // NumOutputs implements OutputSizer.
 func (d *DegradingPredictor) NumOutputs() int { return d.outputs }
+
+// MaxLevel returns the deepest ladder level any row has resolved to
+// since construction or the last ResetMaxLevel: LevelPrimary when
+// every prediction came off the primary model, deeper when anything
+// degraded. Safe for concurrent use with PredictBatch.
+func (d *DegradingPredictor) MaxLevel() int { return int(d.maxLevel.Load()) }
+
+// ResetMaxLevel clears the degradation high-water, typically after a
+// model swap so the new generation's ladder depth is measured on its
+// own traffic.
+func (d *DegradingPredictor) ResetMaxLevel() { d.maxLevel.Store(LevelPrimary) }
 
 // Fit trains both rungs on the same data. The target width must match
 // the width the ladder was built for.
@@ -243,6 +262,12 @@ func (d *DegradingPredictor) PredictBatch(X, out [][]float64) {
 		}
 	}
 	obs.Set("ml.ladder.level", float64(worst))
+	for {
+		cur := d.maxLevel.Load()
+		if int64(worst) <= cur || d.maxLevel.CompareAndSwap(cur, int64(worst)) {
+			break
+		}
+	}
 
 	// Pool the scratch on the way out (keeping any primaryIdx growth).
 	// No defer: if a panic ever escaped the containment above, dropping

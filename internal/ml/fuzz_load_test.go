@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// fuzzRegisterOnce guards the fuzz learner registration so repeated
+// fuzz-engine entries into the target never hit the duplicate panic.
+var fuzzRegisterOnce sync.Once
+
+// FuzzLoadModel throws truncated, bit-flipped, and garbage envelope
+// bytes at the model load path. The contract under test is the
+// registry's foundation: a malformed artifact must come back as a
+// typed, branchable error — ErrChecksum for detectable corruption,
+// ErrBadInput for bytes that never were a loadable envelope — and the
+// loader must never panic, whatever the bytes. The seed corpus is
+// built from a real serialized envelope so mutations start from the
+// interesting region of the input space.
+func FuzzLoadModel(f *testing.F) {
+	fuzzRegisterOnce.Do(func() {
+		RegisterModel("fuzz-load-test", func() Regressor { return &constantModel{} })
+	})
+	prevWarn := LegacyWarn
+	LegacyWarn = io.Discard
+	f.Cleanup(func() { LegacyWarn = prevWarn })
+
+	var real bytes.Buffer
+	if err := SaveModel(&real, &constantModel{Vec: []float64{1.25, -2.5, 3}}); err != nil {
+		f.Fatal(err)
+	}
+	env := real.Bytes()
+	f.Add(env)
+	f.Add(env[:len(env)/2])          // truncated mid-payload
+	f.Add(env[:len(env)-2])          // truncated at the tail
+	f.Add([]byte(`{}`))              // empty envelope
+	f.Add([]byte(`not json at all`)) // garbage
+	f.Add([]byte(`{"name":"never-registered","checksum":"0000000000000000","payload":{}}`))
+	flipped := append([]byte(nil), env...)
+	flipped[len(flipped)/2] ^= 0x40 // bit flip inside the payload
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, info, err := LoadModelInfo(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("load returned both a model and error %v", err)
+			}
+			if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadInput) {
+				t.Fatalf("load error is neither ErrChecksum nor ErrBadInput: %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil model with nil error")
+		}
+		// A successful load promises envelope metadata consistent with
+		// the checksum contract: either a verified digest or an
+		// explicitly legacy (checksum-less) file.
+		if !info.Legacy && len(info.Checksum) != 16 {
+			t.Fatalf("loaded info.Checksum = %q, want 16 hex digits", info.Checksum)
+		}
+	})
+}

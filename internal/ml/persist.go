@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -72,6 +73,11 @@ func payloadChecksum(payload []byte) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// PayloadChecksum exposes the envelope digest for other integrity
+// checks in the repository (the registry's manifest self-checksum uses
+// it so every on-disk artifact verifies the same way).
+func PayloadChecksum(payload []byte) string { return payloadChecksum(payload) }
+
 // LegacyWarn receives one line per checksum-less model file loaded; it
 // defaults to stderr. Tests may silence or capture it. A nil writer
 // disables the warning (the obs counter still counts them).
@@ -121,7 +127,11 @@ func LoadModel(r io.Reader) (Regressor, error) {
 func LoadModelInfo(r io.Reader) (Regressor, ModelInfo, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, ModelInfo{}, fmt.Errorf("ml: decoding model envelope: %w", err)
+		// Truncated or garbage bytes where an envelope should be: typed
+		// as ErrBadInput so callers (and FuzzLoadModel) can assert that
+		// every malformed artifact maps to a branchable cause rather
+		// than a bare decoding error.
+		return nil, ModelInfo{}, fmt.Errorf("ml: decoding model envelope: %v: %w", err, ErrBadInput)
 	}
 	info := ModelInfo{
 		Name:         env.Name,
@@ -144,26 +154,110 @@ func LoadModelInfo(r io.Reader) (Regressor, ModelInfo, error) {
 	factory, ok := registry[env.Name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, info, fmt.Errorf("ml: unknown model %q (registered: %v)", env.Name, RegisteredModels())
+		return nil, info, fmt.Errorf("ml: unknown model %q (registered: %v): %w", env.Name, RegisteredModels(), ErrBadInput)
 	}
 	m := factory()
 	if err := json.Unmarshal(env.Payload, m); err != nil {
-		return nil, info, fmt.Errorf("ml: decoding %s payload: %w", env.Name, err)
+		// A checksum-valid envelope whose payload does not decode into
+		// the named learner: only reachable for legacy (checksum-less)
+		// files or a learner-version skew, both caller-facing bad input.
+		return nil, info, fmt.Errorf("ml: decoding %s payload: %v: %w", env.Name, err, ErrBadInput)
 	}
 	return m, info, nil
 }
 
-// SaveModelFile writes a model to the named file.
-func SaveModelFile(path string, m Regressor) error {
-	f, err := os.Create(path)
+// WriteFileAtomic writes the file produced by write to path so that a
+// crash at any instant leaves either the previous file or the new one,
+// never a truncation: the bytes go to a temp file in path's directory,
+// the temp file is fsynced, renamed over path, and the directory entry
+// is fsynced. Every model-envelope write in the repository (train
+// -save-model, the registry's blob and manifest commits) goes through
+// it — a half-written model where a valid one stood is the failure
+// mode the crash-safe registry exists to rule out, so the primitive
+// lives here next to the envelope format itself.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := SaveModel(f, m); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Filesystems that cannot sync a directory handle (some network and
+	// overlay mounts) fail this call on a perfectly durable rename; the
+	// data file itself was already fsynced, so the directory sync is
+	// best-effort by design while file-level syncs stay strict.
+	_ = d.Sync()
+	return nil
+}
+
+// SaveModelFile writes a model to the named file atomically: a crash
+// mid-save can never leave a truncated envelope where a valid one
+// stood, and a failed save leaves the previous file untouched.
+func SaveModelFile(path string, m Regressor) error {
+	return WriteFileAtomic(path, func(w io.Writer) error { return SaveModel(w, m) })
+}
+
+// VerifyEnvelope reads a model envelope and verifies its payload
+// checksum without reconstructing the learner, so integrity can be
+// audited by processes that never imported the learner's package (the
+// registry's blob re-verification pass). Legacy checksum-less
+// envelopes are rejected: unverifiable is not verified.
+func VerifyEnvelope(r io.Reader) (ModelInfo, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return ModelInfo{}, fmt.Errorf("ml: decoding model envelope: %v: %w", err, ErrBadInput)
+	}
+	info := ModelInfo{
+		Name:         env.Name,
+		Checksum:     env.Checksum,
+		Legacy:       env.Checksum == "",
+		PayloadBytes: len(env.Payload),
+	}
+	if env.Checksum == "" {
+		return info, fmt.Errorf("ml: model %q has no checksum to verify: %w", env.Name, ErrBadInput)
+	}
+	if got := payloadChecksum(env.Payload); got != env.Checksum {
+		return info, fmt.Errorf("ml: model %q corrupt: payload checksum %s, envelope says %s: %w", env.Name, got, env.Checksum, ErrChecksum)
+	}
+	return info, nil
+}
+
+// VerifyEnvelopeFile is VerifyEnvelope over the named file.
+func VerifyEnvelopeFile(path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	defer f.Close()
+	return VerifyEnvelope(f)
 }
 
 // LoadModelFile reads a model from the named file.

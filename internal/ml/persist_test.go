@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -266,3 +267,69 @@ func (*ckCorruptModel) Name() string { return "ck-corrupt" }
 type ckLegacyModel struct{ constantModel }
 
 func (*ckLegacyModel) Name() string { return "ck-legacy" }
+
+// TestSaveModelFileAtomic pins the crash-safety contract of every
+// envelope write: a save that fails mid-write leaves the previous
+// file byte-identical and no temp droppings, and a successful save
+// replaces the file in one rename (ISSUE 9 satellite).
+func TestSaveModelFileAtomic(t *testing.T) {
+	RegisterModel("atomic-test", func() Regressor { return &atomicModel{} })
+	defer unregister("atomic-test")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+
+	if err := SaveModelFile(path, &atomicModel{constantModel{Vec: []float64{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A write that dies partway (simulating a crash or a marshal
+	// failure) must not touch the existing file.
+	wantErr := errors.New("boom mid-write")
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte(`{"name":"atomic-test","payload":`)); werr != nil {
+			return werr
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("WriteFileAtomic error = %v, want the write error", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("failed atomic write changed the file:\nbefore %q\nafter  %q", before, after)
+	}
+
+	// A successful overwrite swaps content atomically and leaves the
+	// directory free of temp files either way.
+	if err := SaveModelFile(path, &atomicModel{constantModel{Vec: []float64{9, 9}}}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	} else if got := m.Predict(nil); got[0] != 9 {
+		t.Errorf("overwritten model predicts %v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp dropping left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want just model.json: %v", len(entries), entries)
+	}
+}
+
+type atomicModel struct{ constantModel }
+
+func (*atomicModel) Name() string { return "atomic-test" }

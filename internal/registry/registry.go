@@ -1,0 +1,843 @@
+// Package registry is the crash-safe, versioned model registry behind
+// the serving stack's release path (DESIGN.md §14). A bad, corrupt, or
+// drifted model envelope must never be one SIGHUP away from
+// production, so every model that can reach a replica first passes
+// through here: envelopes are stored as content-addressed blobs keyed
+// by the same FNV-1a payload checksum the ml load path verifies, a
+// versioned manifest records lineage (parent version, metrics, status)
+// for every entry, and the active/last-known-good pointers give the
+// rollout driver something safe to fall back to.
+//
+// Crash safety is structural, not best-effort. Every write — blob and
+// manifest alike — goes through ml.WriteFileAtomic (temp file, fsync,
+// rename, directory sync), the manifest carries its own checksum and
+// keeps an A/B pair (manifest.json plus the previous good copy at
+// manifest.prev.json), and blob commits are ordered blob-first so a
+// crash between the two writes strands an orphan blob, never a
+// manifest entry pointing at nothing. Open runs a recovery pass that
+// re-verifies everything: a torn manifest falls back to the previous
+// copy (or is rebuilt from the blob store), entries whose blobs are
+// missing or checksum-mismatched are quarantined — the artifact moved
+// aside into quarantine/, the entry marked, never silently dropped —
+// and an active version that turns out corrupt falls back to the
+// last-known-good lineage ancestor that still verifies.
+//
+// Torn writes cannot be produced by the package's own write path (that
+// is the point), so crash coverage is fault-injected: an Options
+// injector with the fault.ModelCorrupt class tears writes at every
+// commit site deterministically, simulating the post-crash on-disk
+// state the recovery pass must survive.
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"crossarch/internal/fault"
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+// SchemaVersion is the manifest schema; Open refuses other versions
+// rather than guessing at field semantics.
+const SchemaVersion = 1
+
+// Version statuses, the registry's rollout state machine. Transitions:
+//
+//	candidate → active     (Promote: passed the shadow gate)
+//	candidate → rejected   (Reject: failed the shadow gate)
+//	active    → retired    (superseded by a promoted candidate)
+//	active    → rolledback (Rollback: regressed live metrics)
+//	any       → quarantined (recovery: blob torn, corrupt, or missing)
+const (
+	StatusCandidate   = "candidate"
+	StatusActive      = "active"
+	StatusRetired     = "retired"
+	StatusRejected    = "rejected"
+	StatusRolledBack  = "rolledback"
+	StatusQuarantined = "quarantined"
+)
+
+// ErrTornWrite is the typed cause of every fault-injected torn write:
+// the simulated crash left a truncated artifact on disk and the
+// in-process operation failed. Crash tests errors.Is on it, then
+// reopen the directory to drive the recovery pass.
+var ErrTornWrite = errors.New("registry: simulated crash tore the write")
+
+// ErrNotFound marks lookups of version IDs the manifest does not hold.
+var ErrNotFound = errors.New("registry: no such version")
+
+// ErrGate marks Promote/Rollback refusals: the state machine forbids
+// the transition (promoting a quarantined version, rolling back with
+// no last-known-good).
+var ErrGate = errors.New("registry: transition refused")
+
+// Version is one manifest entry: a model envelope's identity, lineage,
+// and rollout state.
+type Version struct {
+	// ID is the registry-assigned version identifier ("v0001", ...),
+	// monotone in commit order.
+	ID string `json:"id"`
+	// Checksum is the FNV-1a 64 payload digest — the content address
+	// of the blob under blobs/.
+	Checksum string `json:"checksum"`
+	// Model is the learner name from the envelope (e.g. "xgboost").
+	Model string `json:"model"`
+	// Parent is the lineage parent's version ID ("" for a root).
+	Parent string `json:"parent,omitempty"`
+	// Status is the rollout state (see the Status constants).
+	Status string `json:"status"`
+	// Note is a free-form operator annotation.
+	Note string `json:"note,omitempty"`
+	// Metrics carries evaluation metadata (MAE, shadow-window error)
+	// recorded at commit or promotion time.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// PayloadBytes is the envelope payload size.
+	PayloadBytes int `json:"payload_bytes"`
+	// CreatedUnixMs is the commit wall time (telemetry clock).
+	CreatedUnixMs int64 `json:"created_unix_ms"`
+	// Quarantine records why recovery quarantined the entry ("" while
+	// healthy).
+	Quarantine string `json:"quarantine,omitempty"`
+}
+
+// manifest is the on-disk registry index. Checksum covers the
+// canonical JSON of everything after it (see manifestBody), so a torn
+// or bit-flipped manifest is detected before any field is trusted.
+type manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Checksum      string `json:"checksum"`
+	manifestBody
+}
+
+// manifestBody is the checksummed portion of the manifest.
+type manifestBody struct {
+	// Seq is the number of versions ever committed; IDs derive from it.
+	Seq int `json:"seq"`
+	// Active is the version currently released to serving ("" = none).
+	Active string `json:"active,omitempty"`
+	// LastKnownGood is the rollback target: the most recent version
+	// that served healthily before the current active ("" = none).
+	LastKnownGood string `json:"last_known_good,omitempty"`
+	// Entries holds every version in commit order.
+	Entries []Version `json:"entries"`
+}
+
+// Meta is the caller-supplied metadata for a commit.
+type Meta struct {
+	// Parent is the lineage parent version ID; empty means "the
+	// current active version" (or a root when none is active).
+	Parent string
+	// Note is a free-form annotation.
+	Note string
+	// Metrics carries evaluation numbers to record with the entry.
+	Metrics map[string]float64
+}
+
+// Options tunes Open.
+type Options struct {
+	// Injector, when non-nil, tears writes deterministically via the
+	// fault.ModelCorrupt class — the crash-simulation hook. Draws are
+	// keyed on a per-registry write-operation counter, so "tear the
+	// third write" is an expressible, reproducible scenario.
+	Injector *fault.Injector
+}
+
+// RecoveryAction is one thing the Open recovery pass did.
+type RecoveryAction struct {
+	// Kind classifies the action: "manifest-fallback",
+	// "manifest-rebuilt", "blob-quarantined", "entry-quarantined",
+	// "active-fallback", "orphan-blob", "tmp-removed".
+	Kind string `json:"kind"`
+	// Subject names what was acted on (version ID, file name).
+	Subject string `json:"subject"`
+	// Detail is the human-readable cause.
+	Detail string `json:"detail"`
+}
+
+// RecoveryReport is what Open found and repaired.
+type RecoveryReport struct {
+	Actions []RecoveryAction `json:"actions,omitempty"`
+	// Orphans lists intact blobs no manifest entry references — kept,
+	// not repaired, so they are informational and do not make the open
+	// unclean (an orphan persists across reopens by design).
+	Orphans []string `json:"orphans,omitempty"`
+}
+
+// Clean reports whether recovery had nothing to repair — the
+// healthy-path invariant the crash tests assert after every
+// fault-free reopen. Standing orphan blobs do not count.
+func (r *RecoveryReport) Clean() bool { return len(r.Actions) == 0 }
+
+func (r *RecoveryReport) add(kind, subject, detail string) {
+	r.Actions = append(r.Actions, RecoveryAction{Kind: kind, Subject: subject, Detail: detail})
+}
+
+// Registry is the filesystem-backed store. All methods are safe for
+// concurrent use; mutations serialize on an internal mutex and each
+// one commits the manifest atomically before returning.
+type Registry struct {
+	dir string
+	inj *fault.Injector
+
+	mu   sync.Mutex
+	man  manifest
+	wseq uint64 // write-operation counter, the fault-draw key
+}
+
+const (
+	manifestName = "manifest.json"
+	manifestPrev = "manifest.prev.json"
+	blobsDir     = "blobs"
+	quarDir      = "quarantine"
+)
+
+// Open loads (or initializes) a registry rooted at dir, running the
+// recovery pass: manifest verification with A/B fallback, blob
+// re-verification with quarantine, and active-pointer repair. The
+// returned report lists every recovery action; a healthy directory
+// yields a clean report.
+func Open(dir string, opts Options) (*Registry, *RecoveryReport, error) {
+	for _, sub := range []string{"", blobsDir, quarDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			return nil, nil, fmt.Errorf("registry: init %s: %w", dir, err)
+		}
+	}
+	r := &Registry{dir: dir, inj: opts.Injector}
+	rep := &RecoveryReport{}
+	if err := r.recover(rep); err != nil {
+		return nil, nil, err
+	}
+	obs.Inc("registry.open.total")
+	if !rep.Clean() {
+		obs.Add("registry.recovery.actions.total", float64(len(rep.Actions)))
+	}
+	return r, rep, nil
+}
+
+// Dir returns the registry root.
+func (r *Registry) Dir() string { return r.dir }
+
+// bodyChecksum is the manifest self-checksum: FNV-1a 64 over the
+// canonical JSON of the body, matching the envelope payload digest
+// format so every integrity check in the repository reads the same.
+func bodyChecksum(b manifestBody) (string, error) {
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return "", fmt.Errorf("registry: marshaling manifest: %w", err)
+	}
+	return ml.PayloadChecksum(raw), nil
+}
+
+// loadManifest reads and verifies one manifest file.
+func loadManifest(path string) (manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("registry: manifest %s does not parse: %w", filepath.Base(path), err)
+	}
+	if m.SchemaVersion != SchemaVersion {
+		return manifest{}, fmt.Errorf("registry: manifest %s has schema %d, want %d", filepath.Base(path), m.SchemaVersion, SchemaVersion)
+	}
+	sum, err := bodyChecksum(m.manifestBody)
+	if err != nil {
+		return manifest{}, err
+	}
+	if sum != m.Checksum {
+		return manifest{}, fmt.Errorf("registry: manifest %s checksum %s, recorded %s: torn or corrupt", filepath.Base(path), sum, m.Checksum)
+	}
+	return m, nil
+}
+
+// recover is the Open pass. It must tolerate every on-disk state a
+// crash (or a fault-injected torn write) can leave behind.
+func (r *Registry) recover(rep *RecoveryReport) error {
+	r.removeTmp(rep)
+
+	mainPath := filepath.Join(r.dir, manifestName)
+	prevPath := filepath.Join(r.dir, manifestPrev)
+	man, mainErr := loadManifest(mainPath)
+	switch {
+	case mainErr == nil:
+		// Healthy main manifest.
+	case errors.Is(mainErr, os.ErrNotExist):
+		// Fresh directory — or a crash before the very first manifest
+		// commit. Either way, rebuild from whatever blobs exist.
+		if prev, err := loadManifest(prevPath); err == nil {
+			man = prev
+			rep.add("manifest-fallback", manifestPrev, "manifest.json missing; previous copy restored")
+		} else {
+			man = manifest{SchemaVersion: SchemaVersion}
+			if r.rebuildFromBlobs(&man, rep) {
+				rep.add("manifest-rebuilt", manifestName, "no readable manifest; index rebuilt from blob store")
+			}
+		}
+	default:
+		// Torn or corrupt main manifest: quarantine the artifact, then
+		// fall back to the A/B pair's previous copy.
+		r.quarantineFile(mainPath, rep, "manifest", mainErr.Error())
+		if prev, err := loadManifest(prevPath); err == nil {
+			man = prev
+			rep.add("manifest-fallback", manifestPrev, "manifest.json torn; previous copy restored")
+		} else {
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				r.quarantineFile(prevPath, rep, "manifest", err.Error())
+			}
+			man = manifest{SchemaVersion: SchemaVersion}
+			if r.rebuildFromBlobs(&man, rep) {
+				rep.add("manifest-rebuilt", manifestName, "both manifest copies unreadable; index rebuilt from blob store")
+			}
+		}
+	}
+
+	// Re-verify every entry's blob: missing or corrupt blobs quarantine
+	// the entry (and move the bad artifact aside).
+	for i := range man.Entries {
+		e := &man.Entries[i]
+		if e.Status == StatusQuarantined {
+			continue
+		}
+		if detail, ok := r.verifyBlob(e.Checksum); !ok {
+			if _, err := os.Stat(r.blobPath(e.Checksum)); err == nil {
+				r.quarantineFile(r.blobPath(e.Checksum), rep, "blob", detail)
+			}
+			e.Quarantine = detail
+			e.Status = StatusQuarantined
+			rep.add("entry-quarantined", e.ID, detail)
+			obs.Inc("registry.quarantine.total")
+		}
+	}
+
+	// Repair the active pointer: if the active version was quarantined,
+	// fall back along last-known-good, then lineage, to the newest
+	// healthy ancestor.
+	if man.Active != "" {
+		if e, ok := findEntry(man.Entries, man.Active); !ok || e.Status == StatusQuarantined {
+			fallback := r.pickFallback(&man)
+			detail := fmt.Sprintf("active %s unusable; fell back to %q", man.Active, fallback)
+			if fb, ok := findEntry(man.Entries, fallback); ok {
+				fb.Status = StatusActive
+			}
+			man.Active = fallback
+			rep.add("active-fallback", fallback, detail)
+		}
+	}
+
+	// Surface (but keep) content-addressed blobs no entry references —
+	// the residue of a crash between blob and manifest commit.
+	r.reportOrphans(&man, rep)
+
+	r.man = man
+	// Persist repairs so the next open is clean. A healthy directory
+	// (and a fresh, empty one) skips the write: recovery that found
+	// nothing must not touch disk.
+	if !rep.Clean() {
+		if err := r.commitManifestLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeTmp clears temp droppings a crash left in the root or blob
+// dirs (ml.WriteFileAtomic temp files are never valid artifacts).
+func (r *Registry) removeTmp(rep *RecoveryReport) {
+	for _, sub := range []string{"", blobsDir} {
+		entries, err := os.ReadDir(filepath.Join(r.dir, sub))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(r.dir, sub, e.Name()))
+				rep.add("tmp-removed", filepath.Join(sub, e.Name()), "crash-interrupted temp file removed")
+			}
+		}
+	}
+}
+
+// rebuildFromBlobs reconstructs a minimal manifest from the blob
+// store: every verifiable envelope becomes a recovered candidate entry
+// (lineage is gone — that is what the manifest was for). Returns
+// whether anything was recovered.
+func (r *Registry) rebuildFromBlobs(man *manifest, rep *RecoveryReport) bool {
+	entries, err := os.ReadDir(filepath.Join(r.dir, blobsDir))
+	if err != nil {
+		return false
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	recovered := false
+	for _, sum := range names {
+		if detail, ok := r.verifyBlob(sum); !ok {
+			r.quarantineFile(r.blobPath(sum), rep, "blob", detail)
+			continue
+		}
+		info, err := ml.VerifyEnvelopeFile(r.blobPath(sum))
+		if err != nil {
+			r.quarantineFile(r.blobPath(sum), rep, "blob", err.Error())
+			continue
+		}
+		man.Seq++
+		man.Entries = append(man.Entries, Version{
+			ID:            versionID(man.Seq),
+			Checksum:      sum,
+			Model:         info.Name,
+			Status:        StatusCandidate,
+			Note:          "recovered from blob store; lineage lost",
+			PayloadBytes:  info.PayloadBytes,
+			CreatedUnixMs: obs.Now().UnixMilli(),
+		})
+		recovered = true
+	}
+	return recovered
+}
+
+// verifyBlob checks that the content-addressed blob exists, is a
+// well-formed envelope, and that its payload digest matches both the
+// envelope's recorded checksum and its own file name. Verification is
+// checksum-only (no learner reconstruction), so it works in processes
+// that never imported the learner's package.
+func (r *Registry) verifyBlob(sum string) (detail string, ok bool) {
+	info, err := ml.VerifyEnvelopeFile(r.blobPath(sum))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return "blob missing", false
+	case err != nil:
+		return fmt.Sprintf("blob unreadable: %v", err), false
+	case info.Checksum != sum:
+		return fmt.Sprintf("blob content %s does not match address %s", info.Checksum, sum), false
+	}
+	return "", true
+}
+
+// quarantineFile moves a bad artifact into quarantine/ under a
+// collision-free name derived from its original one.
+func (r *Registry) quarantineFile(path string, rep *RecoveryReport, kind, detail string) {
+	base := filepath.Base(path)
+	dst := filepath.Join(r.dir, quarDir, base)
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(r.dir, quarDir, fmt.Sprintf("%s.%d", base, n))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		// The artifact would not move (permissions, races). Removing it
+		// is wrong — it is evidence — so record the failure and leave it.
+		rep.add("blob-quarantined", base, fmt.Sprintf("%s: quarantine move failed: %v", detail, err))
+		return
+	}
+	rep.add("blob-quarantined", base, fmt.Sprintf("%s (%s moved to %s)", detail, kind, filepath.Join(quarDir, filepath.Base(dst))))
+}
+
+// pickFallback chooses the replacement active version after the
+// current one was quarantined: last-known-good if healthy, else the
+// newest non-quarantined entry on the active version's parent chain,
+// else the newest healthy entry of any lineage, else none.
+func (r *Registry) pickFallback(man *manifest) string {
+	healthy := func(id string) bool {
+		e, ok := findEntry(man.Entries, id)
+		return ok && e.Status != StatusQuarantined && e.Status != StatusRejected
+	}
+	if man.LastKnownGood != "" && healthy(man.LastKnownGood) {
+		return man.LastKnownGood
+	}
+	if active, ok := findEntry(man.Entries, man.Active); ok {
+		for parent := active.Parent; parent != ""; {
+			if healthy(parent) {
+				return parent
+			}
+			e, ok := findEntry(man.Entries, parent)
+			if !ok {
+				break
+			}
+			parent = e.Parent
+		}
+	}
+	for i := len(man.Entries) - 1; i >= 0; i-- {
+		if e := man.Entries[i]; e.Status != StatusQuarantined && e.Status != StatusRejected {
+			return e.ID
+		}
+	}
+	return ""
+}
+
+// reportOrphans surfaces unreferenced blobs. Intact orphans are kept —
+// pre-manifest crash residue or an operator's manual drop, not ours to
+// delete — while corrupt ones (a torn blob write whose manifest entry
+// never landed) move to quarantine so the blob store holds only
+// verified envelopes.
+func (r *Registry) reportOrphans(man *manifest, rep *RecoveryReport) {
+	referenced := map[string]bool{}
+	for _, e := range man.Entries {
+		referenced[e.Checksum] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(r.dir, blobsDir))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		sum, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || referenced[sum] {
+			continue
+		}
+		if detail, ok := r.verifyBlob(sum); !ok {
+			r.quarantineFile(r.blobPath(sum), rep, "blob", detail)
+			continue
+		}
+		rep.Orphans = append(rep.Orphans, e.Name())
+	}
+}
+
+func versionID(seq int) string { return fmt.Sprintf("v%04d", seq) }
+
+func findEntry(entries []Version, id string) (*Version, bool) {
+	for i := range entries {
+		if entries[i].ID == id {
+			return &entries[i], true
+		}
+	}
+	return nil, false
+}
+
+func (r *Registry) blobPath(sum string) string {
+	return filepath.Join(r.dir, blobsDir, sum+".json")
+}
+
+// BlobPath returns the on-disk path of a version's envelope blob —
+// what a serve replica's ModelPath points at when it serves from the
+// registry.
+func (r *Registry) BlobPath(id string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := findEntry(r.man.Entries, id)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.blobPath(e.Checksum), nil
+}
+
+// writeAtomic is ml.WriteFileAtomic with the registry's fault hook: a
+// ModelCorrupt hit on this write's sequence number tears the write —
+// the destination is left holding a deterministic prefix of the bytes
+// (the post-crash state of a non-atomic or fsync-less writer) and the
+// operation fails with ErrTornWrite.
+func (r *Registry) writeAtomic(path string, data []byte) error {
+	key := r.wseq
+	r.wseq++
+	if r.inj.Hit(fault.ModelCorrupt, key) {
+		cut := int(r.inj.U(fault.ModelCorrupt, key) * float64(len(data)))
+		if cut >= len(data) {
+			cut = len(data) - 1
+		}
+		if cut < 0 {
+			cut = 0
+		}
+		if err := os.WriteFile(path, data[:cut], 0o666); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %s at %d/%d bytes", ErrTornWrite, filepath.Base(path), cut, len(data))
+	}
+	return ml.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// commitManifestLocked persists the manifest under the A/B protocol:
+// the current good copy is preserved as manifest.prev.json, then the
+// new manifest replaces manifest.json atomically. Caller holds r.mu.
+func (r *Registry) commitManifestLocked() error {
+	sum, err := bodyChecksum(r.man.manifestBody)
+	if err != nil {
+		return err
+	}
+	r.man.SchemaVersion = SchemaVersion
+	r.man.Checksum = sum
+	data, err := json.MarshalIndent(r.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: marshaling manifest: %w", err)
+	}
+	mainPath := filepath.Join(r.dir, manifestName)
+	if cur, err := os.ReadFile(mainPath); err == nil {
+		// Preserve the previous good copy before touching the main
+		// file. Its own write is atomic too, so a crash here leaves
+		// either the old prev or the new prev — both valid manifests.
+		if _, perr := loadManifest(mainPath); perr == nil {
+			if werr := r.writeAtomic(filepath.Join(r.dir, manifestPrev), cur); werr != nil {
+				return werr
+			}
+		}
+	}
+	if err := r.writeAtomic(mainPath, data); err != nil {
+		return err
+	}
+	obs.Inc("registry.manifest.commit.total")
+	return nil
+}
+
+// Add commits a fitted model: the envelope is serialized, its blob
+// written content-addressed (blob first, manifest second — the crash
+// ordering that can only strand an orphan blob), and a new candidate
+// version appended to the manifest with the given lineage metadata.
+func (r *Registry) Add(m ml.Regressor, meta Meta) (Version, error) {
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, m); err != nil {
+		return Version{}, err
+	}
+	return r.addEnvelope(buf.Bytes(), meta)
+}
+
+// AddFile commits an existing envelope file (e.g. mphpc-train
+// -save-model output) after verifying it loads cleanly.
+func (r *Registry) AddFile(path string, meta Meta) (Version, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Version{}, err
+	}
+	return r.addEnvelope(data, meta)
+}
+
+func (r *Registry) addEnvelope(data []byte, meta Meta) (Version, error) {
+	// Envelope must verify before anything touches disk: the registry
+	// refuses artifacts the serving load path would refuse.
+	_, info, err := ml.LoadModelInfo(bytes.NewReader(data))
+	if err != nil {
+		return Version{}, fmt.Errorf("registry: refusing unloadable envelope: %w", err)
+	}
+	if info.Legacy {
+		return Version{}, fmt.Errorf("registry: refusing checksum-less legacy envelope %q: corruption would be undetectable: %w", info.Name, ml.ErrBadInput)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := meta.Parent
+	if parent == "" {
+		parent = r.man.Active
+	} else if _, ok := findEntry(r.man.Entries, parent); !ok {
+		return Version{}, fmt.Errorf("%w: parent %s", ErrNotFound, parent)
+	}
+	if err := r.writeAtomic(r.blobPath(info.Checksum), data); err != nil {
+		return Version{}, err
+	}
+	r.man.Seq++
+	v := Version{
+		ID:            versionID(r.man.Seq),
+		Checksum:      info.Checksum,
+		Model:         info.Name,
+		Parent:        parent,
+		Status:        StatusCandidate,
+		Note:          meta.Note,
+		Metrics:       copyMetrics(meta.Metrics),
+		PayloadBytes:  info.PayloadBytes,
+		CreatedUnixMs: obs.Now().UnixMilli(),
+	}
+	r.man.Entries = append(r.man.Entries, v)
+	if err := r.commitManifestLocked(); err != nil {
+		// The manifest write failed (or was torn): drop the in-memory
+		// entry so the Registry never claims a version the disk does
+		// not hold. The blob stays — an orphan recovery will report.
+		r.man.Entries = r.man.Entries[:len(r.man.Entries)-1]
+		r.man.Seq--
+		return Version{}, err
+	}
+	obs.Inc("registry.add.total")
+	return v, nil
+}
+
+func copyMetrics(m map[string]float64) map[string]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns a version by ID.
+func (r *Registry) Get(id string) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := findEntry(r.man.Entries, id)
+	if !ok {
+		return Version{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return *e, nil
+}
+
+// List returns every version in commit order.
+func (r *Registry) List() []Version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Version(nil), r.man.Entries...)
+}
+
+// Active returns the released version, if any.
+func (r *Registry) Active() (Version, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := findEntry(r.man.Entries, r.man.Active); ok {
+		return *e, true
+	}
+	return Version{}, false
+}
+
+// LastKnownGood returns the rollback target, if any.
+func (r *Registry) LastKnownGood() (Version, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := findEntry(r.man.Entries, r.man.LastKnownGood); ok {
+		return *e, true
+	}
+	return Version{}, false
+}
+
+// Promote releases a candidate: it becomes active, the previous
+// active retires and becomes the last-known-good rollback target.
+// metrics (may be nil) is merged into the entry — the shadow window
+// numbers that justified the promotion belong in the lineage record.
+func (r *Registry) Promote(id string, metrics map[string]float64) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := findEntry(r.man.Entries, id)
+	if !ok {
+		return Version{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch e.Status {
+	case StatusCandidate, StatusRetired, StatusRolledBack:
+		// Promotable: fresh candidates, and previously-released
+		// versions being re-released (a rollback's re-promote).
+	case StatusActive:
+		return *e, nil // idempotent
+	default:
+		return Version{}, fmt.Errorf("%w: cannot promote %s version %s", ErrGate, e.Status, id)
+	}
+	saved := r.man
+	savedEntries := append([]Version(nil), r.man.Entries...)
+	if prev, ok := findEntry(r.man.Entries, r.man.Active); ok && prev.ID != id {
+		prev.Status = StatusRetired
+		r.man.LastKnownGood = prev.ID
+	}
+	e.Status = StatusActive
+	for k, v := range metrics {
+		if e.Metrics == nil {
+			e.Metrics = map[string]float64{}
+		}
+		e.Metrics[k] = v
+	}
+	r.man.Active = id
+	if err := r.commitManifestLocked(); err != nil {
+		r.man = saved
+		r.man.Entries = savedEntries
+		return Version{}, err
+	}
+	obs.Inc("registry.promote.total")
+	return *e, nil
+}
+
+// Reject marks a candidate as failed (the shadow gate said no). A
+// rejected version is never considered for fallback.
+func (r *Registry) Reject(id, reason string) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := findEntry(r.man.Entries, id)
+	if !ok {
+		return Version{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if e.Status != StatusCandidate {
+		return Version{}, fmt.Errorf("%w: cannot reject %s version %s", ErrGate, e.Status, id)
+	}
+	saved := append([]Version(nil), r.man.Entries...)
+	e.Status = StatusRejected
+	if reason != "" {
+		e.Note = strings.TrimSpace(e.Note + "; rejected: " + reason)
+	}
+	if err := r.commitManifestLocked(); err != nil {
+		r.man.Entries = saved
+		return Version{}, err
+	}
+	obs.Inc("registry.reject.total")
+	return *e, nil
+}
+
+// Rollback reverts to the last-known-good version: the current active
+// is marked rolled-back (it keeps its lineage entry — rollbacks are
+// history, not deletion) and last-known-good becomes active again.
+func (r *Registry) Rollback(reason string) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lkg, ok := findEntry(r.man.Entries, r.man.LastKnownGood)
+	if !ok || lkg.Status == StatusQuarantined {
+		return Version{}, fmt.Errorf("%w: no healthy last-known-good to roll back to", ErrGate)
+	}
+	saved := r.man
+	savedEntries := append([]Version(nil), r.man.Entries...)
+	if cur, ok := findEntry(r.man.Entries, r.man.Active); ok && cur.ID != lkg.ID {
+		cur.Status = StatusRolledBack
+		if reason != "" {
+			cur.Note = strings.TrimSpace(cur.Note + "; rolled back: " + reason)
+		}
+	}
+	lkg.Status = StatusActive
+	r.man.Active = lkg.ID
+	r.man.LastKnownGood = lkg.Parent
+	if _, ok := findEntry(r.man.Entries, lkg.Parent); !ok {
+		r.man.LastKnownGood = ""
+	}
+	if err := r.commitManifestLocked(); err != nil {
+		r.man = saved
+		r.man.Entries = savedEntries
+		return Version{}, err
+	}
+	obs.Inc("registry.rollback.total")
+	return *lkg, nil
+}
+
+// LoadVersion reads and reconstructs a version's model through the
+// checksum-verified ml load path.
+func (r *Registry) LoadVersion(id string) (ml.Regressor, ml.ModelInfo, error) {
+	path, err := r.BlobPath(id)
+	if err != nil {
+		return nil, ml.ModelInfo{}, err
+	}
+	return ml.LoadModelFileInfo(path)
+}
+
+// Verify re-checks every non-quarantined entry's blob on demand (the
+// mphpc-registry -verify subcommand). It reports problems without
+// mutating state — Open is where quarantine happens, so that repair
+// always runs under the full recovery pass.
+func (r *Registry) Verify() []RecoveryAction {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var problems []RecoveryAction
+	for i := range r.man.Entries {
+		e := &r.man.Entries[i]
+		if e.Status == StatusQuarantined {
+			continue
+		}
+		if detail, ok := r.verifyBlob(e.Checksum); !ok {
+			problems = append(problems, RecoveryAction{Kind: "corrupt", Subject: e.ID, Detail: detail})
+		}
+	}
+	return problems
+}

@@ -1,0 +1,263 @@
+package registry_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/registry"
+)
+
+// regModel is a minimal registered learner whose serialized payload is
+// fully determined by Bias — handy for producing distinct, verifiable
+// envelopes without training anything.
+type regModel struct {
+	Bias float64 `json:"bias"`
+	Out  int     `json:"out"`
+}
+
+func (m *regModel) Fit(X, Y [][]float64) error { return nil }
+func (m *regModel) Name() string               { return "registry-test" }
+func (m *regModel) Predict(x []float64) []float64 {
+	out := make([]float64, m.Out)
+	for i := range out {
+		out[i] = m.Bias + float64(i)
+	}
+	return out
+}
+
+var registerOnce sync.Once
+
+func newModel(bias float64) *regModel {
+	registerOnce.Do(func() {
+		ml.RegisterModel("registry-test", func() ml.Regressor { return &regModel{} })
+	})
+	return &regModel{Bias: bias, Out: 2}
+}
+
+func mustOpen(t *testing.T, dir string) (*registry.Registry, *registry.RecoveryReport) {
+	t.Helper()
+	r, rep, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return r, rep
+}
+
+func TestAddPromoteLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	r, rep := mustOpen(t, dir)
+	if !rep.Clean() {
+		t.Fatalf("fresh dir recovery not clean: %+v", rep.Actions)
+	}
+
+	v1, err := r.Add(newModel(1), registry.Meta{Note: "first", Metrics: map[string]float64{"mae": 0.5}})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if v1.ID != "v0001" || v1.Status != registry.StatusCandidate {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	if len(v1.Checksum) != 16 {
+		t.Fatalf("checksum %q not content-address shaped", v1.Checksum)
+	}
+	if _, ok := r.Active(); ok {
+		t.Fatal("active before any promotion")
+	}
+
+	if _, err := r.Promote(v1.ID, map[string]float64{"shadow_mae": 0.4}); err != nil {
+		t.Fatalf("Promote v1: %v", err)
+	}
+	act, ok := r.Active()
+	if !ok || act.ID != v1.ID || act.Status != registry.StatusActive {
+		t.Fatalf("active after promote = %+v ok=%v", act, ok)
+	}
+	if act.Metrics["shadow_mae"] != 0.4 || act.Metrics["mae"] != 0.5 {
+		t.Fatalf("promotion metrics not merged: %+v", act.Metrics)
+	}
+
+	// Second version: lineage parent defaults to the current active.
+	v2, err := r.Add(newModel(2), registry.Meta{})
+	if err != nil {
+		t.Fatalf("Add v2: %v", err)
+	}
+	if v2.Parent != v1.ID {
+		t.Fatalf("v2.Parent = %q, want %q", v2.Parent, v1.ID)
+	}
+	if _, err := r.Promote(v2.ID, nil); err != nil {
+		t.Fatalf("Promote v2: %v", err)
+	}
+	lkg, ok := r.LastKnownGood()
+	if !ok || lkg.ID != v1.ID || lkg.Status != registry.StatusRetired {
+		t.Fatalf("last-known-good after v2 promote = %+v ok=%v", lkg, ok)
+	}
+
+	// Rollback returns to v1 and marks v2 rolled back.
+	back, err := r.Rollback("error rate regressed")
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if back.ID != v1.ID {
+		t.Fatalf("rollback landed on %s, want %s", back.ID, v1.ID)
+	}
+	got2, _ := r.Get(v2.ID)
+	if got2.Status != registry.StatusRolledBack || !strings.Contains(got2.Note, "error rate regressed") {
+		t.Fatalf("v2 after rollback = %+v", got2)
+	}
+
+	// The full lifecycle must survive a reopen bit-for-bit.
+	r2, rep2 := mustOpen(t, dir)
+	if !rep2.Clean() {
+		t.Fatalf("reopen after healthy lifecycle not clean: %+v", rep2.Actions)
+	}
+	act2, ok := r2.Active()
+	if !ok || act2.ID != v1.ID {
+		t.Fatalf("active after reopen = %+v ok=%v", act2, ok)
+	}
+	if got := len(r2.List()); got != 2 {
+		t.Fatalf("reopened entry count = %d, want 2", got)
+	}
+}
+
+func TestLoadVersionRoundTrips(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	v, err := r.Add(newModel(7.5), registry.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, info, err := r.LoadVersion(v.ID)
+	if err != nil {
+		t.Fatalf("LoadVersion: %v", err)
+	}
+	if info.Checksum != v.Checksum {
+		t.Fatalf("loaded checksum %s, manifest says %s", info.Checksum, v.Checksum)
+	}
+	if got := m.Predict(nil)[0]; got != 7.5 {
+		t.Fatalf("round-tripped Bias predicts %v, want 7.5", got)
+	}
+}
+
+func TestRejectAndGates(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	v1, _ := r.Add(newModel(1), registry.Meta{})
+	if _, err := r.Reject(v1.ID, "shadow window worse than incumbent"); err != nil {
+		t.Fatalf("Reject: %v", err)
+	}
+	if _, err := r.Promote(v1.ID, nil); !errors.Is(err, registry.ErrGate) {
+		t.Fatalf("promoting a rejected version: err = %v, want ErrGate", err)
+	}
+	if _, err := r.Rollback("nothing to roll back to"); !errors.Is(err, registry.ErrGate) {
+		t.Fatalf("rollback with no last-known-good: err = %v, want ErrGate", err)
+	}
+	if _, err := r.Get("v9999"); !errors.Is(err, registry.ErrNotFound) {
+		t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Add(newModel(2), registry.Meta{Parent: "v9999"}); !errors.Is(err, registry.ErrNotFound) {
+		t.Fatalf("Add with missing parent: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAddRefusesBadEnvelopes(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	dir := t.TempDir()
+
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not an envelope"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddFile(garbage, registry.Meta{}); !errors.Is(err, ml.ErrBadInput) {
+		t.Fatalf("AddFile(garbage): err = %v, want ErrBadInput", err)
+	}
+
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"name":"registry-test","payload":{"bias":1,"out":1}}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	prev := ml.LegacyWarn
+	ml.LegacyWarn = nil
+	t.Cleanup(func() { ml.LegacyWarn = prev })
+	if _, err := r.AddFile(legacy, registry.Meta{}); !errors.Is(err, ml.ErrBadInput) {
+		t.Fatalf("AddFile(legacy, checksum-less): err = %v, want ErrBadInput", err)
+	}
+	if got := len(r.List()); got != 0 {
+		t.Fatalf("refused envelopes left %d entries", got)
+	}
+}
+
+func TestContentAddressing(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	v1, err := r.Add(newModel(3), registry.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same weights → same checksum → same blob; a second Add is a new
+	// lineage entry sharing the content address.
+	v2, err := r.Add(newModel(3), registry.Meta{Note: "re-added"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Checksum != v2.Checksum {
+		t.Fatalf("identical payloads got different addresses %s / %s", v1.Checksum, v2.Checksum)
+	}
+	if v1.ID == v2.ID {
+		t.Fatal("distinct commits share a version ID")
+	}
+	p1, _ := r.BlobPath(v1.ID)
+	p2, _ := r.BlobPath(v2.ID)
+	if p1 != p2 {
+		t.Fatalf("same content maps to two blobs: %s / %s", p1, p2)
+	}
+}
+
+func TestVerifyReportsCorruption(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	v, _ := r.Add(newModel(4), registry.Meta{})
+	if problems := r.Verify(); len(problems) != 0 {
+		t.Fatalf("healthy registry Verify = %+v", problems)
+	}
+	path, _ := r.BlobPath(v.ID)
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	problems := r.Verify()
+	if len(problems) != 1 || problems[0].Subject != v.ID {
+		t.Fatalf("Verify after bit flip = %+v", problems)
+	}
+}
+
+func TestConcurrentAddsAreSerializable(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir())
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Add(newModel(float64(i)), registry.Meta{Note: fmt.Sprintf("worker %d", i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Add %d: %v", i, err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, v := range r.List() {
+		if seen[v.ID] {
+			t.Fatalf("duplicate version ID %s", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("committed %d versions, want %d", len(seen), n)
+	}
+}

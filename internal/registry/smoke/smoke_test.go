@@ -1,0 +1,18 @@
+package smoke_test
+
+import (
+	"context"
+	"testing"
+
+	"crossarch/internal/registry/smoke"
+)
+
+// TestRun executes the full registry smoke gate in-process: the same
+// drill `mphpc-registry -smoke` (and `make registry-smoke`) runs, so a
+// regression in any release-path invariant fails plain
+// `go test ./...` too.
+func TestRun(t *testing.T) {
+	if err := smoke.Run(context.Background()); err != nil {
+		t.Fatalf("SMOKE FAIL: %v", err)
+	}
+}

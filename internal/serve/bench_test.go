@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"crossarch/internal/ml"
 	"crossarch/internal/serve"
 )
 
@@ -30,6 +31,43 @@ func BenchmarkServePredict(b *testing.B) {
 				MaxWait:  200 * time.Microsecond,
 				QueueCap: 4096,
 			})
+			rows := testRows(nrows, uint64(nrows))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.PredictBatch(context.Background(), rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(nrows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkShadowDispatch measures the served request path with a
+// shadow candidate installed and evaluating at the default 1-in-8
+// batch sampling — the configuration the rollout story runs in
+// production. Compared against BenchmarkServePredict (the same path
+// with no candidate), it pins the claim that shadow mode costs under
+// 10% on the hot path: the candidate's compute amortizes across the
+// sampling interval and the unsampled dispatch adds only an atomic
+// load and a modulo. Gated alongside the other serving benchmarks in
+// make bench-gate.
+func BenchmarkShadowDispatch(b *testing.B) {
+	model := trainModel(b, 90)
+	candidate := trainModel(b, 91)
+	for _, nrows := range []int{1, 64} {
+		b.Run(fmt.Sprintf("rows=%d", nrows), func(b *testing.B) {
+			srv, client := newTestServer(b, model, serve.Config{
+				MaxBatch: 64,
+				MaxWait:  200 * time.Microsecond,
+				QueueCap: 4096,
+			})
+			if err := srv.InstallShadow(candidate, ml.ModelInfo{}, "v-bench"); err != nil {
+				b.Fatal(err)
+			}
 			rows := testRows(nrows, uint64(nrows))
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {

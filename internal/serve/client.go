@@ -193,6 +193,40 @@ func (c *Client) predictOnce(ctx context.Context, rows [][]float64) ([][]float64
 	return preds, nil
 }
 
+// PredictLabeled posts rows together with their true targets, feeding
+// the server's shadow evaluation window while returning the incumbent's
+// predictions exactly as PredictBatch would. Labeled requests take the
+// stdlib codec deliberately — they are shadow-evidence traffic, not the
+// hot path — and are never retried: a replayed labeled batch would
+// count its rows into the shadow window twice.
+func (c *Client) PredictLabeled(ctx context.Context, rows, targets [][]float64) ([][]float64, error) {
+	body, err := json.Marshal(PredictRequest{Rows: rows, Targets: targets})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding labeled request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readStatusError(resp)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	if len(pr.Predictions) != len(rows) {
+		return nil, fmt.Errorf("serve: got %d predictions for %d rows", len(pr.Predictions), len(rows))
+	}
+	return pr.Predictions, nil
+}
+
 // get issues a context-bound GET against a server endpoint.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)

@@ -10,7 +10,11 @@ import (
 // up (deadline, disconnect); the abandoned result is simply collected.
 type pending struct {
 	rows [][]float64
-	resp chan result
+	// targets, when non-nil, are the true outputs for rows (validated
+	// same shape at admission). They feed the shadow window only; the
+	// response is computed before they are ever read.
+	targets [][]float64
+	resp    chan result
 }
 
 // result is the fan-back payload for one request.
@@ -148,6 +152,15 @@ func (s *Server) serveBatch(first *pending) {
 		}
 		p.resp <- result{preds: preds, model: st.info.Name}
 		lo = hi
+	}
+
+	// Shadow evaluation rides the same gathered batch after every
+	// response is on its way: X and the arena output stay valid until
+	// the next batch, so the candidate compares against exactly what
+	// was served. With no candidate installed this is one atomic load.
+	if sh := s.shadow.Load(); sh != nil {
+		//lint:ignore hotpathalloc shadow evaluation is sampled cold-path work (1-in-ShadowSampleEvery batches) behind a nil check; its dispatch cost is pinned by BenchmarkShadowDispatch in the bench gate
+		s.shadowEval(sh, st, X, out, batch)
 	}
 
 	// Recycle the gather scratch, dropping pointers to request data so

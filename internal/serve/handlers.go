@@ -19,6 +19,13 @@ import (
 // batch path).
 type PredictRequest struct {
 	Rows [][]float64 `json:"rows"`
+	// Targets optionally carries the true output row for each feature
+	// row (same length as Rows, each row the model's output width).
+	// Targets never change the response; they feed the shadow
+	// candidate's labeled error window, which is what the promotion
+	// gate judges on. Requests with targets bypass the fast decoder by
+	// construction (it accepts only bare {"rows": ...} bodies).
+	Targets [][]float64 `json:"targets,omitempty"`
 }
 
 // PredictResponse is the /v1/predict result: one prediction row per
@@ -49,6 +56,10 @@ type ModelzResponse struct {
 	// Compiled reports whether the served generation runs the flattened
 	// ml.CompiledEnsemble arena instead of the source envelope.
 	Compiled bool `json:"compiled"`
+	// LastReloadError surfaces the most recent failed reload (nil when
+	// the last reload succeeded): the served generation above is still
+	// the old one, and this says why.
+	LastReloadError *ReloadFailure `json:"last_reload_error,omitempty"`
 }
 
 // HealthzResponse is the GET /v1/healthz body.
@@ -198,8 +209,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid rows: %v", err)
 		return
 	}
+	if req.Targets != nil {
+		if len(req.Targets) != len(req.Rows) {
+			obs.Inc("serve.reject.bad_request.total")
+			writeError(w, http.StatusBadRequest, "%d targets for %d rows", len(req.Targets), len(req.Rows))
+			return
+		}
+		if err := ml.ValidateMatrix(req.Targets, s.cfg.Outputs); err != nil {
+			obs.Inc("serve.reject.bad_request.total")
+			writeError(w, http.StatusBadRequest, "invalid targets: %v", err)
+			return
+		}
+	}
 
-	p := &pending{rows: req.Rows, resp: make(chan result, 1)}
+	p := &pending{rows: req.Rows, targets: req.Targets, resp: make(chan result, 1)}
 	select {
 	case s.queue <- p:
 		s.accepted.Add(1)
@@ -274,14 +297,126 @@ func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ModelzResponse{
-		Model:        st.info,
-		Ladder:       st.ladder.Name(),
-		Outputs:      st.outputs,
-		Generation:   st.generation,
-		LoadedUnixMs: st.loadedUnixMs,
-		Path:         s.cfg.ModelPath,
-		Compiled:     st.compiled,
+		Model:           st.info,
+		Ladder:          st.ladder.Name(),
+		Outputs:         st.outputs,
+		Generation:      st.generation,
+		LoadedUnixMs:    st.loadedUnixMs,
+		Path:            s.cfg.ModelPath,
+		Compiled:        st.compiled,
+		LastReloadError: s.LastReloadFailure(),
 	})
+}
+
+// ShadowRequest is the POST /v1/shadow payload: install a candidate
+// from an envelope file, or clear the current one.
+type ShadowRequest struct {
+	// Path is the model envelope to load as the candidate.
+	Path string `json:"path,omitempty"`
+	// Version ties the candidate to a registry version ID.
+	Version string `json:"version,omitempty"`
+	// Clear, when true, drops the current candidate instead.
+	Clear bool `json:"clear,omitempty"`
+}
+
+// handleShadow manages the candidate: GET reports its evaluation
+// window, POST installs (from a path) or clears it.
+func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st, ok := s.ShadowDecision()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no shadow candidate installed")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodPost:
+		var req ShadowRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		if req.Clear {
+			s.ClearShadow()
+			writeJSON(w, http.StatusOK, map[string]string{"status": "cleared"})
+			return
+		}
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, "path required (or clear: true)")
+			return
+		}
+		if err := s.LoadShadow(req.Path, req.Version); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Kind: ErrKind(err)})
+			return
+		}
+		st, _ := s.ShadowDecision()
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// PromoteResponse is the POST /v1/promote body: the gate's verdict,
+// and the generation now serving.
+type PromoteResponse struct {
+	Promoted   bool         `json:"promoted"`
+	Generation uint64       `json:"generation"`
+	Shadow     ShadowStatus `json:"shadow"`
+	Error      string       `json:"error,omitempty"`
+}
+
+// handlePromote attempts to promote the shadow candidate. A gate
+// refusal is 409 with the windowed evidence attached — the caller can
+// see exactly how far the candidate is from earning promotion.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	st, err := s.PromoteShadow()
+	var gen uint64
+	if ms := s.state(); ms != nil {
+		gen = ms.generation
+	}
+	switch {
+	case errors.Is(err, ErrNoShadow):
+		writeError(w, http.StatusNotFound, "no shadow candidate installed")
+	case errors.Is(err, ErrPromoteGate):
+		writeJSON(w, http.StatusConflict, PromoteResponse{Generation: gen, Shadow: st, Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, PromoteResponse{Generation: gen, Shadow: st, Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, Generation: gen, Shadow: st})
+	}
+}
+
+// RegistryzResponse is the GET /v1/registryz body: this replica's
+// whole release-path state in one read — what is serving, what is
+// shadowing, and whether the last reload took.
+type RegistryzResponse struct {
+	Model           *ModelzResponse `json:"model,omitempty"`
+	Shadow          *ShadowStatus   `json:"shadow,omitempty"`
+	LastReloadError *ReloadFailure  `json:"last_reload_error,omitempty"`
+}
+
+func (s *Server) handleRegistryz(w http.ResponseWriter, r *http.Request) {
+	var resp RegistryzResponse
+	if st := s.state(); st != nil {
+		resp.Model = &ModelzResponse{
+			Model:        st.info,
+			Ladder:       st.ladder.Name(),
+			Outputs:      st.outputs,
+			Generation:   st.generation,
+			LoadedUnixMs: st.loadedUnixMs,
+			Path:         s.cfg.ModelPath,
+			Compiled:     st.compiled,
+		}
+	}
+	if sh, ok := s.ShadowDecision(); ok {
+		resp.Shadow = &sh
+	}
+	resp.LastReloadError = s.LastReloadFailure()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -81,6 +81,25 @@ type Config struct {
 	// the fault-free ladder, whose output is bitwise identical to the
 	// primary model.
 	Degrade ml.DegradeOpts
+
+	// ShadowSampleEvery evaluates the shadow candidate on one in every
+	// N unlabeled batches (default 8); labeled batches always evaluate.
+	// Sampling is what amortizes the candidate's compute to a bounded
+	// fraction of the incumbent's.
+	ShadowSampleEvery int
+
+	// ShadowWindow is the sliding window of evaluated rows the
+	// promotion gate judges over (default 512).
+	ShadowWindow int
+
+	// PromoteMargin is the fraction by which the candidate's windowed
+	// MAE must beat the incumbent's before promotion (default 0.05):
+	// a candidate that is merely "not worse" is not promoted.
+	PromoteMargin float64
+
+	// MinShadowLabeled is the labeled-row evidence floor in the window
+	// before the gate will consider promotion at all (default 64).
+	MinShadowLabeled int
 }
 
 func (c *Config) setDefaults() {
@@ -104,6 +123,18 @@ func (c *Config) setDefaults() {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ShadowSampleEvery <= 0 {
+		c.ShadowSampleEvery = 8
+	}
+	if c.ShadowWindow <= 0 {
+		c.ShadowWindow = 512
+	}
+	if c.PromoteMargin <= 0 {
+		c.PromoteMargin = 0.05
+	}
+	if c.MinShadowLabeled <= 0 {
+		c.MinShadowLabeled = 64
 	}
 }
 
@@ -137,6 +168,15 @@ type Server struct {
 	generation atomic.Uint64
 	draining   atomic.Bool
 
+	// shadow is the candidate under evaluation, nil when none: the
+	// dispatcher's only cost on the no-shadow path is this one load.
+	shadow atomic.Pointer[shadowState]
+
+	// lastReloadErr records the most recent failed Reload (nil after a
+	// success), so /v1/modelz can surface "the reload you triggered
+	// did not take; the previous generation is still serving".
+	lastReloadErr atomic.Pointer[ReloadFailure]
+
 	// Per-server load accounting for the /v1/loadz introspection
 	// endpoint. The obs gauges are process-global, so a multi-replica
 	// process (internal/cluster fleets) needs these to tell replicas
@@ -161,6 +201,11 @@ type Server struct {
 	batch   []*pending
 	gatherX [][]float64
 	arena   ml.MatrixArena
+
+	// Shadow-evaluation scratch, also dispatcher-owned: the candidate's
+	// output arena and the batch counter that drives 1-in-N sampling.
+	shadowArena ml.MatrixArena
+	shadowSeq   uint64
 }
 
 // New builds the server and starts its coalescer. When cfg.ModelPath
@@ -192,6 +237,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/modelz", s.handleModelz)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/shadow", s.handleShadow)
+	s.mux.HandleFunc("/v1/promote", s.handlePromote)
+	s.mux.HandleFunc("/v1/registryz", s.handleRegistryz)
 	if cfg.ModelPath != "" {
 		if err := s.Reload(); err != nil {
 			return nil, err
@@ -245,9 +293,24 @@ func (s *Server) install(m ml.Regressor, info ml.ModelInfo) error {
 	return nil
 }
 
+// ReloadFailure describes the most recent failed Reload for the
+// introspection endpoints: when a reload does not take, the previous
+// generation keeps serving and operators need to see both facts.
+type ReloadFailure struct {
+	Error string `json:"error"`
+	// Kind classifies the failure ("corrupt", "missing", "other").
+	Kind string `json:"kind"`
+	// AtUnixMs is when the failed reload was attempted.
+	AtUnixMs int64 `json:"at_unix_ms"`
+	// Generation is the generation that kept serving through the
+	// failure (0 before any load).
+	Generation uint64 `json:"generation"`
+}
+
 // Reload atomically replaces the served model from cfg.ModelPath. On
 // any failure — missing file, corrupt payload (ml.ErrChecksum),
-// unknown learner — the previous generation keeps serving untouched.
+// unknown learner — the previous generation keeps serving untouched
+// and the failure is recorded for /v1/modelz until a reload succeeds.
 func (s *Server) Reload() error {
 	if s.cfg.ModelPath == "" {
 		return errors.New("serve: no ModelPath configured; use Install")
@@ -256,16 +319,36 @@ func (s *Server) Reload() error {
 	defer s.reloadMu.Unlock()
 	m, info, err := ml.LoadModelFileInfo(s.cfg.ModelPath)
 	if err != nil {
-		obs.Inc("serve.reload.fail.total")
-		return fmt.Errorf("serve: reload %s: %w", s.cfg.ModelPath, err)
-	}
-	if err := s.install(m, info); err != nil {
-		obs.Inc("serve.reload.fail.total")
+		err = fmt.Errorf("serve: reload %s: %w", s.cfg.ModelPath, err)
+		s.recordReloadFailure(err)
 		return err
 	}
+	if err := s.install(m, info); err != nil {
+		s.recordReloadFailure(err)
+		return err
+	}
+	s.lastReloadErr.Store(nil)
 	obs.Inc("serve.reload.total")
 	return nil
 }
+
+func (s *Server) recordReloadFailure(err error) {
+	obs.Inc("serve.reload.fail.total")
+	var gen uint64
+	if st := s.state(); st != nil {
+		gen = st.generation
+	}
+	s.lastReloadErr.Store(&ReloadFailure{
+		Error:      err.Error(),
+		Kind:       ErrKind(err),
+		AtUnixMs:   obs.Now().UnixMilli(),
+		Generation: gen,
+	})
+}
+
+// LastReloadFailure returns the most recent failed Reload, or nil if
+// the last reload succeeded (or none was attempted).
+func (s *Server) LastReloadFailure() *ReloadFailure { return s.lastReloadErr.Load() }
 
 // ErrKind classifies a load/reload error for operators: "corrupt"
 // (checksum mismatch), "missing" (no such file), or "other".
@@ -306,3 +389,31 @@ func (s *Server) Close() {
 // state returns the current model generation, or nil before the first
 // successful load.
 func (s *Server) state() *modelState { return s.model.Load() }
+
+// LadderMaxLevel reports the deepest degradation rung the served
+// generation has reached since its last reset (ml.LevelPrimary when
+// all traffic ran the primary, or before any model is loaded). The
+// rollout driver's health gate reads it after a canary probe: a
+// candidate that degrades where the incumbent did not fails the gate.
+func (s *Server) LadderMaxLevel() int {
+	if st := s.state(); st != nil {
+		return st.ladder.MaxLevel()
+	}
+	return ml.LevelPrimary
+}
+
+// ResetLadderMaxLevel clears the degradation high-water mark, starting
+// a fresh observation window on the current generation.
+func (s *Server) ResetLadderMaxLevel() {
+	if st := s.state(); st != nil {
+		st.ladder.ResetMaxLevel()
+	}
+}
+
+// Generation returns the served model generation (0 before a load).
+func (s *Server) Generation() uint64 {
+	if st := s.state(); st != nil {
+		return st.generation
+	}
+	return 0
+}

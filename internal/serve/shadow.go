@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/obs"
+)
+
+// Shadow mode: a candidate model rides along on the incumbent's
+// coalesced batches. After each sampled batch is answered, the
+// dispatcher runs the candidate over the same gathered rows and folds
+// the comparison into a sliding window — disagreement against the
+// incumbent on every sampled row, and absolute error for both models
+// on rows whose request carried targets. Served responses are computed
+// before the shadow ever runs and only from the incumbent, so a
+// candidate can be arbitrarily wrong (or slow, or crash-prone) with
+// zero impact on what callers receive. Promotion is gated on the
+// window: the candidate must have seen enough labeled rows and beat
+// the incumbent's error by a configured margin before PromoteShadow
+// will swap it in.
+
+// ErrNoShadow is returned by shadow operations when no candidate is
+// installed.
+var ErrNoShadow = errors.New("serve: no shadow candidate installed")
+
+// ErrPromoteGate is the typed cause of a refused promotion: the
+// candidate has not earned it yet (insufficient labeled evidence, or
+// an error window no better than the incumbent's).
+var ErrPromoteGate = errors.New("serve: promotion gate refused")
+
+// shadowSample is one evaluated row in the sliding window.
+type shadowSample struct {
+	// disagree is the mean |candidate − incumbent| across outputs.
+	disagree float64
+	// incErr / candErr are the mean absolute errors against the
+	// request's target row; valid only when labeled.
+	incErr  float64
+	candErr float64
+	labeled bool
+}
+
+// shadowState is one candidate generation under evaluation. The
+// predictor fields are immutable after install; the window is guarded
+// by mu and only touched on sampled batches, so the common
+// no-shadow/unsampled dispatch path never takes the lock.
+type shadowState struct {
+	model         ml.Regressor      // original, installed on promotion
+	batch         ml.BatchRegressor // evaluation path (compiled when possible)
+	info          ml.ModelInfo
+	versionID     string // registry version under evaluation ("" if ad hoc)
+	startedUnixMs int64
+
+	mu      sync.Mutex
+	win     []shadowSample // ring of the last len(win) evaluated rows
+	next    int
+	filled  int
+	batches int64 // sampled batches evaluated
+	failed  string
+}
+
+// ShadowStatus is the externally visible evaluation state, served on
+// /v1/registryz and returned by promotion attempts.
+type ShadowStatus struct {
+	Model          ml.ModelInfo `json:"model"`
+	VersionID      string       `json:"version_id,omitempty"`
+	StartedUnixMs  int64        `json:"started_unix_ms"`
+	SampledBatches int64        `json:"sampled_batches"`
+	WindowRows     int          `json:"window_rows"`
+	LabeledRows    int          `json:"labeled_rows"`
+	// Disagreement is the mean |candidate − incumbent| over the window
+	// — a drift alarm that needs no labels.
+	Disagreement float64 `json:"disagreement"`
+	// IncumbentMAE / CandidateMAE are windowed mean absolute errors over
+	// the labeled rows.
+	IncumbentMAE float64 `json:"incumbent_mae"`
+	CandidateMAE float64 `json:"candidate_mae"`
+	// Promotable reports whether the gate would allow promotion right
+	// now; Reason explains a false value (and a failure, if the
+	// candidate panicked during evaluation).
+	Promotable bool   `json:"promotable"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// rowBatcher adapts a plain Regressor to the batch interface for
+// learners with no vectorized or compiled path.
+type rowBatcher struct{ ml.Regressor }
+
+//lint:ignore ctxflow PredictBatch mirrors ml.BatchRegressor, which is context-free by design: it is pure compute on in-memory rows, and the dispatcher that calls it already holds the request's deadline
+func (r rowBatcher) PredictBatch(X, out [][]float64) {
+	for i := range X {
+		copy(out[i], r.Predict(X[i]))
+	}
+}
+
+// InstallShadow starts evaluating m as the shadow candidate, replacing
+// any previous candidate (and its window — evidence does not carry
+// over between candidates). versionID ties the evaluation to a
+// registry version for /v1/registryz and promotion bookkeeping.
+func (s *Server) InstallShadow(m ml.Regressor, info ml.ModelInfo, versionID string) error {
+	if s.state() == nil {
+		return errors.New("serve: no incumbent loaded; nothing to shadow against")
+	}
+	var b ml.BatchRegressor
+	if ce, ok := ml.Compile(m); ok {
+		b = ce
+	} else if br, ok := m.(ml.BatchRegressor); ok {
+		b = br
+	} else {
+		b = rowBatcher{m}
+	}
+	if info.Name == "" {
+		info.Name = m.Name()
+	}
+	sh := &shadowState{
+		model:         m,
+		batch:         b,
+		info:          info,
+		versionID:     versionID,
+		startedUnixMs: obs.Now().UnixMilli(),
+		win:           make([]shadowSample, s.cfg.ShadowWindow),
+	}
+	s.shadow.Store(sh)
+	obs.Inc("serve.shadow.install.total")
+	return nil
+}
+
+// LoadShadow loads a model envelope from path (checksum-verified, like
+// Reload) and installs it as the shadow candidate.
+func (s *Server) LoadShadow(path, versionID string) error {
+	m, info, err := ml.LoadModelFileInfo(path)
+	if err != nil {
+		obs.Inc("serve.shadow.load_fail.total")
+		return fmt.Errorf("serve: shadow load %s: %w", path, err)
+	}
+	return s.InstallShadow(m, info, versionID)
+}
+
+// ClearShadow drops the candidate and its window. Idempotent.
+func (s *Server) ClearShadow() {
+	if s.shadow.Swap(nil) != nil {
+		obs.Inc("serve.shadow.clear.total")
+	}
+}
+
+// ShadowDecision returns the current candidate's evaluation state;
+// ok is false when no candidate is installed.
+func (s *Server) ShadowDecision() (ShadowStatus, bool) {
+	sh := s.shadow.Load()
+	if sh == nil {
+		return ShadowStatus{}, false
+	}
+	return sh.status(&s.cfg), true
+}
+
+// PromoteShadow swaps the candidate in as the served generation iff
+// the gate passes: enough labeled rows in the window, candidate MAE at
+// least PromoteMargin better than the incumbent's, and no evaluation
+// failure. On refusal the returned status carries the reason and the
+// incumbent keeps serving, untouched.
+func (s *Server) PromoteShadow() (ShadowStatus, error) {
+	sh := s.shadow.Load()
+	if sh == nil {
+		return ShadowStatus{}, ErrNoShadow
+	}
+	st := sh.status(&s.cfg)
+	if !st.Promotable {
+		obs.Inc("serve.shadow.promote_refused.total")
+		return st, fmt.Errorf("%w: %s", ErrPromoteGate, st.Reason)
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if err := s.install(sh.model, sh.info); err != nil {
+		return st, err
+	}
+	// Only clear the candidate we just promoted; a racing InstallShadow
+	// of a newer candidate keeps its fresh window.
+	s.shadow.CompareAndSwap(sh, nil)
+	obs.Inc("serve.shadow.promote.total")
+	return st, nil
+}
+
+// status computes the windowed decision under the state's lock.
+func (sh *shadowState) status(cfg *Config) ShadowStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ShadowStatus{
+		Model:          sh.info,
+		VersionID:      sh.versionID,
+		StartedUnixMs:  sh.startedUnixMs,
+		SampledBatches: sh.batches,
+		WindowRows:     sh.filled,
+	}
+	var disagree, incErr, candErr float64
+	for i := 0; i < sh.filled; i++ {
+		w := sh.win[i]
+		disagree += w.disagree
+		if w.labeled {
+			st.LabeledRows++
+			incErr += w.incErr
+			candErr += w.candErr
+		}
+	}
+	if sh.filled > 0 {
+		st.Disagreement = disagree / float64(sh.filled)
+	}
+	if st.LabeledRows > 0 {
+		st.IncumbentMAE = incErr / float64(st.LabeledRows)
+		st.CandidateMAE = candErr / float64(st.LabeledRows)
+	}
+	switch {
+	case sh.failed != "":
+		st.Reason = sh.failed
+	case st.LabeledRows < cfg.MinShadowLabeled:
+		st.Reason = fmt.Sprintf("insufficient labeled evidence: %d rows in window, need %d", st.LabeledRows, cfg.MinShadowLabeled)
+	case st.CandidateMAE > st.IncumbentMAE*(1-cfg.PromoteMargin):
+		st.Reason = fmt.Sprintf("candidate MAE %.6g does not beat incumbent %.6g by the %.0f%% margin", st.CandidateMAE, st.IncumbentMAE, cfg.PromoteMargin*100)
+	default:
+		st.Promotable = true
+	}
+	return st
+}
+
+// shadowEval runs the candidate over one gathered batch and folds the
+// comparison into the window. Called by the dispatcher after fan-back,
+// while the arena output and gathered rows are still valid; the served
+// responses are already on their way, so nothing here can affect them.
+// Unlabeled batches are sampled 1-in-ShadowSampleEvery; labeled
+// batches always evaluate (they carry the evidence the gate needs, and
+// deterministic drills depend on every label landing in the window).
+func (s *Server) shadowEval(sh *shadowState, st *modelState, X, out [][]float64, batch []*pending) {
+	s.shadowSeq++
+	labeled := false
+	for _, p := range batch {
+		if p.targets != nil {
+			labeled = true
+			break
+		}
+	}
+	if !labeled && (s.cfg.ShadowSampleEvery > 1 && s.shadowSeq%uint64(s.cfg.ShadowSampleEvery) != 0) {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// A candidate that panics on real traffic disqualifies
+			// itself; the incumbent (whose responses already went out)
+			// is untouched.
+			sh.mu.Lock()
+			sh.failed = fmt.Sprintf("candidate panicked during shadow evaluation: %v", r)
+			sh.mu.Unlock()
+			obs.Inc("serve.shadow.panic.total")
+		}
+	}()
+
+	start := obs.Now()
+	cout := s.shadowArena.Rows(len(X), st.outputs)
+	sh.batch.PredictBatch(X, cout)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.failed != "" {
+		return
+	}
+	sh.batches++
+	lo := 0
+	for _, p := range batch {
+		for i := range p.rows {
+			row := lo + i
+			var d float64
+			for j := range out[row] {
+				d += abs(cout[row][j] - out[row][j])
+			}
+			smp := shadowSample{disagree: d / float64(st.outputs)}
+			if p.targets != nil {
+				var ie, ce float64
+				for j := range p.targets[i] {
+					ie += abs(out[row][j] - p.targets[i][j])
+					ce += abs(cout[row][j] - p.targets[i][j])
+				}
+				smp.incErr = ie / float64(st.outputs)
+				smp.candErr = ce / float64(st.outputs)
+				smp.labeled = true
+			}
+			sh.win[sh.next] = smp
+			sh.next = (sh.next + 1) % len(sh.win)
+			if sh.filled < len(sh.win) {
+				sh.filled++
+			}
+		}
+		lo += len(p.rows)
+	}
+	obs.Observe("serve.shadow.batch.seconds", obs.SinceSeconds(start))
+	obs.Add("serve.shadow.rows.total", float64(len(X)))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,443 @@
+// Shadow-mode and release-path tests: candidate evaluation must never
+// touch served responses, the promotion gate must hold worse models
+// out and let better ones through on labeled evidence, and a failed
+// reload must keep the old generation serving while saying so.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crossarch/internal/ml"
+	"crossarch/internal/serve"
+)
+
+// targetsFor reproduces trainModel's synthetic response for rows, so
+// labeled traffic carries the true outputs the models were fit to.
+func targetsFor(rows [][]float64) [][]float64 {
+	Y := make([][]float64, len(rows))
+	for i, x := range rows {
+		y := make([]float64, testOutputs)
+		for k := range y {
+			y[k] = x[k%testFeatures] * float64(k+1)
+			if x[(k+1)%testFeatures] > 0 {
+				y[k] += 2
+			}
+		}
+		Y[i] = y
+	}
+	return Y
+}
+
+// zeroModel predicts all zeros: a deliberately terrible candidate.
+type zeroModel struct{}
+
+func (zeroModel) Fit(X, Y [][]float64) error { return nil }
+func (zeroModel) Name() string               { return "zero-test" }
+func (zeroModel) Predict(x []float64) []float64 {
+	return make([]float64, testOutputs)
+}
+
+// postPredict sends a predict request with optional targets through
+// the plain JSON path and returns the predictions.
+func postPredict(t testing.TB, c *serve.Client, rows, targets [][]float64) [][]float64 {
+	t.Helper()
+	body, err := json.Marshal(serve.PredictRequest{Rows: rows, Targets: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("predict: %d %s", resp.StatusCode, e.Error)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr.Predictions
+}
+
+// TestShadowZeroImpactOnResponses is the shadow contract: with a
+// maximally wrong candidate evaluating on every labeled batch, every
+// served prediction stays bitwise identical to the incumbent's offline
+// path.
+func TestShadowZeroImpactOnResponses(t *testing.T) {
+	model := trainModel(t, 1)
+	srv, client := newTestServer(t, model, serve.Config{ShadowSampleEvery: 1})
+	if err := srv.InstallShadow(zeroModel{}, ml.ModelInfo{}, "v-bad"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rows := testRows(16, uint64(i)+500)
+		var targets [][]float64
+		if i%2 == 0 {
+			targets = targetsFor(rows)
+		}
+		got := postPredict(t, client, rows, targets)
+		mustEqualBitwise(t, got, ml.PredictBatch(model, rows), "served with shadow active")
+	}
+	st, ok := srv.ShadowDecision()
+	if !ok {
+		t.Fatal("shadow dropped without being cleared")
+	}
+	if st.WindowRows == 0 || st.LabeledRows == 0 {
+		t.Fatalf("shadow window empty after labeled traffic: %+v", st)
+	}
+	if st.CandidateMAE <= st.IncumbentMAE {
+		t.Fatalf("zero candidate should be worse: cand %v vs inc %v", st.CandidateMAE, st.IncumbentMAE)
+	}
+}
+
+// TestPromotionGate drives the full gate: a worse candidate is refused
+// with evidence, a better one is promoted and takes over serving.
+func TestPromotionGate(t *testing.T) {
+	// Incumbent: the useless zero model. Candidate: properly trained.
+	// Labeled traffic carries the synthetic truth both are judged on.
+	strong := trainModel(t, 1)
+	srv, client := newTestServer(t, zeroModel{}, serve.Config{
+		ShadowSampleEvery: 1,
+		MinShadowLabeled:  32,
+		PromoteMargin:     0.05,
+	})
+
+	// Gate 1: no candidate at all.
+	if _, err := srv.PromoteShadow(); !errors.Is(err, serve.ErrNoShadow) {
+		t.Fatalf("promote without candidate: %v, want ErrNoShadow", err)
+	}
+
+	// Gate 2: candidate with no labeled evidence yet.
+	if err := srv.InstallShadow(strong, ml.ModelInfo{}, "v-strong"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.PromoteShadow(); !errors.Is(err, serve.ErrPromoteGate) {
+		t.Fatalf("promote without evidence: %v, want ErrPromoteGate", err)
+	}
+
+	// Feed labeled traffic; the strong candidate crushes the zero
+	// incumbent, so the gate opens.
+	for i := 0; i < 4; i++ {
+		rows := testRows(16, uint64(i)+900)
+		postPredict(t, client, rows, targetsFor(rows))
+	}
+	st, err := srv.PromoteShadow()
+	if err != nil {
+		t.Fatalf("promote after evidence: %v (status %+v)", err, st)
+	}
+	if !st.Promotable || st.CandidateMAE >= st.IncumbentMAE {
+		t.Fatalf("promoted on weak evidence: %+v", st)
+	}
+	if _, ok := srv.ShadowDecision(); ok {
+		t.Fatal("candidate still installed after promotion")
+	}
+	// The promoted model now serves, bitwise.
+	rows := testRows(8, 1234)
+	got := postPredict(t, client, rows, nil)
+	mustEqualBitwise(t, got, ml.PredictBatch(strong, rows), "served after promotion")
+
+	// Gate 3: a worse candidate (zero model) against the now-strong
+	// incumbent is refused no matter how much evidence it gathers.
+	if err := srv.InstallShadow(zeroModel{}, ml.ModelInfo{}, "v-zero"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r := testRows(16, uint64(i)+2000)
+		postPredict(t, client, r, targetsFor(r))
+	}
+	st2, err := srv.PromoteShadow()
+	if !errors.Is(err, serve.ErrPromoteGate) {
+		t.Fatalf("worse candidate promoted: err=%v status=%+v", err, st2)
+	}
+	got2 := postPredict(t, client, rows, nil)
+	mustEqualBitwise(t, got2, ml.PredictBatch(strong, rows), "served after refused promotion")
+}
+
+// TestShadowPanicDisqualifies proves a candidate that panics on real
+// traffic is disqualified in place while the incumbent serves on.
+func TestShadowPanicDisqualifies(t *testing.T) {
+	model := trainModel(t, 1)
+	srv, client := newTestServer(t, model, serve.Config{ShadowSampleEvery: 1, MinShadowLabeled: 1})
+	if err := srv.InstallShadow(panicModel{}, ml.ModelInfo{}, "v-panic"); err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(8, 77)
+	got := postPredict(t, client, rows, targetsFor(rows))
+	mustEqualBitwise(t, got, ml.PredictBatch(model, rows), "served while candidate panics")
+	st, ok := srv.ShadowDecision()
+	if !ok {
+		t.Fatal("candidate gone")
+	}
+	if st.Promotable || st.Reason == "" {
+		t.Fatalf("panicking candidate still promotable: %+v", st)
+	}
+	if _, err := srv.PromoteShadow(); !errors.Is(err, serve.ErrPromoteGate) {
+		t.Fatalf("promote after panic: %v, want ErrPromoteGate", err)
+	}
+}
+
+// TestShadowEndpoints exercises the HTTP release-path surface:
+// /v1/shadow install + status, /v1/promote refusal with evidence, and
+// /v1/registryz aggregation.
+func TestShadowEndpoints(t *testing.T) {
+	model := trainModel(t, 1)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	if err := ml.SaveModelFile(candPath, trainModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, client := newTestServer(t, model, serve.Config{ShadowSampleEvery: 1})
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.HTTP.Post(client.BaseURL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data := new(bytes.Buffer)
+		_, _ = data.ReadFrom(resp.Body)
+		return resp, data.Bytes()
+	}
+
+	// Install a candidate over HTTP.
+	resp, body := post("/v1/shadow", serve.ShadowRequest{Path: candPath, Version: "v0002"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/shadow: %d %s", resp.StatusCode, body)
+	}
+	// A bad path is a 422 with the error kind, and leaves no candidate
+	// surprises behind.
+	resp, _ = post("/v1/shadow", serve.ShadowRequest{Path: filepath.Join(dir, "missing.json")})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("POST /v1/shadow with missing file: %d", resp.StatusCode)
+	}
+
+	// Promote with zero evidence: 409 carrying the window.
+	resp, body = post("/v1/promote", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /v1/promote without evidence: %d %s", resp.StatusCode, body)
+	}
+	var pr serve.PromoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Promoted || pr.Error == "" {
+		t.Fatalf("refusal body: %+v", pr)
+	}
+
+	// registryz aggregates model + shadow.
+	rz, err := client.HTTP.Get(client.BaseURL + "/v1/registryz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Body.Close()
+	var reg serve.RegistryzResponse
+	if err := json.NewDecoder(rz.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Model == nil || reg.Shadow == nil {
+		t.Fatalf("registryz missing sections: %+v", reg)
+	}
+	if reg.Shadow.VersionID != "v0002" {
+		t.Fatalf("registryz shadow version = %q", reg.Shadow.VersionID)
+	}
+
+	// Clearing over HTTP removes it.
+	resp, _ = post("/v1/shadow", serve.ShadowRequest{Clear: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clear: %d", resp.StatusCode)
+	}
+	sresp, err := client.HTTP.Get(client.BaseURL + "/v1/shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/shadow after clear: %d", sresp.StatusCode)
+	}
+}
+
+// TestReloadFailureUnderLoad is the satellite regression test: reload
+// failures while traffic is in flight must keep the old generation
+// serving every request bitwise-correctly, and the failure must be
+// visible on /v1/modelz until a reload succeeds.
+func TestReloadFailureUnderLoad(t *testing.T) {
+	model := trainModel(t, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := ml.SaveModelFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, nil, serve.Config{ModelPath: path})
+
+	want := ml.PredictBatch(model, testRows(4, 42))
+
+	// Traffic hammers while reloads fail.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := testRows(4, 42)
+				got, err := client.PredictBatch(context.Background(), rows)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					for j := range got[i] {
+						//lint:ignore floateq bitwise identity is the contract under test
+						if got[i][j] != want[i][j] {
+							errCh <- fmt.Errorf("worker %d: row %d col %d drifted during reload failures", w, i, j)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Corrupt the file on disk (not atomically — this simulates an
+	// external writer breaking the artifact) and reload repeatedly.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := srv.Reload(); err == nil {
+			t.Fatal("reload of corrupt artifact succeeded")
+		} else if serve.ErrKind(err) != "corrupt" {
+			t.Fatalf("reload error kind = %q, want corrupt", serve.ErrKind(err))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// The failure is surfaced with its kind and the surviving
+	// generation...
+	mz, err := client.Modelz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mz.LastReloadError == nil || mz.LastReloadError.Kind != "corrupt" {
+		t.Fatalf("modelz.LastReloadError = %+v, want kind corrupt", mz.LastReloadError)
+	}
+	if mz.LastReloadError.Generation != mz.Generation {
+		t.Fatalf("failure generation %d != serving generation %d", mz.LastReloadError.Generation, mz.Generation)
+	}
+
+	// ...and cleared by the next good reload.
+	if err := ml.SaveModelFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	mz, err = client.Modelz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mz.LastReloadError != nil {
+		t.Fatalf("LastReloadError survives a successful reload: %+v", mz.LastReloadError)
+	}
+}
+
+// TestShadowDispatchRace is the -race hammer on concurrent shadow
+// churn: predict traffic (labeled and not) races against candidate
+// install/clear/status/promote cycles. The assertions are the race
+// detector itself plus bitwise-correct responses throughout.
+func TestShadowDispatchRace(t *testing.T) {
+	model := trainModel(t, 1)
+	strong := trainModel(t, 2)
+	srv, client := newTestServer(t, model, serve.Config{ShadowSampleEvery: 2, MinShadowLabeled: 8})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := testRows(3+w, uint64(w*1000+i))
+				var targets [][]float64
+				if i%3 == 0 {
+					targets = targetsFor(rows)
+				}
+				body, _ := json.Marshal(serve.PredictRequest{Rows: rows, Targets: targets})
+				resp, err := client.HTTP.Post(client.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var pr serve.PredictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("worker %d: status %d err %v", w, resp.StatusCode, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for cycle := 0; cycle < 30; cycle++ {
+		if err := srv.InstallShadow(strong, ml.ModelInfo{}, "v-race"); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = srv.ShadowDecision()
+		if cycle%3 == 0 {
+			// Promotion may or may not pass the gate depending on what the
+			// window holds; both outcomes must be race-free.
+			_, _ = srv.PromoteShadow()
+		}
+		srv.ClearShadow()
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
