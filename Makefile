@@ -20,9 +20,9 @@ COVER_MIN ?= 80
 # testdata/fuzz/ also run as plain tests in every `make test`.
 FUZZTIME ?= 15s
 
-.PHONY: check lint lint-self lint-baseline vet build test race cover fuzz faults serve-smoke cluster-smoke registry-smoke bench-predict bench bench-gate bench-all
+.PHONY: check lint lint-self lint-baseline vet build test race cover fuzz faults serve-smoke cluster-smoke registry-smoke workload-smoke bench-predict bench bench-gate bench-all
 
-check: lint lint-self build race cover faults serve-smoke cluster-smoke registry-smoke bench-gate
+check: lint lint-self build race cover faults serve-smoke cluster-smoke registry-smoke workload-smoke bench-gate
 
 # Static analysis: go vet, then the repository's own two-tier analyzer
 # suite (cmd/mphpc-lint; see DESIGN.md §8 and §13). The diff runs
@@ -87,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSpeedup -fuzztime $(FUZZTIME) ./internal/rpv/
 	$(GO) test -fuzz FuzzPredictInput -fuzztime $(FUZZTIME) ./internal/ml/
 	$(GO) test -fuzz FuzzLoadModel -fuzztime $(FUZZTIME) ./internal/ml/
+	$(GO) test -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/workload/
 
 # Fault-injection smoke sweep (DESIGN.md §9): a tiny rate sweep through
 # the degradation ladder and failure-aware scheduler that exits non-zero
@@ -120,6 +121,15 @@ cluster-smoke:
 registry-smoke:
 	$(GO) run ./cmd/mphpc-registry -smoke
 
+# Workload smoke gate (DESIGN.md §15): a reduced-scale run of the
+# workload-realism sweep — every profile's generated trace scheduled
+# under the FCFS baselines and the SLO-aware configuration — that
+# exits non-zero unless job/deadline conservation, per-tenant totals,
+# bounded preemption, run-twice determinism, and write→read→replay
+# identity all hold.
+workload-smoke:
+	$(GO) run ./cmd/mphpc-sched -trials 2 -smoke
+
 # The batch-vs-row prediction pair; -benchtime 2x keeps it tractable on
 # a laptop while still printing the rows/s comparison.
 bench-predict:
@@ -133,12 +143,19 @@ bench-predict:
 BENCH_GATED = -run '^$$' -bench 'BenchmarkCompiledPredict|BenchmarkEnvelopePredict|BenchmarkServePredict|BenchmarkShadowDispatch|BenchmarkClusterRoute' \
 	-benchmem -benchtime 5000x -count 3 ./internal/ml/ ./internal/serve/ ./internal/cluster/
 
+# The workload generator benchmark is gated too, at a lower fixed
+# iteration count: each op generates a full four-hour bursty trace
+# (~14k jobs), so 300 iterations already average away the noise.
+BENCH_GATED_WL = -run '^$$' -bench 'BenchmarkGenerateArrivals' \
+	-benchmem -benchtime 300x -count 3 ./internal/workload/
+
 # Refresh the checked-in trajectory after a deliberate perf change;
 # commit the updated BENCH_predict.json alongside the change.
 bench:
 	@out=$$(mktemp -t bench.XXXXXX.txt); \
 	trap 'rm -f "$$out"' EXIT; \
 	$(GO) test $(BENCH_GATED) > "$$out" || { cat "$$out"; exit 1; }; \
+	$(GO) test $(BENCH_GATED_WL) >> "$$out" || { cat "$$out"; exit 1; }; \
 	$(GO) run ./cmd/mphpc-bench -write BENCH_predict.json \
 		-commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" < "$$out"
 
@@ -149,6 +166,7 @@ bench-gate:
 	@out=$$(mktemp -t bench.XXXXXX.txt); \
 	trap 'rm -f "$$out"' EXIT; \
 	$(GO) test $(BENCH_GATED) > "$$out" || { cat "$$out"; exit 1; }; \
+	$(GO) test $(BENCH_GATED_WL) >> "$$out" || { cat "$$out"; exit 1; }; \
 	$(GO) run ./cmd/mphpc-bench -gate BENCH_predict.json < "$$out"
 
 # The full evaluation-reproduction benchmark suite (slow).

@@ -5,10 +5,20 @@
 // Section VII (plus an optional perfect-information oracle), reporting
 // makespan and average bounded slowdown.
 //
+// It also fronts the workload-realism experiments: -sweep schedules
+// generated traces from every workload profile under the FCFS
+// baselines and the SLO-aware configuration (EDF + fairness shares +
+// deadline-driven preemption), -smoke runs the same sweep at reduced
+// scale as an invariant gate, and -trace/-record replay and record
+// versioned workload trace files.
+//
 // Usage:
 //
 //	mphpc-sched [-jobs N] [-trials N] [-seed S] [-predictor p.json] [-oracle] [-rate R]
 //	            [-fault-rate F] [-fault-seed S] [-retrycap N]
+//	mphpc-sched -sweep [-wl-horizon H] [-wl-rate R] [-wl-maxjobs N]
+//	mphpc-sched -smoke
+//	mphpc-sched -trace t.json | -record t.json [-wl-profile P]
 package main
 
 import (
@@ -16,12 +26,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"crossarch/internal/core"
 	"crossarch/internal/dataset"
 	"crossarch/internal/experiments"
 	"crossarch/internal/obs"
+	"crossarch/internal/workload"
 )
 
 func main() {
@@ -41,6 +53,14 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 5, "fault-injection seed")
 	retryCap := flag.Int("retrycap", 0, "re-executions after node failures before a job is abandoned (0 = default 3)")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this path on exit (summary table on stderr)")
+	sweep := flag.Bool("sweep", false, "run the workload-realism sweep (profiles x schedulers) instead of the Figure 7/8 simulation")
+	smoke := flag.Bool("smoke", false, "run the workload sweep at reduced scale as an invariant gate (nonzero exit on violation)")
+	tracePath := flag.String("trace", "", "replay a saved workload trace (JSON schema v1) through the scheduler grid")
+	record := flag.String("record", "", "generate the -wl-profile trace, save it here, then replay it")
+	wlProfile := flag.String("wl-profile", "bursty", "workload profile for -record")
+	wlHorizon := flag.Float64("wl-horizon", 0, "workload generation horizon in seconds (0 = 3600)")
+	wlRate := flag.Float64("wl-rate", 0, "workload base arrival rate in jobs/second (0 = 4)")
+	wlMaxJobs := flag.Int("wl-maxjobs", 0, "truncate generated workload traces (0 = unbounded)")
 	flag.Parse()
 	cmdSpan := obs.StartSpan("cmd.mphpc-sched")
 	dumpMetrics := func() {
@@ -75,6 +95,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained predictor in %v: %s\n", time.Since(start).Round(time.Millisecond), ev)
+	}
+
+	if *sweep || *smoke || *tracePath != "" || *record != "" {
+		runWorkloadMode(ds, pred, workloadFlags{
+			sweep: *sweep, smoke: *smoke, tracePath: *tracePath, record: *record,
+			profile: *wlProfile,
+			cfg: experiments.WorkloadConfig{
+				Seed:          *workloadSeed,
+				HorizonSec:    *wlHorizon,
+				Rate:          *wlRate,
+				MaxJobs:       *wlMaxJobs,
+				NodeFaultRate: *faultRate,
+				FaultSeed:     *faultSeed,
+				RetryCap:      *retryCap,
+			},
+		})
+		dumpMetrics()
+		return
 	}
 
 	scfg := experiments.SchedConfig{
@@ -128,4 +166,98 @@ func main() {
 func trainDefault(ds *dataset.Dataset, cfg experiments.Config) (*core.Predictor, fmt.Stringer, error) {
 	pred, ev, err := core.TrainPredictor(ds, core.DefaultXGBoost(cfg.ModelSeed), cfg.SplitSeed)
 	return pred, ev, err
+}
+
+// workloadFlags carries the workload-mode selection into runWorkloadMode.
+type workloadFlags struct {
+	sweep, smoke      bool
+	tracePath, record string
+	profile           string
+	cfg               experiments.WorkloadConfig
+}
+
+// runWorkloadMode dispatches the workload-realism experiments: the
+// full profile sweep, the reduced-scale invariant smoke gate, or a
+// single-trace replay (from a file via -trace, or freshly recorded via
+// -record).
+func runWorkloadMode(ds *dataset.Dataset, pred *core.Predictor, f workloadFlags) {
+	start := time.Now()
+	switch {
+	case f.smoke:
+		// Reduced scale unless overridden: the gate checks invariants,
+		// not headline numbers, so a short horizon suffices.
+		if f.cfg.HorizonSec == 0 {
+			f.cfg.HorizonSec = 900
+		}
+		sw, err := experiments.RunWorkloadSmoke(ds, pred.Model, f.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatWorkloadSweep(sw))
+		fmt.Printf("\nworkload smoke: all invariants hold (%v)\n", time.Since(start).Round(time.Millisecond))
+	case f.sweep:
+		sw, err := experiments.RunWorkloadSweep(ds, pred.Model, f.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatWorkloadSweep(sw))
+		fmt.Printf("\nswept %d points in %v\n", len(sw.Points), time.Since(start).Round(time.Millisecond))
+	default:
+		var tr *workload.Trace
+		var label string
+		var shares map[string]float64
+		if f.tracePath != "" {
+			t, err := workload.LoadTrace(f.tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr, label = t, filepath.Base(f.tracePath)
+			// A loaded trace carries no share table; every tenant present
+			// gets an equal share.
+			shares = map[string]float64{}
+			for _, j := range tr.Jobs {
+				if j.Tenant != "" {
+					shares[j.Tenant] = 1
+				}
+			}
+			if len(shares) == 0 {
+				shares = nil
+			}
+			fmt.Printf("loaded %s: %d jobs (checksum %s)\n", f.tracePath, len(tr.Jobs), tr.Checksum)
+		} else {
+			p, err := workload.ProfileByName(f.profile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := f.cfg
+			if cfg.HorizonSec == 0 {
+				cfg.HorizonSec = 3600
+			}
+			if cfg.Rate == 0 {
+				cfg.Rate = 4
+			}
+			spec := p.Build(cfg.Seed, cfg.HorizonSec, cfg.Rate)
+			spec.MaxJobs = cfg.MaxJobs
+			t, err := workload.Generate(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := workload.SaveTrace(f.record, t); err != nil {
+				log.Fatal(err)
+			}
+			tr, label = t, p.Name
+			shares = workload.ShareMap(spec.Tenants)
+			fmt.Printf("recorded %s trace to %s: %d jobs (checksum %s)\n", p.Name, f.record, len(tr.Jobs), tr.Checksum)
+		}
+		points, err := experiments.ReplayTrace(ds, pred.Model, tr, label, shares, f.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw := &experiments.WorkloadSweep{Points: points, Verdict: experiments.VerdictFor(points)}
+		fmt.Println()
+		fmt.Print(experiments.FormatWorkloadSweep(sw))
+		fmt.Printf("\nreplayed %d jobs x %d schedulers in %v\n", len(tr.Jobs), len(points), time.Since(start).Round(time.Millisecond))
+	}
 }

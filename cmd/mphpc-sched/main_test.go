@@ -1,0 +1,82 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/core"
+	"crossarch/internal/dataset"
+	"crossarch/internal/experiments"
+)
+
+// stubModel mirrors the experiments test stub: a deterministic
+// feature-hash ranking that varies per row, so runWorkloadMode is
+// exercised through the real dataset → trace → schedule path without
+// training a model.
+type stubModel struct{ outputs int }
+
+func (s *stubModel) Fit(X, Y [][]float64) error { return nil }
+func (s *stubModel) Name() string               { return "stub" }
+func (s *stubModel) Predict(x []float64) []float64 {
+	out := make([]float64, s.outputs)
+	for k := range out {
+		h := 0.0
+		for i, v := range x {
+			h += v * float64((i*7+k*13)%11)
+		}
+		out[k] = 1 + 0.5*math.Abs(math.Sin(h+float64(k)))
+	}
+	return out
+}
+
+var (
+	dsOnce sync.Once
+	dsVal  *dataset.Dataset
+	dsErr  error
+)
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsVal, dsErr = experiments.BuildDataset(experiments.Config{
+			DatasetSeed: 1, SplitSeed: 2, ModelSeed: 3, Trials: 1,
+		})
+	})
+	if dsErr != nil {
+		t.Fatalf("BuildDataset: %v", dsErr)
+	}
+	return dsVal
+}
+
+func testPredictor() *core.Predictor {
+	return &core.Predictor{Model: &stubModel{outputs: len(arch.All())}}
+}
+
+// tinyCfg keeps every mode fast: one profile, short horizon, low rate.
+func tinyCfg() experiments.WorkloadConfig {
+	return experiments.WorkloadConfig{
+		Profiles: []string{"steady"}, Seed: 7, HorizonSec: 120, Rate: 0.5,
+	}
+}
+
+func TestRunWorkloadModeSweepAndSmoke(t *testing.T) {
+	ds := testDataset(t)
+	runWorkloadMode(ds, testPredictor(), workloadFlags{sweep: true, cfg: tinyCfg()})
+	runWorkloadMode(ds, testPredictor(), workloadFlags{smoke: true, cfg: tinyCfg()})
+}
+
+func TestRunWorkloadModeRecordThenReplay(t *testing.T) {
+	ds := testDataset(t)
+	path := filepath.Join(t.TempDir(), "rec.json")
+	runWorkloadMode(ds, testPredictor(), workloadFlags{
+		record: path, profile: "steady", cfg: tinyCfg(),
+	})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("-record did not write the trace: %v", err)
+	}
+	runWorkloadMode(ds, testPredictor(), workloadFlags{tracePath: path, cfg: tinyCfg()})
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crossarch/internal/workload"
+)
+
+// drive runs the CLI with args and returns its stdout.
+func drive(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestListProfiles(t *testing.T) {
+	out := drive(t, "-list")
+	for _, name := range []string{"bursty", "diurnal", "steady"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing profile %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestGenerateSaveLoadSWF drives the full pipeline: generate a small
+// trace, save it, reload it (checksum verified), export SWF, and
+// re-import the SWF — which must come back empty because generated
+// jobs carry no pinned runtime (the documented SWF round-trip caveat).
+func TestGenerateSaveLoadSWF(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	swfPath := filepath.Join(dir, "trace.swf")
+
+	out := drive(t, "-profile", "steady", "-seed", "5", "-horizon", "300", "-rate", "0.5",
+		"-o", tracePath, "-swf-o", swfPath)
+	for _, want := range []string{"generated steady", "wrote " + tracePath, "no pinned runtime", "wrote " + swfPath} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generate output missing %q:\n%s", want, out)
+		}
+	}
+
+	loaded := drive(t, "-in", tracePath)
+	if !strings.Contains(loaded, "loaded "+tracePath) || !strings.Contains(loaded, "schema v1") {
+		t.Errorf("load output unexpected:\n%s", loaded)
+	}
+
+	imported := drive(t, "-swf-in", swfPath)
+	if !strings.Contains(imported, "imported 0 SWF records") {
+		t.Errorf("SWF re-import of unpinned jobs should skip everything:\n%s", imported)
+	}
+}
+
+// TestSWFImportWithRuntimes exercises the real-log path: an SWF file
+// with recorded runtimes imports as a replayable trace and converts
+// to JSON.
+func TestSWFImportWithRuntimes(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := filepath.Join(dir, "log.swf")
+	lines := "; test log\n" +
+		"1 0.00 1.00 30.00 4 -1 -1 4 30.00 -1 -1 1 -1 -1 1 -1 -1 -1\n" +
+		"2 5.00 -1 60.00 8 -1 -1 8 60.00 -1 -1 1 -1 -1 -1 -1 -1 -1\n"
+	if err := os.WriteFile(swfPath, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "imported.json")
+	out := drive(t, "-swf-in", swfPath, "-o", outPath)
+	if !strings.Contains(out, "imported 2 SWF records (0 skipped)") {
+		t.Errorf("import output unexpected:\n%s", out)
+	}
+	tr, err := workload.LoadTrace(outPath)
+	if err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+	if len(tr.Jobs) != 2 || tr.Jobs[0].RuntimeSec != 30 || tr.Jobs[1].RuntimeSec != 60 {
+		t.Fatalf("imported jobs = %+v, want 2 jobs with pinned runtimes 30/60", tr.Jobs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-in", "a.json", "-swf-in", "b.swf"}, // mutually exclusive
+		{"-in", filepath.Join(t.TempDir(), "absent.json")},
+		{"-swf-in", filepath.Join(t.TempDir(), "absent.swf")},
+		{"-profile", "no-such-profile"},
+		{"-horizon", "-1"}, // Spec validation
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) = nil error, want failure", args)
+		}
+	}
+}
+
+// TestTamperedTraceRejected pins the checksum gate at the CLI surface.
+func TestTamperedTraceRejected(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	drive(t, "-profile", "steady", "-seed", "5", "-horizon", "120", "-rate", "0.5", "-o", tracePath)
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"nodes": `, `"nodes": 1`, 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper substitution did not apply")
+	}
+	if err := os.WriteFile(tracePath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", tracePath}, &out); !errors.Is(err, workload.ErrTraceChecksum) {
+		t.Fatalf("run(tampered) = %v, want ErrTraceChecksum", err)
+	}
+}

@@ -1,0 +1,512 @@
+package experiments
+
+// This file holds the workload-realism sweep: generated (or replayed)
+// traces from internal/workload pushed through the scheduler under
+// FCFS baselines and the SLO-aware configuration (EDF + fairness
+// shares + preemption), answering whether RPV-aware placement still
+// pays off under bursty, deadline-constrained, multi-tenant load.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"crossarch/internal/apps"
+	"crossarch/internal/arch"
+	"crossarch/internal/dataset"
+	"crossarch/internal/fault"
+	"crossarch/internal/ml"
+	"crossarch/internal/rpv"
+	"crossarch/internal/sched"
+	"crossarch/internal/stats"
+	"crossarch/internal/workload"
+)
+
+// JobsFromTrace binds every trace job to a dataset row and assembles
+// the schedulable workload. The binding is a pure function of the
+// trace content — row = RNG(Key2(trace seed, job ID)) — so a trace
+// that is written to disk and read back replays onto exactly the rows
+// the original bound, independent of any generation-time state.
+//
+// Jobs carrying a pinned RuntimeSec (the SWF import path) run for that
+// duration on every machine and get a flat RPV: the trace knows the
+// real duration but nothing about architecture, so no strategy gains
+// placement information from it. All other jobs replay the bound row's
+// observed per-machine runtimes scaled by the trace's RuntimeScale,
+// with the model's prediction attached for the Model-based strategy.
+func JobsFromTrace(ds *dataset.Dataset, model ml.Regressor, tr *workload.Trace) ([]*sched.Job, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	n := ds.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: empty dataset")
+	}
+	features := ds.Features()
+	times := ds.Frame.Matrix(dataset.TimeColumns())
+	appNames := ds.Frame.Strings(dataset.ColApp)
+	machines := len(dataset.TimeColumns())
+
+	gpuCapable := map[string]bool{}
+	for _, a := range apps.All() {
+		gpuCapable[a.Name] = a.GPUSupport
+	}
+
+	// Bind rows first, then push every distinct row that needs a
+	// prediction through the model in one batched call.
+	rowOf := make([]int, len(tr.Jobs))
+	batchOf := make(map[int]int, len(tr.Jobs))
+	var batchX [][]float64
+	for i, tj := range tr.Jobs {
+		row := stats.NewRNG(fault.Key2(tr.Seed, uint64(tj.ID))).Intn(n)
+		rowOf[i] = row
+		if tj.RuntimeSec > 0 {
+			continue
+		}
+		if _, ok := batchOf[row]; !ok {
+			batchOf[row] = len(batchX)
+			batchX = append(batchX, features[row])
+		}
+	}
+	preds := ml.PredictBatch(model, batchX)
+
+	flat := make(rpv.RPV, machines)
+	for k := range flat {
+		flat[k] = 1
+	}
+
+	jobs := make([]*sched.Job, len(tr.Jobs))
+	for i, tj := range tr.Jobs {
+		row := rowOf[i]
+		scale := tj.RuntimeScale
+		if scale == 0 {
+			scale = 1
+		}
+		j := &sched.Job{
+			ID:         tj.ID,
+			App:        appNames[row],
+			GPUCapable: gpuCapable[appNames[row]],
+			Arrival:    tj.ArrivalSec,
+			Tenant:     tj.Tenant,
+			Nodes:      tj.Nodes,
+		}
+		if tj.DeadlineSec > 0 {
+			j.Deadline = tj.ArrivalSec + tj.DeadlineSec
+		}
+		rts := make([]float64, machines)
+		if tj.RuntimeSec > 0 {
+			for k := range rts {
+				rts[k] = tj.RuntimeSec * scale
+			}
+			j.Predicted = flat
+		} else {
+			for k, v := range times[row] {
+				rts[k] = v * scale
+			}
+			j.Predicted = rpv.RPV(preds[batchOf[row]])
+		}
+		j.Runtimes = rts
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// WorkloadConfig configures the workload-realism sweep.
+type WorkloadConfig struct {
+	// Profiles selects workload profiles by name (nil = all).
+	Profiles []string
+	// Seed drives trace generation; every profile derives its spec from
+	// this one seed.
+	Seed uint64
+	// HorizonSec is the generation window in seconds (0 = 3600).
+	HorizonSec float64
+	// Rate is the base arrival rate in jobs/second (0 = 4, which keeps
+	// the Table I machines contended enough that queue order matters);
+	// each profile shapes it into its envelope or burst train.
+	Rate float64
+	// MaxJobs truncates each generated trace (0 = unbounded).
+	MaxJobs int
+	// NodeFaultRate injects node failures at this per-attempt rate
+	// (0 = none); FaultSeed seeds the injector and RetryCap bounds
+	// per-job re-executions (0 = sched default).
+	NodeFaultRate float64
+	FaultSeed     uint64
+	RetryCap      int
+}
+
+func (c *WorkloadConfig) setDefaults() {
+	if c.HorizonSec == 0 {
+		c.HorizonSec = 3600
+	}
+	if c.Rate == 0 {
+		c.Rate = 4
+	}
+}
+
+// WorkloadSchedulerNames lists the sweep's scheduler configurations in
+// run order: three FCFS+EASY baselines differing only in machine
+// assignment, then the SLO-aware configuration (EDF queue order,
+// fairness shares, deadline-driven preemption) over the same
+// Model-based assignment.
+var WorkloadSchedulerNames = []string{"fcfs+rr", "fcfs+user-rr", "fcfs+model", "slo+model"}
+
+// SLOSchedulerName is the sweep's SLO-aware configuration.
+const SLOSchedulerName = "slo+model"
+
+// WorkloadPoint is one sweep cell: a profile's trace under one
+// scheduler configuration.
+type WorkloadPoint struct {
+	Profile   string
+	Scheduler string
+	// Jobs is the generated trace length (shared by every scheduler row
+	// of the same profile).
+	Jobs   int
+	Result sched.Result
+}
+
+// MissPct is the deadline miss rate in percent (0 when the trace
+// carries no deadlines).
+func (p WorkloadPoint) MissPct() float64 { return missPct(p.Result) }
+
+func missPct(r sched.Result) float64 {
+	if r.DeadlineJobs == 0 {
+		return 0
+	}
+	return 100 * float64(r.MissedDeadlines) / float64(r.DeadlineJobs)
+}
+
+// WorkloadVerdict is the sweep's headline read-out on the bursty
+// profile (or the first profile when bursty is not in the sweep): the
+// SLO-aware configuration against the FCFS baselines.
+type WorkloadVerdict struct {
+	Profile string
+	// SLOMissPct and BestFCFSMissPct compare deadline miss rates; the
+	// FCFS number is the best (lowest) across the three baselines.
+	SLOMissPct      float64
+	BestFCFSMissPct float64
+	// SLOMakespanSec against FCFSModelMakespanSec isolates what the SLO
+	// machinery costs (or saves) at identical machine assignment.
+	SLOMakespanSec       float64
+	FCFSModelMakespanSec float64
+	// FewerMisses reports whether slo+model's miss rate is no worse
+	// than every FCFS baseline's.
+	FewerMisses bool
+}
+
+// WorkloadSweep is the full grid plus its verdict.
+type WorkloadSweep struct {
+	Points  []WorkloadPoint
+	Verdict WorkloadVerdict
+}
+
+// resolveProfiles expands the config's profile selection.
+func resolveProfiles(cfg WorkloadConfig) ([]workload.Profile, error) {
+	if cfg.Profiles == nil {
+		return workload.Profiles(), nil
+	}
+	var out []workload.Profile
+	for _, name := range cfg.Profiles {
+		p, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: workload sweep selects no profiles")
+	}
+	return out, nil
+}
+
+// baseParams builds the scheduler parameters shared by every sweep
+// cell (faults, retry cap); the SLO cell layers its machinery on top.
+func baseParams(cfg WorkloadConfig) (sched.Params, error) {
+	p := sched.Params{RetryCap: cfg.RetryCap}
+	if cfg.NodeFaultRate > 0 {
+		inj, err := fault.NewInjector(cfg.FaultSeed, fault.Plan{NodeFailure: cfg.NodeFaultRate})
+		if err != nil {
+			return sched.Params{}, fmt.Errorf("experiments: workload sweep faults: %w", err)
+		}
+		p.Faults = inj
+	}
+	return p, nil
+}
+
+// sloParams is baseParams plus the SLO machinery: EDF queue order,
+// fairness shares, and deadline-driven preemption with requeue.
+func sloParams(base sched.Params, shares map[string]float64) sched.Params {
+	base.R1 = sched.EDF{}
+	base.Shares = shares
+	base.Preempt = true
+	base.PreemptRequeue = true
+	return base
+}
+
+// runWorkloadSched schedules a fresh copy of the jobs (Run mutates
+// scheduling fields) on a fresh Table I cluster.
+func runWorkloadSched(jobs []*sched.Job, strat sched.Strategy, params sched.Params) (sched.Result, error) {
+	jcopy := make([]*sched.Job, len(jobs))
+	for i, j := range jobs {
+		cp := *j
+		jcopy[i] = &cp
+	}
+	return sched.Run(jcopy, sched.NewCluster(arch.All()), strat, params)
+}
+
+// ReplayTrace schedules one trace under every configuration in
+// WorkloadSchedulerNames, labeling the resulting points with label.
+// shares feeds the SLO configuration's fairness ordering (nil = no
+// share ordering); cfg contributes the fault/retry parameters shared
+// by every cell.
+func ReplayTrace(ds *dataset.Dataset, model ml.Regressor, tr *workload.Trace, label string, shares map[string]float64, cfg WorkloadConfig) ([]WorkloadPoint, error) {
+	jobs, err := JobsFromTrace(ds, model, tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaying %s workload: %w", label, err)
+	}
+	base, err := baseParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var points []WorkloadPoint
+	for _, name := range WorkloadSchedulerNames {
+		var strat sched.Strategy
+		params := base
+		switch name {
+		case "fcfs+rr":
+			strat = sched.NewRoundRobin()
+		case "fcfs+user-rr":
+			strat = sched.NewUserRR()
+		case "fcfs+model":
+			strat = sched.NewModelBased()
+		case SLOSchedulerName:
+			strat = sched.NewModelBased()
+			params = sloParams(base, shares)
+		default:
+			return nil, fmt.Errorf("experiments: unknown workload scheduler %q", name)
+		}
+		res, err := runWorkloadSched(jobs, strat, params)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduling %s under %s: %w", label, name, err)
+		}
+		points = append(points, WorkloadPoint{
+			Profile: label, Scheduler: name, Jobs: len(jobs), Result: res,
+		})
+	}
+	return points, nil
+}
+
+// VerdictFor computes the sweep verdict over an externally-assembled
+// point list (the CLI's single-trace replay path).
+func VerdictFor(points []WorkloadPoint) WorkloadVerdict { return workloadVerdict(points) }
+
+// RunWorkloadSweep generates one trace per profile and schedules it
+// under each configuration in WorkloadSchedulerNames. Every scheduler
+// row of a profile replays the identical trace — scheduler policy is
+// the only variable within a profile, arrival shape the only variable
+// across profiles.
+func RunWorkloadSweep(ds *dataset.Dataset, model ml.Regressor, cfg WorkloadConfig) (*WorkloadSweep, error) {
+	cfg.setDefaults()
+	profiles, err := resolveProfiles(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sw := &WorkloadSweep{}
+	for _, prof := range profiles {
+		spec := prof.Build(cfg.Seed, cfg.HorizonSec, cfg.Rate)
+		spec.MaxJobs = cfg.MaxJobs
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s workload: %w", prof.Name, err)
+		}
+		points, err := ReplayTrace(ds, model, tr, prof.Name, workload.ShareMap(spec.Tenants), cfg)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, points...)
+	}
+	sw.Verdict = workloadVerdict(sw.Points)
+	return sw, nil
+}
+
+// workloadVerdict reads the headline comparison off the grid.
+func workloadVerdict(points []WorkloadPoint) WorkloadVerdict {
+	if len(points) == 0 {
+		return WorkloadVerdict{}
+	}
+	profile := points[0].Profile
+	for _, p := range points {
+		if p.Profile == "bursty" {
+			profile = "bursty"
+			break
+		}
+	}
+	v := WorkloadVerdict{Profile: profile, BestFCFSMissPct: math.Inf(1)}
+	for _, p := range points {
+		if p.Profile != profile {
+			continue
+		}
+		if p.Scheduler == SLOSchedulerName {
+			v.SLOMissPct = p.MissPct()
+			v.SLOMakespanSec = p.Result.MakespanSec
+			continue
+		}
+		if mp := p.MissPct(); mp < v.BestFCFSMissPct {
+			v.BestFCFSMissPct = mp
+		}
+		if p.Scheduler == "fcfs+model" {
+			v.FCFSModelMakespanSec = p.Result.MakespanSec
+		}
+	}
+	if math.IsInf(v.BestFCFSMissPct, 1) {
+		v.BestFCFSMissPct = 0
+	}
+	v.FewerMisses = v.SLOMissPct <= v.BestFCFSMissPct
+	return v
+}
+
+// FormatWorkloadSweep renders the profile × scheduler grid and the
+// verdict line.
+func FormatWorkloadSweep(sw *WorkloadSweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Workload sweep — deadline performance across arrival profiles\n")
+	fmt.Fprintf(&b, "%-10s %-14s %6s %12s %12s %11s %7s %8s %7s\n",
+		"profile", "scheduler", "jobs", "makespan(h)", "avg-wait(s)", "missed", "miss%", "preempt", "aband")
+	for _, p := range sw.Points {
+		r := p.Result
+		fmt.Fprintf(&b, "%-10s %-14s %6d %12.3f %12.1f %5d/%-5d %7.1f %8d %7d\n",
+			p.Profile, p.Scheduler, p.Jobs, r.MakespanSec/3600, r.AvgWaitSec,
+			r.MissedDeadlines, r.DeadlineJobs, p.MissPct(), r.PreemptedAttempts, r.AbandonedJobs)
+	}
+	v := sw.Verdict
+	rel := 0.0
+	if v.FCFSModelMakespanSec > 0 {
+		rel = v.SLOMakespanSec / v.FCFSModelMakespanSec
+	}
+	fmt.Fprintf(&b, "\nverdict (%s): slo+model misses %.1f%% vs best FCFS %.1f%%; makespan %.2fx fcfs+model\n",
+		v.Profile, v.SLOMissPct, v.BestFCFSMissPct, rel)
+	return b.String()
+}
+
+// RunWorkloadSmoke runs the sweep twice and checks every invariant the
+// simulation guarantees by construction — job and deadline
+// conservation, per-tenant totals, preemption confined to the SLO
+// configuration, determinism across identical runs, and replay
+// identity through the serialized trace format. It returns the (first)
+// sweep for display; any violation is an error. This is the `make
+// check` gate: it must hold for every seed, not just golden ones.
+func RunWorkloadSmoke(ds *dataset.Dataset, model ml.Regressor, cfg WorkloadConfig) (*WorkloadSweep, error) {
+	sw, err := RunWorkloadSweep(ds, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	again, err := RunWorkloadSweep(ds, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(sw, again) {
+		return nil, fmt.Errorf("experiments: workload smoke: identical sweeps diverged — nondeterminism")
+	}
+	for _, p := range sw.Points {
+		if err := checkWorkloadInvariants(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkTraceReplayIdentity(ds, model, cfg); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// checkWorkloadInvariants verifies one sweep cell's accounting.
+func checkWorkloadInvariants(p WorkloadPoint) error {
+	r := p.Result
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("experiments: workload smoke %s/%s: %s", p.Profile, p.Scheduler, fmt.Sprintf(format, args...))
+	}
+	if r.CompletedJobs+r.AbandonedJobs != p.Jobs {
+		return fail("completed %d + abandoned %d != %d jobs", r.CompletedJobs, r.AbandonedJobs, p.Jobs)
+	}
+	if r.MetDeadlines+r.MissedDeadlines != r.DeadlineJobs {
+		return fail("met %d + missed %d != %d deadline jobs", r.MetDeadlines, r.MissedDeadlines, r.DeadlineJobs)
+	}
+	var jobs, completed, abandoned, deadline, missed int
+	for _, t := range r.PerTenant {
+		jobs += t.Jobs
+		completed += t.Completed
+		abandoned += t.Abandoned
+		deadline += t.DeadlineJobs
+		missed += t.MissedDeadlines
+	}
+	if jobs != p.Jobs || completed != r.CompletedJobs || abandoned != r.AbandonedJobs ||
+		deadline != r.DeadlineJobs || missed != r.MissedDeadlines {
+		return fail("per-tenant sums (jobs=%d completed=%d abandoned=%d deadline=%d missed=%d) disagree with totals",
+			jobs, completed, abandoned, deadline, missed)
+	}
+	if p.Scheduler != SLOSchedulerName && r.PreemptedAttempts != 0 {
+		return fail("%d preemptions under a non-preemptive configuration", r.PreemptedAttempts)
+	}
+	if r.PreemptedNodeSec > r.WastedNodeSec+1e-9 {
+		return fail("preempted node-sec %v exceeds wasted node-sec %v", r.PreemptedNodeSec, r.WastedNodeSec)
+	}
+	if math.IsNaN(r.MakespanSec) || math.IsInf(r.MakespanSec, 0) || (p.Jobs > 0 && r.MakespanSec <= 0) {
+		return fail("makespan %v for %d jobs", r.MakespanSec, p.Jobs)
+	}
+	return nil
+}
+
+// checkTraceReplayIdentity generates the first selected profile's
+// trace, round-trips it through the on-disk format, and demands the
+// replayed schedule be deep-equal to the direct one: recording a
+// workload must never change what replaying it does.
+func checkTraceReplayIdentity(ds *dataset.Dataset, model ml.Regressor, cfg WorkloadConfig) error {
+	cfg.setDefaults()
+	profiles, err := resolveProfiles(cfg)
+	if err != nil {
+		return err
+	}
+	spec := profiles[0].Build(cfg.Seed, cfg.HorizonSec, cfg.Rate)
+	spec.MaxJobs = cfg.MaxJobs
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, tr); err != nil {
+		return err
+	}
+	reread, err := workload.ReadTrace(&buf)
+	if err != nil {
+		return err
+	}
+	direct, err := JobsFromTrace(ds, model, tr)
+	if err != nil {
+		return err
+	}
+	replayed, err := JobsFromTrace(ds, model, reread)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(direct, replayed) {
+		return fmt.Errorf("experiments: workload smoke: %s jobs differ after trace round-trip", profiles[0].Name)
+	}
+	base, err := baseParams(cfg)
+	if err != nil {
+		return err
+	}
+	params := sloParams(base, workload.ShareMap(spec.Tenants))
+	r1, err := runWorkloadSched(direct, sched.NewModelBased(), params)
+	if err != nil {
+		return err
+	}
+	r2, err := runWorkloadSched(replayed, sched.NewModelBased(), params)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		return fmt.Errorf("experiments: workload smoke: %s schedule differs after trace round-trip", profiles[0].Name)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crossarch/internal/sched"
+)
+
+// The dataset-free half of the workload sweep: config defaults,
+// profile resolution, parameter assembly, verdict selection, and the
+// rendered grid. The dataset-backed half lives in workload_test.go.
+
+func TestWorkloadConfigDefaults(t *testing.T) {
+	var cfg WorkloadConfig
+	cfg.setDefaults()
+	if cfg.HorizonSec != 3600 || cfg.Rate != 4 {
+		t.Fatalf("defaults = horizon %v rate %v, want 3600 / 4", cfg.HorizonSec, cfg.Rate)
+	}
+	cfg = WorkloadConfig{HorizonSec: 60, Rate: 0.5}
+	cfg.setDefaults()
+	if cfg.HorizonSec != 60 || cfg.Rate != 0.5 {
+		t.Fatalf("explicit values overwritten: %+v", cfg)
+	}
+}
+
+func TestResolveProfiles(t *testing.T) {
+	all, err := resolveProfiles(WorkloadConfig{})
+	if err != nil || len(all) != 3 {
+		t.Fatalf("resolveProfiles(nil) = %d profiles, err %v; want 3, nil", len(all), err)
+	}
+	one, err := resolveProfiles(WorkloadConfig{Profiles: []string{"diurnal"}})
+	if err != nil || len(one) != 1 || one[0].Name != "diurnal" {
+		t.Fatalf("resolveProfiles(diurnal) = %+v, %v", one, err)
+	}
+	if _, err := resolveProfiles(WorkloadConfig{Profiles: []string{"nope"}}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := resolveProfiles(WorkloadConfig{Profiles: []string{}}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestBaseAndSLOParams(t *testing.T) {
+	p, err := baseParams(WorkloadConfig{RetryCap: 2})
+	if err != nil || p.Faults != nil || p.RetryCap != 2 {
+		t.Fatalf("baseParams(no faults) = %+v, %v", p, err)
+	}
+	p, err = baseParams(WorkloadConfig{NodeFaultRate: 0.1, FaultSeed: 3})
+	if err != nil || p.Faults == nil {
+		t.Fatalf("baseParams(faults) = %+v, %v", p, err)
+	}
+	if _, err := baseParams(WorkloadConfig{NodeFaultRate: 2}); err == nil {
+		t.Fatal("fault rate > 1 accepted")
+	}
+	shares := map[string]float64{"prod": 3, "batch": 1}
+	slo := sloParams(p, shares)
+	if slo.R1 == nil || slo.R1.Name() != (sched.EDF{}).Name() ||
+		!slo.Preempt || !slo.PreemptRequeue || slo.Shares["prod"] != 3 {
+		t.Fatalf("sloParams = %+v", slo)
+	}
+	if slo.Faults != p.Faults {
+		t.Fatal("sloParams dropped the base fault injector")
+	}
+}
+
+func TestMissPct(t *testing.T) {
+	if got := missPct(sched.Result{}); got != 0 {
+		t.Fatalf("missPct(no deadlines) = %v, want 0", got)
+	}
+	p := WorkloadPoint{Result: sched.Result{DeadlineJobs: 8, MissedDeadlines: 2}}
+	if got := p.MissPct(); got != 25 {
+		t.Fatalf("MissPct = %v, want 25", got)
+	}
+}
+
+// syntheticPoints builds a two-profile grid where slo+model wins on
+// bursty (5% vs best FCFS 10%) at 0.9x the fcfs+model makespan.
+func syntheticPoints() []WorkloadPoint {
+	mk := func(profile, schedName string, missed int, makespan float64) WorkloadPoint {
+		return WorkloadPoint{
+			Profile: profile, Scheduler: schedName, Jobs: 100,
+			Result: sched.Result{
+				DeadlineJobs: 20, MissedDeadlines: missed, MetDeadlines: 20 - missed,
+				MakespanSec: makespan,
+			},
+		}
+	}
+	return []WorkloadPoint{
+		mk("steady", "fcfs+rr", 1, 900),
+		mk("steady", "fcfs+model", 1, 800),
+		mk("steady", SLOSchedulerName, 1, 800),
+		mk("bursty", "fcfs+rr", 8, 1200),
+		mk("bursty", "fcfs+user-rr", 9, 1300),
+		mk("bursty", "fcfs+model", 2, 1000),
+		mk("bursty", SLOSchedulerName, 1, 900),
+	}
+}
+
+func TestWorkloadVerdict(t *testing.T) {
+	v := VerdictFor(syntheticPoints())
+	if v.Profile != "bursty" {
+		t.Fatalf("verdict profile = %q, want bursty (preferred over first profile)", v.Profile)
+	}
+	if v.SLOMissPct != 5 || v.BestFCFSMissPct != 10 {
+		t.Fatalf("miss rates = %v vs %v, want 5 vs 10", v.SLOMissPct, v.BestFCFSMissPct)
+	}
+	if v.SLOMakespanSec != 900 || v.FCFSModelMakespanSec != 1000 {
+		t.Fatalf("makespans = %v vs %v, want 900 vs 1000", v.SLOMakespanSec, v.FCFSModelMakespanSec)
+	}
+	if !v.FewerMisses {
+		t.Fatal("FewerMisses = false for a winning SLO configuration")
+	}
+	if got := VerdictFor(nil); got != (WorkloadVerdict{}) {
+		t.Fatalf("VerdictFor(nil) = %+v, want zero verdict", got)
+	}
+	steady := VerdictFor(syntheticPoints()[:3])
+	if steady.Profile != "steady" || math.IsInf(steady.BestFCFSMissPct, 1) {
+		t.Fatalf("no-bursty verdict = %+v, want steady profile with finite FCFS rate", steady)
+	}
+}
+
+func TestFormatWorkloadSweep(t *testing.T) {
+	pts := syntheticPoints()
+	sw := &WorkloadSweep{Points: pts, Verdict: VerdictFor(pts)}
+	out := FormatWorkloadSweep(sw)
+	for _, want := range []string{
+		"profile", "slo+model", "bursty",
+		"verdict (bursty): slo+model misses 5.0% vs best FCFS 10.0%; makespan 0.90x fcfs+model",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatWorkloadSweep missing %q:\n%s", want, out)
+		}
+	}
+	empty := FormatWorkloadSweep(&WorkloadSweep{})
+	if !strings.Contains(empty, "makespan 0.00x") {
+		t.Errorf("empty sweep should render a zero makespan ratio:\n%s", empty)
+	}
+}

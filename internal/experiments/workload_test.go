@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/sched"
+	"crossarch/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden workload fixtures")
+
+// stubModel is a cheap deterministic stand-in for the trained
+// regressor: it ranks machines from the (normalized) feature vector
+// with pure float math, so the golden replay tests exercise the full
+// trace → jobs → schedule path without training anything. Different
+// rows rank machines differently, spreading placement like a real
+// model would.
+type stubModel struct{ outputs int }
+
+func (s *stubModel) Fit(X, Y [][]float64) error { return nil }
+func (s *stubModel) Name() string               { return "stub" }
+func (s *stubModel) Predict(x []float64) []float64 {
+	out := make([]float64, s.outputs)
+	for k := range out {
+		h := 0.0
+		for i, v := range x {
+			h += v * float64((i*7+k*13)%11)
+		}
+		out[k] = 1 + 0.5*math.Abs(math.Sin(h+float64(k)))
+	}
+	return out
+}
+
+// goldenSpec is the pinned fixture workload: small enough to read in a
+// diff, bursty enough to exercise deadlines, tenants, and queueing.
+func goldenSpec() workload.Spec {
+	p, err := workload.ProfileByName("bursty")
+	if err != nil {
+		panic(err)
+	}
+	spec := p.Build(7, 600, 0.2)
+	spec.Comment = "golden fixture: bursty profile, seed 7, 600s horizon, 0.2/s base rate"
+	return spec
+}
+
+// testWorkloadConfig is the reduced-scale sweep every test here uses.
+func testWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{Seed: 7, HorizonSec: 600, Rate: 1}
+}
+
+// formatSchedule renders the per-job schedule in a stable, diffable
+// form for the golden comparison.
+func formatSchedule(jobs []*sched.Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# id tenant machine start end deadline outcome\n")
+	for _, j := range jobs {
+		tenant := j.Tenant
+		if tenant == "" {
+			tenant = "-"
+		}
+		outcome := "ok"
+		switch {
+		case j.Abandoned:
+			outcome = "abandoned"
+		case j.Deadline > 0 && j.End > j.Deadline:
+			outcome = "missed"
+		case j.Deadline > 0:
+			outcome = "met"
+		}
+		fmt.Fprintf(&b, "%d %s %d %.3f %.3f %.3f %s\n",
+			j.ID, tenant, j.Machine, j.Start, j.End, j.Deadline, outcome)
+	}
+	return b.String()
+}
+
+// TestGoldenTraceReplay pins the full record/replay path: a checked-in
+// schema-v1 trace file replayed through the stub model under the
+// SLO-aware configuration must reproduce the checked-in schedule
+// byte for byte. Regenerate both files with
+// `go test ./internal/experiments -run GoldenTraceReplay -update`.
+func TestGoldenTraceReplay(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	tracePath := filepath.Join("testdata", "golden", "workload_trace_v1.json")
+	schedPath := filepath.Join("testdata", "golden", "workload_schedule.txt")
+
+	if *updateGolden {
+		tr, err := workload.Generate(goldenSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(tracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.SaveTrace(tracePath, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tr, err := workload.LoadTrace(tracePath)
+	if err != nil {
+		t.Fatalf("loading golden trace (run with -update to create): %v", err)
+	}
+	// The checked-in trace is exactly what the pinned spec generates:
+	// the fixture guards the generator as well as the replayer.
+	regen, err := workload.Generate(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(regen.Jobs, tr.Jobs) {
+		t.Error("generator no longer reproduces the golden trace; regenerate with -update if intended")
+	}
+
+	model := &stubModel{outputs: len(arch.All())}
+	jobs, err := JobsFromTrace(ds, model, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := goldenSpec()
+	params := sloParams(sched.Params{}, workload.ShareMap(spec.Tenants))
+	if _, err := sched.Run(jobs, sched.NewCluster(arch.All()), sched.NewModelBased(), params); err != nil {
+		t.Fatal(err)
+	}
+	got := formatSchedule(jobs)
+
+	if *updateGolden {
+		if err := os.WriteFile(schedPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatalf("reading golden schedule (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("replayed schedule diverged from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJobsFromTraceReplayIdentity: generate → write → read → replay
+// must be indistinguishable from replaying the in-memory trace, down
+// to the resulting schedule.
+func TestJobsFromTraceReplayIdentity(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	model := &stubModel{outputs: len(arch.All())}
+	if err := checkTraceReplayIdentity(ds, model, testWorkloadConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobsFromTraceSWFPath: a trace with pinned flat runtimes (the SWF
+// import path) replays those runtimes on every machine and attaches a
+// flat RPV.
+func TestJobsFromTraceSWFPath(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	tr := &workload.Trace{
+		SchemaVersion: workload.TraceSchemaVersion,
+		Seed:          3,
+		Jobs: []workload.TraceJob{
+			{ID: 0, ArrivalSec: 0, Nodes: 2, RuntimeSec: 90, RuntimeScale: 1},
+			{ID: 1, ArrivalSec: 5, Nodes: 1, RuntimeScale: 1.5},
+		},
+	}
+	jobs, err := JobsFromTrace(ds, &stubModel{outputs: len(arch.All())}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := len(arch.All())
+	if len(jobs[0].Runtimes) != machines || len(jobs[1].Runtimes) != machines {
+		t.Fatalf("runtime vectors sized %d/%d, want %d", len(jobs[0].Runtimes), len(jobs[1].Runtimes), machines)
+	}
+	for k, rt := range jobs[0].Runtimes {
+		if rt != 90 {
+			t.Errorf("pinned-runtime job machine %d runtime %v, want 90", k, rt)
+		}
+		if jobs[0].Predicted[k] != 1 {
+			t.Errorf("pinned-runtime job RPV[%d] = %v, want flat 1", k, jobs[0].Predicted[k])
+		}
+	}
+	// The scaled job replays dataset runtimes, so its vector must vary
+	// across machines and differ from the flat one.
+	same := true
+	for _, rt := range jobs[1].Runtimes[1:] {
+		if rt != jobs[1].Runtimes[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("dataset-replay job has a flat runtime vector; expected per-machine variation")
+	}
+}
+
+// TestRunWorkloadSmoke is the invariant gate at test scale: every
+// conservation law, determinism, and replay identity must hold.
+func TestRunWorkloadSmoke(t *testing.T) {
+	ds, _ := sharedDataset(t)
+	model := &stubModel{outputs: len(arch.All())}
+	sw, err := RunWorkloadSmoke(ds, model, testWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := len(workload.Profiles())
+	if len(sw.Points) != profiles*len(WorkloadSchedulerNames) {
+		t.Fatalf("sweep has %d points, want %d profiles x %d schedulers",
+			len(sw.Points), profiles, len(WorkloadSchedulerNames))
+	}
+	for _, p := range sw.Points {
+		if p.Result.DeadlineJobs == 0 {
+			t.Errorf("%s/%s scheduled no deadline jobs; the SLO scenario is empty", p.Profile, p.Scheduler)
+		}
+	}
+	if sw.Verdict.Profile != "bursty" {
+		t.Errorf("verdict profile %q, want bursty", sw.Verdict.Profile)
+	}
+	out := FormatWorkloadSweep(sw)
+	for _, want := range []string{"bursty", "slo+model", "verdict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatWorkloadSweep output missing %q", want)
+		}
+	}
+}
+
+// TestWorkloadSweepInvariantChecker proves the smoke checker actually
+// rejects broken accounting rather than rubber-stamping it.
+func TestWorkloadSweepInvariantChecker(t *testing.T) {
+	good := WorkloadPoint{
+		Profile: "p", Scheduler: SLOSchedulerName, Jobs: 2,
+		Result: sched.Result{
+			CompletedJobs: 2, DeadlineJobs: 1, MetDeadlines: 1,
+			MakespanSec: 10,
+			PerTenant: map[string]sched.TenantResult{
+				"a": {Jobs: 2, Completed: 2, DeadlineJobs: 1},
+			},
+		},
+	}
+	if err := checkWorkloadInvariants(good); err != nil {
+		t.Fatalf("valid point rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*WorkloadPoint)
+	}{
+		{"lost job", func(p *WorkloadPoint) { p.Result.CompletedJobs = 1 }},
+		{"deadline imbalance", func(p *WorkloadPoint) { p.Result.MetDeadlines = 0 }},
+		{"tenant sum", func(p *WorkloadPoint) {
+			p.Result.PerTenant = map[string]sched.TenantResult{"a": {Jobs: 1, Completed: 1}}
+		}},
+		{"rogue preemption", func(p *WorkloadPoint) {
+			p.Scheduler = "fcfs+model"
+			p.Result.PreemptedAttempts = 1
+		}},
+		{"preempt exceeds waste", func(p *WorkloadPoint) {
+			p.Result.PreemptedAttempts = 1
+			p.Result.PreemptedNodeSec = 5
+			p.Result.WastedNodeSec = 1
+		}},
+		{"bad makespan", func(p *WorkloadPoint) { p.Result.MakespanSec = math.NaN() }},
+	}
+	for _, tc := range cases {
+		p := good
+		p.Result.PerTenant = map[string]sched.TenantResult{
+			"a": {Jobs: 2, Completed: 2, DeadlineJobs: 1},
+		}
+		tc.mutate(&p)
+		if err := checkWorkloadInvariants(p); err == nil {
+			t.Errorf("%s: broken point passed the checker", tc.name)
+		}
+	}
+}

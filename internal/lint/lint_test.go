@@ -28,6 +28,14 @@ func TestNondeterminismServeFixture(t *testing.T) {
 	runFixture(t, Nondeterminism, "internal/serve/servefix")
 }
 
+func TestNondeterminismWorkloadFixture(t *testing.T) {
+	// The workload generator (ISSUE PR 10) is inside the determinism
+	// scope: traces are bitwise-reproducible from their seed and the
+	// replay tests pin them, so wall-clock arrivals, global rand draws,
+	// and map-order accumulation are all flagged there.
+	runFixture(t, Nondeterminism, "internal/workload/workloadfix")
+}
+
 func TestCompiledEnsembleFixture(t *testing.T) {
 	// The compiled-arena hot path (ISSUE PR 6) lives inside the
 	// determinism scope and promises bitwise identity with the

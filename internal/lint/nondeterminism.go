@@ -32,7 +32,7 @@ var globalRandFuncs = map[string]bool{
 var Nondeterminism = &Analyzer{
 	Name:  "nondeterminism",
 	Doc:   "forbids time.Now, global math/rand, and order-sensitive map iteration in the deterministic pipeline packages",
-	Scope: regexp.MustCompile(`(^|/)internal/(ml|rpv|dataset|sched|perfmodel|fault|serve|cluster|registry|lint)(/|$)`),
+	Scope: regexp.MustCompile(`(^|/)internal/(ml|rpv|dataset|sched|perfmodel|fault|serve|cluster|registry|lint|workload)(/|$)`),
 	Run:   runNondeterminism,
 }
 

@@ -32,12 +32,16 @@ var obsNameFuncs = map[string]bool{
 	"Add": true, "Inc": true, "Set": true, "SetMax": true,
 	"Observe": true, "Counter": true, "Gauge": true,
 	"Histogram": true, "HistogramBuckets": true,
+	"LabeledCounter": true, "AddLabeled": true,
 }
 
 // obsHandleFuncs are the registration functions returning a recordable
 // handle; calling one without using the handle records nothing, ever.
+// LabeledCounter's *name* must be constant like any other — only its
+// label argument is runtime data.
 var obsHandleFuncs = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "HistogramBuckets": true,
+	"LabeledCounter": true,
 }
 
 // isObsNameTaking reports whether fn's first argument is a metric

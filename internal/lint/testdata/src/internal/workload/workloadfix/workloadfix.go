@@ -1,0 +1,50 @@
+// Package workloadfix exercises the nondeterminism analyzer inside
+// the workload-generator scope (internal/workload): trace generation
+// must be bitwise-reproducible from its seed, so the same wall-clock,
+// global-rand, and map-order hazards are banned here as in the rest of
+// the deterministic pipeline.
+package workloadfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ArrivalJitter stamps arrivals off the wall clock.
+func ArrivalJitter() float64 {
+	return float64(time.Now().UnixNano()) // want "time.Now in a deterministic pipeline package"
+}
+
+// GlobalDraw samples an interarrival gap from the shared source.
+func GlobalDraw(rate float64) float64 {
+	return rand.ExpFloat64() / rate // want "global math/rand.ExpFloat64"
+}
+
+// TenantTotals accumulates per-tenant weights in map order.
+func TenantTotals(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w // want "float accumulation over map iteration order"
+	}
+	return total
+}
+
+// TenantNames collects names without sorting.
+func TenantNames(weights map[string]float64) []string {
+	var names []string
+	for name := range weights {
+		names = append(names, name) // want "append to a result slice over map iteration order"
+	}
+	return names
+}
+
+// SortedTenantNames is the blessed collect-then-sort pattern.
+func SortedTenantNames(weights map[string]float64) []string {
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

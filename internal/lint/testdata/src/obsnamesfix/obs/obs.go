@@ -44,8 +44,17 @@ func (g *Gauge) SetMax(v float64) { _ = v }
 // Observe records into the histogram.
 func (h *Histogram) Observe(v float64) { _ = v }
 
+// LabeledCounter registers a counter under name + sanitized label.
+func (r *Registry) LabeledCounter(name, label string) *Counter {
+	_, _ = name, label
+	return &Counter{}
+}
+
 // Add is the package-level counter helper.
 func Add(name string, delta float64) { _, _ = name, delta }
+
+// AddLabeled is the package-level labeled-counter helper.
+func AddLabeled(name, label string, delta float64) { _, _, _ = name, label, delta }
 
 // Inc is the package-level increment helper.
 func Inc(name string) { _ = name }

@@ -55,3 +55,13 @@ func HandleMethodsAreNotNames(g *obs.Gauge) {
 	g.Set(1.5)
 	g.SetMax(2.5)
 }
+
+// LabeledCounters: the metric *name* must still be a constant in
+// convention — only the label argument is runtime data.
+func LabeledCounters(tenant string) {
+	obs.Default().LabeledCounter("sched.tenant.jobs.total", tenant).Add(1)
+	obs.AddLabeled("sched.tenant.missed.total", tenant, 1)
+	obs.Default().LabeledCounter("Bad.Tenant.Name", tenant).Add(1) // want "not dotted snake_case"
+	obs.AddLabeled(tenant, tenant, 1)                              // want "not a compile-time constant"
+	obs.Default().LabeledCounter("labeled.discarded", tenant)      // want "LabeledCounter handle is discarded"
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "strings"
+
+// This file adds the one-dimensional label primitive: a labeled counter
+// is an ordinary counter whose full name is the constant metric name
+// plus a sanitized runtime label segment (e.g.
+// "sched.tenant.jobs.total" + "prod" → "sched.tenant.jobs.total.prod").
+// Labels let per-tenant and per-deadline-class scheduling metrics keep
+// the registry's flat-name model — snapshots, the summary table, and
+// the obsnames analyzer all keep working — while the metric name itself
+// stays a compile-time constant the analyzer can verify.
+
+// SanitizeLabel maps an arbitrary runtime label value onto the metric
+// name charset: lowercased, every byte outside [a-z0-9_] replaced with
+// '_', and the empty label spelled "none" so a missing tenant still
+// produces a valid metric name.
+func SanitizeLabel(v string) string {
+	if v == "" {
+		return "none"
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// LabeledCounter returns the counter registered under the constant
+// metric name extended with one sanitized label segment. The name must
+// be a compile-time constant (the obsnames analyzer checks it); the
+// label may be any runtime string.
+func (r *Registry) LabeledCounter(name, label string) *Counter {
+	return r.Counter(name + "." + SanitizeLabel(label))
+}
+
+// AddLabeled adds delta to the labeled counter in the default registry.
+func AddLabeled(name, label string, delta float64) {
+	defaultRegistry.LabeledCounter(name, label).Add(delta)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "none"},
+		{"prod", "prod"},
+		{"Prod", "prod"},
+		{"team-a/batch", "team_a_batch"},
+		{"Tenant 7", "tenant_7"},
+		{"_ok_9", "_ok_9"},
+		{"π", "__"}, // two UTF-8 bytes, both sanitized
+	}
+	for _, tc := range cases {
+		if got := SanitizeLabel(tc.in); got != tc.want {
+			t.Errorf("SanitizeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("sched.tenant.jobs.total", "prod").Add(3)
+	r.LabeledCounter("sched.tenant.jobs.total", "Prod").Inc()
+	r.LabeledCounter("sched.tenant.jobs.total", "batch").Inc()
+	r.LabeledCounter("sched.tenant.jobs.total", "").Inc()
+
+	// Labels sharing a sanitized form share the counter; distinct
+	// labels get distinct counters under the same constant name.
+	if got := r.Counter("sched.tenant.jobs.total.prod").Value(); got != 4 {
+		t.Errorf("prod counter = %v, want 4", got)
+	}
+	if got := r.Counter("sched.tenant.jobs.total.batch").Value(); got != 1 {
+		t.Errorf("batch counter = %v, want 1", got)
+	}
+	if got := r.Counter("sched.tenant.jobs.total.none").Value(); got != 1 {
+		t.Errorf("empty-label counter = %v, want 1", got)
+	}
+
+	// The default-registry helper records into Default().
+	Reset()
+	defer Reset()
+	AddLabeled("sched.tenant.missed.total", "team-a", 2)
+	if got := Default().Counter("sched.tenant.missed.total.team_a").Value(); got != 2 {
+		t.Errorf("AddLabeled = %v, want 2", got)
+	}
+}

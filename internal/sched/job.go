@@ -11,6 +11,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"crossarch/internal/arch"
 	"crossarch/internal/rpv"
@@ -27,6 +28,14 @@ type Job struct {
 	GPUCapable bool
 	// Arrival is the submission time in seconds.
 	Arrival float64
+	// Tenant names the submitting tenant for fairness-share accounting
+	// ("" = untenanted; with shares configured, unknown tenants are
+	// best-effort).
+	Tenant string
+	// Deadline is the absolute completion deadline in seconds (0 = no
+	// deadline). A deadline earlier than Arrival is legal input — the
+	// job is simply counted missed however it is scheduled.
+	Deadline float64
 	// Nodes is the node count the job requires on any machine.
 	Nodes int
 	// Runtimes[k] is the observed runtime (seconds) on machine k in
@@ -43,10 +52,17 @@ type Job struct {
 	End     float64 // completion time
 
 	// Fault-injection results, filled by Run. Attempts counts
-	// executions started; Abandoned marks a job whose retry cap ran
+	// executions started; Failures counts attempts killed by an
+	// injected node failure (only these consume the retry cap —
+	// preemptions do not); Abandoned marks a job whose retry cap ran
 	// out (its Start/End then describe the last failed attempt).
 	Attempts  int
+	Failures  int
 	Abandoned bool
+
+	// Preemptions counts executions cut short to make room for an
+	// urgent deadline job, filled by Run.
+	Preemptions int
 
 	// failedOn is a bitmask of machines this job's attempts died on,
 	// letting failure-aware strategies steer the requeue elsewhere.
@@ -97,6 +113,9 @@ func (j *Job) Validate(machines int) error {
 	}
 	if j.Arrival < 0 {
 		return fmt.Errorf("sched: job %d arrives at %v", j.ID, j.Arrival)
+	}
+	if math.IsNaN(j.Deadline) || j.Deadline < 0 {
+		return fmt.Errorf("sched: job %d deadline %v: %w", j.ID, j.Deadline, ErrNegativeDeadline)
 	}
 	return nil
 }

@@ -46,6 +46,35 @@ func (LargestFirst) Name() string { return "LargestFirst" }
 // Less implements Policy.
 func (LargestFirst) Less(a, b *Job) bool { return a.Nodes > b.Nodes }
 
+// EDF is earliest-deadline-first: deadline-carrying jobs come before
+// deadline-less ones, ordered by absolute deadline; deadline-less jobs
+// keep arrival order among themselves. The urgency-aware R1 for the
+// SLO experiments — machine choice stays with the strategy (ModelBased
+// picks the fastest predicted machine for whichever job EDF puts
+// first).
+type EDF struct{}
+
+// Name implements Policy.
+func (EDF) Name() string { return "EDF" }
+
+// Less implements Policy.
+func (EDF) Less(a, b *Job) bool {
+	aDead := a.Deadline > 0
+	bDead := b.Deadline > 0
+	if aDead != bDead {
+		return aDead
+	}
+	if aDead {
+		if a.Deadline < b.Deadline {
+			return true
+		}
+		if b.Deadline < a.Deadline {
+			return false
+		}
+	}
+	return a.Arrival < b.Arrival
+}
+
 func minRuntime(j *Job) float64 {
 	m := j.Runtimes[0]
 	for _, r := range j.Runtimes[1:] {
@@ -65,6 +94,8 @@ func PolicyByName(name string) (Policy, error) {
 		return SJF{}, nil
 	case "LargestFirst", "largest-first":
 		return LargestFirst{}, nil
+	case "EDF", "edf":
+		return EDF{}, nil
 	default:
 		return nil, fmt.Errorf("sched: unknown policy %q", name)
 	}

@@ -39,7 +39,26 @@ type Params struct {
 	Faults *fault.Injector
 	// RetryCap is the number of re-executions a job gets after failed
 	// attempts before it is abandoned (0 = 3; negative rejected).
+	// Preemptions never consume the retry budget.
 	RetryCap int
+	// Shares maps tenant name to fairness share. When non-nil, the wait
+	// queue is ordered by normalized usage (consumed node-seconds per
+	// unit of share) before the R1 policy; tenants with a zero or
+	// missing share are best-effort and yield to every funded tenant.
+	// A negative share or a table summing to zero is rejected with
+	// ErrBadShares.
+	Shares map[string]float64
+	// Preempt lets an urgent deadline job kill running jobs on its
+	// assigned machine when starting now meets its deadline and waiting
+	// for the EASY reservation would miss it. Requires PreemptRequeue
+	// (rejected with ErrPreemptNoRequeue otherwise): preempted jobs go
+	// back to the wait queue, never into the void.
+	Preempt bool
+	// PreemptRequeue re-queues preempted jobs for another attempt.
+	PreemptRequeue bool
+	// PreemptCap bounds how many times one job may be preempted
+	// (0 = 3; negative rejected), so best-effort work always finishes.
+	PreemptCap int
 }
 
 // setDefaults fills zero values with their documented defaults and
@@ -84,6 +103,18 @@ func (p *Params) setDefaults() error {
 			return fmt.Errorf("sched: %w", err)
 		}
 	}
+	if err := validateShares(p.Shares); err != nil {
+		return err
+	}
+	if p.Preempt && !p.PreemptRequeue {
+		return ErrPreemptNoRequeue
+	}
+	if p.PreemptCap < 0 {
+		return fmt.Errorf("sched: negative PreemptCap %d", p.PreemptCap)
+	}
+	if p.PreemptCap == 0 {
+		p.PreemptCap = 3
+	}
 	return nil
 }
 
@@ -120,8 +151,23 @@ type Result struct {
 	// node failure; AbandonedJobs counts jobs whose retry cap ran out.
 	KilledAttempts int
 	AbandonedJobs  int
-	// WastedNodeSec is node-seconds consumed by attempts that died.
+	// WastedNodeSec is node-seconds consumed by attempts that died
+	// (injected failures and preemptions alike).
 	WastedNodeSec float64
+	// DeadlineJobs counts submitted jobs carrying a deadline;
+	// MissedDeadlines counts those that did not finish by it (completed
+	// late or abandoned). MetDeadlines + MissedDeadlines ==
+	// DeadlineJobs always.
+	DeadlineJobs    int
+	MetDeadlines    int
+	MissedDeadlines int
+	// PreemptedAttempts counts executions cut short to admit an urgent
+	// deadline job; PreemptedNodeSec is the work they lost.
+	PreemptedAttempts int
+	PreemptedNodeSec  float64
+	// PerTenant breaks the result down by job tenant (key "" is
+	// untenanted work). Always populated, even without shares.
+	PerTenant map[string]TenantResult
 }
 
 // runningJob is a heap entry for an executing job. A failed entry ends
@@ -166,8 +212,10 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		// Reset per-run failure state so a job slice can be replayed
 		// (the determinism tests run the same workload twice).
 		j.Attempts = 0
+		j.Failures = 0
 		j.Abandoned = false
 		j.failedOn = 0
+		j.Preemptions = 0
 		maxNodes := 0
 		for _, m := range cluster.Machines {
 			if m.TotalNodes > maxNodes {
@@ -199,6 +247,16 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	killedJobs := reg.Counter("sched.jobs.killed.total")
 	abandonedJobs := reg.Counter("sched.jobs.abandoned.total")
 	requeueHist := reg.Histogram("sched.requeue.attempts")
+	preemptedCtr := reg.Counter("sched.jobs.preempted.total")
+
+	// Fair-share ordering wraps R1 when shares are configured; usage is
+	// charged at start and refunded when an attempt dies uncompleted.
+	r1 := p.R1
+	var usage map[string]float64
+	if p.Shares != nil {
+		usage = map[string]float64{}
+		r1 = &shareOrder{inner: p.R1, shares: p.Shares, usage: usage}
+	}
 
 	// R1 = FCFS: order by arrival (stable on submission index).
 	order := make([]*Job, len(jobs))
@@ -219,13 +277,16 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	firstArrival := clock
 	lastEnd := clock
 
-	var killed, abandoned int
-	var wastedNodeSec float64
+	var killed, abandoned, preempted int
+	var wastedNodeSec, preemptedNodeSec float64
 
 	start := func(j *Job, mi int, now float64) {
 		startedJobs.Inc()
 		j.Attempts++
 		cluster.Machines[mi].FreeNodes -= j.Nodes
+		if usage != nil {
+			usage[j.Tenant] += float64(j.Nodes) * j.Runtimes[mi]
+		}
 		end := now + j.Runtimes[mi]
 		rj := runningJob{end: end, job: j, machine: mi}
 		attemptKey := fault.Key2(uint64(j.ID), uint64(j.Attempts))
@@ -240,22 +301,38 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		j.Start = now
 		j.End = end
 		heap.Push(running, rj)
-		if end > lastEnd {
-			lastEnd = end
+	}
+
+	// preempt kills the victims on machine mi and requeues them so head
+	// can start now. Preempted attempts refund their usage charge and
+	// never consume the victim's retry budget.
+	preempt := func(victims []*Job, mi int, now float64) {
+		for _, v := range victims {
+			removeRunning(running, v)
+			cluster.Machines[mi].FreeNodes += v.Nodes
+			if usage != nil {
+				usage[v.Tenant] -= float64(v.Nodes) * v.Runtimes[mi]
+			}
+			v.Preemptions++
+			preempted++
+			preemptedCtr.Inc()
+			preemptedNodeSec += (now - v.Start) * float64(v.Nodes)
+			wastedNodeSec += (now - v.Start) * float64(v.Nodes)
+			queue.requeue(v)
 		}
 	}
 
 	// nextHead returns the job the queue policy puts first. The FCFS
 	// fast path avoids materializing the queue.
 	nextHead := func() *Job {
-		if isFCFS(p.R1) {
+		if isFCFS(r1) {
 			return queue.peek()
 		}
 		live := queue.liveSlice(0)
 		if len(live) == 0 {
 			return nil
 		}
-		sortQueue(live, p.R1)
+		sortQueue(live, r1)
 		return live[0]
 	}
 
@@ -263,11 +340,11 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	// head, ordered by R2 (Algorithm 1 line 11).
 	backfillCandidates := func(head *Job) []*Job {
 		var live []*Job
-		if isFCFS(p.R1) {
+		if isFCFS(r1) {
 			live = queue.liveSlice(p.BackfillDepth + 1)
 		} else {
 			live = queue.liveSlice(0)
-			sortQueue(live, p.R1)
+			sortQueue(live, r1)
 		}
 		// Drop the head wherever the ordering put it.
 		cands := make([]*Job, 0, len(live))
@@ -303,6 +380,25 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 			// Head blocked: reserve it on mi at the earliest time
 			// enough nodes free up (EASY shadow time).
 			shadow, availAtShadow := shadowTime(cluster, running, mi, head.Nodes, now)
+
+			// Preemption fires only when it flips a miss into a meet:
+			// starting now makes the deadline, waiting for the shadow
+			// reservation would not. All-or-nothing — if no eligible
+			// victim set frees enough nodes, fall through to backfill.
+			if p.Preempt && head.Deadline > 0 {
+				rt := head.Runtimes[mi]
+				meetsNow := now+rt <= head.Deadline
+				missesAtShadow := shadow+rt > head.Deadline
+				if meetsNow && missesAtShadow {
+					need := head.Nodes - cluster.Machines[mi].FreeNodes
+					if victims := preemptVictims(running, head, mi, need, now, p.PreemptCap); victims != nil {
+						preempt(victims, mi, now)
+						queue.remove(head)
+						start(head, mi, now)
+						continue
+					}
+				}
+			}
 
 			// Backfill: candidates may start only without delaying the
 			// reservation. Planning uses walltime estimates (true
@@ -349,15 +445,28 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 		for running.Len() > 0 && (*running)[0].end <= clock {
 			done := heap.Pop(running).(runningJob)
 			cluster.Machines[done.machine].FreeNodes += done.job.Nodes
+			// Makespan tracks the instant nodes actually drain, not the
+			// end planned at start time — a preempted entry never
+			// reaches this loop, so its stale planned end never inflates
+			// the makespan.
+			if done.end > lastEnd {
+				lastEnd = done.end
+			}
 			if !done.failed {
 				continue
 			}
 			j := done.job
 			j.markFailed(done.machine)
+			j.Failures++
 			killed++
 			killedJobs.Inc()
 			wastedNodeSec += (done.end - j.Start) * float64(j.Nodes)
-			if j.Attempts > p.RetryCap {
+			if usage != nil {
+				// The attempt died early; refund the full-runtime charge
+				// taken at start so fairness tracks delivered work.
+				usage[j.Tenant] -= float64(j.Nodes) * j.Runtimes[done.machine]
+			}
+			if j.Failures > p.RetryCap {
 				j.Abandoned = true
 				abandoned++
 				abandonedJobs.Inc()
@@ -383,7 +492,21 @@ func Run(jobs []*Job, cluster *Cluster, strat Strategy, p Params) (Result, error
 	res.KilledAttempts = killed
 	res.AbandonedJobs = abandoned
 	res.WastedNodeSec = wastedNodeSec
+	res.PreemptedAttempts = preempted
+	res.PreemptedNodeSec = preemptedNodeSec
 	obs.Set("sched.makespan.seconds", res.MakespanSec)
+	obs.Add("sched.deadline.jobs.total", float64(res.DeadlineJobs))
+	obs.Add("sched.deadline.missed.total", float64(res.MissedDeadlines))
+	tenants := make([]string, 0, len(res.PerTenant))
+	for name := range res.PerTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		ts := res.PerTenant[name]
+		reg.LabeledCounter("sched.tenant.jobs.total", name).Add(float64(ts.Jobs))
+		reg.LabeledCounter("sched.tenant.deadline.missed.total", name).Add(float64(ts.MissedDeadlines))
+	}
 	return res, nil
 }
 
@@ -429,16 +552,32 @@ func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArr
 		MakespanSec:           lastEnd - firstArrival,
 		JobsPerMachine:        make([]int, cluster.NumMachines()),
 		NodeSecondsPerMachine: make([]float64, cluster.NumMachines()),
+		PerTenant:             map[string]TenantResult{},
 	}
 	if len(jobs) == 0 {
 		return res
 	}
 	sumSlow, sumWait := 0.0, 0.0
 	for _, j := range jobs {
+		ts := res.PerTenant[j.Tenant]
+		ts.Jobs++
+		if j.Deadline > 0 {
+			res.DeadlineJobs++
+			ts.DeadlineJobs++
+			if j.Abandoned || j.End > j.Deadline {
+				res.MissedDeadlines++
+				ts.MissedDeadlines++
+			} else {
+				res.MetDeadlines++
+			}
+		}
 		if j.Abandoned {
+			ts.Abandoned++
+			res.PerTenant[j.Tenant] = ts
 			continue
 		}
 		res.CompletedJobs++
+		ts.Completed++
 		run := j.End - j.Start
 		wait := j.Start - j.Arrival
 		slow := (wait + run) / math.Max(run, p.SlowdownBound)
@@ -447,6 +586,9 @@ func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArr
 		}
 		sumSlow += slow
 		sumWait += wait
+		ts.SumWaitSec += wait
+		ts.NodeSec += run * float64(j.Nodes)
+		res.PerTenant[j.Tenant] = ts
 		res.JobsPerMachine[j.Machine]++
 		res.NodeSecondsPerMachine[j.Machine] += run * float64(j.Nodes)
 		res.TotalRuntimeSec += run
@@ -464,8 +606,17 @@ func summarize(jobs []*Job, cluster *Cluster, strat Strategy, p Params, firstArr
 	return res
 }
 
-// String renders the result as one experiment-table row.
+// String renders the result as one experiment-table row; the deadline
+// columns appear only when the workload carried deadlines.
 func (r Result) String() string {
-	return fmt.Sprintf("%-12s makespan=%.3fh avg-bounded-slowdown=%.2f avg-wait=%.1fs",
+	s := fmt.Sprintf("%-12s makespan=%.3fh avg-bounded-slowdown=%.2f avg-wait=%.1fs",
 		r.Strategy, r.MakespanSec/3600, r.AvgBoundedSlowdown, r.AvgWaitSec)
+	if r.DeadlineJobs > 0 {
+		s += fmt.Sprintf(" missed=%d/%d (%.1f%%)", r.MissedDeadlines, r.DeadlineJobs,
+			100*float64(r.MissedDeadlines)/float64(r.DeadlineJobs))
+	}
+	if r.PreemptedAttempts > 0 {
+		s += fmt.Sprintf(" preempted=%d", r.PreemptedAttempts)
+	}
+	return s
 }

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the SLO / multi-tenant scheduling layer: typed
+// validation errors for the deadline, share, and preemption parameters,
+// the fair-share queue ordering that wraps R1, and the per-tenant
+// result breakdown.
+
+// ErrNegativeDeadline is the typed cause of a job carrying a negative
+// (or NaN) deadline — always a caller bug, rejected by Run before any
+// event is simulated. Detect with errors.Is.
+var ErrNegativeDeadline = errors.New("sched: negative deadline")
+
+// ErrBadShares is the typed cause of an unusable tenant share table: a
+// negative, NaN, or infinite share, or shares that sum to zero (no
+// tenant funded — fairness ordering would be undefined).
+var ErrBadShares = errors.New("sched: invalid tenant shares")
+
+// ErrPreemptNoRequeue is returned when preemption is enabled without
+// requeue: the simulator has nowhere to put a preempted job, so the
+// combination would silently lose work instead of degrading linearly.
+var ErrPreemptNoRequeue = errors.New("sched: preemption requires requeue")
+
+// validateShares rejects unusable share tables (keys are iterated in
+// sorted order so the reported offender is deterministic).
+func validateShares(shares map[string]float64) error {
+	if len(shares) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(shares))
+	for name := range shares {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0.0
+	for _, name := range names {
+		v := shares[name]
+		if math.IsNaN(v) || v < 0 || math.IsInf(v, 1) {
+			return fmt.Errorf("%w: tenant %q share %v, want finite >= 0", ErrBadShares, name, v)
+		}
+		total += v
+	}
+	if !(total > 0) {
+		return fmt.Errorf("%w: shares sum to %v, want > 0", ErrBadShares, total)
+	}
+	return nil
+}
+
+// shareOrder is the fair-share queue ordering: jobs of the tenant with
+// the lowest normalized usage (consumed node-seconds divided by share)
+// come first, ties broken by the wrapped policy. Tenants with a zero or
+// missing share are best-effort — their normalized usage is +Inf, so
+// they run only when no funded tenant is waiting. Usage is charged at
+// job start and refunded when an attempt leaves the machine
+// uncompleted, so the ordering tracks honest consumption.
+type shareOrder struct {
+	inner  Policy
+	shares map[string]float64
+	usage  map[string]float64
+}
+
+// Name implements Policy.
+func (s *shareOrder) Name() string { return "FairShare+" + s.inner.Name() }
+
+// normUsage is the tenant's consumed node-seconds per unit of share.
+func (s *shareOrder) normUsage(tenant string) float64 {
+	share := s.shares[tenant]
+	if !(share > 0) {
+		return math.Inf(1)
+	}
+	return s.usage[tenant] / share
+}
+
+// Less implements Policy.
+func (s *shareOrder) Less(a, b *Job) bool {
+	ua, ub := s.normUsage(a.Tenant), s.normUsage(b.Tenant)
+	if ua < ub {
+		return true
+	}
+	if ub < ua {
+		return false
+	}
+	return s.inner.Less(a, b)
+}
+
+// TenantResult is one tenant's slice of a simulation result.
+type TenantResult struct {
+	Jobs            int
+	Completed       int
+	Abandoned       int
+	DeadlineJobs    int
+	MissedDeadlines int
+	// SumWaitSec is the total queue wait over completed jobs; divide by
+	// Completed for the mean.
+	SumWaitSec float64
+	// NodeSec is the node-seconds consumed by completed runs.
+	NodeSec float64
+}
+
+// preemptVictims picks the running jobs on machine mi to kill so that
+// head can start now (freeing at least need nodes), or nil when no
+// eligible set frees enough (all-or-nothing: a partial preemption would
+// kill work without meeting the deadline that justified it). Eligible
+// victims are healthy (not already marked dead by fault injection),
+// under the preemption cap, and either deadline-less or strictly less
+// urgent than head. Victim order is deterministic: deadline-less first,
+// then latest deadline, then least work lost, then job ID.
+func preemptVictims(running *runHeap, head *Job, mi, need int, now float64, limit int) []*Job {
+	var cands []*Job
+	for _, r := range *running {
+		if r.machine != mi || r.failed {
+			continue
+		}
+		j := r.job
+		if j.Preemptions >= limit {
+			continue
+		}
+		if j.Deadline > 0 && !(j.Deadline > head.Deadline) {
+			continue
+		}
+		cands = append(cands, j)
+	}
+	lost := func(j *Job) float64 { return (now - j.Start) * float64(j.Nodes) }
+	sort.Slice(cands, func(a, b int) bool {
+		ja, jb := cands[a], cands[b]
+		aDead := ja.Deadline > 0
+		bDead := jb.Deadline > 0
+		if aDead != bDead {
+			return !aDead
+		}
+		if aDead {
+			if ja.Deadline > jb.Deadline {
+				return true
+			}
+			if jb.Deadline > ja.Deadline {
+				return false
+			}
+		}
+		la, lb := lost(ja), lost(jb)
+		if la < lb {
+			return true
+		}
+		if lb < la {
+			return false
+		}
+		return ja.ID < jb.ID
+	})
+	freed := 0
+	var victims []*Job
+	for _, j := range cands {
+		if freed >= need {
+			break
+		}
+		victims = append(victims, j)
+		freed += j.Nodes
+	}
+	if freed < need {
+		return nil
+	}
+	return victims
+}
+
+// removeRunning removes the (unique) heap entry for job j and returns
+// it. The caller guarantees j is running.
+func removeRunning(running *runHeap, j *Job) runningJob {
+	for i := range *running {
+		if (*running)[i].job == j {
+			return heap.Remove(running, i).(runningJob)
+		}
+	}
+	panic("sched: preemption victim not in run heap")
+}

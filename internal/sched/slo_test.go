@@ -1,0 +1,393 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"crossarch/internal/arch"
+	"crossarch/internal/fault"
+	"crossarch/internal/stats"
+)
+
+// oneMachineCluster is a single 4-node machine, forcing every job into
+// one queue so deadline and preemption behavior is hand-checkable.
+func oneMachineCluster() *Cluster {
+	q := arch.Quartz()
+	q.Nodes = 4
+	return NewCluster([]*arch.Machine{q})
+}
+
+func mkJob1(id int, arrival float64, nodes int, runtime float64) *Job {
+	return mkJob(id, arrival, nodes, runtime)
+}
+
+// TestSLOParamsValidation mirrors the PR 1 validation style: every
+// invalid SLO parameterization is rejected from Run with a typed error
+// before any event is simulated.
+func TestSLOParamsValidation(t *testing.T) {
+	c := tinyCluster()
+	jobs := []*Job{mkJob(0, 0, 1, 10, 20, 30)}
+	cases := []struct {
+		name string
+		p    Params
+		want error
+	}{
+		{"negative share", Params{Shares: map[string]float64{"a": -1}}, ErrBadShares},
+		{"NaN share", Params{Shares: map[string]float64{"a": math.NaN()}}, ErrBadShares},
+		{"infinite share", Params{Shares: map[string]float64{"a": math.Inf(1)}}, ErrBadShares},
+		{"shares sum to zero", Params{Shares: map[string]float64{"a": 0, "b": 0}}, ErrBadShares},
+		{"preempt without requeue", Params{Preempt: true}, ErrPreemptNoRequeue},
+	}
+	for _, tc := range cases {
+		if _, err := Run(jobs, c, NewModelBased(), tc.p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Run = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Run(jobs, c, NewModelBased(), Params{PreemptCap: -1}); err == nil {
+		t.Error("negative PreemptCap accepted")
+	}
+
+	bad := mkJob(1, 0, 1, 10, 20, 30)
+	bad.Deadline = -5
+	if _, err := Run([]*Job{bad}, c, NewModelBased(), Params{}); !errors.Is(err, ErrNegativeDeadline) {
+		t.Errorf("negative deadline: Run = %v, want ErrNegativeDeadline", err)
+	}
+	nan := mkJob(2, 0, 1, 10, 20, 30)
+	nan.Deadline = math.NaN()
+	if _, err := Run([]*Job{nan}, c, NewModelBased(), Params{}); !errors.Is(err, ErrNegativeDeadline) {
+		t.Errorf("NaN deadline: Run = %v, want ErrNegativeDeadline", err)
+	}
+
+	// The valid combination passes: zero-share tenants are legal as
+	// long as someone is funded.
+	ok := Params{
+		Shares:         map[string]float64{"paid": 1, "free": 0},
+		Preempt:        true,
+		PreemptRequeue: true,
+	}
+	if _, err := Run(jobs, c, NewModelBased(), ok); err != nil {
+		t.Errorf("valid SLO params rejected: %v", err)
+	}
+}
+
+// TestEDFOrdering: deadline jobs sort by deadline ahead of deadline-less
+// jobs, which keep arrival order.
+func TestEDFOrdering(t *testing.T) {
+	late := mkJob1(0, 0, 1, 10)
+	late.Deadline = 500
+	soon := mkJob1(1, 5, 1, 10)
+	soon.Deadline = 100
+	none1 := mkJob1(2, 1, 1, 10)
+	none2 := mkJob1(3, 2, 1, 10)
+
+	jobs := []*Job{none2, late, none1, soon}
+	sortQueue(jobs, EDF{})
+	got := []int{jobs[0].ID, jobs[1].ID, jobs[2].ID, jobs[3].ID}
+	want := []int{1, 0, 2, 3} // soon, late, then deadline-less by arrival
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EDF order = %v, want %v", got, want)
+	}
+	if (EDF{}).Name() != "EDF" {
+		t.Error("EDF name")
+	}
+	if p, err := PolicyByName("edf"); err != nil || p.Name() != "EDF" {
+		t.Errorf("PolicyByName(edf) = %v, %v", p, err)
+	}
+}
+
+// TestDeadlineMissedAtArrival: a deadline already in the past when the
+// job arrives is legal input — the job runs and is counted missed, and
+// preemption is never triggered for it (it cannot flip to a meet).
+func TestDeadlineMissedAtArrival(t *testing.T) {
+	c := oneMachineCluster()
+	blocker := mkJob1(0, 0, 4, 50)
+	doomed := mkJob1(1, 10, 4, 5)
+	doomed.Deadline = 5 // before its own arrival
+	res, err := Run([]*Job{blocker, doomed}, c, NewModelBased(), Params{
+		Preempt: true, PreemptRequeue: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedJobs != 2 {
+		t.Fatalf("completed %d of 2", res.CompletedJobs)
+	}
+	if res.DeadlineJobs != 1 || res.MissedDeadlines != 1 || res.MetDeadlines != 0 {
+		t.Fatalf("deadline accounting: %d jobs, %d missed, %d met", res.DeadlineJobs, res.MissedDeadlines, res.MetDeadlines)
+	}
+	if res.PreemptedAttempts != 0 {
+		t.Fatalf("preempted %d attempts for an unmeetable deadline", res.PreemptedAttempts)
+	}
+}
+
+// TestPreemptFlipsMissToMeet: preempting the sole running job rescues
+// an otherwise-missed deadline; the victim is requeued and completes.
+func TestPreemptFlipsMissToMeet(t *testing.T) {
+	mk := func() []*Job {
+		victim := mkJob1(0, 0, 4, 100)
+		urgent := mkJob1(1, 1, 4, 10)
+		urgent.Deadline = 20
+		return []*Job{victim, urgent}
+	}
+
+	// Without preemption the urgent job waits out the full blocker.
+	res, err := Run(mk(), oneMachineCluster(), NewModelBased(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissedDeadlines != 1 {
+		t.Fatalf("without preemption: %d missed, want 1", res.MissedDeadlines)
+	}
+
+	jobs := mk()
+	res, err = Run(jobs, oneMachineCluster(), NewModelBased(), Params{
+		Preempt: true, PreemptRequeue: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, urgent := jobs[0], jobs[1]
+	if res.MissedDeadlines != 0 || res.MetDeadlines != 1 {
+		t.Fatalf("with preemption: %d missed / %d met", res.MissedDeadlines, res.MetDeadlines)
+	}
+	if res.PreemptedAttempts != 1 || victim.Preemptions != 1 {
+		t.Fatalf("preemption accounting: result %d, victim %d", res.PreemptedAttempts, victim.Preemptions)
+	}
+	if urgent.Start != 1 || urgent.End != 11 {
+		t.Fatalf("urgent ran [%v,%v], want [1,11]", urgent.Start, urgent.End)
+	}
+	// Victim restarted after the urgent job and still completed fully.
+	if victim.Abandoned || victim.Start != 11 || victim.End != 111 {
+		t.Fatalf("victim ran [%v,%v] abandoned=%v, want a full re-run [11,111]", victim.Start, victim.End, victim.Abandoned)
+	}
+	if res.CompletedJobs != 2 || res.AbandonedJobs != 0 {
+		t.Fatalf("conservation: %d completed, %d abandoned", res.CompletedJobs, res.AbandonedJobs)
+	}
+	// The lost node-seconds are accounted as preempted and wasted; the
+	// stale first-attempt end never inflates the makespan.
+	if res.PreemptedNodeSec != 4 || res.WastedNodeSec != 4 {
+		t.Fatalf("lost work: preempted %v, wasted %v, want 4", res.PreemptedNodeSec, res.WastedNodeSec)
+	}
+	if res.MakespanSec != 111 {
+		t.Fatalf("makespan %v, want 111", res.MakespanSec)
+	}
+}
+
+// TestPreemptCapBounds: one victim can only be preempted PreemptCap
+// times; later urgent jobs must wait, so best-effort work always
+// finishes.
+func TestPreemptCapBounds(t *testing.T) {
+	victim := mkJob1(0, 0, 4, 1000)
+	jobs := []*Job{victim}
+	for i := 1; i <= 5; i++ {
+		u := mkJob1(i, float64(10*i), 4, 5)
+		u.Deadline = float64(10*i) + 10
+		jobs = append(jobs, u)
+	}
+	res, err := Run(jobs, oneMachineCluster(), NewModelBased(), Params{
+		Preempt: true, PreemptRequeue: true, // PreemptCap defaults to 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.Preemptions != 3 {
+		t.Fatalf("victim preempted %d times, cap is 3", victim.Preemptions)
+	}
+	if res.PreemptedAttempts != 3 {
+		t.Fatalf("result counts %d preemptions, want 3", res.PreemptedAttempts)
+	}
+	if res.MetDeadlines != 3 || res.MissedDeadlines != 2 {
+		t.Fatalf("deadlines: %d met / %d missed, want 3/2", res.MetDeadlines, res.MissedDeadlines)
+	}
+	if res.CompletedJobs != len(jobs) || victim.Abandoned {
+		t.Fatalf("conservation: %d completed, victim abandoned=%v", res.CompletedJobs, victim.Abandoned)
+	}
+}
+
+// TestZeroShareTenantYields: a zero-share tenant's queued work always
+// yields to a funded tenant, regardless of submission order — but still
+// runs when the funded queue drains.
+func TestZeroShareTenantYields(t *testing.T) {
+	blocker := mkJob1(0, 0, 4, 10)
+	blocker.Tenant = "paid"
+	free := mkJob1(1, 1, 4, 10)
+	free.Tenant = "free"
+	paid := mkJob1(2, 2, 4, 10) // submitted after free
+	paid.Tenant = "paid"
+
+	res, err := Run([]*Job{blocker, free, paid}, oneMachineCluster(), NewModelBased(), Params{
+		Shares: map[string]float64{"paid": 1, "free": 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(paid.Start < free.Start) {
+		t.Fatalf("zero-share job started at %v before funded job at %v", free.Start, paid.Start)
+	}
+	if res.CompletedJobs != 3 {
+		t.Fatalf("completed %d of 3", res.CompletedJobs)
+	}
+	ts := res.PerTenant["free"]
+	if ts.Jobs != 1 || ts.Completed != 1 {
+		t.Fatalf("free tenant stats %+v", ts)
+	}
+}
+
+// TestFairShareInterleaves: equal shares alternate tenants even when
+// one tenant submitted all its work first.
+func TestFairShareInterleaves(t *testing.T) {
+	a1, a2 := mkJob1(0, 0, 4, 10), mkJob1(1, 0.1, 4, 10)
+	b1, b2 := mkJob1(2, 0.2, 4, 10), mkJob1(3, 0.3, 4, 10)
+	a1.Tenant, a2.Tenant = "a", "a"
+	b1.Tenant, b2.Tenant = "b", "b"
+	_, err := Run([]*Job{a1, a2, b1, b2}, oneMachineCluster(), NewModelBased(), Params{
+		Shares: map[string]float64{"a": 1, "b": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []float64{a1.Start, b1.Start, a2.Start, b2.Start}
+	for i := 1; i < len(order); i++ {
+		if !(order[i] > order[i-1]) {
+			t.Fatalf("fair-share start order a1,b1,a2,b2 violated: %v", order)
+		}
+	}
+}
+
+// sloWorkload builds a mixed multi-tenant deadline workload on the tiny
+// three-machine cluster.
+func sloWorkload(n int, seed uint64) []*Job {
+	rng := stats.NewRNG(seed)
+	jobs := make([]*Job, n)
+	at := 0.0
+	for i := range jobs {
+		at += rng.Exponential(0.5)
+		j := mkJob(i, at, 1+rng.Intn(2), 20+rng.Float64()*60, 30+rng.Float64()*60, 25+rng.Float64()*60)
+		if rng.Bernoulli(0.5) {
+			j.Tenant = "prod"
+			j.Deadline = at + 60 + rng.Float64()*240
+		} else {
+			j.Tenant = "batch"
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// TestPreemptRequeueUnderFaults: the full SLO stack (EDF + shares +
+// preemption) under injected node failures conserves every job and
+// keeps the per-tenant breakdown consistent with the totals — and two
+// identical runs agree exactly.
+func TestPreemptRequeueUnderFaults(t *testing.T) {
+	inj, err := fault.NewInjector(11, fault.Plan{NodeFailure: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := func() Params {
+		return Params{
+			R1:             EDF{},
+			Shares:         map[string]float64{"prod": 3, "batch": 1},
+			Preempt:        true,
+			PreemptRequeue: true,
+			Faults:         inj,
+			RetryCap:       2,
+		}
+	}
+	const n = 80
+	run := func() (Result, []*Job) {
+		jobs := sloWorkload(n, 5)
+		res, err := Run(jobs, tinyCluster(), NewModelBased(), params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, jobs
+	}
+	res, jobs := run()
+
+	if res.CompletedJobs+res.AbandonedJobs != n {
+		t.Fatalf("conservation: %d completed + %d abandoned != %d submitted", res.CompletedJobs, res.AbandonedJobs, n)
+	}
+	if res.MetDeadlines+res.MissedDeadlines != res.DeadlineJobs {
+		t.Fatalf("deadline conservation: %d met + %d missed != %d deadline jobs", res.MetDeadlines, res.MissedDeadlines, res.DeadlineJobs)
+	}
+	var tJobs, tCompleted, tAbandoned, tDeadline, tMissed int
+	for _, name := range []string{"prod", "batch"} {
+		ts := res.PerTenant[name]
+		tJobs += ts.Jobs
+		tCompleted += ts.Completed
+		tAbandoned += ts.Abandoned
+		tDeadline += ts.DeadlineJobs
+		tMissed += ts.MissedDeadlines
+	}
+	if tJobs != n || tCompleted != res.CompletedJobs || tAbandoned != res.AbandonedJobs ||
+		tDeadline != res.DeadlineJobs || tMissed != res.MissedDeadlines {
+		t.Fatalf("per-tenant sums diverge from totals: %+v vs %+v", res.PerTenant, res)
+	}
+	for _, j := range jobs {
+		if j.Preemptions > 3 {
+			t.Fatalf("job %d preempted %d times, cap is 3", j.ID, j.Preemptions)
+		}
+	}
+	if res.DeadlineJobs == 0 {
+		t.Fatal("workload carried no deadlines; test is vacuous")
+	}
+
+	res2, _ := run()
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("identical SLO runs diverged:\n%+v\n%+v", res, res2)
+	}
+}
+
+// TestConcurrentSLORunsRace hammers Run from many goroutines on
+// disjoint job copies (the -race satellite): results must all agree.
+func TestConcurrentSLORunsRace(t *testing.T) {
+	const workers = 8
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			jobs := sloWorkload(40, 7)
+			res, err := Run(jobs, tinyCluster(), NewModelBased(), Params{
+				R1:             EDF{},
+				Shares:         map[string]float64{"prod": 3, "batch": 1},
+				Preempt:        true,
+				PreemptRequeue: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(results[0], results[w]) {
+			t.Fatalf("concurrent run %d diverged", w)
+		}
+	}
+}
+
+// TestResultString covers the conditional deadline and preemption
+// columns of the one-line result rendering.
+func TestResultString(t *testing.T) {
+	plain := Result{Strategy: "Model-based", MakespanSec: 3600}.String()
+	if !strings.Contains(plain, "Model-based") || strings.Contains(plain, "missed=") {
+		t.Errorf("plain result rendered deadline columns: %q", plain)
+	}
+	full := Result{
+		Strategy: "slo", MakespanSec: 7200,
+		DeadlineJobs: 10, MissedDeadlines: 3, PreemptedAttempts: 2,
+	}.String()
+	for _, want := range []string{"missed=3/10 (30.0%)", "preempted=2"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("String() = %q, missing %q", full, want)
+		}
+	}
+}

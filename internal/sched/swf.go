@@ -66,6 +66,46 @@ func formatSWFTime(v float64) string {
 	return strconv.FormatFloat(v, 'f', 2, 64)
 }
 
+// WriteSWFRecords exports parsed (or converted) records as an SWF
+// trace. Unlike WriteSWF it needs no completed schedule: negative
+// wait, run, and partition values are written as -1, the SWF
+// missing-data convention, so a workload trace that only knows
+// arrivals and node demands survives the round trip.
+func WriteSWFRecords(w io.Writer, records []SWFRecord, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range records {
+		fields := make([]string, swfFields)
+		for i := range fields {
+			fields[i] = "-1"
+		}
+		fields[0] = strconv.Itoa(r.JobID)
+		fields[1] = formatSWFTime(r.Submit)
+		if r.Wait >= 0 {
+			fields[2] = formatSWFTime(r.Wait)
+		}
+		if r.Run > 0 {
+			fields[3] = formatSWFTime(r.Run)
+			fields[8] = formatSWFTime(r.Run)
+		}
+		fields[4] = strconv.Itoa(r.Procs)
+		fields[7] = strconv.Itoa(r.Procs)
+		if r.Partition >= 0 {
+			fields[14] = strconv.Itoa(r.Partition + 1)
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(fields, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // SWFRecord is one parsed SWF job line.
 type SWFRecord struct {
 	JobID     int
@@ -128,10 +168,12 @@ func ReadSWF(r io.Reader) (records []SWFRecord, skipped int, err error) {
 				procs = req
 			}
 		}
-		partition := -1.0
+		// SWF partition numbers are 1-based; <= 0 (and the -1
+		// missing-data marker) all map to the missing sentinel.
+		partition := -1
 		if len(fields) > 14 {
-			if pv, err := get(14); err == nil {
-				partition = pv
+			if pv, err := get(14); err == nil && pv > 0 {
+				partition = int(pv) - 1
 			}
 		}
 		if run <= 0 || procs <= 0 {
@@ -144,7 +186,7 @@ func ReadSWF(r io.Reader) (records []SWFRecord, skipped int, err error) {
 			Wait:      wait,
 			Run:       run,
 			Procs:     int(procs),
-			Partition: int(partition) - 1,
+			Partition: partition,
 		})
 	}
 	if err := sc.Err(); err != nil {

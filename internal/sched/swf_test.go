@@ -53,6 +53,37 @@ func TestSWFRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWriteSWFRecordsRoundTrip(t *testing.T) {
+	records := []SWFRecord{
+		{JobID: 1, Submit: 0, Wait: -1, Run: 100, Procs: 4, Partition: 0},
+		{JobID: 2, Submit: 5.5, Wait: 2, Run: 30, Procs: 1, Partition: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteSWFRecords(&buf, records, "record-level export"); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(got) != 2 {
+		t.Fatalf("records = %d skipped = %d, want 2/0", len(got), skipped)
+	}
+	for i, r := range got {
+		w := records[i]
+		if r.JobID != w.JobID || r.Procs != w.Procs || r.Partition != w.Partition {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+		if math.Abs(r.Submit-w.Submit) > 0.01 || math.Abs(r.Run-w.Run) > 0.01 {
+			t.Errorf("record %d times = %+v, want %+v", i, r, w)
+		}
+	}
+	// Missing wait survives as -1.
+	if got[0].Wait != -1 {
+		t.Errorf("missing wait read as %v, want -1", got[0].Wait)
+	}
+}
+
 func TestReadSWFSkipsFailedJobs(t *testing.T) {
 	in := strings.Join([]string{
 		"; header",

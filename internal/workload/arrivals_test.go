@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// allProcesses is the test cross-section: one instance of every arrival
+// process family, including both composition operators.
+func allProcesses() []ArrivalProcess {
+	return []ArrivalProcess{
+		Poisson{Rate: 0.8},
+		MultiPeriod{Periods: []Period{
+			{DurationSec: 300, Rate: 1.2},
+			{DurationSec: 200, Rate: 0},
+			{DurationSec: 100, Rate: 0.3},
+		}},
+		Burst{Every: 120, Size: 7, Width: 15, Offset: 30},
+		Burst{Every: 60, Size: 4, Width: 90}, // overlapping bursts
+		Superpose{Components: []ArrivalProcess{
+			Poisson{Rate: 0.3},
+			Burst{Every: 200, Size: 5, Width: 40},
+		}},
+		Modulate{
+			P:            Poisson{Rate: 1.5},
+			Envelope:     func(t float64) float64 { return 0.5 + 0.5*math.Sin(t/200) },
+			EnvelopeName: "sin",
+		},
+	}
+}
+
+// TestArrivalDeterminism: the same seed yields a bitwise-identical
+// stream for every process; a different seed yields a different one.
+func TestArrivalDeterminism(t *testing.T) {
+	const horizon = 2000.0
+	for _, p := range allProcesses() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", p.Name(), err)
+		}
+		a := p.Generate(stats.NewRNG(42), horizon)
+		b := p.Generate(stats.NewRNG(42), horizon)
+		if len(a) != len(b) {
+			t.Fatalf("%s: seed 42 twice: %d vs %d arrivals", p.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: arrival %d differs across identical seeds: %v vs %v", p.Name(), i, a[i], b[i])
+			}
+		}
+		c := p.Generate(stats.NewRNG(43), horizon)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(c[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		if same && len(a) > 0 {
+			t.Errorf("%s: seeds 42 and 43 produced identical non-empty streams", p.Name())
+		}
+	}
+}
+
+// TestArrivalOrderedInRange: every process emits a non-decreasing
+// stream confined to [0, horizon).
+func TestArrivalOrderedInRange(t *testing.T) {
+	const horizon = 3000.0
+	for _, p := range allProcesses() {
+		for seed := uint64(1); seed <= 5; seed++ {
+			out := p.Generate(stats.NewRNG(seed), horizon)
+			prev := 0.0
+			for i, v := range out {
+				if math.IsNaN(v) || v < 0 || v >= horizon {
+					t.Fatalf("%s seed %d: arrival %d = %v outside [0, %v)", p.Name(), seed, i, v, horizon)
+				}
+				if v < prev {
+					t.Fatalf("%s seed %d: arrival %d = %v before predecessor %v", p.Name(), seed, i, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestPoissonMean: the empirical inter-arrival mean converges to
+// 1/Rate within tolerance, aggregated over seeds.
+func TestPoissonMean(t *testing.T) {
+	const (
+		rate    = 2.0
+		horizon = 3000.0
+	)
+	total, count := 0.0, 0
+	for seed := uint64(1); seed <= 8; seed++ {
+		out := Poisson{Rate: rate}.Generate(stats.NewRNG(seed), horizon)
+		if len(out) < 2 {
+			t.Fatalf("seed %d: only %d arrivals", seed, len(out))
+		}
+		prev := 0.0
+		for _, v := range out {
+			total += v - prev
+			prev = v
+			count++
+		}
+	}
+	mean := total / float64(count)
+	want := 1 / rate
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("mean inter-arrival %v, want %v +- 5%% over %d gaps", mean, want, count)
+	}
+}
+
+// TestMultiPeriodEnvelopeCounts: the inversion generator integrates the
+// envelope exactly — per-window arrival counts match Rate x Duration
+// within sampling tolerance, and quiet windows stay empty.
+func TestMultiPeriodEnvelopeCounts(t *testing.T) {
+	day := Period{DurationSec: 600, Rate: 1.0}
+	night := Period{DurationSec: 400, Rate: 0.2}
+	quiet := Period{DurationSec: 200, Rate: 0}
+	mp := MultiPeriod{Periods: []Period{day, night, quiet}}
+	cycle := day.DurationSec + night.DurationSec + quiet.DurationSec
+	const cycles = 10
+	horizon := cycle * cycles
+
+	var dayN, nightN, quietN int
+	const seeds = 6
+	for seed := uint64(1); seed <= seeds; seed++ {
+		for _, v := range mp.Generate(stats.NewRNG(seed), horizon) {
+			switch phase := math.Mod(v, cycle); {
+			case phase < day.DurationSec:
+				dayN++
+			case phase < day.DurationSec+night.DurationSec:
+				nightN++
+			default:
+				quietN++
+			}
+		}
+	}
+	if quietN != 0 {
+		t.Fatalf("quiet window received %d arrivals", quietN)
+	}
+	wantDay := day.Rate * day.DurationSec * cycles * seeds
+	wantNight := night.Rate * night.DurationSec * cycles * seeds
+	if math.Abs(float64(dayN)-wantDay) > 0.05*wantDay {
+		t.Errorf("day window: %d arrivals, want %v +- 5%%", dayN, wantDay)
+	}
+	if math.Abs(float64(nightN)-wantNight) > 0.10*wantNight {
+		t.Errorf("night window: %d arrivals, want %v +- 10%%", nightN, wantNight)
+	}
+}
+
+// TestBurstCounts: burst trains land exactly Size arrivals per burst
+// inside the horizon, and stay ordered even when Width > Every makes
+// consecutive bursts overlap.
+func TestBurstCounts(t *testing.T) {
+	b := Burst{Every: 100, Size: 5, Width: 10, Offset: 20}
+	out := b.Generate(stats.NewRNG(9), 1000)
+	// Bursts start at 20, 120, ..., 920: ten bursts, none clipped
+	// (920 + 10 < 1000).
+	if got, want := len(out), 50; got != want {
+		t.Fatalf("burst train emitted %d arrivals, want %d", got, want)
+	}
+	for i, v := range out {
+		burst := (v - 20) / 100
+		if burst < 0 || v-(20+math.Floor(burst)*100) > 10 {
+			t.Fatalf("arrival %d = %v outside any burst window", i, v)
+		}
+	}
+
+	overlap := Burst{Every: 50, Size: 3, Width: 120}
+	out = overlap.Generate(stats.NewRNG(3), 500)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("overlapping bursts emitted out-of-order arrivals at %d: %v < %v", i, out[i], out[i-1])
+		}
+	}
+}
+
+// TestModulateEnvelope: a unit envelope passes the inner stream through
+// untouched (and draws no extra randomness); a zero envelope drops
+// everything.
+func TestModulateEnvelope(t *testing.T) {
+	inner := Poisson{Rate: 1.0}
+	const horizon = 500.0
+
+	pass := Modulate{P: inner, Envelope: func(float64) float64 { return 1 }, EnvelopeName: "one"}
+	got := pass.Generate(stats.NewRNG(7), horizon)
+	rng := stats.NewRNG(7)
+	want := inner.Generate(rng.Split(), horizon)
+	if len(got) != len(want) {
+		t.Fatalf("unit envelope changed the stream: %d vs %d arrivals", len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("unit envelope perturbed arrival %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	drop := Modulate{P: inner, Envelope: func(float64) float64 { return 0 }, EnvelopeName: "zero"}
+	if out := drop.Generate(stats.NewRNG(7), horizon); len(out) != 0 {
+		t.Fatalf("zero envelope passed %d arrivals", len(out))
+	}
+
+	half := Modulate{P: inner, Envelope: func(float64) float64 { return 0.5 }, EnvelopeName: "half"}
+	thinned := half.Generate(stats.NewRNG(7), horizon)
+	if len(thinned) == 0 || len(thinned) >= len(want) {
+		t.Fatalf("half envelope kept %d of %d arrivals", len(thinned), len(want))
+	}
+}
+
+// TestArrivalValidate: every invalid parameterization is rejected
+// before a single draw.
+func TestArrivalValidate(t *testing.T) {
+	bad := []ArrivalProcess{
+		Poisson{Rate: 0},
+		Poisson{Rate: -1},
+		Poisson{Rate: math.NaN()},
+		Poisson{Rate: math.Inf(1)},
+		MultiPeriod{},
+		MultiPeriod{Periods: []Period{{DurationSec: 0, Rate: 1}}},
+		MultiPeriod{Periods: []Period{{DurationSec: 100, Rate: -1}}},
+		MultiPeriod{Periods: []Period{{DurationSec: 100, Rate: 0}}}, // no positive window
+		Burst{Every: 0, Size: 1},
+		Burst{Every: 10, Size: 0},
+		Burst{Every: 10, Size: 1, Width: -1},
+		Burst{Every: 10, Size: 1, Offset: math.NaN()},
+		Superpose{},
+		Superpose{Components: []ArrivalProcess{Poisson{Rate: -1}}},
+		Modulate{},
+		Modulate{P: Poisson{Rate: 1}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%T %+v: Validate accepted invalid parameters", p, p)
+		}
+	}
+}
+
+// TestMarksFinitePositive: every mark distribution, including extreme
+// heavy-tail parameterizations, only ever emits finite strictly
+// positive samples bounded by its cap.
+func TestMarksFinitePositive(t *testing.T) {
+	dists := []struct {
+		d   MarkDist
+		max float64
+	}{
+		{ConstMark{V: 3}, 3},
+		{UniformMark{Lo: 1, Hi: 64}, 64},
+		{LogNormalMark{Mu: 0, Sigma: 0.5}, 1e9},
+		{LogNormalMark{Mu: 5, Sigma: 5, Max: 1e6}, 1e6}, // violent tail, tight cap
+		{ParetoMark{Xm: 1, Alpha: 1.5}, 1e9},
+		{ParetoMark{Xm: 2, Alpha: 0.5, Max: 1e4}, 1e4}, // infinite-mean tail
+	}
+	for _, tc := range dists {
+		if err := tc.d.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", tc.d.Name(), err)
+		}
+		rng := stats.NewRNG(1234)
+		for i := 0; i < 20000; i++ {
+			v := tc.d.Sample(rng)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 || v > tc.max {
+				t.Fatalf("%s: sample %d = %v, want 0 < v <= %v", tc.d.Name(), i, v, tc.max)
+			}
+		}
+	}
+}
+
+// TestMarkValidate rejects invalid mark parameters.
+func TestMarkValidate(t *testing.T) {
+	bad := []MarkDist{
+		ConstMark{},
+		ConstMark{V: -1},
+		ConstMark{V: math.Inf(1)},
+		UniformMark{Lo: 0, Hi: 1},
+		UniformMark{Lo: 2, Hi: 1},
+		UniformMark{Lo: 1, Hi: math.Inf(1)},
+		LogNormalMark{Mu: math.NaN()},
+		LogNormalMark{Sigma: -1},
+		LogNormalMark{Max: math.Inf(1)},
+		ParetoMark{Xm: 0, Alpha: 1},
+		ParetoMark{Xm: 1, Alpha: 0},
+		ParetoMark{Xm: 1, Alpha: 1, Max: -1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%T %+v: Validate accepted invalid parameters", d, d)
+		}
+	}
+}

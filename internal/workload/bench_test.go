@@ -1,0 +1,22 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerateArrivals tracks generator cost in the bench gate:
+// one full bursty-profile trace (superposed Poisson + burst train,
+// two-tenant marks) per iteration, reported as jobs/s so a regression
+// in the inversion or thinning loops is caught by make bench-gate.
+func BenchmarkGenerateArrivals(b *testing.B) {
+	spec := Profiles()[0].Build(7, 4*3600, 1.0) // "bursty" (sorted first)
+	jobs := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = len(tr.Jobs)
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

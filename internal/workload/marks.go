@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"crossarch/internal/floats"
+	"crossarch/internal/stats"
+)
+
+// MarkDist is a distribution over per-job marks (node demand, runtime
+// scale, deadline slack). Samples are always finite and strictly
+// positive — heavy-tailed families are capped so a single draw can
+// never produce an unsimulatable job.
+type MarkDist interface {
+	Name() string
+	Sample(rng *stats.RNG) float64
+	Validate() error
+}
+
+// ConstMark always returns V.
+type ConstMark struct{ V float64 }
+
+// Name implements MarkDist.
+func (c ConstMark) Name() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Validate implements MarkDist.
+func (c ConstMark) Validate() error {
+	if !(c.V > 0) || math.IsInf(c.V, 1) {
+		return fmt.Errorf("workload: const mark %v, want finite > 0", c.V)
+	}
+	return nil
+}
+
+// Sample implements MarkDist.
+func (c ConstMark) Sample(*stats.RNG) float64 { return c.V }
+
+// UniformMark draws uniformly from [Lo, Hi).
+type UniformMark struct{ Lo, Hi float64 }
+
+// Name implements MarkDist.
+func (u UniformMark) Name() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Validate implements MarkDist.
+func (u UniformMark) Validate() error {
+	if !(u.Lo > 0) || !(u.Hi >= u.Lo) || math.IsInf(u.Hi, 1) {
+		return fmt.Errorf("workload: uniform mark [%v,%v), want finite 0 < lo <= hi", u.Lo, u.Hi)
+	}
+	return nil
+}
+
+// Sample implements MarkDist.
+func (u UniformMark) Sample(rng *stats.RNG) float64 {
+	if floats.Eq(u.Hi, u.Lo) {
+		return u.Lo
+	}
+	return rng.Range(u.Lo, u.Hi)
+}
+
+// LogNormalMark draws exp(N(Mu, Sigma)) capped at Max — the canonical
+// right-skewed job-size / runtime model (most jobs small, a long tail
+// of large ones).
+type LogNormalMark struct {
+	// Mu and Sigma parameterize the underlying normal; the median of
+	// the mark is exp(Mu).
+	Mu, Sigma float64
+	// Max caps the tail (0 = default 1e9) so every sample stays finite
+	// and simulatable.
+	Max float64
+}
+
+// Name implements MarkDist.
+func (l LogNormalMark) Name() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// Validate implements MarkDist.
+func (l LogNormalMark) Validate() error {
+	if math.IsNaN(l.Mu) || math.IsInf(l.Mu, 0) {
+		return fmt.Errorf("workload: lognormal mu %v, want finite", l.Mu)
+	}
+	if math.IsNaN(l.Sigma) || l.Sigma < 0 || math.IsInf(l.Sigma, 1) {
+		return fmt.Errorf("workload: lognormal sigma %v, want finite >= 0", l.Sigma)
+	}
+	if math.IsNaN(l.Max) || l.Max < 0 || math.IsInf(l.Max, 1) {
+		return fmt.Errorf("workload: lognormal max %v, want finite >= 0", l.Max)
+	}
+	return nil
+}
+
+// Sample implements MarkDist.
+func (l LogNormalMark) Sample(rng *stats.RNG) float64 {
+	cap := l.Max
+	if cap == 0 {
+		cap = 1e9
+	}
+	v := rng.LogNormal(l.Mu, l.Sigma)
+	if v > cap {
+		return cap
+	}
+	if v <= 0 {
+		// exp never underflows to zero for the validated parameter
+		// range, but guard the contract anyway.
+		return math.SmallestNonzeroFloat64
+	}
+	return v
+}
+
+// ParetoMark draws from a bounded Pareto distribution with scale Xm
+// and shape Alpha, capped at Max — the classic heavy-tail model for
+// HPC job sizes (Pareto via inversion: Xm / U^(1/Alpha)).
+type ParetoMark struct {
+	// Xm is the minimum value (> 0).
+	Xm float64
+	// Alpha is the tail index (> 0); smaller means heavier tail.
+	Alpha float64
+	// Max caps the tail (0 = default 1e9).
+	Max float64
+}
+
+// Name implements MarkDist.
+func (p ParetoMark) Name() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Validate implements MarkDist.
+func (p ParetoMark) Validate() error {
+	if !(p.Xm > 0) || math.IsInf(p.Xm, 1) {
+		return fmt.Errorf("workload: pareto xm %v, want finite > 0", p.Xm)
+	}
+	if !(p.Alpha > 0) || math.IsInf(p.Alpha, 1) {
+		return fmt.Errorf("workload: pareto alpha %v, want finite > 0", p.Alpha)
+	}
+	if math.IsNaN(p.Max) || p.Max < 0 || math.IsInf(p.Max, 1) {
+		return fmt.Errorf("workload: pareto max %v, want finite >= 0", p.Max)
+	}
+	return nil
+}
+
+// Sample implements MarkDist.
+func (p ParetoMark) Sample(rng *stats.RNG) float64 {
+	cap := p.Max
+	if cap == 0 {
+		cap = 1e9
+	}
+	// 1 - Float64() is in (0, 1], so the power stays finite and the
+	// sample stays >= Xm.
+	u := 1 - rng.Float64()
+	v := p.Xm / math.Pow(u, 1/p.Alpha)
+	if v > cap {
+		return cap
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossarch/internal/stats"
+)
+
+// TestComponentNames pins the display name of every arrival process
+// and mark distribution: the names land in trace comments and CLI
+// output, so a silent rename would break recorded provenance.
+func TestComponentNames(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Poisson{Rate: 2}.Name(), "poisson(2/s)"},
+		{MultiPeriod{Periods: []Period{{Rate: 1, DurationSec: 60}, {Rate: 2, DurationSec: 60}}}.Name(), "multiperiod(2 windows)"},
+		{Burst{Every: 300, Size: 600, Width: 10}.Name(), "burst(600x every 300s)"},
+		{Superpose{Components: []ArrivalProcess{Poisson{Rate: 1}, Burst{Every: 300, Size: 10, Width: 5}}}.Name(),
+			"superpose([poisson(1/s) burst(10x every 300s)])"},
+		{Modulate{P: Poisson{Rate: 4}, Envelope: func(float64) float64 { return 0.5 }, EnvelopeName: "half"}.Name(),
+			"modulate(poisson(4/s), half)"},
+		{ConstMark{V: 3}.Name(), "const(3)"},
+		{UniformMark{Lo: 1, Hi: 4}.Name(), "uniform[1,4)"},
+		{LogNormalMark{Mu: 1, Sigma: 0.5}.Name(), "lognormal(mu=1,sigma=0.5)"},
+		{ParetoMark{Xm: 2, Alpha: 1.1}.Name(), "pareto(xm=2,alpha=1.1)"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: name = %q, want %q", i, c.got, c.want)
+		}
+	}
+}
+
+// TestUniformMarkDegenerate pins the point-mass case: lo == hi must
+// return exactly lo without consuming a draw from the stream.
+func TestUniformMarkDegenerate(t *testing.T) {
+	u := UniformMark{Lo: 3, Hi: 3}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	rng := stats.NewRNG(1)
+	before := rng.Float64()
+	rng = stats.NewRNG(1)
+	if got := u.Sample(rng); got != 3 {
+		t.Fatalf("Sample = %v, want 3", got)
+	}
+	if got := rng.Float64(); got != before {
+		t.Fatalf("degenerate Sample consumed a draw: next = %v, want %v", got, before)
+	}
+}
+
+// TestStatsString covers the human-readable summary, including the
+// blank-tenant label.
+func TestStatsString(t *testing.T) {
+	tr := &Trace{
+		SchemaVersion: TraceSchemaVersion,
+		Jobs: []TraceJob{
+			{ID: 0, ArrivalSec: 0, Tenant: "prod", Nodes: 4, DeadlineSec: 60},
+			{ID: 1, ArrivalSec: 5, Nodes: 8},
+		},
+	}
+	s := Summarize(tr).String()
+	for _, want := range []string{"jobs=2", "deadline-jobs=1", "tenant prod", "tenant (none)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestSaveLoadTrace exercises the file-path wrappers around
+// WriteTrace/ReadTrace, including the typed failure on a missing file.
+func TestSaveLoadTrace(t *testing.T) {
+	spec := Spec{
+		Seed:       3,
+		HorizonSec: 120,
+		Arrivals:   Poisson{Rate: 0.5},
+		Sizes:      ConstMark{V: 2},
+		MaxNodes:   8,
+		Tenants:    []TenantSpec{{Name: "a", Weight: 1}},
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatalf("SaveTrace: %v", err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("LoadTrace round trip differs: got %+v, want %+v", got, tr)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("LoadTrace(absent) = %v, want os.IsNotExist", err)
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is a named, reusable workload shape shared by the generator
+// CLI and the scheduling sweep: given a seed, horizon, and base rate it
+// produces a complete Spec, including the two-tenant SLO scenario the
+// headline experiment studies (a deadline-carrying "prod" tenant with
+// 3x the fairness share, and a higher-volume best-effort "batch"
+// tenant).
+type Profile struct {
+	Name string
+	// Describe is the one-line summary shown by -list.
+	Describe string
+	// Build produces the spec for this profile.
+	Build func(seed uint64, horizonSec, rate float64) Spec
+}
+
+// sloTenants is the standard two-tenant mix: prod submits a third of
+// the traffic, carries deadlines on every job, and owns three quarters
+// of the fairness share; batch submits the bulk of the traffic with no
+// deadlines and a small share.
+func sloTenants() []TenantSpec {
+	return []TenantSpec{
+		{
+			Name:         "prod",
+			Weight:       1,
+			Share:        3,
+			DeadlineFrac: 1,
+			// Slack is log-normal around ~9 minutes: tight enough that
+			// queueing decisions matter, loose enough that a sane
+			// scheduler can meet most of them.
+			DeadlineSlack: LogNormalMark{Mu: 6.3, Sigma: 0.6, Max: 2 * 3600},
+		},
+		{Name: "batch", Weight: 2, Share: 1},
+	}
+}
+
+// sloMarks attaches the heavy-tailed size and runtime marks every
+// profile shares: bounded-Pareto node demand (most jobs small, a real
+// tail) and log-normal runtime scaling around 1.
+func sloMarks(s *Spec) {
+	s.Sizes = ParetoMark{Xm: 2, Alpha: 1.1, Max: 64}
+	s.MaxNodes = 64
+	s.RuntimeScale = LogNormalMark{Mu: 0, Sigma: 0.4, Max: 8}
+}
+
+// Profiles returns the named workload profiles, sorted by name.
+func Profiles() []Profile {
+	ps := []Profile{
+		{
+			Name:     "steady",
+			Describe: "homogeneous Poisson arrivals, two-tenant SLO mix",
+			Build: func(seed uint64, horizonSec, rate float64) Spec {
+				s := Spec{
+					Seed:       seed,
+					HorizonSec: horizonSec,
+					Arrivals:   Poisson{Rate: rate},
+					Tenants:    sloTenants(),
+					Comment:    fmt.Sprintf("steady: poisson %g/s over %gs", rate, horizonSec),
+				}
+				sloMarks(&s)
+				return s
+			},
+		},
+		{
+			Name:     "diurnal",
+			Describe: "day/night multi-period rate envelope (3:1), two-tenant SLO mix",
+			Build: func(seed uint64, horizonSec, rate float64) Spec {
+				// A compressed day: 600s of 1.5x rate, 600s at a third of
+				// it, so the cycle mean equals the requested rate.
+				s := Spec{
+					Seed:       seed,
+					HorizonSec: horizonSec,
+					Arrivals: MultiPeriod{Periods: []Period{
+						{DurationSec: 600, Rate: 1.5 * rate},
+						{DurationSec: 600, Rate: 0.5 * rate},
+					}},
+					Tenants: sloTenants(),
+					Comment: fmt.Sprintf("diurnal: 600s@%g/s + 600s@%g/s over %gs", 1.5*rate, 0.5*rate, horizonSec),
+				}
+				sloMarks(&s)
+				return s
+			},
+		},
+		{
+			Name:     "bursty",
+			Describe: "Poisson baseline + synchronized burst trains, two-tenant SLO mix",
+			Build: func(seed uint64, horizonSec, rate float64) Spec {
+				// Half the volume arrives as the smooth baseline, half in
+				// 30-second burst trains every five minutes.
+				burstSize := int(0.5*rate*300 + 0.5)
+				if burstSize < 1 {
+					burstSize = 1
+				}
+				s := Spec{
+					Seed:       seed,
+					HorizonSec: horizonSec,
+					Arrivals: Superpose{Components: []ArrivalProcess{
+						Poisson{Rate: 0.5 * rate},
+						Burst{Every: 300, Size: burstSize, Width: 30, Offset: 60},
+					}},
+					Tenants: sloTenants(),
+					Comment: fmt.Sprintf("bursty: poisson %g/s + %d-job bursts/300s over %gs", 0.5*rate, burstSize, horizonSec),
+				}
+				sloMarks(&s)
+				return s
+			},
+		},
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// ProfileByName resolves a profile by name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, p := range Profiles() {
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q (have %v)", name, names)
+}
+
+// ShareMap extracts the tenant fairness shares from a spec in the form
+// the scheduler consumes.
+func ShareMap(tenants []TenantSpec) map[string]float64 {
+	if len(tenants) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(tenants))
+	for _, t := range tenants {
+		m[t.Name] = t.Share
+	}
+	return m
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+
+	"crossarch/internal/sched"
+)
+
+// TraceSchemaVersion is the current trace file schema.
+const TraceSchemaVersion = 1
+
+// ErrTraceSchema is the typed cause of every structurally-invalid trace
+// failure: unknown schema version, non-monotone arrivals, negative
+// fields. Detect with errors.Is.
+var ErrTraceSchema = errors.New("workload: invalid trace")
+
+// ErrTraceChecksum is the typed cause of a trace whose stored checksum
+// does not match its job payload — a torn write or hand-edited file.
+var ErrTraceChecksum = errors.New("workload: trace checksum mismatch")
+
+// TraceJob is one recorded arrival. Runtime information is carried two
+// ways: RuntimeScale multiplies the per-machine runtimes attached at
+// replay time (the paper's resampled-application path), while a
+// non-zero RuntimeSec pins a flat runtime on every machine (the SWF
+// import path, where the trace knows the real duration but nothing
+// about architecture).
+type TraceJob struct {
+	ID         int     `json:"id"`
+	ArrivalSec float64 `json:"arrival_sec"`
+	// Tenant names the submitting tenant ("" = untenanted).
+	Tenant string `json:"tenant,omitempty"`
+	Nodes  int    `json:"nodes"`
+	// RuntimeScale multiplies replay-time runtimes (0 is read as 1).
+	RuntimeScale float64 `json:"runtime_scale,omitempty"`
+	// DeadlineSec is the relative deadline in seconds after arrival
+	// (0 = no deadline).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// RuntimeSec, when > 0, pins a flat runtime on every machine.
+	RuntimeSec float64 `json:"runtime_sec,omitempty"`
+}
+
+// Trace is the versioned on-disk workload format (schema v1): a header
+// plus the arrival-ordered job list, integrity-protected by an FNV-1a 64
+// digest over the canonical JSON encoding of the jobs array.
+type Trace struct {
+	SchemaVersion int        `json:"schema_version"`
+	Seed          uint64     `json:"seed"`
+	Comment       string     `json:"comment,omitempty"`
+	Checksum      string     `json:"checksum,omitempty"`
+	Jobs          []TraceJob `json:"jobs"`
+}
+
+// jobsChecksum digests the canonical JSON encoding of the jobs array.
+func jobsChecksum(jobs []TraceJob) (string, error) {
+	payload, err := json.Marshal(jobs)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(payload) // hash.Hash.Write never returns an error
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Validate checks structural invariants: known schema version,
+// non-decreasing arrivals, positive node counts, finite non-negative
+// marks.
+func (t *Trace) Validate() error {
+	if t.SchemaVersion != TraceSchemaVersion {
+		return fmt.Errorf("%w: schema version %d, want %d", ErrTraceSchema, t.SchemaVersion, TraceSchemaVersion)
+	}
+	prev := math.Inf(-1)
+	for i, j := range t.Jobs {
+		if math.IsNaN(j.ArrivalSec) || j.ArrivalSec < 0 || math.IsInf(j.ArrivalSec, 1) {
+			return fmt.Errorf("%w: job %d arrival %v, want finite >= 0", ErrTraceSchema, i, j.ArrivalSec)
+		}
+		if j.ArrivalSec < prev {
+			return fmt.Errorf("%w: job %d arrives at %v before predecessor at %v", ErrTraceSchema, i, j.ArrivalSec, prev)
+		}
+		prev = j.ArrivalSec
+		if j.Nodes <= 0 {
+			return fmt.Errorf("%w: job %d requests %d nodes, want > 0", ErrTraceSchema, i, j.Nodes)
+		}
+		if math.IsNaN(j.RuntimeScale) || j.RuntimeScale < 0 || math.IsInf(j.RuntimeScale, 1) {
+			return fmt.Errorf("%w: job %d runtime scale %v, want finite >= 0", ErrTraceSchema, i, j.RuntimeScale)
+		}
+		if math.IsNaN(j.DeadlineSec) || j.DeadlineSec < 0 || math.IsInf(j.DeadlineSec, 1) {
+			return fmt.Errorf("%w: job %d deadline %v, want finite >= 0", ErrTraceSchema, i, j.DeadlineSec)
+		}
+		if math.IsNaN(j.RuntimeSec) || j.RuntimeSec < 0 || math.IsInf(j.RuntimeSec, 1) {
+			return fmt.Errorf("%w: job %d runtime %v, want finite >= 0", ErrTraceSchema, i, j.RuntimeSec)
+		}
+	}
+	return nil
+}
+
+// WriteTrace validates t, stamps the schema version and checksum, and
+// writes the indented JSON encoding to w.
+func WriteTrace(w io.Writer, t *Trace) error {
+	t.SchemaVersion = TraceSchemaVersion
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	sum, err := jobsChecksum(t.Jobs)
+	if err != nil {
+		return err
+	}
+	t.Checksum = sum
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace decodes and validates a trace. A checksum mismatch is
+// reported as ErrTraceChecksum before any job is interpreted; a missing
+// checksum field is itself a schema error (every v1 writer stamps one).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTraceSchema, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Checksum == "" {
+		return nil, fmt.Errorf("%w: trace has no checksum", ErrTraceSchema)
+	}
+	sum, err := jobsChecksum(t.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	if sum != t.Checksum {
+		return nil, fmt.Errorf("%w: payload digest %s, header says %s", ErrTraceChecksum, sum, t.Checksum)
+	}
+	return &t, nil
+}
+
+// SaveTrace writes the trace to path (truncating).
+func SaveTrace(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, t); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads and verifies the trace at path.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// TraceFromSWF converts parsed SWF records into a schema-v1 trace. SWF
+// records know their real runtime but nothing about architecture, so
+// each job pins RuntimeSec; jobs are renumbered densely in submit order
+// (ReadSWF preserves file order, which the archive keeps sorted by
+// submit time — out-of-order files are rejected by Validate).
+func TraceFromSWF(records []sched.SWFRecord, comment string) (*Trace, error) {
+	t := &Trace{SchemaVersion: TraceSchemaVersion, Comment: comment}
+	t.Jobs = make([]TraceJob, len(records))
+	for i, r := range records {
+		t.Jobs[i] = TraceJob{
+			ID:           i,
+			ArrivalSec:   r.Submit,
+			Nodes:        r.Procs,
+			RuntimeScale: 1,
+			RuntimeSec:   r.Run,
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SWFRecords converts the trace to SWF records for export through
+// sched.WriteSWF-compatible tooling. Wait time and partition are
+// unknown before replay and written as the SWF missing-data convention;
+// jobs without a pinned RuntimeSec export run time -1 the same way.
+func (t *Trace) SWFRecords() []sched.SWFRecord {
+	out := make([]sched.SWFRecord, len(t.Jobs))
+	for i, j := range t.Jobs {
+		run := j.RuntimeSec
+		if run == 0 {
+			run = -1
+		}
+		out[i] = sched.SWFRecord{
+			JobID:     j.ID + 1,
+			Submit:    j.ArrivalSec,
+			Wait:      -1,
+			Run:       run,
+			Procs:     j.Nodes,
+			Partition: -1,
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossarch/internal/sched"
+)
+
+func testTrace() *Trace {
+	return &Trace{
+		SchemaVersion: TraceSchemaVersion,
+		Seed:          99,
+		Comment:       "fixture",
+		Jobs: []TraceJob{
+			{ID: 0, ArrivalSec: 0, Tenant: "prod", Nodes: 2, RuntimeScale: 1, DeadlineSec: 600},
+			{ID: 1, ArrivalSec: 1.5, Tenant: "batch", Nodes: 8, RuntimeScale: 2.25},
+			{ID: 2, ArrivalSec: 1.5, Nodes: 1, RuntimeScale: 0.5, RuntimeSec: 120},
+		},
+	}
+}
+
+// TestTraceRoundTrip: write → read reproduces the trace exactly and
+// stamps a stable checksum.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if tr.Checksum == "" {
+		t.Fatal("WriteTrace left no checksum")
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, testTrace()); err != nil {
+		t.Fatalf("WriteTrace again: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("writing the same trace twice produced different bytes")
+	}
+}
+
+// TestTraceChecksum: corruption of the job payload after writing is
+// detected as ErrTraceChecksum.
+func TestTraceChecksum(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	corrupted := strings.Replace(buf.String(), `"nodes": 8`, `"nodes": 9`, 1)
+	if corrupted == buf.String() {
+		t.Fatal("corruption did not apply")
+	}
+	_, err := ReadTrace(strings.NewReader(corrupted))
+	if !errors.Is(err, ErrTraceChecksum) {
+		t.Fatalf("ReadTrace(corrupted) = %v, want ErrTraceChecksum", err)
+	}
+}
+
+// TestTraceSchemaErrors: structurally invalid traces are rejected with
+// ErrTraceSchema before any job is interpreted.
+func TestTraceSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"unknown version", func(tr *Trace) { tr.SchemaVersion = 2 }},
+		{"zero version", func(tr *Trace) { tr.SchemaVersion = 0 }},
+		{"negative arrival", func(tr *Trace) { tr.Jobs[0].ArrivalSec = -1 }},
+		{"NaN arrival", func(tr *Trace) { tr.Jobs[0].ArrivalSec = math.NaN() }},
+		{"out of order", func(tr *Trace) { tr.Jobs[2].ArrivalSec = 0.5 }},
+		{"zero nodes", func(tr *Trace) { tr.Jobs[1].Nodes = 0 }},
+		{"negative scale", func(tr *Trace) { tr.Jobs[1].RuntimeScale = -2 }},
+		{"negative deadline", func(tr *Trace) { tr.Jobs[0].DeadlineSec = -600 }},
+		{"infinite runtime", func(tr *Trace) { tr.Jobs[2].RuntimeSec = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		tr := testTrace()
+		tc.mut(tr)
+		if err := tr.Validate(); !errors.Is(err, ErrTraceSchema) {
+			t.Errorf("%s: Validate = %v, want ErrTraceSchema", tc.name, err)
+		}
+	}
+
+	// A v1 file without a checksum is rejected too.
+	if _, err := ReadTrace(strings.NewReader(`{"schema_version":1,"jobs":[]}`)); !errors.Is(err, ErrTraceSchema) {
+		t.Errorf("checksum-less trace: ReadTrace = %v, want ErrTraceSchema", err)
+	}
+	if _, err := ReadTrace(strings.NewReader("not json")); !errors.Is(err, ErrTraceSchema) {
+		t.Errorf("garbage: ReadTrace = %v, want ErrTraceSchema", err)
+	}
+}
+
+// TestTraceSWFRoundTrip: SWF records convert to a trace and back
+// preserving submit time, node demand, and runtime.
+func TestTraceSWFRoundTrip(t *testing.T) {
+	swf := `; fixture
+1 0.00 5.00 100.00 4 -1 -1 4 100.00 -1 -1 -1 -1 -1 2 -1 -1 -1
+2 30.00 0.00 250.00 16 -1 -1 16 250.00 -1 -1 -1 -1 -1 1 -1 -1 -1
+3 60.00 1.00 80.00 1 -1 -1 1 80.00 -1 -1 -1 -1 -1 3 -1 -1 -1
+`
+	records, skipped, err := sched.ReadSWF(strings.NewReader(swf))
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadSWF: err=%v skipped=%d", err, skipped)
+	}
+	tr, err := TraceFromSWF(records, "converted")
+	if err != nil {
+		t.Fatalf("TraceFromSWF: %v", err)
+	}
+	if len(tr.Jobs) != len(records) {
+		t.Fatalf("trace has %d jobs for %d records", len(tr.Jobs), len(records))
+	}
+	back := tr.SWFRecords()
+	for i, r := range records {
+		if back[i].Submit != r.Submit || back[i].Run != r.Run || back[i].Procs != r.Procs {
+			t.Errorf("record %d: round trip %+v, want submit/run/procs of %+v", i, back[i], r)
+		}
+	}
+	// The conversion survives a write/read cycle too.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got.Jobs, tr.Jobs) {
+		t.Fatal("SWF-derived trace changed across write/read")
+	}
+}
+
+// TestGenerateDeterminism: the same spec generates byte-identical
+// traces; truncation and tenant attribution behave as documented.
+func TestGenerateDeterminism(t *testing.T) {
+	for _, p := range Profiles() {
+		spec := p.Build(77, 1800, 0.5)
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", p.Name, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: Generate again: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same spec generated different traces", p.Name)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: generated trace invalid: %v", p.Name, err)
+		}
+		if len(a.Jobs) == 0 {
+			t.Fatalf("%s: generated empty trace", p.Name)
+		}
+		st := Summarize(a)
+		if st.TenantJobs["prod"] == 0 || st.TenantJobs["batch"] == 0 {
+			t.Fatalf("%s: tenant mix missing: %+v", p.Name, st.TenantJobs)
+		}
+		if st.DeadlineJobs == 0 || st.DeadlineJobs != st.TenantJobs["prod"] {
+			t.Fatalf("%s: %d deadline jobs for %d prod jobs", p.Name, st.DeadlineJobs, st.TenantJobs["prod"])
+		}
+		if st.MaxNodes > 64 {
+			t.Fatalf("%s: job wants %d nodes, cap is 64", p.Name, st.MaxNodes)
+		}
+
+		capped := spec
+		capped.MaxJobs = 5
+		c, err := Generate(capped)
+		if err != nil {
+			t.Fatalf("%s: Generate capped: %v", p.Name, err)
+		}
+		if len(c.Jobs) != 5 {
+			t.Fatalf("%s: MaxJobs=5 produced %d jobs", p.Name, len(c.Jobs))
+		}
+	}
+}
+
+// TestSpecValidate rejects unusable specs with descriptive errors.
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{HorizonSec: 100, Arrivals: Poisson{Rate: 1}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero horizon", func(s *Spec) { s.HorizonSec = 0 }},
+		{"no arrivals", func(s *Spec) { s.Arrivals = nil }},
+		{"bad arrivals", func(s *Spec) { s.Arrivals = Poisson{Rate: -1} }},
+		{"bad sizes", func(s *Spec) { s.Sizes = ConstMark{} }},
+		{"bad runtime scale", func(s *Spec) { s.RuntimeScale = UniformMark{Lo: 2, Hi: 1} }},
+		{"negative max nodes", func(s *Spec) { s.MaxNodes = -1 }},
+		{"negative max jobs", func(s *Spec) { s.MaxJobs = -1 }},
+		{"anonymous tenant", func(s *Spec) { s.Tenants = []TenantSpec{{}} }},
+		{"duplicate tenant", func(s *Spec) {
+			s.Tenants = []TenantSpec{{Name: "a"}, {Name: "a"}}
+		}},
+		{"negative weight", func(s *Spec) { s.Tenants = []TenantSpec{{Name: "a", Weight: -1}} }},
+		{"negative share", func(s *Spec) { s.Tenants = []TenantSpec{{Name: "a", Share: -1}} }},
+		{"bad deadline frac", func(s *Spec) { s.Tenants = []TenantSpec{{Name: "a", DeadlineFrac: 2}} }},
+		{"deadlines without slack", func(s *Spec) {
+			s.Tenants = []TenantSpec{{Name: "a", DeadlineFrac: 0.5}}
+		}},
+	}
+	for _, tc := range cases {
+		s := ok
+		tc.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", tc.name)
+		}
+	}
+}
+
+// TestProfiles: every named profile builds a valid spec and resolves by
+// name; unknown names error.
+func TestProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		spec := p.Build(1, 600, 1)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("profile %s: invalid spec: %v", p.Name, err)
+		}
+		got, err := ProfileByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ProfileByName(%s) = %v, %v", p.Name, got.Name, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("ProfileByName accepted an unknown profile")
+	}
+	shares := ShareMap(sloTenants())
+	if shares["prod"] <= shares["batch"] {
+		t.Errorf("prod share %v should exceed batch share %v", shares["prod"], shares["batch"])
+	}
+	if ShareMap(nil) != nil {
+		t.Error("ShareMap(nil) should be nil")
+	}
+}
+
+// FuzzTraceRead: arbitrary bytes must never panic the reader, and any
+// trace that reads successfully must re-encode and re-read to the same
+// value (the parse → print → parse fixpoint).
+func FuzzTraceRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, testTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"schema_version":1,"checksum":"x","jobs":[]}`))
+	f.Add([]byte(`{"schema_version":7}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"schema_version":1,"jobs":[{"id":0,"arrival_sec":-5,"nodes":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("WriteTrace of a successfully read trace: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTrace of a freshly written trace: %v", err)
+		}
+		if !reflect.DeepEqual(again.Jobs, tr.Jobs) {
+			t.Fatal("write/read fixpoint violated")
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"crossarch/internal/stats"
+)
+
+// TenantSpec describes one tenant's traffic and service level.
+type TenantSpec struct {
+	// Name identifies the tenant in jobs, shares, and metrics.
+	Name string
+	// Weight is the tenant's share of generated traffic (relative;
+	// 0 = 1). A tenant can send much more traffic than its fairness
+	// entitlement — that contention is the multi-tenant scenario.
+	Weight float64
+	// Share is the tenant's fairness entitlement, consumed by the
+	// scheduler's share-aware ordering (relative; 0 is legal and means
+	// a best-effort tenant that always yields to funded ones).
+	Share float64
+	// DeadlineFrac is the fraction of the tenant's jobs carrying a
+	// deadline in [0, 1].
+	DeadlineFrac float64
+	// DeadlineSlack draws the relative deadline (seconds after arrival)
+	// for deadline-carrying jobs. Required when DeadlineFrac > 0.
+	DeadlineSlack MarkDist
+}
+
+// Spec assembles arrival process, marks, and tenants into a workload.
+type Spec struct {
+	// Seed drives every stochastic choice; the same Spec and Seed
+	// always generate the same byte-identical trace.
+	Seed uint64
+	// HorizonSec is the generation window in seconds (> 0).
+	HorizonSec float64
+	// Arrivals is the composed arrival process.
+	Arrivals ArrivalProcess
+	// Sizes draws the per-job node demand, rounded up to an integer
+	// (nil = constant 1). Values are clamped to [1, MaxNodes].
+	Sizes MarkDist
+	// MaxNodes caps node demand (0 = 64) so generated jobs always fit
+	// the smallest Table I machine.
+	MaxNodes int
+	// RuntimeScale draws the per-job runtime multiplier applied to the
+	// replayed per-machine runtimes (nil = constant 1) — the
+	// heavy-tailed job-duration mark.
+	RuntimeScale MarkDist
+	// Tenants split the traffic (nil = one anonymous tenant with no
+	// deadlines).
+	Tenants []TenantSpec
+	// MaxJobs truncates the generated stream (0 = unbounded).
+	MaxJobs int
+	// Comment is carried into the trace header.
+	Comment string
+}
+
+// Validate rejects non-generatable specs.
+func (s Spec) Validate() error {
+	if !(s.HorizonSec > 0) || math.IsInf(s.HorizonSec, 1) {
+		return fmt.Errorf("workload: horizon %v, want finite > 0", s.HorizonSec)
+	}
+	if s.Arrivals == nil {
+		return fmt.Errorf("workload: spec has no arrival process")
+	}
+	if err := s.Arrivals.Validate(); err != nil {
+		return err
+	}
+	if s.Sizes != nil {
+		if err := s.Sizes.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.RuntimeScale != nil {
+		if err := s.RuntimeScale.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.MaxNodes < 0 {
+		return fmt.Errorf("workload: negative MaxNodes %d", s.MaxNodes)
+	}
+	if s.MaxJobs < 0 {
+		return fmt.Errorf("workload: negative MaxJobs %d", s.MaxJobs)
+	}
+	seen := map[string]bool{}
+	for i, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("workload: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("workload: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if math.IsNaN(t.Weight) || t.Weight < 0 || math.IsInf(t.Weight, 1) {
+			return fmt.Errorf("workload: tenant %q weight %v, want finite >= 0", t.Name, t.Weight)
+		}
+		if math.IsNaN(t.Share) || t.Share < 0 || math.IsInf(t.Share, 1) {
+			return fmt.Errorf("workload: tenant %q share %v, want finite >= 0", t.Name, t.Share)
+		}
+		if math.IsNaN(t.DeadlineFrac) || t.DeadlineFrac < 0 || t.DeadlineFrac > 1 {
+			return fmt.Errorf("workload: tenant %q deadline fraction %v, want [0,1]", t.Name, t.DeadlineFrac)
+		}
+		if t.DeadlineFrac > 0 {
+			if t.DeadlineSlack == nil {
+				return fmt.Errorf("workload: tenant %q has deadlines but no slack distribution", t.Name)
+			}
+			if err := t.DeadlineSlack.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Generate produces the workload trace for the spec. Draw order is
+// part of the trace identity: the arrival process consumes one Split
+// stream, then each job consumes its marks from a second stream in
+// arrival order (tenant choice, size, runtime scale, deadline draw),
+// so adding a tenant or mark never perturbs the arrival times.
+func Generate(spec Spec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := spec.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 64
+	}
+
+	rng := stats.NewRNG(spec.Seed)
+	arrivalRNG := rng.Split()
+	markRNG := rng.Split()
+
+	arrivals := spec.Arrivals.Generate(arrivalRNG, spec.HorizonSec)
+	if spec.MaxJobs > 0 && len(arrivals) > spec.MaxJobs {
+		arrivals = arrivals[:spec.MaxJobs]
+	}
+
+	var weights []float64
+	if len(spec.Tenants) > 0 {
+		weights = make([]float64, len(spec.Tenants))
+		total := 0.0
+		for i, t := range spec.Tenants {
+			w := t.Weight
+			if w == 0 {
+				w = 1
+			}
+			weights[i] = w
+			total += w
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("workload: tenant weights sum to zero")
+		}
+	}
+
+	jobs := make([]TraceJob, len(arrivals))
+	for i, at := range arrivals {
+		j := TraceJob{ID: i, ArrivalSec: at, Nodes: 1, RuntimeScale: 1}
+		if len(spec.Tenants) > 0 {
+			t := spec.Tenants[markRNG.Choice(weights)]
+			j.Tenant = t.Name
+			if t.DeadlineFrac > 0 && markRNG.Bernoulli(t.DeadlineFrac) {
+				j.DeadlineSec = t.DeadlineSlack.Sample(markRNG)
+			}
+		}
+		if spec.Sizes != nil {
+			n := int(math.Ceil(spec.Sizes.Sample(markRNG)))
+			if n < 1 {
+				n = 1
+			}
+			if n > maxNodes {
+				n = maxNodes
+			}
+			j.Nodes = n
+		}
+		if spec.RuntimeScale != nil {
+			j.RuntimeScale = spec.RuntimeScale.Sample(markRNG)
+		}
+		jobs[i] = j
+	}
+	return &Trace{
+		SchemaVersion: TraceSchemaVersion,
+		Seed:          spec.Seed,
+		Comment:       spec.Comment,
+		Jobs:          jobs,
+	}, nil
+}
+
+// Stats summarizes a trace for CLI inspection and sanity tests.
+type Stats struct {
+	Jobs             int
+	HorizonSec       float64
+	MeanInterarrival float64
+	MaxNodes         int
+	MeanNodes        float64
+	DeadlineJobs     int
+	TenantJobs       map[string]int
+	MeanRuntimeScale float64
+	MaxBurst10s      int // densest 10-second window
+}
+
+// Summarize computes trace statistics.
+func Summarize(t *Trace) Stats {
+	s := Stats{TenantJobs: map[string]int{}}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	s.Jobs = len(t.Jobs)
+	s.HorizonSec = t.Jobs[len(t.Jobs)-1].ArrivalSec
+	sumNodes, sumScale := 0.0, 0.0
+	winStart := 0
+	for i, j := range t.Jobs {
+		if j.Nodes > s.MaxNodes {
+			s.MaxNodes = j.Nodes
+		}
+		sumNodes += float64(j.Nodes)
+		scale := j.RuntimeScale
+		if scale == 0 {
+			scale = 1
+		}
+		sumScale += scale
+		if j.DeadlineSec > 0 {
+			s.DeadlineJobs++
+		}
+		s.TenantJobs[j.Tenant]++
+		for t.Jobs[winStart].ArrivalSec < j.ArrivalSec-10 {
+			winStart++
+		}
+		if w := i - winStart + 1; w > s.MaxBurst10s {
+			s.MaxBurst10s = w
+		}
+	}
+	s.MeanNodes = sumNodes / float64(s.Jobs)
+	s.MeanRuntimeScale = sumScale / float64(s.Jobs)
+	if s.Jobs > 1 {
+		s.MeanInterarrival = (t.Jobs[len(t.Jobs)-1].ArrivalSec - t.Jobs[0].ArrivalSec) / float64(s.Jobs-1)
+	}
+	return s
+}
+
+// String renders the stats as a small table.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs=%d horizon=%.1fs mean-gap=%.3fs nodes(mean=%.1f max=%d) deadline-jobs=%d burst10s=%d\n",
+		s.Jobs, s.HorizonSec, s.MeanInterarrival, s.MeanNodes, s.MaxNodes, s.DeadlineJobs, s.MaxBurst10s)
+	names := make([]string, 0, len(s.TenantJobs))
+	for name := range s.TenantJobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		label := name
+		if label == "" {
+			label = "(none)"
+		}
+		fmt.Fprintf(&b, "  tenant %-10s %6d jobs\n", label, s.TenantJobs[name])
+	}
+	return b.String()
+}
